@@ -1,0 +1,19 @@
+//! Criterion benchmarks of the figure-regeneration harnesses at quick
+//! scale: how long does each paper experiment take to recompute?
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use duplex::experiments::{self, Scale};
+
+fn bench_figures(c: &mut Criterion) {
+    let scale = Scale::quick();
+    let mut g = c.benchmark_group("figures_quick");
+    g.sample_size(10);
+    g.bench_function("fig08_edap", |b| b.iter(experiments::fig08_edap));
+    g.bench_function("fig04_breakdown", |b| b.iter(|| experiments::fig04_breakdown(&scale)));
+    g.bench_function("table1", |b| b.iter(experiments::table1));
+    g.finish();
+}
+
+criterion_group!(figures, bench_figures);
+criterion_main!(figures);

@@ -1,0 +1,97 @@
+//! Criterion micro-benchmarks of the simulator's hot paths: the
+//! command-level HBM streaming engine, kernel pricing, expert routing,
+//! stage costing and the continuous-batching scheduler.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use duplex::compute::kernel::GemmShape;
+use duplex::compute::Engine;
+use duplex::hbm::{AccessPath, BandwidthProfile, HbmGeometry, HbmTiming};
+use duplex::model::ops::StageShape;
+use duplex::model::{ExpertRouter, ModelConfig};
+use duplex::sched::{Simulation, SimulationConfig, Workload};
+use duplex::system::{SystemConfig, SystemExecutor};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_hbm_stream(c: &mut Criterion) {
+    let geom = HbmGeometry::hbm3_8hi();
+    let timing = HbmTiming::hbm3();
+    let mut g = c.benchmark_group("hbm_stream_1MiB");
+    for path in AccessPath::ALL {
+        g.bench_function(format!("{path}"), |b| {
+            b.iter(|| duplex::hbm::stream::simulate_stream(&geom, &timing, path, black_box(1 << 20)))
+        });
+    }
+    g.finish();
+
+    c.bench_function("bandwidth_profile_calibrate", |b| {
+        b.iter(|| BandwidthProfile::calibrate(&geom, &timing))
+    });
+}
+
+fn bench_kernel_pricing(c: &mut Criterion) {
+    let xpu = Engine::h100_xpu();
+    let pim = Engine::logic_pim();
+    let shape = GemmShape { m: 16, n: 14336, k: 4096 };
+    let bytes = shape.weight_bytes(2);
+    c.bench_function("gemm_cost_xpu", |b| b.iter(|| xpu.gemm_cost(black_box(shape), bytes)));
+    c.bench_function("gemm_cost_pim", |b| b.iter(|| pim.gemm_cost(black_box(shape), bytes)));
+}
+
+fn bench_routing(c: &mut Criterion) {
+    let router = ExpertRouter::uniform(64, 2);
+    let mut rng = StdRng::seed_from_u64(1);
+    c.bench_function("route_glam_2176_tokens", |b| {
+        b.iter(|| router.route(&mut rng, black_box(2176)))
+    });
+}
+
+fn bench_stage_cost(c: &mut Criterion) {
+    let model = ModelConfig::mixtral_8x7b();
+    let shape = StageShape::decode_only(&vec![2048u64; 64]);
+    let mixed = StageShape::mixed(&vec![2048u64; 63], &[2048]);
+    let mut g = c.benchmark_group("stage_cost");
+    for cfg in [SystemConfig::gpu(4, 1), SystemConfig::duplex_pe_et(4, 1)] {
+        let mut ex = SystemExecutor::new(cfg, model.clone(), 1);
+        let name = ex.config().name.clone();
+        g.bench_function(format!("{name}_decode64"), |b| {
+            b.iter(|| ex.stage_cost(black_box(&shape)))
+        });
+        let mut ex2 = SystemExecutor::new(SystemConfig::duplex_pe_et(4, 1), model.clone(), 1);
+        g.bench_function(format!("{name}_mixed64"), |b| {
+            b.iter(|| ex2.stage_cost(black_box(&mixed)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_scheduler(c: &mut Criterion) {
+    let model = ModelConfig::mixtral_8x7b();
+    c.bench_function("closed_loop_32reqs_gpu", |b| {
+        b.iter_batched(
+            || SystemExecutor::new(SystemConfig::gpu(4, 1), model.clone(), 1),
+            |mut ex| {
+                let cfg = SimulationConfig {
+                    max_batch: 16,
+                    kv_capacity_bytes: ex.kv_capacity_bytes(),
+                    kv_bytes_per_token: model.kv_bytes_per_token(),
+                    ..Default::default()
+                };
+                Simulation::closed_loop(cfg, Workload::fixed(128, 16), 32).run(&mut ex)
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_hbm_stream,
+    bench_kernel_pricing,
+    bench_routing,
+    bench_stage_cost,
+    bench_scheduler
+);
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! Experiment harness for the Duplex paper: table formatting and scale
+//! selection shared by the per-figure binaries.
+//!
+//! Every binary accepts `--quick` to run the shrunk CI-sized sweep
+//! (sequence lengths divided by 8); the default is the paper-sized
+//! sweep. Run them all with `cargo run --release -p duplex-bench --bin
+//! run_all`.
+
+use duplex::experiments::Scale;
+
+/// Parse `--quick` / `--paper` from the command line.
+pub fn scale_from_args() -> Scale {
+    let args: Vec<String> = std::env::args().collect();
+    if args.iter().any(|a| a == "--quick") {
+        Scale::quick()
+    } else {
+        Scale::paper()
+    }
+}
+
+/// Render an aligned text table.
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("\n=== {title} ===");
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let line = |cells: &[String]| {
+        let mut s = String::new();
+        for (i, cell) in cells.iter().enumerate() {
+            s.push_str(&format!("{:>width$}  ", cell, width = widths[i.min(widths.len() - 1)]));
+        }
+        println!("{}", s.trim_end());
+    };
+    line(&headers.iter().map(|h| h.to_string()).collect::<Vec<_>>());
+    let total: usize = widths.iter().sum::<usize>() + 2 * widths.len();
+    println!("{}", "-".repeat(total));
+    for row in rows {
+        line(row);
+    }
+}
+
+/// Milliseconds with three decimals.
+pub fn ms(seconds: f64) -> String {
+    format!("{:.3}", seconds * 1e3)
+}
+
+/// A dimensionless ratio with two decimals.
+pub fn ratio(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+/// Joules as millijoules.
+pub fn mj(joules: f64) -> String {
+    format!("{:.2}", joules * 1e3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(ms(0.001234), "1.234");
+        assert_eq!(ratio(2.345), "2.35");
+        assert_eq!(mj(0.01), "10.00");
+    }
+}

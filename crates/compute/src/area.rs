@@ -1,0 +1,141 @@
+//! Area model (Sec. VII-E) and the energy-delay-area product of Fig. 8.
+//!
+//! The paper synthesizes Logic-PIM's processing units at 7 nm and
+//! reports, per Logic-PIM stack:
+//!
+//! * 32 GEMM modules (512 FP16 MACs + 8 KB buffer each): **3.02 mm²**
+//! * two 1 MB input/temporal buffers: **2.26 mm²**
+//! * softmax unit (comparator tree, adders, exp units, dividers,
+//!   128 KB buffers): **1.64 mm²**
+//! * added TSVs (4x per channel at 22 um pitch): **10.89 mm²**
+//!
+//! for a total of **17.80 mm²**, 14.71% of a 121 mm² HBM3 logic die.
+//! Bank-PIM and BankGroup-PIM implement their processing units in the
+//! DRAM process, which the paper notes costs ~10x the area of the same
+//! logic at equal feature size; commercial in-DRAM PIMs spend 20–27% of
+//! the die. We size both baselines so their *relative* EDAP matches
+//! Fig. 8: BankGroup-PIM carries Logic-PIM's full datapath on DRAM
+//! dies; Bank-PIM's 1-Op/B units are smaller but replicated per bank.
+
+use crate::spec::EngineKind;
+
+/// Synthesized area numbers, all in mm² per HBM stack.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AreaModel {
+    /// 32 GEMM modules on the logic die.
+    pub logic_pim_gemm_mm2: f64,
+    /// Input/temporal SRAM buffers on the logic die.
+    pub logic_pim_buffers_mm2: f64,
+    /// Softmax + activation unit on the logic die.
+    pub logic_pim_softmax_mm2: f64,
+    /// Added TSV area.
+    pub logic_pim_tsv_mm2: f64,
+    /// Reference HBM3 logic-die area.
+    pub hbm3_logic_die_mm2: f64,
+    /// BankGroup-PIM processing-unit area (DRAM process, per stack).
+    pub bank_group_pim_mm2: f64,
+    /// Bank-PIM processing-unit area (DRAM process, per stack).
+    pub bank_pim_mm2: f64,
+}
+
+impl AreaModel {
+    /// The paper's synthesized values.
+    pub fn micro24() -> Self {
+        Self {
+            logic_pim_gemm_mm2: 3.02,
+            logic_pim_buffers_mm2: 2.26,
+            logic_pim_softmax_mm2: 1.64,
+            logic_pim_tsv_mm2: 10.89,
+            hbm3_logic_die_mm2: 121.0,
+            bank_group_pim_mm2: 26.0,
+            bank_pim_mm2: 20.0,
+        }
+    }
+
+    /// Total Logic-PIM overhead per stack (17.80 mm² in the paper).
+    pub fn logic_pim_total_mm2(&self) -> f64 {
+        self.logic_pim_gemm_mm2
+            + self.logic_pim_buffers_mm2
+            + self.logic_pim_softmax_mm2
+            + self.logic_pim_tsv_mm2
+    }
+
+    /// Logic-PIM overhead as a fraction of the HBM3 logic die
+    /// (14.71% in the paper).
+    pub fn logic_pim_overhead_fraction(&self) -> f64 {
+        self.logic_pim_total_mm2() / self.hbm3_logic_die_mm2
+    }
+
+    /// Processing-area overhead per stack for a PIM engine kind.
+    ///
+    /// # Panics
+    ///
+    /// Panics for [`EngineKind::Xpu`], which is not a PIM overhead.
+    pub fn pim_area_mm2(&self, kind: EngineKind) -> f64 {
+        match kind {
+            EngineKind::LogicPim => self.logic_pim_total_mm2(),
+            EngineKind::BankGroupPim => self.bank_group_pim_mm2,
+            EngineKind::BankPim => self.bank_pim_mm2,
+            EngineKind::Xpu => panic!("xPU is not a PIM area overhead"),
+        }
+    }
+}
+
+impl Default for AreaModel {
+    fn default() -> Self {
+        Self::micro24()
+    }
+}
+
+/// Energy-delay-area product, the metric of Fig. 8.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Edap {
+    /// Energy in joules.
+    pub energy_j: f64,
+    /// Delay in seconds.
+    pub delay_s: f64,
+    /// Area in mm².
+    pub area_mm2: f64,
+}
+
+impl Edap {
+    /// The product E·D·A (J·s·mm²).
+    pub fn value(&self) -> f64 {
+        self.energy_j * self.delay_s * self.area_mm2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_match_paper() {
+        let a = AreaModel::micro24();
+        assert!((a.logic_pim_total_mm2() - 17.81).abs() < 0.02);
+        let frac = a.logic_pim_overhead_fraction();
+        assert!((frac - 0.1471).abs() < 0.002, "got {frac}");
+    }
+
+    #[test]
+    fn dram_process_units_cost_more_area_than_logic_units() {
+        let a = AreaModel::micro24();
+        // Compare compute-only area (exclude TSVs, which BankGroup-PIM
+        // does not need): 6.92 mm² of logic vs 30 mm² of DRAM die.
+        let logic_compute =
+            a.logic_pim_gemm_mm2 + a.logic_pim_buffers_mm2 + a.logic_pim_softmax_mm2;
+        assert!(a.bank_group_pim_mm2 > 3.0 * logic_compute);
+    }
+
+    #[test]
+    fn edap_multiplies() {
+        let e = Edap { energy_j: 2.0, delay_s: 3.0, area_mm2: 4.0 };
+        assert_eq!(e.value(), 24.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a PIM")]
+    fn xpu_has_no_pim_area() {
+        AreaModel::micro24().pim_area_mm2(EngineKind::Xpu);
+    }
+}

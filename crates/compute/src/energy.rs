@@ -1,0 +1,89 @@
+//! Compute-side energy constants.
+//!
+//! The paper synthesizes its arithmetic units with a 7 nm predictive
+//! PDK (ASAP7) and models SRAM buffers with FinCACTI (Sec. VI). We
+//! encode the resulting energy-per-operation figures directly. The
+//! interesting *relative* facts, which the tests pin down, are:
+//!
+//! * Logic-PIM MACs are cheaper per FLOP than the xPU's tensor pipeline
+//!   (lower frequency, shorter data movement from the TSV buffer);
+//! * in-DRAM MACs (Bank-PIM / BankGroup-PIM) pay the DRAM-process
+//!   penalty, landing between the two, with Bank-PIM worst because its
+//!   units are the most area-constrained and replicated per bank.
+
+use crate::spec::EngineKind;
+
+/// Per-engine compute energy in picojoules per FLOP (FP16, including
+/// local SRAM/register movement).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ComputeEnergy {
+    /// xPU tensor-core pipeline, pJ/FLOP.
+    pub xpu_pj_per_flop: f64,
+    /// Logic-PIM GEMM modules on the logic die, pJ/FLOP.
+    pub logic_pim_pj_per_flop: f64,
+    /// BankGroup-PIM units on the DRAM die, pJ/FLOP.
+    pub bank_group_pim_pj_per_flop: f64,
+    /// In-bank units, pJ/FLOP.
+    pub bank_pim_pj_per_flop: f64,
+}
+
+impl ComputeEnergy {
+    /// 7 nm-era constants used by the evaluation.
+    pub fn asap7() -> Self {
+        Self {
+            xpu_pj_per_flop: 0.80,
+            logic_pim_pj_per_flop: 0.40,
+            bank_group_pim_pj_per_flop: 0.55,
+            bank_pim_pj_per_flop: 0.70,
+        }
+    }
+
+    /// pJ/FLOP for `kind`.
+    pub fn pj_per_flop(&self, kind: EngineKind) -> f64 {
+        match kind {
+            EngineKind::Xpu => self.xpu_pj_per_flop,
+            EngineKind::LogicPim => self.logic_pim_pj_per_flop,
+            EngineKind::BankGroupPim => self.bank_group_pim_pj_per_flop,
+            EngineKind::BankPim => self.bank_pim_pj_per_flop,
+        }
+    }
+
+    /// Joules to execute `flops` floating-point operations on `kind`.
+    pub fn energy_j(&self, kind: EngineKind, flops: f64) -> f64 {
+        flops * self.pj_per_flop(kind) * 1e-12
+    }
+}
+
+impl Default for ComputeEnergy {
+    fn default() -> Self {
+        Self::asap7()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn logic_pim_is_cheapest_per_flop() {
+        let e = ComputeEnergy::asap7();
+        assert!(e.logic_pim_pj_per_flop < e.xpu_pj_per_flop);
+        assert!(e.logic_pim_pj_per_flop < e.bank_group_pim_pj_per_flop);
+        assert!(e.logic_pim_pj_per_flop < e.bank_pim_pj_per_flop);
+    }
+
+    #[test]
+    fn dram_process_units_pay_a_penalty() {
+        let e = ComputeEnergy::asap7();
+        assert!(e.bank_group_pim_pj_per_flop > e.logic_pim_pj_per_flop);
+        assert!(e.bank_pim_pj_per_flop > e.bank_group_pim_pj_per_flop);
+    }
+
+    #[test]
+    fn energy_scales_with_flops() {
+        let e = ComputeEnergy::asap7();
+        let one = e.energy_j(EngineKind::Xpu, 1e12);
+        assert!((one - 0.8).abs() < 1e-12);
+        assert!((e.energy_j(EngineKind::Xpu, 2e12) - 2.0 * one).abs() < 1e-12);
+    }
+}

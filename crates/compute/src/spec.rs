@@ -1,0 +1,187 @@
+//! Engine specifications.
+//!
+//! Each engine is characterized by its peak FP16 throughput, how that
+//! throughput degrades for skinny GEMMs (tensor-core tile quantization
+//! on the xPU; near-immediate saturation for the PIM GEMM modules), a
+//! per-kernel dispatch overhead, and the [`duplex_hbm::AccessPath`] it
+//! reads DRAM through.
+
+use duplex_hbm::AccessPath;
+
+/// Which processing-unit family an engine belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EngineKind {
+    /// H100-class accelerator die (high Op/B).
+    Xpu,
+    /// GEMM modules on the HBM logic die (Duplex's low-Op/B unit).
+    LogicPim,
+    /// In-bank PIM baseline (extremely low Op/B).
+    BankPim,
+    /// Logic-PIM's configuration implemented on the DRAM die.
+    BankGroupPim,
+}
+
+impl EngineKind {
+    /// The DRAM access path this engine reads through.
+    pub fn access_path(&self) -> AccessPath {
+        match self {
+            EngineKind::Xpu => AccessPath::Xpu,
+            EngineKind::LogicPim => AccessPath::LogicPim,
+            EngineKind::BankPim => AccessPath::BankPim,
+            EngineKind::BankGroupPim => AccessPath::BankGroupPim,
+        }
+    }
+}
+
+impl std::fmt::Display for EngineKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            EngineKind::Xpu => "xPU",
+            EngineKind::LogicPim => "Logic-PIM",
+            EngineKind::BankPim => "Bank-PIM",
+            EngineKind::BankGroupPim => "BankGroup-PIM",
+        };
+        f.write_str(name)
+    }
+}
+
+/// Performance description of one engine at device scope (all stacks).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EngineSpec {
+    /// Engine family.
+    pub kind: EngineKind,
+    /// Peak dense FP16 throughput in FLOP/s at device scope.
+    pub peak_flops: f64,
+    /// Fraction of peak reachable by large, well-tiled GEMMs.
+    pub base_efficiency: f64,
+    /// GEMM `m` (token) dimension at which efficiency saturates.
+    /// Below this the engine runs at `base_efficiency * m / m_saturation`
+    /// (floored at `min_efficiency`).
+    pub m_saturation: f64,
+    /// Efficiency floor for degenerate shapes (GEMV on tensor cores
+    /// falls back to vector ALUs, etc.).
+    pub min_efficiency: f64,
+    /// Fixed per-kernel dispatch overhead in seconds.
+    pub launch_overhead_s: f64,
+    /// Operating frequency in GHz (1 GHz xPU, 0.65 GHz Logic-PIM per
+    /// Sec. VI; informational, the FLOP/s already account for it).
+    pub frequency_ghz: f64,
+}
+
+impl EngineSpec {
+    /// H100-class xPU: 989 TFLOPS dense FP16, tensor cores that need
+    /// a reasonably tall `m` to reach ~80% of peak, ~3 us kernel launch.
+    pub fn h100_xpu() -> Self {
+        Self {
+            kind: EngineKind::Xpu,
+            peak_flops: 989e12,
+            base_efficiency: 0.80,
+            m_saturation: 32.0,
+            min_efficiency: 0.05,
+            launch_overhead_s: 3e-6,
+            frequency_ghz: 1.0,
+        }
+    }
+
+    /// Logic-PIM at device scope: 32 GEMM modules x 512 FP16 MACs
+    /// x 650 MHz per stack = 21.3 TFLOPS/stack, five stacks per device
+    /// (Sec. VI / Sec. VII-E). The vector-style modules saturate almost
+    /// immediately in `m`.
+    pub fn logic_pim(stacks: u32) -> Self {
+        let per_stack = 32.0 * 512.0 * 2.0 * 0.65e9; // = 21.3 TFLOPS
+        Self {
+            kind: EngineKind::LogicPim,
+            peak_flops: per_stack * f64::from(stacks),
+            base_efficiency: 0.85,
+            m_saturation: 1.0,
+            min_efficiency: 0.85,
+            launch_overhead_s: 2e-6,
+            frequency_ghz: 0.65,
+        }
+    }
+
+    /// Bank-PIM at device scope: 16x conventional peak bandwidth with a
+    /// peak Op/B of one (Sec. VI), i.e. FLOP/s equal to bytes/s.
+    pub fn bank_pim(stacks: u32) -> Self {
+        // Conventional stack peak: 32 pCH x 32 B / 1.5 ns = 683 GB/s.
+        let conventional_stack_bw = 32.0 * 32.0 / 1.5e-9;
+        Self {
+            kind: EngineKind::BankPim,
+            peak_flops: 16.0 * conventional_stack_bw * f64::from(stacks),
+            base_efficiency: 0.90,
+            m_saturation: 1.0,
+            min_efficiency: 0.90,
+            launch_overhead_s: 2e-6,
+            frequency_ghz: 0.35,
+        }
+    }
+
+    /// BankGroup-PIM: Logic-PIM's bandwidth and compute on the DRAM die
+    /// (Sec. VI). Performance-identical to Logic-PIM; it differs in area
+    /// and energy.
+    pub fn bank_group_pim(stacks: u32) -> Self {
+        Self { kind: EngineKind::BankGroupPim, ..Self::logic_pim(stacks) }
+    }
+
+    /// Effective FLOP/s for a GEMM whose token dimension is `m`.
+    pub fn effective_flops(&self, m: u64) -> f64 {
+        let scale = (m as f64 / self.m_saturation).min(1.0);
+        let eff = (self.base_efficiency * scale).max(self.min_efficiency);
+        self.peak_flops * eff
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn logic_pim_matches_paper_per_stack_flops() {
+        let spec = EngineSpec::logic_pim(1);
+        assert!((spec.peak_flops / 1e12 - 21.3).abs() < 0.2, "got {}", spec.peak_flops / 1e12);
+    }
+
+    #[test]
+    fn five_stack_device_totals() {
+        let pim = EngineSpec::logic_pim(5);
+        assert!((pim.peak_flops / 1e12 - 106.5).abs() < 1.0);
+        let bank = EngineSpec::bank_pim(5);
+        // 16 x 683 GB/s x 5 = ~54.6 TFLOP/s at Op/B 1.
+        assert!((bank.peak_flops / 1e12 - 54.6).abs() < 1.0, "got {}", bank.peak_flops / 1e12);
+    }
+
+    #[test]
+    fn xpu_dwarfs_pim_compute() {
+        let xpu = EngineSpec::h100_xpu();
+        let pim = EngineSpec::logic_pim(5);
+        assert!(xpu.peak_flops > 9.0 * pim.peak_flops);
+    }
+
+    #[test]
+    fn efficiency_curve_monotone_and_bounded() {
+        let xpu = EngineSpec::h100_xpu();
+        let mut prev = 0.0;
+        for m in [1u64, 2, 4, 8, 16, 32, 64, 4096] {
+            let f = xpu.effective_flops(m);
+            assert!(f >= prev);
+            assert!(f <= xpu.peak_flops);
+            prev = f;
+        }
+        assert!(xpu.effective_flops(1) >= xpu.peak_flops * xpu.min_efficiency * 0.999);
+        assert!((xpu.effective_flops(4096) - xpu.peak_flops * 0.8).abs() < 1e6);
+    }
+
+    #[test]
+    fn pim_saturates_immediately() {
+        let pim = EngineSpec::logic_pim(5);
+        assert_eq!(pim.effective_flops(1), pim.effective_flops(1024));
+    }
+
+    #[test]
+    fn access_paths_line_up() {
+        assert_eq!(EngineKind::Xpu.access_path(), AccessPath::Xpu);
+        assert_eq!(EngineKind::LogicPim.access_path(), AccessPath::LogicPim);
+        assert_eq!(EngineKind::BankPim.access_path(), AccessPath::BankPim);
+        assert_eq!(EngineKind::BankGroupPim.access_path(), AccessPath::BankGroupPim);
+    }
+}

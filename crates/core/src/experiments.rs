@@ -1,0 +1,797 @@
+//! Parameter sweeps that regenerate every table and figure of the
+//! paper's evaluation. The `duplex-bench` binaries print these; the
+//! functions here return structured rows so tests and notebooks can
+//! consume them too.
+//!
+//! Each function documents which figure it reproduces and the workload
+//! behind it. Absolute numbers will not match the authors' testbed —
+//! the substrate is a model, not their silicon — but the *shape* (who
+//! wins, by what factor, where crossovers fall) is the reproduction
+//! target, and `tests/integration_paper_claims.rs` pins it.
+
+use duplex_compute::kernel::GemmShape;
+use duplex_compute::{AreaModel, Edap, Engine};
+use duplex_model::ops::StageShape;
+use duplex_model::ModelConfig;
+use duplex_sched::Workload;
+use duplex_system::{SplitSimulation, SystemConfig, SystemExecutor};
+
+use crate::{run, RunConfig, RunResult};
+
+/// Controls how much work the sweeps do. [`Scale::paper`] runs the
+/// paper's sizes; [`Scale::quick`] shrinks sequence lengths and request
+/// counts for CI and smoke tests.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Scale {
+    /// Sequence lengths are divided by this factor.
+    pub shrink: u64,
+    /// Requests simulated per unit of batch size.
+    pub requests_per_batch: f64,
+    /// Extra stages beyond the expected decode count before truncation.
+    pub stage_slack: usize,
+}
+
+impl Scale {
+    /// Full paper-sized sweeps (minutes of wall clock in release mode).
+    pub fn paper() -> Self {
+        Self { shrink: 1, requests_per_batch: 1.25, stage_slack: 300 }
+    }
+
+    /// Shrunk sweeps for tests (seconds of wall clock).
+    pub fn quick() -> Self {
+        Self { shrink: 8, requests_per_batch: 1.0, stage_slack: 64 }
+    }
+
+    fn len(&self, tokens: u64) -> u64 {
+        (tokens / self.shrink).max(8)
+    }
+
+    fn requests(&self, batch: usize) -> usize {
+        ((batch as f64 * self.requests_per_batch).ceil() as usize).max(batch + 1)
+    }
+
+    fn run_config(
+        &self,
+        model: ModelConfig,
+        system: SystemConfig,
+        lin: u64,
+        lout: u64,
+        batch: usize,
+    ) -> RunConfig {
+        let lin = self.len(lin);
+        let lout = self.len(lout);
+        let mut cfg = RunConfig::closed_loop(
+            model,
+            system,
+            Workload::gaussian(lin, lout),
+            batch,
+            self.requests(batch),
+        );
+        cfg.max_stages = lout as usize * 2 + self.stage_slack;
+        cfg
+    }
+}
+
+impl Default for Scale {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+// ---------------------------------------------------------------- Table I
+
+/// One row of Table I.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelRow {
+    /// Model name.
+    pub name: String,
+    /// Parameter count in billions.
+    pub params_b: f64,
+    /// Decoder blocks.
+    pub layers: u32,
+    /// Hidden dimension.
+    pub hidden: u64,
+    /// FFN intermediate dimension.
+    pub intermediate: u64,
+    /// Attention heads.
+    pub heads: u32,
+    /// GQA group degree (1 = MHA).
+    pub deg_grp: u32,
+    /// Experts per MoE layer (0 = dense).
+    pub n_experts: u32,
+    /// Experts chosen per token.
+    pub top_k: u32,
+    /// KV bytes per token of context.
+    pub kv_bytes_per_token: u64,
+}
+
+/// Table I: the evaluated model configurations.
+pub fn table1() -> Vec<ModelRow> {
+    ModelConfig::table1()
+        .into_iter()
+        .map(|m| ModelRow {
+            params_b: m.param_count() as f64 / 1e9,
+            layers: m.n_layers,
+            hidden: m.hidden,
+            intermediate: m.intermediate,
+            heads: m.n_heads,
+            deg_grp: m.deg_grp,
+            n_experts: m.n_experts,
+            top_k: m.top_k,
+            kv_bytes_per_token: m.kv_bytes_per_token(),
+            name: m.name,
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------- Fig. 4
+
+/// One bar of Fig. 4(a): normalized execution-time breakdown of a stage
+/// on the GPU system.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BreakdownRow {
+    /// Model name.
+    pub model: String,
+    /// Batch size.
+    pub batch: usize,
+    /// Response length Lout the stage sits in the middle of.
+    pub lout: u64,
+    /// Mixed or decoding-only stage.
+    pub mixed: bool,
+    /// Fractions summing to 1: FC, attention (prefill), attention
+    /// (decode), MoE, communication.
+    pub fractions: [f64; 5],
+    /// Absolute stage seconds.
+    pub seconds: f64,
+}
+
+/// Fig. 4(a): execution-time breakdown on the GPU system, Lin = 2048.
+pub fn fig04_breakdown(scale: &Scale) -> Vec<BreakdownRow> {
+    let lin = scale.len(2048);
+    let mut rows = Vec::new();
+    for model in [ModelConfig::mixtral_8x7b(), ModelConfig::glam()] {
+        let (devices, nodes) = SystemConfig::default_cluster(&model);
+        let mut ex = SystemExecutor::new(SystemConfig::gpu(devices, nodes), model.clone(), 7);
+        for batch in [32usize, 64, 128] {
+            for lout in [256u64, 1024, 4096] {
+                let lout_s = scale.len(lout);
+                let ctx = lin + lout_s / 2;
+                for mixed in [false, true] {
+                    let shape = if mixed {
+                        StageShape::mixed(&vec![ctx; batch - 1], &[lin])
+                    } else {
+                        StageShape::decode_only(&vec![ctx; batch])
+                    };
+                    let c = ex.stage_cost(&shape);
+                    let t = c.time;
+                    let total = t.total().max(f64::MIN_POSITIVE);
+                    rows.push(BreakdownRow {
+                        model: model.name.clone(),
+                        batch,
+                        lout,
+                        mixed,
+                        fractions: [
+                            t.fc / total,
+                            t.attn_prefill / total,
+                            t.attn_decode / total,
+                            t.moe / total,
+                            t.comm / total,
+                        ],
+                        seconds: c.seconds,
+                    });
+                }
+            }
+        }
+    }
+    rows
+}
+
+/// One point of the Fig. 4(b) roofline: an operation class's aggregate
+/// Op/B and achieved TFLOPS on the GPU system.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RooflineRow {
+    /// Model name.
+    pub model: String,
+    /// Batch size.
+    pub batch: usize,
+    /// "FC", "MoE" or "Attention".
+    pub op: &'static str,
+    /// Aggregate arithmetic intensity (FLOP per DRAM byte).
+    pub op_b: f64,
+    /// Achieved TFLOP/s on the GPU system.
+    pub tflops: f64,
+}
+
+/// Fig. 4(b): roofline coordinates of FC / MoE / attention in a
+/// decoding-only stage (Lin = 2048, Lout = 1024 midpoint).
+pub fn fig04_roofline(scale: &Scale) -> Vec<RooflineRow> {
+    let lin = scale.len(2048);
+    let ctx = lin + scale.len(1024) / 2;
+    let mut rows = Vec::new();
+    for model in [ModelConfig::mixtral_8x7b(), ModelConfig::glam()] {
+        let (devices, nodes) = SystemConfig::default_cluster(&model);
+        for batch in [32usize, 64, 128] {
+            let mut ex =
+                SystemExecutor::new(SystemConfig::gpu(devices, nodes), model.clone(), 7);
+            let shape = StageShape::decode_only(&vec![ctx; batch]);
+            let c = ex.stage_cost(&shape);
+            // Reconstruct aggregate flops/bytes per class from the model.
+            let work = duplex_model::ops::enumerate_stage(
+                &model,
+                &shape,
+                &duplex_model::ExpertRouter::uniform(model.n_experts.max(1), model.top_k.max(1)),
+                &mut <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(7),
+            );
+            let bpe = model.bytes_per_elem;
+            let fc_flops: f64 =
+                work.fc_ops.iter().map(|f| f.shape.flops() * f.count as f64).sum();
+            let fc_bytes: f64 = work
+                .fc_ops
+                .iter()
+                .map(|f| (f.weight_bytes(bpe) * f.count) as f64)
+                .sum();
+            let attn_flops: f64 = work.attn.iter().map(|a| a.flops() * a.count as f64).sum();
+            let attn_bytes: f64 = work
+                .attn
+                .iter()
+                .map(|a| (a.kv_dram_bytes(bpe) * a.count) as f64)
+                .sum();
+            let mut push = |op, flops: f64, bytes: f64, secs: f64| {
+                if bytes > 0.0 && secs > 0.0 {
+                    rows.push(RooflineRow {
+                        model: model.name.clone(),
+                        batch,
+                        op,
+                        op_b: flops / bytes,
+                        tflops: flops / secs / 1e12,
+                    });
+                }
+            };
+            push("FC", fc_flops, fc_bytes, c.time.fc);
+            push("Attention", attn_flops, attn_bytes, c.time.attn_decode);
+            if model.is_moe() {
+                let expert_bytes = model.ffn_params() * bpe;
+                let (mut moe_flops, mut moe_bytes) = (0.0f64, 0.0f64);
+                for layer in &work.moe {
+                    for &t in &layer.expert_tokens {
+                        if t > 0 {
+                            let e = duplex_model::ops::ExpertWork::for_tokens(&model, t);
+                            moe_flops += e.flops();
+                            moe_bytes += expert_bytes as f64;
+                        }
+                    }
+                }
+                push("MoE", moe_flops, moe_bytes, c.time.moe);
+            }
+        }
+    }
+    rows
+}
+
+// ---------------------------------------------------------------- Fig. 5
+
+/// One bar of Fig. 5(a): decoding-only stage fraction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StageRatioRow {
+    /// Prompt length.
+    pub lin: u64,
+    /// Response length.
+    pub lout: u64,
+    /// Batch size.
+    pub batch: usize,
+    /// Fraction of stages that are decoding-only.
+    pub decode_only_fraction: f64,
+}
+
+/// Fig. 5(a): ratio of decoding-only to mixed stages for Mixtral on the
+/// GPU system.
+pub fn fig05_stage_ratio(scale: &Scale) -> Vec<StageRatioRow> {
+    let model = ModelConfig::mixtral_8x7b();
+    let mut rows = Vec::new();
+    for batch in [32usize, 64, 128] {
+        for (lin, lout) in [(256, 256), (256, 2048), (2048, 256), (2048, 2048)] {
+            let cfg = scale.run_config(model.clone(), SystemConfig::gpu(4, 1), lin, lout, batch);
+            let r = run(cfg);
+            rows.push(StageRatioRow {
+                lin,
+                lout,
+                batch,
+                decode_only_fraction: r.report.decode_only_fraction(),
+            });
+        }
+    }
+    rows
+}
+
+/// Latency comparison row used by Figs. 5(b), 12, 13 and 16.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LatencyRow {
+    /// System name.
+    pub system: String,
+    /// Prompt length (or QPS for Fig. 13, context for others).
+    pub lin: u64,
+    /// Response length.
+    pub lout: u64,
+    /// TBT p50/p90/p99 in seconds.
+    pub tbt: [f64; 3],
+    /// T2FT p50 in seconds.
+    pub t2ft_p50: f64,
+    /// E2E p50 in seconds.
+    pub e2e_p50: f64,
+    /// Generation throughput in tokens/s.
+    pub throughput: f64,
+}
+
+impl LatencyRow {
+    fn of(lin: u64, lout: u64, r: &RunResult) -> Self {
+        Self {
+            system: r.system_name.clone(),
+            lin,
+            lout,
+            tbt: [r.tbt.p50, r.tbt.p90, r.tbt.p99],
+            t2ft_p50: r.t2ft.p50,
+            e2e_p50: r.e2e.p50,
+            throughput: r.throughput_tokens_per_s,
+        }
+    }
+}
+
+/// Fig. 5(b): GPU (4 devices) vs heterogeneous (2 GPU + 2 Logic-PIM)
+/// latency on Mixtral, batch 32.
+pub fn fig05_hetero_latency(scale: &Scale) -> Vec<LatencyRow> {
+    let model = ModelConfig::mixtral_8x7b();
+    let mut rows = Vec::new();
+    for (lin, lout) in [(256, 256), (256, 2048), (2048, 256), (2048, 2048)] {
+        for system in [SystemConfig::gpu(4, 1), SystemConfig::hetero()] {
+            let mut cfg = scale.run_config(model.clone(), system, lin, lout, 32);
+            cfg.max_stages = usize::MAX; // latency runs go to completion
+            let r = run(cfg);
+            rows.push(LatencyRow::of(lin, lout, &r));
+        }
+    }
+    rows
+}
+
+/// One bar of Fig. 5(c): hetero throughput normalized to the GPU
+/// system, with and without the KV-capacity limit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HeteroThroughputRow {
+    /// Prompt length.
+    pub lin: u64,
+    /// Response length.
+    pub lout: u64,
+    /// Hetero throughput / GPU throughput with real capacity.
+    pub normalized: f64,
+    /// Same with KV capacity unconstrained.
+    pub normalized_no_capacity: f64,
+    /// Mean batch the capacity-limited hetero run achieved.
+    pub hetero_mean_batch: f64,
+}
+
+/// Fig. 5(c): the heterogeneous system's throughput penalty from wasted
+/// memory capacity (Mixtral, requested batch 128).
+pub fn fig05_hetero_throughput(scale: &Scale) -> Vec<HeteroThroughputRow> {
+    let model = ModelConfig::mixtral_8x7b();
+    let batch = 128usize;
+    let mut rows = Vec::new();
+    for (lin, lout) in [(2048, 2048), (2048, 4096), (4096, 4096), (8192, 4096)] {
+        let gpu = run(scale.run_config(model.clone(), SystemConfig::gpu(4, 1), lin, lout, batch));
+        let het =
+            run(scale.run_config(model.clone(), SystemConfig::hetero(), lin, lout, batch));
+        let mut unlimited =
+            scale.run_config(model.clone(), SystemConfig::hetero(), lin, lout, batch);
+        unlimited.kv_capacity_override = Some(u64::MAX);
+        let het_unlimited = run(unlimited);
+        rows.push(HeteroThroughputRow {
+            lin,
+            lout,
+            normalized: het.throughput_tokens_per_s / gpu.throughput_tokens_per_s,
+            normalized_no_capacity: het_unlimited.throughput_tokens_per_s
+                / gpu.throughput_tokens_per_s,
+            hetero_mean_batch: het.mean_batch,
+        });
+    }
+    rows
+}
+
+// ---------------------------------------------------------------- Fig. 8
+
+/// One cell of Fig. 8: a PIM architecture's EDAP at one Op/B.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EdapRow {
+    /// "Bank-PIM", "BankGroup-PIM" or "Logic-PIM".
+    pub arch: &'static str,
+    /// GEMM arithmetic intensity (= token count).
+    pub op_b: u64,
+    /// Raw EDAP (J * s * mm^2).
+    pub edap: f64,
+    /// EDAP normalized to the worst architecture at this Op/B.
+    pub normalized: f64,
+}
+
+/// Fig. 8: normalized energy-delay-area product of the three PIM
+/// options for an FP16 GEMM with a 16384 x 4096 weight matrix.
+pub fn fig08_edap() -> Vec<EdapRow> {
+    let area = AreaModel::micro24();
+    let engines: [(&'static str, Engine); 3] = [
+        ("Bank-PIM", Engine::bank_pim()),
+        ("BankGroup-PIM", Engine::bank_group_pim()),
+        ("Logic-PIM", Engine::logic_pim()),
+    ];
+    let mut rows = Vec::new();
+    for op_b in [1u64, 2, 4, 8, 16, 32] {
+        let shape = GemmShape { m: op_b, n: 16384, k: 4096 };
+        let bytes = shape.weight_bytes(2);
+        let cells: Vec<(&'static str, Edap)> = engines
+            .iter()
+            .map(|(name, engine)| {
+                let cost = engine.gemm_cost(shape, bytes);
+                let edap = Edap {
+                    energy_j: cost.total_energy_j(),
+                    delay_s: cost.seconds,
+                    area_mm2: area.pim_area_mm2(engine.spec().kind),
+                };
+                (*name, edap)
+            })
+            .collect();
+        let worst = cells
+            .iter()
+            .map(|(_, e)| e.value())
+            .fold(f64::MIN, f64::max);
+        for (name, edap) in cells {
+            rows.push(EdapRow {
+                arch: name,
+                op_b,
+                edap: edap.value(),
+                normalized: edap.value() / worst,
+            });
+        }
+    }
+    rows
+}
+
+// ---------------------------------------------------------------- Fig. 11 / 14
+
+/// One bar of a throughput figure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ThroughputRow {
+    /// Model name.
+    pub model: String,
+    /// System name.
+    pub system: String,
+    /// Prompt length.
+    pub lin: u64,
+    /// Response length.
+    pub lout: u64,
+    /// Batch size requested.
+    pub batch: usize,
+    /// Tokens per second.
+    pub tokens_per_s: f64,
+    /// Normalized to the GPU system of the same column.
+    pub normalized: f64,
+}
+
+fn throughput_sweep(
+    scale: &Scale,
+    models: &[(ModelConfig, Vec<(u64, u64)>)],
+    batches: &[usize],
+    systems: &dyn Fn(&ModelConfig) -> Vec<SystemConfig>,
+) -> Vec<ThroughputRow> {
+    let mut rows = Vec::new();
+    for (model, pairs) in models {
+        for &batch in batches {
+            for &(lin, lout) in pairs {
+                let mut gpu_tps = None;
+                for system in systems(model) {
+                    let cfg = scale.run_config(model.clone(), system, lin, lout, batch);
+                    let r = run(cfg);
+                    let tps = r.throughput_tokens_per_s;
+                    if gpu_tps.is_none() {
+                        gpu_tps = Some(tps);
+                    }
+                    rows.push(ThroughputRow {
+                        model: model.name.clone(),
+                        system: r.system_name,
+                        lin,
+                        lout,
+                        batch,
+                        tokens_per_s: tps,
+                        normalized: tps / gpu_tps.expect("first system is the GPU baseline"),
+                    });
+                }
+            }
+        }
+    }
+    rows
+}
+
+/// Fig. 11: normalized throughput of GPU / 2xGPU / Duplex / Duplex+PE /
+/// Duplex+PE+ET on Mixtral, GLaM and Grok1.
+pub fn fig11_throughput(scale: &Scale) -> Vec<ThroughputRow> {
+    let models = vec![
+        (
+            ModelConfig::mixtral_8x7b(),
+            vec![(256, 256), (1024, 1024), (4096, 4096)],
+        ),
+        (ModelConfig::glam(), vec![(512, 512), (1024, 1024), (2048, 2048)]),
+        (
+            ModelConfig::grok1(),
+            vec![(256, 256), (1024, 1024), (4096, 4096)],
+        ),
+    ];
+    throughput_sweep(scale, &models, &[32, 64, 128], &|model| {
+        let (d, n) = SystemConfig::default_cluster(model);
+        vec![
+            SystemConfig::gpu(d, n),
+            SystemConfig::gpu(d, n).doubled(),
+            SystemConfig::duplex(d, n),
+            SystemConfig::duplex_pe(d, n),
+            SystemConfig::duplex_pe_et(d, n),
+        ]
+    })
+}
+
+/// Fig. 14: GPU vs Bank-PIM vs Duplex across model classes (MoE+GQA,
+/// dense GQA, dense MHA).
+pub fn fig14_bankpim(scale: &Scale) -> Vec<ThroughputRow> {
+    let models = vec![
+        (
+            ModelConfig::mixtral_8x7b(),
+            vec![(256, 256), (1024, 1024), (4096, 4096)],
+        ),
+        (
+            ModelConfig::llama3_70b(),
+            vec![(256, 256), (512, 512), (1024, 1024)],
+        ),
+        (ModelConfig::opt_66b(), vec![(256, 256), (512, 512), (1024, 1024)]),
+    ];
+    throughput_sweep(scale, &models, &[32, 64], &|model| {
+        let (d, n) = SystemConfig::default_cluster(model);
+        vec![
+            SystemConfig::gpu(d, n),
+            SystemConfig::bank_pim(d, n),
+            SystemConfig::duplex_pe_et(d, n),
+        ]
+    })
+}
+
+// ---------------------------------------------------------------- Fig. 12 / 13
+
+/// Fig. 12: latency of GLaM (batch 64) across systems.
+pub fn fig12_latency(scale: &Scale) -> Vec<LatencyRow> {
+    let model = ModelConfig::glam();
+    let (d, n) = SystemConfig::default_cluster(&model);
+    let systems = [
+        SystemConfig::gpu(d, n),
+        SystemConfig::gpu(d, n).doubled(),
+        SystemConfig::duplex(d, n),
+        SystemConfig::duplex_pe(d, n),
+        SystemConfig::duplex_pe_et(d, n),
+    ];
+    let mut rows = Vec::new();
+    for (lin, lout) in [(512, 512), (1024, 1024), (2048, 2048)] {
+        for system in &systems {
+            let mut cfg = scale.run_config(model.clone(), system.clone(), lin, lout, 64);
+            cfg.max_stages = usize::MAX;
+            let r = run(cfg);
+            rows.push(LatencyRow::of(lin, lout, &r));
+        }
+    }
+    rows
+}
+
+/// One point of Fig. 13: latency under a Poisson arrival rate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QpsRow {
+    /// System name.
+    pub system: String,
+    /// Offered queries per second.
+    pub qps: f64,
+    /// TBT p50/p90/p99 in seconds.
+    pub tbt: [f64; 3],
+    /// T2FT p50.
+    pub t2ft_p50: f64,
+    /// E2E p50.
+    pub e2e_p50: f64,
+}
+
+/// Fig. 13: Mixtral latency vs offered load, (Lin, Lout) = (4096, 512),
+/// max batch 128.
+pub fn fig13_qps(scale: &Scale) -> Vec<QpsRow> {
+    let model = ModelConfig::mixtral_8x7b();
+    let systems = [
+        SystemConfig::gpu(4, 1),
+        SystemConfig::gpu(4, 1).doubled(),
+        SystemConfig::duplex_pe_et(4, 1),
+    ];
+    let lin = scale.len(4096);
+    let lout = scale.len(512);
+    // Scale offered load with the shrink factor so the saturation
+    // crossover stays visible at quick scales.
+    let qps_scale = scale.shrink as f64;
+    let mut rows = Vec::new();
+    for qps_base in [4.0f64, 6.0, 8.0, 10.0, 12.0, 14.0, 16.0] {
+        for system in &systems {
+            let mut cfg = RunConfig::closed_loop(
+                model.clone(),
+                system.clone(),
+                Workload::gaussian(lin, lout),
+                128,
+                scale.requests(128).max(96),
+            );
+            cfg.qps = Some(qps_base * qps_scale);
+            let r = run(cfg);
+            rows.push(QpsRow {
+                system: r.system_name,
+                qps: qps_base,
+                tbt: [r.tbt.p50, r.tbt.p90, r.tbt.p99],
+                t2ft_p50: r.t2ft.p50,
+                e2e_p50: r.e2e.p50,
+            });
+        }
+    }
+    rows
+}
+
+// ---------------------------------------------------------------- Fig. 15
+
+/// One bar of Fig. 15: per-token energy breakdown.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EnergyRow {
+    /// Model name.
+    pub model: String,
+    /// System name ("GPU" or "Duplex").
+    pub system: String,
+    /// Prompt/response length.
+    pub lin: u64,
+    /// Response length.
+    pub lout: u64,
+    /// Batch size.
+    pub batch: usize,
+    /// J/token in buckets: FC DRAM, FC comp, attention DRAM, attention
+    /// comp, MoE DRAM, MoE comp.
+    pub buckets_j: [f64; 6],
+    /// Total J/token.
+    pub total_j: f64,
+}
+
+/// Fig. 15: per-token energy of GPU vs Duplex (+PE+ET) on the MoE
+/// models.
+pub fn fig15_energy(scale: &Scale) -> Vec<EnergyRow> {
+    let models = [
+        (ModelConfig::mixtral_8x7b(), [(256u64, 256u64), (1024, 1024), (4096, 4096)]),
+        (ModelConfig::glam(), [(512, 512), (1024, 1024), (2048, 2048)]),
+        (ModelConfig::grok1(), [(256, 256), (1024, 1024), (4096, 4096)]),
+    ];
+    let mut rows = Vec::new();
+    for (model, pairs) in models {
+        let (d, n) = SystemConfig::default_cluster(&model);
+        for batch in [32usize, 64, 128] {
+            for (lin, lout) in pairs {
+                for system in [SystemConfig::gpu(d, n), SystemConfig::duplex_pe_et(d, n)] {
+                    let cfg = scale.run_config(model.clone(), system, lin, lout, batch);
+                    let r = run(cfg);
+                    let tokens = r.report.generated_tokens().max(1) as f64;
+                    let e = r.cost.energy;
+                    rows.push(EnergyRow {
+                        model: model.name.clone(),
+                        system: r.system_name,
+                        lin,
+                        lout,
+                        batch,
+                        buckets_j: [
+                            e.fc_dram / tokens,
+                            e.fc_comp / tokens,
+                            e.attn_dram / tokens,
+                            e.attn_comp / tokens,
+                            e.moe_dram / tokens,
+                            e.moe_comp / tokens,
+                        ],
+                        total_j: e.total() / tokens,
+                    });
+                }
+            }
+        }
+    }
+    rows
+}
+
+// ---------------------------------------------------------------- Fig. 16
+
+/// Fig. 16: Duplex vs Duplex-Split (Splitwise-style disaggregation),
+/// Mixtral, batch 128.
+pub fn fig16_split(scale: &Scale) -> Vec<LatencyRow> {
+    let model = ModelConfig::mixtral_8x7b();
+    let batch = 128usize;
+    let mut rows = Vec::new();
+    for (lin, lout) in [(256, 256), (1024, 1024), (4096, 4096)] {
+        let mut cfg = scale.run_config(
+            model.clone(),
+            SystemConfig::duplex_pe(4, 1),
+            lin,
+            lout,
+            batch,
+        );
+        cfg.max_stages = usize::MAX;
+        let duplex = run(cfg.clone());
+        rows.push(LatencyRow::of(lin, lout, &duplex));
+
+        let split = SplitSimulation::new(
+            &SystemConfig::duplex_pe(2, 1),
+            model.clone(),
+            2,
+            cfg.workload.clone(),
+            cfg.requests,
+            batch,
+        );
+        let report = split.run();
+        rows.push(LatencyRow {
+            system: "Duplex-Split".into(),
+            lin,
+            lout,
+            tbt: [report.tbt().p50, report.tbt().p90, report.tbt().p99],
+            t2ft_p50: report.t2ft().p50,
+            e2e_p50: report.e2e().p50,
+            throughput: report.generation_throughput(),
+        });
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_matches_paper_params() {
+        let rows = table1();
+        assert_eq!(rows.len(), 5);
+        assert!((rows[0].params_b - 47.0).abs() < 2.0);
+        assert!((rows[1].params_b - 143.0).abs() < 6.0);
+        assert!((rows[2].params_b - 314.0).abs() < 12.0);
+    }
+
+    #[test]
+    fn fig08_shape_matches_paper() {
+        let rows = fig08_edap();
+        let get = |arch: &str, op_b: u64| {
+            rows.iter()
+                .find(|r| r.arch == arch && r.op_b == op_b)
+                .expect("row exists")
+                .normalized
+        };
+        // Bank-PIM is best at Op/B 1, worst at 32 (Fig. 8).
+        assert!(get("Bank-PIM", 1) < 0.5);
+        assert!(get("Bank-PIM", 32) > get("Logic-PIM", 32));
+        // Logic-PIM always beats BankGroup-PIM.
+        for op_b in [1u64, 2, 4, 8, 16, 32] {
+            assert!(
+                get("Logic-PIM", op_b) < get("BankGroup-PIM", op_b),
+                "op_b {op_b}"
+            );
+        }
+    }
+
+    #[test]
+    fn fig04_fractions_sum_to_one() {
+        let rows = fig04_breakdown(&Scale::quick());
+        assert!(!rows.is_empty());
+        for r in &rows {
+            let sum: f64 = r.fractions.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-9, "{r:?}");
+        }
+        // MoE + attention dominate decoding-only stages (Sec. III-A).
+        let decode_rows: Vec<_> = rows.iter().filter(|r| !r.mixed && r.batch == 64).collect();
+        for r in decode_rows {
+            assert!(r.fractions[2] + r.fractions[3] > 0.5, "{r:?}");
+        }
+    }
+
+    #[test]
+    fn quick_scale_shrinks() {
+        let s = Scale::quick();
+        assert_eq!(s.len(2048), 256);
+        assert_eq!(s.len(8), 8);
+        assert!(s.requests(32) >= 33);
+    }
+}

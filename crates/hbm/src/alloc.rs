@@ -1,0 +1,371 @@
+//! Bank-bundle-indexed memory spaces and placement rules (Sec. V-C).
+//!
+//! Duplex divides all device memory into four *memory spaces*, one per
+//! bank-bundle index; each space uses that bundle in every pseudo
+//! channel of every stack. Placement follows the paper:
+//!
+//! * **expert FFN weights** are allocated one by one across the four
+//!   spaces (round-robin), so that expert co-processing can hand whole
+//!   spaces to either xPU or Logic-PIM without bank-bundle conflicts;
+//! * **KV cache** of decoding sequences alternates among *three* of the
+//!   spaces;
+//! * the **remaining space** stores the Q/K/V matrices of prefilling
+//!   sequences (the xPU side of attention co-processing), from which K/V
+//!   are migrated into the KV-cache spaces after the stage;
+//! * **non-expert weights** go wherever there is room (they are only
+//!   touched by the xPU).
+
+use crate::geometry::HbmGeometry;
+
+/// Index of one of the four bank-bundle memory spaces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SpaceIndex(pub u32);
+
+impl SpaceIndex {
+    /// The space reserved for prefill Q/K/V scratch.
+    pub const PREFILL: SpaceIndex = SpaceIndex(3);
+
+    /// The three spaces that hold decode KV cache.
+    pub const KV_SPACES: [SpaceIndex; 3] = [SpaceIndex(0), SpaceIndex(1), SpaceIndex(2)];
+}
+
+impl std::fmt::Display for SpaceIndex {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "space{}", self.0)
+    }
+}
+
+/// What a region of device memory holds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RegionKind {
+    /// Weights used only by the xPU (QKV gen, projection, gates, LM head
+    /// and, for non-MoE models, the dense FFN).
+    SharedWeights,
+    /// One expert FFN's weights.
+    ExpertWeights {
+        /// Decoder-layer index.
+        layer: u32,
+        /// Expert index within the layer.
+        expert: u32,
+    },
+    /// KV cache of one request.
+    KvCache {
+        /// Serving-level request id.
+        request: u64,
+    },
+    /// Q/K/V scratch for prefilling sequences.
+    PrefillScratch,
+}
+
+/// A placed allocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Region {
+    /// What the region holds.
+    pub kind: RegionKind,
+    /// Size in bytes.
+    pub bytes: u64,
+    /// The memory space the region lives in.
+    pub space: SpaceIndex,
+}
+
+/// Errors from memory planning.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemoryPlanError {
+    /// A space cannot fit the requested region.
+    OutOfMemory {
+        /// The space that overflowed.
+        space: SpaceIndex,
+        /// Bytes requested.
+        requested: u64,
+        /// Bytes still free in that space.
+        available: u64,
+    },
+}
+
+impl std::fmt::Display for MemoryPlanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MemoryPlanError::OutOfMemory { space, requested, available } => write!(
+                f,
+                "out of memory in {space}: requested {requested} bytes, {available} available"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for MemoryPlanError {}
+
+/// Byte-accounting allocator over the four memory spaces of one device.
+///
+/// # Examples
+///
+/// ```
+/// use duplex_hbm::{HbmGeometry, MemoryLayout, RegionKind};
+///
+/// let mut layout = MemoryLayout::new(&HbmGeometry::hbm3_8hi(), 5);
+/// // 80 GB device => 20 GB per space.
+/// assert_eq!(layout.space_capacity(), 20 << 30);
+/// let region = layout.alloc_expert(0, 0, 1 << 30)?;
+/// assert_eq!(region.space.0, 0);
+/// # Ok::<(), duplex_hbm::MemoryPlanError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct MemoryLayout {
+    space_capacity: u64,
+    used: [u64; 4],
+    regions: Vec<Region>,
+    next_expert_space: u32,
+    next_kv_space: u32,
+}
+
+impl MemoryLayout {
+    /// Allocator for a device with `stacks` HBM stacks of `geom`.
+    pub fn new(geom: &HbmGeometry, stacks: u32) -> Self {
+        let device_bytes = geom.capacity_bytes * u64::from(stacks);
+        Self {
+            space_capacity: device_bytes / 4,
+            used: [0; 4],
+            regions: Vec::new(),
+            next_expert_space: 0,
+            next_kv_space: 0,
+        }
+    }
+
+    /// Capacity of each memory space in bytes.
+    pub fn space_capacity(&self) -> u64 {
+        self.space_capacity
+    }
+
+    /// Total bytes used across all spaces.
+    pub fn used_bytes(&self) -> u64 {
+        self.used.iter().sum()
+    }
+
+    /// Total bytes free across all spaces.
+    pub fn free_bytes(&self) -> u64 {
+        self.space_capacity * 4 - self.used_bytes()
+    }
+
+    /// Bytes free in one space.
+    pub fn space_free(&self, space: SpaceIndex) -> u64 {
+        self.space_capacity - self.used[space.0 as usize]
+    }
+
+    /// All placed regions.
+    pub fn regions(&self) -> &[Region] {
+        &self.regions
+    }
+
+    fn place(&mut self, kind: RegionKind, bytes: u64, space: SpaceIndex) -> Result<Region, MemoryPlanError> {
+        let free = self.space_free(space);
+        if bytes > free {
+            return Err(MemoryPlanError::OutOfMemory { space, requested: bytes, available: free });
+        }
+        self.used[space.0 as usize] += bytes;
+        let region = Region { kind, bytes, space };
+        self.regions.push(region);
+        Ok(region)
+    }
+
+    /// Place one expert FFN's weights; experts round-robin across all
+    /// four spaces.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemoryPlanError::OutOfMemory`] if the chosen space is
+    /// full.
+    pub fn alloc_expert(&mut self, layer: u32, expert: u32, bytes: u64) -> Result<Region, MemoryPlanError> {
+        let space = SpaceIndex(self.next_expert_space);
+        self.next_expert_space = (self.next_expert_space + 1) % 4;
+        self.place(RegionKind::ExpertWeights { layer, expert }, bytes, space)
+    }
+
+    /// Place a request's KV cache; requests alternate among the three
+    /// KV spaces.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemoryPlanError::OutOfMemory`] if the chosen space is
+    /// full.
+    pub fn alloc_kv(&mut self, request: u64, bytes: u64) -> Result<Region, MemoryPlanError> {
+        let space = SpaceIndex::KV_SPACES[self.next_kv_space as usize];
+        self.next_kv_space = (self.next_kv_space + 1) % SpaceIndex::KV_SPACES.len() as u32;
+        self.place(RegionKind::KvCache { request }, bytes, space)
+    }
+
+    /// Place prefill Q/K/V scratch in the dedicated space.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemoryPlanError::OutOfMemory`] if the prefill space is
+    /// full.
+    pub fn alloc_prefill_scratch(&mut self, bytes: u64) -> Result<Region, MemoryPlanError> {
+        self.place(RegionKind::PrefillScratch, bytes, SpaceIndex::PREFILL)
+    }
+
+    /// Place xPU-only weights in the least-used space.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemoryPlanError::OutOfMemory`] if even the least-used
+    /// space cannot fit the region.
+    pub fn alloc_shared(&mut self, bytes: u64) -> Result<Region, MemoryPlanError> {
+        let space = SpaceIndex(
+            (0..4u32)
+                .min_by_key(|s| self.used[*s as usize])
+                .expect("four spaces"),
+        );
+        self.place(RegionKind::SharedWeights, bytes, space)
+    }
+
+    /// Release every region that satisfies `predicate`, returning the
+    /// number of bytes freed.
+    pub fn free_where<F: FnMut(&Region) -> bool>(&mut self, mut predicate: F) -> u64 {
+        let mut freed = 0;
+        self.regions.retain(|r| {
+            if predicate(r) {
+                freed += r.bytes;
+                false
+            } else {
+                true
+            }
+        });
+        // Recompute per-space usage from surviving regions.
+        let mut used = [0u64; 4];
+        for r in &self.regions {
+            used[r.space.0 as usize] += r.bytes;
+        }
+        self.used = used;
+        freed
+    }
+
+    /// Release the KV cache of one request, returning bytes freed.
+    pub fn free_kv(&mut self, request: u64) -> u64 {
+        self.free_where(|r| matches!(r.kind, RegionKind::KvCache { request: rq } if rq == request))
+    }
+
+    /// Release all prefill scratch, returning bytes freed.
+    pub fn free_prefill_scratch(&mut self) -> u64 {
+        self.free_where(|r| matches!(r.kind, RegionKind::PrefillScratch))
+    }
+
+    /// The spaces currently holding expert weights, useful for checking
+    /// that an expert-co-processing split keeps xPU and Logic-PIM on
+    /// disjoint bundles.
+    pub fn expert_spaces(&self) -> Vec<SpaceIndex> {
+        let mut spaces: Vec<SpaceIndex> = self
+            .regions
+            .iter()
+            .filter(|r| matches!(r.kind, RegionKind::ExpertWeights { .. }))
+            .map(|r| r.space)
+            .collect();
+        spaces.sort();
+        spaces.dedup();
+        spaces
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn layout() -> MemoryLayout {
+        MemoryLayout::new(&HbmGeometry::hbm3_8hi(), 5)
+    }
+
+    #[test]
+    fn device_capacity_splits_into_four_spaces() {
+        let l = layout();
+        assert_eq!(l.space_capacity(), 20 << 30);
+        assert_eq!(l.free_bytes(), 80 << 30);
+    }
+
+    #[test]
+    fn experts_round_robin_across_spaces() {
+        let mut l = layout();
+        let spaces: Vec<u32> = (0..8)
+            .map(|e| l.alloc_expert(0, e, 1 << 20).expect("fits").space.0)
+            .collect();
+        assert_eq!(spaces, vec![0, 1, 2, 3, 0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn kv_uses_only_three_spaces() {
+        let mut l = layout();
+        for r in 0..9 {
+            let region = l.alloc_kv(r, 1 << 20).expect("fits");
+            assert_ne!(region.space, SpaceIndex::PREFILL);
+        }
+        assert_eq!(l.space_free(SpaceIndex::PREFILL), l.space_capacity());
+    }
+
+    #[test]
+    fn prefill_scratch_in_dedicated_space() {
+        let mut l = layout();
+        let r = l.alloc_prefill_scratch(1 << 20).expect("fits");
+        assert_eq!(r.space, SpaceIndex::PREFILL);
+    }
+
+    #[test]
+    fn out_of_memory_is_reported() {
+        let mut l = layout();
+        let cap = l.space_capacity();
+        l.alloc_prefill_scratch(cap).expect("exactly fits");
+        let err = l.alloc_prefill_scratch(1).expect_err("full");
+        match err {
+            MemoryPlanError::OutOfMemory { space, requested, available } => {
+                assert_eq!(space, SpaceIndex::PREFILL);
+                assert_eq!(requested, 1);
+                assert_eq!(available, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn free_kv_restores_capacity() {
+        let mut l = layout();
+        let before = l.free_bytes();
+        l.alloc_kv(7, 1 << 30).expect("fits");
+        l.alloc_kv(8, 1 << 30).expect("fits");
+        assert_eq!(l.free_bytes(), before - (2 << 30));
+        let freed = l.free_kv(7);
+        assert_eq!(freed, 1 << 30);
+        assert_eq!(l.free_bytes(), before - (1 << 30));
+    }
+
+    #[test]
+    fn shared_weights_balance_spaces() {
+        let mut l = layout();
+        l.alloc_expert(0, 0, 4 << 20).expect("fits"); // space0 heavier
+        let r = l.alloc_shared(1 << 20).expect("fits");
+        assert_ne!(r.space.0, 0, "least-used space should be chosen");
+    }
+
+    #[test]
+    fn expert_spaces_deduplicated() {
+        let mut l = layout();
+        for e in 0..8 {
+            l.alloc_expert(0, e, 1 << 20).expect("fits");
+        }
+        let spaces = l.expert_spaces();
+        assert_eq!(spaces.len(), 4);
+    }
+
+    #[test]
+    fn accounting_never_exceeds_capacity() {
+        let mut l = layout();
+        let mut total = 0u64;
+        let mut req = 0u64;
+        loop {
+            match l.alloc_kv(req, 3 << 30) {
+                Ok(r) => {
+                    total += r.bytes;
+                    req += 1;
+                }
+                Err(_) => break,
+            }
+        }
+        assert!(total <= 60 << 30, "KV confined to three spaces");
+        assert!(l.used_bytes() <= 4 * l.space_capacity());
+    }
+}

@@ -1,0 +1,227 @@
+//! DRAM access energy model.
+//!
+//! The paper takes DRAM activation/read/write/TSV energy from O'Connor
+//! et al., *Fine-Grained DRAM* (MICRO 2017) — reference [37]. We encode
+//! that breakdown as per-bit (and per-activation) constants and charge
+//! each access path only for the pipeline segments it actually
+//! traverses:
+//!
+//! | segment              | xPU | Logic-PIM | BankGroup-PIM | Bank-PIM |
+//! |----------------------|-----|-----------|---------------|----------|
+//! | row activation       |  x  |     x     |       x       |    x     |
+//! | array read           |  x  |     x     |       x       |    x     |
+//! | on-die datapath      |  x  |     x     |       x       | (short)  |
+//! | TSV to logic die     |  x  |     x     |               |          |
+//! | PHY + interposer I/O |  x  |           |               |          |
+//!
+//! Skipping the interposer hop is where Duplex's DRAM-energy saving
+//! comes from (Sec. VII-D); Bank-PIM additionally skips the TSVs and
+//! most of the on-die datapath, and BankGroup-PIM stops at the bank
+//! group, which is why it is the cheapest *per bit* despite being the
+//! worst EDAP choice once area enters the picture (Fig. 8).
+
+use crate::stream::AccessPath;
+
+/// Energy constants in picojoules. Values follow the HBM breakdown of
+/// O'Connor et al. (MICRO 2017) scaled to HBM3 supply/process.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DramEnergy {
+    /// Energy of one row activation (1 KB row), in picojoules.
+    pub activation_pj: f64,
+    /// DRAM array read (bitline + sense amp) energy, pJ/bit.
+    pub array_read_pj_per_bit: f64,
+    /// On-die datapath from bank I/O to the TSV region, pJ/bit.
+    pub datapath_pj_per_bit: f64,
+    /// Short local datapath from a bank into its in-bank PU, pJ/bit.
+    pub local_datapath_pj_per_bit: f64,
+    /// TSV traversal to the logic die, pJ/bit.
+    pub tsv_pj_per_bit: f64,
+    /// PHY + interposer I/O to the main compute die, pJ/bit.
+    pub io_pj_per_bit: f64,
+    /// Write premium relative to read (fraction, e.g. 0.1 = +10%).
+    pub write_premium: f64,
+}
+
+impl DramEnergy {
+    /// HBM3 constants used throughout the evaluation.
+    ///
+    /// The xPU total comes to ~4.3 pJ/bit (plus activation), in line
+    /// with published HBM access energies of 3.9–7 pJ/bit; the
+    /// Logic-PIM path saves the ~1.3 pJ/bit interposer hop.
+    pub fn hbm3() -> Self {
+        Self {
+            activation_pj: 1000.0,
+            array_read_pj_per_bit: 1.1,
+            datapath_pj_per_bit: 0.6,
+            local_datapath_pj_per_bit: 0.15,
+            tsv_pj_per_bit: 0.35,
+            io_pj_per_bit: 1.3,
+            write_premium: 0.1,
+        }
+    }
+
+    /// Per-bit transfer energy (excluding activation) for a path, pJ.
+    pub fn transfer_pj_per_bit(&self, path: AccessPath) -> f64 {
+        match path {
+            AccessPath::Xpu => {
+                self.array_read_pj_per_bit
+                    + self.datapath_pj_per_bit
+                    + self.tsv_pj_per_bit
+                    + self.io_pj_per_bit
+            }
+            AccessPath::LogicPim => {
+                self.array_read_pj_per_bit + self.datapath_pj_per_bit + self.tsv_pj_per_bit
+            }
+            AccessPath::BankGroupPim => self.array_read_pj_per_bit + self.datapath_pj_per_bit,
+            AccessPath::BankPim => self.array_read_pj_per_bit + self.local_datapath_pj_per_bit,
+        }
+    }
+}
+
+impl Default for DramEnergy {
+    fn default() -> Self {
+        Self::hbm3()
+    }
+}
+
+/// Itemized DRAM energy for one transfer, in joules.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct EnergyBreakdown {
+    /// Row-activation energy (J).
+    pub activation_j: f64,
+    /// Array + datapath + TSV + I/O transfer energy (J).
+    pub transfer_j: f64,
+}
+
+impl EnergyBreakdown {
+    /// Total joules.
+    pub fn total_j(&self) -> f64 {
+        self.activation_j + self.transfer_j
+    }
+}
+
+impl std::ops::Add for EnergyBreakdown {
+    type Output = EnergyBreakdown;
+    fn add(self, rhs: EnergyBreakdown) -> EnergyBreakdown {
+        EnergyBreakdown {
+            activation_j: self.activation_j + rhs.activation_j,
+            transfer_j: self.transfer_j + rhs.transfer_j,
+        }
+    }
+}
+
+impl std::ops::AddAssign for EnergyBreakdown {
+    fn add_assign(&mut self, rhs: EnergyBreakdown) {
+        *self = *self + rhs;
+    }
+}
+
+/// Computes DRAM energy for transfers over a given path.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct DramEnergyModel {
+    constants: DramEnergy,
+}
+
+impl DramEnergyModel {
+    /// Model with the given constants.
+    pub fn new(constants: DramEnergy) -> Self {
+        Self { constants }
+    }
+
+    /// The constants in use.
+    pub fn constants(&self) -> &DramEnergy {
+        &self.constants
+    }
+
+    /// Energy to read `bytes` over `path`, given `activations_per_byte`
+    /// from the calibrated [`crate::stream::BandwidthProfile`].
+    pub fn read_energy(
+        &self,
+        path: AccessPath,
+        bytes: u64,
+        activations_per_byte: f64,
+    ) -> EnergyBreakdown {
+        let bits = bytes as f64 * 8.0;
+        EnergyBreakdown {
+            activation_j: bytes as f64 * activations_per_byte * self.constants.activation_pj
+                * 1e-12,
+            transfer_j: bits * self.constants.transfer_pj_per_bit(path) * 1e-12,
+        }
+    }
+
+    /// Energy to write `bytes` over `path` (reads plus the write
+    /// premium).
+    pub fn write_energy(
+        &self,
+        path: AccessPath,
+        bytes: u64,
+        activations_per_byte: f64,
+    ) -> EnergyBreakdown {
+        let read = self.read_energy(path, bytes, activations_per_byte);
+        EnergyBreakdown {
+            activation_j: read.activation_j,
+            transfer_j: read.transfer_j * (1.0 + self.constants.write_premium),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn path_energy_ordering() {
+        let e = DramEnergy::hbm3();
+        let xpu = e.transfer_pj_per_bit(AccessPath::Xpu);
+        let lpim = e.transfer_pj_per_bit(AccessPath::LogicPim);
+        let bgpim = e.transfer_pj_per_bit(AccessPath::BankGroupPim);
+        let bpim = e.transfer_pj_per_bit(AccessPath::BankPim);
+        assert!(xpu > lpim, "interposer hop must cost energy");
+        assert!(lpim > bgpim, "TSV hop must cost energy");
+        assert!(bgpim > bpim, "full datapath beats local datapath");
+    }
+
+    #[test]
+    fn logic_pim_saves_about_30_percent() {
+        let e = DramEnergy::hbm3();
+        let saving = 1.0
+            - e.transfer_pj_per_bit(AccessPath::LogicPim)
+                / e.transfer_pj_per_bit(AccessPath::Xpu);
+        assert!(saving > 0.25 && saving < 0.45, "got {saving}");
+    }
+
+    #[test]
+    fn read_energy_scales_linearly() {
+        let m = DramEnergyModel::default();
+        let one = m.read_energy(AccessPath::Xpu, 1 << 20, 1.0 / 1024.0);
+        let four = m.read_energy(AccessPath::Xpu, 4 << 20, 1.0 / 1024.0);
+        assert!((four.total_j() / one.total_j() - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn write_costs_more_than_read() {
+        let m = DramEnergyModel::default();
+        let r = m.read_energy(AccessPath::Xpu, 1 << 20, 1.0 / 1024.0);
+        let w = m.write_energy(AccessPath::Xpu, 1 << 20, 1.0 / 1024.0);
+        assert!(w.total_j() > r.total_j());
+    }
+
+    #[test]
+    fn breakdown_adds() {
+        let a = EnergyBreakdown { activation_j: 1.0, transfer_j: 2.0 };
+        let b = EnergyBreakdown { activation_j: 0.5, transfer_j: 0.25 };
+        let c = a + b;
+        assert_eq!(c.activation_j, 1.5);
+        assert_eq!(c.transfer_j, 2.25);
+        assert_eq!(c.total_j(), 3.75);
+    }
+
+    #[test]
+    fn plausible_absolute_magnitude() {
+        // Reading 1 GB over the xPU path should cost on the order of a
+        // few joules-per-TB-ish: 4.3 pJ/bit * 8 Gbit ~ 37 mJ.
+        let m = DramEnergyModel::default();
+        let e = m.read_energy(AccessPath::Xpu, 1 << 30, 1.0 / 1024.0);
+        assert!(e.total_j() > 0.02 && e.total_j() < 0.08, "got {}", e.total_j());
+    }
+}

@@ -1,0 +1,207 @@
+//! Physical organization of an 8-hi HBM3 stack and the bank-bundle
+//! grouping introduced by Logic-PIM.
+//!
+//! The paper (Sec. II-D) describes the stack we model: one logic die at
+//! the bottom, eight DRAM dies above it. Four DRAM dies form a *rank*;
+//! each die exposes eight *pseudo channels*; each pseudo channel is
+//! connected to four bank groups of four banks, i.e. 16 banks per rank
+//! visible to one pseudo channel.
+//!
+//! Logic-PIM (Sec. IV-C) splits those 16 banks into an upper and a lower
+//! half of eight banks each — a *bank bundle* — which are read as one
+//! unit over dedicated TSVs. With two ranks, each pseudo channel sees
+//! four bundles (indices 0..4); the bundle index also names the *memory
+//! space* used by the allocator in [`crate::alloc`].
+
+/// Geometry of one HBM stack and its derived quantities.
+///
+/// All capacity quantities are in bytes. The default construction
+/// [`HbmGeometry::hbm3_8hi`] matches the configuration the paper
+/// evaluates: a 16 GB, 8-hi HBM3 stack as found on an H100 (five such
+/// stacks per device, 80 GB total).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct HbmGeometry {
+    /// DRAM dies per stack (8-hi => 8).
+    pub dies: u32,
+    /// Dies that form one rank (4 for HBM3).
+    pub dies_per_rank: u32,
+    /// Pseudo channels exposed by the whole stack (32 for HBM3).
+    pub pseudo_channels: u32,
+    /// Bank groups addressable by one pseudo channel within one rank.
+    pub bank_groups: u32,
+    /// Banks per bank group.
+    pub banks_per_group: u32,
+    /// Bytes delivered by one column access (burst) on a pseudo channel.
+    pub burst_bytes: u64,
+    /// Row (page) size per bank in bytes.
+    pub row_bytes: u64,
+    /// Total stack capacity in bytes.
+    pub capacity_bytes: u64,
+    /// Banks ganged together into one Logic-PIM bank bundle.
+    pub banks_per_bundle: u32,
+}
+
+impl HbmGeometry {
+    /// The 16 GB 8-hi HBM3 stack used throughout the paper's evaluation.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// let g = duplex_hbm::HbmGeometry::hbm3_8hi();
+    /// assert_eq!(g.ranks(), 2);
+    /// assert_eq!(g.bundles_per_pseudo_channel(), 4);
+    /// assert_eq!(g.capacity_bytes, 16 << 30);
+    /// ```
+    pub fn hbm3_8hi() -> Self {
+        Self {
+            dies: 8,
+            dies_per_rank: 4,
+            pseudo_channels: 32,
+            bank_groups: 4,
+            banks_per_group: 4,
+            burst_bytes: 32,
+            row_bytes: 1024,
+            capacity_bytes: 16 << 30,
+            banks_per_bundle: 8,
+        }
+    }
+
+    /// Number of ranks in the stack.
+    pub fn ranks(&self) -> u32 {
+        self.dies / self.dies_per_rank
+    }
+
+    /// Banks seen by one pseudo channel within one rank.
+    pub fn banks_per_rank(&self) -> u32 {
+        self.bank_groups * self.banks_per_group
+    }
+
+    /// Banks seen by one pseudo channel across all ranks.
+    pub fn banks_per_pseudo_channel(&self) -> u32 {
+        self.banks_per_rank() * self.ranks()
+    }
+
+    /// Bank bundles per rank as seen from one pseudo channel
+    /// (16 banks / 8 banks per bundle = 2 for HBM3).
+    pub fn bundles_per_rank(&self) -> u32 {
+        self.banks_per_rank() / self.banks_per_bundle
+    }
+
+    /// Bank bundles per pseudo channel across ranks (4 for HBM3; these
+    /// four indices are the four *memory spaces* of Sec. V-C).
+    pub fn bundles_per_pseudo_channel(&self) -> u32 {
+        self.bundles_per_rank() * self.ranks()
+    }
+
+    /// Capacity governed by a single pseudo channel, in bytes.
+    pub fn bytes_per_pseudo_channel(&self) -> u64 {
+        self.capacity_bytes / u64::from(self.pseudo_channels)
+    }
+
+    /// Capacity of one bank, in bytes.
+    pub fn bytes_per_bank(&self) -> u64 {
+        self.bytes_per_pseudo_channel() / u64::from(self.banks_per_pseudo_channel())
+    }
+
+    /// Capacity of one bank-bundle-indexed memory space across the whole
+    /// stack, in bytes (stack capacity / 4 for HBM3).
+    pub fn bytes_per_space(&self) -> u64 {
+        self.capacity_bytes / u64::from(self.bundles_per_pseudo_channel())
+    }
+
+    /// Rows per bank.
+    pub fn rows_per_bank(&self) -> u64 {
+        self.bytes_per_bank() / self.row_bytes
+    }
+
+    /// Column accesses needed to drain one open row.
+    pub fn reads_per_row(&self) -> u64 {
+        self.row_bytes / self.burst_bytes
+    }
+}
+
+/// Identifies one bank bundle within a stack.
+///
+/// `space` is the bundle index 0..[`HbmGeometry::bundles_per_pseudo_channel`]
+/// shared by all pseudo channels; the paper uses this index to carve the
+/// device memory into four co-processing-safe spaces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BankBundle {
+    /// Pseudo-channel index within the stack.
+    pub pseudo_channel: u32,
+    /// Bundle (memory-space) index within the pseudo channel.
+    pub space: u32,
+}
+
+impl BankBundle {
+    /// Rank that hosts this bundle (two bundles per rank for HBM3).
+    pub fn rank(&self, geom: &HbmGeometry) -> u32 {
+        self.space / geom.bundles_per_rank()
+    }
+
+    /// Whether two bundles can be accessed concurrently without a bank
+    /// conflict. Bundles conflict only when they are the *same* bundle
+    /// of the same pseudo channel; different spaces never conflict,
+    /// which is what lets xPU and Logic-PIM run simultaneously
+    /// (Sec. IV-C: "a simple switch separates it from the Logic-PIM
+    /// datapath").
+    pub fn conflicts_with(&self, other: &BankBundle) -> bool {
+        self == other
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hbm3_defaults_are_consistent() {
+        let g = HbmGeometry::hbm3_8hi();
+        assert_eq!(g.ranks(), 2);
+        assert_eq!(g.banks_per_rank(), 16);
+        assert_eq!(g.banks_per_pseudo_channel(), 32);
+        assert_eq!(g.bundles_per_rank(), 2);
+        assert_eq!(g.bundles_per_pseudo_channel(), 4);
+    }
+
+    #[test]
+    fn capacity_partitions_exactly() {
+        let g = HbmGeometry::hbm3_8hi();
+        assert_eq!(
+            g.bytes_per_pseudo_channel() * u64::from(g.pseudo_channels),
+            g.capacity_bytes
+        );
+        assert_eq!(
+            g.bytes_per_space() * u64::from(g.bundles_per_pseudo_channel()),
+            g.capacity_bytes
+        );
+        // 16 GB / 32 pCH / 32 banks = 16 MB per bank.
+        assert_eq!(g.bytes_per_bank(), 16 << 20);
+    }
+
+    #[test]
+    fn row_math() {
+        let g = HbmGeometry::hbm3_8hi();
+        assert_eq!(g.reads_per_row(), 32);
+        assert_eq!(g.rows_per_bank(), (16 << 20) / 1024);
+    }
+
+    #[test]
+    fn bundle_conflicts() {
+        let a = BankBundle { pseudo_channel: 0, space: 1 };
+        let b = BankBundle { pseudo_channel: 0, space: 2 };
+        let c = BankBundle { pseudo_channel: 1, space: 1 };
+        assert!(a.conflicts_with(&a));
+        assert!(!a.conflicts_with(&b));
+        assert!(!a.conflicts_with(&c));
+    }
+
+    #[test]
+    fn bundle_rank_mapping() {
+        let g = HbmGeometry::hbm3_8hi();
+        let spaces: Vec<u32> = (0..g.bundles_per_pseudo_channel())
+            .map(|s| BankBundle { pseudo_channel: 0, space: s }.rank(&g))
+            .collect();
+        assert_eq!(spaces, vec![0, 0, 1, 1]);
+    }
+}

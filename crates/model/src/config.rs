@@ -1,0 +1,301 @@
+//! Model configurations (Table I of the paper) and derived sizing.
+//!
+//! | Model   | Param | layers | hidden | interm | heads | deg_grp | Nex | top-k |
+//! |---------|-------|--------|--------|--------|-------|---------|-----|-------|
+//! | Mixtral | 47B   | 32     | 4096   | 14336  | 32    | 4 (GQA) | 8   | 2     |
+//! | GLaM    | 143B  | 32     | 4096   | 16384  | 32    | 1 (MHA) | 64  | 2     |
+//! | Grok1   | 314B  | 64     | 6144   | 32768  | 48    | 6 (GQA) | 8   | 2     |
+//! | OPT     | 66B   | 64     | 9216   | 36864  | 72    | 1 (MHA) | —   | —     |
+//! | Llama3  | 70B   | 80     | 8192   | 28672  | 64    | 8 (GQA) | —   | —     |
+//!
+//! Mixtral and Grok1 are MoE in every decoder block; GLaM alternates
+//! dense and MoE blocks (Sec. VI). Mixtral/Grok1/Llama3 use a gated
+//! 3-matrix FFN; GLaM and OPT use a 2-matrix FFN (this is what makes
+//! the Table I parameter totals come out).
+
+/// Architecture of one LLM, with FP16 weights.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ModelConfig {
+    /// Display name.
+    pub name: String,
+    /// Number of decoder blocks.
+    pub n_layers: u32,
+    /// Hidden (embedding) dimension.
+    pub hidden: u64,
+    /// FFN intermediate dimension.
+    pub intermediate: u64,
+    /// Attention head count.
+    pub n_heads: u32,
+    /// Heads per KV group (1 = MHA; 4–8 = GQA).
+    pub deg_grp: u32,
+    /// Experts per MoE layer (0 = dense model).
+    pub n_experts: u32,
+    /// Experts selected per token.
+    pub top_k: u32,
+    /// Every `moe_every`-th block is MoE (1 = all blocks, 2 = alternate);
+    /// ignored for dense models.
+    pub moe_every: u32,
+    /// Matrices per FFN/expert (3 = gated SwiGLU-style, 2 = plain).
+    pub ffn_fcs: u32,
+    /// Vocabulary size (for the LM head).
+    pub vocab: u64,
+    /// Bytes per weight/KV element (2 = FP16).
+    pub bytes_per_elem: u64,
+}
+
+impl ModelConfig {
+    /// Mixtral-8x7B (47B parameters): GQA deg 4, 8 experts, top-2.
+    pub fn mixtral_8x7b() -> Self {
+        Self {
+            name: "Mixtral".into(),
+            n_layers: 32,
+            hidden: 4096,
+            intermediate: 14336,
+            n_heads: 32,
+            deg_grp: 4,
+            n_experts: 8,
+            top_k: 2,
+            moe_every: 1,
+            ffn_fcs: 3,
+            vocab: 32000,
+            bytes_per_elem: 2,
+        }
+    }
+
+    /// GLaM (143B): MHA, 64 experts, top-2, MoE in alternate blocks.
+    pub fn glam() -> Self {
+        Self {
+            name: "GLaM".into(),
+            n_layers: 32,
+            hidden: 4096,
+            intermediate: 16384,
+            n_heads: 32,
+            deg_grp: 1,
+            n_experts: 64,
+            top_k: 2,
+            moe_every: 2,
+            ffn_fcs: 2,
+            vocab: 32000,
+            bytes_per_elem: 2,
+        }
+    }
+
+    /// Grok-1 (314B): GQA deg 6, 8 experts, top-2.
+    pub fn grok1() -> Self {
+        Self {
+            name: "Grok1".into(),
+            n_layers: 64,
+            hidden: 6144,
+            intermediate: 32768,
+            n_heads: 48,
+            deg_grp: 6,
+            n_experts: 8,
+            top_k: 2,
+            moe_every: 1,
+            ffn_fcs: 3,
+            vocab: 131072,
+            bytes_per_elem: 2,
+        }
+    }
+
+    /// OPT-66B: dense, MHA.
+    pub fn opt_66b() -> Self {
+        Self {
+            name: "OPT".into(),
+            n_layers: 64,
+            hidden: 9216,
+            intermediate: 36864,
+            n_heads: 72,
+            deg_grp: 1,
+            n_experts: 0,
+            top_k: 0,
+            moe_every: 1,
+            ffn_fcs: 2,
+            vocab: 50272,
+            bytes_per_elem: 2,
+        }
+    }
+
+    /// Llama3-70B: dense, GQA deg 8.
+    pub fn llama3_70b() -> Self {
+        Self {
+            name: "Llama3".into(),
+            n_layers: 80,
+            hidden: 8192,
+            intermediate: 28672,
+            n_heads: 64,
+            deg_grp: 8,
+            n_experts: 0,
+            top_k: 0,
+            moe_every: 1,
+            ffn_fcs: 3,
+            vocab: 128256,
+            bytes_per_elem: 2,
+        }
+    }
+
+    /// All Table I presets, in the paper's order.
+    pub fn table1() -> Vec<ModelConfig> {
+        vec![
+            Self::mixtral_8x7b(),
+            Self::glam(),
+            Self::grok1(),
+            Self::opt_66b(),
+            Self::llama3_70b(),
+        ]
+    }
+
+    /// Whether the model has MoE layers.
+    pub fn is_moe(&self) -> bool {
+        self.n_experts > 0
+    }
+
+    /// Per-head dimension.
+    pub fn d_head(&self) -> u64 {
+        self.hidden / u64::from(self.n_heads)
+    }
+
+    /// Number of KV heads (= head groups).
+    pub fn kv_heads(&self) -> u32 {
+        self.n_heads / self.deg_grp
+    }
+
+    /// Number of MoE decoder blocks.
+    pub fn moe_block_count(&self) -> u32 {
+        if self.is_moe() {
+            self.n_layers / self.moe_every
+        } else {
+            0
+        }
+    }
+
+    /// Number of dense (non-MoE) decoder blocks.
+    pub fn dense_block_count(&self) -> u32 {
+        self.n_layers - self.moe_block_count()
+    }
+
+    /// Parameters of the QKV-generation matrices of one block.
+    pub fn qkv_params(&self) -> u64 {
+        // Q: hidden x hidden; K and V: hidden x (kv_heads * d_head).
+        self.hidden * (self.hidden + 2 * u64::from(self.kv_heads()) * self.d_head())
+    }
+
+    /// Parameters of the output projection of one block.
+    pub fn proj_params(&self) -> u64 {
+        self.hidden * self.hidden
+    }
+
+    /// Parameters of one FFN instance (dense FFN or one expert).
+    pub fn ffn_params(&self) -> u64 {
+        u64::from(self.ffn_fcs) * self.hidden * self.intermediate
+    }
+
+    /// Parameters of one MoE layer (all experts plus the gate).
+    pub fn moe_layer_params(&self) -> u64 {
+        u64::from(self.n_experts) * self.ffn_params() + self.hidden * u64::from(self.n_experts)
+    }
+
+    /// Total parameter count (decoder stack; embeddings/LM head are
+    /// shared and excluded, as in the paper's Table I totals).
+    pub fn param_count(&self) -> u64 {
+        let per_block_attn = self.qkv_params() + self.proj_params();
+        let dense = u64::from(self.dense_block_count()) * self.ffn_params();
+        let moe = u64::from(self.moe_block_count()) * self.moe_layer_params();
+        u64::from(self.n_layers) * per_block_attn + dense + moe
+    }
+
+    /// Total weight bytes at the configured precision.
+    pub fn weight_bytes(&self) -> u64 {
+        self.param_count() * self.bytes_per_elem
+    }
+
+    /// Weight bytes of everything except expert FFNs (what a
+    /// heterogeneous system must duplicate to keep both device kinds
+    /// able to run non-MoE layers).
+    pub fn non_expert_weight_bytes(&self) -> u64 {
+        let experts =
+            u64::from(self.moe_block_count()) * u64::from(self.n_experts) * self.ffn_params();
+        (self.param_count() - experts) * self.bytes_per_elem
+    }
+
+    /// KV-cache bytes appended per token across all layers.
+    pub fn kv_bytes_per_token(&self) -> u64 {
+        2 * u64::from(self.kv_heads()) * self.d_head() * self.bytes_per_elem
+            * u64::from(self.n_layers)
+    }
+
+    /// KV-cache bytes for a sequence of `ctx` tokens.
+    pub fn kv_bytes(&self, ctx: u64) -> u64 {
+        self.kv_bytes_per_token() * ctx
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Table I parameter totals, within 5%.
+    #[test]
+    fn table1_param_counts() {
+        let expect = [
+            ("Mixtral", 47.0),
+            ("GLaM", 143.0),
+            ("Grok1", 314.0),
+            ("OPT", 66.0),
+            ("Llama3", 70.0),
+        ];
+        for (config, (name, billions)) in ModelConfig::table1().iter().zip(expect) {
+            assert_eq!(config.name, name);
+            let got = config.param_count() as f64 / 1e9;
+            let err = (got - billions).abs() / billions;
+            assert!(err < 0.05, "{name}: expected ~{billions}B, got {got:.1}B");
+        }
+    }
+
+    #[test]
+    fn gqa_reduces_kv_heads() {
+        let mixtral = ModelConfig::mixtral_8x7b();
+        assert_eq!(mixtral.kv_heads(), 8);
+        assert_eq!(mixtral.d_head(), 128);
+        let opt = ModelConfig::opt_66b();
+        assert_eq!(opt.kv_heads(), 72, "MHA keeps all heads");
+    }
+
+    #[test]
+    fn glam_alternates_moe_blocks() {
+        let glam = ModelConfig::glam();
+        assert_eq!(glam.moe_block_count(), 16);
+        assert_eq!(glam.dense_block_count(), 16);
+        let mixtral = ModelConfig::mixtral_8x7b();
+        assert_eq!(mixtral.moe_block_count(), 32);
+        assert_eq!(mixtral.dense_block_count(), 0);
+    }
+
+    #[test]
+    fn mixtral_kv_is_128_kib_per_token() {
+        // 2 (K,V) x 8 kv heads x 128 d_head x 2 B x 32 layers = 128 KiB.
+        let m = ModelConfig::mixtral_8x7b();
+        assert_eq!(m.kv_bytes_per_token(), 128 << 10);
+        assert_eq!(m.kv_bytes(4096), (128 << 10) * 4096);
+    }
+
+    #[test]
+    fn experts_dominate_moe_weights() {
+        // Sec. I: "the parameters of MoE layers ... account for the
+        // majority of the model parameters".
+        for config in [ModelConfig::mixtral_8x7b(), ModelConfig::glam(), ModelConfig::grok1()] {
+            let expert_fraction =
+                1.0 - config.non_expert_weight_bytes() as f64 / config.weight_bytes() as f64;
+            assert!(expert_fraction > 0.5, "{}: {expert_fraction}", config.name);
+        }
+    }
+
+    #[test]
+    fn dense_models_have_no_moe() {
+        for config in [ModelConfig::opt_66b(), ModelConfig::llama3_70b()] {
+            assert!(!config.is_moe());
+            assert_eq!(config.moe_block_count(), 0);
+            assert_eq!(config.non_expert_weight_bytes(), config.weight_bytes());
+        }
+    }
+}

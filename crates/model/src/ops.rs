@@ -1,0 +1,462 @@
+//! Stage op enumeration: from "who is in the batch" to exact kernel
+//! shapes.
+//!
+//! Continuous batching (Sec. II-C) batches *stages*: each stage carries
+//! every ongoing request one token forward (decoding) and may also
+//! admit new requests whose whole prompt is processed at once
+//! (prefilling). [`StageShape`] captures that composition;
+//! [`enumerate_stage`] expands it into:
+//!
+//! * batched **FC ops** (QKV generation, projection, gates, dense FFNs,
+//!   LM head) whose token dimension is the whole stage's token count;
+//! * per-request **attention ops**, which can never be batched across
+//!   requests because each request owns its KV matrices (Sec. II-C);
+//! * per-MoE-layer **expert token histograms**, drawn through the gate.
+//!
+//! The shapes here are per *model pass*, unsharded; the system crate
+//! applies tensor/expert/data parallelism.
+
+use duplex_compute::kernel::GemmShape;
+use rand::Rng;
+
+use crate::config::ModelConfig;
+use crate::routing::ExpertRouter;
+
+/// Composition of one continuous-batching stage.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct StageShape {
+    /// KV length attended by each decoding sequence (context so far,
+    /// including the token being generated).
+    pub decode_ctx: Vec<u64>,
+    /// Prompt length of each prefilling sequence.
+    pub prefill_len: Vec<u64>,
+}
+
+impl StageShape {
+    /// A decoding-only stage over the given per-request context lengths.
+    pub fn decode_only(ctx: &[u64]) -> Self {
+        Self { decode_ctx: ctx.to_vec(), prefill_len: Vec::new() }
+    }
+
+    /// A mixed stage: ongoing decodes plus newly admitted prefills.
+    pub fn mixed(decode_ctx: &[u64], prefill_len: &[u64]) -> Self {
+        Self { decode_ctx: decode_ctx.to_vec(), prefill_len: prefill_len.to_vec() }
+    }
+
+    /// Whether the stage contains at least one prefilling sequence.
+    pub fn is_mixed(&self) -> bool {
+        !self.prefill_len.is_empty()
+    }
+
+    /// Tokens flowing through the batched FC/MoE layers.
+    pub fn tokens(&self) -> u64 {
+        self.decode_ctx.len() as u64 + self.prefill_len.iter().sum::<u64>()
+    }
+
+    /// Requests in the stage (the paper's "batch size").
+    pub fn batch_size(&self) -> usize {
+        self.decode_ctx.len() + self.prefill_len.len()
+    }
+}
+
+/// One batched fully-connected GEMM, run `count` times per model pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FcOp {
+    /// Which FC this is ("qkv", "proj", "ffn_up", "ffn_down", "gate",
+    /// "lm_head").
+    pub name: &'static str,
+    /// Instances per model pass (usually the layer count).
+    pub count: u64,
+    /// Per-instance GEMM shape.
+    pub shape: GemmShape,
+}
+
+impl FcOp {
+    /// DRAM bytes of weights streamed per instance.
+    pub fn weight_bytes(&self, bytes_per_elem: u64) -> u64 {
+        self.shape.weight_bytes(bytes_per_elem)
+    }
+}
+
+/// Attention of one request in one decoder layer (replicated `count`
+/// times across layers). Head groups are folded into the row dimension:
+/// attention is memory-bound in every regime the paper studies, so the
+/// group fold preserves both byte traffic and FLOPs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AttnOp {
+    /// True for a decoding sequence, false for a prefilling one.
+    pub decode: bool,
+    /// KV length attended.
+    pub ctx: u64,
+    /// Query rows per KV group (`deg_grp` when decoding, `len * deg_grp`
+    /// when prefilling).
+    pub q_rows: u64,
+    /// KV groups (= KV heads).
+    pub groups: u64,
+    /// Per-head dimension.
+    pub d_head: u64,
+    /// Causal masking (halves the effective score/value FLOPs).
+    pub causal: bool,
+    /// Layer replication count.
+    pub count: u64,
+}
+
+impl AttnOp {
+    /// Effective score-context length after causal masking.
+    fn eff_ctx(&self) -> u64 {
+        if self.causal {
+            self.ctx.div_ceil(2)
+        } else {
+            self.ctx
+        }
+    }
+
+    /// The Q·Kᵀ GEMM, groups folded into rows.
+    pub fn score_shape(&self) -> GemmShape {
+        GemmShape { m: self.q_rows * self.groups, n: self.eff_ctx(), k: self.d_head }
+    }
+
+    /// The softmax(S)·V GEMM, groups folded into rows.
+    pub fn value_shape(&self) -> GemmShape {
+        GemmShape { m: self.q_rows * self.groups, n: self.d_head, k: self.eff_ctx() }
+    }
+
+    /// Softmax dimensions (rows, cols).
+    pub fn softmax_dims(&self) -> (u64, u64) {
+        (self.q_rows * self.groups, self.eff_ctx())
+    }
+
+    /// DRAM bytes of K plus V streamed per layer instance.
+    pub fn kv_dram_bytes(&self, bytes_per_elem: u64) -> u64 {
+        2 * self.ctx * self.d_head * self.groups * bytes_per_elem
+    }
+
+    /// FLOPs per layer instance (score + value GEMMs).
+    pub fn flops(&self) -> f64 {
+        self.score_shape().flops() + self.value_shape().flops()
+    }
+
+    /// Arithmetic intensity of this attention op. For GQA decode this is
+    /// ~`deg_grp` (4–8), for MHA ~1 — the paper's Sec. III-A numbers.
+    pub fn op_b(&self, bytes_per_elem: u64) -> f64 {
+        self.flops() / self.kv_dram_bytes(bytes_per_elem) as f64
+    }
+}
+
+/// Per-expert token counts for one MoE layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MoeLayerWork {
+    /// Index of the MoE block within the model.
+    pub layer: u32,
+    /// Tokens routed to each expert (length = expert count, sums to
+    /// `stage_tokens * top_k`).
+    pub expert_tokens: Vec<u64>,
+}
+
+impl MoeLayerWork {
+    /// Total token-expert assignments in this layer.
+    pub fn total_tokens(&self) -> u64 {
+        self.expert_tokens.iter().sum()
+    }
+}
+
+/// The kernels of one expert FFN invocation over `tokens` tokens:
+/// `(ffn_fcs - 1)` up-projections, one down-projection, and the gated
+/// activation element count (0 for 2-matrix FFNs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExpertWork {
+    /// Up/gate projection shape (`tokens x intermediate x hidden`).
+    pub up_shape: GemmShape,
+    /// How many up/gate projections run.
+    pub up_count: u64,
+    /// Down projection shape (`tokens x hidden x intermediate`).
+    pub down_shape: GemmShape,
+    /// Elements through the gated-activation unit.
+    pub activation_elems: u64,
+}
+
+impl ExpertWork {
+    /// Build the kernel set for one expert of `config` over `tokens`.
+    pub fn for_tokens(config: &ModelConfig, tokens: u64) -> Self {
+        let up = GemmShape { m: tokens, n: config.intermediate, k: config.hidden };
+        let down = GemmShape { m: tokens, n: config.hidden, k: config.intermediate };
+        let gated = config.ffn_fcs == 3;
+        Self {
+            up_shape: up,
+            up_count: u64::from(config.ffn_fcs) - 1,
+            down_shape: down,
+            activation_elems: if gated { tokens * config.intermediate } else { 0 },
+        }
+    }
+
+    /// Weight bytes streamed when the expert runs (all its matrices).
+    pub fn weight_bytes(&self, bytes_per_elem: u64) -> u64 {
+        self.up_shape.weight_bytes(bytes_per_elem) * self.up_count
+            + self.down_shape.weight_bytes(bytes_per_elem)
+    }
+
+    /// Total FLOPs of the expert invocation.
+    pub fn flops(&self) -> f64 {
+        self.up_shape.flops() * self.up_count as f64 + self.down_shape.flops()
+    }
+}
+
+/// Everything one stage executes, unsharded.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StageWork {
+    /// Tokens through the batched FC/MoE path.
+    pub tokens: u64,
+    /// Rows through the LM head (one per sequence producing a token).
+    pub lm_rows: u64,
+    /// Batched FC ops with per-pass counts.
+    pub fc_ops: Vec<FcOp>,
+    /// Per-request attention ops.
+    pub attn: Vec<AttnOp>,
+    /// Per-MoE-layer expert histograms (empty for dense models).
+    pub moe: Vec<MoeLayerWork>,
+    /// KV-cache bytes appended by this stage (all layers, all requests).
+    pub kv_write_bytes: u64,
+    /// Whether the stage was mixed (had prefill sequences).
+    pub mixed: bool,
+}
+
+/// Expand a stage into its kernel shapes, drawing expert routing from
+/// `router` via `rng` (one draw per MoE layer, as each layer's gate is
+/// independent).
+pub fn enumerate_stage<R: Rng + ?Sized>(
+    config: &ModelConfig,
+    shape: &StageShape,
+    router: &ExpertRouter,
+    rng: &mut R,
+) -> StageWork {
+    let tokens = shape.tokens();
+    let lm_rows = shape.decode_ctx.len() as u64 + shape.prefill_len.len() as u64;
+    let layers = u64::from(config.n_layers);
+    let kv_n = 2 * u64::from(config.kv_heads()) * config.d_head();
+
+    let mut fc_ops = vec![
+        FcOp {
+            name: "qkv",
+            count: layers,
+            shape: GemmShape { m: tokens, n: config.hidden + kv_n, k: config.hidden },
+        },
+        FcOp {
+            name: "proj",
+            count: layers,
+            shape: GemmShape { m: tokens, n: config.hidden, k: config.hidden },
+        },
+    ];
+    let dense_blocks = u64::from(config.dense_block_count());
+    if dense_blocks > 0 {
+        fc_ops.push(FcOp {
+            name: "ffn_up",
+            count: dense_blocks * (u64::from(config.ffn_fcs) - 1),
+            shape: GemmShape { m: tokens, n: config.intermediate, k: config.hidden },
+        });
+        fc_ops.push(FcOp {
+            name: "ffn_down",
+            count: dense_blocks,
+            shape: GemmShape { m: tokens, n: config.hidden, k: config.intermediate },
+        });
+    }
+    if config.is_moe() {
+        fc_ops.push(FcOp {
+            name: "gate",
+            count: u64::from(config.moe_block_count()),
+            shape: GemmShape { m: tokens, n: u64::from(config.n_experts), k: config.hidden },
+        });
+    }
+    fc_ops.push(FcOp {
+        name: "lm_head",
+        count: 1,
+        shape: GemmShape { m: lm_rows, n: config.vocab, k: config.hidden },
+    });
+
+    let mut attn = Vec::with_capacity(shape.batch_size());
+    for &ctx in &shape.decode_ctx {
+        attn.push(AttnOp {
+            decode: true,
+            ctx,
+            q_rows: u64::from(config.deg_grp),
+            groups: u64::from(config.kv_heads()),
+            d_head: config.d_head(),
+            causal: false,
+            count: layers,
+        });
+    }
+    for &len in &shape.prefill_len {
+        attn.push(AttnOp {
+            decode: false,
+            ctx: len,
+            q_rows: len * u64::from(config.deg_grp),
+            groups: u64::from(config.kv_heads()),
+            d_head: config.d_head(),
+            causal: true,
+            count: layers,
+        });
+    }
+
+    let moe = if config.is_moe() {
+        (0..config.moe_block_count())
+            .map(|layer| MoeLayerWork { layer, expert_tokens: router.route(rng, tokens) })
+            .collect()
+    } else {
+        Vec::new()
+    };
+
+    StageWork {
+        tokens,
+        lm_rows,
+        fc_ops,
+        attn,
+        moe,
+        kv_write_bytes: tokens * config.kv_bytes_per_token(),
+        mixed: shape.is_mixed(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn work(config: &ModelConfig, shape: &StageShape) -> StageWork {
+        let router = if config.is_moe() {
+            ExpertRouter::uniform(config.n_experts, config.top_k)
+        } else {
+            ExpertRouter::uniform(1, 1)
+        };
+        let mut rng = StdRng::seed_from_u64(7);
+        enumerate_stage(config, shape, &router, &mut rng)
+    }
+
+    #[test]
+    fn decode_only_stage_token_math() {
+        let config = ModelConfig::mixtral_8x7b();
+        let shape = StageShape::decode_only(&[100, 200, 300]);
+        let w = work(&config, &shape);
+        assert_eq!(w.tokens, 3);
+        assert_eq!(w.lm_rows, 3);
+        assert!(!w.mixed);
+        assert_eq!(w.attn.len(), 3);
+        assert!(w.attn.iter().all(|a| a.decode));
+    }
+
+    #[test]
+    fn mixed_stage_tokens_include_prompt() {
+        let config = ModelConfig::mixtral_8x7b();
+        let shape = StageShape::mixed(&[50; 31], &[2048]);
+        let w = work(&config, &shape);
+        assert_eq!(w.tokens, 31 + 2048);
+        assert_eq!(w.lm_rows, 32);
+        assert!(w.mixed);
+        let prefill: Vec<_> = w.attn.iter().filter(|a| !a.decode).collect();
+        assert_eq!(prefill.len(), 1);
+        assert!(prefill[0].causal);
+        assert_eq!(prefill[0].q_rows, 2048 * 4);
+    }
+
+    #[test]
+    fn moe_histograms_per_layer_sum() {
+        let config = ModelConfig::mixtral_8x7b();
+        let shape = StageShape::decode_only(&[128; 32]);
+        let w = work(&config, &shape);
+        assert_eq!(w.moe.len(), 32);
+        for layer in &w.moe {
+            assert_eq!(layer.total_tokens(), 32 * 2, "top-2 over 32 tokens");
+            assert_eq!(layer.expert_tokens.len(), 8);
+        }
+    }
+
+    #[test]
+    fn glam_has_dense_and_moe_blocks() {
+        let config = ModelConfig::glam();
+        let shape = StageShape::decode_only(&[512; 64]);
+        let w = work(&config, &shape);
+        assert_eq!(w.moe.len(), 16);
+        assert!(w.fc_ops.iter().any(|f| f.name == "ffn_up" && f.count == 16));
+        assert!(w.fc_ops.iter().any(|f| f.name == "gate" && f.count == 16));
+    }
+
+    #[test]
+    fn dense_models_have_no_moe_work() {
+        let config = ModelConfig::llama3_70b();
+        let shape = StageShape::decode_only(&[512; 8]);
+        let w = work(&config, &shape);
+        assert!(w.moe.is_empty());
+        assert!(w.fc_ops.iter().any(|f| f.name == "ffn_up"));
+        assert!(!w.fc_ops.iter().any(|f| f.name == "gate"));
+    }
+
+    #[test]
+    fn gqa_decode_attention_op_b_matches_paper() {
+        // Sec. I: GQA attention Op/B is 4-8; MHA ~1.
+        let mixtral = ModelConfig::mixtral_8x7b();
+        let w = work(&mixtral, &StageShape::decode_only(&[2048]));
+        let op_b = w.attn[0].op_b(2);
+        assert!((op_b - 4.0).abs() < 0.1, "Mixtral deg 4, got {op_b}");
+
+        let opt = ModelConfig::opt_66b();
+        let w = work(&opt, &StageShape::decode_only(&[2048]));
+        let op_b = w.attn[0].op_b(2);
+        assert!((op_b - 1.0).abs() < 0.1, "MHA, got {op_b}");
+    }
+
+    #[test]
+    fn expert_work_op_b_is_token_count() {
+        let config = ModelConfig::mixtral_8x7b();
+        for t in [1u64, 8, 64] {
+            let e = ExpertWork::for_tokens(&config, t);
+            let op_b = e.flops() / e.weight_bytes(2) as f64;
+            assert!((op_b - t as f64).abs() < 1e-9, "tokens {t}: {op_b}");
+        }
+    }
+
+    #[test]
+    fn expert_weight_bytes_match_config() {
+        let config = ModelConfig::mixtral_8x7b();
+        let e = ExpertWork::for_tokens(&config, 5);
+        assert_eq!(e.weight_bytes(2), config.ffn_params() * 2);
+        assert_eq!(e.up_count, 2);
+        assert!(e.activation_elems > 0);
+
+        let glam = ModelConfig::glam();
+        let e2 = ExpertWork::for_tokens(&glam, 5);
+        assert_eq!(e2.up_count, 1);
+        assert_eq!(e2.activation_elems, 0);
+    }
+
+    #[test]
+    fn kv_write_bytes_scale_with_tokens() {
+        let config = ModelConfig::mixtral_8x7b();
+        let w1 = work(&config, &StageShape::decode_only(&[10; 4]));
+        let w2 = work(&config, &StageShape::mixed(&[10; 4], &[100]));
+        assert_eq!(w1.kv_write_bytes, 4 * config.kv_bytes_per_token());
+        assert_eq!(w2.kv_write_bytes, 104 * config.kv_bytes_per_token());
+    }
+
+    #[test]
+    fn causal_masking_halves_prefill_flops() {
+        let config = ModelConfig::mixtral_8x7b();
+        let w = work(&config, &StageShape::mixed(&[], &[1024]));
+        let a = w.attn[0];
+        let full = 2.0
+            * (a.q_rows * a.groups) as f64
+            * a.ctx as f64
+            * a.d_head as f64
+            * 2.0; // score + value
+        assert!((a.flops() - full / 2.0).abs() / full < 0.01);
+    }
+
+    #[test]
+    fn fc_ops_include_lm_head_once() {
+        let config = ModelConfig::mixtral_8x7b();
+        let w = work(&config, &StageShape::decode_only(&[1; 16]));
+        let lm: Vec<_> = w.fc_ops.iter().filter(|f| f.name == "lm_head").collect();
+        assert_eq!(lm.len(), 1);
+        assert_eq!(lm[0].count, 1);
+        assert_eq!(lm[0].shape.m, 16);
+        assert_eq!(lm[0].shape.n, config.vocab);
+    }
+}

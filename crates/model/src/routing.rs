@@ -1,0 +1,196 @@
+//! Expert routing: the gate in front of each MoE layer.
+//!
+//! Every token independently selects `top_k` experts. The paper's
+//! evaluation draws targets from a *uniform* distribution (Sec. VI,
+//! following Switch-Transformer observations); Sec. VIII-B discusses
+//! skewed ("hot/cold expert") routing, which we expose through a Zipf
+//! exponent so the ablation benches can exercise it.
+//!
+//! Routing only needs per-expert token *counts*, so instead of drawing
+//! one sample per token we draw a multinomial via a chain of binomials
+//! (exact), with a normal approximation for large counts. This keeps a
+//! 64-expert GLaM stage at O(experts) work per layer.
+
+use rand::Rng;
+
+/// Per-layer expert selector.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExpertRouter {
+    n_experts: u32,
+    top_k: u32,
+    /// Normalized selection probabilities, one per expert.
+    probs: Vec<f64>,
+}
+
+impl ExpertRouter {
+    /// Uniform routing across `n_experts`, `top_k` choices per token.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_experts` is zero or `top_k` exceeds `n_experts`.
+    pub fn uniform(n_experts: u32, top_k: u32) -> Self {
+        Self::zipf(n_experts, top_k, 0.0)
+    }
+
+    /// Zipf-skewed routing: expert `i` is selected with probability
+    /// proportional to `(i + 1)^-skew`. `skew = 0` is uniform; larger
+    /// values concentrate tokens on "hot" experts (Sec. VIII-B).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_experts` is zero, `top_k` exceeds `n_experts`, or
+    /// `skew` is negative.
+    pub fn zipf(n_experts: u32, top_k: u32, skew: f64) -> Self {
+        assert!(n_experts > 0, "router needs at least one expert");
+        assert!(top_k >= 1 && top_k <= n_experts, "top_k must be in 1..=n_experts");
+        assert!(skew >= 0.0, "skew must be non-negative");
+        let mut probs: Vec<f64> =
+            (0..n_experts).map(|i| (i as f64 + 1.0).powf(-skew)).collect();
+        let sum: f64 = probs.iter().sum();
+        for p in &mut probs {
+            *p /= sum;
+        }
+        Self { n_experts, top_k, probs }
+    }
+
+    /// Number of experts.
+    pub fn n_experts(&self) -> u32 {
+        self.n_experts
+    }
+
+    /// Experts selected per token.
+    pub fn top_k(&self) -> u32 {
+        self.top_k
+    }
+
+    /// Route `tokens` tokens: returns per-expert token counts summing to
+    /// `tokens * top_k` (each token activates `top_k` experts).
+    pub fn route<R: Rng + ?Sized>(&self, rng: &mut R, tokens: u64) -> Vec<u64> {
+        let mut counts = vec![0u64; self.n_experts as usize];
+        if tokens == 0 {
+            return counts;
+        }
+        let mut remaining = tokens * u64::from(self.top_k);
+        let mut remaining_prob = 1.0f64;
+        for (i, &p) in self.probs.iter().enumerate() {
+            if remaining == 0 {
+                break;
+            }
+            if i + 1 == self.probs.len() {
+                counts[i] = remaining;
+                break;
+            }
+            let cond = (p / remaining_prob).clamp(0.0, 1.0);
+            let c = binomial(rng, remaining, cond);
+            counts[i] = c;
+            remaining -= c;
+            remaining_prob -= p;
+        }
+        counts
+    }
+}
+
+/// Sample `Binomial(n, p)`. Exact Bernoulli summation for small `n`,
+/// normal approximation (Box–Muller) for large `n·p·(1-p)`.
+fn binomial<R: Rng + ?Sized>(rng: &mut R, n: u64, p: f64) -> u64 {
+    if n == 0 || p <= 0.0 {
+        return 0;
+    }
+    if p >= 1.0 {
+        return n;
+    }
+    let var = n as f64 * p * (1.0 - p);
+    if n <= 256 || var < 100.0 {
+        let mut c = 0u64;
+        for _ in 0..n {
+            if rng.random::<f64>() < p {
+                c += 1;
+            }
+        }
+        c
+    } else {
+        let mean = n as f64 * p;
+        let std = var.sqrt();
+        // Box–Muller.
+        let u1: f64 = rng.random::<f64>().max(f64::MIN_POSITIVE);
+        let u2: f64 = rng.random();
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        let sample = (mean + std * z).round();
+        sample.clamp(0.0, n as f64) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0xD0_0D)
+    }
+
+    #[test]
+    fn counts_sum_to_tokens_times_top_k() {
+        let router = ExpertRouter::uniform(8, 2);
+        let mut r = rng();
+        for tokens in [0u64, 1, 7, 64, 1000, 100_000] {
+            let counts = router.route(&mut r, tokens);
+            assert_eq!(counts.iter().sum::<u64>(), tokens * 2, "tokens={tokens}");
+            assert_eq!(counts.len(), 8);
+        }
+    }
+
+    #[test]
+    fn uniform_routing_is_roughly_balanced() {
+        let router = ExpertRouter::uniform(8, 2);
+        let mut r = rng();
+        let counts = router.route(&mut r, 400_000);
+        let expected = 400_000.0 * 2.0 / 8.0;
+        for (i, &c) in counts.iter().enumerate() {
+            let dev = (c as f64 - expected).abs() / expected;
+            assert!(dev < 0.05, "expert {i}: count {c} vs expected {expected}");
+        }
+    }
+
+    #[test]
+    fn zipf_concentrates_on_hot_experts() {
+        let router = ExpertRouter::zipf(8, 2, 1.2);
+        let mut r = rng();
+        let counts = router.route(&mut r, 100_000);
+        assert!(counts[0] > 3 * counts[7], "hot expert should dominate: {counts:?}");
+    }
+
+    #[test]
+    fn glam_scale_routing_stays_exact() {
+        let router = ExpertRouter::uniform(64, 2);
+        let mut r = rng();
+        let counts = router.route(&mut r, 2048 + 128);
+        assert_eq!(counts.iter().sum::<u64>(), (2048 + 128) * 2);
+        // With 64 experts and ~4300 selections most experts see tokens.
+        let active = counts.iter().filter(|&&c| c > 0).count();
+        assert!(active > 48, "{active} active experts");
+    }
+
+    #[test]
+    fn binomial_edges() {
+        let mut r = rng();
+        assert_eq!(binomial(&mut r, 0, 0.5), 0);
+        assert_eq!(binomial(&mut r, 10, 0.0), 0);
+        assert_eq!(binomial(&mut r, 10, 1.0), 10);
+        let c = binomial(&mut r, 1_000_000, 0.5);
+        assert!(c > 490_000 && c < 510_000, "got {c}");
+    }
+
+    #[test]
+    #[should_panic(expected = "top_k")]
+    fn top_k_validated() {
+        ExpertRouter::uniform(4, 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one expert")]
+    fn n_experts_validated() {
+        ExpertRouter::uniform(0, 0);
+    }
+}

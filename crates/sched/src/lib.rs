@@ -1,0 +1,54 @@
+//! Continuous-batching serving scheduler for the Duplex simulator.
+//!
+//! This crate is the "serving scheduler" half of the paper's simulator
+//! (Sec. VI): it owns requests, forms stages, and collects latency
+//! metrics, while delegating "how long does this stage take" to a
+//! [`StageExecutor`] implemented by the system crate.
+//!
+//! * [`request`] — requests and per-request completion records
+//!   (T2FT, TBT, E2E as defined in Sec. II-C / Fig. 2).
+//! * [`workload`] — Gaussian (Lin, Lout) sampling, closed-loop refill
+//!   and open-loop Poisson arrivals, exactly the synthetic setup of
+//!   Sec. VI.
+//! * [`scheduler`] — stage-level continuous batching: every ongoing
+//!   request advances one token per stage; new requests join as
+//!   prefills when the batch and the KV-cache budget allow, making the
+//!   stage *mixed*; otherwise the stage is *decoding-only*.
+//! * [`metrics`] — percentile summaries and the simulation report.
+//!
+//! # Example
+//!
+//! Run a toy simulation where every stage takes a fixed 10 ms:
+//!
+//! ```
+//! use duplex_model::ops::StageShape;
+//! use duplex_sched::{Simulation, SimulationConfig, StageExecutor, StageOutcome, Workload};
+//!
+//! struct Fixed;
+//! impl StageExecutor for Fixed {
+//!     fn execute(&mut self, _shape: &StageShape) -> StageOutcome {
+//!         StageOutcome { seconds: 0.010 }
+//!     }
+//! }
+//!
+//! let config = SimulationConfig {
+//!     max_batch: 8,
+//!     kv_capacity_bytes: u64::MAX,
+//!     kv_bytes_per_token: 1,
+//!     ..SimulationConfig::default()
+//! };
+//! let workload = Workload::fixed(128, 32).with_seed(1);
+//! let report = Simulation::closed_loop(config, workload, 16).run(&mut Fixed);
+//! assert_eq!(report.completed.len(), 16);
+//! assert!(report.throughput_tokens_per_s() > 0.0);
+//! ```
+
+pub mod metrics;
+pub mod request;
+pub mod scheduler;
+pub mod workload;
+
+pub use metrics::{LatencySummary, SimReport, StageRecord};
+pub use request::{Request, RequestRecord};
+pub use scheduler::{Simulation, SimulationConfig, StageExecutor, StageOutcome};
+pub use workload::{Arrivals, Workload};

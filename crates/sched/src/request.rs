@@ -1,0 +1,94 @@
+//! Requests and per-request latency records.
+//!
+//! The paper's latency vocabulary (Sec. II-C, Fig. 2):
+//!
+//! * **T2FT** — time to first token: request arrival to the end of its
+//!   prefill stage;
+//! * **TBT** — token-between-token latency: the gap between two
+//!   consecutive token generations of the same request;
+//! * **E2E** — arrival to completion.
+
+/// One inference request.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Request {
+    /// Serving-level id (unique within a simulation).
+    pub id: u64,
+    /// Arrival time in seconds.
+    pub arrival_s: f64,
+    /// Prompt length Lin in tokens.
+    pub input_len: u64,
+    /// Response length Lout in tokens.
+    pub output_len: u64,
+}
+
+impl Request {
+    /// KV-cache bytes this request will occupy at its maximum context,
+    /// used for admission control.
+    pub fn max_kv_tokens(&self) -> u64 {
+        self.input_len + self.output_len
+    }
+}
+
+/// Completion record of one request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RequestRecord {
+    /// The request.
+    pub request: Request,
+    /// Timestamps at which each output token finished, in order
+    /// (length = `output_len`).
+    pub token_times: Vec<f64>,
+}
+
+impl RequestRecord {
+    /// Time to first token in seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the record has no tokens.
+    pub fn t2ft(&self) -> f64 {
+        self.token_times.first().expect("completed request has tokens") - self.request.arrival_s
+    }
+
+    /// End-to-end latency in seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the record has no tokens.
+    pub fn e2e(&self) -> f64 {
+        self.token_times.last().expect("completed request has tokens") - self.request.arrival_s
+    }
+
+    /// Token-between-token gaps in seconds (length = `output_len - 1`).
+    pub fn tbts(&self) -> Vec<f64> {
+        self.token_times.windows(2).map(|w| w[1] - w[0]).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record() -> RequestRecord {
+        RequestRecord {
+            request: Request { id: 0, arrival_s: 1.0, input_len: 128, output_len: 4 },
+            token_times: vec![1.5, 1.6, 1.8, 2.1],
+        }
+    }
+
+    #[test]
+    fn latency_definitions() {
+        let r = record();
+        assert!((r.t2ft() - 0.5).abs() < 1e-12);
+        assert!((r.e2e() - 1.1).abs() < 1e-12);
+        let tbts = r.tbts();
+        assert_eq!(tbts.len(), 3);
+        assert!((tbts[0] - 0.1).abs() < 1e-12);
+        assert!((tbts[2] - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn kv_reservation_covers_full_context() {
+        let r = Request { id: 0, arrival_s: 0.0, input_len: 100, output_len: 28 };
+        assert_eq!(r.max_kv_tokens(), 128);
+    }
+}

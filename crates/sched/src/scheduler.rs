@@ -1,0 +1,313 @@
+//! Stage-level continuous batching (ORCA-style, Sec. II-C).
+//!
+//! Each iteration of the loop is one *stage*: every active request
+//! advances by one token; newly arrived requests are admitted as
+//! prefills when the batch slot count and the KV-cache budget allow.
+//! A stage with at least one prefill is *mixed*; otherwise it is
+//! *decoding-only*. KV capacity is reserved at admission for the
+//! request's maximum context (Lin + Lout), which is what limits batch
+//! size on capacity-constrained systems (Fig. 5(c), Fig. 16).
+
+use std::collections::VecDeque;
+
+use duplex_model::ops::StageShape;
+
+use crate::metrics::{SimReport, StageRecord};
+use crate::request::{Request, RequestRecord};
+use crate::workload::{Arrivals, RequestSource, Workload};
+
+/// How long a stage took; produced by the system crate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StageOutcome {
+    /// Stage latency in seconds.
+    pub seconds: f64,
+}
+
+/// Prices one stage of work. Implemented by the system crate's
+/// execution engines; test doubles return fixed latencies.
+pub trait StageExecutor {
+    /// Execute one stage and report its latency. Implementations may
+    /// accumulate their own side channels (energy, breakdowns).
+    fn execute(&mut self, shape: &StageShape) -> StageOutcome;
+}
+
+/// Scheduler limits.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimulationConfig {
+    /// Maximum requests per stage (the paper's "batch size").
+    pub max_batch: usize,
+    /// KV-cache byte budget across the serving system.
+    pub kv_capacity_bytes: u64,
+    /// KV bytes per token of context (from the model config).
+    pub kv_bytes_per_token: u64,
+    /// Safety cap on simulated stages.
+    pub max_stages: usize,
+}
+
+impl Default for SimulationConfig {
+    fn default() -> Self {
+        Self {
+            max_batch: 32,
+            kv_capacity_bytes: u64::MAX,
+            kv_bytes_per_token: 1,
+            max_stages: 2_000_000,
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Active {
+    request: Request,
+    generated: u64,
+    token_times: Vec<f64>,
+}
+
+impl Active {
+    fn kv_reserved(&self, bytes_per_token: u64) -> u64 {
+        self.request.max_kv_tokens() * bytes_per_token
+    }
+
+    fn decode_ctx(&self) -> u64 {
+        self.request.input_len + self.generated
+    }
+}
+
+/// A configured simulation, ready to run against a [`StageExecutor`].
+#[derive(Debug)]
+pub struct Simulation {
+    config: SimulationConfig,
+    source: RequestSource,
+    total_requests: usize,
+}
+
+impl Simulation {
+    /// Closed-loop serving: `total_requests` drawn from `workload`, all
+    /// backlogged at time zero; a finished request is replaced at the
+    /// next stage boundary.
+    pub fn closed_loop(config: SimulationConfig, workload: Workload, total_requests: usize) -> Self {
+        Self {
+            config,
+            source: RequestSource::new(workload, Arrivals::ClosedLoop),
+            total_requests,
+        }
+    }
+
+    /// Open-loop serving: `total_requests` Poisson arrivals at `qps`.
+    pub fn poisson(
+        config: SimulationConfig,
+        workload: Workload,
+        qps: f64,
+        total_requests: usize,
+    ) -> Self {
+        Self {
+            config,
+            source: RequestSource::new(workload, Arrivals::Poisson { qps }),
+            total_requests,
+        }
+    }
+
+    /// Run to completion (or the stage cap) and report.
+    pub fn run<E: StageExecutor + ?Sized>(mut self, executor: &mut E) -> SimReport {
+        let mut pending: VecDeque<Request> =
+            (0..self.total_requests).map(|_| self.source.next_request()).collect();
+        let mut active: Vec<Active> = Vec::new();
+        let mut completed: Vec<RequestRecord> = Vec::new();
+        let mut stages: Vec<StageRecord> = Vec::new();
+        let mut clock = 0.0f64;
+
+        while completed.len() < self.total_requests && stages.len() < self.config.max_stages {
+            // Admission: FIFO, gated by batch slots and KV reservation.
+            let mut reserved: u64 = active
+                .iter()
+                .map(|a| a.kv_reserved(self.config.kv_bytes_per_token))
+                .sum();
+            let mut prefills: Vec<Active> = Vec::new();
+            while active.len() + prefills.len() < self.config.max_batch {
+                let Some(front) = pending.front() else { break };
+                if front.arrival_s > clock {
+                    break;
+                }
+                let need = front.max_kv_tokens() * self.config.kv_bytes_per_token;
+                if reserved.saturating_add(need) > self.config.kv_capacity_bytes {
+                    break;
+                }
+                reserved += need;
+                let request = pending.pop_front().expect("front exists");
+                prefills.push(Active { request, generated: 0, token_times: Vec::new() });
+            }
+
+            if active.is_empty() && prefills.is_empty() {
+                // Idle: jump to the next arrival.
+                match pending.front() {
+                    Some(next) => {
+                        clock = clock.max(next.arrival_s);
+                        continue;
+                    }
+                    None => break,
+                }
+            }
+
+            let shape = StageShape {
+                decode_ctx: active.iter().map(Active::decode_ctx).collect(),
+                prefill_len: prefills.iter().map(|p| p.request.input_len).collect(),
+            };
+            let outcome = executor.execute(&shape);
+            clock += outcome.seconds;
+            stages.push(StageRecord {
+                seconds: outcome.seconds,
+                mixed: shape.is_mixed(),
+                batch: shape.batch_size(),
+                tokens: shape.tokens(),
+            });
+
+            for a in &mut active {
+                a.generated += 1;
+                a.token_times.push(clock);
+            }
+            for mut p in prefills {
+                p.generated = 1;
+                p.token_times.push(clock);
+                active.push(p);
+            }
+            let mut i = 0;
+            while i < active.len() {
+                if active[i].generated >= active[i].request.output_len {
+                    let done = active.swap_remove(i);
+                    completed.push(RequestRecord {
+                        request: done.request,
+                        token_times: done.token_times,
+                    });
+                } else {
+                    i += 1;
+                }
+            }
+        }
+
+        SimReport { completed, stages, total_time_s: clock }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Fixed(f64);
+    impl StageExecutor for Fixed {
+        fn execute(&mut self, _shape: &StageShape) -> StageOutcome {
+            StageOutcome { seconds: self.0 }
+        }
+    }
+
+    /// Executor that records the shapes it saw.
+    struct Recording {
+        shapes: Vec<StageShape>,
+    }
+    impl StageExecutor for Recording {
+        fn execute(&mut self, shape: &StageShape) -> StageOutcome {
+            self.shapes.push(shape.clone());
+            StageOutcome { seconds: 0.01 }
+        }
+    }
+
+    fn config(max_batch: usize) -> SimulationConfig {
+        SimulationConfig { max_batch, ..SimulationConfig::default() }
+    }
+
+    #[test]
+    fn every_request_completes_exactly_once() {
+        let sim = Simulation::closed_loop(config(8), Workload::fixed(64, 5), 20);
+        let report = sim.run(&mut Fixed(0.01));
+        assert_eq!(report.completed.len(), 20);
+        let mut ids: Vec<u64> = report.completed.iter().map(|r| r.request.id).collect();
+        ids.sort();
+        ids.dedup();
+        assert_eq!(ids.len(), 20);
+        for r in &report.completed {
+            assert_eq!(r.token_times.len() as u64, r.request.output_len);
+        }
+    }
+
+    #[test]
+    fn stage_count_matches_closed_loop_math() {
+        // 4 requests, batch 2, Lout 3: two waves of 3 stages each.
+        let sim = Simulation::closed_loop(config(2), Workload::fixed(16, 3), 4);
+        let report = sim.run(&mut Fixed(0.01));
+        assert_eq!(report.stages.len(), 6);
+        assert_eq!(report.stages.iter().filter(|s| s.mixed).count(), 2);
+    }
+
+    #[test]
+    fn decode_only_dominates_long_outputs() {
+        // Fig. 5(a): one prefill stage, Lout decode stages per request.
+        let sim = Simulation::closed_loop(config(4), Workload::fixed(128, 64), 16);
+        let report = sim.run(&mut Fixed(0.001));
+        assert!(report.decode_only_fraction() > 0.8, "{}", report.decode_only_fraction());
+    }
+
+    #[test]
+    fn kv_capacity_limits_batch() {
+        let cfg = SimulationConfig {
+            max_batch: 8,
+            kv_capacity_bytes: 2 * (16 + 4), // room for exactly two requests
+            kv_bytes_per_token: 1,
+            max_stages: 100_000,
+        };
+        let sim = Simulation::closed_loop(cfg, Workload::fixed(16, 4), 12);
+        let report = sim.run(&mut Fixed(0.01));
+        assert_eq!(report.completed.len(), 12);
+        assert!(report.stages.iter().all(|s| s.batch <= 2), "batch capped by KV capacity");
+    }
+
+    #[test]
+    fn mixed_stage_shapes_carry_prompt_lengths() {
+        let sim = Simulation::closed_loop(config(2), Workload::fixed(100, 2), 2);
+        let mut rec = Recording { shapes: Vec::new() };
+        let report = sim.run(&mut rec);
+        assert_eq!(report.completed.len(), 2);
+        assert_eq!(rec.shapes[0].prefill_len, vec![100, 100]);
+        assert!(rec.shapes[0].decode_ctx.is_empty());
+        // Next stage: both decoding with ctx = Lin + 1.
+        assert_eq!(rec.shapes[1].decode_ctx, vec![101, 101]);
+    }
+
+    #[test]
+    fn poisson_idle_time_advances_clock() {
+        let cfg = config(4);
+        let sim = Simulation::poisson(cfg, Workload::fixed(8, 2).with_seed(3), 0.5, 5);
+        let report = sim.run(&mut Fixed(0.001));
+        assert_eq!(report.completed.len(), 5);
+        // With ~2 s between arrivals and 2 ms of service, E2E stays tiny
+        // while total time spans the arrival horizon.
+        assert!(report.total_time_s > 5.0, "got {}", report.total_time_s);
+        assert!(report.e2e().p50 < 0.05);
+    }
+
+    #[test]
+    fn overload_grows_queueing_delay() {
+        // Service takes 1 s/stage; Lout = 4 stages per request at batch 1
+        // => capacity 0.25 req/s. Inject 2 req/s: T2FT must blow up.
+        let cfg = config(1);
+        let w = Workload::fixed(8, 4).with_seed(7);
+        let light = Simulation::poisson(cfg, w.clone(), 0.05, 10).run(&mut Fixed(1.0));
+        let heavy = Simulation::poisson(cfg, w, 2.0, 10).run(&mut Fixed(1.0));
+        assert!(heavy.t2ft().p50 > 4.0 * light.t2ft().p50.max(0.001));
+    }
+
+    #[test]
+    fn tbt_equals_stage_latency_in_steady_state() {
+        let sim = Simulation::closed_loop(config(4), Workload::fixed(32, 16), 4);
+        let report = sim.run(&mut Fixed(0.02));
+        let tbt = report.tbt();
+        assert!((tbt.p50 - 0.02).abs() < 1e-9);
+        assert!((tbt.p99 - 0.02).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stage_cap_stops_runaway() {
+        let cfg = SimulationConfig { max_stages: 5, ..config(1) };
+        let sim = Simulation::closed_loop(cfg, Workload::fixed(8, 100), 3);
+        let report = sim.run(&mut Fixed(0.01));
+        assert_eq!(report.stages.len(), 5);
+        assert!(report.completed.is_empty());
+    }
+}

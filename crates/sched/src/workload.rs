@@ -1,0 +1,196 @@
+//! Synthetic workloads, matching the paper's setup (Sec. VI):
+//! Gaussian-sampled input/output lengths (the paper reports the means),
+//! uniform expert routing (handled in `duplex-model`), and either
+//! closed-loop refill or Poisson arrivals for the QPS sweeps.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::request::Request;
+
+/// Distribution of request shapes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Workload {
+    /// Mean prompt length Lin.
+    pub mean_input: u64,
+    /// Mean response length Lout.
+    pub mean_output: u64,
+    /// Coefficient of variation (std/mean) of both lengths; 0 makes the
+    /// workload deterministic.
+    pub cv: f64,
+    /// RNG seed for reproducibility.
+    pub seed: u64,
+}
+
+impl Workload {
+    /// Gaussian lengths with the paper-style 10% coefficient of
+    /// variation around the reported means.
+    pub fn gaussian(mean_input: u64, mean_output: u64) -> Self {
+        Self { mean_input, mean_output, cv: 0.10, seed: 0x5EED }
+    }
+
+    /// Deterministic lengths (useful for tests and ablations).
+    pub fn fixed(input: u64, output: u64) -> Self {
+        Self { mean_input: input, mean_output: output, cv: 0.0, seed: 0x5EED }
+    }
+
+    /// Replace the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Replace the coefficient of variation.
+    pub fn with_cv(mut self, cv: f64) -> Self {
+        assert!(cv >= 0.0, "cv must be non-negative");
+        self.cv = cv;
+        self
+    }
+}
+
+/// The arrival process.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Arrivals {
+    /// Infinite backlog: a finished request is immediately replaced at
+    /// the next stage boundary (the paper's default).
+    ClosedLoop,
+    /// Open loop: Poisson arrivals at `qps` queries per second
+    /// (the Fig. 13 setup).
+    Poisson {
+        /// Mean queries per second.
+        qps: f64,
+    },
+}
+
+/// Stream of requests drawn from a [`Workload`] under an [`Arrivals`]
+/// process.
+#[derive(Debug)]
+pub struct RequestSource {
+    workload: Workload,
+    arrivals: Arrivals,
+    rng: StdRng,
+    next_id: u64,
+    clock: f64,
+}
+
+impl RequestSource {
+    /// Create a source; request ids start at 0.
+    pub fn new(workload: Workload, arrivals: Arrivals) -> Self {
+        let rng = StdRng::seed_from_u64(workload.seed);
+        Self { workload, arrivals, rng, next_id: 0, clock: 0.0 }
+    }
+
+    fn gaussian_len(&mut self, mean: u64) -> u64 {
+        if self.workload.cv == 0.0 {
+            return mean.max(1);
+        }
+        let std = self.workload.cv * mean as f64;
+        let u1: f64 = self.rng.random::<f64>().max(f64::MIN_POSITIVE);
+        let u2: f64 = self.rng.random();
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        let sample = mean as f64 + std * z;
+        // Clamp to a sane band so a tail draw cannot dominate the run.
+        sample.clamp(mean as f64 * 0.25, mean as f64 * 2.0).round().max(1.0) as u64
+    }
+
+    /// Draw the next request. For closed-loop sources arrival time is
+    /// 0 (always already waiting); for Poisson sources the clock
+    /// advances by an exponential inter-arrival gap.
+    pub fn next_request(&mut self) -> Request {
+        let arrival_s = match self.arrivals {
+            Arrivals::ClosedLoop => 0.0,
+            Arrivals::Poisson { qps } => {
+                assert!(qps > 0.0, "qps must be positive");
+                let u: f64 = self.rng.random::<f64>().max(f64::MIN_POSITIVE);
+                self.clock += -u.ln() / qps;
+                self.clock
+            }
+        };
+        let r = Request {
+            id: self.next_id,
+            arrival_s,
+            input_len: self.gaussian_len(self.workload.mean_input),
+            output_len: self.gaussian_len(self.workload.mean_output),
+        };
+        self.next_id += 1;
+        r
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_workload_is_deterministic() {
+        let mut s = RequestSource::new(Workload::fixed(128, 32), Arrivals::ClosedLoop);
+        for _ in 0..10 {
+            let r = s.next_request();
+            assert_eq!(r.input_len, 128);
+            assert_eq!(r.output_len, 32);
+            assert_eq!(r.arrival_s, 0.0);
+        }
+    }
+
+    #[test]
+    fn gaussian_lengths_center_on_mean() {
+        let mut s = RequestSource::new(Workload::gaussian(1000, 500), Arrivals::ClosedLoop);
+        let n = 4000;
+        let (mut in_sum, mut out_sum) = (0u64, 0u64);
+        for _ in 0..n {
+            let r = s.next_request();
+            in_sum += r.input_len;
+            out_sum += r.output_len;
+            assert!(r.input_len >= 250 && r.input_len <= 2000);
+        }
+        let in_mean = in_sum as f64 / n as f64;
+        let out_mean = out_sum as f64 / n as f64;
+        assert!((in_mean - 1000.0).abs() < 20.0, "got {in_mean}");
+        assert!((out_mean - 500.0).abs() < 10.0, "got {out_mean}");
+    }
+
+    #[test]
+    fn poisson_rate_matches_qps() {
+        let mut s =
+            RequestSource::new(Workload::fixed(64, 16).with_seed(9), Arrivals::Poisson { qps: 8.0 });
+        let n = 8000;
+        let mut last = 0.0;
+        for _ in 0..n {
+            last = s.next_request().arrival_s;
+        }
+        let rate = n as f64 / last;
+        assert!((rate - 8.0).abs() < 0.4, "got {rate}");
+    }
+
+    #[test]
+    fn arrivals_are_monotone() {
+        let mut s =
+            RequestSource::new(Workload::fixed(64, 16), Arrivals::Poisson { qps: 2.0 });
+        let mut prev = -1.0;
+        for _ in 0..100 {
+            let a = s.next_request().arrival_s;
+            assert!(a >= prev);
+            prev = a;
+        }
+    }
+
+    #[test]
+    fn ids_are_sequential() {
+        let mut s = RequestSource::new(Workload::fixed(1, 1), Arrivals::ClosedLoop);
+        for expect in 0..5u64 {
+            assert_eq!(s.next_request().id, expect);
+        }
+    }
+
+    #[test]
+    fn same_seed_same_stream() {
+        let w = Workload::gaussian(512, 512).with_seed(42);
+        let mut a = RequestSource::new(w.clone(), Arrivals::ClosedLoop);
+        let mut b = RequestSource::new(w, Arrivals::ClosedLoop);
+        for _ in 0..20 {
+            let (ra, rb) = (a.next_request(), b.next_request());
+            assert_eq!(ra.input_len, rb.input_len);
+            assert_eq!(ra.output_len, rb.output_len);
+        }
+    }
+}

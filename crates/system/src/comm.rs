@@ -1,0 +1,196 @@
+//! Collective-communication cost model.
+//!
+//! The paper interconnects up to eight devices per node with 900 GB/s
+//! bidirectional NVLink (HGX-style) and nodes with 400 GB/s InfiniBand
+//! (Sec. VI). We price collectives with the standard ring-algorithm
+//! closed forms plus a fixed per-hop latency:
+//!
+//! * all-reduce of `B` bytes over `n` peers: `2·(n-1)/n · B / bw`
+//! * all-gather / reduce-scatter: `(n-1)/n · B / bw`
+//! * all-to-all of `B` bytes held per peer: `(n-1)/n · B / bw`
+//!
+//! When a collective spans nodes, the inter-node legs run at the IB
+//! bandwidth, which dominates; we price the collective at the slowest
+//! link it crosses (ring traversal order makes every byte cross the
+//! slow link `(n-1)/n` of the time in the worst placement, which is the
+//! paper's "relatively low bandwidth between nodes increases
+//! communication overhead" effect for Grok1).
+
+/// Link bandwidths and latency.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkSpec {
+    /// Intra-node (NVLink) bandwidth in bytes/s per device.
+    pub intra_node_bytes_per_sec: f64,
+    /// Inter-node (InfiniBand) bandwidth in bytes/s per node.
+    pub inter_node_bytes_per_sec: f64,
+    /// Fixed per-collective latency in seconds (software + switch).
+    pub latency_s: f64,
+}
+
+impl LinkSpec {
+    /// HGX-class defaults: 900 GB/s NVLink, 400 GB/s InfiniBand, 2 us
+    /// software latency per collective hop.
+    pub fn hgx() -> Self {
+        Self {
+            intra_node_bytes_per_sec: 900e9,
+            inter_node_bytes_per_sec: 400e9,
+            latency_s: 2e-6,
+        }
+    }
+}
+
+impl Default for LinkSpec {
+    fn default() -> Self {
+        Self::hgx()
+    }
+}
+
+/// Prices collectives over a `nodes x devices_per_node` cluster.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CommModel {
+    link: LinkSpec,
+    nodes: u32,
+    devices_per_node: u32,
+}
+
+impl CommModel {
+    /// Build a model for the given cluster shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(link: LinkSpec, nodes: u32, devices_per_node: u32) -> Self {
+        assert!(nodes > 0 && devices_per_node > 0, "cluster must be non-empty");
+        Self { link, nodes, devices_per_node }
+    }
+
+    /// Devices participating in an intra-node collective.
+    pub fn devices_per_node(&self) -> u32 {
+        self.devices_per_node
+    }
+
+    /// Nodes in the cluster.
+    pub fn nodes(&self) -> u32 {
+        self.nodes
+    }
+
+    fn ring_factor(n: u32) -> f64 {
+        (n - 1) as f64 / n as f64
+    }
+
+    /// Time for an all-reduce of `bytes` (the full tensor size) across
+    /// the devices of one node.
+    pub fn all_reduce_intra(&self, bytes: u64) -> f64 {
+        let n = self.devices_per_node;
+        if n <= 1 || bytes == 0 {
+            return 0.0;
+        }
+        2.0 * Self::ring_factor(n) * bytes as f64 / self.link.intra_node_bytes_per_sec
+            + self.link.latency_s * n as f64
+    }
+
+    /// Time for an all-to-all where each device holds `bytes_per_device`
+    /// to scatter, across the whole cluster (expert-parallel dispatch or
+    /// combine). Inter-node legs run at IB speed.
+    pub fn all_to_all(&self, bytes_per_device: u64) -> f64 {
+        let total_devices = self.nodes * self.devices_per_node;
+        if total_devices <= 1 || bytes_per_device == 0 {
+            return 0.0;
+        }
+        let intra = Self::ring_factor(self.devices_per_node) * bytes_per_device as f64
+            / self.link.intra_node_bytes_per_sec;
+        let inter = if self.nodes > 1 {
+            // The share of each device's data leaving the node.
+            let leaving = bytes_per_device as f64 * Self::ring_factor(self.nodes);
+            // All devices of a node share the node's IB links.
+            leaving * self.devices_per_node as f64 / self.link.inter_node_bytes_per_sec
+        } else {
+            0.0
+        };
+        intra.max(inter) + self.link.latency_s * total_devices as f64
+    }
+
+    /// Point-to-point transfer of `bytes` between two devices in the
+    /// same node (KV migration in split systems, GPU-to-PIM handoff in
+    /// hetero systems).
+    pub fn p2p_intra(&self, bytes: u64) -> f64 {
+        if bytes == 0 {
+            return 0.0;
+        }
+        bytes as f64 / self.link.intra_node_bytes_per_sec + self.link.latency_s
+    }
+
+    /// Point-to-point transfer of `bytes` between two nodes.
+    pub fn p2p_inter(&self, bytes: u64) -> f64 {
+        if bytes == 0 {
+            return 0.0;
+        }
+        bytes as f64 / self.link.inter_node_bytes_per_sec + self.link.latency_s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model(nodes: u32, per_node: u32) -> CommModel {
+        CommModel::new(LinkSpec::hgx(), nodes, per_node)
+    }
+
+    #[test]
+    fn single_device_collectives_are_free() {
+        let m = model(1, 1);
+        assert_eq!(m.all_reduce_intra(1 << 20), 0.0);
+        assert_eq!(m.all_to_all(1 << 20), 0.0);
+    }
+
+    #[test]
+    fn all_reduce_ring_scaling() {
+        let m4 = model(1, 4);
+        let m8 = model(1, 8);
+        let bytes = 64 << 20;
+        let t4 = m4.all_reduce_intra(bytes);
+        let t8 = m8.all_reduce_intra(bytes);
+        // Ring factor grows from 3/4 to 7/8: a little slower at 8.
+        assert!(t8 > t4);
+        assert!(t8 < 1.3 * t4);
+    }
+
+    #[test]
+    fn all_reduce_closed_form() {
+        let m = model(1, 4);
+        let bytes = 900_000_000u64; // 1 second of link at 900 GB/s
+        let expect = 2.0 * 0.75 * 1e-3 + 4.0 * 2e-6;
+        assert!((m.all_reduce_intra(bytes) - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn inter_node_all_to_all_is_slower() {
+        let one = model(1, 8);
+        let two = model(2, 8);
+        let bytes = 32 << 20;
+        assert!(two.all_to_all(bytes) > 2.0 * one.all_to_all(bytes));
+    }
+
+    #[test]
+    fn p2p_speeds() {
+        let m = model(2, 4);
+        let bytes = 900_000_000u64; // 1 ms of NVLink at 900 GB/s
+        assert!((m.p2p_intra(bytes) - (1e-3 + 2e-6)).abs() < 1e-9);
+        assert!(m.p2p_inter(bytes) > 2.0 * m.p2p_intra(bytes));
+    }
+
+    #[test]
+    fn zero_bytes_cost_nothing() {
+        let m = model(2, 8);
+        assert_eq!(m.all_to_all(0), 0.0);
+        assert_eq!(m.p2p_intra(0), 0.0);
+        assert_eq!(m.p2p_inter(0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_cluster_rejected() {
+        CommModel::new(LinkSpec::hgx(), 0, 4);
+    }
+}

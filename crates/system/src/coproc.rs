@@ -1,0 +1,182 @@
+//! Expert and attention co-processing (Sec. V-B).
+//!
+//! Expert FFNs have no data dependencies between them, and the gate
+//! gives every expert a different token count. Duplex exploits both:
+//! the experts with the fewest tokens (lowest Op/B) go to Logic-PIM,
+//! the rest to the xPU, and the two process concurrently. The paper
+//! uses a latency lookup table indexed by token count; we evaluate the
+//! same family of splits — PIM takes a prefix of the token-count-sorted
+//! expert list — exactly, which is optimal within that family because
+//! PIM time grows and xPU time shrinks monotonically in the prefix
+//! length.
+
+/// Outcome of splitting one device's experts between its two units.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExpertSplit {
+    /// Indices (into the input list) assigned to Logic-PIM.
+    pub pim_experts: Vec<usize>,
+    /// Indices assigned to the xPU.
+    pub xpu_experts: Vec<usize>,
+    /// Time Logic-PIM spends on its share, seconds.
+    pub pim_seconds: f64,
+    /// Time the xPU spends on its share, seconds.
+    pub xpu_seconds: f64,
+}
+
+impl ExpertSplit {
+    /// The concurrent makespan: max of the two sides.
+    pub fn makespan(&self) -> f64 {
+        self.pim_seconds.max(self.xpu_seconds)
+    }
+}
+
+/// Choose the best split of `experts` (given as per-expert execution
+/// times on each unit) between Logic-PIM and the xPU.
+///
+/// `costs[i] = (pim_seconds_i, xpu_seconds_i)` must be the runtime of
+/// expert `i` on each unit, typically produced from the engines' cost
+/// model — the runtime analogue of the paper's lookup table. Experts
+/// with fewer tokens should have smaller times on both units; the
+/// algorithm sorts by PIM time ascending and evaluates every prefix
+/// split, returning the makespan-minimizing one.
+///
+/// Zero-token experts (zero cost on both units) land on the PIM side
+/// harmlessly.
+pub fn split_experts(costs: &[(f64, f64)]) -> ExpertSplit {
+    let mut order: Vec<usize> = (0..costs.len()).collect();
+    order.sort_by(|&a, &b| {
+        costs[a].0.partial_cmp(&costs[b].0).expect("expert costs are finite")
+    });
+
+    // Suffix sums of xPU times in sorted order.
+    let mut xpu_suffix = vec![0.0f64; order.len() + 1];
+    for i in (0..order.len()).rev() {
+        xpu_suffix[i] = xpu_suffix[i + 1] + costs[order[i]].1;
+    }
+
+    let mut best_k = 0usize;
+    let mut best_makespan = f64::INFINITY;
+    let mut pim_prefix = 0.0f64;
+    // k = number of experts (smallest first) on the PIM.
+    for k in 0..=order.len() {
+        let makespan = pim_prefix.max(xpu_suffix[k]);
+        if makespan < best_makespan {
+            best_makespan = makespan;
+            best_k = k;
+        }
+        if k < order.len() {
+            pim_prefix += costs[order[k]].0;
+        }
+    }
+
+    let pim_experts: Vec<usize> = order[..best_k].to_vec();
+    let xpu_experts: Vec<usize> = order[best_k..].to_vec();
+    let pim_seconds: f64 = pim_experts.iter().map(|&i| costs[i].0).sum();
+    let xpu_seconds: f64 = xpu_experts.iter().map(|&i| costs[i].1).sum();
+    ExpertSplit { pim_experts, xpu_experts, pim_seconds, xpu_seconds }
+}
+
+/// Brute-force optimal split over *all* 2^n partitions; test oracle for
+/// small expert counts.
+#[cfg(test)]
+pub fn split_experts_exhaustive(costs: &[(f64, f64)]) -> f64 {
+    let n = costs.len();
+    assert!(n <= 20, "exhaustive split is exponential");
+    let mut best = f64::INFINITY;
+    for mask in 0u32..(1 << n) {
+        let mut pim = 0.0;
+        let mut xpu = 0.0;
+        for (i, c) in costs.iter().enumerate() {
+            if mask & (1 << i) != 0 {
+                pim += c.0;
+            } else {
+                xpu += c.1;
+            }
+        }
+        best = best.min(pim.max(xpu));
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_on_xpu_when_pim_is_useless() {
+        // PIM so slow that everything should go to the xPU.
+        let costs = vec![(100.0, 1.0), (100.0, 1.0)];
+        let s = split_experts(&costs);
+        assert!(s.pim_experts.is_empty());
+        assert!((s.makespan() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn all_on_pim_when_pim_dominates() {
+        let costs = vec![(1.0, 50.0), (1.0, 50.0)];
+        let s = split_experts(&costs);
+        assert!(s.xpu_experts.is_empty());
+        assert!((s.makespan() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn balanced_split_beats_either_extreme() {
+        // Four equal experts, PIM twice as fast.
+        let costs = vec![(1.0, 2.0); 4];
+        let s = split_experts(&costs);
+        let all_pim = 4.0f64;
+        let all_xpu = 8.0f64;
+        assert!(s.makespan() < all_pim.min(all_xpu));
+        assert!((s.makespan() - 3.0).abs() < 1e-9, "got {}", s.makespan());
+    }
+
+    #[test]
+    fn prefers_small_experts_on_pim() {
+        // One hot expert (many tokens), three cold ones: the hot expert
+        // belongs on the xPU (Sec. V-B).
+        let costs = vec![(8.0, 1.0), (1.0, 0.9), (1.0, 0.9), (1.0, 0.9)];
+        let s = split_experts(&costs);
+        assert!(s.xpu_experts.contains(&0), "hot expert on xPU: {s:?}");
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let s = split_experts(&[]);
+        assert_eq!(s.makespan(), 0.0);
+        let s = split_experts(&[(2.0, 3.0)]);
+        assert!((s.makespan() - 2.0).abs() < 1e-12, "single expert goes to faster unit");
+    }
+
+    #[test]
+    fn zero_cost_experts_are_harmless() {
+        let costs = vec![(0.0, 0.0), (1.0, 2.0), (0.0, 0.0)];
+        let s = split_experts(&costs);
+        assert!((s.makespan() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn matches_exhaustive_oracle_when_costs_are_proportional() {
+        // When per-expert PIM/xPU times are proportional (same shape,
+        // different token counts), the sorted-prefix family contains an
+        // optimal split; verify against brute force.
+        let token_counts = [3.0, 1.0, 7.0, 2.0, 5.0, 1.0, 9.0, 4.0];
+        let costs: Vec<(f64, f64)> =
+            token_counts.iter().map(|&t| (t, 0.4 * t + 2.0)).collect();
+        let fast = split_experts(&costs).makespan();
+        let oracle = split_experts_exhaustive(&costs);
+        assert!(
+            fast <= oracle * 1.10 + 1e-12,
+            "prefix split {fast} should be within 10% of oracle {oracle}"
+        );
+    }
+
+    #[test]
+    fn makespan_never_worse_than_single_unit() {
+        let costs = vec![(2.0, 1.5), (0.5, 3.0), (1.0, 1.0), (4.0, 2.5)];
+        let s = split_experts(&costs);
+        let all_pim: f64 = costs.iter().map(|c| c.0).sum();
+        let all_xpu: f64 = costs.iter().map(|c| c.1).sum();
+        assert!(s.makespan() <= all_pim + 1e-12);
+        assert!(s.makespan() <= all_xpu + 1e-12);
+    }
+}

@@ -1,0 +1,953 @@
+//! Stage execution: maps every op of a stage onto the system's
+//! processing units, prices time and energy, and implements the
+//! operation flows of Fig. 10.
+//!
+//! One [`SystemExecutor`] models one serving system end to end:
+//!
+//! * **GPU** — everything on the xPU (Fig. 10 has no PIM lane);
+//! * **Duplex** (base) — Logic-PIM runs MoE layers of decoding-only
+//!   stages and all decode attention; the xPU runs the rest; the two
+//!   never overlap (Fig. 10(a)/(b));
+//! * **Duplex+PE** — expert co-processing splits each device's experts
+//!   between the units, attention co-processing overlaps prefill
+//!   attention (xPU) with decode attention (Logic-PIM) (Fig. 10(d));
+//! * **Duplex+PE+ET** — additionally tensor-parallels experts within a
+//!   node so each device sees *all* experts and the split gets finer
+//!   (Sec. V-B);
+//! * **Bank-PIM** — the low-Op/B unit is an in-bank PIM; in-bank reads
+//!   occupy every bank, so there is no conflict-free co-processing;
+//! * **hetero** — two GPUs plus two Logic-PIM devices (Fig. 5): the PIM
+//!   devices own MoE (all stages!) and decode attention, which is
+//!   exactly what makes mixed stages blow up.
+//!
+//! Timing uses the representative (most-loaded) node and takes maxima
+//! across parallel devices; energy sums over all devices.
+
+use duplex_compute::engine::default_profile;
+use duplex_compute::kernel::{GemmShape, Kernel};
+use duplex_compute::{Engine, EngineSpec, KernelCost};
+use duplex_model::ops::{enumerate_stage, AttnOp, ExpertWork, StageShape};
+use duplex_model::{ExpertRouter, ModelConfig};
+use duplex_sched::{StageExecutor, StageOutcome};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::comm::{CommModel, LinkSpec};
+use crate::coproc::split_experts;
+use crate::parallel::CapacityPlan;
+
+/// Bytes of device memory per device (80 GB, H100-class).
+pub const DEVICE_MEM_BYTES: u64 = 80 << 30;
+
+/// HBM stacks per device.
+pub const STACKS_PER_DEVICE: u32 = 5;
+
+/// What the device's low-Op/B unit is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DeviceKind {
+    /// Conventional accelerator only.
+    Gpu,
+    /// xPU + Logic-PIM (the paper's device).
+    Duplex,
+    /// xPU + in-bank PIM (the Fig. 14 baseline).
+    BankPim,
+}
+
+/// Per-class wall-clock seconds of one stage (or a whole run).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct TimeBreakdown {
+    /// Batched FC layers (QKV gen, projection, gates, dense FFN, LM head).
+    pub fc: f64,
+    /// Attention of prefilling sequences.
+    pub attn_prefill: f64,
+    /// Attention of decoding sequences.
+    pub attn_decode: f64,
+    /// MoE expert FFNs.
+    pub moe: f64,
+    /// Collectives and device-to-device transfers.
+    pub comm: f64,
+}
+
+impl TimeBreakdown {
+    /// Sum of all classes (serialized time; the stage latency may be
+    /// smaller under co-processing).
+    pub fn total(&self) -> f64 {
+        self.fc + self.attn_prefill + self.attn_decode + self.moe + self.comm
+    }
+}
+
+impl std::ops::AddAssign for TimeBreakdown {
+    fn add_assign(&mut self, rhs: Self) {
+        self.fc += rhs.fc;
+        self.attn_prefill += rhs.attn_prefill;
+        self.attn_decode += rhs.attn_decode;
+        self.moe += rhs.moe;
+        self.comm += rhs.comm;
+    }
+}
+
+/// Per-class energy in joules, split DRAM vs compute (Fig. 15 buckets).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct EnergyBuckets {
+    /// FC DRAM energy.
+    pub fc_dram: f64,
+    /// FC compute energy.
+    pub fc_comp: f64,
+    /// Attention DRAM energy (prefill + decode).
+    pub attn_dram: f64,
+    /// Attention compute energy.
+    pub attn_comp: f64,
+    /// MoE DRAM energy.
+    pub moe_dram: f64,
+    /// MoE compute energy.
+    pub moe_comp: f64,
+}
+
+impl EnergyBuckets {
+    /// Total joules.
+    pub fn total(&self) -> f64 {
+        self.fc_dram + self.fc_comp + self.attn_dram + self.attn_comp + self.moe_dram
+            + self.moe_comp
+    }
+
+    fn add_fc(&mut self, c: &KernelCost) {
+        self.fc_dram += c.dram_energy.total_j();
+        self.fc_comp += c.compute_j;
+    }
+
+    fn add_attn(&mut self, c: &KernelCost) {
+        self.attn_dram += c.dram_energy.total_j();
+        self.attn_comp += c.compute_j;
+    }
+
+    fn add_moe(&mut self, c: &KernelCost) {
+        self.moe_dram += c.dram_energy.total_j();
+        self.moe_comp += c.compute_j;
+    }
+}
+
+impl std::ops::AddAssign for EnergyBuckets {
+    fn add_assign(&mut self, rhs: Self) {
+        self.fc_dram += rhs.fc_dram;
+        self.fc_comp += rhs.fc_comp;
+        self.attn_dram += rhs.attn_dram;
+        self.attn_comp += rhs.attn_comp;
+        self.moe_dram += rhs.moe_dram;
+        self.moe_comp += rhs.moe_comp;
+    }
+}
+
+/// Cost of one executed stage.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct StageCost {
+    /// Effective stage latency in seconds (co-processing overlaps
+    /// already applied).
+    pub seconds: f64,
+    /// Per-class serialized times.
+    pub time: TimeBreakdown,
+    /// Per-class energy.
+    pub energy: EnergyBuckets,
+}
+
+impl std::ops::AddAssign for StageCost {
+    fn add_assign(&mut self, rhs: Self) {
+        self.seconds += rhs.seconds;
+        self.time += rhs.time;
+        self.energy += rhs.energy;
+    }
+}
+
+/// Full description of one serving system.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SystemConfig {
+    /// Display name ("GPU", "Duplex+PE+ET", ...).
+    pub name: String,
+    /// Device type.
+    pub device: DeviceKind,
+    /// Nodes in the cluster (data parallel).
+    pub nodes: u32,
+    /// Devices per node (tensor parallel).
+    pub devices_per_node: u32,
+    /// Expert and attention co-processing enabled.
+    pub coproc: bool,
+    /// Tensor-parallel experts within a node (ET); otherwise expert
+    /// parallelism across all devices.
+    pub expert_tensor_parallel: bool,
+    /// Heterogeneous 2-GPU + 2-Logic-PIM system (overrides `device`).
+    pub hetero: bool,
+    /// Interconnect.
+    pub link: LinkSpec,
+    /// Override the low-Op/B unit's specification (for design-space
+    /// ablations of the bandwidth multiple / machine balance); `None`
+    /// uses the spec implied by `device`.
+    pub pim_spec: Option<EngineSpec>,
+}
+
+impl SystemConfig {
+    fn base(name: &str, device: DeviceKind, devices_per_node: u32, nodes: u32) -> Self {
+        assert!(devices_per_node >= 1 && nodes >= 1, "cluster must be non-empty");
+        Self {
+            name: name.into(),
+            device,
+            nodes,
+            devices_per_node,
+            coproc: false,
+            expert_tensor_parallel: false,
+            hetero: false,
+            link: LinkSpec::hgx(),
+            pim_spec: None,
+        }
+    }
+
+    /// Homogeneous GPU system.
+    pub fn gpu(devices_per_node: u32, nodes: u32) -> Self {
+        Self::base("GPU", DeviceKind::Gpu, devices_per_node, nodes)
+    }
+
+    /// Duplex without co-processing (Fig. 10(a)/(b)).
+    pub fn duplex(devices_per_node: u32, nodes: u32) -> Self {
+        Self::base("Duplex", DeviceKind::Duplex, devices_per_node, nodes)
+    }
+
+    /// Duplex with expert and attention co-processing (Fig. 10(d)).
+    pub fn duplex_pe(devices_per_node: u32, nodes: u32) -> Self {
+        let mut c = Self::base("Duplex+PE", DeviceKind::Duplex, devices_per_node, nodes);
+        c.coproc = true;
+        c
+    }
+
+    /// Duplex with co-processing and expert tensor parallelism.
+    pub fn duplex_pe_et(devices_per_node: u32, nodes: u32) -> Self {
+        let mut c = Self::base("Duplex+PE+ET", DeviceKind::Duplex, devices_per_node, nodes);
+        c.coproc = true;
+        c.expert_tensor_parallel = true;
+        c
+    }
+
+    /// Bank-PIM device system. In-bank reads occupy every bank of the
+    /// pseudo channel, so xPU/PIM co-processing is unavailable.
+    pub fn bank_pim(devices_per_node: u32, nodes: u32) -> Self {
+        Self::base("Bank-PIM", DeviceKind::BankPim, devices_per_node, nodes)
+    }
+
+    /// The heterogeneous system of Fig. 5: one node with two GPUs (FC +
+    /// prefill attention) and two Logic-PIM devices (MoE + decode
+    /// attention).
+    pub fn hetero() -> Self {
+        let mut c = Self::base("Hetero", DeviceKind::Gpu, 4, 1);
+        c.hetero = true;
+        c
+    }
+
+    /// The paper's default cluster shape for a model (Sec. VI):
+    /// Mixtral/OPT/Llama3 on 1x4, GLaM on 1x8, Grok1 on 2x8.
+    pub fn default_cluster(model: &ModelConfig) -> (u32, u32) {
+        match model.name.as_str() {
+            "GLaM" => (8, 1),
+            "Grok1" => (8, 2),
+            _ => (4, 1),
+        }
+    }
+
+    /// A system with twice the devices (the paper's 2xGPU scaling rule:
+    /// grow a node to eight devices, then add nodes).
+    pub fn doubled(&self) -> Self {
+        let mut c = self.clone();
+        if c.devices_per_node < 8 {
+            c.devices_per_node *= 2;
+        } else {
+            c.nodes *= 2;
+        }
+        c.name = format!("2x{}", self.name);
+        c
+    }
+
+    /// Total devices in the system.
+    pub fn total_devices(&self) -> u32 {
+        self.nodes * self.devices_per_node
+    }
+}
+
+/// Executes stages for one system; implements
+/// [`duplex_sched::StageExecutor`].
+#[derive(Debug)]
+pub struct SystemExecutor {
+    config: SystemConfig,
+    model: ModelConfig,
+    router: ExpertRouter,
+    rng: StdRng,
+    xpu: Engine,
+    pim: Option<Engine>,
+    comm: CommModel,
+    node_comm: CommModel,
+    plan: CapacityPlan,
+    total: StageCost,
+    stages: usize,
+}
+
+impl SystemExecutor {
+    /// Build an executor for `model` on `config`, with deterministic
+    /// expert routing from `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the model's weights do not fit the system (see
+    /// [`CapacityPlan`]).
+    pub fn new(config: SystemConfig, model: ModelConfig, seed: u64) -> Self {
+        let profile = default_profile();
+        let xpu = Engine::from_profile(EngineSpec::h100_xpu(), profile, STACKS_PER_DEVICE);
+        let pim = if let Some(spec) = config.pim_spec {
+            Some(Engine::from_profile(spec, profile, STACKS_PER_DEVICE))
+        } else if config.hetero {
+            Some(Engine::from_profile(EngineSpec::logic_pim(STACKS_PER_DEVICE), profile, STACKS_PER_DEVICE))
+        } else {
+            match config.device {
+                DeviceKind::Gpu => None,
+                DeviceKind::Duplex => Some(Engine::from_profile(
+                    EngineSpec::logic_pim(STACKS_PER_DEVICE),
+                    profile,
+                    STACKS_PER_DEVICE,
+                )),
+                DeviceKind::BankPim => Some(Engine::from_profile(
+                    EngineSpec::bank_pim(STACKS_PER_DEVICE),
+                    profile,
+                    STACKS_PER_DEVICE,
+                )),
+            }
+        };
+        let plan = if config.hetero {
+            CapacityPlan::hetero(&model, 2, 2, DEVICE_MEM_BYTES)
+        } else {
+            CapacityPlan::homogeneous(&model, config.nodes, config.devices_per_node, DEVICE_MEM_BYTES)
+        };
+        let router = if model.is_moe() {
+            ExpertRouter::uniform(model.n_experts, model.top_k)
+        } else {
+            ExpertRouter::uniform(1, 1)
+        };
+        let comm = CommModel::new(config.link, config.nodes, config.devices_per_node);
+        // Node-level collectives (EP across nodes) run on the IB links.
+        let node_link = LinkSpec {
+            intra_node_bytes_per_sec: config.link.inter_node_bytes_per_sec,
+            ..config.link
+        };
+        let node_comm = CommModel::new(node_link, 1, config.nodes);
+        Self {
+            config,
+            model,
+            router,
+            rng: StdRng::seed_from_u64(seed),
+            xpu,
+            pim,
+            comm,
+            node_comm,
+            plan,
+            total: StageCost::default(),
+            stages: 0,
+        }
+    }
+
+    /// The system configuration.
+    pub fn config(&self) -> &SystemConfig {
+        &self.config
+    }
+
+    /// The model being served.
+    pub fn model(&self) -> &ModelConfig {
+        &self.model
+    }
+
+    /// The capacity plan (weights placed, KV budget).
+    pub fn capacity(&self) -> &CapacityPlan {
+        &self.plan
+    }
+
+    /// KV-cache budget for the scheduler.
+    pub fn kv_capacity_bytes(&self) -> u64 {
+        self.plan.kv_capacity_bytes
+    }
+
+    /// Accumulated cost over all executed stages.
+    pub fn total_cost(&self) -> &StageCost {
+        &self.total
+    }
+
+    /// Stages executed so far.
+    pub fn stages_executed(&self) -> usize {
+        self.stages
+    }
+
+    /// Reset accumulated totals (e.g. between warm-up and measurement).
+    pub fn reset_totals(&mut self) {
+        self.total = StageCost::default();
+        self.stages = 0;
+    }
+
+    /// Replace the gate with a Zipf-skewed router (Sec. VIII-B: hot and
+    /// cold experts). `skew = 0` restores the paper's uniform default.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the model has no MoE layers or `skew` is negative.
+    pub fn set_expert_skew(&mut self, skew: f64) {
+        assert!(self.model.is_moe(), "expert skew needs an MoE model");
+        self.router = ExpertRouter::zipf(self.model.n_experts, self.model.top_k, skew);
+    }
+
+    fn pim(&self) -> &Engine {
+        self.pim.as_ref().expect("policy routed work to a PIM on a PIM-less system")
+    }
+
+    /// Price one expert invocation on `engine`, with the expert's
+    /// matrices sharded to `frac` of their columns/rows.
+    fn expert_cost(&self, engine: &Engine, tokens: u64, frac: f64) -> KernelCost {
+        if tokens == 0 {
+            return KernelCost::zero();
+        }
+        let work = ExpertWork::for_tokens(&self.model, tokens);
+        let bpe = self.model.bytes_per_elem;
+        let up_n = ((work.up_shape.n as f64 * frac).ceil() as u64).max(1);
+        let down_k = ((work.down_shape.k as f64 * frac).ceil() as u64).max(1);
+        let up = GemmShape { m: tokens, n: up_n, k: work.up_shape.k };
+        let down = GemmShape { m: tokens, n: work.down_shape.n, k: down_k };
+        let mut cost = KernelCost::zero();
+        for _ in 0..work.up_count {
+            cost += engine.gemm_cost_amortized(up, up.weight_bytes(bpe));
+        }
+        cost += engine.gemm_cost_amortized(down, down.weight_bytes(bpe));
+        if work.activation_elems > 0 {
+            let elems = (work.activation_elems as f64 * frac).ceil() as u64;
+            cost += engine.kernel_cost(&Kernel::Elementwise { elems });
+        }
+        cost
+    }
+
+    /// Price one attention op on `engine`, head groups sharded over
+    /// `tp` devices. Returns the per-device cost of all `count` layers.
+    fn attn_cost(&self, engine: &Engine, op: &AttnOp, tp: u32) -> KernelCost {
+        let groups_dev = (op.groups).div_ceil(u64::from(tp));
+        let bpe = self.model.bytes_per_elem;
+        let kv_dev = op.kv_dram_bytes(bpe) * groups_dev / op.groups;
+        let mut score = op.score_shape();
+        score.m = op.q_rows * groups_dev;
+        let mut value = op.value_shape();
+        value.m = op.q_rows * groups_dev;
+        // Per-request attention within one layer is dispatched as one
+        // batched kernel; overhead is added per layer in `stage_cost`.
+        let mut cost = engine.gemm_cost_amortized(score, kv_dev / 2);
+        cost += engine.kernel_cost(&Kernel::Softmax { rows: score.m, cols: score.n });
+        cost += engine.gemm_cost_amortized(value, kv_dev - kv_dev / 2);
+        scale(cost, op.count as f64)
+    }
+
+    /// Compute the cost of one stage without executing it through the
+    /// scheduler (used by the figure harnesses for one-shot analysis).
+    pub fn stage_cost(&mut self, shape: &StageShape) -> StageCost {
+        let work = enumerate_stage(&self.model, shape, &self.router, &mut self.rng);
+        let nodes = self.config.nodes as usize;
+        let (tp_fc, tp_attn, moe_devices) = if self.config.hetero {
+            (2u32, 2u32, 2u32)
+        } else {
+            let tp = self.config.devices_per_node;
+            (tp, tp, self.config.total_devices())
+        };
+        let bpe = self.model.bytes_per_elem;
+
+        // ------ data-parallel node assignment (round-robin) ------
+        let mut node_tokens = vec![0u64; nodes];
+        let mut node_lm_rows = vec![0u64; nodes];
+        let mut node_attn: Vec<Vec<&AttnOp>> = vec![Vec::new(); nodes];
+        let mut decode_i = 0usize;
+        let mut prefill_i = 0usize;
+        for op in &work.attn {
+            let idx = if op.decode {
+                decode_i += 1;
+                (decode_i - 1) % nodes
+            } else {
+                prefill_i += 1;
+                (prefill_i - 1) % nodes
+            };
+            node_attn[idx].push(op);
+            node_tokens[idx] += if op.decode { 1 } else { op.ctx };
+            node_lm_rows[idx] += 1;
+        }
+        let rep = (0..nodes).max_by_key(|&i| node_tokens[i]).unwrap_or(0);
+        let m_fc = node_tokens[rep].max(1);
+        let lm_rows_rep = node_lm_rows[rep].max(1);
+
+        let mut time = TimeBreakdown::default();
+        let mut energy = EnergyBuckets::default();
+
+        // ------ FC layers (always on the xPU) ------
+        for op in &work.fc_ops {
+            let m = if op.name == "lm_head" { lm_rows_rep } else { m_fc };
+            let sharded = GemmShape {
+                m,
+                n: op.shape.n.div_ceil(u64::from(tp_fc)),
+                k: op.shape.k,
+            };
+            let dram = op.weight_bytes(bpe) / u64::from(tp_fc);
+            let dev = scale(self.xpu.gemm_cost(sharded, dram), op.count as f64);
+            time.fc += dev.seconds;
+            // Every device of every node does symmetric work.
+            let cluster = scale(dev, f64::from(tp_fc) * nodes as f64);
+            energy.add_fc(&cluster);
+        }
+
+        // ------ attention ------
+        let (prefill_engine, decode_engine): (&Engine, &Engine) = if self.config.hetero {
+            (&self.xpu, self.pim())
+        } else {
+            match self.config.device {
+                DeviceKind::Gpu => (&self.xpu, &self.xpu),
+                _ => (&self.xpu, self.pim()),
+            }
+        };
+        let mut pre_max = 0.0f64;
+        let mut dec_max = 0.0f64;
+        for ops in node_attn.iter() {
+            let mut pre = 0.0;
+            let mut dec = 0.0;
+            let mut decode_tokens = 0u64;
+            let mut prefill_tokens = 0u64;
+            for op in ops {
+                if op.decode {
+                    let c = self.attn_cost(decode_engine, op, tp_attn);
+                    dec += c.seconds;
+                    energy.add_attn(&scale(c, f64::from(tp_attn)));
+                    decode_tokens += 1;
+                } else {
+                    let c = self.attn_cost(prefill_engine, op, tp_attn);
+                    pre += c.seconds;
+                    energy.add_attn(&scale(c, f64::from(tp_attn)));
+                    prefill_tokens += op.ctx;
+                }
+            }
+            // KV append: decode KV written by the decode engine, prefill
+            // KV by the prefill engine (later migrated; Sec. V-C).
+            let kv_tok = self.model.kv_bytes_per_token();
+            if decode_tokens > 0 {
+                let bytes = decode_tokens * kv_tok / u64::from(tp_attn);
+                let c = decode_engine.kernel_cost(&Kernel::Stream { bytes, write: true });
+                dec += c.seconds;
+                energy.add_attn(&scale(c, f64::from(tp_attn)));
+            }
+            if prefill_tokens > 0 {
+                let bytes = prefill_tokens * kv_tok / u64::from(tp_attn);
+                let c = prefill_engine.kernel_cost(&Kernel::Stream { bytes, write: true });
+                pre += c.seconds;
+                energy.add_attn(&scale(c, f64::from(tp_attn)));
+            }
+            // One batched kernel set (score, softmax, value) per layer
+            // and class: charge the launch overhead once per layer.
+            let layer_count = self.model.n_layers as f64;
+            if decode_tokens > 0 {
+                dec += 3.0 * decode_engine.spec().launch_overhead_s * layer_count;
+            }
+            if prefill_tokens > 0 {
+                pre += 3.0 * prefill_engine.spec().launch_overhead_s * layer_count;
+            }
+            dec_max = dec.max(dec_max);
+            pre_max = pre.max(pre_max);
+        }
+        time.attn_prefill = pre_max;
+        time.attn_decode = dec_max;
+
+        // ------ MoE ------
+        if !work.moe.is_empty() {
+            let mixed = work.mixed;
+            for layer in &work.moe {
+                let (t, e) = if self.config.expert_tensor_parallel {
+                    self.moe_layer_et(&layer.expert_tokens, mixed, tp_fc)
+                } else {
+                    self.moe_layer_ep(&layer.expert_tokens, mixed, moe_devices)
+                };
+                time.moe += t;
+                energy.moe_dram += e.moe_dram;
+                energy.moe_comp += e.moe_comp;
+            }
+        }
+
+        // ------ communication ------
+        let act_bytes = m_fc * self.model.hidden * bpe;
+        let layers = u64::from(self.model.n_layers);
+        // Two tensor-parallel all-reduces per decoder layer.
+        time.comm += 2.0 * self.comm.all_reduce_intra(act_bytes) * layers as f64;
+        if !work.moe.is_empty() {
+            let moe_blocks = self.model.moe_block_count() as f64;
+            let dispatch_total =
+                work.tokens * u64::from(self.model.top_k) * self.model.hidden * bpe;
+            if self.config.expert_tensor_parallel {
+                // EP across nodes only; tokens cross the IB links.
+                if nodes > 1 {
+                    let per_node = dispatch_total / nodes as u64;
+                    time.comm += 2.0 * self.node_comm.all_to_all(per_node) * moe_blocks;
+                }
+                // On-device partial-sum all-reduce: the xPU reads each
+                // Logic-PIM stack's partial outputs (Sec. V-A).
+                let partial = m_fc * self.model.hidden * bpe;
+                let c = self
+                    .xpu
+                    .kernel_cost(&Kernel::Stream { bytes: partial, write: false });
+                time.moe += c.seconds * moe_blocks;
+                energy.add_moe(&scale(c, moe_blocks * f64::from(tp_fc) * nodes as f64));
+            } else {
+                let per_device = dispatch_total / u64::from(self.config.total_devices());
+                time.comm += 2.0 * self.comm.all_to_all(per_device) * moe_blocks;
+            }
+        }
+        if self.config.hetero {
+            // GPU <-> PIM handoffs: QKV/outputs for decode attention each
+            // layer, activations to/from the MoE pool each MoE layer.
+            let decode_tokens = shape.decode_ctx.len() as u64;
+            if decode_tokens > 0 {
+                let bytes = decode_tokens * self.model.hidden * bpe;
+                time.comm += 2.0 * self.comm.p2p_intra(bytes) * layers as f64;
+            }
+            let moe_bytes = m_fc * self.model.hidden * bpe;
+            time.comm +=
+                2.0 * self.comm.p2p_intra(moe_bytes) * self.model.moe_block_count() as f64;
+        }
+
+        // ------ effective stage latency ------
+        let attn_eff = if self.config.coproc {
+            time.attn_prefill.max(time.attn_decode)
+        } else {
+            time.attn_prefill + time.attn_decode
+        };
+        let seconds = time.fc + attn_eff + time.moe + time.comm;
+
+        StageCost { seconds, time, energy }
+    }
+
+    /// Expert-parallel MoE layer: experts distributed round-robin over
+    /// `devices`; returns (time, energy).
+    fn moe_layer_ep(
+        &self,
+        expert_tokens: &[u64],
+        mixed: bool,
+        devices: u32,
+    ) -> (f64, EnergyBuckets) {
+        let nex = expert_tokens.len() as u32;
+        let mut energy = EnergyBuckets::default();
+        // When devices outnumber experts each expert is tensor-sharded
+        // over device groups (footnote 1 of the paper).
+        let (frac, eff_devices) = if devices > nex {
+            (f64::from(nex) / f64::from(devices), nex)
+        } else {
+            (1.0, devices)
+        };
+        let mut worst = 0.0f64;
+        for d in 0..eff_devices {
+            let owned: Vec<u64> = expert_tokens
+                .iter()
+                .copied()
+                .enumerate()
+                .filter(|(e, _)| (*e as u32) % eff_devices == d)
+                .map(|(_, t)| t)
+                .collect();
+            let (t, e) = self.run_device_experts(&owned, mixed, frac);
+            worst = worst.max(t);
+            energy += e;
+        }
+        (worst, energy)
+    }
+
+    /// Expert-tensor-parallel MoE layer: every device of a node holds a
+    /// `1/tp` shard of each expert owned by its node (EP across nodes).
+    fn moe_layer_et(
+        &self,
+        expert_tokens: &[u64],
+        mixed: bool,
+        tp: u32,
+    ) -> (f64, EnergyBuckets) {
+        let nodes = self.config.nodes;
+        let frac = 1.0 / f64::from(tp);
+        let mut worst = 0.0f64;
+        let mut energy = EnergyBuckets::default();
+        for node in 0..nodes {
+            let owned: Vec<u64> = expert_tokens
+                .iter()
+                .copied()
+                .enumerate()
+                .filter(|(e, _)| (*e as u32) % nodes == node)
+                .map(|(_, t)| t)
+                .collect();
+            let (t, e) = self.run_device_experts(&owned, mixed, frac);
+            worst = worst.max(t);
+            // All tp devices of the node do symmetric shard work.
+            let mut e_scaled = e;
+            e_scaled.moe_dram *= f64::from(tp);
+            e_scaled.moe_comp *= f64::from(tp);
+            energy += e_scaled;
+        }
+        (worst, energy)
+    }
+
+    /// Run one device's expert list under the policy: GPU-only, PIM by
+    /// stage type (base Duplex), or co-processing split.
+    fn run_device_experts(
+        &self,
+        tokens: &[u64],
+        mixed: bool,
+        frac: f64,
+    ) -> (f64, EnergyBuckets) {
+        let mut energy = EnergyBuckets::default();
+        // Experts in one layer dispatch as one grouped kernel per unit:
+        // one launch-overhead set per unit that does any work.
+        let launches = f64::from(self.model.ffn_fcs);
+        let has_pim = self.pim.is_some() || self.config.hetero;
+        if !has_pim {
+            let mut t = 0.0;
+            let mut any = false;
+            for &tk in tokens {
+                let c = self.expert_cost(&self.xpu, tk, frac);
+                t += c.seconds;
+                any |= tk > 0;
+                energy.add_moe(&c);
+            }
+            if any {
+                t += launches * self.xpu.spec().launch_overhead_s;
+            }
+            return (t, energy);
+        }
+        if self.config.coproc {
+            let costs: Vec<(f64, f64)> = tokens
+                .iter()
+                .map(|&tk| {
+                    (
+                        self.expert_cost(self.pim(), tk, frac).seconds,
+                        self.expert_cost(&self.xpu, tk, frac).seconds,
+                    )
+                })
+                .collect();
+            let split = split_experts(&costs);
+            for &i in &split.pim_experts {
+                energy.add_moe(&self.expert_cost(self.pim(), tokens[i], frac));
+            }
+            for &i in &split.xpu_experts {
+                energy.add_moe(&self.expert_cost(&self.xpu, tokens[i], frac));
+            }
+            let pim_side = if split.pim_seconds > 0.0 {
+                split.pim_seconds + launches * self.pim().spec().launch_overhead_s
+            } else {
+                0.0
+            };
+            let xpu_side = if split.xpu_seconds > 0.0 {
+                split.xpu_seconds + launches * self.xpu.spec().launch_overhead_s
+            } else {
+                0.0
+            };
+            (pim_side.max(xpu_side), energy)
+        } else {
+            // Base Duplex / Bank-PIM / hetero: the PIM owns MoE in
+            // decoding-only stages; the hetero system has no choice and
+            // keeps MoE on its PIM pool even in mixed stages.
+            let engine = if mixed && !self.config.hetero { &self.xpu } else { self.pim() };
+            let mut t = 0.0;
+            let mut any = false;
+            for &tk in tokens {
+                let c = self.expert_cost(engine, tk, frac);
+                t += c.seconds;
+                any |= tk > 0;
+                energy.add_moe(&c);
+            }
+            if any {
+                t += launches * engine.spec().launch_overhead_s;
+            }
+            (t, energy)
+        }
+    }
+}
+
+fn scale(c: KernelCost, by: f64) -> KernelCost {
+    KernelCost {
+        seconds: c.seconds * by,
+        dram_energy: duplex_hbm::EnergyBreakdown {
+            activation_j: c.dram_energy.activation_j * by,
+            transfer_j: c.dram_energy.transfer_j * by,
+        },
+        compute_j: c.compute_j * by,
+    }
+}
+
+impl StageExecutor for SystemExecutor {
+    fn execute(&mut self, shape: &StageShape) -> StageOutcome {
+        let cost = self.stage_cost(shape);
+        self.total += cost;
+        self.stages += 1;
+        StageOutcome { seconds: cost.seconds }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn decode_stage(batch: usize, ctx: u64) -> StageShape {
+        StageShape::decode_only(&vec![ctx; batch])
+    }
+
+    fn mixed_stage(batch: usize, ctx: u64, lin: u64) -> StageShape {
+        StageShape::mixed(&vec![ctx; batch], &[lin])
+    }
+
+    #[test]
+    fn moe_dominates_gpu_decode_stages() {
+        // Fig. 4(a): MoE + attention take most of a decode-only stage.
+        let mut ex = SystemExecutor::new(SystemConfig::gpu(4, 1), ModelConfig::mixtral_8x7b(), 1);
+        let c = ex.stage_cost(&decode_stage(64, 2048));
+        let moe_attn = c.time.moe + c.time.attn_decode;
+        assert!(
+            moe_attn > 0.6 * c.time.total(),
+            "moe+attn {:.2}ms of {:.2}ms",
+            moe_attn * 1e3,
+            c.time.total() * 1e3
+        );
+    }
+
+    #[test]
+    fn duplex_speeds_up_decode_stages() {
+        // Batch 32 keeps each Mixtral expert at ~8 tokens (Op/B ~ 8),
+        // squarely in Logic-PIM's memory-bound sweet spot.
+        let model = ModelConfig::mixtral_8x7b();
+        let mut gpu = SystemExecutor::new(SystemConfig::gpu(4, 1), model.clone(), 1);
+        let mut dup = SystemExecutor::new(SystemConfig::duplex(4, 1), model, 1);
+        let shape = decode_stage(32, 2048);
+        let tg = gpu.stage_cost(&shape).seconds;
+        let td = dup.stage_cost(&shape).seconds;
+        assert!(td < 0.65 * tg, "Duplex {td} vs GPU {tg}");
+
+        // At batch 64 the experts go compute-bound on the PIM, but
+        // Duplex must still win.
+        let shape = decode_stage(64, 2048);
+        let tg = gpu.stage_cost(&shape).seconds;
+        let td = dup.stage_cost(&shape).seconds;
+        assert!(td < 0.8 * tg, "Duplex {td} vs GPU {tg}");
+    }
+
+    #[test]
+    fn coproc_never_hurts() {
+        let model = ModelConfig::mixtral_8x7b();
+        let mut base = SystemExecutor::new(SystemConfig::duplex(4, 1), model.clone(), 1);
+        let mut pe = SystemExecutor::new(SystemConfig::duplex_pe(4, 1), model, 1);
+        for shape in [decode_stage(32, 1024), mixed_stage(31, 1024, 2048)] {
+            let tb = base.stage_cost(&shape).seconds;
+            let tp = pe.stage_cost(&shape).seconds;
+            assert!(tp <= tb * 1.02, "PE {tp} vs base {tb}");
+        }
+    }
+
+    #[test]
+    fn et_improves_expert_split_granularity() {
+        // With EP, each Mixtral device owns 2 experts; with ET it sees
+        // all 8 shards, so the co-processing split gets finer and the
+        // MoE time cannot get worse.
+        let model = ModelConfig::mixtral_8x7b();
+        let mut pe = SystemExecutor::new(SystemConfig::duplex_pe(4, 1), model.clone(), 1);
+        let mut et = SystemExecutor::new(SystemConfig::duplex_pe_et(4, 1), model, 1);
+        let shape = decode_stage(64, 1024);
+        let t_pe = pe.stage_cost(&shape).time.moe;
+        let t_et = et.stage_cost(&shape).time.moe;
+        assert!(t_et <= t_pe * 1.05, "ET {t_et} vs PE {t_pe}");
+    }
+
+    #[test]
+    fn mixed_stage_moe_runs_on_xpu_for_base_duplex() {
+        // In a mixed stage the MoE Op/B is high; base Duplex routes it
+        // to the xPU, so MoE time should be near the GPU system's.
+        let model = ModelConfig::mixtral_8x7b();
+        let mut gpu = SystemExecutor::new(SystemConfig::gpu(4, 1), model.clone(), 1);
+        let mut dup = SystemExecutor::new(SystemConfig::duplex(4, 1), model, 1);
+        let shape = mixed_stage(31, 1024, 2048);
+        let mg = gpu.stage_cost(&shape).time.moe;
+        let md = dup.stage_cost(&shape).time.moe;
+        assert!((md - mg).abs() / mg < 0.05, "GPU {mg} vs Duplex {md}");
+    }
+
+    #[test]
+    fn hetero_mixed_stages_blow_up() {
+        // Fig. 5(b): the hetero system is slower than the GPU system on
+        // mixed stages (compute-starved PIM devices run the MoE).
+        let model = ModelConfig::mixtral_8x7b();
+        let mut gpu = SystemExecutor::new(SystemConfig::gpu(4, 1), model.clone(), 1);
+        let mut het = SystemExecutor::new(SystemConfig::hetero(), model, 1);
+        let mixed = mixed_stage(31, 1024, 2048);
+        let tg = gpu.stage_cost(&mixed).seconds;
+        let th = het.stage_cost(&mixed).seconds;
+        assert!(th > 2.0 * tg, "hetero {th} vs GPU {tg} on mixed stage");
+        // ... but faster on decode-only stages.
+        let dec = decode_stage(32, 1024);
+        let tg = gpu.stage_cost(&dec).seconds;
+        let th = het.stage_cost(&dec).seconds;
+        assert!(th < tg, "hetero {th} vs GPU {tg} on decode stage");
+    }
+
+    #[test]
+    fn bank_pim_wins_mha_loses_moe_vs_duplex() {
+        // Fig. 14: Bank-PIM beats Duplex on OPT (MHA, Op/B ~1) decode
+        // attention but loses on Mixtral MoE (Op/B > 1).
+        let opt = ModelConfig::opt_66b();
+        let mut bank = SystemExecutor::new(SystemConfig::bank_pim(4, 1), opt.clone(), 1);
+        let mut dup = SystemExecutor::new(SystemConfig::duplex(4, 1), opt, 1);
+        let shape = decode_stage(32, 2048);
+        let tb = bank.stage_cost(&shape).time.attn_decode;
+        let td = dup.stage_cost(&shape).time.attn_decode;
+        assert!(tb < td, "Bank-PIM attention {tb} vs Duplex {td} on MHA");
+
+        let mixtral = ModelConfig::mixtral_8x7b();
+        let mut bank = SystemExecutor::new(SystemConfig::bank_pim(4, 1), mixtral.clone(), 1);
+        let mut dup = SystemExecutor::new(SystemConfig::duplex(4, 1), mixtral, 1);
+        let shape = decode_stage(64, 2048);
+        let tb = bank.stage_cost(&shape).time.moe;
+        let td = dup.stage_cost(&shape).time.moe;
+        assert!(td < tb, "Duplex MoE {td} vs Bank-PIM {tb} at batch 64");
+    }
+
+    #[test]
+    fn duplex_saves_energy() {
+        let model = ModelConfig::mixtral_8x7b();
+        let mut gpu = SystemExecutor::new(SystemConfig::gpu(4, 1), model.clone(), 1);
+        let mut dup = SystemExecutor::new(SystemConfig::duplex_pe_et(4, 1), model, 1);
+        let shape = decode_stage(64, 2048);
+        let eg = gpu.stage_cost(&shape).energy.total();
+        let ed = dup.stage_cost(&shape).energy.total();
+        assert!(ed < eg, "Duplex energy {ed} vs GPU {eg}");
+    }
+
+    #[test]
+    fn doubled_system_scales_cluster() {
+        let four = SystemConfig::gpu(4, 1);
+        let eight = four.doubled();
+        assert_eq!(eight.total_devices(), 8);
+        assert_eq!(eight.nodes, 1);
+        let sixteen = eight.doubled();
+        assert_eq!(sixteen.nodes, 2);
+        assert_eq!(sixteen.name, "2x2xGPU");
+    }
+
+    #[test]
+    fn executor_accumulates_totals() {
+        let mut ex =
+            SystemExecutor::new(SystemConfig::gpu(4, 1), ModelConfig::mixtral_8x7b(), 1);
+        let shape = decode_stage(8, 256);
+        let c1 = ex.stage_cost(&shape);
+        ex.execute(&shape);
+        ex.execute(&shape);
+        assert_eq!(ex.stages_executed(), 2);
+        assert!(ex.total_cost().seconds > 1.5 * c1.seconds);
+        ex.reset_totals();
+        assert_eq!(ex.stages_executed(), 0);
+        assert_eq!(ex.total_cost().seconds, 0.0);
+    }
+
+    #[test]
+    fn grok_two_nodes_pay_communication() {
+        let model = ModelConfig::grok1();
+        let mut ex = SystemExecutor::new(SystemConfig::duplex_pe_et(8, 2), model, 1);
+        let c = ex.stage_cost(&decode_stage(64, 1024));
+        assert!(c.time.comm > 0.0);
+        // Communication should be visible but not dominant on decode.
+        assert!(c.time.comm < c.seconds * 0.5);
+    }
+}

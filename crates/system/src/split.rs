@@ -1,0 +1,280 @@
+//! Splitwise-style split prefill/decode serving (Sec. VIII-A, Fig. 16).
+//!
+//! The cluster is partitioned into a *prefill pool* and a *decode
+//! pool*, each holding a full copy of the model. New requests prefill
+//! on the prefill pool (producing their first token), their KV cache
+//! migrates over NVLink, and they then join the decode pool's
+//! continuous batch. Decode stages never contain prefills, so TBT tail
+//! latency is clean — but the pools underutilize, the duplicated
+//! weights shrink KV capacity, and each pool has half the tensor
+//! parallelism, all of which costs throughput. That trade is what
+//! Fig. 16 shows.
+
+use std::collections::VecDeque;
+
+use duplex_model::ops::StageShape;
+use duplex_model::ModelConfig;
+use duplex_sched::workload::RequestSource;
+use duplex_sched::{Arrivals, Request, RequestRecord, SimReport, StageRecord, Workload};
+
+use crate::comm::{CommModel, LinkSpec};
+use crate::exec::{SystemConfig, SystemExecutor, DEVICE_MEM_BYTES};
+use crate::parallel::CapacityPlan;
+
+/// A split serving system built from two pools of Duplex (or GPU)
+/// devices.
+#[derive(Debug)]
+pub struct SplitSimulation {
+    prefill_pool: SystemExecutor,
+    decode_pool: SystemExecutor,
+    plan: CapacityPlan,
+    comm: CommModel,
+    model: ModelConfig,
+    workload: Workload,
+    total_requests: usize,
+    max_batch: usize,
+}
+
+impl SplitSimulation {
+    /// Split system with `pool_devices` devices in each pool, using the
+    /// given per-pool system template (its `devices_per_node` is
+    /// overridden by `pool_devices`; the pools are single nodes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the full model does not fit in one pool.
+    pub fn new(
+        template: &SystemConfig,
+        model: ModelConfig,
+        pool_devices: u32,
+        workload: Workload,
+        total_requests: usize,
+        max_batch: usize,
+    ) -> Self {
+        let mut pool_cfg = template.clone();
+        pool_cfg.devices_per_node = pool_devices;
+        pool_cfg.nodes = 1;
+        pool_cfg.name = format!("{}-Split", template.name);
+        let plan = CapacityPlan::split(&model, pool_devices, pool_devices, DEVICE_MEM_BYTES);
+        let prefill_pool = SystemExecutor::new(pool_cfg.clone(), model.clone(), 11);
+        let decode_pool = SystemExecutor::new(pool_cfg, model.clone(), 13);
+        Self {
+            prefill_pool,
+            decode_pool,
+            plan,
+            comm: CommModel::new(LinkSpec::hgx(), 1, 2 * pool_devices),
+            model,
+            workload,
+            total_requests,
+            max_batch,
+        }
+    }
+
+    /// KV capacity of the decode pool (weights duplicated, so smaller
+    /// than the non-split system's).
+    pub fn kv_capacity_bytes(&self) -> u64 {
+        self.plan.kv_capacity_bytes
+    }
+
+    /// The decode-pool executor (for inspecting accumulated costs).
+    pub fn decode_pool(&self) -> &SystemExecutor {
+        &self.decode_pool
+    }
+
+    /// Run the split system closed-loop and report.
+    pub fn run(mut self) -> SimReport {
+        struct InFlight {
+            request: Request,
+            /// When the request's KV lands in the decode pool.
+            ready_at: f64,
+            /// First token time (produced by the prefill pool).
+            first_token: f64,
+        }
+        struct Decoding {
+            request: Request,
+            generated: u64,
+            token_times: Vec<f64>,
+        }
+
+        let mut source = RequestSource::new(self.workload.clone(), Arrivals::ClosedLoop);
+        let mut backlog: VecDeque<Request> =
+            (0..self.total_requests).map(|_| source.next_request()).collect();
+
+        let mut prefill_clock = 0.0f64;
+        let mut migrated: Vec<InFlight> = Vec::new();
+        // Prefill pool: FIFO, one prompt per prefill stage.
+        while let Some(request) = backlog.pop_front() {
+            let shape = StageShape::mixed(&[], &[request.input_len]);
+            let cost = self.prefill_pool.stage_cost(&shape);
+            prefill_clock = prefill_clock.max(request.arrival_s) + cost.seconds;
+            let kv_bytes = self.model.kv_bytes(request.input_len);
+            let ready_at = prefill_clock + self.comm.p2p_intra(kv_bytes);
+            migrated.push(InFlight { request, ready_at, first_token: prefill_clock });
+        }
+        migrated.sort_by(|a, b| a.ready_at.partial_cmp(&b.ready_at).expect("finite times"));
+        let mut incoming: VecDeque<InFlight> = migrated.into();
+
+        // Decode pool: continuous batching over decode-only stages.
+        let mut clock = 0.0f64;
+        let mut active: Vec<Decoding> = Vec::new();
+        let mut completed: Vec<RequestRecord> = Vec::new();
+        let mut stages: Vec<StageRecord> = Vec::new();
+        let kv_per_token = self.model.kv_bytes_per_token();
+
+        while completed.len() < self.total_requests {
+            // Admit migrated requests whose KV has landed.
+            let mut reserved: u64 = active
+                .iter()
+                .map(|a| a.request.max_kv_tokens() * kv_per_token)
+                .sum();
+            while active.len() < self.max_batch {
+                let Some(front) = incoming.front() else { break };
+                if front.ready_at > clock && !active.is_empty() {
+                    break;
+                }
+                let need = front.request.max_kv_tokens() * kv_per_token;
+                if reserved.saturating_add(need) > self.plan.kv_capacity_bytes {
+                    break;
+                }
+                reserved += need;
+                let inflight = incoming.pop_front().expect("front exists");
+                clock = clock.max(inflight.ready_at);
+                let mut token_times = Vec::with_capacity(inflight.request.output_len as usize);
+                token_times.push(inflight.first_token);
+                active.push(Decoding { request: inflight.request, generated: 1, token_times });
+            }
+
+            // Retire single-token requests immediately.
+            let mut i = 0;
+            while i < active.len() {
+                if active[i].generated >= active[i].request.output_len {
+                    let d = active.swap_remove(i);
+                    completed
+                        .push(RequestRecord { request: d.request, token_times: d.token_times });
+                } else {
+                    i += 1;
+                }
+            }
+            if active.is_empty() {
+                if completed.len() >= self.total_requests || incoming.is_empty() {
+                    break;
+                }
+                continue;
+            }
+
+            let ctxs: Vec<u64> =
+                active.iter().map(|a| a.request.input_len + a.generated).collect();
+            let shape = StageShape::decode_only(&ctxs);
+            let cost = self.decode_pool.stage_cost(&shape);
+            clock += cost.seconds;
+            stages.push(StageRecord {
+                seconds: cost.seconds,
+                mixed: false,
+                batch: shape.batch_size(),
+                tokens: shape.tokens(),
+            });
+            for a in &mut active {
+                a.generated += 1;
+                a.token_times.push(clock);
+            }
+            let mut i = 0;
+            while i < active.len() {
+                if active[i].generated >= active[i].request.output_len {
+                    let d = active.swap_remove(i);
+                    completed
+                        .push(RequestRecord { request: d.request, token_times: d.token_times });
+                } else {
+                    i += 1;
+                }
+            }
+        }
+
+        // Wall-clock spans whichever pool finished last.
+        let total_time_s = clock.max(prefill_clock);
+        SimReport { completed, stages, total_time_s }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use duplex_sched::{Simulation, SimulationConfig};
+
+    #[test]
+    fn split_completes_all_requests() {
+        let model = ModelConfig::mixtral_8x7b();
+        let sim = SplitSimulation::new(
+            &SystemConfig::duplex_pe(2, 1),
+            model,
+            2,
+            Workload::fixed(256, 8),
+            6,
+            4,
+        );
+        let report = sim.run();
+        assert_eq!(report.completed.len(), 6);
+        for r in &report.completed {
+            assert_eq!(r.token_times.len() as u64, r.request.output_len);
+        }
+        assert!(report.stages.iter().all(|s| !s.mixed), "decode pool never sees prefills");
+    }
+
+    #[test]
+    fn split_kv_capacity_is_smaller() {
+        let model = ModelConfig::mixtral_8x7b();
+        let split = CapacityPlan::split(&model, 2, 2, DEVICE_MEM_BYTES);
+        let homo = CapacityPlan::homogeneous(&model, 1, 4, DEVICE_MEM_BYTES);
+        assert!(split.kv_capacity_bytes < homo.kv_capacity_bytes);
+    }
+
+    #[test]
+    fn split_loses_throughput_to_non_split() {
+        // Fig. 16: the non-split Duplex system out-serves Duplex-Split
+        // at the same total device count.
+        let model = ModelConfig::mixtral_8x7b();
+        let requests = 12;
+        let split = SplitSimulation::new(
+            &SystemConfig::duplex_pe(2, 1),
+            model.clone(),
+            2,
+            Workload::fixed(512, 16),
+            requests,
+            16,
+        );
+        let split_report = split.run();
+
+        let mut non_split = SystemExecutor::new(SystemConfig::duplex_pe(4, 1), model.clone(), 1);
+        let cfg = SimulationConfig {
+            max_batch: 16,
+            kv_capacity_bytes: non_split.kv_capacity_bytes(),
+            kv_bytes_per_token: model.kv_bytes_per_token(),
+            ..Default::default()
+        };
+        let report =
+            Simulation::closed_loop(cfg, Workload::fixed(512, 16), requests).run(&mut non_split);
+
+        assert!(
+            report.throughput_tokens_per_s() > split_report.throughput_tokens_per_s(),
+            "non-split {} vs split {}",
+            report.throughput_tokens_per_s(),
+            split_report.throughput_tokens_per_s()
+        );
+    }
+
+    #[test]
+    fn split_tbt_is_clean() {
+        // No mixed stages on the decode pool: p99 TBT ~ p50 TBT.
+        let model = ModelConfig::mixtral_8x7b();
+        let sim = SplitSimulation::new(
+            &SystemConfig::duplex_pe(2, 1),
+            model,
+            2,
+            Workload::fixed(256, 32),
+            8,
+            8,
+        );
+        let report = sim.run();
+        let tbt = report.tbt();
+        assert!(tbt.p99 < 2.0 * tbt.p50, "p99 {} vs p50 {}", tbt.p99, tbt.p50);
+    }
+}

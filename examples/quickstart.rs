@@ -1,0 +1,49 @@
+//! Quickstart: serve Mixtral-8x7B on a 4-GPU system and a 4-Duplex
+//! system, closed loop, and compare throughput, latency and energy.
+//!
+//! Run with `cargo run --release --example quickstart`.
+
+use duplex::model::ModelConfig;
+use duplex::sched::Workload;
+use duplex::system::SystemConfig;
+use duplex::{run, RunConfig};
+
+fn main() {
+    let model = ModelConfig::mixtral_8x7b();
+    println!(
+        "Serving {} ({:.0}B params, {} experts, GQA degree {})",
+        model.name,
+        model.param_count() as f64 / 1e9,
+        model.n_experts,
+        model.deg_grp
+    );
+
+    let workload = Workload::gaussian(1024, 512);
+    let batch = 32;
+    let requests = 48;
+
+    for system in [
+        SystemConfig::gpu(4, 1),
+        SystemConfig::duplex(4, 1),
+        SystemConfig::duplex_pe(4, 1),
+        SystemConfig::duplex_pe_et(4, 1),
+    ] {
+        let result = run(RunConfig::closed_loop(
+            model.clone(),
+            system,
+            workload.clone(),
+            batch,
+            requests,
+        ));
+        println!(
+            "{:>14}: {:>7.0} tokens/s | TBT p50 {:>6.2} ms p99 {:>7.2} ms | \
+             T2FT p50 {:>6.0} ms | {:>5.1} mJ/token",
+            result.system_name,
+            result.throughput_tokens_per_s,
+            result.tbt.p50 * 1e3,
+            result.tbt.p99 * 1e3,
+            result.t2ft.p50 * 1e3,
+            result.energy_per_token_j * 1e3,
+        );
+    }
+}

@@ -1,0 +1,51 @@
+//! Roofline explorer: where does each engine win?
+//!
+//! Prints the execution time of a Mixtral expert-shaped GEMM on the
+//! xPU, Logic-PIM and Bank-PIM as the token count (= Op/B) grows, and
+//! marks the crossovers. This is the single-kernel view behind the
+//! whole paper: the xPU's machine balance is ~300, Logic-PIM's ~8,
+//! Bank-PIM's ~1.
+//!
+//! Run with `cargo run --release --example roofline_explorer`.
+
+use duplex::compute::kernel::GemmShape;
+use duplex::compute::Engine;
+
+fn main() {
+    let engines = [
+        ("xPU", Engine::h100_xpu()),
+        ("Logic-PIM", Engine::logic_pim()),
+        ("Bank-PIM", Engine::bank_pim()),
+    ];
+    println!("Expert GEMM (n=14336, k=4096, FP16): time by token count\n");
+    println!("{:>8} {:>12} {:>12} {:>12}  winner", "tokens", "xPU us", "LogicPIM us", "BankPIM us");
+    let mut last_winner = "";
+    for m in [1u64, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096] {
+        let shape = GemmShape { m, n: 14336, k: 4096 };
+        let bytes = shape.weight_bytes(2);
+        let times: Vec<f64> =
+            engines.iter().map(|(_, e)| e.gemm_cost(shape, bytes).seconds).collect();
+        let winner = engines
+            .iter()
+            .zip(&times)
+            .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+            .expect("non-empty")
+            .0
+             .0;
+        let mark = if winner != last_winner && !last_winner.is_empty() {
+            "  <-- crossover"
+        } else {
+            ""
+        };
+        last_winner = winner;
+        println!(
+            "{:>8} {:>12.1} {:>12.1} {:>12.1}  {}{}",
+            m,
+            times[0] * 1e6,
+            times[1] * 1e6,
+            times[2] * 1e6,
+            winner,
+            mark
+        );
+    }
+}

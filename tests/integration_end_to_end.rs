@@ -1,0 +1,95 @@
+//! End-to-end integration: every system configuration serves a small
+//! closed-loop workload correctly and the cross-system orderings the
+//! paper reports hold.
+
+use duplex::model::ModelConfig;
+use duplex::sched::Workload;
+use duplex::system::SystemConfig;
+use duplex::{run, RunConfig};
+
+fn small_cfg(model: ModelConfig, system: SystemConfig) -> RunConfig {
+    RunConfig::closed_loop(model, system, Workload::fixed(256, 16), 8, 16)
+}
+
+#[test]
+fn all_systems_complete_all_requests() {
+    let model = ModelConfig::mixtral_8x7b();
+    for system in [
+        SystemConfig::gpu(4, 1),
+        SystemConfig::gpu(4, 1).doubled(),
+        SystemConfig::duplex(4, 1),
+        SystemConfig::duplex_pe(4, 1),
+        SystemConfig::duplex_pe_et(4, 1),
+        SystemConfig::bank_pim(4, 1),
+        SystemConfig::hetero(),
+    ] {
+        let name = system.name.clone();
+        let r = run(small_cfg(model.clone(), system));
+        assert_eq!(r.report.completed.len(), 16, "{name}");
+        for rec in &r.report.completed {
+            assert_eq!(rec.token_times.len() as u64, rec.request.output_len, "{name}");
+        }
+        assert!(r.throughput_tokens_per_s > 0.0, "{name}");
+        assert!(r.energy_per_token_j > 0.0, "{name}");
+    }
+}
+
+#[test]
+fn duplex_beats_gpu_on_every_moe_model() {
+    for model in [ModelConfig::mixtral_8x7b(), ModelConfig::glam()] {
+        let (d, n) = SystemConfig::default_cluster(&model);
+        let gpu = run(small_cfg(model.clone(), SystemConfig::gpu(d, n)));
+        let dup = run(small_cfg(model.clone(), SystemConfig::duplex_pe_et(d, n)));
+        assert!(
+            dup.throughput_tokens_per_s > 1.3 * gpu.throughput_tokens_per_s,
+            "{}: duplex {} vs gpu {}",
+            model.name,
+            dup.throughput_tokens_per_s,
+            gpu.throughput_tokens_per_s
+        );
+        assert!(dup.energy_per_token_j < gpu.energy_per_token_j, "{}", model.name);
+    }
+}
+
+#[test]
+fn same_seed_reproduces_exactly() {
+    let model = ModelConfig::mixtral_8x7b();
+    let a = run(small_cfg(model.clone(), SystemConfig::duplex_pe(4, 1)));
+    let b = run(small_cfg(model, SystemConfig::duplex_pe(4, 1)));
+    assert_eq!(a.report.total_time_s, b.report.total_time_s);
+    assert_eq!(a.cost.seconds, b.cost.seconds);
+    assert_eq!(a.cost.energy.total(), b.cost.energy.total());
+}
+
+#[test]
+fn dense_models_run_on_all_devices() {
+    for model in [ModelConfig::opt_66b(), ModelConfig::llama3_70b()] {
+        for system in [
+            SystemConfig::gpu(4, 1),
+            SystemConfig::duplex(4, 1),
+            SystemConfig::bank_pim(4, 1),
+        ] {
+            let name = system.name.clone();
+            let r = run(small_cfg(model.clone(), system));
+            assert_eq!(r.report.completed.len(), 16, "{} on {name}", model.name);
+            // No MoE bucket for dense models.
+            assert_eq!(r.cost.time.moe, 0.0, "{} on {name}", model.name);
+        }
+    }
+}
+
+#[test]
+fn grok_runs_on_two_nodes() {
+    let model = ModelConfig::grok1();
+    let r = run(small_cfg(model, SystemConfig::duplex_pe_et(8, 2)));
+    assert_eq!(r.report.completed.len(), 16);
+    assert!(r.cost.time.comm > 0.0, "inter-node EP must cost communication");
+}
+
+#[test]
+fn two_x_gpu_beats_gpu() {
+    let model = ModelConfig::mixtral_8x7b();
+    let gpu = run(small_cfg(model.clone(), SystemConfig::gpu(4, 1)));
+    let gpu2 = run(small_cfg(model, SystemConfig::gpu(4, 1).doubled()));
+    assert!(gpu2.throughput_tokens_per_s > gpu.throughput_tokens_per_s);
+}

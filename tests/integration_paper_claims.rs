@@ -1,0 +1,173 @@
+//! The paper's qualitative claims, checked end to end at quick scale.
+//! Each test cites the section/figure it pins down.
+
+use duplex::experiments::{
+    fig04_breakdown, fig05_hetero_latency, fig08_edap, fig16_split, Scale,
+};
+use duplex::model::ModelConfig;
+use duplex::sched::Workload;
+use duplex::system::SystemConfig;
+use duplex::{run, RunConfig};
+
+/// Sec. III-B / Fig. 5(a): decoding-only stages dominate.
+#[test]
+fn decoding_only_stages_dominate() {
+    let model = ModelConfig::mixtral_8x7b();
+    let cfg = RunConfig::closed_loop(
+        model,
+        SystemConfig::gpu(4, 1),
+        Workload::gaussian(256, 128),
+        16,
+        32,
+    );
+    let r = run(cfg);
+    assert!(
+        r.report.decode_only_fraction() > 0.8,
+        "got {}",
+        r.report.decode_only_fraction()
+    );
+}
+
+/// Fig. 4(a): MoE + attention dominate GPU stage time.
+#[test]
+fn moe_and_attention_dominate_gpu_time() {
+    let rows = fig04_breakdown(&Scale::quick());
+    for r in rows.iter().filter(|r| !r.mixed && r.batch >= 64) {
+        let dominant = r.fractions[2] + r.fractions[3];
+        assert!(dominant > 0.5, "{r:?}");
+    }
+}
+
+/// Fig. 5(b): the hetero system improves p50 TBT but blows up the tail
+/// (p99 TBT, T2FT) once prompts get long.
+#[test]
+fn hetero_tail_latency_blows_up() {
+    let rows = fig05_hetero_latency(&Scale::quick());
+    // Find the long-prompt configuration (Lin = 2048 pre-shrink).
+    let long: Vec<_> = rows.iter().filter(|r| r.lin == 2048).collect();
+    let gpu = long.iter().find(|r| r.system == "GPU").expect("GPU row");
+    let het = long.iter().find(|r| r.system == "Hetero").expect("Hetero row");
+    assert!(het.tbt[0] < gpu.tbt[0], "hetero wins median TBT");
+    assert!(
+        het.tbt[2] > 1.5 * gpu.tbt[2],
+        "hetero p99 TBT must blow up: {} vs {}",
+        het.tbt[2],
+        gpu.tbt[2]
+    );
+    assert!(het.t2ft_p50 > 1.5 * gpu.t2ft_p50, "hetero T2FT must blow up");
+}
+
+/// Fig. 8: Bank-PIM best at Op/B 1, Logic-PIM best at Op/B 32,
+/// BankGroup-PIM never best.
+#[test]
+fn edap_crossover_matches_figure() {
+    let rows = fig08_edap();
+    let best_at = |op_b: u64| {
+        rows.iter()
+            .filter(|r| r.op_b == op_b)
+            .min_by(|a, b| a.edap.partial_cmp(&b.edap).expect("finite"))
+            .expect("rows exist")
+            .arch
+    };
+    assert_eq!(best_at(1), "Bank-PIM");
+    assert_eq!(best_at(32), "Logic-PIM");
+    for op_b in [1u64, 2, 4, 8, 16, 32] {
+        assert_ne!(best_at(op_b), "BankGroup-PIM");
+    }
+}
+
+/// Sec. VII-C / Fig. 14: Bank-PIM out-serves Duplex on MHA-only OPT
+/// (decode attention at Op/B ~1), Duplex wins on Mixtral.
+#[test]
+fn bank_pim_vs_duplex_by_model_class() {
+    let opt = ModelConfig::opt_66b();
+    let mk = |model: &ModelConfig, system| {
+        RunConfig::closed_loop(
+            model.clone(),
+            system,
+            Workload::gaussian(512, 64),
+            32,
+            40,
+        )
+    };
+    let bank = run(mk(&opt, SystemConfig::bank_pim(4, 1)));
+    let dup = run(mk(&opt, SystemConfig::duplex(4, 1)));
+    assert!(
+        bank.throughput_tokens_per_s > dup.throughput_tokens_per_s,
+        "OPT: bank {} vs duplex {}",
+        bank.throughput_tokens_per_s,
+        dup.throughput_tokens_per_s
+    );
+
+    let mixtral = ModelConfig::mixtral_8x7b();
+    let bank = run(mk(&mixtral, SystemConfig::bank_pim(4, 1)));
+    let dup = run(mk(&mixtral, SystemConfig::duplex_pe_et(4, 1)));
+    assert!(
+        dup.throughput_tokens_per_s > bank.throughput_tokens_per_s,
+        "Mixtral: duplex {} vs bank {}",
+        dup.throughput_tokens_per_s,
+        bank.throughput_tokens_per_s
+    );
+}
+
+/// Sec. VIII-A / Fig. 16: the split system trades throughput for clean
+/// TBT tails.
+#[test]
+fn split_system_trade_off() {
+    let rows = fig16_split(&Scale::quick());
+    for pair in rows.chunks(2) {
+        let (dup, split) = (&pair[0], &pair[1]);
+        assert_eq!(split.system, "Duplex-Split");
+        assert!(
+            split.throughput < dup.throughput,
+            "split must lose throughput: {} vs {}",
+            split.throughput,
+            dup.throughput
+        );
+        // Decode pool never sees prefills: tail close to median.
+        assert!(split.tbt[2] < 2.5 * split.tbt[0]);
+    }
+}
+
+/// Sec. VII-A: co-processing (+PE) and expert tensor parallelism (+ET)
+/// never hurt and help in aggregate.
+#[test]
+fn pe_and_et_are_monotone_improvements() {
+    let model = ModelConfig::mixtral_8x7b();
+    let mk = |system| {
+        run(RunConfig::closed_loop(
+            model.clone(),
+            system,
+            Workload::gaussian(1024, 64),
+            32,
+            40,
+        ))
+    };
+    let base = mk(SystemConfig::duplex(4, 1));
+    let pe = mk(SystemConfig::duplex_pe(4, 1));
+    let et = mk(SystemConfig::duplex_pe_et(4, 1));
+    assert!(pe.throughput_tokens_per_s >= 0.98 * base.throughput_tokens_per_s);
+    assert!(et.throughput_tokens_per_s >= 0.98 * pe.throughput_tokens_per_s);
+    assert!(et.throughput_tokens_per_s > 1.05 * base.throughput_tokens_per_s);
+}
+
+/// Abstract: up to ~2.67x throughput over the GPU baseline; we require
+/// at least 1.5x at a favorable configuration and no regression
+/// anywhere.
+#[test]
+fn headline_speedup_band() {
+    let model = ModelConfig::mixtral_8x7b();
+    let mk = |system| {
+        run(RunConfig::closed_loop(
+            model.clone(),
+            system,
+            Workload::gaussian(512, 512),
+            32,
+            40,
+        ))
+    };
+    let gpu = mk(SystemConfig::gpu(4, 1));
+    let dup = mk(SystemConfig::duplex_pe_et(4, 1));
+    let speedup = dup.throughput_tokens_per_s / gpu.throughput_tokens_per_s;
+    assert!(speedup > 1.5 && speedup < 4.0, "speedup {speedup}");
+}

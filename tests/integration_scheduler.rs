@@ -1,0 +1,99 @@
+//! Scheduler behavior against the real execution engine: token
+//! conservation, stage typing, queueing under Poisson load.
+
+use duplex::model::ModelConfig;
+use duplex::sched::Workload;
+use duplex::system::SystemConfig;
+use duplex::{run, RunConfig};
+
+#[test]
+fn token_conservation_across_a_real_run() {
+    let model = ModelConfig::mixtral_8x7b();
+    let cfg = RunConfig::closed_loop(
+        model,
+        SystemConfig::duplex_pe(4, 1),
+        Workload::gaussian(256, 32).with_seed(5),
+        8,
+        24,
+    );
+    let r = run(cfg);
+    let completed_tokens: u64 = r.report.completed.iter().map(|c| c.token_times.len() as u64).sum();
+    assert_eq!(completed_tokens, r.report.generated_tokens());
+    let expected: u64 = r.report.completed.iter().map(|c| c.request.output_len).sum();
+    assert_eq!(completed_tokens, expected);
+}
+
+#[test]
+fn one_mixed_stage_per_admission_wave() {
+    let model = ModelConfig::mixtral_8x7b();
+    let cfg = RunConfig::closed_loop(
+        model,
+        SystemConfig::gpu(4, 1),
+        Workload::fixed(128, 16),
+        4,
+        12,
+    );
+    let r = run(cfg);
+    // 12 requests in waves of 4: three admission waves.
+    let mixed = r.report.stages.iter().filter(|s| s.mixed).count();
+    assert_eq!(mixed, 3);
+}
+
+#[test]
+fn token_times_are_monotone() {
+    let model = ModelConfig::glam();
+    let cfg = RunConfig::closed_loop(
+        model,
+        SystemConfig::duplex_pe_et(8, 1),
+        Workload::gaussian(128, 24).with_seed(3),
+        8,
+        16,
+    );
+    let r = run(cfg);
+    for rec in &r.report.completed {
+        for w in rec.token_times.windows(2) {
+            assert!(w[1] > w[0], "token times must increase");
+        }
+        assert!(rec.token_times[0] > rec.request.arrival_s);
+    }
+}
+
+#[test]
+fn overload_grows_t2ft_not_tbt() {
+    let model = ModelConfig::mixtral_8x7b();
+    let mk = |qps: f64| {
+        let mut cfg = RunConfig::closed_loop(
+            model.clone(),
+            SystemConfig::gpu(4, 1),
+            Workload::fixed(512, 64),
+            8,
+            32,
+        );
+        cfg.qps = Some(qps);
+        run(cfg)
+    };
+    let light = mk(1.0);
+    let heavy = mk(500.0);
+    // Queueing inflates time-to-first-token dramatically...
+    assert!(heavy.t2ft.p50 > 3.0 * light.t2ft.p50);
+    // ...but decode cadence stays within the batching slowdown.
+    assert!(heavy.tbt.p50 < 4.0 * light.tbt.p50);
+}
+
+#[test]
+fn bigger_batches_raise_throughput_and_tbt() {
+    let model = ModelConfig::mixtral_8x7b();
+    let mk = |batch: usize| {
+        run(RunConfig::closed_loop(
+            model.clone(),
+            SystemConfig::gpu(4, 1),
+            Workload::fixed(256, 32),
+            batch,
+            batch * 2,
+        ))
+    };
+    let small = mk(8);
+    let large = mk(32);
+    assert!(large.throughput_tokens_per_s > 1.5 * small.throughput_tokens_per_s);
+    assert!(large.tbt.p50 > small.tbt.p50, "batching costs per-token latency");
+}

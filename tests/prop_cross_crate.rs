@@ -1,0 +1,89 @@
+//! Cross-crate property tests: invariants of the full pipeline under
+//! randomized stage shapes, workloads and splits.
+
+use duplex::compute::kernel::GemmShape;
+use duplex::compute::Engine;
+use duplex::model::ops::StageShape;
+use duplex::model::{ExpertRouter, ModelConfig};
+use duplex::system::coproc::split_experts;
+use duplex::system::{SystemConfig, SystemExecutor};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Stage costs are positive, finite, and co-processing never makes a
+    /// stage slower than the serialized breakdown.
+    #[test]
+    fn stage_cost_sane(
+        batch in 1usize..24,
+        ctx in 16u64..3000,
+        prefill in proptest::option::of(64u64..1500),
+        seed in 0u64..1000,
+    ) {
+        let model = ModelConfig::mixtral_8x7b();
+        for system in [SystemConfig::gpu(4, 1), SystemConfig::duplex_pe(4, 1)] {
+            let mut ex = SystemExecutor::new(system, model.clone(), seed);
+            let shape = match prefill {
+                Some(p) => StageShape::mixed(&vec![ctx; batch], &[p]),
+                None => StageShape::decode_only(&vec![ctx; batch]),
+            };
+            let c = ex.stage_cost(&shape);
+            prop_assert!(c.seconds.is_finite() && c.seconds > 0.0);
+            prop_assert!(c.seconds <= c.time.total() + 1e-12);
+            prop_assert!(c.energy.total() > 0.0);
+        }
+    }
+
+    /// More decode requests never make a stage cheaper.
+    #[test]
+    fn stage_cost_monotone_in_batch(batch in 1usize..16, ctx in 64u64..2048) {
+        let model = ModelConfig::mixtral_8x7b();
+        let mut ex = SystemExecutor::new(SystemConfig::gpu(4, 1), model, 0);
+        let small = ex.stage_cost(&StageShape::decode_only(&vec![ctx; batch]));
+        let large = ex.stage_cost(&StageShape::decode_only(&vec![ctx; batch * 2]));
+        prop_assert!(large.seconds >= small.seconds * 0.999);
+    }
+
+    /// The expert split never exceeds either single-unit assignment.
+    #[test]
+    fn expert_split_bounded(costs in proptest::collection::vec((0.0f64..10.0, 0.0f64..10.0), 0..24)) {
+        let s = split_experts(&costs);
+        let all_pim: f64 = costs.iter().map(|c| c.0).sum();
+        let all_xpu: f64 = costs.iter().map(|c| c.1).sum();
+        prop_assert!(s.makespan() <= all_pim + 1e-9);
+        prop_assert!(s.makespan() <= all_xpu + 1e-9);
+        prop_assert_eq!(s.pim_experts.len() + s.xpu_experts.len(), costs.len());
+    }
+
+    /// Router counts always sum to tokens * top_k, for any expert count.
+    #[test]
+    fn router_conserves_tokens(
+        n_experts in 1u32..96,
+        tokens in 0u64..5000,
+        seed in 0u64..500,
+        skew in 0.0f64..2.0,
+    ) {
+        let top_k = 1 + (seed % u64::from(n_experts)) as u32;
+        let router = ExpertRouter::zipf(n_experts, top_k.min(n_experts), skew);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let counts = router.route(&mut rng, tokens);
+        prop_assert_eq!(counts.iter().sum::<u64>(), tokens * u64::from(router.top_k()));
+    }
+
+    /// Roofline: more DRAM bytes never make a GEMM faster; more tokens
+    /// never lower total time.
+    #[test]
+    fn kernel_cost_monotone(m in 1u64..512, bytes in 1u64..200_000_000) {
+        let pim = Engine::logic_pim();
+        let shape = GemmShape { m, n: 14336, k: 4096 };
+        let a = pim.gemm_cost(shape, bytes);
+        let b = pim.gemm_cost(shape, bytes * 2);
+        prop_assert!(b.seconds >= a.seconds - 1e-15);
+        let taller = GemmShape { m: m * 2, ..shape };
+        let c = pim.gemm_cost(taller, bytes);
+        prop_assert!(c.seconds >= a.seconds - 1e-15);
+    }
+}
