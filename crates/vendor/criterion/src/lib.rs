@@ -1,0 +1,211 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides the `criterion_group!` / `criterion_main!` entry points,
+//! `Criterion::bench_function`, benchmark groups, and `Bencher::iter` /
+//! `iter_batched`. Measurement is a simple calibrated loop (short
+//! warm-up, then enough iterations to cover a fixed measurement
+//! window) reporting the mean wall-clock time per iteration — adequate
+//! for tracking the relative perf trajectory of this repository, with
+//! none of the real crate's statistics.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Target wall-clock spent measuring one benchmark.
+const MEASURE_WINDOW: Duration = Duration::from_millis(300);
+/// Warm-up before measuring.
+const WARMUP_WINDOW: Duration = Duration::from_millis(50);
+
+/// Controls how `iter_batched` amortizes setup (ignored by this shim).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small routine inputs.
+    SmallInput,
+    /// Large routine inputs.
+    LargeInput,
+    /// One input per batch.
+    PerIteration,
+}
+
+/// Measurement state handed to the benchmark closure.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    total: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Time `f`, called repeatedly.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        // Warm-up and per-iteration estimate.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_start.elapsed() < WARMUP_WINDOW || warm_iters == 0 {
+            black_box(f());
+            warm_iters += 1;
+            if warm_iters >= 1_000_000 {
+                break;
+            }
+        }
+        let est = warm_start.elapsed() / warm_iters.max(1) as u32;
+        let target = ((MEASURE_WINDOW.as_nanos() / est.as_nanos().max(1)) as u64).clamp(1, 5_000_000);
+        let start = Instant::now();
+        for _ in 0..target {
+            black_box(f());
+        }
+        self.total = start.elapsed();
+        self.iters = target;
+    }
+
+    /// Time `routine` over inputs produced by `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, R, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> R,
+    {
+        // Warm-up: one run.
+        black_box(routine(setup()));
+        let est = {
+            let input = setup();
+            let t = Instant::now();
+            black_box(routine(input));
+            t.elapsed()
+        };
+        let target = ((MEASURE_WINDOW.as_nanos() / est.as_nanos().max(1)) as u64).clamp(1, 100_000);
+        let inputs: Vec<I> = (0..target).map(|_| setup()).collect();
+        let start = Instant::now();
+        for input in inputs {
+            black_box(routine(input));
+        }
+        self.total = start.elapsed();
+        self.iters = target;
+    }
+
+    fn report(&self, name: &str) {
+        if self.iters == 0 {
+            println!("{name:<48} (no measurement)");
+            return;
+        }
+        let per_iter = self.total.as_secs_f64() / self.iters as f64;
+        println!("{name:<48} {:>12}  ({} iterations)", format_time(per_iter), self.iters);
+    }
+}
+
+fn format_time(seconds: f64) -> String {
+    if seconds >= 1.0 {
+        format!("{seconds:.3} s")
+    } else if seconds >= 1e-3 {
+        format!("{:.3} ms", seconds * 1e3)
+    } else if seconds >= 1e-6 {
+        format!("{:.3} us", seconds * 1e6)
+    } else {
+        format!("{:.1} ns", seconds * 1e9)
+    }
+}
+
+/// The benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Run and report one benchmark.
+    pub fn bench_function<F>(&mut self, name: impl std::fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::default();
+        f(&mut b);
+        b.report(&name.to_string());
+        self
+    }
+
+    /// Start a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("-- group: {name}");
+        BenchmarkGroup { _parent: self, name }
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the shim sizes samples by time.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Run and report one benchmark within the group.
+    pub fn bench_function<F>(&mut self, name: impl std::fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::default();
+        f(&mut b);
+        b.report(&format!("{}/{}", self.name, name));
+        self
+    }
+
+    /// End the group.
+    pub fn finish(self) {}
+}
+
+/// Bundle benchmark functions into a named group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Emit `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_closure() {
+        let mut c = Criterion::default();
+        let mut count = 0u64;
+        c.bench_function("noop", |b| {
+            b.iter(|| black_box(1 + 1));
+            count += 1;
+        });
+        assert_eq!(count, 1);
+    }
+
+    #[test]
+    fn iter_batched_consumes_inputs() {
+        let mut b = Bencher::default();
+        b.iter_batched(|| vec![1u8, 2, 3], |v| v.len(), BatchSize::SmallInput);
+        assert!(b.iters >= 1);
+    }
+
+    #[test]
+    fn time_formatting() {
+        assert_eq!(format_time(2.0), "2.000 s");
+        assert_eq!(format_time(0.0025), "2.500 ms");
+        assert_eq!(format_time(2.5e-6), "2.500 us");
+        assert_eq!(format_time(3.0e-9), "3.0 ns");
+    }
+}

@@ -1,0 +1,220 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! Implements the `into_par_iter().map(..).collect()` shape the sweep
+//! drivers use, on top of `std::thread::scope` with a shared atomic
+//! work index (simple self-scheduling — the sweeps' work items are
+//! coarse, so work stealing buys nothing here). Result order matches
+//! the input order, as with real rayon `collect()` on indexed iterators.
+//!
+//! Thread count comes from `std::thread::available_parallelism`, capped
+//! by the `RAYON_NUM_THREADS` environment variable when set (the same
+//! knob the real crate honors).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// The traits user code imports (mirrors `rayon::prelude`).
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, ParallelIterator};
+}
+
+/// Number of worker threads to use for `n` items.
+fn thread_count(n: usize) -> usize {
+    let avail = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
+    let cap = std::env::var("RAYON_NUM_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&v| v > 0)
+        .unwrap_or(avail);
+    cap.min(avail).min(n).max(1)
+}
+
+/// Apply `f` to every item on a thread pool, preserving input order.
+fn par_apply<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n = items.len();
+    let threads = thread_count(n);
+    if threads <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let out: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    let f = &f;
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let item = slots[i].lock().expect("input slot poisoned").take();
+                let item = item.expect("each index is claimed exactly once");
+                *out[i].lock().expect("output slot poisoned") = Some(f(item));
+            });
+        }
+    });
+    out.into_iter()
+        .map(|m| m.into_inner().expect("worker finished").expect("every slot filled"))
+        .collect()
+}
+
+/// Conversion into a parallel iterator (mirrors rayon's trait).
+pub trait IntoParallelIterator {
+    /// Element type.
+    type Item: Send;
+    /// The parallel iterator.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Convert self.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    type Iter = ParVec<T>;
+    fn into_par_iter(self) -> ParVec<T> {
+        ParVec { items: self }
+    }
+}
+
+/// Parallel iterator operations (the subset this workspace needs).
+pub trait ParallelIterator: Sized {
+    /// Element type.
+    type Item: Send;
+
+    /// Realize the elements, running any pending stages in parallel.
+    fn run(self) -> Vec<Self::Item>;
+
+    /// Parallel map.
+    fn map<R, F>(self, f: F) -> Map<Self, F>
+    where
+        R: Send,
+        F: Fn(Self::Item) -> R + Sync + Send,
+    {
+        Map { base: self, f }
+    }
+
+    /// Collect into any `FromIterator` container, preserving order.
+    fn collect<C: FromIterator<Self::Item>>(self) -> C {
+        self.run().into_iter().collect()
+    }
+
+    /// Parallel flat-map (applied in parallel, flattened in order).
+    fn flat_map<R, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        R: IntoIterator,
+        R::Item: Send,
+        F: Fn(Self::Item) -> R + Sync + Send,
+    {
+        FlatMap { base: self, f }
+    }
+}
+
+/// A materialized source (from `Vec::into_par_iter`).
+pub struct ParVec<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParallelIterator for ParVec<T> {
+    type Item = T;
+    fn run(self) -> Vec<T> {
+        self.items
+    }
+}
+
+/// Lazily mapped parallel iterator.
+pub struct Map<B, F> {
+    base: B,
+    f: F,
+}
+
+impl<B, R, F> ParallelIterator for Map<B, F>
+where
+    B: ParallelIterator,
+    R: Send,
+    F: Fn(B::Item) -> R + Sync + Send,
+{
+    type Item = R;
+    fn run(self) -> Vec<R> {
+        par_apply(self.base.run(), self.f)
+    }
+}
+
+/// Lazily flat-mapped parallel iterator.
+pub struct FlatMap<B, F> {
+    base: B,
+    f: F,
+}
+
+impl<B, R, F> ParallelIterator for FlatMap<B, F>
+where
+    B: ParallelIterator,
+    R: IntoIterator,
+    R::Item: Send,
+    R::IntoIter: Iterator<Item = R::Item>,
+    F: Fn(B::Item) -> R + Sync + Send,
+{
+    type Item = R::Item;
+    fn run(self) -> Vec<R::Item> {
+        let f = self.f;
+        par_apply(self.base.run(), move |x| f(x).into_iter().collect::<Vec<_>>())
+            .into_iter()
+            .flatten()
+            .collect()
+    }
+}
+
+/// Current worker-pool width (mirrors `rayon::current_num_threads`).
+pub fn current_num_threads() -> usize {
+    thread_count(usize::MAX)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let v: Vec<u64> = (0..1000).collect();
+        let doubled: Vec<u64> = v.clone().into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, v.iter().map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn flat_map_flattens_in_order() {
+        let v = vec![1usize, 2, 3];
+        let out: Vec<usize> = v.into_par_iter().flat_map(|x| vec![x; x]).collect();
+        assert_eq!(out, vec![1, 2, 2, 3, 3, 3]);
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let v: Vec<u32> = Vec::new();
+        let out: Vec<u32> = v.into_par_iter().map(|x| x + 1).collect();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn actually_uses_multiple_threads_when_available() {
+        use std::collections::HashSet;
+        use std::sync::Mutex;
+        let ids = Mutex::new(HashSet::new());
+        let v: Vec<u32> = (0..64).collect();
+        let _: Vec<()> = v
+            .into_par_iter()
+            .map(|_| {
+                ids.lock().unwrap().insert(std::thread::current().id());
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            })
+            .collect();
+        let distinct = ids.lock().unwrap().len();
+        let avail = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
+        if avail > 1 {
+            assert!(distinct > 1, "expected parallel execution, saw {distinct} thread(s)");
+        }
+    }
+}
