@@ -1,0 +1,71 @@
+//! Criterion benches pinning the stage-pricing fast path: stages/sec
+//! for decode-only, mixed, and MoE-heavy stage shapes, plus the fast
+//! path against the per-request reference path on the same shape.
+//! Contexts advance every iteration so the numbers include cold kernel
+//! pricings, as in a real decode loop.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use duplex::model::ops::StageShape;
+use duplex::model::ModelConfig;
+use duplex::system::{SystemConfig, SystemExecutor};
+
+fn advancing(ctx0: u64, batch: usize, prefill: Option<u64>) -> impl FnMut(u64) -> StageShape {
+    move |stage| {
+        let ctx = vec![ctx0 + stage; batch];
+        match prefill {
+            Some(p) => StageShape::mixed(&ctx, &[p]),
+            None => StageShape::decode_only(&ctx),
+        }
+    }
+}
+
+fn bench_shape_classes(c: &mut Criterion) {
+    let mut g = c.benchmark_group("stage_cost");
+    let cases: [(&str, ModelConfig, SystemConfig, usize, Option<u64>); 3] = [
+        ("decode_only_mixtral_b64", ModelConfig::mixtral_8x7b(), SystemConfig::duplex_pe_et(4, 1), 64, None),
+        ("mixed_mixtral_b64", ModelConfig::mixtral_8x7b(), SystemConfig::duplex_pe_et(4, 1), 63, Some(2048)),
+        ("moe_heavy_glam_b128", ModelConfig::glam(), SystemConfig::duplex_pe_et(8, 1), 128, None),
+    ];
+    for (name, model, system, batch, prefill) in cases {
+        let mut ex = SystemExecutor::new(system, model, 7);
+        let mut shape = advancing(2048, batch, prefill);
+        let mut stage = 0u64;
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                stage += 1;
+                ex.stage_cost(black_box(&shape(stage)))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_fast_vs_reference(c: &mut Criterion) {
+    let model = ModelConfig::mixtral_8x7b();
+    let mut g = c.benchmark_group("fast_vs_reference");
+    let mut fast = SystemExecutor::new(SystemConfig::duplex_pe_et(4, 1), model.clone(), 7);
+    let mut stage = 0u64;
+    g.bench_function("grouped_fast_path", |b| {
+        b.iter(|| {
+            stage += 1;
+            fast.stage_cost(black_box(&StageShape::decode_only(&vec![2048 + stage; 64])))
+        })
+    });
+    let mut naive = SystemExecutor::new(SystemConfig::duplex_pe_et(4, 1), model, 7);
+    let mut stage = 0u64;
+    g.bench_function("per_request_reference", |b| {
+        b.iter(|| {
+            stage += 1;
+            naive.stage_cost_reference(black_box(&StageShape::decode_only(&vec![
+                2048 + stage;
+                64
+            ])))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_shape_classes, bench_fast_vs_reference);
+criterion_main!(benches);

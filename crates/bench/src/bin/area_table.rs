@@ -1,20 +1,6 @@
 //! Sec. VII-E: area overhead of the Logic-PIM stack components.
 
-use duplex::compute::AreaModel;
-use duplex_bench::print_table;
-
 fn main() {
-    let a = AreaModel::micro24();
-    let rows = vec![
-        vec!["32 GEMM modules (512 MACs + 8 KB buffer each)".to_string(), format!("{:.2}", a.logic_pim_gemm_mm2)],
-        vec!["2 x 1 MB input/temporal buffers".to_string(), format!("{:.2}", a.logic_pim_buffers_mm2)],
-        vec!["Softmax unit (cmp tree, exp, dividers, 128 KB)".to_string(), format!("{:.2}", a.logic_pim_softmax_mm2)],
-        vec!["Added TSVs (4x per channel, 22 um pitch)".to_string(), format!("{:.2}", a.logic_pim_tsv_mm2)],
-        vec!["Total per Logic-PIM stack".to_string(), format!("{:.2}", a.logic_pim_total_mm2())],
-        vec![
-            "Fraction of 121 mm^2 HBM3 logic die".to_string(),
-            format!("{:.2}%", 100.0 * a.logic_pim_overhead_fraction()),
-        ],
-    ];
-    print_table("Sec. VII-E: Logic-PIM area overhead (mm^2)", &["Component", "Area"], &rows);
+    let _ = duplex_bench::scale_from_args();
+    duplex_bench::reports::area_table();
 }

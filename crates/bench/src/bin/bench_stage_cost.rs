@@ -1,0 +1,128 @@
+//! Stage-pricing throughput benchmark: how many continuous-batching
+//! stages per second can `SystemExecutor::stage_cost` price for the
+//! three shape classes that dominate the paper's sweeps?
+//!
+//! * `decode_only` — Mixtral-8x7B, batch 64, contexts advancing from
+//!   2048 (Duplex+PE+ET, the busiest Fig. 11 system);
+//! * `mixed` — the same stage with one 2048-token prefill riding along;
+//! * `moe_heavy` — GLaM (64 experts, 8-device node), batch 128.
+//!
+//! Contexts advance every stage, as in a real decode loop, so the
+//! numbers include cold kernel pricings, not just cache hits. Results
+//! print as a table and land in `BENCH_stage_cost.json` in the current
+//! directory so CI can track the perf trajectory across PRs.
+
+use std::time::Instant;
+
+use duplex::model::ops::StageShape;
+use duplex::model::ModelConfig;
+use duplex::system::{SystemConfig, SystemExecutor};
+use duplex_bench::print_table;
+
+struct ShapeClass {
+    name: &'static str,
+    model: ModelConfig,
+    system: SystemConfig,
+    batch: usize,
+    start_ctx: u64,
+    prefill: Option<u64>,
+}
+
+fn classes() -> Vec<ShapeClass> {
+    vec![
+        ShapeClass {
+            name: "decode_only",
+            model: ModelConfig::mixtral_8x7b(),
+            system: SystemConfig::duplex_pe_et(4, 1),
+            batch: 64,
+            start_ctx: 2048,
+            prefill: None,
+        },
+        ShapeClass {
+            name: "mixed",
+            model: ModelConfig::mixtral_8x7b(),
+            system: SystemConfig::duplex_pe_et(4, 1),
+            batch: 63,
+            start_ctx: 2048,
+            prefill: Some(2048),
+        },
+        ShapeClass {
+            name: "moe_heavy",
+            model: ModelConfig::glam(),
+            system: SystemConfig::duplex_pe_et(8, 1),
+            batch: 128,
+            start_ctx: 1024,
+            prefill: None,
+        },
+    ]
+}
+
+fn shape_at(class: &ShapeClass, stage: u64) -> StageShape {
+    let ctx = vec![class.start_ctx + stage; class.batch];
+    match class.prefill {
+        Some(p) => StageShape::mixed(&ctx, &[p]),
+        None => StageShape::decode_only(&ctx),
+    }
+}
+
+/// Price `stages` advancing stages and return stages/second.
+fn measure(class: &ShapeClass, stages: u64) -> f64 {
+    let mut ex = SystemExecutor::new(class.system.clone(), class.model.clone(), 7);
+    // Warm up the executor (engine construction, first pricings).
+    for s in 0..(stages / 10).max(1) {
+        ex.stage_cost(&shape_at(class, s));
+    }
+    let start = Instant::now();
+    for s in 0..stages {
+        ex.stage_cost(&shape_at(class, s));
+    }
+    stages as f64 / start.elapsed().as_secs_f64()
+}
+
+fn json_escape_free(name: &str) -> &str {
+    // Class names are static identifiers; assert rather than escape.
+    assert!(name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_'));
+    name
+}
+
+fn main() {
+    let scale = duplex_bench::scale_from_args();
+    let quick = scale == duplex::experiments::Scale::quick();
+    let stages: u64 = if quick { 300 } else { 3000 };
+
+    let mut rows = Vec::new();
+    let mut json_entries = Vec::new();
+    for class in classes() {
+        let sps = measure(&class, stages);
+        rows.push(vec![
+            class.name.to_string(),
+            class.model.name.clone(),
+            class.system.name.clone(),
+            class.batch.to_string(),
+            format!("{sps:.0}"),
+        ]);
+        json_entries.push(format!(
+            "    \"{}\": {{\"stages_per_sec\": {:.1}, \"model\": \"{}\", \"system\": \"{}\", \"batch\": {}}}",
+            json_escape_free(class.name),
+            sps,
+            class.model.name,
+            class.system.name,
+            class.batch
+        ));
+    }
+    print_table(
+        &format!("Stage-cost throughput ({stages} stages per class)"),
+        &["Class", "Model", "System", "Batch", "stages/s"],
+        &rows,
+    );
+
+    let json = format!(
+        "{{\n  \"schema\": \"duplex-bench/stage-cost/v1\",\n  \"mode\": \"{}\",\n  \"stages_per_class\": {},\n  \"classes\": {{\n{}\n  }}\n}}\n",
+        if quick { "quick" } else { "paper" },
+        stages,
+        json_entries.join(",\n")
+    );
+    let path = "BENCH_stage_cost.json";
+    std::fs::write(path, &json).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+    println!("\nwrote {path}");
+}

@@ -1,51 +1,6 @@
 //! Fig. 4(a): execution-time breakdown of Mixtral and GLaM stages on
-//! the GPU system; Fig. 4(b) (`--roofline`): Op/B vs achieved TFLOPS.
-
-use duplex::experiments::{fig04_breakdown, fig04_roofline};
-use duplex_bench::{ms, print_table, ratio, scale_from_args};
+//! the GPU system; Fig. 4(b): Op/B vs achieved TFLOPS.
 
 fn main() {
-    let scale = scale_from_args();
-    let rows: Vec<Vec<String>> = fig04_breakdown(&scale)
-        .into_iter()
-        .map(|r| {
-            vec![
-                r.model,
-                r.batch.to_string(),
-                r.lout.to_string(),
-                if r.mixed { "mixed" } else { "decode-only" }.into(),
-                ratio(r.fractions[0]),
-                ratio(r.fractions[1]),
-                ratio(r.fractions[2]),
-                ratio(r.fractions[3]),
-                ratio(r.fractions[4]),
-                ms(r.seconds),
-            ]
-        })
-        .collect();
-    print_table(
-        "Fig. 4(a): GPU-system time breakdown (fractions)",
-        &["Model", "Batch", "Lout", "Stage", "FC", "Attn(P)", "Attn(D)", "MoE", "Comm", "ms"],
-        &rows,
-    );
-
-    if std::env::args().any(|a| a == "--roofline") || true {
-        let rows: Vec<Vec<String>> = fig04_roofline(&scale)
-            .into_iter()
-            .map(|r| {
-                vec![
-                    r.model,
-                    r.batch.to_string(),
-                    r.op.into(),
-                    format!("{:.1}", r.op_b),
-                    format!("{:.1}", r.tflops),
-                ]
-            })
-            .collect();
-        print_table(
-            "Fig. 4(b): roofline coordinates on the GPU system (decoding-only)",
-            &["Model", "Batch", "Op", "Op/B", "TFLOP/s"],
-            &rows,
-        );
-    }
+    duplex_bench::reports::fig04(&duplex_bench::scale_from_args());
 }

@@ -2,66 +2,6 @@
 //! latency vs the GPU system, (c) hetero throughput under the KV
 //! capacity limit.
 
-use duplex::experiments::{fig05_hetero_latency, fig05_hetero_throughput, fig05_stage_ratio};
-use duplex_bench::{ms, print_table, ratio, scale_from_args};
-
 fn main() {
-    let scale = scale_from_args();
-
-    let rows: Vec<Vec<String>> = fig05_stage_ratio(&scale)
-        .into_iter()
-        .map(|r| {
-            vec![
-                r.batch.to_string(),
-                r.lin.to_string(),
-                r.lout.to_string(),
-                ratio(r.decode_only_fraction),
-                ratio(1.0 - r.decode_only_fraction),
-            ]
-        })
-        .collect();
-    print_table(
-        "Fig. 5(a): stage-type ratio, Mixtral on GPU",
-        &["Batch", "Lin", "Lout", "Decode-only", "Mixed"],
-        &rows,
-    );
-
-    let lat = fig05_hetero_latency(&scale);
-    let mut rows = Vec::new();
-    for pair in lat.chunks(2) {
-        let (gpu, het) = (&pair[0], &pair[1]);
-        rows.push(vec![
-            gpu.lin.to_string(),
-            gpu.lout.to_string(),
-            ratio(het.tbt[0] / gpu.tbt[0]),
-            ratio(het.tbt[1] / gpu.tbt[1]),
-            ratio(het.tbt[2] / gpu.tbt[2]),
-            ratio(het.t2ft_p50 / gpu.t2ft_p50),
-            ratio(het.e2e_p50 / gpu.e2e_p50),
-        ]);
-    }
-    print_table(
-        "Fig. 5(b): hetero latency normalized to 4-GPU (Mixtral, batch 32)",
-        &["Lin", "Lout", "TBT p50", "TBT p90", "TBT p99", "T2FT p50", "E2E p50"],
-        &rows,
-    );
-
-    let rows: Vec<Vec<String>> = fig05_hetero_throughput(&scale)
-        .into_iter()
-        .map(|r| {
-            vec![
-                r.lin.to_string(),
-                r.lout.to_string(),
-                ratio(r.normalized),
-                ratio(r.normalized_no_capacity),
-                format!("{:.0}", r.hetero_mean_batch),
-            ]
-        })
-        .collect();
-    print_table(
-        "Fig. 5(c): hetero throughput normalized to GPU (Mixtral, batch 128)",
-        &["Lin", "Lout", "Throughput", "No-capacity-limit", "Hetero batch"],
-        &rows,
-    );
-    let _ = ms(0.0);
+    duplex_bench::reports::fig05(&duplex_bench::scale_from_args());
 }

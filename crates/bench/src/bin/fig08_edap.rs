@@ -1,26 +1,7 @@
 //! Fig. 8: normalized EDAP of Bank-PIM, BankGroup-PIM and Logic-PIM by
 //! the Op/B of an FP16 GEMM with a 16384 x 4096 weight matrix.
 
-use duplex::experiments::fig08_edap;
-use duplex_bench::{print_table, ratio};
-
 fn main() {
-    let rows = fig08_edap();
-    let mut table = Vec::new();
-    for arch in ["Bank-PIM", "BankGroup-PIM", "Logic-PIM"] {
-        let mut row = vec![arch.to_string()];
-        for op_b in [1u64, 2, 4, 8, 16, 32] {
-            let cell = rows
-                .iter()
-                .find(|r| r.arch == arch && r.op_b == op_b)
-                .expect("cell exists");
-            row.push(ratio(cell.normalized));
-        }
-        table.push(row);
-    }
-    print_table(
-        "Fig. 8: normalized EDAP by GEMM Op/B (lower is better)",
-        &["Arch", "1", "2", "4", "8", "16", "32"],
-        &table,
-    );
+    let _ = duplex_bench::scale_from_args();
+    duplex_bench::reports::fig08();
 }

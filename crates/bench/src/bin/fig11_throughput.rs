@@ -1,27 +1,6 @@
 //! Fig. 11: normalized throughput of GPU / 2xGPU / Duplex / Duplex+PE /
 //! Duplex+PE+ET on Mixtral, GLaM and Grok1.
 
-use duplex::experiments::fig11_throughput;
-use duplex_bench::{print_table, ratio, scale_from_args};
-
 fn main() {
-    let rows = fig11_throughput(&scale_from_args());
-    let table: Vec<Vec<String>> = rows
-        .into_iter()
-        .map(|r| {
-            vec![
-                r.model,
-                r.batch.to_string(),
-                format!("({}, {})", r.lin, r.lout),
-                r.system,
-                format!("{:.0}", r.tokens_per_s),
-                ratio(r.normalized),
-            ]
-        })
-        .collect();
-    print_table(
-        "Fig. 11: throughput normalized to the GPU system",
-        &["Model", "Batch", "(Lin, Lout)", "System", "tokens/s", "Normalized"],
-        &table,
-    );
+    duplex_bench::reports::fig11(&duplex_bench::scale_from_args());
 }

@@ -1,28 +1,6 @@
 //! Fig. 12: TBT / T2FT / E2E latency of GLaM (batch 64) across systems,
 //! normalized to the GPU system.
 
-use duplex::experiments::fig12_latency;
-use duplex_bench::{ms, print_table, scale_from_args};
-
 fn main() {
-    let rows = fig12_latency(&scale_from_args());
-    let table: Vec<Vec<String>> = rows
-        .into_iter()
-        .map(|r| {
-            vec![
-                format!("({}, {})", r.lin, r.lout),
-                r.system,
-                ms(r.tbt[0]),
-                ms(r.tbt[1]),
-                ms(r.tbt[2]),
-                ms(r.t2ft_p50),
-                format!("{:.3}", r.e2e_p50),
-            ]
-        })
-        .collect();
-    print_table(
-        "Fig. 12: GLaM latency, batch 64 (TBT/T2FT in ms, E2E in s)",
-        &["(Lin, Lout)", "System", "TBT p50", "TBT p90", "TBT p99", "T2FT p50", "E2E p50 (s)"],
-        &table,
-    );
+    duplex_bench::reports::fig12(&duplex_bench::scale_from_args());
 }

@@ -1,28 +1,6 @@
 //! Fig. 13: Mixtral latency vs offered Poisson load (QPS), (Lin, Lout)
 //! = (4096, 512), max batch 128.
 
-use duplex::experiments::fig13_qps;
-use duplex_bench::{ms, print_table, scale_from_args};
-
 fn main() {
-    let rows = fig13_qps(&scale_from_args());
-    let table: Vec<Vec<String>> = rows
-        .into_iter()
-        .map(|r| {
-            vec![
-                format!("{:.0}", r.qps),
-                r.system,
-                ms(r.tbt[0]),
-                ms(r.tbt[1]),
-                ms(r.tbt[2]),
-                format!("{:.3}", r.t2ft_p50),
-                format!("{:.3}", r.e2e_p50),
-            ]
-        })
-        .collect();
-    print_table(
-        "Fig. 13: latency vs QPS, Mixtral (4096, 512), max batch 128",
-        &["QPS", "System", "TBT p50", "TBT p90", "TBT p99", "T2FT p50 (s)", "E2E p50 (s)"],
-        &table,
-    );
+    duplex_bench::reports::fig13(&duplex_bench::scale_from_args());
 }

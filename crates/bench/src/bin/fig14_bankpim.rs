@@ -1,27 +1,6 @@
 //! Fig. 14: Duplex vs Bank-PIM vs GPU across model classes: Mixtral
 //! (MoE + GQA), Llama3 (dense GQA), OPT (dense MHA).
 
-use duplex::experiments::fig14_bankpim;
-use duplex_bench::{print_table, ratio, scale_from_args};
-
 fn main() {
-    let rows = fig14_bankpim(&scale_from_args());
-    let table: Vec<Vec<String>> = rows
-        .into_iter()
-        .map(|r| {
-            vec![
-                r.model,
-                r.batch.to_string(),
-                format!("({}, {})", r.lin, r.lout),
-                r.system,
-                format!("{:.0}", r.tokens_per_s),
-                ratio(r.normalized),
-            ]
-        })
-        .collect();
-    print_table(
-        "Fig. 14: throughput normalized to GPU (MoE/GQA/MHA model classes)",
-        &["Model", "Batch", "(Lin, Lout)", "System", "tokens/s", "Normalized"],
-        &table,
-    );
+    duplex_bench::reports::fig14(&duplex_bench::scale_from_args());
 }

@@ -1,37 +1,6 @@
 //! Fig. 15: per-token energy breakdown (FC / attention / MoE, DRAM vs
 //! compute) of GPU vs Duplex.
 
-use duplex::experiments::fig15_energy;
-use duplex_bench::{mj, print_table, ratio, scale_from_args};
-
 fn main() {
-    let rows = fig15_energy(&scale_from_args());
-    // Normalize each (model, batch, lengths) pair to its GPU total.
-    let mut table = Vec::new();
-    for pair in rows.chunks(2) {
-        let (gpu, dup) = (&pair[0], &pair[1]);
-        for r in [gpu, dup] {
-            table.push(vec![
-                r.model.clone(),
-                r.batch.to_string(),
-                format!("({}, {})", r.lin, r.lout),
-                r.system.clone(),
-                mj(r.buckets_j[0]),
-                mj(r.buckets_j[1]),
-                mj(r.buckets_j[2]),
-                mj(r.buckets_j[3]),
-                mj(r.buckets_j[4]),
-                mj(r.buckets_j[5]),
-                ratio(r.total_j / gpu.total_j),
-            ]);
-        }
-    }
-    print_table(
-        "Fig. 15: energy per generated token (mJ; last column normalized to GPU)",
-        &[
-            "Model", "Batch", "(Lin, Lout)", "System", "FC-D", "FC-C", "Att-D", "Att-C",
-            "MoE-D", "MoE-C", "Norm",
-        ],
-        &table,
-    );
+    duplex_bench::reports::fig15(&duplex_bench::scale_from_args());
 }

@@ -1,30 +1,6 @@
 //! Fig. 16: Duplex vs Duplex-Split (Splitwise-style prefill/decode
 //! disaggregation) on Mixtral, batch 128.
 
-use duplex::experiments::fig16_split;
-use duplex_bench::{ms, print_table, ratio, scale_from_args};
-
 fn main() {
-    let rows = fig16_split(&scale_from_args());
-    let mut table = Vec::new();
-    for pair in rows.chunks(2) {
-        let (dup, split) = (&pair[0], &pair[1]);
-        for r in [dup, split] {
-            table.push(vec![
-                format!("({}, {})", r.lin, r.lout),
-                r.system.clone(),
-                ms(r.tbt[0]),
-                ms(r.tbt[1]),
-                ms(r.tbt[2]),
-                format!("{:.3}", r.t2ft_p50),
-                format!("{:.3}", r.e2e_p50),
-                ratio(r.throughput / dup.throughput),
-            ]);
-        }
-    }
-    print_table(
-        "Fig. 16: Duplex vs Duplex-Split (TBT ms, T2FT/E2E s, throughput normalized)",
-        &["(Lin, Lout)", "System", "TBT p50", "TBT p90", "TBT p99", "T2FT p50", "E2E p50", "Tput"],
-        &table,
-    );
+    duplex_bench::reports::fig16(&duplex_bench::scale_from_args());
 }

@@ -1,31 +1,9 @@
-//! Run every figure/table harness in sequence (EXPERIMENTS.md is
-//! generated from this output). Pass `--quick` for the CI-sized sweep.
-
-use std::process::Command;
+//! Run every figure/table harness in-process, in paper order
+//! (EXPERIMENTS.md is generated from this output). Pass `--quick` for
+//! the CI-sized sweep. Running in one process shares the calibrated
+//! HBM bandwidth profile and skips a `cargo run` subprocess per figure.
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
-    let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".into());
-    let bins = [
-        "table1_models",
-        "area_table",
-        "fig04_breakdown",
-        "fig05_hetero",
-        "fig08_edap",
-        "fig11_throughput",
-        "fig12_latency",
-        "fig13_qps",
-        "fig14_bankpim",
-        "fig15_energy",
-        "fig16_split",
-    ];
-    for bin in bins {
-        let mut cmd = Command::new(&cargo);
-        cmd.args(["run", "--release", "-q", "-p", "duplex-bench", "--bin", bin]);
-        if quick {
-            cmd.args(["--", "--quick"]);
-        }
-        let status = cmd.status().unwrap_or_else(|e| panic!("running {bin}: {e}"));
-        assert!(status.success(), "{bin} failed");
-    }
+    let scale = duplex_bench::scale_from_args();
+    duplex_bench::reports::run_all(&scale);
 }

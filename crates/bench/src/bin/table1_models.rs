@@ -1,29 +1,6 @@
 //! Table I: model configurations used for evaluation.
 
-use duplex::experiments::table1;
-use duplex_bench::print_table;
-
 fn main() {
-    let rows: Vec<Vec<String>> = table1()
-        .into_iter()
-        .map(|r| {
-            vec![
-                r.name,
-                format!("{:.0}B", r.params_b),
-                r.layers.to_string(),
-                r.hidden.to_string(),
-                r.intermediate.to_string(),
-                r.heads.to_string(),
-                if r.deg_grp == 1 { "1 (MHA)".into() } else { format!("{} (GQA)", r.deg_grp) },
-                if r.n_experts == 0 { "-".into() } else { r.n_experts.to_string() },
-                if r.top_k == 0 { "-".into() } else { r.top_k.to_string() },
-                format!("{} KiB", r.kv_bytes_per_token >> 10),
-            ]
-        })
-        .collect();
-    print_table(
-        "Table I: model configurations",
-        &["Model", "Param", "#layer", "Hidden", "Interm.", "#head", "deg_grp", "Nex", "top-k", "KV/token"],
-        &rows,
-    );
+    let _ = duplex_bench::scale_from_args();
+    duplex_bench::reports::table1_models();
 }

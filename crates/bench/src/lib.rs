@@ -1,20 +1,47 @@
-//! Experiment harness for the Duplex paper: table formatting and scale
-//! selection shared by the per-figure binaries.
+//! Experiment harness for the Duplex paper: table formatting, scale
+//! selection and the figure-report printers shared by the per-figure
+//! binaries and the in-process `run_all` driver.
 //!
-//! Every binary accepts `--quick` to run the shrunk CI-sized sweep
-//! (sequence lengths divided by 8); the default is the paper-sized
-//! sweep. Run them all with `cargo run --release -p duplex-bench --bin
-//! run_all`.
+//! Every binary accepts `--quick` (the shrunk CI-sized sweep, sequence
+//! lengths divided by 8) or `--paper` (the default full-sized sweep);
+//! anything else is rejected with a usage message. Run every figure
+//! with `cargo run --release -p duplex-bench --bin run_all`.
 
 use duplex::experiments::Scale;
 
-/// Parse `--quick` / `--paper` from the command line.
+pub mod reports;
+
+/// Parse the common scale flags from an argument list: `--quick` for
+/// the CI-sized sweep, `--paper` (default) for the full sweep. Unknown
+/// flags are an error so typos cannot silently run a paper-sized sweep.
+pub fn parse_scale<I>(args: I) -> Result<Scale, String>
+where
+    I: IntoIterator<Item = String>,
+{
+    let mut scale = Scale::paper();
+    for arg in args {
+        match arg.as_str() {
+            "--quick" => scale = Scale::quick(),
+            "--paper" => scale = Scale::paper(),
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    Ok(scale)
+}
+
+/// Parse `--quick` / `--paper` from the process command line; prints a
+/// usage message and exits with status 2 on any unknown flag.
 pub fn scale_from_args() -> Scale {
-    let args: Vec<String> = std::env::args().collect();
-    if args.iter().any(|a| a == "--quick") {
-        Scale::quick()
-    } else {
-        Scale::paper()
+    match parse_scale(std::env::args().skip(1)) {
+        Ok(scale) => scale,
+        Err(e) => {
+            let bin = std::env::args().next().unwrap_or_else(|| "duplex-bench".into());
+            eprintln!("error: {e}");
+            eprintln!("usage: {bin} [--quick | --paper]");
+            eprintln!("  --quick  CI-sized sweep (sequence lengths / 8)");
+            eprintln!("  --paper  full paper-sized sweep (default)");
+            std::process::exit(2);
+        }
     }
 }
 
@@ -68,5 +95,24 @@ mod tests {
         assert_eq!(ms(0.001234), "1.234");
         assert_eq!(ratio(2.345), "2.35");
         assert_eq!(mj(0.01), "10.00");
+    }
+
+    #[test]
+    fn parse_scale_accepts_both_flags_and_defaults_to_paper() {
+        assert_eq!(parse_scale(Vec::<String>::new()).unwrap(), Scale::paper());
+        assert_eq!(parse_scale(vec!["--quick".into()]).unwrap(), Scale::quick());
+        assert_eq!(parse_scale(vec!["--paper".into()]).unwrap(), Scale::paper());
+        // Last flag wins.
+        assert_eq!(
+            parse_scale(vec!["--quick".into(), "--paper".into()]).unwrap(),
+            Scale::paper()
+        );
+    }
+
+    #[test]
+    fn parse_scale_rejects_unknown_flags() {
+        let err = parse_scale(vec!["--fast".into()]).unwrap_err();
+        assert!(err.contains("--fast"), "{err}");
+        assert!(parse_scale(vec!["extra".into()]).is_err());
     }
 }

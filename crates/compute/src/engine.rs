@@ -14,8 +14,21 @@
 //! This is the analytic steady-state of the command-level engine — the
 //! same quantity the paper's Ramulator backend converges to for the
 //! multi-megabyte streams that dominate LLM layers.
+//!
+//! Pricing is memoized: decode serving re-prices the same kernel shapes
+//! across layers, requests and stages (weights are fixed, contexts
+//! advance in lockstep), so each [`Engine`] keeps a hash cache keyed by
+//! the full [`Kernel`] description. Hits skip the roofline/energy math;
+//! [`Engine::cache_stats`] exposes hit/miss counters so tests can pin
+//! the fast path. The cache is dropped whenever an engine is cloned or
+//! rescaled (`with_bandwidth_fraction` / `with_resource_fraction`),
+//! because cached costs are only valid for the exact engine parameters
+//! they were priced under.
 
+use std::cell::{Cell, RefCell};
 use std::sync::OnceLock;
+
+use crate::hash::FastMap;
 
 use duplex_hbm::{BandwidthProfile, DramEnergyModel, EnergyBreakdown, HbmGeometry, HbmTiming};
 
@@ -92,14 +105,69 @@ impl std::iter::Sum for KernelCost {
     }
 }
 
+/// Memoized kernel prices with hit/miss accounting.
+///
+/// Cloning yields an *empty* cache (cached values are parameter-bound),
+/// and caches never participate in equality.
+#[derive(Debug, Default)]
+struct PriceCache {
+    map: RefCell<FastMap<Kernel, KernelCost>>,
+    hits: Cell<u64>,
+    misses: Cell<u64>,
+}
+
+/// Safety valve: decode contexts grow without bound over very long
+/// simulations, so cap the cache and start over if it fills.
+const PRICE_CACHE_MAX_ENTRIES: usize = 1 << 20;
+
+impl PriceCache {
+    fn get(&self, kernel: &Kernel) -> Option<KernelCost> {
+        let hit = self.map.borrow().get(kernel).copied();
+        match hit {
+            Some(c) => {
+                self.hits.set(self.hits.get() + 1);
+                Some(c)
+            }
+            None => {
+                self.misses.set(self.misses.get() + 1);
+                None
+            }
+        }
+    }
+
+    fn insert(&self, kernel: Kernel, cost: KernelCost) {
+        let mut map = self.map.borrow_mut();
+        if map.len() >= PRICE_CACHE_MAX_ENTRIES {
+            map.clear();
+        }
+        map.insert(kernel, cost);
+    }
+}
+
+impl Clone for PriceCache {
+    fn clone(&self) -> Self {
+        Self::default()
+    }
+}
+
+impl PartialEq for PriceCache {
+    fn eq(&self, _other: &Self) -> bool {
+        true
+    }
+}
+
 /// A processing unit bound to its memory system.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Engine {
     spec: EngineSpec,
     bytes_per_sec: f64,
+    /// Cached reciprocal: memory time is `bytes * inv_bytes_per_sec`
+    /// (multiplication instead of division on the hot pricing path).
+    inv_bytes_per_sec: f64,
     activations_per_byte: f64,
     dram: DramEnergyModel,
     compute_energy: ComputeEnergy,
+    cache: PriceCache,
 }
 
 impl Engine {
@@ -107,12 +175,15 @@ impl Engine {
     /// with `stacks` HBM stacks.
     pub fn from_profile(spec: EngineSpec, profile: &BandwidthProfile, stacks: u32) -> Self {
         let path = spec.kind.access_path();
+        let bytes_per_sec = profile.device_bytes_per_sec(path, stacks);
         Self {
             spec,
-            bytes_per_sec: profile.device_bytes_per_sec(path, stacks),
+            bytes_per_sec,
+            inv_bytes_per_sec: bytes_per_sec.recip(),
             activations_per_byte: profile.activations_per_byte(path),
             dram: DramEnergyModel::default(),
             compute_energy: ComputeEnergy::default(),
+            cache: PriceCache::default(),
         }
     }
 
@@ -154,6 +225,7 @@ impl Engine {
         assert!(fraction > 0.0 && fraction <= 1.0, "fraction must be in (0, 1]");
         let mut e = self.clone();
         e.bytes_per_sec *= fraction;
+        e.inv_bytes_per_sec = e.bytes_per_sec.recip();
         e
     }
 
@@ -163,6 +235,7 @@ impl Engine {
         assert!(fraction > 0.0 && fraction <= 1.0, "fraction must be in (0, 1]");
         let mut e = self.clone();
         e.bytes_per_sec *= fraction;
+        e.inv_bytes_per_sec = e.bytes_per_sec.recip();
         e.spec.peak_flops *= fraction;
         e
     }
@@ -183,13 +256,31 @@ impl Engine {
     /// Price one kernel without the launch overhead (see
     /// [`Engine::gemm_cost_amortized`]).
     pub fn kernel_cost_amortized(&self, kernel: &Kernel) -> KernelCost {
-        let work = match kernel {
+        self.without_overhead(self.kernel_cost(kernel), Self::amortizable_work(kernel))
+    }
+
+    /// Like [`Engine::kernel_cost_amortized`] but bypassing the memo
+    /// cache. Use for kernels whose shapes rarely repeat (per-context
+    /// attention score/value GEMMs advance every stage), where caching
+    /// only pays hash-and-insert overhead and bloats the table.
+    pub fn kernel_cost_amortized_uncached(&self, kernel: &Kernel) -> KernelCost {
+        self.without_overhead(self.price_kernel(kernel), Self::amortizable_work(kernel))
+    }
+
+    /// Uncached single-kernel pricing (see
+    /// [`Engine::kernel_cost_amortized_uncached`] for when to prefer
+    /// this over the memoized [`Engine::kernel_cost`]).
+    pub fn kernel_cost_uncached(&self, kernel: &Kernel) -> KernelCost {
+        self.price_kernel(kernel)
+    }
+
+    fn amortizable_work(kernel: &Kernel) -> u64 {
+        match kernel {
             Kernel::Gemm { shape, .. } => shape.m * shape.n * shape.k,
             Kernel::Stream { bytes, .. } => *bytes,
             // Softmax / elementwise never carry overhead.
             _ => 0,
-        };
-        self.without_overhead(self.kernel_cost(kernel), work)
+        }
     }
 
     fn without_overhead(&self, mut cost: KernelCost, work: u64) -> KernelCost {
@@ -199,15 +290,36 @@ impl Engine {
         cost
     }
 
-    /// Price one kernel.
+    /// Cache hit/miss counters `(hits, misses)` accumulated over this
+    /// engine's lifetime (misses count first-time pricings).
+    pub fn cache_stats(&self) -> (u64, u64) {
+        (self.cache.hits.get(), self.cache.misses.get())
+    }
+
+    /// Drop all memoized prices (counters are kept).
+    pub fn clear_price_cache(&self) {
+        self.cache.map.borrow_mut().clear();
+    }
+
+    /// Price one kernel, memoized on the full kernel description.
     pub fn kernel_cost(&self, kernel: &Kernel) -> KernelCost {
+        if let Some(cost) = self.cache.get(kernel) {
+            return cost;
+        }
+        let cost = self.price_kernel(kernel);
+        self.cache.insert(*kernel, cost);
+        cost
+    }
+
+    /// The uncached roofline + energy math behind [`Engine::kernel_cost`].
+    fn price_kernel(&self, kernel: &Kernel) -> KernelCost {
         match kernel {
             Kernel::Gemm { shape, dram_bytes } => {
                 if shape.m == 0 || shape.n == 0 || shape.k == 0 {
                     return KernelCost::zero();
                 }
                 let compute_s = shape.flops() / self.spec.effective_flops(shape.m);
-                let memory_s = *dram_bytes as f64 / self.bytes_per_sec;
+                let memory_s = *dram_bytes as f64 * self.inv_bytes_per_sec;
                 let seconds = compute_s.max(memory_s) + self.spec.launch_overhead_s;
                 KernelCost {
                     seconds,
@@ -247,7 +359,7 @@ impl Engine {
                 if *bytes == 0 {
                     return KernelCost::zero();
                 }
-                let seconds = *bytes as f64 / self.bytes_per_sec + self.spec.launch_overhead_s;
+                let seconds = *bytes as f64 * self.inv_bytes_per_sec + self.spec.launch_overhead_s;
                 let path = self.spec.kind.access_path();
                 let dram_energy = if *write {
                     self.dram.write_energy(path, *bytes, self.activations_per_byte)
@@ -265,6 +377,64 @@ impl Engine {
         I: IntoIterator<Item = &'a Kernel>,
     {
         kernels.into_iter().map(|k| self.kernel_cost(k)).sum()
+    }
+
+    /// Precompute the linear pricing coefficients for a *family* of
+    /// amortized GEMMs that share the activation row count `m` on this
+    /// engine (engine efficiency depends only on `m`). Within the
+    /// family, time and energy are linear in FLOPs and DRAM bytes, so
+    /// [`AmortizedGemmPricer::price`] is a handful of multiplies — the
+    /// grouped-attention hot loop prices one group per distinct context
+    /// with it. Results match [`Engine::kernel_cost_amortized_uncached`]
+    /// to floating-point associativity (~1 ulp).
+    pub fn amortized_gemm_pricer(&self, m: u64) -> AmortizedGemmPricer {
+        let unit = self.dram.read_energy(self.spec.kind.access_path(), 1, self.activations_per_byte);
+        AmortizedGemmPricer {
+            inv_eff_flops: self.spec.effective_flops(m).recip(),
+            inv_bytes_per_sec: self.inv_bytes_per_sec,
+            act_j_per_byte: unit.activation_j,
+            transfer_j_per_byte: unit.transfer_j,
+            compute_j_per_flop: self.compute_j_per_flop(),
+        }
+    }
+
+    /// Reciprocal of the softmax unit's sustained FLOP/s (softmax time
+    /// is `flops * inv`; fused, no DRAM traffic).
+    pub fn softmax_inv_flops(&self) -> f64 {
+        (self.spec.peak_flops * 0.04).recip()
+    }
+
+    /// Joules per FLOP on this engine's compute pipeline.
+    pub fn compute_j_per_flop(&self) -> f64 {
+        self.compute_energy.pj_per_flop(self.spec.kind) * 1e-12
+    }
+}
+
+/// Linear pricing coefficients for one amortized-GEMM family (see
+/// [`Engine::amortized_gemm_pricer`]).
+#[derive(Debug, Clone, Copy)]
+pub struct AmortizedGemmPricer {
+    inv_eff_flops: f64,
+    inv_bytes_per_sec: f64,
+    act_j_per_byte: f64,
+    transfer_j_per_byte: f64,
+    compute_j_per_flop: f64,
+}
+
+impl AmortizedGemmPricer {
+    /// Price one GEMM of the family: roofline seconds (launch overhead
+    /// amortized away) plus DRAM and compute energy.
+    #[inline]
+    pub fn price(&self, flops: f64, dram_bytes: u64) -> KernelCost {
+        let b = dram_bytes as f64;
+        KernelCost {
+            seconds: (flops * self.inv_eff_flops).max(b * self.inv_bytes_per_sec),
+            dram_energy: EnergyBreakdown {
+                activation_j: b * self.act_j_per_byte,
+                transfer_j: b * self.transfer_j_per_byte,
+            },
+            compute_j: flops * self.compute_j_per_flop,
+        }
     }
 }
 
@@ -388,6 +558,70 @@ mod tests {
         let ep = pim.gemm_cost(g, b);
         assert!(ep.total_energy_j() < ex.total_energy_j(), "PIM path must save energy");
         assert_eq!(xpu.spec().kind, EngineKind::Xpu);
+    }
+
+    #[test]
+    fn repeated_pricings_hit_the_cache() {
+        let xpu = Engine::h100_xpu();
+        let g = GemmShape { m: 8, n: 14336, k: 4096 };
+        let first = xpu.gemm_cost(g, g.weight_bytes(2));
+        let (h0, m0) = xpu.cache_stats();
+        assert_eq!(h0, 0);
+        assert!(m0 >= 1);
+        for _ in 0..10 {
+            assert_eq!(xpu.gemm_cost(g, g.weight_bytes(2)), first);
+        }
+        let (h1, m1) = xpu.cache_stats();
+        assert_eq!(h1, 10, "10 repeat pricings must all hit");
+        assert_eq!(m1, m0, "no new misses on repeats");
+    }
+
+    #[test]
+    fn rescaled_engines_start_with_a_cold_correct_cache() {
+        let pim = Engine::logic_pim();
+        let g = GemmShape { m: 1, n: 14336, k: 4096 };
+        let b = g.weight_bytes(2);
+        let full = pim.gemm_cost(g, b);
+        let half = pim.with_bandwidth_fraction(0.5);
+        assert_eq!(half.cache_stats(), (0, 0), "clone must not inherit the cache");
+        let halved = half.gemm_cost(g, b);
+        assert!(halved.seconds > full.seconds, "half bandwidth must not reuse stale prices");
+    }
+
+    #[test]
+    fn clearing_the_cache_keeps_prices_identical() {
+        let xpu = Engine::h100_xpu();
+        let kernels = [
+            Kernel::Gemm { shape: GemmShape { m: 4, n: 4096, k: 4096 }, dram_bytes: 1 << 24 },
+            Kernel::Softmax { rows: 128, cols: 2048 },
+            Kernel::Elementwise { elems: 1 << 20 },
+            Kernel::Stream { bytes: 1 << 22, write: true },
+        ];
+        let before: Vec<KernelCost> = kernels.iter().map(|k| xpu.kernel_cost(k)).collect();
+        xpu.clear_price_cache();
+        let after: Vec<KernelCost> = kernels.iter().map(|k| xpu.kernel_cost(k)).collect();
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn family_pricer_matches_generic_amortized_pricing() {
+        for engine in [Engine::h100_xpu(), Engine::logic_pim(), Engine::bank_pim()] {
+            let m = 32u64;
+            let pricer = engine.amortized_gemm_pricer(m);
+            for ctx in [1u64, 17, 512, 4096, 100_000] {
+                let shape = GemmShape { m, n: ctx, k: 128 };
+                let bytes = 2 * ctx * 128 * 8;
+                let fast = pricer.price(shape.flops(), bytes);
+                let generic = engine
+                    .kernel_cost_amortized_uncached(&Kernel::Gemm { shape, dram_bytes: bytes });
+                let rel = |a: f64, b: f64| (a - b).abs() / a.abs().max(b.abs()).max(1e-300);
+                assert!(rel(fast.seconds, generic.seconds) < 1e-9, "seconds at ctx {ctx}");
+                assert!(
+                    rel(fast.total_energy_j(), generic.total_energy_j()) < 1e-9,
+                    "energy at ctx {ctx}"
+                );
+            }
+        }
     }
 
     #[test]

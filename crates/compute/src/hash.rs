@@ -1,0 +1,101 @@
+//! A fast non-cryptographic hasher for the simulator's hot-path memo
+//! tables (kernel prices, expert-device costs, stage-group indices).
+//!
+//! The default `std` hasher (SipHash) is DoS-resistant but costs more
+//! than the roofline math it guards on small integer keys. This is an
+//! FxHash-style multiply-mix: fold each word into the state with a
+//! rotate, xor and multiply by a large odd constant. Keys here are
+//! small tuples of integers produced by the simulator itself, so
+//! flooding resistance buys nothing.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiply-mix hasher state.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct FastHasher(u64);
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+impl FastHasher {
+    #[inline]
+    fn mix(&mut self, word: u64) {
+        self.0 = (self.0.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FastHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for chunk in bytes.chunks(8) {
+            let mut buf = [0u8; 8];
+            buf[..chunk.len()].copy_from_slice(chunk);
+            self.mix(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.mix(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.mix(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.mix(n);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.mix(n as u64);
+    }
+}
+
+/// A `HashMap` keyed with [`FastHasher`].
+pub type FastMap<K, V> = std::collections::HashMap<K, V, BuildHasherDefault<FastHasher>>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::{BuildHasher, Hash};
+
+    fn hash_of<T: Hash>(v: &T) -> u64 {
+        BuildHasherDefault::<FastHasher>::default().hash_one(v)
+    }
+
+    #[test]
+    fn distinct_keys_hash_differently() {
+        let a = hash_of(&(1u64, 2u64, 3u64));
+        let b = hash_of(&(1u64, 2u64, 4u64));
+        let c = hash_of(&(2u64, 2u64, 3u64));
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(b, c);
+    }
+
+    #[test]
+    fn equal_keys_hash_equally() {
+        let k = vec![5u64, 6, 7];
+        assert_eq!(hash_of(&k), hash_of(&k.clone()));
+    }
+
+    #[test]
+    fn fast_map_works_with_enum_keys() {
+        use crate::kernel::{GemmShape, Kernel};
+        let mut m: FastMap<Kernel, u32> = FastMap::default();
+        let k1 = Kernel::Gemm { shape: GemmShape { m: 1, n: 2, k: 3 }, dram_bytes: 4 };
+        let k2 = Kernel::Stream { bytes: 4, write: false };
+        m.insert(k1, 1);
+        m.insert(k2, 2);
+        assert_eq!(m.get(&k1), Some(&1));
+        assert_eq!(m.get(&k2), Some(&2));
+    }
+}

@@ -52,7 +52,10 @@ impl GemmShape {
 }
 
 /// One costed unit of work.
-#[derive(Debug, Clone, Copy, PartialEq)]
+///
+/// All fields are integers, so a `Kernel` is `Eq + Hash` and doubles as
+/// the memoization key for [`crate::Engine`]'s pricing cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Kernel {
     /// GEMM with an explicit count of DRAM bytes it must stream (weights
     /// or KV cache; the caller decides what is resident).

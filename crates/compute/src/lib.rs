@@ -44,6 +44,7 @@
 pub mod area;
 pub mod energy;
 pub mod engine;
+pub mod hash;
 pub mod kernel;
 pub mod spec;
 

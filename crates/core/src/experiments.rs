@@ -8,6 +8,14 @@
 //! the substrate is a model, not their silicon — but the *shape* (who
 //! wins, by what factor, where crossovers fall) is the reproduction
 //! target, and `tests/integration_paper_claims.rs` pins it.
+//!
+//! Sweeps are embarrassingly parallel — every sweep point builds its
+//! own [`SystemExecutor`] — so each driver fans its points out with
+//! rayon and collects rows in deterministic input order. Results are
+//! identical to a serial run: executors are seeded per point and the
+//! default expected-value expert routing is deterministic.
+
+use rayon::prelude::*;
 
 use duplex_compute::kernel::GemmShape;
 use duplex_compute::{AreaModel, Edap, Engine};
@@ -148,42 +156,48 @@ pub struct BreakdownRow {
 /// Fig. 4(a): execution-time breakdown on the GPU system, Lin = 2048.
 pub fn fig04_breakdown(scale: &Scale) -> Vec<BreakdownRow> {
     let lin = scale.len(2048);
-    let mut rows = Vec::new();
+    let mut points = Vec::new();
     for model in [ModelConfig::mixtral_8x7b(), ModelConfig::glam()] {
-        let (devices, nodes) = SystemConfig::default_cluster(&model);
-        let mut ex = SystemExecutor::new(SystemConfig::gpu(devices, nodes), model.clone(), 7);
         for batch in [32usize, 64, 128] {
             for lout in [256u64, 1024, 4096] {
-                let lout_s = scale.len(lout);
-                let ctx = lin + lout_s / 2;
                 for mixed in [false, true] {
-                    let shape = if mixed {
-                        StageShape::mixed(&vec![ctx; batch - 1], &[lin])
-                    } else {
-                        StageShape::decode_only(&vec![ctx; batch])
-                    };
-                    let c = ex.stage_cost(&shape);
-                    let t = c.time;
-                    let total = t.total().max(f64::MIN_POSITIVE);
-                    rows.push(BreakdownRow {
-                        model: model.name.clone(),
-                        batch,
-                        lout,
-                        mixed,
-                        fractions: [
-                            t.fc / total,
-                            t.attn_prefill / total,
-                            t.attn_decode / total,
-                            t.moe / total,
-                            t.comm / total,
-                        ],
-                        seconds: c.seconds,
-                    });
+                    points.push((model.clone(), batch, lout, mixed));
                 }
             }
         }
     }
-    rows
+    points
+        .into_par_iter()
+        .map(|(model, batch, lout, mixed)| {
+            let (devices, nodes) = SystemConfig::default_cluster(&model);
+            let mut ex =
+                SystemExecutor::new(SystemConfig::gpu(devices, nodes), model.clone(), 7);
+            let lout_s = scale.len(lout);
+            let ctx = lin + lout_s / 2;
+            let shape = if mixed {
+                StageShape::mixed(&vec![ctx; batch - 1], &[lin])
+            } else {
+                StageShape::decode_only(&vec![ctx; batch])
+            };
+            let c = ex.stage_cost(&shape);
+            let t = c.time;
+            let total = t.total().max(f64::MIN_POSITIVE);
+            BreakdownRow {
+                model: model.name,
+                batch,
+                lout,
+                mixed,
+                fractions: [
+                    t.fc / total,
+                    t.attn_prefill / total,
+                    t.attn_decode / total,
+                    t.moe / total,
+                    t.comm / total,
+                ],
+                seconds: c.seconds,
+            }
+        })
+        .collect()
 }
 
 /// One point of the Fig. 4(b) roofline: an operation class's aggregate
@@ -207,10 +221,16 @@ pub struct RooflineRow {
 pub fn fig04_roofline(scale: &Scale) -> Vec<RooflineRow> {
     let lin = scale.len(2048);
     let ctx = lin + scale.len(1024) / 2;
-    let mut rows = Vec::new();
+    let mut points = Vec::new();
     for model in [ModelConfig::mixtral_8x7b(), ModelConfig::glam()] {
-        let (devices, nodes) = SystemConfig::default_cluster(&model);
         for batch in [32usize, 64, 128] {
+            points.push((model.clone(), batch));
+        }
+    }
+    points
+        .into_par_iter()
+        .map(|(model, batch)| {
+            let (devices, nodes) = SystemConfig::default_cluster(&model);
             let mut ex =
                 SystemExecutor::new(SystemConfig::gpu(devices, nodes), model.clone(), 7);
             let shape = StageShape::decode_only(&vec![ctx; batch]);
@@ -230,12 +250,15 @@ pub fn fig04_roofline(scale: &Scale) -> Vec<RooflineRow> {
                 .iter()
                 .map(|f| (f.weight_bytes(bpe) * f.count) as f64)
                 .sum();
-            let attn_flops: f64 = work.attn.iter().map(|a| a.flops() * a.count as f64).sum();
+            // Attention ops are grouped: scale by the multiplicity.
+            let attn_flops: f64 =
+                work.attn.iter().map(|a| a.flops() * (a.count * a.reqs) as f64).sum();
             let attn_bytes: f64 = work
                 .attn
                 .iter()
-                .map(|a| (a.kv_dram_bytes(bpe) * a.count) as f64)
+                .map(|a| (a.kv_dram_bytes(bpe) * a.count * a.reqs) as f64)
                 .sum();
+            let mut rows = Vec::new();
             let mut push = |op, flops: f64, bytes: f64, secs: f64| {
                 if bytes > 0.0 && secs > 0.0 {
                     rows.push(RooflineRow {
@@ -263,9 +286,12 @@ pub fn fig04_roofline(scale: &Scale) -> Vec<RooflineRow> {
                 }
                 push("MoE", moe_flops, moe_bytes, c.time.moe);
             }
-        }
-    }
-    rows
+            rows
+        })
+        .collect::<Vec<_>>()
+        .into_iter()
+        .flatten()
+        .collect()
 }
 
 // ---------------------------------------------------------------- Fig. 5
@@ -287,20 +313,25 @@ pub struct StageRatioRow {
 /// GPU system.
 pub fn fig05_stage_ratio(scale: &Scale) -> Vec<StageRatioRow> {
     let model = ModelConfig::mixtral_8x7b();
-    let mut rows = Vec::new();
+    let mut points = Vec::new();
     for batch in [32usize, 64, 128] {
         for (lin, lout) in [(256, 256), (256, 2048), (2048, 256), (2048, 2048)] {
+            points.push((batch, lin, lout));
+        }
+    }
+    points
+        .into_par_iter()
+        .map(|(batch, lin, lout)| {
             let cfg = scale.run_config(model.clone(), SystemConfig::gpu(4, 1), lin, lout, batch);
             let r = run(cfg);
-            rows.push(StageRatioRow {
+            StageRatioRow {
                 lin,
                 lout,
                 batch,
                 decode_only_fraction: r.report.decode_only_fraction(),
-            });
-        }
-    }
-    rows
+            }
+        })
+        .collect()
 }
 
 /// Latency comparison row used by Figs. 5(b), 12, 13 and 16.
@@ -340,16 +371,21 @@ impl LatencyRow {
 /// latency on Mixtral, batch 32.
 pub fn fig05_hetero_latency(scale: &Scale) -> Vec<LatencyRow> {
     let model = ModelConfig::mixtral_8x7b();
-    let mut rows = Vec::new();
+    let mut points = Vec::new();
     for (lin, lout) in [(256, 256), (256, 2048), (2048, 256), (2048, 2048)] {
         for system in [SystemConfig::gpu(4, 1), SystemConfig::hetero()] {
+            points.push((lin, lout, system));
+        }
+    }
+    points
+        .into_par_iter()
+        .map(|(lin, lout, system)| {
             let mut cfg = scale.run_config(model.clone(), system, lin, lout, 32);
             cfg.max_stages = usize::MAX; // latency runs go to completion
             let r = run(cfg);
-            rows.push(LatencyRow::of(lin, lout, &r));
-        }
-    }
-    rows
+            LatencyRow::of(lin, lout, &r)
+        })
+        .collect()
 }
 
 /// One bar of Fig. 5(c): hetero throughput normalized to the GPU
@@ -373,25 +409,28 @@ pub struct HeteroThroughputRow {
 pub fn fig05_hetero_throughput(scale: &Scale) -> Vec<HeteroThroughputRow> {
     let model = ModelConfig::mixtral_8x7b();
     let batch = 128usize;
-    let mut rows = Vec::new();
-    for (lin, lout) in [(2048, 2048), (2048, 4096), (4096, 4096), (8192, 4096)] {
-        let gpu = run(scale.run_config(model.clone(), SystemConfig::gpu(4, 1), lin, lout, batch));
-        let het =
-            run(scale.run_config(model.clone(), SystemConfig::hetero(), lin, lout, batch));
-        let mut unlimited =
-            scale.run_config(model.clone(), SystemConfig::hetero(), lin, lout, batch);
-        unlimited.kv_capacity_override = Some(u64::MAX);
-        let het_unlimited = run(unlimited);
-        rows.push(HeteroThroughputRow {
-            lin,
-            lout,
-            normalized: het.throughput_tokens_per_s / gpu.throughput_tokens_per_s,
-            normalized_no_capacity: het_unlimited.throughput_tokens_per_s
-                / gpu.throughput_tokens_per_s,
-            hetero_mean_batch: het.mean_batch,
-        });
-    }
-    rows
+    let pairs = vec![(2048u64, 2048u64), (2048, 4096), (4096, 4096), (8192, 4096)];
+    pairs
+        .into_par_iter()
+        .map(|(lin, lout)| {
+            let gpu =
+                run(scale.run_config(model.clone(), SystemConfig::gpu(4, 1), lin, lout, batch));
+            let het =
+                run(scale.run_config(model.clone(), SystemConfig::hetero(), lin, lout, batch));
+            let mut unlimited =
+                scale.run_config(model.clone(), SystemConfig::hetero(), lin, lout, batch);
+            unlimited.kv_capacity_override = Some(u64::MAX);
+            let het_unlimited = run(unlimited);
+            HeteroThroughputRow {
+                lin,
+                lout,
+                normalized: het.throughput_tokens_per_s / gpu.throughput_tokens_per_s,
+                normalized_no_capacity: het_unlimited.throughput_tokens_per_s
+                    / gpu.throughput_tokens_per_s,
+                hetero_mean_batch: het.mean_batch,
+            }
+        })
+        .collect()
 }
 
 // ---------------------------------------------------------------- Fig. 8
@@ -475,34 +514,44 @@ fn throughput_sweep(
     scale: &Scale,
     models: &[(ModelConfig, Vec<(u64, u64)>)],
     batches: &[usize],
-    systems: &dyn Fn(&ModelConfig) -> Vec<SystemConfig>,
+    systems: &(dyn Fn(&ModelConfig) -> Vec<SystemConfig> + Sync),
 ) -> Vec<ThroughputRow> {
-    let mut rows = Vec::new();
+    // One parallel work item per (model, batch, lengths) column; the
+    // systems of a column run in sequence because each normalizes to
+    // the column's first (GPU-baseline) result.
+    let mut columns = Vec::new();
     for (model, pairs) in models {
         for &batch in batches {
             for &(lin, lout) in pairs {
-                let mut gpu_tps = None;
-                for system in systems(model) {
-                    let cfg = scale.run_config(model.clone(), system, lin, lout, batch);
-                    let r = run(cfg);
-                    let tps = r.throughput_tokens_per_s;
-                    if gpu_tps.is_none() {
-                        gpu_tps = Some(tps);
-                    }
-                    rows.push(ThroughputRow {
-                        model: model.name.clone(),
-                        system: r.system_name,
-                        lin,
-                        lout,
-                        batch,
-                        tokens_per_s: tps,
-                        normalized: tps / gpu_tps.expect("first system is the GPU baseline"),
-                    });
-                }
+                columns.push((model.clone(), batch, lin, lout));
             }
         }
     }
-    rows
+    columns
+        .into_par_iter()
+        .flat_map(|(model, batch, lin, lout)| {
+            let mut gpu_tps = None;
+            let mut rows = Vec::new();
+            for system in systems(&model) {
+                let cfg = scale.run_config(model.clone(), system, lin, lout, batch);
+                let r = run(cfg);
+                let tps = r.throughput_tokens_per_s;
+                if gpu_tps.is_none() {
+                    gpu_tps = Some(tps);
+                }
+                rows.push(ThroughputRow {
+                    model: model.name.clone(),
+                    system: r.system_name,
+                    lin,
+                    lout,
+                    batch,
+                    tokens_per_s: tps,
+                    normalized: tps / gpu_tps.expect("first system is the GPU baseline"),
+                });
+            }
+            rows
+        })
+        .collect()
 }
 
 /// Fig. 11: normalized throughput of GPU / 2xGPU / Duplex / Duplex+PE /
@@ -568,16 +617,21 @@ pub fn fig12_latency(scale: &Scale) -> Vec<LatencyRow> {
         SystemConfig::duplex_pe(d, n),
         SystemConfig::duplex_pe_et(d, n),
     ];
-    let mut rows = Vec::new();
+    let mut points = Vec::new();
     for (lin, lout) in [(512, 512), (1024, 1024), (2048, 2048)] {
         for system in &systems {
-            let mut cfg = scale.run_config(model.clone(), system.clone(), lin, lout, 64);
-            cfg.max_stages = usize::MAX;
-            let r = run(cfg);
-            rows.push(LatencyRow::of(lin, lout, &r));
+            points.push((lin, lout, system.clone()));
         }
     }
-    rows
+    points
+        .into_par_iter()
+        .map(|(lin, lout, system)| {
+            let mut cfg = scale.run_config(model.clone(), system, lin, lout, 64);
+            cfg.max_stages = usize::MAX;
+            let r = run(cfg);
+            LatencyRow::of(lin, lout, &r)
+        })
+        .collect()
 }
 
 /// One point of Fig. 13: latency under a Poisson arrival rate.
@@ -609,28 +663,33 @@ pub fn fig13_qps(scale: &Scale) -> Vec<QpsRow> {
     // Scale offered load with the shrink factor so the saturation
     // crossover stays visible at quick scales.
     let qps_scale = scale.shrink as f64;
-    let mut rows = Vec::new();
+    let mut points = Vec::new();
     for qps_base in [4.0f64, 6.0, 8.0, 10.0, 12.0, 14.0, 16.0] {
         for system in &systems {
+            points.push((qps_base, system.clone()));
+        }
+    }
+    points
+        .into_par_iter()
+        .map(|(qps_base, system)| {
             let mut cfg = RunConfig::closed_loop(
                 model.clone(),
-                system.clone(),
+                system,
                 Workload::gaussian(lin, lout),
                 128,
                 scale.requests(128).max(96),
             );
             cfg.qps = Some(qps_base * qps_scale);
             let r = run(cfg);
-            rows.push(QpsRow {
+            QpsRow {
                 system: r.system_name,
                 qps: qps_base,
                 tbt: [r.tbt.p50, r.tbt.p90, r.tbt.p99],
                 t2ft_p50: r.t2ft.p50,
                 e2e_p50: r.e2e.p50,
-            });
-        }
-    }
-    rows
+            }
+        })
+        .collect()
 }
 
 // ---------------------------------------------------------------- Fig. 15
@@ -663,37 +722,42 @@ pub fn fig15_energy(scale: &Scale) -> Vec<EnergyRow> {
         (ModelConfig::glam(), [(512, 512), (1024, 1024), (2048, 2048)]),
         (ModelConfig::grok1(), [(256, 256), (1024, 1024), (4096, 4096)]),
     ];
-    let mut rows = Vec::new();
+    let mut points = Vec::new();
     for (model, pairs) in models {
         let (d, n) = SystemConfig::default_cluster(&model);
         for batch in [32usize, 64, 128] {
             for (lin, lout) in pairs {
                 for system in [SystemConfig::gpu(d, n), SystemConfig::duplex_pe_et(d, n)] {
-                    let cfg = scale.run_config(model.clone(), system, lin, lout, batch);
-                    let r = run(cfg);
-                    let tokens = r.report.generated_tokens().max(1) as f64;
-                    let e = r.cost.energy;
-                    rows.push(EnergyRow {
-                        model: model.name.clone(),
-                        system: r.system_name,
-                        lin,
-                        lout,
-                        batch,
-                        buckets_j: [
-                            e.fc_dram / tokens,
-                            e.fc_comp / tokens,
-                            e.attn_dram / tokens,
-                            e.attn_comp / tokens,
-                            e.moe_dram / tokens,
-                            e.moe_comp / tokens,
-                        ],
-                        total_j: e.total() / tokens,
-                    });
+                    points.push((model.clone(), batch, lin, lout, system));
                 }
             }
         }
     }
-    rows
+    points
+        .into_par_iter()
+        .map(|(model, batch, lin, lout, system)| {
+            let cfg = scale.run_config(model.clone(), system, lin, lout, batch);
+            let r = run(cfg);
+            let tokens = r.report.generated_tokens().max(1) as f64;
+            let e = r.cost.energy;
+            EnergyRow {
+                model: model.name,
+                system: r.system_name,
+                lin,
+                lout,
+                batch,
+                buckets_j: [
+                    e.fc_dram / tokens,
+                    e.fc_comp / tokens,
+                    e.attn_dram / tokens,
+                    e.attn_comp / tokens,
+                    e.moe_dram / tokens,
+                    e.moe_comp / tokens,
+                ],
+                total_j: e.total() / tokens,
+            }
+        })
+        .collect()
 }
 
 // ---------------------------------------------------------------- Fig. 16
@@ -703,39 +767,44 @@ pub fn fig15_energy(scale: &Scale) -> Vec<EnergyRow> {
 pub fn fig16_split(scale: &Scale) -> Vec<LatencyRow> {
     let model = ModelConfig::mixtral_8x7b();
     let batch = 128usize;
-    let mut rows = Vec::new();
-    for (lin, lout) in [(256, 256), (1024, 1024), (4096, 4096)] {
-        let mut cfg = scale.run_config(
-            model.clone(),
-            SystemConfig::duplex_pe(4, 1),
-            lin,
-            lout,
-            batch,
-        );
-        cfg.max_stages = usize::MAX;
-        let duplex = run(cfg.clone());
-        rows.push(LatencyRow::of(lin, lout, &duplex));
+    let pairs = vec![(256u64, 256u64), (1024, 1024), (4096, 4096)];
+    pairs
+        .into_par_iter()
+        .flat_map(|(lin, lout)| {
+            let mut cfg = scale.run_config(
+                model.clone(),
+                SystemConfig::duplex_pe(4, 1),
+                lin,
+                lout,
+                batch,
+            );
+            cfg.max_stages = usize::MAX;
+            let duplex = run(cfg.clone());
+            let duplex_row = LatencyRow::of(lin, lout, &duplex);
 
-        let split = SplitSimulation::new(
-            &SystemConfig::duplex_pe(2, 1),
-            model.clone(),
-            2,
-            cfg.workload.clone(),
-            cfg.requests,
-            batch,
-        );
-        let report = split.run();
-        rows.push(LatencyRow {
-            system: "Duplex-Split".into(),
-            lin,
-            lout,
-            tbt: [report.tbt().p50, report.tbt().p90, report.tbt().p99],
-            t2ft_p50: report.t2ft().p50,
-            e2e_p50: report.e2e().p50,
-            throughput: report.generation_throughput(),
-        });
-    }
-    rows
+            let split = SplitSimulation::new(
+                &SystemConfig::duplex_pe(2, 1),
+                model.clone(),
+                2,
+                cfg.workload.clone(),
+                cfg.requests,
+                batch,
+            );
+            let report = split.run();
+            vec![
+                duplex_row,
+                LatencyRow {
+                    system: "Duplex-Split".into(),
+                    lin,
+                    lout,
+                    tbt: [report.tbt().p50, report.tbt().p90, report.tbt().p99],
+                    t2ft_p50: report.t2ft().p50,
+                    e2e_p50: report.e2e().p50,
+                    throughput: report.generation_throughput(),
+                },
+            ]
+        })
+        .collect()
 }
 
 #[cfg(test)]

@@ -9,9 +9,17 @@
 //!
 //! * batched **FC ops** (QKV generation, projection, gates, dense FFNs,
 //!   LM head) whose token dimension is the whole stage's token count;
-//! * per-request **attention ops**, which can never be batched across
-//!   requests because each request owns its KV matrices (Sec. II-C);
-//! * per-MoE-layer **expert token histograms**, drawn through the gate.
+//! * **grouped attention ops**: attention can never be batched across
+//!   requests because each request owns its KV matrices (Sec. II-C),
+//!   but requests with *identical* context length produce identical
+//!   kernel shapes, so they collapse into one [`AttnOp`] carrying a
+//!   `reqs` multiplicity. Continuous batching admits requests in
+//!   cohorts that then advance in lockstep, so big stages typically
+//!   shrink to a handful of groups — the system crate prices each group
+//!   once and scales by `reqs`;
+//! * per-MoE-layer **expert token histograms**, from the gate (analytic
+//!   expectation by default, sampled for skew ablations — see
+//!   [`crate::routing::RoutingMode`]).
 //!
 //! The shapes here are per *model pass*, unsharded; the system crate
 //! applies tensor/expert/data parallelism.
@@ -79,9 +87,14 @@ impl FcOp {
 }
 
 /// Attention of one request in one decoder layer (replicated `count`
-/// times across layers). Head groups are folded into the row dimension:
-/// attention is memory-bound in every regime the paper studies, so the
-/// group fold preserves both byte traffic and FLOPs.
+/// times across layers), on behalf of `reqs` requests with identical
+/// shape. Head groups are folded into the row dimension: attention is
+/// memory-bound in every regime the paper studies, so the group fold
+/// preserves both byte traffic and FLOPs.
+///
+/// All per-op quantities ([`AttnOp::flops`], [`AttnOp::kv_dram_bytes`],
+/// the kernel shapes) describe **one** request; consumers scale by
+/// `reqs` (and `count`) when aggregating.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct AttnOp {
     /// True for a decoding sequence, false for a prefilling one.
@@ -99,6 +112,8 @@ pub struct AttnOp {
     pub causal: bool,
     /// Layer replication count.
     pub count: u64,
+    /// How many identical requests this grouped op stands for.
+    pub reqs: u64,
 }
 
 impl AttnOp {
@@ -202,7 +217,7 @@ impl ExpertWork {
 }
 
 /// Everything one stage executes, unsharded.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct StageWork {
     /// Tokens through the batched FC/MoE path.
     pub tokens: u64,
@@ -210,7 +225,9 @@ pub struct StageWork {
     pub lm_rows: u64,
     /// Batched FC ops with per-pass counts.
     pub fc_ops: Vec<FcOp>,
-    /// Per-request attention ops.
+    /// Grouped attention ops (identical-shape requests share one op
+    /// with a `reqs` multiplicity), decode groups before prefill
+    /// groups, each class in ascending context order.
     pub attn: Vec<AttnOp>,
     /// Per-MoE-layer expert histograms (empty for dense models).
     pub moe: Vec<MoeLayerWork>,
@@ -221,31 +238,53 @@ pub struct StageWork {
 }
 
 /// Expand a stage into its kernel shapes, drawing expert routing from
-/// `router` via `rng` (one draw per MoE layer, as each layer's gate is
-/// independent).
+/// `router` via `rng` (one draw per MoE layer when sampling; the
+/// default expected-value mode computes one histogram and shares it).
 pub fn enumerate_stage<R: Rng + ?Sized>(
     config: &ModelConfig,
     shape: &StageShape,
     router: &ExpertRouter,
     rng: &mut R,
 ) -> StageWork {
+    let mut work = StageWork::default();
+    enumerate_stage_into(config, shape, router, rng, &mut work);
+    work
+}
+
+/// Allocation-reusing form of [`enumerate_stage`]: clears and refills
+/// `work`, keeping the capacity of its vectors (including each MoE
+/// layer's histogram). The stage-pricing hot loop calls this with an
+/// executor-owned scratch `StageWork` so steady-state enumeration
+/// performs no per-stage heap allocation beyond the context sort.
+pub fn enumerate_stage_into<R: Rng + ?Sized>(
+    config: &ModelConfig,
+    shape: &StageShape,
+    router: &ExpertRouter,
+    rng: &mut R,
+    work: &mut StageWork,
+) {
     let tokens = shape.tokens();
     let lm_rows = shape.decode_ctx.len() as u64 + shape.prefill_len.len() as u64;
     let layers = u64::from(config.n_layers);
     let kv_n = 2 * u64::from(config.kv_heads()) * config.d_head();
 
-    let mut fc_ops = vec![
-        FcOp {
-            name: "qkv",
-            count: layers,
-            shape: GemmShape { m: tokens, n: config.hidden + kv_n, k: config.hidden },
-        },
-        FcOp {
-            name: "proj",
-            count: layers,
-            shape: GemmShape { m: tokens, n: config.hidden, k: config.hidden },
-        },
-    ];
+    work.tokens = tokens;
+    work.lm_rows = lm_rows;
+    work.kv_write_bytes = tokens * config.kv_bytes_per_token();
+    work.mixed = shape.is_mixed();
+
+    let fc_ops = &mut work.fc_ops;
+    fc_ops.clear();
+    fc_ops.push(FcOp {
+        name: "qkv",
+        count: layers,
+        shape: GemmShape { m: tokens, n: config.hidden + kv_n, k: config.hidden },
+    });
+    fc_ops.push(FcOp {
+        name: "proj",
+        count: layers,
+        shape: GemmShape { m: tokens, n: config.hidden, k: config.hidden },
+    });
     let dense_blocks = u64::from(config.dense_block_count());
     if dense_blocks > 0 {
         fc_ops.push(FcOp {
@@ -272,8 +311,24 @@ pub fn enumerate_stage<R: Rng + ?Sized>(
         shape: GemmShape { m: lm_rows, n: config.vocab, k: config.hidden },
     });
 
-    let mut attn = Vec::with_capacity(shape.batch_size());
-    for &ctx in &shape.decode_ctx {
+    // Group identical-shape requests: one AttnOp per distinct context
+    // length (per class), with a multiplicity, in ascending context
+    // order. Sorting + run-length encoding beats a hash map here both
+    // when contexts are uniform (lockstep cohorts: the sort is a no-op
+    // over equal keys) and when they are all distinct (no per-request
+    // hashing); the deterministic order keeps round-robin data-parallel
+    // placement reproducible.
+    let attn = &mut work.attn;
+    attn.clear();
+    let mut sorted_ctx = shape.decode_ctx.clone();
+    sorted_ctx.sort_unstable();
+    for &ctx in &sorted_ctx {
+        if let Some(last) = attn.last_mut() {
+            if last.ctx == ctx {
+                last.reqs += 1;
+                continue;
+            }
+        }
         attn.push(AttnOp {
             decode: true,
             ctx,
@@ -282,9 +337,19 @@ pub fn enumerate_stage<R: Rng + ?Sized>(
             d_head: config.d_head(),
             causal: false,
             count: layers,
+            reqs: 1,
         });
     }
-    for &len in &shape.prefill_len {
+    let decode_groups = attn.len();
+    let mut sorted_len = shape.prefill_len.clone();
+    sorted_len.sort_unstable();
+    for &len in &sorted_len {
+        if let Some(last) = attn[decode_groups..].last_mut() {
+            if last.ctx == len {
+                last.reqs += 1;
+                continue;
+            }
+        }
         attn.push(AttnOp {
             decode: false,
             ctx: len,
@@ -293,25 +358,38 @@ pub fn enumerate_stage<R: Rng + ?Sized>(
             d_head: config.d_head(),
             causal: true,
             count: layers,
+            reqs: 1,
         });
     }
+    debug_assert!(attn[..decode_groups].iter().all(|a| a.decode));
 
-    let moe = if config.is_moe() {
-        (0..config.moe_block_count())
-            .map(|layer| MoeLayerWork { layer, expert_tokens: router.route(rng, tokens) })
-            .collect()
-    } else {
-        Vec::new()
-    };
-
-    StageWork {
-        tokens,
-        lm_rows,
-        fc_ops,
-        attn,
-        moe,
-        kv_write_bytes: tokens * config.kv_bytes_per_token(),
-        mixed: shape.is_mixed(),
+    // MoE histograms, reusing each layer's existing allocation.
+    let blocks = if config.is_moe() { config.moe_block_count() as usize } else { 0 };
+    work.moe.truncate(blocks);
+    while work.moe.len() < blocks {
+        work.moe.push(MoeLayerWork { layer: 0, expert_tokens: Vec::new() });
+    }
+    for (i, layer) in work.moe.iter_mut().enumerate() {
+        layer.layer = i as u32;
+    }
+    if blocks > 0 {
+        match router.mode() {
+            // Expected counts are a pure function of the token count:
+            // compute one histogram and share it across layers.
+            crate::routing::RoutingMode::Expected => {
+                let (first, rest) = work.moe.split_at_mut(1);
+                router.route_expected_into(tokens, &mut first[0].expert_tokens);
+                for layer in rest {
+                    layer.expert_tokens.clone_from(&first[0].expert_tokens);
+                }
+            }
+            // Each layer's gate is an independent draw.
+            crate::routing::RoutingMode::Sampled => {
+                for layer in &mut work.moe {
+                    router.route_sampled_into(rng, tokens, &mut layer.expert_tokens);
+                }
+            }
+        }
     }
 }
 
@@ -339,8 +417,39 @@ mod tests {
         assert_eq!(w.tokens, 3);
         assert_eq!(w.lm_rows, 3);
         assert!(!w.mixed);
-        assert_eq!(w.attn.len(), 3);
-        assert!(w.attn.iter().all(|a| a.decode));
+        assert_eq!(w.attn.len(), 3, "distinct contexts stay distinct groups");
+        assert!(w.attn.iter().all(|a| a.decode && a.reqs == 1));
+    }
+
+    #[test]
+    fn identical_contexts_collapse_into_one_group() {
+        let config = ModelConfig::mixtral_8x7b();
+        let w = work(&config, &StageShape::decode_only(&[512; 64]));
+        assert_eq!(w.attn.len(), 1);
+        assert_eq!(w.attn[0].reqs, 64);
+        assert_eq!(w.attn[0].ctx, 512);
+
+        // Interleaved duplicates group in ascending context order.
+        let w = work(&config, &StageShape::decode_only(&[9, 7, 9, 7, 7]));
+        assert_eq!(w.attn.len(), 2);
+        assert_eq!((w.attn[0].ctx, w.attn[0].reqs), (7, 3));
+        assert_eq!((w.attn[1].ctx, w.attn[1].reqs), (9, 2));
+    }
+
+    #[test]
+    fn group_multiplicities_sum_to_batch_size() {
+        let config = ModelConfig::mixtral_8x7b();
+        let shape = StageShape::mixed(&[64, 64, 128, 64, 128], &[2048, 2048, 512]);
+        let w = work(&config, &shape);
+        let decode_reqs: u64 = w.attn.iter().filter(|a| a.decode).map(|a| a.reqs).sum();
+        let prefill_reqs: u64 = w.attn.iter().filter(|a| !a.decode).map(|a| a.reqs).sum();
+        assert_eq!(decode_reqs, 5);
+        assert_eq!(prefill_reqs, 3);
+        // Decode groups come first, each class in ascending ctx order.
+        assert_eq!(w.attn.len(), 4);
+        assert!(w.attn[0].decode && w.attn[1].decode);
+        assert_eq!((w.attn[2].ctx, w.attn[2].reqs), (512, 1));
+        assert_eq!((w.attn[3].ctx, w.attn[3].reqs), (2048, 2));
     }
 
     #[test]

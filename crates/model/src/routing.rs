@@ -6,12 +6,30 @@
 //! skewed ("hot/cold expert") routing, which we expose through a Zipf
 //! exponent so the ablation benches can exercise it.
 //!
-//! Routing only needs per-expert token *counts*, so instead of drawing
-//! one sample per token we draw a multinomial via a chain of binomials
-//! (exact), with a normal approximation for large counts. This keeps a
-//! 64-expert GLaM stage at O(experts) work per layer.
+//! Routing only needs per-expert token *counts*, and the simulator
+//! supports two ways of producing them:
+//!
+//! * [`RoutingMode::Expected`] — the closed-form expected histogram
+//!   (`tokens * top_k * p_i`, integerized by largest-remainder
+//!   rounding). Deterministic and O(experts) with no RNG draws; this is
+//!   the default for uniform routing, where the gate's law of large
+//!   numbers makes per-stage sampling noise irrelevant to the paper's
+//!   aggregate metrics.
+//! * [`RoutingMode::Sampled`] — a multinomial drawn via a chain of
+//!   binomials (exact, with a normal approximation for large counts).
+//!   Skewed (`zipf`) routers default to this so the hot/cold ablations
+//!   keep their stage-to-stage variance.
 
 use rand::Rng;
+
+/// How the router turns selection probabilities into token counts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RoutingMode {
+    /// Closed-form expected counts (deterministic, no RNG draws).
+    Expected,
+    /// Multinomial sampling through the gate.
+    Sampled,
+}
 
 /// Per-layer expert selector.
 #[derive(Debug, Clone, PartialEq)]
@@ -20,10 +38,12 @@ pub struct ExpertRouter {
     top_k: u32,
     /// Normalized selection probabilities, one per expert.
     probs: Vec<f64>,
+    mode: RoutingMode,
 }
 
 impl ExpertRouter {
     /// Uniform routing across `n_experts`, `top_k` choices per token.
+    /// Defaults to [`RoutingMode::Expected`] (the analytic fast path).
     ///
     /// # Panics
     ///
@@ -35,6 +55,11 @@ impl ExpertRouter {
     /// Zipf-skewed routing: expert `i` is selected with probability
     /// proportional to `(i + 1)^-skew`. `skew = 0` is uniform; larger
     /// values concentrate tokens on "hot" experts (Sec. VIII-B).
+    ///
+    /// Uniform (`skew = 0`) routers default to the closed-form
+    /// [`RoutingMode::Expected`]; skewed routers keep
+    /// [`RoutingMode::Sampled`] so ablations see routing variance.
+    /// Override either with [`ExpertRouter::with_mode`].
     ///
     /// # Panics
     ///
@@ -50,7 +75,15 @@ impl ExpertRouter {
         for p in &mut probs {
             *p /= sum;
         }
-        Self { n_experts, top_k, probs }
+        let mode = if skew == 0.0 { RoutingMode::Expected } else { RoutingMode::Sampled };
+        Self { n_experts, top_k, probs, mode }
+    }
+
+    /// Replace the routing mode (e.g. force sampling for an ablation
+    /// of gate noise under uniform routing).
+    pub fn with_mode(mut self, mode: RoutingMode) -> Self {
+        self.mode = mode;
+        self
     }
 
     /// Number of experts.
@@ -63,12 +96,75 @@ impl ExpertRouter {
         self.top_k
     }
 
+    /// The active routing mode.
+    pub fn mode(&self) -> RoutingMode {
+        self.mode
+    }
+
     /// Route `tokens` tokens: returns per-expert token counts summing to
-    /// `tokens * top_k` (each token activates `top_k` experts).
+    /// `tokens * top_k` (each token activates `top_k` experts). In
+    /// [`RoutingMode::Expected`] the RNG is not advanced.
     pub fn route<R: Rng + ?Sized>(&self, rng: &mut R, tokens: u64) -> Vec<u64> {
-        let mut counts = vec![0u64; self.n_experts as usize];
+        match self.mode {
+            RoutingMode::Expected => self.route_expected(tokens),
+            RoutingMode::Sampled => self.route_sampled(rng, tokens),
+        }
+    }
+
+    /// The closed-form expected histogram: `total * p_i` floored, with
+    /// the remainder distributed by largest fractional part (ties to
+    /// lower expert index). Sums exactly to `tokens * top_k`.
+    pub fn route_expected(&self, tokens: u64) -> Vec<u64> {
+        let mut counts = Vec::new();
+        self.route_expected_into(tokens, &mut counts);
+        counts
+    }
+
+    /// [`ExpertRouter::route_expected`] writing into a reusable buffer
+    /// (cleared and refilled; capacity kept).
+    pub fn route_expected_into(&self, tokens: u64, counts: &mut Vec<u64>) {
+        let total = tokens * u64::from(self.top_k);
+        counts.clear();
+        counts.resize(self.n_experts as usize, 0);
+        if total == 0 {
+            return;
+        }
+        let mut assigned = 0u64;
+        let mut fracs: Vec<(f64, usize)> = Vec::with_capacity(self.probs.len());
+        for (i, &p) in self.probs.iter().enumerate() {
+            let exact = total as f64 * p;
+            let floor = exact.floor() as u64;
+            counts[i] = floor;
+            assigned += floor;
+            fracs.push((exact - floor as f64, i));
+        }
+        // Largest remainder; stable tie-break on expert index.
+        let remainder = (total - assigned) as usize;
+        fracs.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap().then(a.1.cmp(&b.1)));
+        for &(_, i) in fracs.iter().take(remainder) {
+            counts[i] += 1;
+        }
+    }
+
+    /// Multinomial sampling via a chain of conditional binomials.
+    pub fn route_sampled<R: Rng + ?Sized>(&self, rng: &mut R, tokens: u64) -> Vec<u64> {
+        let mut counts = Vec::new();
+        self.route_sampled_into(rng, tokens, &mut counts);
+        counts
+    }
+
+    /// [`ExpertRouter::route_sampled`] writing into a reusable buffer
+    /// (cleared and refilled; capacity kept).
+    pub fn route_sampled_into<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        tokens: u64,
+        counts: &mut Vec<u64>,
+    ) {
+        counts.clear();
+        counts.resize(self.n_experts as usize, 0);
         if tokens == 0 {
-            return counts;
+            return;
         }
         let mut remaining = tokens * u64::from(self.top_k);
         let mut remaining_prob = 1.0f64;
@@ -86,7 +182,6 @@ impl ExpertRouter {
             remaining -= c;
             remaining_prob -= p;
         }
-        counts
     }
 }
 
@@ -142,14 +237,75 @@ mod tests {
     }
 
     #[test]
+    fn sampled_counts_conserve_tokens_too() {
+        let router = ExpertRouter::uniform(8, 2).with_mode(RoutingMode::Sampled);
+        let mut r = rng();
+        for tokens in [0u64, 1, 7, 64, 1000, 100_000] {
+            let counts = router.route(&mut r, tokens);
+            assert_eq!(counts.iter().sum::<u64>(), tokens * 2, "tokens={tokens}");
+        }
+    }
+
+    #[test]
     fn uniform_routing_is_roughly_balanced() {
-        let router = ExpertRouter::uniform(8, 2);
+        let router = ExpertRouter::uniform(8, 2).with_mode(RoutingMode::Sampled);
         let mut r = rng();
         let counts = router.route(&mut r, 400_000);
         let expected = 400_000.0 * 2.0 / 8.0;
         for (i, &c) in counts.iter().enumerate() {
             let dev = (c as f64 - expected).abs() / expected;
             assert!(dev < 0.05, "expert {i}: count {c} vs expected {expected}");
+        }
+    }
+
+    #[test]
+    fn uniform_default_is_the_closed_form() {
+        let router = ExpertRouter::uniform(8, 2);
+        assert_eq!(router.mode(), RoutingMode::Expected);
+        let mut r = rng();
+        // The RNG is untouched; counts are the exact expectation.
+        let counts = router.route(&mut r, 100);
+        assert_eq!(counts, vec![25u64; 8]);
+        let again = router.route(&mut r, 100);
+        assert_eq!(counts, again, "expected mode is deterministic");
+    }
+
+    #[test]
+    fn expected_mode_matches_probabilities_with_remainders() {
+        // 3 experts, top-1, 10 tokens: expectation 10/3 each; the
+        // remainder lands on the lowest indices by the tie-break.
+        let router = ExpertRouter::uniform(3, 1);
+        let counts = router.route_expected(10);
+        assert_eq!(counts.iter().sum::<u64>(), 10);
+        assert_eq!(counts, vec![4, 3, 3]);
+    }
+
+    #[test]
+    fn expected_mode_tracks_skewed_probabilities() {
+        let router = ExpertRouter::zipf(4, 1, 1.0).with_mode(RoutingMode::Expected);
+        let counts = router.route_expected(10_000);
+        assert_eq!(counts.iter().sum::<u64>(), 10_000);
+        // p ~ 1/(i+1) normalized: 0.48, 0.24, 0.16, 0.12.
+        assert!(counts[0] > counts[1] && counts[1] > counts[2] && counts[2] > counts[3]);
+        assert!((counts[0] as f64 - 4800.0).abs() < 5.0, "{counts:?}");
+    }
+
+    #[test]
+    fn sampled_mean_converges_to_expected() {
+        let router = ExpertRouter::zipf(8, 2, 0.8);
+        assert_eq!(router.mode(), RoutingMode::Sampled);
+        let expected = router.route_expected(4096);
+        let mut r = rng();
+        let mut mean = vec![0f64; 8];
+        let reps = 200;
+        for _ in 0..reps {
+            for (m, c) in mean.iter_mut().zip(router.route_sampled(&mut r, 4096)) {
+                *m += c as f64 / reps as f64;
+            }
+        }
+        for (e, m) in expected.iter().zip(&mean) {
+            let dev = (m - *e as f64).abs() / (*e as f64).max(1.0);
+            assert!(dev < 0.05, "expected {e}, sampled mean {m}");
         }
     }
 
@@ -163,7 +319,7 @@ mod tests {
 
     #[test]
     fn glam_scale_routing_stays_exact() {
-        let router = ExpertRouter::uniform(64, 2);
+        let router = ExpertRouter::uniform(64, 2).with_mode(RoutingMode::Sampled);
         let mut r = rng();
         let counts = router.route(&mut r, 2048 + 128);
         assert_eq!(counts.iter().sum::<u64>(), (2048 + 128) * 2);

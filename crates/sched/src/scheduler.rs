@@ -114,13 +114,13 @@ impl Simulation {
         let mut completed: Vec<RequestRecord> = Vec::new();
         let mut stages: Vec<StageRecord> = Vec::new();
         let mut clock = 0.0f64;
+        // KV bytes reserved by the active set, maintained incrementally
+        // (+= on admission, -= on retirement) instead of re-summed over
+        // the whole batch every stage.
+        let mut reserved: u64 = 0;
 
         while completed.len() < self.total_requests && stages.len() < self.config.max_stages {
             // Admission: FIFO, gated by batch slots and KV reservation.
-            let mut reserved: u64 = active
-                .iter()
-                .map(|a| a.kv_reserved(self.config.kv_bytes_per_token))
-                .sum();
             let mut prefills: Vec<Active> = Vec::new();
             while active.len() + prefills.len() < self.config.max_batch {
                 let Some(front) = pending.front() else { break };
@@ -173,6 +173,7 @@ impl Simulation {
             while i < active.len() {
                 if active[i].generated >= active[i].request.output_len {
                     let done = active.swap_remove(i);
+                    reserved -= done.kv_reserved(self.config.kv_bytes_per_token);
                     completed.push(RequestRecord {
                         request: done.request,
                         token_times: done.token_times,
@@ -181,6 +182,14 @@ impl Simulation {
                     i += 1;
                 }
             }
+            debug_assert_eq!(
+                reserved,
+                active
+                    .iter()
+                    .map(|a| a.kv_reserved(self.config.kv_bytes_per_token))
+                    .sum::<u64>(),
+                "incremental KV reservation drifted from the active set"
+            );
         }
 
         SimReport { completed, stages, total_time_s: clock }

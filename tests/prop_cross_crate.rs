@@ -11,8 +11,81 @@ use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+/// Relative difference, safe around zero.
+fn rel_diff(a: f64, b: f64) -> f64 {
+    (a - b).abs() / a.abs().max(b.abs()).max(f64::MIN_POSITIVE)
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The grouped fast path (grouped attention ops + expected-value
+    /// routing + memoized kernel pricing + per-layer MoE collapse) is
+    /// cost-equivalent to the per-request reference path on every
+    /// system preset, for arbitrary stage shapes: same seconds, same
+    /// per-class breakdown, same energy, within 1e-9 relative.
+    #[test]
+    fn grouped_fast_path_equals_reference(
+        decode_ctx in proptest::collection::vec(16u64..3000, 1..20),
+        prefill_len in proptest::collection::vec(64u64..1500, 0..3),
+        dup_ctx in proptest::option::of(16u64..3000),
+        seed in 0u64..1000,
+    ) {
+        // Duplicate one context several times so grouping has work to do.
+        let mut decode_ctx = decode_ctx;
+        if let Some(c) = dup_ctx {
+            for _ in 0..4 {
+                decode_ctx.push(c);
+            }
+        }
+        let shape = StageShape::mixed(&decode_ctx, &prefill_len);
+        let model = ModelConfig::mixtral_8x7b();
+        for system in [
+            SystemConfig::gpu(4, 1),
+            SystemConfig::duplex(4, 1),
+            SystemConfig::duplex_pe(4, 1),
+            SystemConfig::duplex_pe_et(4, 1),
+            SystemConfig::bank_pim(4, 1),
+            SystemConfig::hetero(),
+        ] {
+            let name = system.name.clone();
+            let mut fast = SystemExecutor::new(system.clone(), model.clone(), seed);
+            let mut naive = SystemExecutor::new(system, model.clone(), seed);
+            let a = fast.stage_cost(&shape);
+            let b = naive.stage_cost_reference(&shape);
+            prop_assert!(rel_diff(a.seconds, b.seconds) < 1e-9, "{name}: seconds");
+            prop_assert!(rel_diff(a.time.fc, b.time.fc) < 1e-9, "{name}: fc");
+            prop_assert!(
+                rel_diff(a.time.attn_prefill, b.time.attn_prefill) < 1e-9,
+                "{name}: attn_prefill"
+            );
+            prop_assert!(
+                rel_diff(a.time.attn_decode, b.time.attn_decode) < 1e-9,
+                "{name}: attn_decode"
+            );
+            prop_assert!(rel_diff(a.time.moe, b.time.moe) < 1e-9, "{name}: moe");
+            prop_assert!(rel_diff(a.time.comm, b.time.comm) < 1e-9, "{name}: comm");
+            prop_assert!(rel_diff(a.energy.total(), b.energy.total()) < 1e-9, "{name}: energy");
+        }
+    }
+
+    /// Same equivalence on a two-node cluster (data-parallel round-robin
+    /// placement of grouped multiplicities) with the Grok1 model.
+    #[test]
+    fn grouped_fast_path_equals_reference_two_nodes(
+        decode_ctx in proptest::collection::vec(64u64..2000, 1..16),
+        seed in 0u64..100,
+    ) {
+        let shape = StageShape::decode_only(&decode_ctx);
+        let model = ModelConfig::grok1();
+        let mut fast =
+            SystemExecutor::new(SystemConfig::duplex_pe_et(8, 2), model.clone(), seed);
+        let mut naive = SystemExecutor::new(SystemConfig::duplex_pe_et(8, 2), model, seed);
+        let a = fast.stage_cost(&shape);
+        let b = naive.stage_cost_reference(&shape);
+        prop_assert!(rel_diff(a.seconds, b.seconds) < 1e-9, "seconds");
+        prop_assert!(rel_diff(a.energy.total(), b.energy.total()) < 1e-9, "energy");
+    }
 
     /// Stage costs are positive, finite, and co-processing never makes a
     /// stage slower than the serialized breakdown.
