@@ -1,6 +1,17 @@
 //! Stage-pricing throughput benchmark: how many continuous-batching
-//! stages per second can `SystemExecutor::stage_cost` price for the
-//! three shape classes that dominate the paper's sweeps?
+//! stages per second can the executor price for the shape classes that
+//! dominate the paper's sweeps?
+//!
+//! Two pricing paths are measured for each class:
+//!
+//! * **full** — `SystemExecutor::stage_cost(&StageShape)`: the grouped
+//!   one-shot path, re-grouping the batch every stage;
+//! * **delta** — `SystemExecutor::stage_cost_delta(&StageDelta)`: the
+//!   incremental path, carrying batch state across stages and pricing
+//!   pure-advance decode stages in O(1) (mixed stages always fall back
+//!   to the full path, so the `mixed` class has no delta variant).
+//!
+//! Classes:
 //!
 //! * `decode_only` — Mixtral-8x7B, batch 64, contexts advancing from
 //!   2048 (Duplex+PE+ET, the busiest Fig. 11 system);
@@ -16,6 +27,7 @@ use std::time::Instant;
 
 use duplex::model::ops::StageShape;
 use duplex::model::ModelConfig;
+use duplex::sched::StageDelta;
 use duplex::system::{SystemConfig, SystemExecutor};
 use duplex_bench::print_table;
 
@@ -65,8 +77,9 @@ fn shape_at(class: &ShapeClass, stage: u64) -> StageShape {
     }
 }
 
-/// Price `stages` advancing stages and return stages/second.
-fn measure(class: &ShapeClass, stages: u64) -> f64 {
+/// Price `stages` advancing stages through the full path and return
+/// stages/second.
+fn measure_full(class: &ShapeClass, stages: u64) -> f64 {
     let mut ex = SystemExecutor::new(class.system.clone(), class.model.clone(), 7);
     // Warm up the executor (engine construction, first pricings).
     for s in 0..(stages / 10).max(1) {
@@ -75,6 +88,27 @@ fn measure(class: &ShapeClass, stages: u64) -> f64 {
     let start = Instant::now();
     for s in 0..stages {
         ex.stage_cost(&shape_at(class, s));
+    }
+    stages as f64 / start.elapsed().as_secs_f64()
+}
+
+/// Price `stages` advancing stages through the incremental delta path
+/// (admit the cohort once, then pure advances) and return stages/s.
+fn measure_delta(class: &ShapeClass, stages: u64) -> f64 {
+    assert!(class.prefill.is_none(), "delta path is for decode-only classes");
+    let mut ex = SystemExecutor::new(class.system.clone(), class.model.clone(), 7);
+    // Admit the cohort so it decodes from `start_ctx` onward, mirroring
+    // the contexts the full-path measurement walks.
+    let mut admit = StageDelta::start();
+    admit.admit = vec![class.start_ctx - 1; class.batch];
+    ex.stage_cost_delta(&admit);
+    let advance = StageDelta::default();
+    for _ in 0..(stages / 10).max(1) {
+        ex.stage_cost_delta(&advance);
+    }
+    let start = Instant::now();
+    for _ in 0..stages {
+        ex.stage_cost_delta(&advance);
     }
     stages as f64 / start.elapsed().as_secs_f64()
 }
@@ -89,37 +123,47 @@ fn main() {
     let scale = duplex_bench::scale_from_args();
     let quick = scale == duplex::experiments::Scale::quick();
     let stages: u64 = if quick { 300 } else { 3000 };
+    // The delta path is ~2 orders of magnitude faster; measure more
+    // stages so the timed window stays meaningful.
+    let delta_stages: u64 = if quick { 30_000 } else { 1_000_000 };
 
     let mut rows = Vec::new();
     let mut json_entries = Vec::new();
-    for class in classes() {
-        let sps = measure(&class, stages);
+    let mut push = |name: String, class: &ShapeClass, sps: f64, n: u64| {
         rows.push(vec![
-            class.name.to_string(),
+            name.clone(),
             class.model.name.clone(),
             class.system.name.clone(),
             class.batch.to_string(),
             format!("{sps:.0}"),
         ]);
         json_entries.push(format!(
-            "    \"{}\": {{\"stages_per_sec\": {:.1}, \"model\": \"{}\", \"system\": \"{}\", \"batch\": {}}}",
-            json_escape_free(class.name),
+            "    \"{}\": {{\"stages_per_sec\": {:.1}, \"model\": \"{}\", \"system\": \"{}\", \"batch\": {}, \"stages\": {}}}",
+            json_escape_free(&name),
             sps,
             class.model.name,
             class.system.name,
-            class.batch
+            class.batch,
+            n
         ));
+    };
+    for class in classes() {
+        let sps = measure_full(&class, stages);
+        push(class.name.to_string(), &class, sps, stages);
+        if class.prefill.is_none() {
+            let sps = measure_delta(&class, delta_stages);
+            push(format!("{}_delta", class.name), &class, sps, delta_stages);
+        }
     }
     print_table(
-        &format!("Stage-cost throughput ({stages} stages per class)"),
+        "Stage-cost throughput (full vs incremental delta path)",
         &["Class", "Model", "System", "Batch", "stages/s"],
         &rows,
     );
 
     let json = format!(
-        "{{\n  \"schema\": \"duplex-bench/stage-cost/v1\",\n  \"mode\": \"{}\",\n  \"stages_per_class\": {},\n  \"classes\": {{\n{}\n  }}\n}}\n",
+        "{{\n  \"schema\": \"duplex-bench/stage-cost/v2\",\n  \"mode\": \"{}\",\n  \"classes\": {{\n{}\n  }}\n}}\n",
         if quick { "quick" } else { "paper" },
-        stages,
         json_entries.join(",\n")
     );
     let path = "BENCH_stage_cost.json";

@@ -84,6 +84,19 @@ impl KernelCost {
             compute_j: self.compute_j + other.compute_j,
         }
     }
+
+    /// The cost of `by` identical instances of this work (seconds and
+    /// every energy component scale linearly).
+    pub fn scaled(self, by: f64) -> KernelCost {
+        KernelCost {
+            seconds: self.seconds * by,
+            dram_energy: duplex_hbm::EnergyBreakdown {
+                activation_j: self.dram_energy.activation_j * by,
+                transfer_j: self.dram_energy.transfer_j * by,
+            },
+            compute_j: self.compute_j * by,
+        }
+    }
 }
 
 impl std::ops::Add for KernelCost {
@@ -526,6 +539,16 @@ mod tests {
         let two = xpu.sequence_cost(&kernels);
         assert!((two.seconds - 2.0 * one.seconds).abs() < 1e-12);
         assert!((two.total_energy_j() - 2.0 * one.total_energy_j()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scaled_multiplies_every_component() {
+        let xpu = Engine::h100_xpu();
+        let g = GemmShape { m: 16, n: 4096, k: 4096 };
+        let one = xpu.gemm_cost(g, g.weight_bytes(2));
+        let three = one.scaled(3.0);
+        assert!((three.seconds - 3.0 * one.seconds).abs() < 1e-15);
+        assert!((three.total_energy_j() - 3.0 * one.total_energy_j()).abs() < 1e-12);
     }
 
     #[test]

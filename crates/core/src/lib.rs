@@ -13,6 +13,12 @@
 //!
 //! This crate is the front door: build a [`RunConfig`], call [`run`],
 //! get a [`RunResult`] with throughput, latency percentiles and energy.
+//! Runs drive the scheduler's incremental stage contract end to end:
+//! each stage reaches the executor as a `StageDelta` (advance +
+//! admissions + retirements), so pure-decode stages — the bulk of
+//! every sweep — are priced in O(1) from carried batch state (see
+//! `duplex_system::incremental`), with the grouped full path as the
+//! fallback and `stage_cost_reference` as the pinned oracle.
 //! The pieces are exposed through re-exports if you need to go deeper
 //! (HBM timing in [`hbm`], engines in [`compute`], model shapes in
 //! [`model`], the scheduler in [`sched`], systems in [`system`]). The
@@ -163,6 +169,7 @@ pub fn run_with(executor: &mut SystemExecutor, config: &RunConfig) -> RunResult 
         kv_capacity_bytes: config.kv_capacity_override.unwrap_or(executor.kv_capacity_bytes()),
         kv_bytes_per_token: config.model.kv_bytes_per_token(),
         max_stages: config.max_stages,
+        ..SimulationConfig::default()
     };
     let sim = match config.qps {
         Some(qps) => Simulation::poisson(sim_cfg, config.workload.clone(), qps, config.requests),

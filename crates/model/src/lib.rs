@@ -43,5 +43,5 @@ pub mod routing;
 
 pub use config::ModelConfig;
 pub use kv_cache::{EvictionPolicy, KvCacheError, KvEvent, PagedKvCache};
-pub use ops::{AttnOp, FcOp, MoeLayerWork, StageShape, StageWork};
+pub use ops::{AttnOp, ContextGroups, FcOp, MoeLayerWork, StageShape, StageWork};
 pub use routing::ExpertRouter;

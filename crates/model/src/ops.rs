@@ -67,6 +67,109 @@ impl StageShape {
     }
 }
 
+/// Sorted run-length-encoded multiset of decode context lengths,
+/// maintained under continuous-batching deltas.
+///
+/// This is the delta-friendly form of the grouping [`enumerate_stage`]
+/// performs per stage: one `(ctx, multiplicity)` group per distinct
+/// context, in ascending context order — exactly the decode-group
+/// order the executor's round-robin placement walks. The three batch
+/// events map to cheap multiset updates:
+///
+/// * **advance** (every context +1) is O(1): contexts are stored
+///   relative to a running offset, and a uniform +1 preserves both the
+///   sort order and the group structure;
+/// * **insert** (a prefill joining the decode set) and **remove** (a
+///   retirement) are O(groups) worst case (binary search + shift), and
+///   groups are few: lockstep cohorts collapse to a handful.
+///
+/// The aggregates ([`ContextGroups::reqs`], [`ContextGroups::ctx_sum`])
+/// are maintained exactly, which is what lets a pure-decode stage be
+/// priced in O(1) from `(batch size, Σctx)` alone.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ContextGroups {
+    /// `(ctx - offset, multiplicity)`, ascending by relative context.
+    /// Relative contexts may be negative: a freshly admitted request's
+    /// context can be far below the offset accumulated by a long run.
+    rel: Vec<(i64, u64)>,
+    offset: i64,
+    reqs: u64,
+    ctx_sum: u64,
+}
+
+impl ContextGroups {
+    /// Remove every context (the batch emptied or a run restarted).
+    pub fn clear(&mut self) {
+        self.rel.clear();
+        self.offset = 0;
+        self.reqs = 0;
+        self.ctx_sum = 0;
+    }
+
+    /// Requests in the decode set.
+    pub fn reqs(&self) -> u64 {
+        self.reqs
+    }
+
+    /// Distinct context lengths (= grouped attention ops).
+    pub fn group_count(&self) -> usize {
+        self.rel.len()
+    }
+
+    /// Σ of all contexts (exact).
+    pub fn ctx_sum(&self) -> u64 {
+        self.ctx_sum
+    }
+
+    /// Advance every context by one token (O(1)).
+    pub fn advance(&mut self) {
+        self.offset += 1;
+        self.ctx_sum += self.reqs;
+    }
+
+    /// Add one request at context `ctx`.
+    pub fn insert(&mut self, ctx: u64) {
+        let rel = ctx as i64 - self.offset;
+        match self.rel.binary_search_by_key(&rel, |g| g.0) {
+            Ok(i) => self.rel[i].1 += 1,
+            Err(i) => self.rel.insert(i, (rel, 1)),
+        }
+        self.reqs += 1;
+        self.ctx_sum += ctx;
+    }
+
+    /// Remove one request at context `ctx`; false if absent.
+    pub fn remove(&mut self, ctx: u64) -> bool {
+        let rel = ctx as i64 - self.offset;
+        match self.rel.binary_search_by_key(&rel, |g| g.0) {
+            Ok(i) => {
+                self.rel[i].1 -= 1;
+                if self.rel[i].1 == 0 {
+                    self.rel.remove(i);
+                }
+                self.reqs -= 1;
+                self.ctx_sum -= ctx;
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    /// Groups as `(ctx, multiplicity)` in ascending context order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.rel.iter().map(|&(rel, count)| ((rel + self.offset) as u64, count))
+    }
+
+    /// Expand into per-request contexts, ascending (for materializing a
+    /// [`StageShape`] when an incremental path must fall back).
+    pub fn fill_decode_ctx(&self, out: &mut Vec<u64>) {
+        out.clear();
+        for (ctx, count) in self.iter() {
+            out.extend(std::iter::repeat(ctx).take(count as usize));
+        }
+    }
+}
+
 /// One batched fully-connected GEMM, run `count` times per model pass.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FcOp {
@@ -237,43 +340,15 @@ pub struct StageWork {
     pub mixed: bool,
 }
 
-/// Expand a stage into its kernel shapes, drawing expert routing from
-/// `router` via `rng` (one draw per MoE layer when sampling; the
-/// default expected-value mode computes one histogram and shares it).
-pub fn enumerate_stage<R: Rng + ?Sized>(
-    config: &ModelConfig,
-    shape: &StageShape,
-    router: &ExpertRouter,
-    rng: &mut R,
-) -> StageWork {
-    let mut work = StageWork::default();
-    enumerate_stage_into(config, shape, router, rng, &mut work);
-    work
-}
-
-/// Allocation-reusing form of [`enumerate_stage`]: clears and refills
-/// `work`, keeping the capacity of its vectors (including each MoE
-/// layer's histogram). The stage-pricing hot loop calls this with an
-/// executor-owned scratch `StageWork` so steady-state enumeration
-/// performs no per-stage heap allocation beyond the context sort.
-pub fn enumerate_stage_into<R: Rng + ?Sized>(
-    config: &ModelConfig,
-    shape: &StageShape,
-    router: &ExpertRouter,
-    rng: &mut R,
-    work: &mut StageWork,
-) {
-    let tokens = shape.tokens();
-    let lm_rows = shape.decode_ctx.len() as u64 + shape.prefill_len.len() as u64;
+/// Fill `fc_ops` with the batched FC GEMMs of one stage over `tokens`
+/// FC-path tokens and `lm_rows` LM-head rows, clearing any previous
+/// contents (capacity is kept). Exposed separately from
+/// [`enumerate_stage`] because the FC op list is a pure function of
+/// `(tokens, lm_rows)` — incremental pricing rebuilds it from batch
+/// aggregates without enumerating attention groups.
+pub fn fill_fc_ops(config: &ModelConfig, tokens: u64, lm_rows: u64, fc_ops: &mut Vec<FcOp>) {
     let layers = u64::from(config.n_layers);
     let kv_n = 2 * u64::from(config.kv_heads()) * config.d_head();
-
-    work.tokens = tokens;
-    work.lm_rows = lm_rows;
-    work.kv_write_bytes = tokens * config.kv_bytes_per_token();
-    work.mixed = shape.is_mixed();
-
-    let fc_ops = &mut work.fc_ops;
     fc_ops.clear();
     fc_ops.push(FcOp {
         name: "qkv",
@@ -310,6 +385,44 @@ pub fn enumerate_stage_into<R: Rng + ?Sized>(
         count: 1,
         shape: GemmShape { m: lm_rows, n: config.vocab, k: config.hidden },
     });
+}
+
+/// Expand a stage into its kernel shapes, drawing expert routing from
+/// `router` via `rng` (one draw per MoE layer when sampling; the
+/// default expected-value mode computes one histogram and shares it).
+pub fn enumerate_stage<R: Rng + ?Sized>(
+    config: &ModelConfig,
+    shape: &StageShape,
+    router: &ExpertRouter,
+    rng: &mut R,
+) -> StageWork {
+    let mut work = StageWork::default();
+    enumerate_stage_into(config, shape, router, rng, &mut work);
+    work
+}
+
+/// Allocation-reusing form of [`enumerate_stage`]: clears and refills
+/// `work`, keeping the capacity of its vectors (including each MoE
+/// layer's histogram). The stage-pricing hot loop calls this with an
+/// executor-owned scratch `StageWork` so steady-state enumeration
+/// performs no per-stage heap allocation beyond the context sort.
+pub fn enumerate_stage_into<R: Rng + ?Sized>(
+    config: &ModelConfig,
+    shape: &StageShape,
+    router: &ExpertRouter,
+    rng: &mut R,
+    work: &mut StageWork,
+) {
+    let tokens = shape.tokens();
+    let lm_rows = shape.decode_ctx.len() as u64 + shape.prefill_len.len() as u64;
+    let layers = u64::from(config.n_layers);
+
+    work.tokens = tokens;
+    work.lm_rows = lm_rows;
+    work.kv_write_bytes = tokens * config.kv_bytes_per_token();
+    work.mixed = shape.is_mixed();
+
+    fill_fc_ops(config, tokens, lm_rows, &mut work.fc_ops);
 
     // Group identical-shape requests: one AttnOp per distinct context
     // length (per class), with a multiplicity, in ascending context
@@ -556,6 +669,90 @@ mod tests {
             * a.d_head as f64
             * 2.0; // score + value
         assert!((a.flops() - full / 2.0).abs() / full < 0.01);
+    }
+
+    #[test]
+    fn context_groups_track_the_multiset() {
+        let mut g = ContextGroups::default();
+        for ctx in [9, 7, 9, 7, 7] {
+            g.insert(ctx);
+        }
+        assert_eq!(g.reqs(), 5);
+        assert_eq!(g.group_count(), 2);
+        assert_eq!(g.ctx_sum(), 39);
+        let groups: Vec<_> = g.iter().collect();
+        assert_eq!(groups, vec![(7, 3), (9, 2)]);
+
+        g.advance();
+        assert_eq!(g.ctx_sum(), 44);
+        assert_eq!(g.iter().collect::<Vec<_>>(), vec![(8, 3), (10, 2)]);
+
+        assert!(g.remove(10));
+        assert!(!g.remove(10_000));
+        assert_eq!(g.reqs(), 4);
+        assert_eq!(g.ctx_sum(), 34);
+
+        let mut out = Vec::new();
+        g.fill_decode_ctx(&mut out);
+        assert_eq!(out, vec![8, 8, 8, 10]);
+    }
+
+    #[test]
+    fn context_groups_merge_on_advance_collision() {
+        // A request inserted below the advancing cohort must merge into
+        // the cohort's group when the contexts meet.
+        let mut g = ContextGroups::default();
+        g.insert(100);
+        for _ in 0..50 {
+            g.advance();
+        }
+        g.insert(130); // below the cohort's current 150
+        assert_eq!(g.group_count(), 2);
+        for _ in 0..20 {
+            g.advance();
+        }
+        // 150+20 = 170, 130+20 = 150: still distinct, both advanced.
+        assert_eq!(g.iter().collect::<Vec<_>>(), vec![(150, 1), (170, 1)]);
+        g.insert(170);
+        assert_eq!(g.iter().collect::<Vec<_>>(), vec![(150, 1), (170, 2)]);
+        assert_eq!(g.ctx_sum(), 150 + 170 + 170);
+    }
+
+    #[test]
+    fn context_groups_insert_below_offset() {
+        let mut g = ContextGroups::default();
+        for _ in 0..1000 {
+            g.advance(); // offset far above any context
+        }
+        g.insert(5);
+        g.insert(3);
+        assert_eq!(g.iter().collect::<Vec<_>>(), vec![(3, 1), (5, 1)]);
+        g.advance();
+        assert_eq!(g.iter().collect::<Vec<_>>(), vec![(4, 1), (6, 1)]);
+        assert_eq!(g.ctx_sum(), 10);
+    }
+
+    #[test]
+    fn context_groups_clear_resets_everything() {
+        let mut g = ContextGroups::default();
+        g.insert(10);
+        g.advance();
+        g.clear();
+        assert_eq!(g.reqs(), 0);
+        assert_eq!(g.ctx_sum(), 0);
+        assert_eq!(g.group_count(), 0);
+        g.insert(4);
+        assert_eq!(g.iter().collect::<Vec<_>>(), vec![(4, 1)]);
+    }
+
+    #[test]
+    fn fill_fc_ops_matches_enumeration() {
+        let config = ModelConfig::mixtral_8x7b();
+        let shape = StageShape::mixed(&[50; 31], &[2048]);
+        let w = work(&config, &shape);
+        let mut direct = Vec::new();
+        fill_fc_ops(&config, shape.tokens(), 32, &mut direct);
+        assert_eq!(w.fc_ops, direct);
     }
 
     #[test]

@@ -1,0 +1,94 @@
+//! Stage deltas: the incremental contract between the scheduler and a
+//! [`crate::StageExecutor`].
+//!
+//! Continuous batching makes consecutive stages *almost* identical:
+//! every surviving request advances one token, a few requests retire,
+//! and a few new ones are admitted. A [`StageDelta`] describes exactly
+//! that difference, so an executor that carries batch state across
+//! stages (see `duplex-system`'s incremental path) can reprice a
+//! pure-decode stage in O(1) from aggregates instead of re-sorting and
+//! re-grouping the whole batch.
+//!
+//! # Delta invariants
+//!
+//! A delta transforms the batch of the *previously executed* stage into
+//! the batch of the stage being executed, in this order:
+//!
+//! 1. **Advance** (implicit — every delta advances): each decode
+//!    context grows by one, and every request admitted by the previous
+//!    delta joins the decode set at context `prompt + 1` (its prefill
+//!    produced one token).
+//! 2. **Retire**: each entry of [`StageDelta::retire`] removes one
+//!    request by its *post-advance* decode context — the context the
+//!    request would have attended in this stage had it stayed. A
+//!    request admitted by the previous delta with `output_len == 1`
+//!    retires here with context `prompt + 1`.
+//! 3. **Admit**: each entry of [`StageDelta::admit`] adds a prefill of
+//!    that prompt length to this stage (making it mixed). The admitted
+//!    requests join the decode set at the next delta's advance step.
+//!
+//! The first delta of a run sets [`StageDelta::fresh`], telling the
+//! executor to clear any batch state left over from a previous run
+//! before applying the delta (an executor may be reused across runs).
+
+/// What changed in the continuous batch since the last executed stage.
+///
+/// See the [module docs](self) for the exact application order and
+/// invariants. The vectors are owned so the scheduler can reuse their
+/// capacity across stages.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct StageDelta {
+    /// First stage of a run: the executor must reset its batch state
+    /// before applying this delta.
+    pub fresh: bool,
+    /// Prompt lengths of the requests admitted to this stage (each one
+    /// prefills now and decodes from the next stage on).
+    pub admit: Vec<u64>,
+    /// Post-advance decode contexts of the requests that retired after
+    /// the previous stage.
+    pub retire: Vec<u64>,
+}
+
+impl StageDelta {
+    /// A delta that starts a run: clears executor state, no events yet.
+    pub fn start() -> Self {
+        Self { fresh: true, ..Self::default() }
+    }
+
+    /// True when this delta only advances the batch: no admissions, no
+    /// retirements, no reset — the case an incremental executor prices
+    /// in O(1).
+    pub fn is_pure_advance(&self) -> bool {
+        !self.fresh && self.admit.is_empty() && self.retire.is_empty()
+    }
+
+    /// Reset to a pure advance, keeping vector capacity for reuse.
+    pub fn clear(&mut self) {
+        self.fresh = false;
+        self.admit.clear();
+        self.retire.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn start_is_fresh_and_not_pure() {
+        let d = StageDelta::start();
+        assert!(d.fresh);
+        assert!(!d.is_pure_advance());
+    }
+
+    #[test]
+    fn clear_keeps_capacity_and_purity() {
+        let mut d = StageDelta::start();
+        d.admit.extend([128, 256]);
+        d.retire.push(1000);
+        d.clear();
+        assert!(d.is_pure_advance());
+        assert!(d.admit.capacity() >= 2);
+        assert!(d.retire.capacity() >= 1);
+    }
+}

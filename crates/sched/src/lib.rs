@@ -14,7 +14,12 @@
 //!   request advances one token per stage; new requests join as
 //!   prefills when the batch and the KV-cache budget allow, making the
 //!   stage *mixed*; otherwise the stage is *decoding-only*.
-//! * [`metrics`] — percentile summaries and the simulation report.
+//! * [`delta`] — the incremental stage contract: each stage is also
+//!   announced as a [`StageDelta`] (advance + admissions +
+//!   retirements), letting executors that carry batch state price
+//!   pure-decode stages in O(changes) instead of O(batch).
+//! * [`metrics`] — percentile summaries, streaming latency digests and
+//!   the simulation report.
 //!
 //! # Example
 //!
@@ -43,12 +48,14 @@
 //! assert!(report.throughput_tokens_per_s() > 0.0);
 //! ```
 
+pub mod delta;
 pub mod metrics;
 pub mod request;
 pub mod scheduler;
 pub mod workload;
 
-pub use metrics::{LatencySummary, SimReport, StageRecord};
+pub use delta::StageDelta;
+pub use metrics::{LatencyDigest, LatencySummary, SimReport, StageRecord, StageStats};
 pub use request::{Request, RequestRecord};
 pub use scheduler::{Simulation, SimulationConfig, StageExecutor, StageOutcome};
 pub use workload::{Arrivals, Workload};

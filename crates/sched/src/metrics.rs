@@ -1,4 +1,10 @@
 //! Latency percentiles and the simulation report.
+//!
+//! Per-request records keep only O(1) state (first/last token time and
+//! a token count), and the TBT population is summarized by a
+//! fixed-size streaming [`LatencyDigest`] — so a paper-scale run over
+//! millions of requests reports percentiles without per-token heap
+//! growth.
 
 use crate::request::RequestRecord;
 
@@ -55,6 +61,107 @@ impl LatencySummary {
     }
 }
 
+/// Smallest latency the digest resolves (1 ns).
+const DIGEST_FLOOR_S: f64 = 1e-9;
+/// Geometric bucket growth: 2% wide buckets.
+const DIGEST_GROWTH: f64 = 1.02;
+/// Buckets spanning 1 ns .. ~10^4 s at 2% resolution.
+const DIGEST_BUCKETS: usize = 1520;
+
+/// Streaming latency population: fixed-size log-spaced histogram with
+/// per-bucket sums.
+///
+/// Percentile queries return the mean of the samples in the bucket the
+/// requested rank falls into, so they are exact for degenerate
+/// populations (every sample identical — the steady-state TBT case)
+/// and within the 2% bucket resolution otherwise. Memory is O(1)
+/// (~1.5k buckets), independent of the sample count, which is what
+/// lets million-request simulations keep latency percentiles.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct LatencyDigest {
+    /// Per-bucket (count, sum); allocated lazily on the first record.
+    buckets: Vec<(u64, f64)>,
+    count: u64,
+    sum: f64,
+}
+
+impl LatencyDigest {
+    fn bucket_of(value: f64) -> usize {
+        if !(value > DIGEST_FLOOR_S) {
+            return 0;
+        }
+        let idx = ((value / DIGEST_FLOOR_S).ln() / DIGEST_GROWTH.ln()) as usize;
+        idx.min(DIGEST_BUCKETS - 1)
+    }
+
+    /// Record one sample.
+    pub fn record(&mut self, value: f64) {
+        self.record_n(value, 1);
+    }
+
+    /// Record `n` identical samples with one bucket update (the
+    /// scheduler's per-stage fast path: every request advancing in a
+    /// stage sees the same token gap).
+    pub fn record_n(&mut self, value: f64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        if self.buckets.is_empty() {
+            self.buckets.resize(DIGEST_BUCKETS, (0, 0.0));
+        }
+        let b = &mut self.buckets[Self::bucket_of(value)];
+        b.0 += n;
+        b.1 += value * n as f64;
+        self.count += n;
+        self.sum += value * n as f64;
+    }
+
+    /// Recorded sample count.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean of all samples (exact).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        self.sum / self.count as f64
+    }
+
+    /// Approximate percentile: the mean of the bucket holding the
+    /// requested rank (see the type docs for the error bound).
+    pub fn quantile(&self, p: f64) -> f64 {
+        assert!((0.0..=100.0).contains(&p), "percentile must be in 0..=100");
+        if self.count == 0 {
+            return 0.0;
+        }
+        let target = ((p / 100.0 * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for &(n, sum) in &self.buckets {
+            seen += n;
+            if seen >= target {
+                return sum / n as f64;
+            }
+        }
+        self.mean()
+    }
+
+    /// p50/p90/p99/mean summary of the recorded population.
+    pub fn summary(&self) -> LatencySummary {
+        if self.count == 0 {
+            return LatencySummary::default();
+        }
+        LatencySummary {
+            p50: self.quantile(50.0),
+            p90: self.quantile(90.0),
+            p99: self.quantile(99.0),
+            mean: self.mean(),
+            count: self.count as usize,
+        }
+    }
+}
+
 /// One executed stage.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct StageRecord {
@@ -68,13 +175,47 @@ pub struct StageRecord {
     pub tokens: u64,
 }
 
+/// Aggregate stage counters, maintained whether or not per-stage
+/// records are kept (see `SimulationConfig::record_stages`): the
+/// throughput and stage-mix metrics derive from these, so truncating
+/// the per-stage log never changes them.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct StageStats {
+    /// Stages executed.
+    pub stages: u64,
+    /// Stages that contained at least one prefill.
+    pub mixed: u64,
+    /// Σ batch size over stages (= tokens generated, one per request
+    /// per stage).
+    pub batch_sum: u64,
+    /// Σ FC-path tokens over stages.
+    pub token_sum: u64,
+}
+
+impl StageStats {
+    /// Fold one stage into the counters.
+    pub fn record(&mut self, record: &StageRecord) {
+        self.stages += 1;
+        self.mixed += u64::from(record.mixed);
+        self.batch_sum += record.batch as u64;
+        self.token_sum += record.tokens;
+    }
+}
+
 /// Result of one simulation run.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct SimReport {
-    /// Completed requests with their token timestamps.
+    /// Completed requests with their O(1) latency records.
     pub completed: Vec<RequestRecord>,
-    /// Every executed stage, in order.
+    /// Every executed stage, in order (empty when the run disabled
+    /// per-stage recording; the aggregates in `stage_stats` are always
+    /// maintained).
     pub stages: Vec<StageRecord>,
+    /// Aggregate stage counters.
+    pub stage_stats: StageStats,
+    /// Streaming token-gap (TBT) population across all requests,
+    /// including ones still in flight at truncation.
+    pub tbt_digest: LatencyDigest,
     /// Total simulated wall-clock time in seconds.
     pub total_time_s: f64,
 }
@@ -82,7 +223,7 @@ pub struct SimReport {
 impl SimReport {
     /// Total generated tokens across completed requests.
     pub fn total_tokens(&self) -> u64 {
-        self.completed.iter().map(|r| r.token_times.len() as u64).sum()
+        self.completed.iter().map(|r| r.tokens).sum()
     }
 
     /// Serving throughput in generated tokens per second.
@@ -97,7 +238,14 @@ impl SimReport {
     /// exactly one token), counting partially completed requests too —
     /// the right numerator for truncated steady-state runs.
     pub fn generated_tokens(&self) -> u64 {
-        self.stages.iter().map(|s| s.batch as u64).sum()
+        self.stage_stats.batch_sum
+    }
+
+    /// Tokens pushed through the batched FC/MoE path across all stages
+    /// (whole prompts during prefills plus one per decoding request) —
+    /// the compute-volume counterpart of [`SimReport::generated_tokens`].
+    pub fn fc_tokens(&self) -> u64 {
+        self.stage_stats.token_sum
     }
 
     /// Steady-state generation throughput in tokens per second,
@@ -109,14 +257,9 @@ impl SimReport {
         self.generated_tokens() as f64 / self.total_time_s
     }
 
-    /// TBT population across all completed requests.
-    pub fn tbt_samples(&self) -> Vec<f64> {
-        self.completed.iter().flat_map(|r| r.tbts()).collect()
-    }
-
-    /// TBT summary.
+    /// TBT summary from the streaming digest.
     pub fn tbt(&self) -> LatencySummary {
-        LatencySummary::of(&self.tbt_samples())
+        self.tbt_digest.summary()
     }
 
     /// T2FT summary.
@@ -133,18 +276,19 @@ impl SimReport {
 
     /// Fraction of stages that were decoding-only (Fig. 5(a)).
     pub fn decode_only_fraction(&self) -> f64 {
-        if self.stages.is_empty() {
+        if self.stage_stats.stages == 0 {
             return 0.0;
         }
-        self.stages.iter().filter(|s| !s.mixed).count() as f64 / self.stages.len() as f64
+        (self.stage_stats.stages - self.stage_stats.mixed) as f64
+            / self.stage_stats.stages as f64
     }
 
     /// Mean batch size across stages.
     pub fn mean_batch(&self) -> f64 {
-        if self.stages.is_empty() {
+        if self.stage_stats.stages == 0 {
             return 0.0;
         }
-        self.stages.iter().map(|s| s.batch).sum::<usize>() as f64 / self.stages.len() as f64
+        self.stage_stats.batch_sum as f64 / self.stage_stats.stages as f64
     }
 }
 
@@ -183,18 +327,75 @@ mod tests {
         assert!((s.mean - 500.5).abs() < 1e-9);
     }
 
+    #[test]
+    fn digest_is_exact_for_identical_samples() {
+        // The steady-state TBT case: all gaps equal one stage latency.
+        let mut d = LatencyDigest::default();
+        d.record_n(0.02, 1000);
+        let s = d.summary();
+        assert!((s.p50 - 0.02).abs() < 1e-12);
+        assert!((s.p99 - 0.02).abs() < 1e-12);
+        assert!((s.mean - 0.02).abs() < 1e-12);
+        assert_eq!(s.count, 1000);
+    }
+
+    #[test]
+    fn digest_percentiles_within_bucket_resolution() {
+        let mut d = LatencyDigest::default();
+        let samples: Vec<f64> = (1..=10_000).map(|i| i as f64 * 1e-4).collect();
+        for &s in &samples {
+            d.record(s);
+        }
+        let exact = LatencySummary::of(&samples);
+        let approx = d.summary();
+        for (a, e) in [
+            (approx.p50, exact.p50),
+            (approx.p90, exact.p90),
+            (approx.p99, exact.p99),
+        ] {
+            assert!((a - e).abs() / e < 0.03, "approx {a} vs exact {e}");
+        }
+        assert!((approx.mean - exact.mean).abs() / exact.mean < 1e-9, "mean is exact");
+        assert!(approx.p50 <= approx.p90 && approx.p90 <= approx.p99);
+    }
+
+    #[test]
+    fn digest_handles_extremes_and_empty() {
+        let d = LatencyDigest::default();
+        assert_eq!(d.summary(), LatencySummary::default());
+        let mut d = LatencyDigest::default();
+        d.record(0.0);
+        d.record(1e12);
+        assert_eq!(d.count(), 2);
+        assert!(d.quantile(0.0) >= 0.0);
+        assert!(d.quantile(100.0) > 0.0);
+    }
+
     fn report() -> SimReport {
-        let mk = |id, times: Vec<f64>| RequestRecord {
-            request: Request { id, arrival_s: 0.0, input_len: 4, output_len: times.len() as u64 },
-            token_times: times,
+        let mk = |id, first: f64, last: f64, tokens: u64| RequestRecord {
+            request: Request { id, arrival_s: 0.0, input_len: 4, output_len: tokens },
+            first_token_s: first,
+            last_token_s: last,
+            tokens,
         };
+        let stages = vec![
+            StageRecord { seconds: 0.1, mixed: true, batch: 2, tokens: 10 },
+            StageRecord { seconds: 0.1, mixed: false, batch: 2, tokens: 2 },
+            StageRecord { seconds: 0.1, mixed: false, batch: 1, tokens: 1 },
+        ];
+        let mut stage_stats = StageStats::default();
+        for s in &stages {
+            stage_stats.record(s);
+        }
+        let mut tbt_digest = LatencyDigest::default();
+        for gap in [0.1, 0.1, 0.2] {
+            tbt_digest.record(gap);
+        }
         SimReport {
-            completed: vec![mk(0, vec![0.1, 0.2, 0.3]), mk(1, vec![0.15, 0.35])],
-            stages: vec![
-                StageRecord { seconds: 0.1, mixed: true, batch: 2, tokens: 10 },
-                StageRecord { seconds: 0.1, mixed: false, batch: 2, tokens: 2 },
-                StageRecord { seconds: 0.1, mixed: false, batch: 1, tokens: 1 },
-            ],
+            completed: vec![mk(0, 0.1, 0.3, 3), mk(1, 0.15, 0.35, 2)],
+            stages,
+            stage_stats,
+            tbt_digest,
             total_time_s: 0.35,
         }
     }
@@ -206,6 +407,8 @@ mod tests {
         assert!((r.throughput_tokens_per_s() - 5.0 / 0.35).abs() < 1e-9);
         assert_eq!(r.generated_tokens(), 5);
         assert!((r.generation_throughput() - 5.0 / 0.35).abs() < 1e-9);
+        // FC-path volume includes the mixed stage's prompt tokens.
+        assert_eq!(r.fc_tokens(), 13);
     }
 
     #[test]
@@ -218,8 +421,8 @@ mod tests {
     #[test]
     fn tbt_population_spans_requests() {
         let r = report();
-        let tbts = r.tbt_samples();
-        assert_eq!(tbts.len(), 3); // 2 gaps + 1 gap
+        assert_eq!(r.tbt().count, 3); // 2 gaps + 1 gap
+        assert!((r.tbt().mean - 0.4 / 3.0).abs() < 1e-12);
     }
 
     #[test]

@@ -7,6 +7,11 @@
 //! * **TBT** — token-between-token latency: the gap between two
 //!   consecutive token generations of the same request;
 //! * **E2E** — arrival to completion.
+//!
+//! Records keep O(1) state per request — first/last token timestamps
+//! and a token count — so reports scale to millions of requests; the
+//! TBT gap population streams into the report-level
+//! [`crate::metrics::LatencyDigest`] instead of being stored per token.
 
 /// One inference request.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -30,37 +35,36 @@ impl Request {
 }
 
 /// Completion record of one request.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RequestRecord {
     /// The request.
     pub request: Request,
-    /// Timestamps at which each output token finished, in order
-    /// (length = `output_len`).
-    pub token_times: Vec<f64>,
+    /// Timestamp of the first output token (end of the prefill stage).
+    pub first_token_s: f64,
+    /// Timestamp of the last output token (completion).
+    pub last_token_s: f64,
+    /// Output tokens generated (= `output_len` for completed requests).
+    pub tokens: u64,
 }
 
 impl RequestRecord {
     /// Time to first token in seconds.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the record has no tokens.
     pub fn t2ft(&self) -> f64 {
-        self.token_times.first().expect("completed request has tokens") - self.request.arrival_s
+        self.first_token_s - self.request.arrival_s
     }
 
     /// End-to-end latency in seconds.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the record has no tokens.
     pub fn e2e(&self) -> f64 {
-        self.token_times.last().expect("completed request has tokens") - self.request.arrival_s
+        self.last_token_s - self.request.arrival_s
     }
 
-    /// Token-between-token gaps in seconds (length = `output_len - 1`).
-    pub fn tbts(&self) -> Vec<f64> {
-        self.token_times.windows(2).map(|w| w[1] - w[0]).collect()
+    /// Mean token-between-token gap (exact; the full gap population
+    /// streams into the report's TBT digest).
+    pub fn mean_tbt(&self) -> f64 {
+        if self.tokens <= 1 {
+            return 0.0;
+        }
+        (self.last_token_s - self.first_token_s) / (self.tokens - 1) as f64
     }
 }
 
@@ -71,7 +75,9 @@ mod tests {
     fn record() -> RequestRecord {
         RequestRecord {
             request: Request { id: 0, arrival_s: 1.0, input_len: 128, output_len: 4 },
-            token_times: vec![1.5, 1.6, 1.8, 2.1],
+            first_token_s: 1.5,
+            last_token_s: 2.1,
+            tokens: 4,
         }
     }
 
@@ -80,10 +86,19 @@ mod tests {
         let r = record();
         assert!((r.t2ft() - 0.5).abs() < 1e-12);
         assert!((r.e2e() - 1.1).abs() < 1e-12);
-        let tbts = r.tbts();
-        assert_eq!(tbts.len(), 3);
-        assert!((tbts[0] - 0.1).abs() < 1e-12);
-        assert!((tbts[2] - 0.3).abs() < 1e-12);
+        assert!((r.mean_tbt() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_token_request_has_no_gaps() {
+        let r = RequestRecord {
+            request: Request { id: 1, arrival_s: 0.0, input_len: 8, output_len: 1 },
+            first_token_s: 0.25,
+            last_token_s: 0.25,
+            tokens: 1,
+        };
+        assert_eq!(r.mean_tbt(), 0.0);
+        assert!((r.t2ft() - r.e2e()).abs() < 1e-12);
     }
 
     #[test]

@@ -7,12 +7,23 @@
 //! *decoding-only*. KV capacity is reserved at admission for the
 //! request's maximum context (Lin + Lout), which is what limits batch
 //! size on capacity-constrained systems (Fig. 5(c), Fig. 16).
-
-use std::collections::VecDeque;
+//!
+//! The loop is built for paper-scale runs:
+//!
+//! * requests are drawn from the [`RequestSource`] *on demand* (one
+//!   peeked request), so an open-loop run over millions of requests
+//!   holds O(batch) scheduler state, not O(total requests);
+//! * each stage is announced to the executor as a [`StageDelta`]
+//!   (advance + admissions + retirements) alongside the materialized
+//!   [`StageShape`], so incremental executors price pure-decode stages
+//!   in O(1) while plain executors fall back to the shape;
+//! * per-request accounting is O(1) (first/last token timestamps);
+//!   token gaps stream into a fixed-size digest once per stage.
 
 use duplex_model::ops::StageShape;
 
-use crate::metrics::{SimReport, StageRecord};
+use crate::delta::StageDelta;
+use crate::metrics::{LatencyDigest, SimReport, StageRecord, StageStats};
 use crate::request::{Request, RequestRecord};
 use crate::workload::{Arrivals, RequestSource, Workload};
 
@@ -29,6 +40,18 @@ pub trait StageExecutor {
     /// Execute one stage and report its latency. Implementations may
     /// accumulate their own side channels (energy, breakdowns).
     fn execute(&mut self, shape: &StageShape) -> StageOutcome;
+
+    /// Execute one stage described incrementally: `delta` is the change
+    /// relative to the previously executed stage (see [`StageDelta`]
+    /// for the invariants), `shape` the materialized equivalent.
+    ///
+    /// Executors that carry batch state across stages override this and
+    /// price pure-advance stages in O(1) from the delta; the default
+    /// simply prices the materialized shape.
+    fn execute_delta(&mut self, delta: &StageDelta, shape: &StageShape) -> StageOutcome {
+        let _ = delta;
+        self.execute(shape)
+    }
 }
 
 /// Scheduler limits.
@@ -42,6 +65,10 @@ pub struct SimulationConfig {
     pub kv_bytes_per_token: u64,
     /// Safety cap on simulated stages.
     pub max_stages: usize,
+    /// Keep a [`StageRecord`] per stage in the report. Disable for
+    /// million-request runs: the aggregate [`StageStats`] (throughput,
+    /// stage mix, mean batch) are maintained either way.
+    pub record_stages: bool,
 }
 
 impl Default for SimulationConfig {
@@ -51,15 +78,21 @@ impl Default for SimulationConfig {
             kv_capacity_bytes: u64::MAX,
             kv_bytes_per_token: 1,
             max_stages: 2_000_000,
+            record_stages: true,
         }
     }
 }
+
+/// Re-audit the incremental KV reservation against a full re-sum every
+/// this many stages (debug builds only). Per-stage re-summing would
+/// make debug runs quadratic in batch x stages.
+const KV_AUDIT_PERIOD: u64 = 256;
 
 #[derive(Debug)]
 struct Active {
     request: Request,
     generated: u64,
-    token_times: Vec<f64>,
+    first_token_s: f64,
 }
 
 impl Active {
@@ -108,22 +141,40 @@ impl Simulation {
 
     /// Run to completion (or the stage cap) and report.
     pub fn run<E: StageExecutor + ?Sized>(mut self, executor: &mut E) -> SimReport {
-        let mut pending: VecDeque<Request> =
-            (0..self.total_requests).map(|_| self.source.next_request()).collect();
+        // The request stream is drawn lazily: `peeked` holds the next
+        // not-yet-admitted request (FIFO order is preserved because the
+        // source is deterministic in draw order).
+        let mut peeked: Option<Request> = None;
+        let mut drawn = 0usize;
         let mut active: Vec<Active> = Vec::new();
+        let mut prefills: Vec<Active> = Vec::new();
         let mut completed: Vec<RequestRecord> = Vec::new();
         let mut stages: Vec<StageRecord> = Vec::new();
+        let mut stage_stats = StageStats::default();
+        let mut tbt_digest = LatencyDigest::default();
         let mut clock = 0.0f64;
         // KV bytes reserved by the active set, maintained incrementally
         // (+= on admission, -= on retirement) instead of re-summed over
         // the whole batch every stage.
         let mut reserved: u64 = 0;
+        // Reused per-stage buffers: the delta carries retirements from
+        // the previous stage boundary and admissions of this stage.
+        let mut delta = StageDelta::start();
+        let mut shape = StageShape::default();
 
-        while completed.len() < self.total_requests && stages.len() < self.config.max_stages {
+        while completed.len() < self.total_requests
+            && (stage_stats.stages as usize) < self.config.max_stages
+        {
             // Admission: FIFO, gated by batch slots and KV reservation.
-            let mut prefills: Vec<Active> = Vec::new();
             while active.len() + prefills.len() < self.config.max_batch {
-                let Some(front) = pending.front() else { break };
+                if peeked.is_none() {
+                    if drawn >= self.total_requests {
+                        break;
+                    }
+                    peeked = Some(self.source.next_request());
+                    drawn += 1;
+                }
+                let front = peeked.as_ref().expect("peeked request exists");
                 if front.arrival_s > clock {
                     break;
                 }
@@ -132,13 +183,15 @@ impl Simulation {
                     break;
                 }
                 reserved += need;
-                let request = pending.pop_front().expect("front exists");
-                prefills.push(Active { request, generated: 0, token_times: Vec::new() });
+                let request = peeked.take().expect("peeked request exists");
+                delta.admit.push(request.input_len);
+                prefills.push(Active { request, generated: 0, first_token_s: 0.0 });
             }
 
             if active.is_empty() && prefills.is_empty() {
-                // Idle: jump to the next arrival.
-                match pending.front() {
+                // Idle: jump to the next arrival. (No admissions were
+                // made above, so the pending delta is untouched.)
+                match &peeked {
                     Some(next) => {
                         clock = clock.max(next.arrival_s);
                         continue;
@@ -147,26 +200,34 @@ impl Simulation {
                 }
             }
 
-            let shape = StageShape {
-                decode_ctx: active.iter().map(Active::decode_ctx).collect(),
-                prefill_len: prefills.iter().map(|p| p.request.input_len).collect(),
-            };
-            let outcome = executor.execute(&shape);
+            shape.decode_ctx.clear();
+            shape.decode_ctx.extend(active.iter().map(Active::decode_ctx));
+            shape.prefill_len.clear();
+            shape.prefill_len.extend(prefills.iter().map(|p| p.request.input_len));
+            let outcome = executor.execute_delta(&delta, &shape);
+            delta.clear();
             clock += outcome.seconds;
-            stages.push(StageRecord {
+            let record = StageRecord {
                 seconds: outcome.seconds,
                 mixed: shape.is_mixed(),
                 batch: shape.batch_size(),
                 tokens: shape.tokens(),
-            });
+            };
+            stage_stats.record(&record);
+            if self.config.record_stages {
+                stages.push(record);
+            }
 
+            // Every advancing request sees the same token gap (they all
+            // emitted their previous token at the last stage boundary):
+            // one digest update covers the stage.
+            tbt_digest.record_n(outcome.seconds, active.len() as u64);
             for a in &mut active {
                 a.generated += 1;
-                a.token_times.push(clock);
             }
-            for mut p in prefills {
+            for mut p in prefills.drain(..) {
                 p.generated = 1;
-                p.token_times.push(clock);
+                p.first_token_s = clock;
                 active.push(p);
             }
             let mut i = 0;
@@ -174,25 +235,30 @@ impl Simulation {
                 if active[i].generated >= active[i].request.output_len {
                     let done = active.swap_remove(i);
                     reserved -= done.kv_reserved(self.config.kv_bytes_per_token);
+                    delta.retire.push(done.decode_ctx());
                     completed.push(RequestRecord {
+                        first_token_s: done.first_token_s,
+                        last_token_s: clock,
+                        tokens: done.generated,
                         request: done.request,
-                        token_times: done.token_times,
                     });
                 } else {
                     i += 1;
                 }
             }
-            debug_assert_eq!(
-                reserved,
-                active
-                    .iter()
-                    .map(|a| a.kv_reserved(self.config.kv_bytes_per_token))
-                    .sum::<u64>(),
-                "incremental KV reservation drifted from the active set"
-            );
+            if cfg!(debug_assertions) && stage_stats.stages % KV_AUDIT_PERIOD == 0 {
+                debug_assert_eq!(
+                    reserved,
+                    active
+                        .iter()
+                        .map(|a| a.kv_reserved(self.config.kv_bytes_per_token))
+                        .sum::<u64>(),
+                    "incremental KV reservation drifted from the active set"
+                );
+            }
         }
 
-        SimReport { completed, stages, total_time_s: clock }
+        SimReport { completed, stages, stage_stats, tbt_digest, total_time_s: clock }
     }
 }
 
@@ -207,14 +273,24 @@ mod tests {
         }
     }
 
-    /// Executor that records the shapes it saw.
+    /// Executor that records the shapes and deltas it saw.
     struct Recording {
         shapes: Vec<StageShape>,
+        deltas: Vec<StageDelta>,
+    }
+    impl Recording {
+        fn new() -> Self {
+            Self { shapes: Vec::new(), deltas: Vec::new() }
+        }
     }
     impl StageExecutor for Recording {
         fn execute(&mut self, shape: &StageShape) -> StageOutcome {
             self.shapes.push(shape.clone());
             StageOutcome { seconds: 0.01 }
+        }
+        fn execute_delta(&mut self, delta: &StageDelta, shape: &StageShape) -> StageOutcome {
+            self.deltas.push(delta.clone());
+            self.execute(shape)
         }
     }
 
@@ -232,7 +308,7 @@ mod tests {
         ids.dedup();
         assert_eq!(ids.len(), 20);
         for r in &report.completed {
-            assert_eq!(r.token_times.len() as u64, r.request.output_len);
+            assert_eq!(r.tokens, r.request.output_len);
         }
     }
 
@@ -259,7 +335,7 @@ mod tests {
             max_batch: 8,
             kv_capacity_bytes: 2 * (16 + 4), // room for exactly two requests
             kv_bytes_per_token: 1,
-            max_stages: 100_000,
+            ..SimulationConfig::default()
         };
         let sim = Simulation::closed_loop(cfg, Workload::fixed(16, 4), 12);
         let report = sim.run(&mut Fixed(0.01));
@@ -270,13 +346,65 @@ mod tests {
     #[test]
     fn mixed_stage_shapes_carry_prompt_lengths() {
         let sim = Simulation::closed_loop(config(2), Workload::fixed(100, 2), 2);
-        let mut rec = Recording { shapes: Vec::new() };
+        let mut rec = Recording::new();
         let report = sim.run(&mut rec);
         assert_eq!(report.completed.len(), 2);
         assert_eq!(rec.shapes[0].prefill_len, vec![100, 100]);
         assert!(rec.shapes[0].decode_ctx.is_empty());
         // Next stage: both decoding with ctx = Lin + 1.
         assert_eq!(rec.shapes[1].decode_ctx, vec![101, 101]);
+    }
+
+    #[test]
+    fn deltas_describe_the_stage_stream() {
+        // Batch 2, Lout 2, 4 requests: admit 2, decode, retire 2 +
+        // admit 2, decode, done.
+        let sim = Simulation::closed_loop(config(2), Workload::fixed(100, 2), 4);
+        let mut rec = Recording::new();
+        sim.run(&mut rec);
+        assert_eq!(rec.deltas.len(), 4);
+        assert!(rec.deltas[0].fresh, "first delta resets executor state");
+        assert_eq!(rec.deltas[0].admit, vec![100, 100]);
+        assert!(rec.deltas[0].retire.is_empty());
+        assert!(rec.deltas[1].is_pure_advance());
+        // Both requests retire after the second stage with post-advance
+        // context Lin + Lout = 102, and the next wave is admitted.
+        assert_eq!(rec.deltas[2].admit, vec![100, 100]);
+        assert_eq!(rec.deltas[2].retire, vec![102, 102]);
+        assert!(rec.deltas[3].is_pure_advance());
+    }
+
+    #[test]
+    fn deltas_replay_to_the_materialized_shapes() {
+        // Applying each delta to a mirror multiset reproduces exactly
+        // the decode contexts the scheduler materialized.
+        let w = Workload::gaussian(64, 6).with_seed(11);
+        let sim = Simulation::closed_loop(config(4), w, 12);
+        let mut rec = Recording::new();
+        sim.run(&mut rec);
+        let mut mirror: Vec<u64> = Vec::new(); // decode contexts
+        let mut pending: Vec<u64> = Vec::new(); // admitted last stage
+        for (delta, shape) in rec.deltas.iter().zip(&rec.shapes) {
+            if delta.fresh {
+                mirror.clear();
+                pending.clear();
+            }
+            for c in &mut mirror {
+                *c += 1;
+            }
+            mirror.extend(pending.drain(..).map(|p| p + 1));
+            for r in &delta.retire {
+                let pos = mirror.iter().position(|c| c == r).expect("retired ctx present");
+                mirror.swap_remove(pos);
+            }
+            pending.extend_from_slice(&delta.admit);
+            let mut want = shape.decode_ctx.clone();
+            want.sort_unstable();
+            let mut got = mirror.clone();
+            got.sort_unstable();
+            assert_eq!(got, want);
+            assert_eq!(delta.admit, shape.prefill_len);
+        }
     }
 
     #[test]
@@ -318,5 +446,19 @@ mod tests {
         let report = sim.run(&mut Fixed(0.01));
         assert_eq!(report.stages.len(), 5);
         assert!(report.completed.is_empty());
+    }
+
+    #[test]
+    fn unrecorded_stages_keep_aggregates() {
+        let w = Workload::fixed(64, 5);
+        let recorded = Simulation::closed_loop(config(8), w.clone(), 20).run(&mut Fixed(0.01));
+        let cfg = SimulationConfig { record_stages: false, ..config(8) };
+        let bare = Simulation::closed_loop(cfg, w, 20).run(&mut Fixed(0.01));
+        assert!(bare.stages.is_empty());
+        assert_eq!(bare.stage_stats, recorded.stage_stats);
+        assert_eq!(bare.generated_tokens(), recorded.generated_tokens());
+        assert_eq!(bare.mean_batch(), recorded.mean_batch());
+        assert_eq!(bare.decode_only_fraction(), recorded.decode_only_fraction());
+        assert_eq!(bare.completed.len(), recorded.completed.len());
     }
 }

@@ -35,6 +35,22 @@
 //! per-node request counts are identical to ungrouped round-robin
 //! placement.
 //!
+//! # The incremental delta path
+//!
+//! On top of the grouped path, [`SystemExecutor::stage_cost_delta`]
+//! carries a [`BatchState`] *across* stages: the scheduler announces
+//! each stage as a [`StageDelta`] (advance + admissions +
+//! retirements), and pure-advance decoding stages — the overwhelming
+//! majority of a continuous-batching trace — are priced in O(1) from
+//! `(batch size, Σctx)` aggregates through a cached
+//! [`DecodeTemplate`]. Mixed stages and membership changes fall back
+//! to the grouped full path (rebuilding the template from the carried
+//! groups), and sampled expert routing disables the incremental path
+//! entirely, since its histograms are per-stage draws. See
+//! [`crate::incremental`] for the state machine and the exactness
+//! argument, and `tests/prop_cross_crate.rs` for the trace-equivalence
+//! property tests.
+//!
 //! One [`SystemExecutor`] models one serving system end to end:
 //!
 //! * **GPU** — everything on the xPU (Fig. 10 has no PIM lane);
@@ -62,14 +78,18 @@ use duplex_compute::engine::{default_profile, AmortizedGemmPricer};
 use duplex_compute::hash::FastMap;
 use duplex_compute::kernel::{GemmShape, Kernel};
 use duplex_compute::{Engine, EngineSpec, KernelCost};
-use duplex_model::ops::{enumerate_stage_into, AttnOp, ExpertWork, StageShape, StageWork};
+use duplex_model::ops::{
+    enumerate_stage_into, fill_fc_ops, AttnOp, ExpertWork, FcOp, StageShape, StageWork,
+};
+use duplex_model::routing::RoutingMode;
 use duplex_model::{ExpertRouter, ModelConfig};
-use duplex_sched::{StageExecutor, StageOutcome};
+use duplex_sched::{StageDelta, StageExecutor, StageOutcome};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use crate::comm::{CommModel, LinkSpec};
 use crate::coproc::split_experts;
+use crate::incremental::{BatchState, DecodeTemplate};
 use crate::parallel::CapacityPlan;
 
 /// Bytes of device memory per device (80 GB, H100-class).
@@ -388,6 +408,20 @@ struct DeviceExpertsKey {
 /// few in steady state but unbounded over adversarial workloads).
 const EXPERT_MEMO_MAX_ENTRIES: usize = 1 << 18;
 
+/// Per-stage constants of a decoding-only batch that depend only on
+/// `(representative-node tokens, total tokens)`: FC, MoE and
+/// communication times plus their energies. Cached in
+/// [`SystemExecutor::decode_consts_memo`] because steady-state decode
+/// repeats the same batch size for thousands of stages.
+#[derive(Debug, Clone, Copy)]
+struct DecodeConsts {
+    time: TimeBreakdown,
+    energy: EnergyBuckets,
+}
+
+/// Safety valve for the decode-consts memo.
+const DECODE_CONSTS_MAX_ENTRIES: usize = 1 << 16;
+
 /// Executes stages for one system; implements
 /// [`duplex_sched::StageExecutor`].
 #[derive(Debug)]
@@ -411,6 +445,18 @@ pub struct SystemExecutor {
     expert_memo: RefCell<FastMap<DeviceExpertsKey, (f64, EnergyBuckets)>>,
     /// Reusable probe key for `expert_memo` (hits stay allocation-free).
     expert_probe: RefCell<DeviceExpertsKey>,
+    /// Decode-batch state carried across stages by the delta path.
+    batch: BatchState,
+    /// Cached linear pricing of the current decode membership.
+    template: Option<DecodeTemplate>,
+    /// Memoized decode-stage constants keyed by `(m_fc, total tokens)`.
+    decode_consts_memo: FastMap<(u64, u64), DecodeConsts>,
+    /// Reused shape buffer for materializing delta-path fallbacks.
+    shape_scratch: StageShape,
+    /// Reused FC-op list for decode-consts computation.
+    fc_scratch: Vec<FcOp>,
+    /// Reused expert histogram for decode-consts computation.
+    hist_scratch: Vec<u64>,
 }
 
 impl SystemExecutor {
@@ -480,6 +526,12 @@ impl SystemExecutor {
                 mixed: false,
                 frac_bits: 0,
             }),
+            batch: BatchState::default(),
+            template: None,
+            decode_consts_memo: FastMap::default(),
+            shape_scratch: StageShape::default(),
+            fc_scratch: Vec::new(),
+            hist_scratch: Vec::new(),
         }
     }
 
@@ -528,10 +580,35 @@ impl SystemExecutor {
     pub fn set_expert_skew(&mut self, skew: f64) {
         assert!(self.model.is_moe(), "expert skew needs an MoE model");
         self.router = ExpertRouter::zipf(self.model.n_experts, self.model.top_k, skew);
+        // Cached decode constants embed the old router's histogram.
+        self.template = None;
+        self.decode_consts_memo.clear();
     }
 
     fn pim(&self) -> &Engine {
         self.pim.as_ref().expect("policy routed work to a PIM on a PIM-less system")
+    }
+
+    /// Tensor-parallel degrees and MoE device pool of this system:
+    /// `(tp_fc, tp_attn, moe_devices)`.
+    fn parallel_dims(&self) -> (u32, u32, u32) {
+        if self.config.hetero {
+            (2, 2, 2)
+        } else {
+            let tp = self.config.devices_per_node;
+            (tp, tp, self.config.total_devices())
+        }
+    }
+
+    /// The engine decode attention runs on under this system's policy.
+    fn decode_engine(&self) -> &Engine {
+        if self.config.hetero {
+            return self.pim();
+        }
+        match self.config.device {
+            DeviceKind::Gpu => &self.xpu,
+            _ => self.pim(),
+        }
     }
 
     /// Price one expert invocation on `engine`, with the expert's
@@ -608,7 +685,7 @@ impl SystemExecutor {
             shape: value,
             dram_bytes: kv_dev - kv_dev / 2,
         });
-        scale(cost, op.count as f64)
+        cost.scaled(op.count as f64)
     }
 
     /// Compute the cost of one stage without executing it through the
@@ -627,6 +704,173 @@ impl SystemExecutor {
         self.stage_cost_impl(shape, false)
     }
 
+    /// Price one stage described incrementally against the carried
+    /// [`BatchState`] (see [`crate::incremental`] for the invariants).
+    ///
+    /// Pure-advance decoding stages — no admissions, no retirements —
+    /// are priced in O(1) from the cached [`DecodeTemplate`]; membership
+    /// changes rebuild the template from the carried groups; mixed
+    /// stages and sampled expert routing fall back to the grouped full
+    /// path on a materialized shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the batch state is out of sync with the delta stream
+    /// (a stage was executed without a delta) and `delta.fresh` is not
+    /// set. The [`StageExecutor::execute_delta`] implementation instead
+    /// resyncs from the materialized shape it is handed.
+    pub fn stage_cost_delta(&mut self, delta: &StageDelta) -> StageCost {
+        self.stage_cost_delta_inner(delta, None)
+    }
+
+    /// The delta-path body. `known_shape`, when provided (the scheduler
+    /// already materialized this stage's shape), saves the fallback
+    /// from re-materializing one from the carried groups.
+    fn stage_cost_delta_inner(
+        &mut self,
+        delta: &StageDelta,
+        known_shape: Option<&StageShape>,
+    ) -> StageCost {
+        let membership_changed = self.batch.apply(delta);
+        let incremental_ok = self.router.mode() == RoutingMode::Expected
+            && delta.admit.is_empty()
+            && self.batch.reqs() > 0;
+        if !incremental_ok {
+            // The template was not advanced through this stage; the
+            // next decode stage rebuilds it from the carried groups.
+            self.template = None;
+            if let Some(shape) = known_shape {
+                return self.stage_cost_impl(shape, true);
+            }
+            let mut shape = std::mem::take(&mut self.shape_scratch);
+            self.batch.fill_shape(&mut shape, &delta.admit);
+            let cost = self.stage_cost_impl(&shape, true);
+            self.shape_scratch = shape;
+            return cost;
+        }
+        if membership_changed || self.template.is_none() {
+            self.rebuild_decode_template();
+        } else {
+            self.template.as_mut().expect("checked above").advance();
+        }
+        self.template.as_ref().expect("rebuilt above").price()
+    }
+
+    /// Rebuild the decode template from the carried groups: per-node
+    /// placement, memoized FC/MoE/comm constants, and the linear
+    /// attention coefficients.
+    fn rebuild_decode_template(&mut self) {
+        let nodes = self.config.nodes as usize;
+        let (tp_fc, tp_attn, moe_devices) = self.parallel_dims();
+        let mut tpl = self.template.take().unwrap_or_default();
+        self.batch.node_placement(nodes, &mut tpl.node_count, &mut tpl.node_sumctx);
+        tpl.total_count = self.batch.reqs();
+        tpl.total_sumctx = self.batch.ctx_sum();
+        // Representative (most-loaded) node; for decode stages the node
+        // token count is the node's request count. Mirrors
+        // `max_by_key`'s last-max tie rule (the value is what matters).
+        let mut rep = 0usize;
+        for (n, &c) in tpl.node_count.iter().enumerate() {
+            if c >= tpl.node_count[rep] {
+                rep = n;
+            }
+        }
+        let m_fc = tpl.node_count[rep].max(1);
+        let consts = self.decode_stage_consts(m_fc, tpl.total_count, tp_fc, moe_devices);
+        tpl.base_time = consts.time;
+        tpl.base_energy = consts.energy;
+        // Linear decode-attention coefficients: every decode group of a
+        // stage shares all parameters but the context, and per-group
+        // cost is exactly proportional to it (see crate::incremental).
+        let proto = AttnOp {
+            decode: true,
+            ctx: 1,
+            q_rows: u64::from(self.model.deg_grp),
+            groups: u64::from(self.model.kv_heads()),
+            d_head: self.model.d_head(),
+            causal: false,
+            count: u64::from(self.model.n_layers),
+            reqs: 1,
+        };
+        let engine = self.decode_engine();
+        let unit = self.decode_attn_pricer(engine, &proto, tp_attn).cost(1);
+        tpl.sec_per_ctx = unit.seconds;
+        tpl.attn_dram_j_per_ctx = unit.dram_energy.total_j() * f64::from(tp_attn);
+        tpl.attn_comp_j_per_ctx = unit.compute_j * f64::from(tp_attn);
+        // Per-node constants: KV-append stream + one launch-overhead
+        // set per layer, for nodes that host any request.
+        let kv_tok = self.model.kv_bytes_per_token();
+        let layers = f64::from(self.model.n_layers);
+        tpl.node_const_s.clear();
+        for &cnt in &tpl.node_count {
+            if cnt == 0 {
+                tpl.node_const_s.push(0.0);
+                continue;
+            }
+            let bytes = cnt * kv_tok / u64::from(tp_attn);
+            let c = engine.kernel_cost(&Kernel::Stream { bytes, write: true });
+            tpl.base_energy.add_attn(&c.scaled(f64::from(tp_attn)));
+            tpl.node_const_s
+                .push(c.seconds + 3.0 * engine.spec().launch_overhead_s * layers);
+        }
+        self.template = Some(tpl);
+    }
+
+    /// FC + MoE + communication cost of a decoding-only stage with
+    /// `m_fc` tokens on the representative node and `tokens` total —
+    /// the exact math of the corresponding `stage_cost_impl` sections,
+    /// memoized on `(m_fc, tokens)`.
+    fn decode_stage_consts(
+        &mut self,
+        m_fc: u64,
+        tokens: u64,
+        tp_fc: u32,
+        moe_devices: u32,
+    ) -> DecodeConsts {
+        if let Some(&hit) = self.decode_consts_memo.get(&(m_fc, tokens)) {
+            return hit;
+        }
+        let lm_rows = m_fc; // decode: one LM-head row per request
+        let mut time = TimeBreakdown::default();
+        let mut energy = EnergyBuckets::default();
+
+        let mut fc_ops = std::mem::take(&mut self.fc_scratch);
+        fill_fc_ops(&self.model, tokens, lm_rows, &mut fc_ops);
+        self.price_fc_ops(&fc_ops, m_fc, lm_rows, tp_fc, &mut time, &mut energy);
+        self.fc_scratch = fc_ops;
+
+        if self.model.is_moe() {
+            // Expected-value routing: one histogram shared by every MoE
+            // layer — price one and scale by the block count.
+            let mut hist = std::mem::take(&mut self.hist_scratch);
+            self.router.route_expected_into(tokens, &mut hist);
+            let blocks = self.model.moe_block_count() as f64;
+            let (t, e) = self.price_moe_layer(&hist, false, tp_fc, moe_devices);
+            time.moe += t * blocks;
+            energy.moe_dram += e.moe_dram * blocks;
+            energy.moe_comp += e.moe_comp * blocks;
+            self.hist_scratch = hist;
+        }
+
+        // Decode-only: every request is one decode token.
+        self.price_stage_comm(
+            m_fc,
+            tokens,
+            tokens,
+            self.model.is_moe(),
+            tp_fc,
+            &mut time,
+            &mut energy,
+        );
+
+        let consts = DecodeConsts { time, energy };
+        if self.decode_consts_memo.len() >= DECODE_CONSTS_MAX_ENTRIES {
+            self.decode_consts_memo.clear();
+        }
+        self.decode_consts_memo.insert((m_fc, tokens), consts);
+        consts
+    }
+
     fn stage_cost_impl(&mut self, shape: &StageShape, grouped: bool) -> StageCost {
         let mut work = std::mem::take(&mut self.work);
         enumerate_stage_into(&self.model, shape, &self.router, &mut self.rng, &mut work);
@@ -642,13 +886,7 @@ impl SystemExecutor {
                 .collect();
         }
         let nodes = self.config.nodes as usize;
-        let (tp_fc, tp_attn, moe_devices) = if self.config.hetero {
-            (2u32, 2u32, 2u32)
-        } else {
-            let tp = self.config.devices_per_node;
-            (tp, tp, self.config.total_devices())
-        };
-        let bpe = self.model.bytes_per_elem;
+        let (tp_fc, tp_attn, moe_devices) = self.parallel_dims();
 
         // ------ data-parallel node assignment (round-robin) ------
         // Each group's requests spread across nodes exactly as if they
@@ -686,30 +924,10 @@ impl SystemExecutor {
         let mut energy = EnergyBuckets::default();
 
         // ------ FC layers (always on the xPU) ------
-        for op in &work.fc_ops {
-            let m = if op.name == "lm_head" { lm_rows_rep } else { m_fc };
-            let sharded = GemmShape {
-                m,
-                n: op.shape.n.div_ceil(u64::from(tp_fc)),
-                k: op.shape.k,
-            };
-            let dram = op.weight_bytes(bpe) / u64::from(tp_fc);
-            let dev = scale(self.xpu.gemm_cost(sharded, dram), op.count as f64);
-            time.fc += dev.seconds;
-            // Every device of every node does symmetric work.
-            let cluster = scale(dev, f64::from(tp_fc) * nodes as f64);
-            energy.add_fc(&cluster);
-        }
+        self.price_fc_ops(&work.fc_ops, m_fc, lm_rows_rep, tp_fc, &mut time, &mut energy);
 
         // ------ attention ------
-        let (prefill_engine, decode_engine): (&Engine, &Engine) = if self.config.hetero {
-            (&self.xpu, self.pim())
-        } else {
-            match self.config.device {
-                DeviceKind::Gpu => (&self.xpu, &self.xpu),
-                _ => (&self.xpu, self.pim()),
-            }
-        };
+        let (prefill_engine, decode_engine): (&Engine, &Engine) = (&self.xpu, self.decode_engine());
         // All decode groups share everything but ctx: hoist the linear
         // pricer once per stage instead of re-deriving shapes per group.
         let decode_pricer = work
@@ -732,12 +950,12 @@ impl SystemExecutor {
                         .expect("decode op implies decode pricer")
                         .cost(op.ctx);
                     dec += c.seconds * mult_f;
-                    energy.add_attn(&scale(c, f64::from(tp_attn) * mult_f));
+                    energy.add_attn(&c.scaled(f64::from(tp_attn) * mult_f));
                     decode_tokens += mult;
                 } else {
                     let c = self.attn_cost(prefill_engine, op, tp_attn);
                     pre += c.seconds * mult_f;
-                    energy.add_attn(&scale(c, f64::from(tp_attn) * mult_f));
+                    energy.add_attn(&c.scaled(f64::from(tp_attn) * mult_f));
                     prefill_tokens += op.ctx * mult;
                 }
             }
@@ -748,13 +966,13 @@ impl SystemExecutor {
                 let bytes = decode_tokens * kv_tok / u64::from(tp_attn);
                 let c = decode_engine.kernel_cost(&Kernel::Stream { bytes, write: true });
                 dec += c.seconds;
-                energy.add_attn(&scale(c, f64::from(tp_attn)));
+                energy.add_attn(&c.scaled(f64::from(tp_attn)));
             }
             if prefill_tokens > 0 {
                 let bytes = prefill_tokens * kv_tok / u64::from(tp_attn);
                 let c = prefill_engine.kernel_cost(&Kernel::Stream { bytes, write: true });
                 pre += c.seconds;
-                energy.add_attn(&scale(c, f64::from(tp_attn)));
+                energy.add_attn(&c.scaled(f64::from(tp_attn)));
             }
             // One batched kernel set (score, softmax, value) per layer
             // and class: charge the launch overhead once per layer.
@@ -782,11 +1000,8 @@ impl SystemExecutor {
             let priced = if identical { &work.moe[..1] } else { &work.moe[..] };
             let multiplier = if identical { work.moe.len() as f64 } else { 1.0 };
             for layer in priced {
-                let (t, e) = if self.config.expert_tensor_parallel {
-                    self.moe_layer_et(&layer.expert_tokens, mixed, tp_fc)
-                } else {
-                    self.moe_layer_ep(&layer.expert_tokens, mixed, moe_devices)
-                };
+                let (t, e) =
+                    self.price_moe_layer(&layer.expert_tokens, mixed, tp_fc, moe_devices);
                 time.moe += t * multiplier;
                 energy.moe_dram += e.moe_dram * multiplier;
                 energy.moe_comp += e.moe_comp * multiplier;
@@ -794,45 +1009,15 @@ impl SystemExecutor {
         }
 
         // ------ communication ------
-        let act_bytes = m_fc * self.model.hidden * bpe;
-        let layers = u64::from(self.model.n_layers);
-        // Two tensor-parallel all-reduces per decoder layer.
-        time.comm += 2.0 * self.comm.all_reduce_intra(act_bytes) * layers as f64;
-        if !work.moe.is_empty() {
-            let moe_blocks = self.model.moe_block_count() as f64;
-            let dispatch_total =
-                work.tokens * u64::from(self.model.top_k) * self.model.hidden * bpe;
-            if self.config.expert_tensor_parallel {
-                // EP across nodes only; tokens cross the IB links.
-                if nodes > 1 {
-                    let per_node = dispatch_total / nodes as u64;
-                    time.comm += 2.0 * self.node_comm.all_to_all(per_node) * moe_blocks;
-                }
-                // On-device partial-sum all-reduce: the xPU reads each
-                // Logic-PIM stack's partial outputs (Sec. V-A).
-                let partial = m_fc * self.model.hidden * bpe;
-                let c = self
-                    .xpu
-                    .kernel_cost(&Kernel::Stream { bytes: partial, write: false });
-                time.moe += c.seconds * moe_blocks;
-                energy.add_moe(&scale(c, moe_blocks * f64::from(tp_fc) * nodes as f64));
-            } else {
-                let per_device = dispatch_total / u64::from(self.config.total_devices());
-                time.comm += 2.0 * self.comm.all_to_all(per_device) * moe_blocks;
-            }
-        }
-        if self.config.hetero {
-            // GPU <-> PIM handoffs: QKV/outputs for decode attention each
-            // layer, activations to/from the MoE pool each MoE layer.
-            let decode_tokens = shape.decode_ctx.len() as u64;
-            if decode_tokens > 0 {
-                let bytes = decode_tokens * self.model.hidden * bpe;
-                time.comm += 2.0 * self.comm.p2p_intra(bytes) * layers as f64;
-            }
-            let moe_bytes = m_fc * self.model.hidden * bpe;
-            time.comm +=
-                2.0 * self.comm.p2p_intra(moe_bytes) * self.model.moe_block_count() as f64;
-        }
+        self.price_stage_comm(
+            m_fc,
+            work.tokens,
+            shape.decode_ctx.len() as u64,
+            !work.moe.is_empty(),
+            tp_fc,
+            &mut time,
+            &mut energy,
+        );
 
         // ------ effective stage latency ------
         let attn_eff = if self.config.coproc {
@@ -857,6 +1042,108 @@ impl SystemExecutor {
             m += pm;
         }
         (h, m)
+    }
+
+    /// Price the batched FC layers (always on the xPU): `m_fc` tokens
+    /// on the representative node, `lm_rows` LM-head rows. Shared by
+    /// the per-stage path and the decode-consts path so the sharding
+    /// math cannot drift between them.
+    fn price_fc_ops(
+        &self,
+        ops: &[FcOp],
+        m_fc: u64,
+        lm_rows: u64,
+        tp_fc: u32,
+        time: &mut TimeBreakdown,
+        energy: &mut EnergyBuckets,
+    ) {
+        let bpe = self.model.bytes_per_elem;
+        let nodes = self.config.nodes as usize;
+        for op in ops {
+            let m = if op.name == "lm_head" { lm_rows } else { m_fc };
+            let sharded = GemmShape {
+                m,
+                n: op.shape.n.div_ceil(u64::from(tp_fc)),
+                k: op.shape.k,
+            };
+            let dram = op.weight_bytes(bpe) / u64::from(tp_fc);
+            let dev = self.xpu.gemm_cost(sharded, dram).scaled(op.count as f64);
+            time.fc += dev.seconds;
+            // Every device of every node does symmetric work.
+            let cluster = dev.scaled(f64::from(tp_fc) * nodes as f64);
+            energy.add_fc(&cluster);
+        }
+    }
+
+    /// Price one MoE layer under the system's expert-parallelism policy.
+    fn price_moe_layer(
+        &self,
+        expert_tokens: &[u64],
+        mixed: bool,
+        tp_fc: u32,
+        moe_devices: u32,
+    ) -> (f64, EnergyBuckets) {
+        if self.config.expert_tensor_parallel {
+            self.moe_layer_et(expert_tokens, mixed, tp_fc)
+        } else {
+            self.moe_layer_ep(expert_tokens, mixed, moe_devices)
+        }
+    }
+
+    /// Price a stage's communication: tensor-parallel all-reduces, MoE
+    /// dispatch (and the ET partial-sum stream, which lands in the MoE
+    /// buckets), and the heterogeneous system's GPU <-> PIM handoffs.
+    /// Shared by the per-stage path and the decode-consts path.
+    #[allow(clippy::too_many_arguments)]
+    fn price_stage_comm(
+        &self,
+        m_fc: u64,
+        tokens: u64,
+        decode_tokens: u64,
+        moe_active: bool,
+        tp_fc: u32,
+        time: &mut TimeBreakdown,
+        energy: &mut EnergyBuckets,
+    ) {
+        let bpe = self.model.bytes_per_elem;
+        let nodes = self.config.nodes as usize;
+        let act_bytes = m_fc * self.model.hidden * bpe;
+        let layers = u64::from(self.model.n_layers);
+        // Two tensor-parallel all-reduces per decoder layer.
+        time.comm += 2.0 * self.comm.all_reduce_intra(act_bytes) * layers as f64;
+        if moe_active {
+            let moe_blocks = self.model.moe_block_count() as f64;
+            let dispatch_total = tokens * u64::from(self.model.top_k) * self.model.hidden * bpe;
+            if self.config.expert_tensor_parallel {
+                // EP across nodes only; tokens cross the IB links.
+                if nodes > 1 {
+                    let per_node = dispatch_total / nodes as u64;
+                    time.comm += 2.0 * self.node_comm.all_to_all(per_node) * moe_blocks;
+                }
+                // On-device partial-sum all-reduce: the xPU reads each
+                // Logic-PIM stack's partial outputs (Sec. V-A).
+                let partial = m_fc * self.model.hidden * bpe;
+                let c = self
+                    .xpu
+                    .kernel_cost(&Kernel::Stream { bytes: partial, write: false });
+                time.moe += c.seconds * moe_blocks;
+                energy.add_moe(&c.scaled(moe_blocks * f64::from(tp_fc) * nodes as f64));
+            } else {
+                let per_device = dispatch_total / u64::from(self.config.total_devices());
+                time.comm += 2.0 * self.comm.all_to_all(per_device) * moe_blocks;
+            }
+        }
+        if self.config.hetero {
+            // GPU <-> PIM handoffs: QKV/outputs for decode attention each
+            // layer, activations to/from the MoE pool each MoE layer.
+            if decode_tokens > 0 {
+                let bytes = decode_tokens * self.model.hidden * bpe;
+                time.comm += 2.0 * self.comm.p2p_intra(bytes) * layers as f64;
+            }
+            let moe_bytes = m_fc * self.model.hidden * bpe;
+            time.comm +=
+                2.0 * self.comm.p2p_intra(moe_bytes) * self.model.moe_block_count() as f64;
+        }
     }
 
     /// Expert-parallel MoE layer: experts distributed round-robin over
@@ -1029,20 +1316,39 @@ impl SystemExecutor {
     }
 }
 
-fn scale(c: KernelCost, by: f64) -> KernelCost {
-    KernelCost {
-        seconds: c.seconds * by,
-        dram_energy: duplex_hbm::EnergyBreakdown {
-            activation_j: c.dram_energy.activation_j * by,
-            transfer_j: c.dram_energy.transfer_j * by,
-        },
-        compute_j: c.compute_j * by,
-    }
-}
-
 impl StageExecutor for SystemExecutor {
     fn execute(&mut self, shape: &StageShape) -> StageOutcome {
+        // A stage executed without a delta desyncs the carried batch
+        // state; a later execute_delta resyncs from its shape.
+        self.batch.desync();
         let cost = self.stage_cost(shape);
+        self.total += cost;
+        self.stages += 1;
+        StageOutcome { seconds: cost.seconds }
+    }
+
+    fn execute_delta(&mut self, delta: &StageDelta, shape: &StageShape) -> StageOutcome {
+        let cost = if !self.batch.is_synced() && !delta.fresh {
+            // The delta stream was interrupted (a direct `execute`
+            // call); the materialized shape is ground truth — resync
+            // the batch state from it and price the full path once.
+            self.batch.rebuild_from(shape);
+            self.template = None;
+            self.stage_cost_impl(shape, true)
+        } else {
+            let cost = self.stage_cost_delta_inner(delta, Some(shape));
+            debug_assert_eq!(
+                self.batch.reqs() as usize,
+                shape.decode_ctx.len(),
+                "batch state drifted from the scheduler's shape"
+            );
+            debug_assert_eq!(
+                self.batch.ctx_sum(),
+                shape.decode_ctx.iter().sum::<u64>(),
+                "batch context sum drifted from the scheduler's shape"
+            );
+            cost
+        };
         self.total += cost;
         self.stages += 1;
         StageOutcome { seconds: cost.seconds }
@@ -1278,6 +1584,177 @@ mod tests {
         ex.reset_totals();
         assert_eq!(ex.stages_executed(), 0);
         assert_eq!(ex.total_cost().seconds, 0.0);
+    }
+
+    /// Drive `inc` through a delta trace while pricing each stage's
+    /// materialized shape on `oracle` via the reference path, asserting
+    /// cost equality stage by stage. Returns the number of stages.
+    fn assert_trace_matches_reference(
+        system: SystemConfig,
+        model: ModelConfig,
+        trace: &[(Vec<u64>, Vec<u64>)], // (admits, retires) per stage
+    ) {
+        let mut inc = SystemExecutor::new(system.clone(), model.clone(), 1);
+        let mut oracle = SystemExecutor::new(system.clone(), model, 1);
+        let mut mirror: Vec<u64> = Vec::new();
+        let mut pending: Vec<u64> = Vec::new();
+        for (stage, (admits, retires)) in trace.iter().enumerate() {
+            let delta = duplex_sched::StageDelta {
+                fresh: stage == 0,
+                admit: admits.clone(),
+                retire: retires.clone(),
+            };
+            for c in &mut mirror {
+                *c += 1;
+            }
+            mirror.extend(pending.drain(..).map(|p| p + 1));
+            for r in retires {
+                let pos = mirror.iter().position(|c| c == r).expect("retire present");
+                mirror.swap_remove(pos);
+            }
+            pending.extend_from_slice(admits);
+            let shape = StageShape::mixed(&mirror, admits);
+            let a = inc.stage_cost_delta(&delta);
+            let b = oracle.stage_cost_reference(&shape);
+            assert_costs_close(&a, &b, &format!("{} stage {stage}", system.name));
+        }
+    }
+
+    /// A deterministic admit/decode/retire lifecycle exercising fresh
+    /// start, prefill flush, pure advances, retirements (template
+    /// rebuild) and re-admission.
+    fn lifecycle_trace() -> Vec<(Vec<u64>, Vec<u64>)> {
+        let mut trace: Vec<(Vec<u64>, Vec<u64>)> = Vec::new();
+        trace.push((vec![512; 16], vec![])); // wave 1 prefills
+        for _ in 0..6 {
+            trace.push((vec![], vec![]));
+        }
+        // Four requests retire (ctx = 512 + 7 stages of decode), two
+        // new ones are admitted in the same stage.
+        trace.push((vec![256, 1024], vec![519, 519, 519, 519]));
+        for _ in 0..3 {
+            trace.push((vec![], vec![]));
+        }
+        // One of the latecomers retires, then pure decode to the end.
+        trace.push((vec![], vec![1024 + 4]));
+        for _ in 0..4 {
+            trace.push((vec![], vec![]));
+        }
+        trace
+    }
+
+    #[test]
+    fn delta_trace_matches_reference_on_every_system() {
+        let model = ModelConfig::mixtral_8x7b();
+        let trace = lifecycle_trace();
+        for system in [
+            SystemConfig::gpu(4, 1),
+            SystemConfig::duplex(4, 1),
+            SystemConfig::duplex_pe(4, 1),
+            SystemConfig::duplex_pe_et(4, 1),
+            SystemConfig::bank_pim(4, 1),
+            SystemConfig::hetero(),
+        ] {
+            assert_trace_matches_reference(system, model.clone(), &trace);
+        }
+    }
+
+    #[test]
+    fn delta_trace_matches_reference_across_nodes_and_models() {
+        assert_trace_matches_reference(
+            SystemConfig::duplex_pe_et(8, 2),
+            ModelConfig::grok1(),
+            &lifecycle_trace(),
+        );
+        assert_trace_matches_reference(
+            SystemConfig::duplex_pe_et(8, 1),
+            ModelConfig::glam(),
+            &lifecycle_trace(),
+        );
+        // Dense models exercise the no-MoE constants.
+        assert_trace_matches_reference(
+            SystemConfig::duplex(4, 1),
+            ModelConfig::llama3_70b(),
+            &lifecycle_trace(),
+        );
+    }
+
+    #[test]
+    fn sampled_routing_disables_the_incremental_path_correctly() {
+        // With a skewed (sampled) router, histograms are per-stage
+        // draws: the delta path must fall back to the full path and
+        // still track the same RNG stream as a shape-driven executor.
+        let model = ModelConfig::mixtral_8x7b();
+        let mut inc = SystemExecutor::new(SystemConfig::duplex_pe(4, 1), model.clone(), 9);
+        let mut oracle = SystemExecutor::new(SystemConfig::duplex_pe(4, 1), model, 9);
+        inc.set_expert_skew(1.0);
+        oracle.set_expert_skew(1.0);
+        let mut delta = duplex_sched::StageDelta::start();
+        delta.admit = vec![128; 8];
+        let shapes = [
+            StageShape::mixed(&[], &[128; 8]),
+            StageShape::decode_only(&[129; 8]),
+            StageShape::decode_only(&[130; 8]),
+        ];
+        let a0 = inc.stage_cost_delta(&delta);
+        let b0 = oracle.stage_cost(&shapes[0]);
+        assert_costs_close(&a0, &b0, "sampled stage 0");
+        delta.clear();
+        for (i, shape) in shapes.iter().enumerate().skip(1) {
+            let a = inc.stage_cost_delta(&delta);
+            let b = oracle.stage_cost(shape);
+            assert_costs_close(&a, &b, &format!("sampled stage {i}"));
+        }
+    }
+
+    #[test]
+    fn execute_delta_resyncs_after_direct_execute() {
+        let model = ModelConfig::mixtral_8x7b();
+        let system = SystemConfig::duplex_pe_et(4, 1);
+        let mut ex = SystemExecutor::new(system.clone(), model.clone(), 1);
+        let mut oracle = SystemExecutor::new(system, model, 1);
+
+        // Start a delta trace, then interrupt it with a direct execute.
+        let mut delta = duplex_sched::StageDelta::start();
+        delta.admit = vec![256; 4];
+        ex.execute_delta(&delta, &StageShape::mixed(&[], &[256; 4]));
+        ex.execute(&StageShape::decode_only(&[99; 7])); // desyncs
+
+        // Resume the trace mid-stream: execute_delta resyncs from the
+        // shape it is handed and keeps pricing correctly.
+        delta.clear();
+        let shape = StageShape::decode_only(&[300, 400, 500]);
+        let out = ex.execute_delta(&delta, &shape);
+        let want = oracle.stage_cost_reference(&shape);
+        assert!((out.seconds - want.seconds).abs() / want.seconds < 1e-9);
+
+        // Subsequent pure advances price incrementally off the resynced
+        // state.
+        let next = StageShape::decode_only(&[301, 401, 501]);
+        let out = ex.execute_delta(&delta, &next);
+        let want = oracle.stage_cost_reference(&next);
+        assert!((out.seconds - want.seconds).abs() / want.seconds < 1e-9);
+    }
+
+    #[test]
+    fn long_advance_runs_stay_consistent() {
+        // 500 pure-advance stages: the O(1) path must track the oracle
+        // without drift (aggregates are integers, coefficients fixed).
+        let model = ModelConfig::mixtral_8x7b();
+        let mut inc = SystemExecutor::new(SystemConfig::duplex_pe_et(4, 1), model.clone(), 1);
+        let mut oracle = SystemExecutor::new(SystemConfig::duplex_pe_et(4, 1), model, 1);
+        let mut delta = duplex_sched::StageDelta::start();
+        delta.admit = vec![64; 32];
+        inc.stage_cost_delta(&delta);
+        delta.clear();
+        for s in 0..500u64 {
+            let a = inc.stage_cost_delta(&delta);
+            if s % 97 == 0 || s == 499 {
+                let shape = StageShape::decode_only(&vec![65 + s; 32]);
+                let b = oracle.stage_cost_reference(&shape);
+                assert_costs_close(&a, &b, &format!("advance stage {s}"));
+            }
+        }
     }
 
     #[test]

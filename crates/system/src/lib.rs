@@ -52,6 +52,7 @@
 pub mod comm;
 pub mod coproc;
 pub mod exec;
+pub mod incremental;
 pub mod parallel;
 pub mod split;
 
@@ -60,5 +61,6 @@ pub use coproc::ExpertSplit;
 pub use exec::{
     DeviceKind, EnergyBuckets, StageCost, SystemConfig, SystemExecutor, TimeBreakdown,
 };
+pub use incremental::BatchState;
 pub use parallel::CapacityPlan;
 pub use split::SplitSimulation;

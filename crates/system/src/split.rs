@@ -15,7 +15,9 @@ use std::collections::VecDeque;
 use duplex_model::ops::StageShape;
 use duplex_model::ModelConfig;
 use duplex_sched::workload::RequestSource;
-use duplex_sched::{Arrivals, Request, RequestRecord, SimReport, StageRecord, Workload};
+use duplex_sched::{
+    Arrivals, LatencyDigest, Request, RequestRecord, SimReport, StageRecord, StageStats, Workload,
+};
 
 use crate::comm::{CommModel, LinkSpec};
 use crate::exec::{SystemConfig, SystemExecutor, DEVICE_MEM_BYTES};
@@ -93,7 +95,19 @@ impl SplitSimulation {
         struct Decoding {
             request: Request,
             generated: u64,
-            token_times: Vec<f64>,
+            first_token_s: f64,
+            last_token_s: f64,
+        }
+
+        impl Decoding {
+            fn record(&self) -> RequestRecord {
+                RequestRecord {
+                    request: self.request,
+                    first_token_s: self.first_token_s,
+                    last_token_s: self.last_token_s,
+                    tokens: self.generated,
+                }
+            }
         }
 
         let mut source = RequestSource::new(self.workload.clone(), Arrivals::ClosedLoop);
@@ -119,6 +133,8 @@ impl SplitSimulation {
         let mut active: Vec<Decoding> = Vec::new();
         let mut completed: Vec<RequestRecord> = Vec::new();
         let mut stages: Vec<StageRecord> = Vec::new();
+        let mut stage_stats = StageStats::default();
+        let mut tbt_digest = LatencyDigest::default();
         let kv_per_token = self.model.kv_bytes_per_token();
 
         while completed.len() < self.total_requests {
@@ -139,9 +155,12 @@ impl SplitSimulation {
                 reserved += need;
                 let inflight = incoming.pop_front().expect("front exists");
                 clock = clock.max(inflight.ready_at);
-                let mut token_times = Vec::with_capacity(inflight.request.output_len as usize);
-                token_times.push(inflight.first_token);
-                active.push(Decoding { request: inflight.request, generated: 1, token_times });
+                active.push(Decoding {
+                    request: inflight.request,
+                    generated: 1,
+                    first_token_s: inflight.first_token,
+                    last_token_s: inflight.first_token,
+                });
             }
 
             // Retire single-token requests immediately.
@@ -149,8 +168,7 @@ impl SplitSimulation {
             while i < active.len() {
                 if active[i].generated >= active[i].request.output_len {
                     let d = active.swap_remove(i);
-                    completed
-                        .push(RequestRecord { request: d.request, token_times: d.token_times });
+                    completed.push(d.record());
                 } else {
                     i += 1;
                 }
@@ -167,22 +185,27 @@ impl SplitSimulation {
             let shape = StageShape::decode_only(&ctxs);
             let cost = self.decode_pool.stage_cost(&shape);
             clock += cost.seconds;
-            stages.push(StageRecord {
+            let record = StageRecord {
                 seconds: cost.seconds,
                 mixed: false,
                 batch: shape.batch_size(),
                 tokens: shape.tokens(),
-            });
+            };
+            stage_stats.record(&record);
+            stages.push(record);
             for a in &mut active {
                 a.generated += 1;
-                a.token_times.push(clock);
+                // Unlike the monolithic scheduler, the first decode gap
+                // of a migrated request spans its KV transfer and queue
+                // wait, so gaps differ per request: record individually.
+                tbt_digest.record(clock - a.last_token_s);
+                a.last_token_s = clock;
             }
             let mut i = 0;
             while i < active.len() {
                 if active[i].generated >= active[i].request.output_len {
                     let d = active.swap_remove(i);
-                    completed
-                        .push(RequestRecord { request: d.request, token_times: d.token_times });
+                    completed.push(d.record());
                 } else {
                     i += 1;
                 }
@@ -191,7 +214,7 @@ impl SplitSimulation {
 
         // Wall-clock spans whichever pool finished last.
         let total_time_s = clock.max(prefill_clock);
-        SimReport { completed, stages, total_time_s }
+        SimReport { completed, stages, stage_stats, tbt_digest, total_time_s }
     }
 }
 
@@ -214,9 +237,10 @@ mod tests {
         let report = sim.run();
         assert_eq!(report.completed.len(), 6);
         for r in &report.completed {
-            assert_eq!(r.token_times.len() as u64, r.request.output_len);
+            assert_eq!(r.tokens, r.request.output_len);
         }
         assert!(report.stages.iter().all(|s| !s.mixed), "decode pool never sees prefills");
+        assert_eq!(report.stage_stats.mixed, 0);
     }
 
     #[test]

@@ -27,7 +27,7 @@ fn all_systems_complete_all_requests() {
         let r = run(small_cfg(model.clone(), system));
         assert_eq!(r.report.completed.len(), 16, "{name}");
         for rec in &r.report.completed {
-            assert_eq!(rec.token_times.len() as u64, rec.request.output_len, "{name}");
+            assert_eq!(rec.tokens, rec.request.output_len, "{name}");
         }
         assert!(r.throughput_tokens_per_s > 0.0, "{name}");
         assert!(r.energy_per_token_j > 0.0, "{name}");

@@ -5,6 +5,9 @@ use duplex::compute::kernel::GemmShape;
 use duplex::compute::Engine;
 use duplex::model::ops::StageShape;
 use duplex::model::{ExpertRouter, ModelConfig};
+use duplex::sched::{
+    Simulation, SimulationConfig, StageExecutor, StageOutcome, Workload,
+};
 use duplex::system::coproc::split_experts;
 use duplex::system::{SystemConfig, SystemExecutor};
 use proptest::prelude::*;
@@ -14,6 +17,29 @@ use rand::SeedableRng;
 /// Relative difference, safe around zero.
 fn rel_diff(a: f64, b: f64) -> f64 {
     (a - b).abs() / a.abs().max(b.abs()).max(f64::MIN_POSITIVE)
+}
+
+/// Executor that prices every stage through the per-request reference
+/// path, ignoring deltas — the oracle for the incremental executor.
+/// (`stage_cost_reference` is a pure query, so the wrapper accumulates
+/// energy itself.)
+struct ReferenceExec {
+    ex: SystemExecutor,
+    energy_j: f64,
+}
+
+impl ReferenceExec {
+    fn new(ex: SystemExecutor) -> Self {
+        Self { ex, energy_j: 0.0 }
+    }
+}
+
+impl StageExecutor for ReferenceExec {
+    fn execute(&mut self, shape: &StageShape) -> StageOutcome {
+        let cost = self.ex.stage_cost_reference(shape);
+        self.energy_j += cost.energy.total();
+        StageOutcome { seconds: cost.seconds }
+    }
 }
 
 proptest! {
@@ -85,6 +111,93 @@ proptest! {
         let b = naive.stage_cost_reference(&shape);
         prop_assert!(rel_diff(a.seconds, b.seconds) < 1e-9, "seconds");
         prop_assert!(rel_diff(a.energy.total(), b.energy.total()) < 1e-9, "energy");
+    }
+
+    /// The incremental delta path equals the per-request reference path
+    /// over full randomized serving traces: the scheduler emits
+    /// admissions, retirements and pure advances from a Gaussian
+    /// workload (optionally under Poisson arrivals), and every stage's
+    /// latency — hence the whole simulated timeline — must match within
+    /// 1e-9 relative.
+    #[test]
+    fn incremental_trace_equals_reference(
+        mean_in in 32u64..512,
+        mean_out in 4u64..32,
+        requests in 4usize..20,
+        batch in 1usize..12,
+        seed in 0u64..1000,
+        qps in proptest::option::of(1.0f64..50.0),
+        duplex_system in 0u8..2,
+    ) {
+        let model = ModelConfig::mixtral_8x7b();
+        let system = if duplex_system == 1 {
+            SystemConfig::duplex_pe_et(4, 1)
+        } else {
+            SystemConfig::gpu(4, 1)
+        };
+        let mut inc = SystemExecutor::new(system.clone(), model.clone(), 1);
+        let mut oracle = ReferenceExec::new(SystemExecutor::new(system, model.clone(), 1));
+        let cfg = SimulationConfig {
+            max_batch: batch,
+            kv_capacity_bytes: inc.kv_capacity_bytes(),
+            kv_bytes_per_token: model.kv_bytes_per_token(),
+            ..SimulationConfig::default()
+        };
+        let workload = Workload::gaussian(mean_in, mean_out).with_seed(seed);
+        let mk = |w: Workload| match qps {
+            Some(q) => Simulation::poisson(cfg, w, q, requests),
+            None => Simulation::closed_loop(cfg, w, requests),
+        };
+        let a = mk(workload.clone()).run(&mut inc);
+        let b = mk(workload).run(&mut oracle);
+        prop_assert_eq!(a.stages.len(), b.stages.len());
+        for (i, (sa, sb)) in a.stages.iter().zip(&b.stages).enumerate() {
+            prop_assert_eq!(sa.batch, sb.batch);
+            prop_assert!(
+                rel_diff(sa.seconds, sb.seconds) < 1e-9,
+                "stage {}: incremental {} vs reference {}",
+                i, sa.seconds, sb.seconds
+            );
+        }
+        prop_assert!(rel_diff(a.total_time_s, b.total_time_s) < 1e-9, "total time");
+        prop_assert!(
+            rel_diff(inc.total_cost().energy.total(), oracle.energy_j) < 1e-9,
+            "energy"
+        );
+    }
+
+    /// Same trace equivalence on the two-node Grok cluster, where
+    /// incremental pricing must also reproduce round-robin data-parallel
+    /// placement of the carried groups.
+    #[test]
+    fn incremental_trace_equals_reference_two_nodes(
+        mean_out in 4u64..24,
+        requests in 4usize..12,
+        batch in 1usize..8,
+        seed in 0u64..200,
+    ) {
+        let model = ModelConfig::grok1();
+        let system = SystemConfig::duplex_pe_et(8, 2);
+        let mut inc = SystemExecutor::new(system.clone(), model.clone(), 1);
+        let mut oracle = ReferenceExec::new(SystemExecutor::new(system, model.clone(), 1));
+        let cfg = SimulationConfig {
+            max_batch: batch,
+            kv_capacity_bytes: inc.kv_capacity_bytes(),
+            kv_bytes_per_token: model.kv_bytes_per_token(),
+            ..SimulationConfig::default()
+        };
+        let workload = Workload::gaussian(128, mean_out).with_seed(seed);
+        let a = Simulation::closed_loop(cfg, workload.clone(), requests).run(&mut inc);
+        let b = Simulation::closed_loop(cfg, workload, requests).run(&mut oracle);
+        prop_assert_eq!(a.stages.len(), b.stages.len());
+        for (i, (sa, sb)) in a.stages.iter().zip(&b.stages).enumerate() {
+            prop_assert!(
+                rel_diff(sa.seconds, sb.seconds) < 1e-9,
+                "stage {}: incremental {} vs reference {}",
+                i, sa.seconds, sb.seconds
+            );
+        }
+        prop_assert!(rel_diff(a.total_time_s, b.total_time_s) < 1e-9, "total time");
     }
 
     /// Stage costs are positive, finite, and co-processing never makes a
