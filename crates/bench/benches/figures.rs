@@ -10,7 +10,9 @@ fn bench_figures(c: &mut Criterion) {
     let mut g = c.benchmark_group("figures_quick");
     g.sample_size(10);
     g.bench_function("fig08_edap", |b| b.iter(experiments::fig08_edap));
-    g.bench_function("fig04_breakdown", |b| b.iter(|| experiments::fig04_breakdown(&scale)));
+    g.bench_function("fig04_breakdown", |b| {
+        b.iter(|| experiments::fig04_breakdown(&scale))
+    });
     g.bench_function("table1", |b| b.iter(experiments::table1));
     g.finish();
 }

@@ -21,7 +21,9 @@ fn bench_hbm_stream(c: &mut Criterion) {
     let mut g = c.benchmark_group("hbm_stream_1MiB");
     for path in AccessPath::ALL {
         g.bench_function(format!("{path}"), |b| {
-            b.iter(|| duplex::hbm::stream::simulate_stream(&geom, &timing, path, black_box(1 << 20)))
+            b.iter(|| {
+                duplex::hbm::stream::simulate_stream(&geom, &timing, path, black_box(1 << 20))
+            })
         });
     }
     g.finish();
@@ -34,10 +36,18 @@ fn bench_hbm_stream(c: &mut Criterion) {
 fn bench_kernel_pricing(c: &mut Criterion) {
     let xpu = Engine::h100_xpu();
     let pim = Engine::logic_pim();
-    let shape = GemmShape { m: 16, n: 14336, k: 4096 };
+    let shape = GemmShape {
+        m: 16,
+        n: 14336,
+        k: 4096,
+    };
     let bytes = shape.weight_bytes(2);
-    c.bench_function("gemm_cost_xpu", |b| b.iter(|| xpu.gemm_cost(black_box(shape), bytes)));
-    c.bench_function("gemm_cost_pim", |b| b.iter(|| pim.gemm_cost(black_box(shape), bytes)));
+    c.bench_function("gemm_cost_xpu", |b| {
+        b.iter(|| xpu.gemm_cost(black_box(shape), bytes))
+    });
+    c.bench_function("gemm_cost_pim", |b| {
+        b.iter(|| pim.gemm_cost(black_box(shape), bytes))
+    });
 }
 
 fn bench_routing(c: &mut Criterion) {

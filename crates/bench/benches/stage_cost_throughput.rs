@@ -24,9 +24,27 @@ fn advancing(ctx0: u64, batch: usize, prefill: Option<u64>) -> impl FnMut(u64) -
 fn bench_shape_classes(c: &mut Criterion) {
     let mut g = c.benchmark_group("stage_cost");
     let cases: [(&str, ModelConfig, SystemConfig, usize, Option<u64>); 3] = [
-        ("decode_only_mixtral_b64", ModelConfig::mixtral_8x7b(), SystemConfig::duplex_pe_et(4, 1), 64, None),
-        ("mixed_mixtral_b64", ModelConfig::mixtral_8x7b(), SystemConfig::duplex_pe_et(4, 1), 63, Some(2048)),
-        ("moe_heavy_glam_b128", ModelConfig::glam(), SystemConfig::duplex_pe_et(8, 1), 128, None),
+        (
+            "decode_only_mixtral_b64",
+            ModelConfig::mixtral_8x7b(),
+            SystemConfig::duplex_pe_et(4, 1),
+            64,
+            None,
+        ),
+        (
+            "mixed_mixtral_b64",
+            ModelConfig::mixtral_8x7b(),
+            SystemConfig::duplex_pe_et(4, 1),
+            63,
+            Some(2048),
+        ),
+        (
+            "moe_heavy_glam_b128",
+            ModelConfig::glam(),
+            SystemConfig::duplex_pe_et(8, 1),
+            128,
+            None,
+        ),
     ];
     for (name, model, system, batch, prefill) in cases {
         let mut ex = SystemExecutor::new(system, model, 7);
@@ -58,10 +76,7 @@ fn bench_fast_vs_reference(c: &mut Criterion) {
     g.bench_function("per_request_reference", |b| {
         b.iter(|| {
             stage += 1;
-            naive.stage_cost_reference(black_box(&StageShape::decode_only(&vec![
-                2048 + stage;
-                64
-            ])))
+            naive.stage_cost_reference(black_box(&StageShape::decode_only(&vec![2048 + stage; 64])))
         })
     });
     g.finish();

@@ -1,0 +1,107 @@
+//! Scenario-suite benchmark: runs the workload scenarios (bursty
+//! on/off traffic, diurnal rate curve, multi-turn chat with KV reuse,
+//! SLO-tiered mix, recorded-trace replay) end to end — scheduler,
+//! policy, KV accounting and incremental stage pricing — and reports
+//! both serving metrics (SLO attainment, goodput, prefix-reuse rate)
+//! and harness throughput (simulated stages per second of wall clock).
+//!
+//! Results print as a table and land in `BENCH_scenarios.json` next to
+//! `BENCH_stage_cost.json` / `BENCH_sim.json` so CI tracks the
+//! scenario path too.
+
+use std::time::Instant;
+
+use duplex::experiments::{run_scenario, scenario_suite, Scale};
+use duplex::model::ModelConfig;
+use duplex::sched::PolicyKind;
+use duplex::system::SystemConfig;
+use duplex_bench::print_table;
+
+fn main() {
+    let scale = duplex_bench::scale_from_args();
+    let quick = scale == Scale::quick();
+    let model = ModelConfig::mixtral_8x7b();
+    let system = SystemConfig::duplex_pe_et(4, 1);
+    let batch = 64usize;
+
+    let mut rows = Vec::new();
+    let mut json_entries = Vec::new();
+    for scenario in scenario_suite(&scale, &model, &system, batch) {
+        // The policy that matches the scenario's intent: EDF over the
+        // tiered mix, FCFS elsewhere.
+        let kind = if scenario.tiers.is_empty() {
+            PolicyKind::Fcfs
+        } else {
+            PolicyKind::PriorityTiers
+        };
+        let name = scenario.name.clone();
+        let tiered = !scenario.tiers.is_empty();
+        let mut policy = kind.build();
+        let start = Instant::now();
+        let report = run_scenario(&model, &system, scenario, policy.as_mut(), batch);
+        let wall_s = start.elapsed().as_secs_f64();
+        let stages = report.stage_stats.stages;
+        let stages_per_sec = stages as f64 / wall_s;
+        rows.push(vec![
+            name.clone(),
+            kind.name().into(),
+            report.completed.len().to_string(),
+            stages.to_string(),
+            format!("{wall_s:.3}"),
+            format!("{stages_per_sec:.0}"),
+            format!("{:.0}", report.generation_throughput()),
+            if tiered {
+                format!("{:.3}", report.slo_attainment())
+            } else {
+                "-".into()
+            },
+            if tiered {
+                format!("{:.0}", report.goodput_tokens_per_s())
+            } else {
+                "-".into()
+            },
+            format!("{:.3}", report.kv_reuse.reuse_fraction()),
+        ]);
+        json_entries.push(format!(
+            "    \"{}\": {{\"stages_per_sec\": {:.1}, \"wall_s\": {:.4}, \"stages\": {}, \"completed\": {}, \"sim_tokens_per_sec\": {:.1}, \"slo_attainment\": {:.4}, \"goodput_tokens_per_s\": {:.1}, \"kv_reuse_fraction\": {:.4}, \"policy\": \"{}\", \"model\": \"{}\", \"system\": \"{}\", \"batch\": {}}}",
+            name,
+            stages_per_sec,
+            wall_s,
+            stages,
+            report.completed.len(),
+            report.generation_throughput(),
+            report.slo_attainment(),
+            report.goodput_tokens_per_s(),
+            report.kv_reuse.reuse_fraction(),
+            kind.name(),
+            model.name,
+            system.name,
+            batch
+        ));
+    }
+    print_table(
+        "Scenario suite (scheduler + policy + KV reuse + incremental pricing)",
+        &[
+            "Scenario",
+            "Policy",
+            "Done",
+            "Stages",
+            "Wall s",
+            "stages/s",
+            "sim tok/s",
+            "SLO att.",
+            "Goodput",
+            "KV reuse",
+        ],
+        &rows,
+    );
+
+    let json = format!(
+        "{{\n  \"schema\": \"duplex-bench/scenarios/v1\",\n  \"mode\": \"{}\",\n  \"scenarios\": {{\n{}\n  }}\n}}\n",
+        if quick { "quick" } else { "paper" },
+        json_entries.join(",\n")
+    );
+    let path = "BENCH_scenarios.json";
+    std::fs::write(path, &json).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+    println!("\nwrote {path}");
+}

@@ -99,7 +99,12 @@ fn main() {
     let mut json_entries = Vec::new();
     for s in scenarios(quick) {
         let (report, wall_s) = run_scenario(&s);
-        assert_eq!(report.completed.len(), s.requests, "{}: all requests complete", s.name);
+        assert_eq!(
+            report.completed.len(),
+            s.requests,
+            "{}: all requests complete",
+            s.name
+        );
         let stages = report.stage_stats.stages;
         let stages_per_sec = stages as f64 / wall_s;
         let tokens_per_sec = report.generated_tokens() as f64 / wall_s;
@@ -128,7 +133,15 @@ fn main() {
     }
     print_table(
         "End-to-end simulation throughput (scheduler + incremental pricing)",
-        &["Scenario", "Model", "Requests", "Stages", "Wall s", "stages/s", "sim tokens/s"],
+        &[
+            "Scenario",
+            "Model",
+            "Requests",
+            "Stages",
+            "Wall s",
+            "stages/s",
+            "sim tokens/s",
+        ],
         &rows,
     );
 

@@ -95,7 +95,10 @@ fn measure_full(class: &ShapeClass, stages: u64) -> f64 {
 /// Price `stages` advancing stages through the incremental delta path
 /// (admit the cohort once, then pure advances) and return stages/s.
 fn measure_delta(class: &ShapeClass, stages: u64) -> f64 {
-    assert!(class.prefill.is_none(), "delta path is for decode-only classes");
+    assert!(
+        class.prefill.is_none(),
+        "delta path is for decode-only classes"
+    );
     let mut ex = SystemExecutor::new(class.system.clone(), class.model.clone(), 7);
     // Admit the cohort so it decodes from `start_ctx` onward, mirroring
     // the contexts the full-path measurement walks.

@@ -1,0 +1,97 @@
+//! The CI benchmark-regression gate (see `duplex_bench::regression`).
+//!
+//! ```text
+//! check_bench [--baseline ci/bench_baseline.json]
+//!             [--threshold 0.30]
+//!             [--report <name>=<path>]...
+//! ```
+//!
+//! Without `--report` flags it gates the default reports
+//! (`BENCH_stage_cost.json`, `BENCH_sim.json`, `BENCH_scenarios.json`)
+//! from the working directory; reports whose file is absent or that
+//! have no baseline section are skipped. Exits 1 when any baselined
+//! metric drops more than the threshold, printing a one-line-per-metric
+//! table either way.
+
+use duplex_bench::regression::{gate_reports, render_gate, DEFAULT_THRESHOLD};
+
+fn usage(bin: &str) -> ! {
+    eprintln!("usage: {bin} [--baseline <path>] [--threshold <frac>] [--report <name>=<path>]...");
+    std::process::exit(2);
+}
+
+fn main() {
+    let bin = std::env::args()
+        .next()
+        .unwrap_or_else(|| "check_bench".into());
+    let mut baseline_path = "ci/bench_baseline.json".to_string();
+    let mut threshold = DEFAULT_THRESHOLD;
+    let mut report_specs: Vec<(String, String)> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--baseline" => baseline_path = args.next().unwrap_or_else(|| usage(&bin)),
+            "--threshold" => {
+                let raw = args.next().unwrap_or_else(|| usage(&bin));
+                threshold = raw.parse().unwrap_or_else(|_| usage(&bin));
+                if !(0.0..1.0).contains(&threshold) {
+                    eprintln!("error: threshold must be in [0, 1)");
+                    std::process::exit(2);
+                }
+            }
+            "--report" => {
+                let spec = args.next().unwrap_or_else(|| usage(&bin));
+                let (name, path) = spec.split_once('=').unwrap_or_else(|| usage(&bin));
+                report_specs.push((name.to_string(), path.to_string()));
+            }
+            _ => usage(&bin),
+        }
+    }
+    if report_specs.is_empty() {
+        report_specs = [
+            ("BENCH_stage_cost", "BENCH_stage_cost.json"),
+            ("BENCH_sim", "BENCH_sim.json"),
+            ("BENCH_scenarios", "BENCH_scenarios.json"),
+        ]
+        .into_iter()
+        .map(|(n, p)| (n.to_string(), p.to_string()))
+        .collect();
+    }
+
+    let baseline = std::fs::read_to_string(&baseline_path).unwrap_or_else(|e| {
+        eprintln!("error: reading baseline {baseline_path}: {e}");
+        std::process::exit(2);
+    });
+    let mut reports: Vec<(&str, String)> = Vec::new();
+    for (name, path) in &report_specs {
+        match std::fs::read_to_string(path) {
+            Ok(text) => reports.push((name.as_str(), text)),
+            Err(e) => println!("skipping {name}: {path}: {e}"),
+        }
+    }
+
+    match gate_reports(&baseline, &reports) {
+        Ok(comparisons) if comparisons.is_empty() => {
+            println!("no baselined metrics found; nothing to gate");
+        }
+        Ok(comparisons) => {
+            let (table, failed) = render_gate(&comparisons, threshold);
+            print!("{table}");
+            if failed {
+                eprintln!(
+                    "benchmark regression: a metric dropped more than {:.0}% below baseline",
+                    threshold * 100.0
+                );
+                std::process::exit(1);
+            }
+            println!(
+                "benchmark gate passed (threshold {:.0}%)",
+                threshold * 100.0
+            );
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -9,6 +9,7 @@
 
 use duplex::experiments::Scale;
 
+pub mod regression;
 pub mod reports;
 
 /// Parse the common scale flags from an argument list: `--quick` for
@@ -35,7 +36,9 @@ pub fn scale_from_args() -> Scale {
     match parse_scale(std::env::args().skip(1)) {
         Ok(scale) => scale,
         Err(e) => {
-            let bin = std::env::args().next().unwrap_or_else(|| "duplex-bench".into());
+            let bin = std::env::args()
+                .next()
+                .unwrap_or_else(|| "duplex-bench".into());
             eprintln!("error: {e}");
             eprintln!("usage: {bin} [--quick | --paper]");
             eprintln!("  --quick  CI-sized sweep (sequence lengths / 8)");
@@ -59,7 +62,11 @@ pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
     let line = |cells: &[String]| {
         let mut s = String::new();
         for (i, cell) in cells.iter().enumerate() {
-            s.push_str(&format!("{:>width$}  ", cell, width = widths[i.min(widths.len() - 1)]));
+            s.push_str(&format!(
+                "{:>width$}  ",
+                cell,
+                width = widths[i.min(widths.len() - 1)]
+            ));
         }
         println!("{}", s.trim_end());
     };

@@ -1,0 +1,243 @@
+//! The CI benchmark-regression gate: compares the throughput metrics
+//! of freshly produced `BENCH_*.json` reports against committed
+//! baselines and fails on a drop beyond the threshold.
+//!
+//! Baselines live in `ci/bench_baseline.json` as
+//! `{"<file-stem>": {"<entry>": {"stages_per_sec": <f64>}}}` — the
+//! same entry names the bench binaries emit. Only metrics present in
+//! the baseline are gated, so adding a bench entry never breaks CI
+//! until a baseline is recorded for it. The threshold is generous
+//! (30% by default) because shared CI runners are noisy; the gate is
+//! for order-of-magnitude regressions of the fast paths, not for
+//! single-digit drift.
+
+use duplex::sched::json::{parse, JsonValue};
+
+/// Default allowed fractional drop before the gate fails.
+pub const DEFAULT_THRESHOLD: f64 = 0.30;
+
+/// One gated metric's comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Comparison {
+    /// `<report>/<entry>/<metric>`.
+    pub key: String,
+    /// Committed baseline value.
+    pub baseline: f64,
+    /// Freshly measured value.
+    pub current: f64,
+}
+
+impl Comparison {
+    /// current / baseline (0 when the baseline is 0).
+    pub fn ratio(&self) -> f64 {
+        if self.baseline == 0.0 {
+            return 0.0;
+        }
+        self.current / self.baseline
+    }
+
+    /// Whether this metric regressed beyond `threshold` (a fractional
+    /// drop: 0.30 fails below 70% of baseline). Higher is better for
+    /// every gated metric.
+    pub fn regressed(&self, threshold: f64) -> bool {
+        self.ratio() < 1.0 - threshold
+    }
+}
+
+/// Compare one report document against its baseline section: for every
+/// `(entry, metric)` leaf in the baseline, look up the same path under
+/// the report's `classes`/`scenarios` map and pair the values.
+///
+/// # Errors
+///
+/// Returns a message when a baselined entry or metric is missing from
+/// the report — a silently dropped benchmark must fail the gate too.
+pub fn compare_report(
+    report_name: &str,
+    baseline: &JsonValue,
+    report: &JsonValue,
+) -> Result<Vec<Comparison>, String> {
+    let entries = report
+        .get("classes")
+        .or_else(|| report.get("scenarios"))
+        .ok_or_else(|| format!("{report_name}: no `classes`/`scenarios` section"))?;
+    let base_entries = baseline
+        .as_object()
+        .ok_or_else(|| format!("{report_name}: baseline section is not an object"))?;
+    let mut comparisons = Vec::new();
+    for (entry_name, base_metrics) in base_entries {
+        let current_entry = entries
+            .get(entry_name)
+            .ok_or_else(|| format!("{report_name}: entry `{entry_name}` missing from report"))?;
+        let metrics = base_metrics
+            .as_object()
+            .ok_or_else(|| format!("{report_name}/{entry_name}: baseline must be an object"))?;
+        for (metric, base_value) in metrics {
+            let baseline_value = base_value
+                .as_f64()
+                .ok_or_else(|| format!("{report_name}/{entry_name}/{metric}: non-numeric"))?;
+            let current = current_entry
+                .get(metric)
+                .and_then(JsonValue::as_f64)
+                .ok_or_else(|| {
+                    format!("{report_name}/{entry_name}: metric `{metric}` missing from report")
+                })?;
+            comparisons.push(Comparison {
+                key: format!("{report_name}/{entry_name}/{metric}"),
+                baseline: baseline_value,
+                current,
+            });
+        }
+    }
+    Ok(comparisons)
+}
+
+/// Gate a set of `(report name, report text)` pairs against a baseline
+/// document. Returns all comparisons; the caller renders them and
+/// checks [`Comparison::regressed`].
+///
+/// # Errors
+///
+/// Propagates JSON and missing-entry errors as messages.
+pub fn gate_reports(
+    baseline_text: &str,
+    reports: &[(&str, String)],
+) -> Result<Vec<Comparison>, String> {
+    let baseline = parse(baseline_text).map_err(|e| format!("baseline: {e}"))?;
+    let mut all = Vec::new();
+    for (name, text) in reports {
+        let Some(section) = baseline.get(name) else {
+            continue; // no baseline recorded for this report yet
+        };
+        let report = parse(text).map_err(|e| format!("{name}: {e}"))?;
+        all.extend(compare_report(name, section, &report)?);
+    }
+    Ok(all)
+}
+
+/// Render the one-line-per-metric gate table and return whether any
+/// metric regressed beyond `threshold`.
+pub fn render_gate(comparisons: &[Comparison], threshold: f64) -> (String, bool) {
+    let mut out = String::new();
+    let mut failed = false;
+    let width = comparisons
+        .iter()
+        .map(|c| c.key.len())
+        .max()
+        .unwrap_or(10)
+        .max(10);
+    out.push_str(&format!(
+        "{:<width$}  {:>14}  {:>14}  {:>7}  verdict\n",
+        "metric", "baseline", "current", "ratio"
+    ));
+    for c in comparisons {
+        let regressed = c.regressed(threshold);
+        failed |= regressed;
+        out.push_str(&format!(
+            "{:<width$}  {:>14.1}  {:>14.1}  {:>6.2}x  {}\n",
+            c.key,
+            c.baseline,
+            c.current,
+            c.ratio(),
+            if regressed { "REGRESSED" } else { "ok" }
+        ));
+    }
+    (out, failed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const BASELINE: &str = r#"{
+        "BENCH_stage_cost": {
+            "decode_only_delta": {"stages_per_sec": 1000.0},
+            "moe_heavy": {"stages_per_sec": 600.0}
+        },
+        "BENCH_sim": {
+            "open_loop_1m": {"stages_per_sec": 90.0}
+        }
+    }"#;
+
+    fn stage_cost_report(delta: f64, moe: f64) -> String {
+        format!(
+            r#"{{"schema": "x", "classes": {{
+                "decode_only_delta": {{"stages_per_sec": {delta}}},
+                "moe_heavy": {{"stages_per_sec": {moe}}},
+                "unbaselined_extra": {{"stages_per_sec": 1.0}}
+            }}}}"#
+        )
+    }
+
+    #[test]
+    fn healthy_numbers_pass() {
+        let reports = vec![
+            ("BENCH_stage_cost", stage_cost_report(950.0, 800.0)),
+            (
+                "BENCH_sim",
+                r#"{"scenarios": {"open_loop_1m": {"stages_per_sec": 91.5}}}"#.into(),
+            ),
+        ];
+        let cmp = gate_reports(BASELINE, &reports).expect("valid");
+        assert_eq!(cmp.len(), 3);
+        let (table, failed) = render_gate(&cmp, DEFAULT_THRESHOLD);
+        assert!(!failed, "{table}");
+        assert!(table.contains("ok"));
+        assert!(!table.contains("REGRESSED"));
+    }
+
+    #[test]
+    fn degraded_metric_fails_the_gate() {
+        // 60% drop on the delta path: well past the 30% threshold.
+        let reports = vec![("BENCH_stage_cost", stage_cost_report(400.0, 610.0))];
+        let cmp = gate_reports(BASELINE, &reports).expect("valid");
+        let (table, failed) = render_gate(&cmp, DEFAULT_THRESHOLD);
+        assert!(failed, "{table}");
+        assert!(table.contains("REGRESSED"));
+        // The healthy metric still renders as ok.
+        assert!(table.contains("ok"));
+    }
+
+    #[test]
+    fn threshold_is_respected_at_the_boundary() {
+        let c = Comparison {
+            key: "k".into(),
+            baseline: 100.0,
+            current: 71.0,
+        };
+        assert!(!c.regressed(0.30));
+        let c = Comparison {
+            key: "k".into(),
+            baseline: 100.0,
+            current: 69.0,
+        };
+        assert!(c.regressed(0.30));
+    }
+
+    #[test]
+    fn missing_baselined_entry_errors() {
+        let reports = vec![(
+            "BENCH_stage_cost",
+            r#"{"classes": {"moe_heavy": {"stages_per_sec": 1.0}}}"#.into(),
+        )];
+        let err = gate_reports(BASELINE, &reports).expect_err("missing entry");
+        assert!(err.contains("decode_only_delta"), "{err}");
+    }
+
+    #[test]
+    fn reports_without_baseline_sections_are_skipped() {
+        let reports = vec![("BENCH_scenarios", r#"{"scenarios": {}}"#.into())];
+        let cmp = gate_reports(BASELINE, &reports).expect("valid");
+        assert!(cmp.is_empty());
+    }
+
+    #[test]
+    fn improvements_never_fail() {
+        let c = Comparison {
+            key: "k".into(),
+            baseline: 100.0,
+            current: 5000.0,
+        };
+        assert!(!c.regressed(DEFAULT_THRESHOLD));
+    }
+}

@@ -21,16 +21,31 @@ pub fn table1_models() {
                 r.hidden.to_string(),
                 r.intermediate.to_string(),
                 r.heads.to_string(),
-                if r.deg_grp == 1 { "1 (MHA)".into() } else { format!("{} (GQA)", r.deg_grp) },
-                if r.n_experts == 0 { "-".into() } else { r.n_experts.to_string() },
-                if r.top_k == 0 { "-".into() } else { r.top_k.to_string() },
+                if r.deg_grp == 1 {
+                    "1 (MHA)".into()
+                } else {
+                    format!("{} (GQA)", r.deg_grp)
+                },
+                if r.n_experts == 0 {
+                    "-".into()
+                } else {
+                    r.n_experts.to_string()
+                },
+                if r.top_k == 0 {
+                    "-".into()
+                } else {
+                    r.top_k.to_string()
+                },
                 format!("{} KiB", r.kv_bytes_per_token >> 10),
             ]
         })
         .collect();
     print_table(
         "Table I: model configurations",
-        &["Model", "Param", "#layer", "Hidden", "Interm.", "#head", "deg_grp", "Nex", "top-k", "KV/token"],
+        &[
+            "Model", "Param", "#layer", "Hidden", "Interm.", "#head", "deg_grp", "Nex", "top-k",
+            "KV/token",
+        ],
         &rows,
     );
 }
@@ -39,17 +54,36 @@ pub fn table1_models() {
 pub fn area_table() {
     let a = AreaModel::micro24();
     let rows = vec![
-        vec!["32 GEMM modules (512 MACs + 8 KB buffer each)".to_string(), format!("{:.2}", a.logic_pim_gemm_mm2)],
-        vec!["2 x 1 MB input/temporal buffers".to_string(), format!("{:.2}", a.logic_pim_buffers_mm2)],
-        vec!["Softmax unit (cmp tree, exp, dividers, 128 KB)".to_string(), format!("{:.2}", a.logic_pim_softmax_mm2)],
-        vec!["Added TSVs (4x per channel, 22 um pitch)".to_string(), format!("{:.2}", a.logic_pim_tsv_mm2)],
-        vec!["Total per Logic-PIM stack".to_string(), format!("{:.2}", a.logic_pim_total_mm2())],
+        vec![
+            "32 GEMM modules (512 MACs + 8 KB buffer each)".to_string(),
+            format!("{:.2}", a.logic_pim_gemm_mm2),
+        ],
+        vec![
+            "2 x 1 MB input/temporal buffers".to_string(),
+            format!("{:.2}", a.logic_pim_buffers_mm2),
+        ],
+        vec![
+            "Softmax unit (cmp tree, exp, dividers, 128 KB)".to_string(),
+            format!("{:.2}", a.logic_pim_softmax_mm2),
+        ],
+        vec![
+            "Added TSVs (4x per channel, 22 um pitch)".to_string(),
+            format!("{:.2}", a.logic_pim_tsv_mm2),
+        ],
+        vec![
+            "Total per Logic-PIM stack".to_string(),
+            format!("{:.2}", a.logic_pim_total_mm2()),
+        ],
         vec![
             "Fraction of 121 mm^2 HBM3 logic die".to_string(),
             format!("{:.2}%", 100.0 * a.logic_pim_overhead_fraction()),
         ],
     ];
-    print_table("Sec. VII-E: Logic-PIM area overhead (mm^2)", &["Component", "Area"], &rows);
+    print_table(
+        "Sec. VII-E: Logic-PIM area overhead (mm^2)",
+        &["Component", "Area"],
+        &rows,
+    );
 }
 
 /// Fig. 4: stage time breakdown and roofline coordinates.
@@ -73,7 +107,9 @@ pub fn fig04(scale: &Scale) {
         .collect();
     print_table(
         "Fig. 4(a): GPU-system time breakdown (fractions)",
-        &["Model", "Batch", "Lout", "Stage", "FC", "Attn(P)", "Attn(D)", "MoE", "Comm", "ms"],
+        &[
+            "Model", "Batch", "Lout", "Stage", "FC", "Attn(P)", "Attn(D)", "MoE", "Comm", "ms",
+        ],
         &rows,
     );
 
@@ -132,7 +168,9 @@ pub fn fig05(scale: &Scale) {
     }
     print_table(
         "Fig. 5(b): hetero latency normalized to 4-GPU (Mixtral, batch 32)",
-        &["Lin", "Lout", "TBT p50", "TBT p90", "TBT p99", "T2FT p50", "E2E p50"],
+        &[
+            "Lin", "Lout", "TBT p50", "TBT p90", "TBT p99", "T2FT p50", "E2E p50",
+        ],
         &rows,
     );
 
@@ -150,7 +188,13 @@ pub fn fig05(scale: &Scale) {
         .collect();
     print_table(
         "Fig. 5(c): hetero throughput normalized to GPU (Mixtral, batch 128)",
-        &["Lin", "Lout", "Throughput", "No-capacity-limit", "Hetero batch"],
+        &[
+            "Lin",
+            "Lout",
+            "Throughput",
+            "No-capacity-limit",
+            "Hetero batch",
+        ],
         &rows,
     );
 }
@@ -193,7 +237,14 @@ fn print_throughput(title: &str, rows: Vec<experiments::ThroughputRow>) {
         .collect();
     print_table(
         title,
-        &["Model", "Batch", "(Lin, Lout)", "System", "tokens/s", "Normalized"],
+        &[
+            "Model",
+            "Batch",
+            "(Lin, Lout)",
+            "System",
+            "tokens/s",
+            "Normalized",
+        ],
         &table,
     );
 }
@@ -224,7 +275,15 @@ pub fn fig12(scale: &Scale) {
         .collect();
     print_table(
         "Fig. 12: GLaM latency, batch 64 (TBT/T2FT in ms, E2E in s)",
-        &["(Lin, Lout)", "System", "TBT p50", "TBT p90", "TBT p99", "T2FT p50", "E2E p50 (s)"],
+        &[
+            "(Lin, Lout)",
+            "System",
+            "TBT p50",
+            "TBT p90",
+            "TBT p99",
+            "T2FT p50",
+            "E2E p50 (s)",
+        ],
         &table,
     );
 }
@@ -247,7 +306,15 @@ pub fn fig13(scale: &Scale) {
         .collect();
     print_table(
         "Fig. 13: latency vs QPS, Mixtral (4096, 512), max batch 128",
-        &["QPS", "System", "TBT p50", "TBT p90", "TBT p99", "T2FT p50 (s)", "E2E p50 (s)"],
+        &[
+            "QPS",
+            "System",
+            "TBT p50",
+            "TBT p90",
+            "TBT p99",
+            "T2FT p50 (s)",
+            "E2E p50 (s)",
+        ],
         &table,
     );
 }
@@ -286,8 +353,17 @@ pub fn fig15(scale: &Scale) {
     print_table(
         "Fig. 15: energy per generated token (mJ; last column normalized to GPU)",
         &[
-            "Model", "Batch", "(Lin, Lout)", "System", "FC-D", "FC-C", "Att-D", "Att-C",
-            "MoE-D", "MoE-C", "Norm",
+            "Model",
+            "Batch",
+            "(Lin, Lout)",
+            "System",
+            "FC-D",
+            "FC-C",
+            "Att-D",
+            "Att-C",
+            "MoE-D",
+            "MoE-C",
+            "Norm",
         ],
         &table,
     );
@@ -314,12 +390,60 @@ pub fn fig16(scale: &Scale) {
     }
     print_table(
         "Fig. 16: Duplex vs Duplex-Split (TBT ms, T2FT/E2E s, throughput normalized)",
-        &["(Lin, Lout)", "System", "TBT p50", "TBT p90", "TBT p99", "T2FT p50", "E2E p50", "Tput"],
+        &[
+            "(Lin, Lout)",
+            "System",
+            "TBT p50",
+            "TBT p90",
+            "TBT p99",
+            "T2FT p50",
+            "E2E p50",
+            "Tput",
+        ],
         &table,
     );
 }
 
-/// Every figure and table, in paper order, in this process.
+/// The scenario-suite sweep: every scenario under every policy, with
+/// SLO attainment, goodput and prefix-reuse rates (beyond the paper;
+/// see `duplex::experiments::scenarios`).
+pub fn scenarios(scale: &Scale) {
+    let table: Vec<Vec<String>> = experiments::scenarios(scale)
+        .into_iter()
+        .map(|r| {
+            vec![
+                r.scenario,
+                r.policy,
+                r.completed.to_string(),
+                format!("{:.0}", r.throughput),
+                if r.tiered {
+                    format!("{:.3}", r.attainment)
+                } else {
+                    "-".into()
+                },
+                if r.tiered {
+                    format!("{:.0}", r.goodput)
+                } else {
+                    "-".into()
+                },
+                ms(r.tbt_p99),
+                ms(r.t2ft_p50),
+                ratio(r.kv_reuse_fraction),
+            ]
+        })
+        .collect();
+    print_table(
+        "Scenario suite: Mixtral on Duplex+PE+ET, batch 64 (TBT/T2FT in ms)",
+        &[
+            "Scenario", "Policy", "Done", "tokens/s", "SLO att.", "Goodput", "TBT p99", "T2FT p50",
+            "KV reuse",
+        ],
+        &table,
+    );
+}
+
+/// Every figure and table, in paper order, in this process, plus the
+/// scenario suite.
 pub fn run_all(scale: &Scale) {
     table1_models();
     area_table();
@@ -332,4 +456,5 @@ pub fn run_all(scale: &Scale) {
     fig14(scale);
     fig15(scale);
     fig16(scale);
+    scenarios(scale);
 }

@@ -129,7 +129,11 @@ mod tests {
 
     #[test]
     fn edap_multiplies() {
-        let e = Edap { energy_j: 2.0, delay_s: 3.0, area_mm2: 4.0 };
+        let e = Edap {
+            energy_j: 2.0,
+            delay_s: 3.0,
+            area_mm2: 4.0,
+        };
         assert_eq!(e.value(), 24.0);
     }
 

@@ -41,7 +41,8 @@ use crate::spec::EngineSpec;
 /// per access path; doing that once is plenty).
 pub fn default_profile() -> &'static BandwidthProfile {
     static PROFILE: OnceLock<BandwidthProfile> = OnceLock::new();
-    PROFILE.get_or_init(|| BandwidthProfile::calibrate(&HbmGeometry::hbm3_8hi(), &HbmTiming::hbm3()))
+    PROFILE
+        .get_or_init(|| BandwidthProfile::calibrate(&HbmGeometry::hbm3_8hi(), &HbmTiming::hbm3()))
 }
 
 /// Cost of running one or more kernels on an engine.
@@ -235,7 +236,10 @@ impl Engine {
     /// an engine may only touch a subset of the bank bundles during
     /// co-processing, or a tensor-parallel shard of the device).
     pub fn with_bandwidth_fraction(&self, fraction: f64) -> Engine {
-        assert!(fraction > 0.0 && fraction <= 1.0, "fraction must be in (0, 1]");
+        assert!(
+            fraction > 0.0 && fraction <= 1.0,
+            "fraction must be in (0, 1]"
+        );
         let mut e = self.clone();
         e.bytes_per_sec *= fraction;
         e.inv_bytes_per_sec = e.bytes_per_sec.recip();
@@ -245,7 +249,10 @@ impl Engine {
     /// Scale compute and bandwidth together (a tensor-parallel slice of
     /// the engine across devices is priced on one device's slice).
     pub fn with_resource_fraction(&self, fraction: f64) -> Engine {
-        assert!(fraction > 0.0 && fraction <= 1.0, "fraction must be in (0, 1]");
+        assert!(
+            fraction > 0.0 && fraction <= 1.0,
+            "fraction must be in (0, 1]"
+        );
         let mut e = self.clone();
         e.bytes_per_sec *= fraction;
         e.inv_bytes_per_sec = e.bytes_per_sec.recip();
@@ -263,7 +270,10 @@ impl Engine {
     /// kernel (per-request attention within a layer, grouped expert
     /// GEMMs) and add the overhead once at the batch level.
     pub fn gemm_cost_amortized(&self, shape: GemmShape, dram_bytes: u64) -> KernelCost {
-        self.without_overhead(self.gemm_cost(shape, dram_bytes), shape.m * shape.n * shape.k)
+        self.without_overhead(
+            self.gemm_cost(shape, dram_bytes),
+            shape.m * shape.n * shape.k,
+        )
     }
 
     /// Price one kernel without the launch overhead (see
@@ -375,11 +385,17 @@ impl Engine {
                 let seconds = *bytes as f64 * self.inv_bytes_per_sec + self.spec.launch_overhead_s;
                 let path = self.spec.kind.access_path();
                 let dram_energy = if *write {
-                    self.dram.write_energy(path, *bytes, self.activations_per_byte)
+                    self.dram
+                        .write_energy(path, *bytes, self.activations_per_byte)
                 } else {
-                    self.dram.read_energy(path, *bytes, self.activations_per_byte)
+                    self.dram
+                        .read_energy(path, *bytes, self.activations_per_byte)
                 };
-                KernelCost { seconds, dram_energy, compute_j: 0.0 }
+                KernelCost {
+                    seconds,
+                    dram_energy,
+                    compute_j: 0.0,
+                }
             }
         }
     }
@@ -401,7 +417,9 @@ impl Engine {
     /// with it. Results match [`Engine::kernel_cost_amortized_uncached`]
     /// to floating-point associativity (~1 ulp).
     pub fn amortized_gemm_pricer(&self, m: u64) -> AmortizedGemmPricer {
-        let unit = self.dram.read_energy(self.spec.kind.access_path(), 1, self.activations_per_byte);
+        let unit =
+            self.dram
+                .read_energy(self.spec.kind.access_path(), 1, self.activations_per_byte);
         AmortizedGemmPricer {
             inv_eff_flops: self.spec.effective_flops(m).recip(),
             inv_bytes_per_sec: self.inv_bytes_per_sec,
@@ -461,7 +479,11 @@ mod tests {
         // Batch-8 expert GEMM: Op/B 8 << the xPU's machine balance
         // (989 TFLOPS / 3.3 TB/s ~ 300).
         let xpu = Engine::h100_xpu();
-        let shape = GemmShape { m: 8, n: 14336, k: 4096 };
+        let shape = GemmShape {
+            m: 8,
+            n: 14336,
+            k: 4096,
+        };
         let bytes = shape.weight_bytes(2);
         let cost = xpu.gemm_cost(shape, bytes);
         let memory_s = bytes as f64 / xpu.bytes_per_sec();
@@ -472,7 +494,11 @@ mod tests {
     fn prefill_gemm_is_compute_bound_on_logic_pim() {
         // 2048 prefill tokens: Op/B 2048 >> Logic-PIM's balance of 8.
         let pim = Engine::logic_pim();
-        let shape = GemmShape { m: 2048, n: 14336, k: 4096 };
+        let shape = GemmShape {
+            m: 2048,
+            n: 14336,
+            k: 4096,
+        };
         let bytes = shape.weight_bytes(2);
         let cost = pim.gemm_cost(shape, bytes);
         let compute_s = shape.flops() / pim.spec().effective_flops(shape.m);
@@ -483,8 +509,16 @@ mod tests {
     fn pim_wins_low_op_b_xpu_wins_high_op_b() {
         let xpu = Engine::h100_xpu();
         let pim = Engine::logic_pim();
-        let low = GemmShape { m: 4, n: 14336, k: 4096 };
-        let high = GemmShape { m: 4096, n: 14336, k: 4096 };
+        let low = GemmShape {
+            m: 4,
+            n: 14336,
+            k: 4096,
+        };
+        let high = GemmShape {
+            m: 4096,
+            n: 14336,
+            k: 4096,
+        };
         assert!(
             pim.gemm_cost(low, low.weight_bytes(2)).seconds
                 < xpu.gemm_cost(low, low.weight_bytes(2)).seconds
@@ -504,7 +538,11 @@ mod tests {
         let pim = Engine::logic_pim();
         let mut crossover = None;
         for m in 1..4096u64 {
-            let g = GemmShape { m, n: 16384, k: 4096 };
+            let g = GemmShape {
+                m,
+                n: 16384,
+                k: 4096,
+            };
             let b = g.weight_bytes(2);
             if xpu.gemm_cost(g, b).seconds <= pim.gemm_cost(g, b).seconds {
                 crossover = Some(m);
@@ -518,11 +556,30 @@ mod tests {
     #[test]
     fn zero_work_costs_nothing() {
         let xpu = Engine::h100_xpu();
-        assert_eq!(xpu.gemm_cost(GemmShape { m: 0, n: 4096, k: 4096 }, 0), KernelCost::zero());
-        assert_eq!(xpu.kernel_cost(&Kernel::Softmax { rows: 0, cols: 64 }), KernelCost::zero());
-        assert_eq!(xpu.kernel_cost(&Kernel::Elementwise { elems: 0 }), KernelCost::zero());
         assert_eq!(
-            xpu.kernel_cost(&Kernel::Stream { bytes: 0, write: true }),
+            xpu.gemm_cost(
+                GemmShape {
+                    m: 0,
+                    n: 4096,
+                    k: 4096
+                },
+                0
+            ),
+            KernelCost::zero()
+        );
+        assert_eq!(
+            xpu.kernel_cost(&Kernel::Softmax { rows: 0, cols: 64 }),
+            KernelCost::zero()
+        );
+        assert_eq!(
+            xpu.kernel_cost(&Kernel::Elementwise { elems: 0 }),
+            KernelCost::zero()
+        );
+        assert_eq!(
+            xpu.kernel_cost(&Kernel::Stream {
+                bytes: 0,
+                write: true
+            }),
             KernelCost::zero()
         );
     }
@@ -530,11 +587,21 @@ mod tests {
     #[test]
     fn costs_compose() {
         let xpu = Engine::h100_xpu();
-        let g = GemmShape { m: 16, n: 4096, k: 4096 };
+        let g = GemmShape {
+            m: 16,
+            n: 4096,
+            k: 4096,
+        };
         let one = xpu.gemm_cost(g, g.weight_bytes(2));
         let kernels = [
-            Kernel::Gemm { shape: g, dram_bytes: g.weight_bytes(2) },
-            Kernel::Gemm { shape: g, dram_bytes: g.weight_bytes(2) },
+            Kernel::Gemm {
+                shape: g,
+                dram_bytes: g.weight_bytes(2),
+            },
+            Kernel::Gemm {
+                shape: g,
+                dram_bytes: g.weight_bytes(2),
+            },
         ];
         let two = xpu.sequence_cost(&kernels);
         assert!((two.seconds - 2.0 * one.seconds).abs() < 1e-12);
@@ -544,7 +611,11 @@ mod tests {
     #[test]
     fn scaled_multiplies_every_component() {
         let xpu = Engine::h100_xpu();
-        let g = GemmShape { m: 16, n: 4096, k: 4096 };
+        let g = GemmShape {
+            m: 16,
+            n: 4096,
+            k: 4096,
+        };
         let one = xpu.gemm_cost(g, g.weight_bytes(2));
         let three = one.scaled(3.0);
         assert!((three.seconds - 3.0 * one.seconds).abs() < 1e-15);
@@ -553,8 +624,16 @@ mod tests {
 
     #[test]
     fn alongside_takes_max_time_and_sums_energy() {
-        let a = KernelCost { seconds: 2.0, dram_energy: Default::default(), compute_j: 1.0 };
-        let b = KernelCost { seconds: 3.0, dram_energy: Default::default(), compute_j: 2.0 };
+        let a = KernelCost {
+            seconds: 2.0,
+            dram_energy: Default::default(),
+            compute_j: 1.0,
+        };
+        let b = KernelCost {
+            seconds: 3.0,
+            dram_energy: Default::default(),
+            compute_j: 2.0,
+        };
         let c = a.alongside(b);
         assert_eq!(c.seconds, 3.0);
         assert_eq!(c.compute_j, 3.0);
@@ -564,7 +643,11 @@ mod tests {
     fn bandwidth_fraction_scales_memory_time() {
         let pim = Engine::logic_pim();
         let half = pim.with_bandwidth_fraction(0.5);
-        let g = GemmShape { m: 1, n: 14336, k: 4096 };
+        let g = GemmShape {
+            m: 1,
+            n: 14336,
+            k: 4096,
+        };
         let b = g.weight_bytes(2);
         let full_t = pim.gemm_cost(g, b).seconds - pim.spec().launch_overhead_s;
         let half_t = half.gemm_cost(g, b).seconds - half.spec().launch_overhead_s;
@@ -575,18 +658,29 @@ mod tests {
     fn engine_kinds_price_energy_differently() {
         let xpu = Engine::h100_xpu();
         let pim = Engine::logic_pim();
-        let g = GemmShape { m: 64, n: 4096, k: 4096 };
+        let g = GemmShape {
+            m: 64,
+            n: 4096,
+            k: 4096,
+        };
         let b = g.weight_bytes(2);
         let ex = xpu.gemm_cost(g, b);
         let ep = pim.gemm_cost(g, b);
-        assert!(ep.total_energy_j() < ex.total_energy_j(), "PIM path must save energy");
+        assert!(
+            ep.total_energy_j() < ex.total_energy_j(),
+            "PIM path must save energy"
+        );
         assert_eq!(xpu.spec().kind, EngineKind::Xpu);
     }
 
     #[test]
     fn repeated_pricings_hit_the_cache() {
         let xpu = Engine::h100_xpu();
-        let g = GemmShape { m: 8, n: 14336, k: 4096 };
+        let g = GemmShape {
+            m: 8,
+            n: 14336,
+            k: 4096,
+        };
         let first = xpu.gemm_cost(g, g.weight_bytes(2));
         let (h0, m0) = xpu.cache_stats();
         assert_eq!(h0, 0);
@@ -602,23 +696,47 @@ mod tests {
     #[test]
     fn rescaled_engines_start_with_a_cold_correct_cache() {
         let pim = Engine::logic_pim();
-        let g = GemmShape { m: 1, n: 14336, k: 4096 };
+        let g = GemmShape {
+            m: 1,
+            n: 14336,
+            k: 4096,
+        };
         let b = g.weight_bytes(2);
         let full = pim.gemm_cost(g, b);
         let half = pim.with_bandwidth_fraction(0.5);
-        assert_eq!(half.cache_stats(), (0, 0), "clone must not inherit the cache");
+        assert_eq!(
+            half.cache_stats(),
+            (0, 0),
+            "clone must not inherit the cache"
+        );
         let halved = half.gemm_cost(g, b);
-        assert!(halved.seconds > full.seconds, "half bandwidth must not reuse stale prices");
+        assert!(
+            halved.seconds > full.seconds,
+            "half bandwidth must not reuse stale prices"
+        );
     }
 
     #[test]
     fn clearing_the_cache_keeps_prices_identical() {
         let xpu = Engine::h100_xpu();
         let kernels = [
-            Kernel::Gemm { shape: GemmShape { m: 4, n: 4096, k: 4096 }, dram_bytes: 1 << 24 },
-            Kernel::Softmax { rows: 128, cols: 2048 },
+            Kernel::Gemm {
+                shape: GemmShape {
+                    m: 4,
+                    n: 4096,
+                    k: 4096,
+                },
+                dram_bytes: 1 << 24,
+            },
+            Kernel::Softmax {
+                rows: 128,
+                cols: 2048,
+            },
             Kernel::Elementwise { elems: 1 << 20 },
-            Kernel::Stream { bytes: 1 << 22, write: true },
+            Kernel::Stream {
+                bytes: 1 << 22,
+                write: true,
+            },
         ];
         let before: Vec<KernelCost> = kernels.iter().map(|k| xpu.kernel_cost(k)).collect();
         xpu.clear_price_cache();
@@ -635,10 +753,15 @@ mod tests {
                 let shape = GemmShape { m, n: ctx, k: 128 };
                 let bytes = 2 * ctx * 128 * 8;
                 let fast = pricer.price(shape.flops(), bytes);
-                let generic = engine
-                    .kernel_cost_amortized_uncached(&Kernel::Gemm { shape, dram_bytes: bytes });
+                let generic = engine.kernel_cost_amortized_uncached(&Kernel::Gemm {
+                    shape,
+                    dram_bytes: bytes,
+                });
                 let rel = |a: f64, b: f64| (a - b).abs() / a.abs().max(b.abs()).max(1e-300);
-                assert!(rel(fast.seconds, generic.seconds) < 1e-9, "seconds at ctx {ctx}");
+                assert!(
+                    rel(fast.seconds, generic.seconds) < 1e-9,
+                    "seconds at ctx {ctx}"
+                );
                 assert!(
                     rel(fast.total_energy_j(), generic.total_energy_j()) < 1e-9,
                     "energy at ctx {ctx}"
@@ -650,8 +773,14 @@ mod tests {
     #[test]
     fn stream_write_costs_more_energy_than_read() {
         let pim = Engine::logic_pim();
-        let r = pim.kernel_cost(&Kernel::Stream { bytes: 1 << 20, write: false });
-        let w = pim.kernel_cost(&Kernel::Stream { bytes: 1 << 20, write: true });
+        let r = pim.kernel_cost(&Kernel::Stream {
+            bytes: 1 << 20,
+            write: false,
+        });
+        let w = pim.kernel_cost(&Kernel::Stream {
+            bytes: 1 << 20,
+            write: true,
+        });
         assert!(w.total_energy_j() > r.total_energy_j());
         assert_eq!(w.seconds, r.seconds);
     }

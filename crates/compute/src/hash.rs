@@ -91,8 +91,14 @@ mod tests {
     fn fast_map_works_with_enum_keys() {
         use crate::kernel::{GemmShape, Kernel};
         let mut m: FastMap<Kernel, u32> = FastMap::default();
-        let k1 = Kernel::Gemm { shape: GemmShape { m: 1, n: 2, k: 3 }, dram_bytes: 4 };
-        let k2 = Kernel::Stream { bytes: 4, write: false };
+        let k1 = Kernel::Gemm {
+            shape: GemmShape { m: 1, n: 2, k: 3 },
+            dram_bytes: 4,
+        };
+        let k2 = Kernel::Stream {
+            bytes: 4,
+            write: false,
+        };
         m.insert(k1, 1);
         m.insert(k2, 2);
         assert_eq!(m.get(&k1), Some(&1));

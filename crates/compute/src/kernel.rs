@@ -126,7 +126,11 @@ mod tests {
     fn expert_gemm_op_b_tracks_token_count() {
         // Paper Sec. III-A: an expert processing t tokens has Op/B ~ t.
         for t in [1u64, 4, 17, 64] {
-            let g = GemmShape { m: t, n: 14336, k: 4096 };
+            let g = GemmShape {
+                m: t,
+                n: 14336,
+                k: 4096,
+            };
             assert!((g.op_b(2) - t as f64).abs() < 1e-9);
         }
     }
@@ -138,7 +142,11 @@ mod tests {
         let deg = 4u64;
         let d_head = 128u64;
         let ctx = 2048u64;
-        let score = GemmShape { m: deg, n: ctx, k: d_head };
+        let score = GemmShape {
+            m: deg,
+            n: ctx,
+            k: d_head,
+        };
         let k_bytes = ctx * d_head * 2;
         let op_b = score.flops() / k_bytes as f64;
         assert!((op_b - deg as f64).abs() < 1e-9);
@@ -154,19 +162,28 @@ mod tests {
 
     #[test]
     fn kernel_accessors() {
-        let k = Kernel::Gemm { shape: GemmShape { m: 1, n: 2, k: 3 }, dram_bytes: 12 };
+        let k = Kernel::Gemm {
+            shape: GemmShape { m: 1, n: 2, k: 3 },
+            dram_bytes: 12,
+        };
         assert_eq!(k.dram_bytes(), 12);
         assert_eq!(k.flops(), 12.0);
         assert_eq!(k.op_b(), Some(1.0));
 
-        let s = Kernel::Softmax { rows: 10, cols: 100 };
+        let s = Kernel::Softmax {
+            rows: 10,
+            cols: 100,
+        };
         assert_eq!(s.flops(), 5000.0);
         assert_eq!(s.op_b(), None);
 
         let e = Kernel::Elementwise { elems: 8 };
         assert_eq!(e.flops(), 16.0);
 
-        let st = Kernel::Stream { bytes: 64, write: false };
+        let st = Kernel::Stream {
+            bytes: 64,
+            write: false,
+        };
         assert_eq!(st.flops(), 0.0);
         assert_eq!(st.dram_bytes(), 64);
     }

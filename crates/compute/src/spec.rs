@@ -120,7 +120,10 @@ impl EngineSpec {
     /// (Sec. VI). Performance-identical to Logic-PIM; it differs in area
     /// and energy.
     pub fn bank_group_pim(stacks: u32) -> Self {
-        Self { kind: EngineKind::BankGroupPim, ..Self::logic_pim(stacks) }
+        Self {
+            kind: EngineKind::BankGroupPim,
+            ..Self::logic_pim(stacks)
+        }
     }
 
     /// Effective FLOP/s for a GEMM whose token dimension is `m`.
@@ -138,7 +141,11 @@ mod tests {
     #[test]
     fn logic_pim_matches_paper_per_stack_flops() {
         let spec = EngineSpec::logic_pim(1);
-        assert!((spec.peak_flops / 1e12 - 21.3).abs() < 0.2, "got {}", spec.peak_flops / 1e12);
+        assert!(
+            (spec.peak_flops / 1e12 - 21.3).abs() < 0.2,
+            "got {}",
+            spec.peak_flops / 1e12
+        );
     }
 
     #[test]
@@ -147,7 +154,11 @@ mod tests {
         assert!((pim.peak_flops / 1e12 - 106.5).abs() < 1.0);
         let bank = EngineSpec::bank_pim(5);
         // 16 x 683 GB/s x 5 = ~54.6 TFLOP/s at Op/B 1.
-        assert!((bank.peak_flops / 1e12 - 54.6).abs() < 1.0, "got {}", bank.peak_flops / 1e12);
+        assert!(
+            (bank.peak_flops / 1e12 - 54.6).abs() < 1.0,
+            "got {}",
+            bank.peak_flops / 1e12
+        );
     }
 
     #[test]
@@ -182,6 +193,9 @@ mod tests {
         assert_eq!(EngineKind::Xpu.access_path(), AccessPath::Xpu);
         assert_eq!(EngineKind::LogicPim.access_path(), AccessPath::LogicPim);
         assert_eq!(EngineKind::BankPim.access_path(), AccessPath::BankPim);
-        assert_eq!(EngineKind::BankGroupPim.access_path(), AccessPath::BankGroupPim);
+        assert_eq!(
+            EngineKind::BankGroupPim.access_path(),
+            AccessPath::BankGroupPim
+        );
     }
 }

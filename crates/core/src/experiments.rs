@@ -21,7 +21,10 @@ use duplex_compute::kernel::GemmShape;
 use duplex_compute::{AreaModel, Edap, Engine};
 use duplex_model::ops::StageShape;
 use duplex_model::ModelConfig;
-use duplex_sched::Workload;
+use duplex_sched::{
+    Arrivals, ConversationSpec, PolicyKind, RequestSource, Scenario, ScenarioSimulation,
+    SchedulingPolicy, SimReport, SimulationConfig, TraceRequest, Workload,
+};
 use duplex_system::{SplitSimulation, SystemConfig, SystemExecutor};
 
 use crate::{run, RunConfig, RunResult};
@@ -42,19 +45,29 @@ pub struct Scale {
 impl Scale {
     /// Full paper-sized sweeps (minutes of wall clock in release mode).
     pub fn paper() -> Self {
-        Self { shrink: 1, requests_per_batch: 1.25, stage_slack: 300 }
+        Self {
+            shrink: 1,
+            requests_per_batch: 1.25,
+            stage_slack: 300,
+        }
     }
 
     /// Shrunk sweeps for tests (seconds of wall clock).
     pub fn quick() -> Self {
-        Self { shrink: 8, requests_per_batch: 1.0, stage_slack: 64 }
+        Self {
+            shrink: 8,
+            requests_per_batch: 1.0,
+            stage_slack: 64,
+        }
     }
 
-    fn len(&self, tokens: u64) -> u64 {
+    /// A sequence length at this scale (floor of 8 tokens).
+    pub fn len(&self, tokens: u64) -> u64 {
         (tokens / self.shrink).max(8)
     }
 
-    fn requests(&self, batch: usize) -> usize {
+    /// Requests to simulate for a batch size at this scale.
+    pub fn requests(&self, batch: usize) -> usize {
         ((batch as f64 * self.requests_per_batch).ceil() as usize).max(batch + 1)
     }
 
@@ -170,8 +183,7 @@ pub fn fig04_breakdown(scale: &Scale) -> Vec<BreakdownRow> {
         .into_par_iter()
         .map(|(model, batch, lout, mixed)| {
             let (devices, nodes) = SystemConfig::default_cluster(&model);
-            let mut ex =
-                SystemExecutor::new(SystemConfig::gpu(devices, nodes), model.clone(), 7);
+            let mut ex = SystemExecutor::new(SystemConfig::gpu(devices, nodes), model.clone(), 7);
             let lout_s = scale.len(lout);
             let ctx = lin + lout_s / 2;
             let shape = if mixed {
@@ -231,8 +243,7 @@ pub fn fig04_roofline(scale: &Scale) -> Vec<RooflineRow> {
         .into_par_iter()
         .map(|(model, batch)| {
             let (devices, nodes) = SystemConfig::default_cluster(&model);
-            let mut ex =
-                SystemExecutor::new(SystemConfig::gpu(devices, nodes), model.clone(), 7);
+            let mut ex = SystemExecutor::new(SystemConfig::gpu(devices, nodes), model.clone(), 7);
             let shape = StageShape::decode_only(&vec![ctx; batch]);
             let c = ex.stage_cost(&shape);
             // Reconstruct aggregate flops/bytes per class from the model.
@@ -243,16 +254,22 @@ pub fn fig04_roofline(scale: &Scale) -> Vec<RooflineRow> {
                 &mut <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(7),
             );
             let bpe = model.bytes_per_elem;
-            let fc_flops: f64 =
-                work.fc_ops.iter().map(|f| f.shape.flops() * f.count as f64).sum();
+            let fc_flops: f64 = work
+                .fc_ops
+                .iter()
+                .map(|f| f.shape.flops() * f.count as f64)
+                .sum();
             let fc_bytes: f64 = work
                 .fc_ops
                 .iter()
                 .map(|f| (f.weight_bytes(bpe) * f.count) as f64)
                 .sum();
             // Attention ops are grouped: scale by the multiplicity.
-            let attn_flops: f64 =
-                work.attn.iter().map(|a| a.flops() * (a.count * a.reqs) as f64).sum();
+            let attn_flops: f64 = work
+                .attn
+                .iter()
+                .map(|a| a.flops() * (a.count * a.reqs) as f64)
+                .sum();
             let attn_bytes: f64 = work
                 .attn
                 .iter()
@@ -459,7 +476,11 @@ pub fn fig08_edap() -> Vec<EdapRow> {
     ];
     let mut rows = Vec::new();
     for op_b in [1u64, 2, 4, 8, 16, 32] {
-        let shape = GemmShape { m: op_b, n: 16384, k: 4096 };
+        let shape = GemmShape {
+            m: op_b,
+            n: 16384,
+            k: 4096,
+        };
         let bytes = shape.weight_bytes(2);
         let cells: Vec<(&'static str, Edap)> = engines
             .iter()
@@ -562,7 +583,10 @@ pub fn fig11_throughput(scale: &Scale) -> Vec<ThroughputRow> {
             ModelConfig::mixtral_8x7b(),
             vec![(256, 256), (1024, 1024), (4096, 4096)],
         ),
-        (ModelConfig::glam(), vec![(512, 512), (1024, 1024), (2048, 2048)]),
+        (
+            ModelConfig::glam(),
+            vec![(512, 512), (1024, 1024), (2048, 2048)],
+        ),
         (
             ModelConfig::grok1(),
             vec![(256, 256), (1024, 1024), (4096, 4096)],
@@ -592,7 +616,10 @@ pub fn fig14_bankpim(scale: &Scale) -> Vec<ThroughputRow> {
             ModelConfig::llama3_70b(),
             vec![(256, 256), (512, 512), (1024, 1024)],
         ),
-        (ModelConfig::opt_66b(), vec![(256, 256), (512, 512), (1024, 1024)]),
+        (
+            ModelConfig::opt_66b(),
+            vec![(256, 256), (512, 512), (1024, 1024)],
+        ),
     ];
     throughput_sweep(scale, &models, &[32, 64], &|model| {
         let (d, n) = SystemConfig::default_cluster(model);
@@ -718,9 +745,18 @@ pub struct EnergyRow {
 /// models.
 pub fn fig15_energy(scale: &Scale) -> Vec<EnergyRow> {
     let models = [
-        (ModelConfig::mixtral_8x7b(), [(256u64, 256u64), (1024, 1024), (4096, 4096)]),
-        (ModelConfig::glam(), [(512, 512), (1024, 1024), (2048, 2048)]),
-        (ModelConfig::grok1(), [(256, 256), (1024, 1024), (4096, 4096)]),
+        (
+            ModelConfig::mixtral_8x7b(),
+            [(256u64, 256u64), (1024, 1024), (4096, 4096)],
+        ),
+        (
+            ModelConfig::glam(),
+            [(512, 512), (1024, 1024), (2048, 2048)],
+        ),
+        (
+            ModelConfig::grok1(),
+            [(256, 256), (1024, 1024), (4096, 4096)],
+        ),
     ];
     let mut points = Vec::new();
     for (model, pairs) in models {
@@ -807,6 +843,204 @@ pub fn fig16_split(scale: &Scale) -> Vec<LatencyRow> {
         .collect()
 }
 
+// ---------------------------------------------------------------- Scenarios
+
+/// One row of the scenario sweep: a (scenario, policy) pair on one
+/// system, with serving, SLO and reuse metrics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioRow {
+    /// Scenario name ("bursty", "multi_turn", ...).
+    pub scenario: String,
+    /// System display name.
+    pub system: String,
+    /// Scheduling-policy name.
+    pub policy: String,
+    /// Requests completed (follow-up rounds included).
+    pub completed: usize,
+    /// Stages executed.
+    pub stages: u64,
+    /// Generation throughput in tokens/s (in-flight tokens counted).
+    pub throughput: f64,
+    /// Goodput: tokens of SLO-attaining requests per second (0 when
+    /// the scenario declares no tiers).
+    pub goodput: f64,
+    /// Overall SLO attainment in [0, 1] (0 without tiers).
+    pub attainment: f64,
+    /// Whether the scenario declared SLO tiers.
+    pub tiered: bool,
+    /// TBT p99 in seconds.
+    pub tbt_p99: f64,
+    /// T2FT p50 in seconds.
+    pub t2ft_p50: f64,
+    /// Fraction of prompt tokens served from resident KV (multi-turn
+    /// scenarios; 0 otherwise).
+    pub kv_reuse_fraction: f64,
+}
+
+/// Price one decoding-only stage of `model` on `system` — the time
+/// unit the scenario suite scales its rates and deadlines by, so the
+/// same scenarios stay meaningfully loaded at quick and paper scales.
+pub fn probe_stage_seconds(
+    model: &ModelConfig,
+    system: &SystemConfig,
+    batch: usize,
+    ctx: u64,
+) -> f64 {
+    let mut ex = SystemExecutor::new(system.clone(), model.clone(), 7);
+    ex.stage_cost(&StageShape::decode_only(&vec![ctx; batch]))
+        .seconds
+}
+
+/// The scenario suite for one (model, system, batch): bursty on/off
+/// traffic, a diurnal rate curve, multi-turn chat with KV reuse, an
+/// SLO-tiered mix, and replay of a recorded bursty trace. Rates are
+/// fractions of the system's closed-loop capacity (`batch / (Lout *
+/// stage_s)`), deadlines multiples of the probed stage latency.
+pub fn scenario_suite(
+    scale: &Scale,
+    model: &ModelConfig,
+    system: &SystemConfig,
+    batch: usize,
+) -> Vec<Scenario> {
+    let lin = scale.len(1024);
+    let lout = scale.len(512);
+    let stage_s = probe_stage_seconds(model, system, batch, lin + lout / 2);
+    let capacity_qps = batch as f64 / (lout as f64 * stage_s);
+    // One request's decode lifetime at full batch.
+    let life_s = lout as f64 * stage_s;
+    let requests = scale.requests(batch) * 4;
+    let workload = Workload::gaussian(lin, lout).with_seed(0xD00D);
+
+    let bursty_arrivals = Arrivals::Bursty {
+        base_qps: 0.2 * capacity_qps,
+        burst_qps: 2.5 * capacity_qps,
+        mean_off_s: 8.0 * life_s,
+        mean_on_s: 2.0 * life_s,
+    };
+    let bursty = Scenario::new(
+        "bursty",
+        workload.clone(),
+        bursty_arrivals.clone(),
+        requests,
+    );
+
+    let diurnal = Scenario::new(
+        "diurnal",
+        workload.clone(),
+        Arrivals::Diurnal {
+            mean_qps: 0.6 * capacity_qps,
+            period_s: 30.0 * life_s,
+            amplitude: 0.8,
+        },
+        requests,
+    );
+
+    // Multi-turn chat: shorter opening prompts, prompts grow with the
+    // carried history each round, follow-ups arrive after a think time.
+    let chat = Scenario::new(
+        "multi_turn",
+        Workload::gaussian(scale.len(512), scale.len(256)).with_seed(0xC4A7),
+        Arrivals::Poisson {
+            qps: 0.3 * capacity_qps,
+        },
+        requests / 2,
+    )
+    .with_conversation(ConversationSpec::chat(
+        0.65,
+        4,
+        4.0 * life_s,
+        scale.len(256),
+    ));
+
+    let tiered = Scenario::new(
+        "slo_tiered",
+        workload.clone(),
+        Arrivals::Poisson {
+            qps: 0.85 * capacity_qps,
+        },
+        requests,
+    )
+    .with_tiers(Scenario::default_tiers(stage_s));
+
+    // Trace replay: record the bursty process once, replay it exactly.
+    let mut recorder = RequestSource::new(workload.clone().with_seed(0xACED), bursty_arrivals);
+    let recorded: Vec<TraceRequest> = (0..requests)
+        .map(|_| {
+            let r = recorder.next_request();
+            TraceRequest {
+                arrival_s: r.arrival_s,
+                input_len: r.input_len,
+                output_len: r.output_len,
+            }
+        })
+        .collect();
+    let replay = Scenario::new(
+        "trace_replay",
+        workload,
+        Arrivals::trace(recorded),
+        requests,
+    );
+
+    vec![bursty, diurnal, chat, tiered, replay]
+}
+
+/// Run one scenario on one system under one policy.
+pub fn run_scenario(
+    model: &ModelConfig,
+    system: &SystemConfig,
+    scenario: Scenario,
+    policy: &mut dyn SchedulingPolicy,
+    max_batch: usize,
+) -> SimReport {
+    let mut ex = SystemExecutor::new(system.clone(), model.clone(), 7);
+    let cfg = SimulationConfig {
+        max_batch,
+        kv_capacity_bytes: ex.kv_capacity_bytes(),
+        kv_bytes_per_token: model.kv_bytes_per_token(),
+        max_stages: usize::MAX,
+        record_stages: false,
+    };
+    ScenarioSimulation::new(cfg, scenario).run(policy, &mut ex)
+}
+
+/// The scenario sweep: every suite scenario under every shipped
+/// policy, Mixtral on Duplex+PE+ET (4 devices), batch 64.
+pub fn scenarios(scale: &Scale) -> Vec<ScenarioRow> {
+    let model = ModelConfig::mixtral_8x7b();
+    let system = SystemConfig::duplex_pe_et(4, 1);
+    let batch = 64usize;
+    let suite = scenario_suite(scale, &model, &system, batch);
+    let mut points = Vec::new();
+    for scenario in suite {
+        for kind in PolicyKind::ALL {
+            points.push((scenario.clone(), kind));
+        }
+    }
+    points
+        .into_par_iter()
+        .map(|(scenario, kind)| {
+            let tiered = !scenario.tiers.is_empty();
+            let name = scenario.name.clone();
+            let mut policy = kind.build();
+            let report = run_scenario(&model, &system, scenario, policy.as_mut(), batch);
+            ScenarioRow {
+                scenario: name,
+                system: system.name.clone(),
+                policy: kind.name().into(),
+                completed: report.completed.len(),
+                stages: report.stage_stats.stages,
+                throughput: report.generation_throughput(),
+                goodput: report.goodput_tokens_per_s(),
+                attainment: report.slo_attainment(),
+                tiered,
+                tbt_p99: report.tbt().p99,
+                t2ft_p50: report.t2ft().p50,
+                kv_reuse_fraction: report.kv_reuse.reuse_fraction(),
+            }
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -862,5 +1096,59 @@ mod tests {
         assert_eq!(s.len(2048), 256);
         assert_eq!(s.len(8), 8);
         assert!(s.requests(32) >= 33);
+    }
+
+    #[test]
+    fn scenario_suite_covers_the_required_shapes() {
+        let model = ModelConfig::mixtral_8x7b();
+        let system = SystemConfig::duplex_pe_et(4, 1);
+        let suite = scenario_suite(&Scale::quick(), &model, &system, 64);
+        let names: Vec<&str> = suite.iter().map(|s| s.name.as_str()).collect();
+        for required in ["bursty", "multi_turn", "slo_tiered"] {
+            assert!(names.contains(&required), "missing {required} in {names:?}");
+        }
+        let chat = suite
+            .iter()
+            .find(|s| s.name == "multi_turn")
+            .expect("chat exists");
+        assert!(chat.conversation.is_some());
+        let tiered = suite
+            .iter()
+            .find(|s| s.name == "slo_tiered")
+            .expect("tiers exist");
+        assert_eq!(tiered.tiers.len(), 3);
+        let replay = suite
+            .iter()
+            .find(|s| s.name == "trace_replay")
+            .expect("replay");
+        assert!(matches!(replay.arrivals, Arrivals::Trace { .. }));
+    }
+
+    #[test]
+    fn scenario_run_reports_slo_and_reuse() {
+        let model = ModelConfig::mixtral_8x7b();
+        let system = SystemConfig::duplex_pe_et(4, 1);
+        let scale = Scale::quick();
+        let suite = scenario_suite(&scale, &model, &system, 64);
+        let chat = suite
+            .iter()
+            .find(|s| s.name == "multi_turn")
+            .expect("chat")
+            .clone();
+        let mut policy = PolicyKind::Fcfs.build();
+        let report = run_scenario(&model, &system, chat, policy.as_mut(), 64);
+        assert!(!report.completed.is_empty());
+        assert!(report.kv_reuse.reuse_hits > 0, "{:?}", report.kv_reuse);
+
+        let tiered = suite
+            .iter()
+            .find(|s| s.name == "slo_tiered")
+            .expect("tiers")
+            .clone();
+        let mut policy = PolicyKind::PriorityTiers.build();
+        let report = run_scenario(&model, &system, tiered, policy.as_mut(), 64);
+        assert_eq!(report.slo.tiers.len(), 3);
+        assert!(report.slo_attainment() > 0.0);
+        assert!(report.goodput_tokens_per_s() > 0.0);
     }
 }

@@ -157,7 +157,8 @@ pub struct RunResult {
 /// Panics if the model does not fit the system (see
 /// [`duplex_system::CapacityPlan`]).
 pub fn run(config: RunConfig) -> RunResult {
-    let mut executor = SystemExecutor::new(config.system.clone(), config.model.clone(), config.seed);
+    let mut executor =
+        SystemExecutor::new(config.system.clone(), config.model.clone(), config.seed);
     run_with(&mut executor, &config)
 }
 
@@ -166,7 +167,9 @@ pub fn run_with(executor: &mut SystemExecutor, config: &RunConfig) -> RunResult 
     executor.reset_totals();
     let sim_cfg = SimulationConfig {
         max_batch: config.max_batch,
-        kv_capacity_bytes: config.kv_capacity_override.unwrap_or(executor.kv_capacity_bytes()),
+        kv_capacity_bytes: config
+            .kv_capacity_override
+            .unwrap_or(executor.kv_capacity_bytes()),
         kv_bytes_per_token: config.model.kv_bytes_per_token(),
         max_stages: config.max_stages,
         ..SimulationConfig::default()

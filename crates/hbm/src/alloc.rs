@@ -85,7 +85,11 @@ pub enum MemoryPlanError {
 impl std::fmt::Display for MemoryPlanError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            MemoryPlanError::OutOfMemory { space, requested, available } => write!(
+            MemoryPlanError::OutOfMemory {
+                space,
+                requested,
+                available,
+            } => write!(
                 f,
                 "out of memory in {space}: requested {requested} bytes, {available} available"
             ),
@@ -156,10 +160,19 @@ impl MemoryLayout {
         &self.regions
     }
 
-    fn place(&mut self, kind: RegionKind, bytes: u64, space: SpaceIndex) -> Result<Region, MemoryPlanError> {
+    fn place(
+        &mut self,
+        kind: RegionKind,
+        bytes: u64,
+        space: SpaceIndex,
+    ) -> Result<Region, MemoryPlanError> {
         let free = self.space_free(space);
         if bytes > free {
-            return Err(MemoryPlanError::OutOfMemory { space, requested: bytes, available: free });
+            return Err(MemoryPlanError::OutOfMemory {
+                space,
+                requested: bytes,
+                available: free,
+            });
         }
         self.used[space.0 as usize] += bytes;
         let region = Region { kind, bytes, space };
@@ -174,7 +187,12 @@ impl MemoryLayout {
     ///
     /// Returns [`MemoryPlanError::OutOfMemory`] if the chosen space is
     /// full.
-    pub fn alloc_expert(&mut self, layer: u32, expert: u32, bytes: u64) -> Result<Region, MemoryPlanError> {
+    pub fn alloc_expert(
+        &mut self,
+        layer: u32,
+        expert: u32,
+        bytes: u64,
+    ) -> Result<Region, MemoryPlanError> {
         let space = SpaceIndex(self.next_expert_space);
         self.next_expert_space = (self.next_expert_space + 1) % 4;
         self.place(RegionKind::ExpertWeights { layer, expert }, bytes, space)
@@ -313,7 +331,11 @@ mod tests {
         l.alloc_prefill_scratch(cap).expect("exactly fits");
         let err = l.alloc_prefill_scratch(1).expect_err("full");
         match err {
-            MemoryPlanError::OutOfMemory { space, requested, available } => {
+            MemoryPlanError::OutOfMemory {
+                space,
+                requested,
+                available,
+            } => {
                 assert_eq!(space, SpaceIndex::PREFILL);
                 assert_eq!(requested, 1);
                 assert_eq!(available, 0);
@@ -356,14 +378,9 @@ mod tests {
         let mut l = layout();
         let mut total = 0u64;
         let mut req = 0u64;
-        loop {
-            match l.alloc_kv(req, 3 << 30) {
-                Ok(r) => {
-                    total += r.bytes;
-                    req += 1;
-                }
-                Err(_) => break,
-            }
+        while let Ok(r) = l.alloc_kv(req, 3 << 30) {
+            total += r.bytes;
+            req += 1;
         }
         assert!(total <= 60 << 30, "KV confined to three spaces");
         assert!(l.used_bytes() <= 4 * l.space_capacity());

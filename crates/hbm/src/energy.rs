@@ -143,7 +143,9 @@ impl DramEnergyModel {
     ) -> EnergyBreakdown {
         let bits = bytes as f64 * 8.0;
         EnergyBreakdown {
-            activation_j: bytes as f64 * activations_per_byte * self.constants.activation_pj
+            activation_j: bytes as f64
+                * activations_per_byte
+                * self.constants.activation_pj
                 * 1e-12,
             transfer_j: bits * self.constants.transfer_pj_per_bit(path) * 1e-12,
         }
@@ -185,8 +187,7 @@ mod tests {
     fn logic_pim_saves_about_30_percent() {
         let e = DramEnergy::hbm3();
         let saving = 1.0
-            - e.transfer_pj_per_bit(AccessPath::LogicPim)
-                / e.transfer_pj_per_bit(AccessPath::Xpu);
+            - e.transfer_pj_per_bit(AccessPath::LogicPim) / e.transfer_pj_per_bit(AccessPath::Xpu);
         assert!(saving > 0.25 && saving < 0.45, "got {saving}");
     }
 
@@ -208,8 +209,14 @@ mod tests {
 
     #[test]
     fn breakdown_adds() {
-        let a = EnergyBreakdown { activation_j: 1.0, transfer_j: 2.0 };
-        let b = EnergyBreakdown { activation_j: 0.5, transfer_j: 0.25 };
+        let a = EnergyBreakdown {
+            activation_j: 1.0,
+            transfer_j: 2.0,
+        };
+        let b = EnergyBreakdown {
+            activation_j: 0.5,
+            transfer_j: 0.25,
+        };
         let c = a + b;
         assert_eq!(c.activation_j, 1.5);
         assert_eq!(c.transfer_j, 2.25);
@@ -222,6 +229,10 @@ mod tests {
         // few joules-per-TB-ish: 4.3 pJ/bit * 8 Gbit ~ 37 mJ.
         let m = DramEnergyModel::default();
         let e = m.read_energy(AccessPath::Xpu, 1 << 30, 1.0 / 1024.0);
-        assert!(e.total_j() > 0.02 && e.total_j() < 0.08, "got {}", e.total_j());
+        assert!(
+            e.total_j() > 0.02 && e.total_j() < 0.08,
+            "got {}",
+            e.total_j()
+        );
     }
 }

@@ -188,9 +188,18 @@ mod tests {
 
     #[test]
     fn bundle_conflicts() {
-        let a = BankBundle { pseudo_channel: 0, space: 1 };
-        let b = BankBundle { pseudo_channel: 0, space: 2 };
-        let c = BankBundle { pseudo_channel: 1, space: 1 };
+        let a = BankBundle {
+            pseudo_channel: 0,
+            space: 1,
+        };
+        let b = BankBundle {
+            pseudo_channel: 0,
+            space: 2,
+        };
+        let c = BankBundle {
+            pseudo_channel: 1,
+            space: 1,
+        };
         assert!(a.conflicts_with(&a));
         assert!(!a.conflicts_with(&b));
         assert!(!a.conflicts_with(&c));
@@ -200,7 +209,13 @@ mod tests {
     fn bundle_rank_mapping() {
         let g = HbmGeometry::hbm3_8hi();
         let spaces: Vec<u32> = (0..g.bundles_per_pseudo_channel())
-            .map(|s| BankBundle { pseudo_channel: 0, space: s }.rank(&g))
+            .map(|s| {
+                BankBundle {
+                    pseudo_channel: 0,
+                    space: s,
+                }
+                .rank(&g)
+            })
             .collect();
         assert_eq!(spaces, vec![0, 0, 1, 1]);
     }

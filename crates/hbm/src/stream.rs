@@ -140,7 +140,11 @@ fn simulate_xpu(geom: &HbmGeometry, timing: &HbmTiming, bytes: u64) -> StreamRes
         act_at: f64,
     }
     let mut banks = vec![
-        Bank { ready_at: 0.0, row_reads_left: 0, act_at: f64::NEG_INFINITY };
+        Bank {
+            ready_at: 0.0,
+            row_reads_left: 0,
+            act_at: f64::NEG_INFINITY
+        };
         n_banks
     ];
     let mut last_col_any = f64::NEG_INFINITY;
@@ -189,7 +193,12 @@ fn simulate_xpu(geom: &HbmGeometry, timing: &HbmTiming, bytes: u64) -> StreamRes
         finish = issue + timing.tccd_s; // data beat occupies one slot
     }
 
-    StreamResult { bytes, elapsed_ns: finish, activations, reads: total_reads }
+    StreamResult {
+        bytes,
+        elapsed_ns: finish,
+        activations,
+        reads: total_reads,
+    }
 }
 
 /// Ganged bank-bundle streaming for Logic-PIM / BankGroup-PIM: the eight
@@ -300,7 +309,11 @@ impl BandwidthProfile {
             sustained[i] = r.sustained_gbps();
             acts[i] = r.activations as f64 / r.bytes as f64;
         }
-        Self { geom: *geom, sustained_gbps: sustained, activations_per_byte: acts }
+        Self {
+            geom: *geom,
+            sustained_gbps: sustained,
+            activations_per_byte: acts,
+        }
     }
 
     fn index(path: AccessPath) -> usize {
@@ -318,10 +331,7 @@ impl BandwidthProfile {
     /// Sustained bytes/second for a whole device with `stacks` HBM
     /// stacks, all pseudo channels streaming.
     pub fn device_bytes_per_sec(&self, path: AccessPath, stacks: u32) -> f64 {
-        self.sustained_gbps(path)
-            * f64::from(self.geom.pseudo_channels)
-            * f64::from(stacks)
-            * 1e9
+        self.sustained_gbps(path) * f64::from(self.geom.pseudo_channels) * f64::from(stacks) * 1e9
     }
 
     /// Row activations per byte streamed (for activation energy).

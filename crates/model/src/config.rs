@@ -220,7 +220,9 @@ impl ModelConfig {
 
     /// KV-cache bytes appended per token across all layers.
     pub fn kv_bytes_per_token(&self) -> u64 {
-        2 * u64::from(self.kv_heads()) * self.d_head() * self.bytes_per_elem
+        2 * u64::from(self.kv_heads())
+            * self.d_head()
+            * self.bytes_per_elem
             * u64::from(self.n_layers)
     }
 
@@ -283,7 +285,11 @@ mod tests {
     fn experts_dominate_moe_weights() {
         // Sec. I: "the parameters of MoE layers ... account for the
         // majority of the model parameters".
-        for config in [ModelConfig::mixtral_8x7b(), ModelConfig::glam(), ModelConfig::grok1()] {
+        for config in [
+            ModelConfig::mixtral_8x7b(),
+            ModelConfig::glam(),
+            ModelConfig::grok1(),
+        ] {
             let expert_fraction =
                 1.0 - config.non_expert_weight_bytes() as f64 / config.weight_bytes() as f64;
             assert!(expert_fraction > 0.5, "{}: {expert_fraction}", config.name);

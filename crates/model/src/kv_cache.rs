@@ -68,7 +68,10 @@ pub enum KvCacheError {
 impl std::fmt::Display for KvCacheError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            KvCacheError::CapacityExceeded { requested, capacity } => {
+            KvCacheError::CapacityExceeded {
+                requested,
+                capacity,
+            } => {
                 write!(f, "request needs {requested} bytes, cache holds {capacity}")
             }
             KvCacheError::UnknownRequest(id) => write!(f, "unknown request {id}"),
@@ -177,7 +180,12 @@ impl PagedKvCache {
         self.clock += 1;
         self.entries.insert(
             request,
-            Entry { pages, tokens, last_touch: self.clock, resident: true },
+            Entry {
+                pages,
+                tokens,
+                last_touch: self.clock,
+                resident: true,
+            },
         );
         self.resident_pages += pages;
         Ok(events)
@@ -212,6 +220,20 @@ impl PagedKvCache {
         Ok(events)
     }
 
+    /// Evict the least-recently-used resident request, if any. This is
+    /// the external pressure hook: a scheduler that parks finished
+    /// conversations' KV between turns calls it to make room for new
+    /// admissions (reuse-aware accounting in the scenario suite).
+    pub fn evict_one(&mut self) -> Option<KvEvent> {
+        let victim = self
+            .entries
+            .iter()
+            .filter(|(_, e)| e.resident)
+            .min_by_key(|(_, e)| e.last_touch)
+            .map(|(id, _)| *id)?;
+        Some(self.evict_victim(victim))
+    }
+
     fn evict_lru(&mut self, protect: u64) -> KvEvent {
         let victim = self
             .entries
@@ -220,6 +242,10 @@ impl PagedKvCache {
             .min_by_key(|(_, e)| e.last_touch)
             .map(|(id, _)| *id)
             .expect("capacity invariant: another resident request exists");
+        self.evict_victim(victim)
+    }
+
+    fn evict_victim(&mut self, victim: u64) -> KvEvent {
         let e = self.entries.get_mut(&victim).expect("victim exists");
         e.resident = false;
         self.resident_pages -= e.pages;
@@ -231,7 +257,10 @@ impl PagedKvCache {
             EvictionPolicy::Recompute => {
                 let tokens = e.tokens;
                 e.pages = 0;
-                KvEvent::Recomputed { request: victim, tokens }
+                KvEvent::Recomputed {
+                    request: victim,
+                    tokens,
+                }
             }
         }
     }
@@ -280,7 +309,10 @@ impl PagedKvCache {
 
     /// Whether a request's KV is resident.
     pub fn is_resident(&self, request: u64) -> bool {
-        self.entries.get(&request).map(|e| e.resident).unwrap_or(false)
+        self.entries
+            .get(&request)
+            .map(|e| e.resident)
+            .unwrap_or(false)
     }
 }
 
@@ -319,7 +351,13 @@ mod tests {
         // Touch request 1 so 2 becomes LRU.
         c.append(1, 0).expect("resident");
         let ev = c.admit(4, 16).expect("evicts");
-        assert_eq!(ev, vec![KvEvent::MigratedOut { request: 2, bytes: 16 }]);
+        assert_eq!(
+            ev,
+            vec![KvEvent::MigratedOut {
+                request: 2,
+                bytes: 16
+            }]
+        );
         assert!(!c.is_resident(2));
         assert!(c.is_resident(1));
     }
@@ -331,7 +369,13 @@ mod tests {
         c.admit(2, 16).expect("fits");
         // Growing request 2 past its page forces request 1 out.
         let ev = c.append(2, 1).expect("resident");
-        assert_eq!(ev, vec![KvEvent::Recomputed { request: 1, tokens: 16 }]);
+        assert_eq!(
+            ev,
+            vec![KvEvent::Recomputed {
+                request: 1,
+                tokens: 16
+            }]
+        );
     }
 
     #[test]
@@ -346,10 +390,22 @@ mod tests {
             let ev = c.restore(1).expect("known request");
             match policy {
                 EvictionPolicy::Migrate => {
-                    assert!(matches!(ev.last(), Some(KvEvent::MigratedIn { request: 1, bytes: 32 })));
+                    assert!(matches!(
+                        ev.last(),
+                        Some(KvEvent::MigratedIn {
+                            request: 1,
+                            bytes: 32
+                        })
+                    ));
                 }
                 EvictionPolicy::Recompute => {
-                    assert!(matches!(ev.last(), Some(KvEvent::Recomputed { request: 1, tokens: 32 })));
+                    assert!(matches!(
+                        ev.last(),
+                        Some(KvEvent::Recomputed {
+                            request: 1,
+                            tokens: 32
+                        })
+                    ));
                 }
             }
             assert!(c.is_resident(1));
@@ -369,8 +425,43 @@ mod tests {
     #[test]
     fn unknown_request_errors() {
         let mut c = cache(64, EvictionPolicy::Migrate);
-        assert!(matches!(c.append(9, 1), Err(KvCacheError::UnknownRequest(9))));
+        assert!(matches!(
+            c.append(9, 1),
+            Err(KvCacheError::UnknownRequest(9))
+        ));
         assert!(matches!(c.restore(9), Err(KvCacheError::UnknownRequest(9))));
+    }
+
+    #[test]
+    fn evict_one_walks_lru_order_and_drains() {
+        let mut c = cache(4 * 16, EvictionPolicy::Migrate);
+        c.admit(1, 16).expect("fits");
+        c.admit(2, 16).expect("fits");
+        c.admit(3, 16).expect("fits");
+        c.append(1, 0).expect("touch 1 so 2 is LRU");
+        assert_eq!(
+            c.evict_one(),
+            Some(KvEvent::MigratedOut {
+                request: 2,
+                bytes: 16
+            })
+        );
+        assert_eq!(
+            c.evict_one(),
+            Some(KvEvent::MigratedOut {
+                request: 3,
+                bytes: 16
+            })
+        );
+        assert_eq!(
+            c.evict_one(),
+            Some(KvEvent::MigratedOut {
+                request: 1,
+                bytes: 16
+            })
+        );
+        assert_eq!(c.evict_one(), None);
+        assert_eq!(c.resident_bytes(), 0);
     }
 
     #[test]

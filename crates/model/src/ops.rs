@@ -43,12 +43,18 @@ pub struct StageShape {
 impl StageShape {
     /// A decoding-only stage over the given per-request context lengths.
     pub fn decode_only(ctx: &[u64]) -> Self {
-        Self { decode_ctx: ctx.to_vec(), prefill_len: Vec::new() }
+        Self {
+            decode_ctx: ctx.to_vec(),
+            prefill_len: Vec::new(),
+        }
     }
 
     /// A mixed stage: ongoing decodes plus newly admitted prefills.
     pub fn mixed(decode_ctx: &[u64], prefill_len: &[u64]) -> Self {
-        Self { decode_ctx: decode_ctx.to_vec(), prefill_len: prefill_len.to_vec() }
+        Self {
+            decode_ctx: decode_ctx.to_vec(),
+            prefill_len: prefill_len.to_vec(),
+        }
     }
 
     /// Whether the stage contains at least one prefilling sequence.
@@ -157,7 +163,9 @@ impl ContextGroups {
 
     /// Groups as `(ctx, multiplicity)` in ascending context order.
     pub fn iter(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
-        self.rel.iter().map(|&(rel, count)| ((rel + self.offset) as u64, count))
+        self.rel
+            .iter()
+            .map(|&(rel, count)| ((rel + self.offset) as u64, count))
     }
 
     /// Expand into per-request contexts, ascending (for materializing a
@@ -165,7 +173,7 @@ impl ContextGroups {
     pub fn fill_decode_ctx(&self, out: &mut Vec<u64>) {
         out.clear();
         for (ctx, count) in self.iter() {
-            out.extend(std::iter::repeat(ctx).take(count as usize));
+            out.extend(std::iter::repeat_n(ctx, count as usize));
         }
     }
 }
@@ -231,12 +239,20 @@ impl AttnOp {
 
     /// The Q·Kᵀ GEMM, groups folded into rows.
     pub fn score_shape(&self) -> GemmShape {
-        GemmShape { m: self.q_rows * self.groups, n: self.eff_ctx(), k: self.d_head }
+        GemmShape {
+            m: self.q_rows * self.groups,
+            n: self.eff_ctx(),
+            k: self.d_head,
+        }
     }
 
     /// The softmax(S)·V GEMM, groups folded into rows.
     pub fn value_shape(&self) -> GemmShape {
-        GemmShape { m: self.q_rows * self.groups, n: self.d_head, k: self.eff_ctx() }
+        GemmShape {
+            m: self.q_rows * self.groups,
+            n: self.d_head,
+            k: self.eff_ctx(),
+        }
     }
 
     /// Softmax dimensions (rows, cols).
@@ -296,14 +312,26 @@ pub struct ExpertWork {
 impl ExpertWork {
     /// Build the kernel set for one expert of `config` over `tokens`.
     pub fn for_tokens(config: &ModelConfig, tokens: u64) -> Self {
-        let up = GemmShape { m: tokens, n: config.intermediate, k: config.hidden };
-        let down = GemmShape { m: tokens, n: config.hidden, k: config.intermediate };
+        let up = GemmShape {
+            m: tokens,
+            n: config.intermediate,
+            k: config.hidden,
+        };
+        let down = GemmShape {
+            m: tokens,
+            n: config.hidden,
+            k: config.intermediate,
+        };
         let gated = config.ffn_fcs == 3;
         Self {
             up_shape: up,
             up_count: u64::from(config.ffn_fcs) - 1,
             down_shape: down,
-            activation_elems: if gated { tokens * config.intermediate } else { 0 },
+            activation_elems: if gated {
+                tokens * config.intermediate
+            } else {
+                0
+            },
         }
     }
 
@@ -353,37 +381,61 @@ pub fn fill_fc_ops(config: &ModelConfig, tokens: u64, lm_rows: u64, fc_ops: &mut
     fc_ops.push(FcOp {
         name: "qkv",
         count: layers,
-        shape: GemmShape { m: tokens, n: config.hidden + kv_n, k: config.hidden },
+        shape: GemmShape {
+            m: tokens,
+            n: config.hidden + kv_n,
+            k: config.hidden,
+        },
     });
     fc_ops.push(FcOp {
         name: "proj",
         count: layers,
-        shape: GemmShape { m: tokens, n: config.hidden, k: config.hidden },
+        shape: GemmShape {
+            m: tokens,
+            n: config.hidden,
+            k: config.hidden,
+        },
     });
     let dense_blocks = u64::from(config.dense_block_count());
     if dense_blocks > 0 {
         fc_ops.push(FcOp {
             name: "ffn_up",
             count: dense_blocks * (u64::from(config.ffn_fcs) - 1),
-            shape: GemmShape { m: tokens, n: config.intermediate, k: config.hidden },
+            shape: GemmShape {
+                m: tokens,
+                n: config.intermediate,
+                k: config.hidden,
+            },
         });
         fc_ops.push(FcOp {
             name: "ffn_down",
             count: dense_blocks,
-            shape: GemmShape { m: tokens, n: config.hidden, k: config.intermediate },
+            shape: GemmShape {
+                m: tokens,
+                n: config.hidden,
+                k: config.intermediate,
+            },
         });
     }
     if config.is_moe() {
         fc_ops.push(FcOp {
             name: "gate",
             count: u64::from(config.moe_block_count()),
-            shape: GemmShape { m: tokens, n: u64::from(config.n_experts), k: config.hidden },
+            shape: GemmShape {
+                m: tokens,
+                n: u64::from(config.n_experts),
+                k: config.hidden,
+            },
         });
     }
     fc_ops.push(FcOp {
         name: "lm_head",
         count: 1,
-        shape: GemmShape { m: lm_rows, n: config.vocab, k: config.hidden },
+        shape: GemmShape {
+            m: lm_rows,
+            n: config.vocab,
+            k: config.hidden,
+        },
     });
 }
 
@@ -477,10 +529,17 @@ pub fn enumerate_stage_into<R: Rng + ?Sized>(
     debug_assert!(attn[..decode_groups].iter().all(|a| a.decode));
 
     // MoE histograms, reusing each layer's existing allocation.
-    let blocks = if config.is_moe() { config.moe_block_count() as usize } else { 0 };
+    let blocks = if config.is_moe() {
+        config.moe_block_count() as usize
+    } else {
+        0
+    };
     work.moe.truncate(blocks);
     while work.moe.len() < blocks {
-        work.moe.push(MoeLayerWork { layer: 0, expert_tokens: Vec::new() });
+        work.moe.push(MoeLayerWork {
+            layer: 0,
+            expert_tokens: Vec::new(),
+        });
     }
     for (i, layer) in work.moe.iter_mut().enumerate() {
         layer.layer = i as u32;
@@ -663,11 +722,7 @@ mod tests {
         let config = ModelConfig::mixtral_8x7b();
         let w = work(&config, &StageShape::mixed(&[], &[1024]));
         let a = w.attn[0];
-        let full = 2.0
-            * (a.q_rows * a.groups) as f64
-            * a.ctx as f64
-            * a.d_head as f64
-            * 2.0; // score + value
+        let full = 2.0 * (a.q_rows * a.groups) as f64 * a.ctx as f64 * a.d_head as f64 * 2.0; // score + value
         assert!((a.flops() - full / 2.0).abs() / full < 0.01);
     }
 

@@ -67,16 +67,29 @@ impl ExpertRouter {
     /// `skew` is negative.
     pub fn zipf(n_experts: u32, top_k: u32, skew: f64) -> Self {
         assert!(n_experts > 0, "router needs at least one expert");
-        assert!(top_k >= 1 && top_k <= n_experts, "top_k must be in 1..=n_experts");
+        assert!(
+            top_k >= 1 && top_k <= n_experts,
+            "top_k must be in 1..=n_experts"
+        );
         assert!(skew >= 0.0, "skew must be non-negative");
-        let mut probs: Vec<f64> =
-            (0..n_experts).map(|i| (i as f64 + 1.0).powf(-skew)).collect();
+        let mut probs: Vec<f64> = (0..n_experts)
+            .map(|i| (i as f64 + 1.0).powf(-skew))
+            .collect();
         let sum: f64 = probs.iter().sum();
         for p in &mut probs {
             *p /= sum;
         }
-        let mode = if skew == 0.0 { RoutingMode::Expected } else { RoutingMode::Sampled };
-        Self { n_experts, top_k, probs, mode }
+        let mode = if skew == 0.0 {
+            RoutingMode::Expected
+        } else {
+            RoutingMode::Sampled
+        };
+        Self {
+            n_experts,
+            top_k,
+            probs,
+            mode,
+        }
     }
 
     /// Replace the routing mode (e.g. force sampling for an ablation
@@ -314,7 +327,10 @@ mod tests {
         let router = ExpertRouter::zipf(8, 2, 1.2);
         let mut r = rng();
         let counts = router.route(&mut r, 100_000);
-        assert!(counts[0] > 3 * counts[7], "hot expert should dominate: {counts:?}");
+        assert!(
+            counts[0] > 3 * counts[7],
+            "hot expert should dominate: {counts:?}"
+        );
     }
 
     #[test]

@@ -24,8 +24,16 @@
 //!    request admitted by the previous delta with `output_len == 1`
 //!    retires here with context `prompt + 1`.
 //! 3. **Admit**: each entry of [`StageDelta::admit`] adds a prefill of
-//!    that prompt length to this stage (making it mixed). The admitted
-//!    requests join the decode set at the next delta's advance step.
+//!    that length to this stage (making it mixed). The admitted
+//!    requests join the decode set at the next delta's advance step, at
+//!    context `join + 1`, where `join` is the matching entry of
+//!    [`StageDelta::admit_ctx`] — or the prefill length itself when
+//!    `admit_ctx` is empty (the common no-reuse case).
+//!
+//! `admit_ctx` exists for *prefix reuse*: a multi-turn follow-up whose
+//! conversation KV is still resident prefills only its new suffix
+//! tokens (`admit`) but decodes over its full history (`admit_ctx`).
+//! Schedulers that never reuse leave `admit_ctx` empty.
 //!
 //! The first delta of a run sets [`StageDelta::fresh`], telling the
 //! executor to clear any batch state left over from a previous run
@@ -41,9 +49,15 @@ pub struct StageDelta {
     /// First stage of a run: the executor must reset its batch state
     /// before applying this delta.
     pub fresh: bool,
-    /// Prompt lengths of the requests admitted to this stage (each one
-    /// prefills now and decodes from the next stage on).
+    /// Prefilled prompt lengths of the requests admitted to this stage
+    /// (each one prefills now and decodes from the next stage on).
+    /// Under prefix reuse this is only the non-resident suffix.
     pub admit: Vec<u64>,
+    /// Post-prefill decode-join context of each admitted request,
+    /// parallel to `admit`. Empty means "no reuse": every request joins
+    /// at its prefilled prompt length. Non-empty requires
+    /// `admit_ctx.len() == admit.len()` and `admit_ctx[i] >= admit[i]`.
+    pub admit_ctx: Vec<u64>,
     /// Post-advance decode contexts of the requests that retired after
     /// the previous stage.
     pub retire: Vec<u64>,
@@ -52,7 +66,10 @@ pub struct StageDelta {
 impl StageDelta {
     /// A delta that starts a run: clears executor state, no events yet.
     pub fn start() -> Self {
-        Self { fresh: true, ..Self::default() }
+        Self {
+            fresh: true,
+            ..Self::default()
+        }
     }
 
     /// True when this delta only advances the batch: no admissions, no
@@ -62,10 +79,25 @@ impl StageDelta {
         !self.fresh && self.admit.is_empty() && self.retire.is_empty()
     }
 
+    /// The decode-join context of each admitted request: `admit_ctx`
+    /// when populated (prefix reuse), the prefilled lengths otherwise.
+    pub fn join_contexts(&self) -> &[u64] {
+        debug_assert!(
+            self.admit_ctx.is_empty() || self.admit_ctx.len() == self.admit.len(),
+            "admit_ctx must be empty or parallel to admit"
+        );
+        if self.admit_ctx.is_empty() {
+            &self.admit
+        } else {
+            &self.admit_ctx
+        }
+    }
+
     /// Reset to a pure advance, keeping vector capacity for reuse.
     pub fn clear(&mut self) {
         self.fresh = false;
         self.admit.clear();
+        self.admit_ctx.clear();
         self.retire.clear();
     }
 }
@@ -85,10 +117,23 @@ mod tests {
     fn clear_keeps_capacity_and_purity() {
         let mut d = StageDelta::start();
         d.admit.extend([128, 256]);
+        d.admit_ctx.extend([128, 900]);
         d.retire.push(1000);
         d.clear();
         assert!(d.is_pure_advance());
         assert!(d.admit.capacity() >= 2);
         assert!(d.retire.capacity() >= 1);
+        assert!(d.admit_ctx.is_empty());
+    }
+
+    #[test]
+    fn join_contexts_defaults_to_admit() {
+        let mut d = StageDelta::start();
+        d.admit.extend([128, 256]);
+        assert_eq!(d.join_contexts(), &[128, 256]);
+        // Prefix reuse: the second request prefills 256 new tokens but
+        // joins decode over its full 900-token history.
+        d.admit_ctx.extend([128, 900]);
+        assert_eq!(d.join_contexts(), &[128, 900]);
     }
 }

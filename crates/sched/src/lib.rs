@@ -18,8 +18,15 @@
 //!   announced as a [`StageDelta`] (advance + admissions +
 //!   retirements), letting executors that carry batch state price
 //!   pure-decode stages in O(changes) instead of O(batch).
-//! * [`metrics`] — percentile summaries, streaming latency digests and
-//!   the simulation report.
+//! * [`metrics`] — percentile summaries, streaming latency digests,
+//!   SLO attainment / goodput counters and the simulation report.
+//! * [`scenario`] — the scenario scheduler: SLO tiers, policy-driven
+//!   admission, and multi-turn conversations with reuse-aware KV
+//!   accounting through `duplex_model::kv_cache`.
+//! * [`policy`] — pluggable admission policies (FCFS,
+//!   shortest-prompt-first, priority tiers with SLO deadlines).
+//! * [`trace`] / [`json`] — recorded arrival traces and the minimal
+//!   JSON reader behind them.
 //!
 //! # Example
 //!
@@ -49,13 +56,23 @@
 //! ```
 
 pub mod delta;
+pub mod json;
 pub mod metrics;
+pub mod policy;
 pub mod request;
+pub mod scenario;
 pub mod scheduler;
+pub mod trace;
 pub mod workload;
 
 pub use delta::StageDelta;
-pub use metrics::{LatencyDigest, LatencySummary, SimReport, StageRecord, StageStats};
+pub use metrics::{
+    KvReuseStats, LatencyDigest, LatencySummary, SimReport, SloStats, StageRecord, StageStats,
+    TierStats,
+};
+pub use policy::{Fcfs, PolicyKind, PriorityTiers, SchedulingPolicy, ShortestPromptFirst};
 pub use request::{Request, RequestRecord};
+pub use scenario::{ConversationSpec, PendingRequest, Scenario, ScenarioSimulation, SloTier};
 pub use scheduler::{Simulation, SimulationConfig, StageExecutor, StageOutcome};
-pub use workload::{Arrivals, Workload};
+pub use trace::TraceRequest;
+pub use workload::{Arrivals, RequestSource, Workload};

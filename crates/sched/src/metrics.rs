@@ -87,7 +87,8 @@ pub struct LatencyDigest {
 
 impl LatencyDigest {
     fn bucket_of(value: f64) -> usize {
-        if !(value > DIGEST_FLOOR_S) {
+        // NaN and sub-floor values both land in bucket 0.
+        if value.partial_cmp(&DIGEST_FLOOR_S) != Some(std::cmp::Ordering::Greater) {
             return 0;
         }
         let idx = ((value / DIGEST_FLOOR_S).ln() / DIGEST_GROWTH.ln()) as usize;
@@ -202,6 +203,98 @@ impl StageStats {
     }
 }
 
+/// Per-SLO-tier attainment counters (scenario runs; see
+/// `crate::scenario`).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TierStats {
+    /// Tier display name ("interactive", "batch", ...).
+    pub name: String,
+    /// T2FT deadline the tier promises, in seconds.
+    pub t2ft_deadline_s: f64,
+    /// Mean-TBT deadline the tier promises, in seconds (0 = none).
+    pub tbt_deadline_s: f64,
+    /// Requests of this tier that completed.
+    pub completed: u64,
+    /// Completed requests that met every deadline.
+    pub met: u64,
+    /// Output tokens of SLO-attaining requests (the goodput numerator).
+    pub good_tokens: u64,
+}
+
+impl TierStats {
+    /// Fraction of this tier's completed requests that met their SLO.
+    pub fn attainment(&self) -> f64 {
+        if self.completed == 0 {
+            return 0.0;
+        }
+        self.met as f64 / self.completed as f64
+    }
+}
+
+/// SLO accounting across tiers. Empty (no tiers) for runs without SLO
+/// classes — the plain simulator leaves it default.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SloStats {
+    /// One entry per configured tier.
+    pub tiers: Vec<TierStats>,
+}
+
+impl SloStats {
+    /// Whether any SLO accounting happened.
+    pub fn is_empty(&self) -> bool {
+        self.tiers.is_empty()
+    }
+
+    /// Completed requests across all tiers.
+    pub fn completed(&self) -> u64 {
+        self.tiers.iter().map(|t| t.completed).sum()
+    }
+
+    /// Overall SLO attainment: attained / completed across tiers.
+    pub fn attainment(&self) -> f64 {
+        let done = self.completed();
+        if done == 0 {
+            return 0.0;
+        }
+        self.tiers.iter().map(|t| t.met).sum::<u64>() as f64 / done as f64
+    }
+
+    /// Output tokens of SLO-attaining requests across tiers.
+    pub fn good_tokens(&self) -> u64 {
+        self.tiers.iter().map(|t| t.good_tokens).sum()
+    }
+}
+
+/// Prefix-reuse accounting for multi-turn scenarios: how much prefill
+/// the KV cache saved, and what retention cost.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct KvReuseStats {
+    /// Prompt tokens whose KV was still resident at admission (their
+    /// prefill was skipped).
+    pub reused_prefill_tokens: u64,
+    /// Prompt tokens actually prefilled (fresh requests, evicted
+    /// histories, and new follow-up suffixes).
+    pub prefilled_tokens: u64,
+    /// Parked conversation histories evicted before their follow-up
+    /// arrived (those follow-ups re-prefill in full).
+    pub parked_evictions: u64,
+    /// Follow-up admissions that found their history resident.
+    pub reuse_hits: u64,
+    /// Follow-up admissions that had to re-prefill their history.
+    pub reuse_misses: u64,
+}
+
+impl KvReuseStats {
+    /// Fraction of prompt tokens served from resident KV.
+    pub fn reuse_fraction(&self) -> f64 {
+        let total = self.reused_prefill_tokens + self.prefilled_tokens;
+        if total == 0 {
+            return 0.0;
+        }
+        self.reused_prefill_tokens as f64 / total as f64
+    }
+}
+
 /// Result of one simulation run.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct SimReport {
@@ -218,6 +311,11 @@ pub struct SimReport {
     pub tbt_digest: LatencyDigest,
     /// Total simulated wall-clock time in seconds.
     pub total_time_s: f64,
+    /// SLO attainment per tier (empty unless the run declared tiers).
+    pub slo: SloStats,
+    /// Prefix-reuse accounting (zeros unless the run used multi-turn
+    /// conversations).
+    pub kv_reuse: KvReuseStats,
 }
 
 impl SimReport {
@@ -279,8 +377,7 @@ impl SimReport {
         if self.stage_stats.stages == 0 {
             return 0.0;
         }
-        (self.stage_stats.stages - self.stage_stats.mixed) as f64
-            / self.stage_stats.stages as f64
+        (self.stage_stats.stages - self.stage_stats.mixed) as f64 / self.stage_stats.stages as f64
     }
 
     /// Mean batch size across stages.
@@ -289,6 +386,20 @@ impl SimReport {
             return 0.0;
         }
         self.stage_stats.batch_sum as f64 / self.stage_stats.stages as f64
+    }
+
+    /// Overall SLO attainment (0 when the run declared no tiers).
+    pub fn slo_attainment(&self) -> f64 {
+        self.slo.attainment()
+    }
+
+    /// Goodput: output tokens of SLO-attaining requests per second of
+    /// simulated time. Falls back to 0 without tiers or time.
+    pub fn goodput_tokens_per_s(&self) -> f64 {
+        if self.total_time_s == 0.0 {
+            return 0.0;
+        }
+        self.slo.good_tokens() as f64 / self.total_time_s
     }
 }
 
@@ -355,7 +466,10 @@ mod tests {
         ] {
             assert!((a - e).abs() / e < 0.03, "approx {a} vs exact {e}");
         }
-        assert!((approx.mean - exact.mean).abs() / exact.mean < 1e-9, "mean is exact");
+        assert!(
+            (approx.mean - exact.mean).abs() / exact.mean < 1e-9,
+            "mean is exact"
+        );
         assert!(approx.p50 <= approx.p90 && approx.p90 <= approx.p99);
     }
 
@@ -373,15 +487,35 @@ mod tests {
 
     fn report() -> SimReport {
         let mk = |id, first: f64, last: f64, tokens: u64| RequestRecord {
-            request: Request { id, arrival_s: 0.0, input_len: 4, output_len: tokens },
+            request: Request {
+                id,
+                arrival_s: 0.0,
+                input_len: 4,
+                output_len: tokens,
+            },
             first_token_s: first,
             last_token_s: last,
             tokens,
         };
         let stages = vec![
-            StageRecord { seconds: 0.1, mixed: true, batch: 2, tokens: 10 },
-            StageRecord { seconds: 0.1, mixed: false, batch: 2, tokens: 2 },
-            StageRecord { seconds: 0.1, mixed: false, batch: 1, tokens: 1 },
+            StageRecord {
+                seconds: 0.1,
+                mixed: true,
+                batch: 2,
+                tokens: 10,
+            },
+            StageRecord {
+                seconds: 0.1,
+                mixed: false,
+                batch: 2,
+                tokens: 2,
+            },
+            StageRecord {
+                seconds: 0.1,
+                mixed: false,
+                batch: 1,
+                tokens: 1,
+            },
         ];
         let mut stage_stats = StageStats::default();
         for s in &stages {
@@ -397,6 +531,7 @@ mod tests {
             stage_stats,
             tbt_digest,
             total_time_s: 0.35,
+            ..SimReport::default()
         }
     }
 
@@ -431,5 +566,55 @@ mod tests {
         assert_eq!(r.throughput_tokens_per_s(), 0.0);
         assert_eq!(r.decode_only_fraction(), 0.0);
         assert_eq!(r.tbt().count, 0);
+        assert!(r.slo.is_empty());
+        assert_eq!(r.slo_attainment(), 0.0);
+        assert_eq!(r.goodput_tokens_per_s(), 0.0);
+        assert_eq!(r.kv_reuse.reuse_fraction(), 0.0);
+    }
+
+    #[test]
+    fn slo_stats_aggregate_across_tiers() {
+        let slo = SloStats {
+            tiers: vec![
+                TierStats {
+                    name: "interactive".into(),
+                    t2ft_deadline_s: 0.5,
+                    tbt_deadline_s: 0.05,
+                    completed: 10,
+                    met: 8,
+                    good_tokens: 800,
+                },
+                TierStats {
+                    name: "batch".into(),
+                    t2ft_deadline_s: 10.0,
+                    tbt_deadline_s: 0.0,
+                    completed: 5,
+                    met: 5,
+                    good_tokens: 2000,
+                },
+            ],
+        };
+        assert!((slo.tiers[0].attainment() - 0.8).abs() < 1e-12);
+        assert!((slo.attainment() - 13.0 / 15.0).abs() < 1e-12);
+        assert_eq!(slo.good_tokens(), 2800);
+        let report = SimReport {
+            slo,
+            total_time_s: 2.0,
+            ..SimReport::default()
+        };
+        assert!((report.goodput_tokens_per_s() - 1400.0).abs() < 1e-9);
+        assert!((report.slo_attainment() - 13.0 / 15.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn kv_reuse_fraction() {
+        let kv = KvReuseStats {
+            reused_prefill_tokens: 300,
+            prefilled_tokens: 700,
+            parked_evictions: 2,
+            reuse_hits: 3,
+            reuse_misses: 2,
+        };
+        assert!((kv.reuse_fraction() - 0.3).abs() < 1e-12);
     }
 }

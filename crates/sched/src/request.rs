@@ -74,7 +74,12 @@ mod tests {
 
     fn record() -> RequestRecord {
         RequestRecord {
-            request: Request { id: 0, arrival_s: 1.0, input_len: 128, output_len: 4 },
+            request: Request {
+                id: 0,
+                arrival_s: 1.0,
+                input_len: 128,
+                output_len: 4,
+            },
             first_token_s: 1.5,
             last_token_s: 2.1,
             tokens: 4,
@@ -92,7 +97,12 @@ mod tests {
     #[test]
     fn single_token_request_has_no_gaps() {
         let r = RequestRecord {
-            request: Request { id: 1, arrival_s: 0.0, input_len: 8, output_len: 1 },
+            request: Request {
+                id: 1,
+                arrival_s: 0.0,
+                input_len: 8,
+                output_len: 1,
+            },
             first_token_s: 0.25,
             last_token_s: 0.25,
             tokens: 1,
@@ -103,7 +113,12 @@ mod tests {
 
     #[test]
     fn kv_reservation_covers_full_context() {
-        let r = Request { id: 0, arrival_s: 0.0, input_len: 100, output_len: 28 };
+        let r = Request {
+            id: 0,
+            arrival_s: 0.0,
+            input_len: 100,
+            output_len: 28,
+        };
         assert_eq!(r.max_kv_tokens(), 128);
     }
 }

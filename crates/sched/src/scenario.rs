@@ -1,0 +1,852 @@
+//! The scenario scheduler: SLO tiers, pluggable admission policies,
+//! and multi-turn conversations with reuse-aware KV accounting.
+//!
+//! The base [`crate::Simulation`] reproduces the paper's setup: one
+//! synthetic workload shape, FIFO admission. A [`ScenarioSimulation`]
+//! generalizes it along three axes:
+//!
+//! * **arrivals** — any [`Arrivals`] process, including the bursty
+//!   on/off and diurnal curves and recorded-trace replay;
+//! * **multi-turn conversations** — a completed request may spawn a
+//!   follow-up after an exponential think time, carrying its whole
+//!   history as the new prompt. Finished histories are *parked* in a
+//!   [`PagedKvCache`]; if a follow-up arrives while its history is
+//!   still resident, only the new turn's tokens prefill (prefix reuse)
+//!   and the admission announces the split through
+//!   [`StageDelta::admit_ctx`], keeping the incremental executor's
+//!   carried batch state exact;
+//! * **SLO tiers and policies** — requests draw a [`SloTier`]
+//!   (deadline + priority) and a [`SchedulingPolicy`] picks admission
+//!   order; the report gains per-tier attainment and goodput.
+//!
+//! Unlike the base loop, the waiting queue is materialized (policies
+//! need to see every arrived request), so memory is O(waiting), not
+//! O(batch). Stage execution still flows through the PR 2
+//! [`StageDelta`] fast path: pure-decode stages price in O(1), mixed
+//! admit/retire stages fall back to the grouped full path.
+//!
+//! # Modeling note: reused prefixes
+//!
+//! A reuse-admitted follow-up prefills only its suffix but decodes over
+//! its full history (`admit_ctx`), exactly like prefix caching. The
+//! suffix prefill is priced as a fresh prefill of that length — the
+//! cross-attention of the new tokens over the resident history is not
+//! separately charged, which underprices long-history turn prefills
+//! slightly; decode pricing is exact.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use duplex_model::kv_cache::{EvictionPolicy, PagedKvCache};
+use duplex_model::ops::StageShape;
+
+use crate::delta::StageDelta;
+use crate::metrics::{
+    KvReuseStats, LatencyDigest, SimReport, SloStats, StageRecord, StageStats, TierStats,
+};
+use crate::policy::SchedulingPolicy;
+use crate::request::{Request, RequestRecord};
+use crate::scheduler::{SimulationConfig, StageExecutor};
+use crate::workload::{exp_sample, sample_len, Arrivals, RequestSource, Workload};
+
+/// One service tier: a share of traffic, a priority, and deadlines.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SloTier {
+    /// Display name.
+    pub name: String,
+    /// Relative share of arriving requests landing in this tier.
+    pub weight: f64,
+    /// Admission priority (lower = more urgent) for tier-aware
+    /// policies.
+    pub priority: u32,
+    /// Time-to-first-token deadline in seconds.
+    pub t2ft_deadline_s: f64,
+    /// Mean token-between-token deadline in seconds (0 = no TBT SLO).
+    pub tbt_deadline_s: f64,
+}
+
+impl SloTier {
+    /// A tier with the given share, priority and deadlines.
+    pub fn new(name: &str, weight: f64, priority: u32, t2ft_s: f64, tbt_s: f64) -> Self {
+        assert!(weight > 0.0, "tier weight must be positive");
+        assert!(t2ft_s > 0.0, "t2ft deadline must be positive");
+        assert!(tbt_s >= 0.0, "tbt deadline must be non-negative");
+        Self {
+            name: name.into(),
+            weight,
+            priority,
+            t2ft_deadline_s: t2ft_s,
+            tbt_deadline_s: tbt_s,
+        }
+    }
+}
+
+/// Multi-turn conversation behavior.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConversationSpec {
+    /// Probability that a completed round spawns a follow-up.
+    pub followup_prob: f64,
+    /// Hard cap on rounds per conversation (>= 1, counts the first).
+    pub max_rounds: u32,
+    /// Mean think time between a reply and the follow-up, seconds.
+    pub mean_think_s: f64,
+    /// Mean new-user-turn prompt tokens appended each round (sampled
+    /// with the workload's cv).
+    pub turn_tokens: u64,
+    /// Page size (tokens) of the parked-history KV pool.
+    pub page_tokens: u64,
+}
+
+impl ConversationSpec {
+    /// A chat-like spec: geometric continuation at `followup_prob`.
+    pub fn chat(followup_prob: f64, max_rounds: u32, mean_think_s: f64, turn_tokens: u64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&followup_prob),
+            "probability in [0, 1]"
+        );
+        assert!(max_rounds >= 1, "at least one round");
+        assert!(
+            mean_think_s > 0.0 && turn_tokens > 0,
+            "think time and turn must be positive"
+        );
+        Self {
+            followup_prob,
+            max_rounds,
+            mean_think_s,
+            turn_tokens,
+            page_tokens: 16,
+        }
+    }
+}
+
+/// A complete serving scenario: shapes, arrivals, conversations, SLOs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scenario {
+    /// Display name.
+    pub name: String,
+    /// Request-shape distribution (also seeds all scenario RNG).
+    pub workload: Workload,
+    /// Arrival process.
+    pub arrivals: Arrivals,
+    /// Initial requests (= conversations when multi-turn); follow-up
+    /// rounds come on top. Clamped to the trace length under replay.
+    pub requests: usize,
+    /// Multi-turn behavior; `None` for single-shot requests.
+    pub conversation: Option<ConversationSpec>,
+    /// Service tiers; empty runs without SLO accounting.
+    pub tiers: Vec<SloTier>,
+}
+
+impl Scenario {
+    /// A single-shot scenario without tiers.
+    pub fn new(name: &str, workload: Workload, arrivals: Arrivals, requests: usize) -> Self {
+        Self {
+            name: name.into(),
+            workload,
+            arrivals,
+            requests,
+            conversation: None,
+            tiers: Vec::new(),
+        }
+    }
+
+    /// Attach a conversation spec.
+    pub fn with_conversation(mut self, spec: ConversationSpec) -> Self {
+        self.conversation = Some(spec);
+        self
+    }
+
+    /// Attach SLO tiers.
+    pub fn with_tiers(mut self, tiers: Vec<SloTier>) -> Self {
+        self.tiers = tiers;
+        self
+    }
+
+    /// The paper-external default tier set: interactive / standard /
+    /// batch at 60/30/10% with tightening deadlines. Deadlines are in
+    /// units of `stage_s`, a rough per-stage latency for the system
+    /// under test, so the same tiers make sense at quick and paper
+    /// scales.
+    pub fn default_tiers(stage_s: f64) -> Vec<SloTier> {
+        vec![
+            SloTier::new("interactive", 0.6, 0, 10.0 * stage_s, 1.8 * stage_s),
+            SloTier::new("standard", 0.3, 1, 60.0 * stage_s, 4.0 * stage_s),
+            SloTier::new("batch", 0.1, 2, 1000.0 * stage_s, 0.0),
+        ]
+    }
+}
+
+/// A request waiting for admission, as shown to a
+/// [`SchedulingPolicy`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct PendingRequest {
+    /// The request; `input_len` is the *full* prompt including any
+    /// conversation history.
+    pub request: Request,
+    /// Index into the scenario's tier list (0 when untiered).
+    pub tier: usize,
+    /// The tier's priority (0 when untiered).
+    pub priority: u32,
+    /// Absolute T2FT deadline (arrival + tier deadline; infinity when
+    /// untiered).
+    pub deadline_s: f64,
+    /// Conversation id (the root request's id).
+    pub conversation: u64,
+    /// 1-based round within the conversation.
+    pub round: u32,
+    /// Prompt prefix that may still be KV-resident from the previous
+    /// round (0 for fresh requests).
+    pub history_tokens: u64,
+}
+
+#[derive(Debug)]
+struct ActiveRequest {
+    pending: PendingRequest,
+    /// Tokens actually prefilled at admission (= input_len, or the new
+    /// suffix under prefix reuse).
+    generated: u64,
+    first_token_s: f64,
+}
+
+impl ActiveRequest {
+    fn decode_ctx(&self) -> u64 {
+        self.pending.request.input_len + self.generated
+    }
+
+    fn kv_reserved(&self, bytes_per_token: u64) -> u64 {
+        self.pending.request.max_kv_tokens() * bytes_per_token
+    }
+}
+
+/// A configured scenario run, ready for a policy and an executor.
+#[derive(Debug)]
+pub struct ScenarioSimulation {
+    config: SimulationConfig,
+    scenario: Scenario,
+}
+
+impl ScenarioSimulation {
+    /// Bind a scenario to scheduler limits. Under trace replay the
+    /// request count is clamped to the trace length.
+    pub fn new(config: SimulationConfig, scenario: Scenario) -> Self {
+        let mut scenario = scenario;
+        if let Arrivals::Trace { requests } = &scenario.arrivals {
+            scenario.requests = scenario.requests.min(requests.len());
+        }
+        let total_weight: f64 = scenario.tiers.iter().map(|t| t.weight).sum();
+        assert!(
+            scenario.tiers.is_empty() || total_weight > 0.0,
+            "tier weights must sum to a positive value"
+        );
+        Self { config, scenario }
+    }
+
+    /// Run to completion (or the stage cap) under `policy` and report.
+    pub fn run<E: StageExecutor + ?Sized>(
+        self,
+        policy: &mut dyn SchedulingPolicy,
+        executor: &mut E,
+    ) -> SimReport {
+        let Self { config, scenario } = self;
+        let bytes_per_token = config.kv_bytes_per_token;
+        let mut source = RequestSource::new(scenario.workload.clone(), scenario.arrivals.clone());
+        // Scenario-side draws (tier assignment, think times, follow-up
+        // lengths) use an independent stream so they never perturb the
+        // arrival process.
+        let mut rng = StdRng::seed_from_u64(scenario.workload.seed ^ 0x5C3A_A110);
+        let mut drawn = 0usize;
+        let mut next_id = scenario.requests as u64;
+        let mut peeked: Option<Request> = None;
+        // Follow-ups not yet arrived, sorted by descending arrival time
+        // (pop from the back).
+        let mut followups: Vec<PendingRequest> = Vec::new();
+        let mut pending: Vec<PendingRequest> = Vec::new();
+        let mut active: Vec<ActiveRequest> = Vec::new();
+        let mut admitted: Vec<ActiveRequest> = Vec::new();
+        let mut completed: Vec<RequestRecord> = Vec::new();
+        let mut stages: Vec<StageRecord> = Vec::new();
+        let mut stage_stats = StageStats::default();
+        let mut tbt_digest = LatencyDigest::default();
+        let mut tier_stats: Vec<TierStats> = scenario
+            .tiers
+            .iter()
+            .map(|t| TierStats {
+                name: t.name.clone(),
+                t2ft_deadline_s: t.t2ft_deadline_s,
+                tbt_deadline_s: t.tbt_deadline_s,
+                ..TierStats::default()
+            })
+            .collect();
+        let tier_weight_total: f64 = scenario.tiers.iter().map(|t| t.weight).sum();
+        let mut kv_reuse = KvReuseStats::default();
+        // Finished conversations' KV, parked between turns. Recompute
+        // policy: an evicted history is simply re-prefilled.
+        let mut parked = scenario.conversation.as_ref().map(|spec| {
+            PagedKvCache::new(
+                config.kv_capacity_bytes,
+                spec.page_tokens,
+                bytes_per_token.max(1),
+                EvictionPolicy::Recompute,
+            )
+        });
+        let mut reserved: u64 = 0;
+        let mut clock = 0.0f64;
+        let mut delta = StageDelta::start();
+        let mut shape = StageShape::default();
+
+        loop {
+            if (stage_stats.stages as usize) >= config.max_stages {
+                break;
+            }
+            // ---- pull arrivals into the waiting queue ----
+            loop {
+                if peeked.is_none() && drawn < scenario.requests {
+                    peeked = Some(source.next_request());
+                    drawn += 1;
+                }
+                match &peeked {
+                    Some(r) if r.arrival_s <= clock => {
+                        let request = peeked.take().expect("peeked request exists");
+                        let tier = draw_tier(&scenario.tiers, tier_weight_total, &mut rng);
+                        pending.push(make_pending(request, tier, &scenario.tiers));
+                    }
+                    _ => break,
+                }
+            }
+            while followups
+                .last()
+                .is_some_and(|f| f.request.arrival_s <= clock)
+            {
+                pending.push(followups.pop().expect("checked non-empty"));
+            }
+
+            // ---- policy-driven admission ----
+            while active.len() + admitted.len() < config.max_batch && !pending.is_empty() {
+                let idx = policy.pick(&pending, clock);
+                assert!(
+                    idx < pending.len(),
+                    "policy picked index {idx} of {}",
+                    pending.len()
+                );
+                let need = pending[idx].request.max_kv_tokens() * bytes_per_token;
+                if reserved.saturating_add(need) > config.kv_capacity_bytes {
+                    // Even evicting every parked history cannot admit:
+                    // wait for retirements (head-of-line block).
+                    assert!(
+                        !(active.is_empty() && admitted.is_empty() && reserved == 0),
+                        "request {} needs {need} KV bytes, capacity {}",
+                        pending[idx].request.id,
+                        config.kv_capacity_bytes
+                    );
+                    break;
+                }
+                let p = pending.swap_remove(idx);
+                // Reuse-aware accounting: claim a resident history (its
+                // bytes migrate from the parked pool into the active
+                // reservation), then evict other parked histories until
+                // the new reservation fits.
+                let mut prefill = p.request.input_len;
+                if let Some(cache) = parked.as_mut() {
+                    if p.history_tokens > 0 {
+                        if cache.is_resident(p.conversation) {
+                            cache.release(p.conversation);
+                            prefill = p.request.input_len - p.history_tokens;
+                            kv_reuse.reuse_hits += 1;
+                            kv_reuse.reused_prefill_tokens += p.history_tokens;
+                        } else {
+                            kv_reuse.reuse_misses += 1;
+                        }
+                    }
+                    while reserved + cache.resident_bytes() + need > config.kv_capacity_bytes {
+                        cache
+                            .evict_one()
+                            .expect("over budget implies a parked victim");
+                        kv_reuse.parked_evictions += 1;
+                    }
+                }
+                kv_reuse.prefilled_tokens += prefill;
+                reserved += need;
+                delta.admit.push(prefill);
+                if scenario.conversation.is_some() {
+                    delta.admit_ctx.push(p.request.input_len);
+                }
+                shape.prefill_len.push(prefill);
+                admitted.push(ActiveRequest {
+                    pending: p,
+                    generated: 0,
+                    first_token_s: 0.0,
+                });
+            }
+
+            if active.is_empty() && admitted.is_empty() {
+                // Idle: jump to the next arrival, if any.
+                let next_source = peeked.as_ref().map(|r| r.arrival_s);
+                let next_follow = followups.last().map(|f| f.request.arrival_s);
+                let next = match (next_source, next_follow) {
+                    (Some(a), Some(b)) => a.min(b),
+                    (Some(a), None) => a,
+                    (None, Some(b)) => b,
+                    (None, None) => break,
+                };
+                clock = clock.max(next);
+                shape.prefill_len.clear();
+                continue;
+            }
+
+            // ---- execute the stage ----
+            shape.decode_ctx.clear();
+            shape
+                .decode_ctx
+                .extend(active.iter().map(ActiveRequest::decode_ctx));
+            debug_assert_eq!(shape.prefill_len.len(), admitted.len());
+            let outcome = executor.execute_delta(&delta, &shape);
+            delta.clear();
+            clock += outcome.seconds;
+            let record = StageRecord {
+                seconds: outcome.seconds,
+                mixed: shape.is_mixed(),
+                batch: shape.batch_size(),
+                tokens: shape.tokens(),
+            };
+            stage_stats.record(&record);
+            if config.record_stages {
+                stages.push(record);
+            }
+            shape.prefill_len.clear();
+
+            tbt_digest.record_n(outcome.seconds, active.len() as u64);
+            for a in &mut active {
+                a.generated += 1;
+            }
+            for mut a in admitted.drain(..) {
+                a.generated = 1;
+                a.first_token_s = clock;
+                active.push(a);
+            }
+
+            // ---- retire, account SLOs, spawn follow-ups ----
+            let mut i = 0;
+            while i < active.len() {
+                if active[i].generated < active[i].pending.request.output_len {
+                    i += 1;
+                    continue;
+                }
+                let done = active.swap_remove(i);
+                reserved -= done.kv_reserved(bytes_per_token);
+                delta.retire.push(done.decode_ctx());
+                let record = RequestRecord {
+                    first_token_s: done.first_token_s,
+                    last_token_s: clock,
+                    tokens: done.generated,
+                    request: done.pending.request,
+                };
+                if !tier_stats.is_empty() {
+                    let tier = &scenario.tiers[done.pending.tier];
+                    let stats = &mut tier_stats[done.pending.tier];
+                    stats.completed += 1;
+                    let met_t2ft = record.t2ft() <= tier.t2ft_deadline_s;
+                    let met_tbt =
+                        tier.tbt_deadline_s == 0.0 || record.mean_tbt() <= tier.tbt_deadline_s;
+                    if met_t2ft && met_tbt {
+                        stats.met += 1;
+                        stats.good_tokens += record.tokens;
+                    }
+                }
+                if let (Some(spec), Some(cache)) = (&scenario.conversation, parked.as_mut()) {
+                    let continues = done.pending.round < spec.max_rounds
+                        && rng.random::<f64>() < spec.followup_prob;
+                    if continues {
+                        let history = done.pending.request.input_len + done.generated;
+                        // Park the history; if it cannot fit alone the
+                        // follow-up simply re-prefills.
+                        if let Ok(events) = cache.admit(done.pending.conversation, history) {
+                            kv_reuse.parked_evictions += events.len() as u64
+                        }
+                        let think = exp_sample(&mut rng, 1.0 / spec.mean_think_s);
+                        let turn = sample_len(&mut rng, spec.turn_tokens, scenario.workload.cv);
+                        let output = sample_len(
+                            &mut rng,
+                            scenario.workload.mean_output,
+                            scenario.workload.cv,
+                        );
+                        let request = Request {
+                            id: next_id,
+                            arrival_s: clock + think,
+                            input_len: history + turn,
+                            output_len: output,
+                        };
+                        next_id += 1;
+                        let follow = PendingRequest {
+                            deadline_s: request.arrival_s
+                                + scenario
+                                    .tiers
+                                    .get(done.pending.tier)
+                                    .map_or(f64::INFINITY, |t| t.t2ft_deadline_s),
+                            request,
+                            tier: done.pending.tier,
+                            priority: done.pending.priority,
+                            conversation: done.pending.conversation,
+                            round: done.pending.round + 1,
+                            history_tokens: history,
+                        };
+                        // Keep descending arrival order (pop from back).
+                        let pos = followups
+                            .partition_point(|f| f.request.arrival_s > follow.request.arrival_s);
+                        followups.insert(pos, follow);
+                    } else {
+                        // The conversation is over; drop any parked KV.
+                        cache.release(done.pending.conversation);
+                    }
+                }
+                completed.push(record);
+            }
+        }
+
+        SimReport {
+            completed,
+            stages,
+            stage_stats,
+            tbt_digest,
+            total_time_s: clock,
+            slo: SloStats { tiers: tier_stats },
+            kv_reuse,
+        }
+    }
+}
+
+fn draw_tier(tiers: &[SloTier], weight_total: f64, rng: &mut StdRng) -> usize {
+    if tiers.is_empty() {
+        return 0;
+    }
+    let mut u: f64 = rng.random::<f64>() * weight_total;
+    for (i, t) in tiers.iter().enumerate() {
+        u -= t.weight;
+        if u < 0.0 {
+            return i;
+        }
+    }
+    tiers.len() - 1
+}
+
+fn make_pending(request: Request, tier: usize, tiers: &[SloTier]) -> PendingRequest {
+    let (priority, deadline_s) = tiers.get(tier).map_or((0, f64::INFINITY), |t| {
+        (t.priority, request.arrival_s + t.t2ft_deadline_s)
+    });
+    PendingRequest {
+        request,
+        tier,
+        priority,
+        deadline_s,
+        conversation: request.id,
+        round: 1,
+        history_tokens: 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{Fcfs, PriorityTiers, ShortestPromptFirst};
+    use crate::scheduler::StageOutcome;
+
+    struct Fixed(f64);
+    impl StageExecutor for Fixed {
+        fn execute(&mut self, _shape: &StageShape) -> StageOutcome {
+            StageOutcome { seconds: self.0 }
+        }
+    }
+
+    /// Records every delta/shape pair, for contract checks.
+    struct Recording {
+        shapes: Vec<StageShape>,
+        deltas: Vec<StageDelta>,
+    }
+    impl Recording {
+        fn new() -> Self {
+            Self {
+                shapes: Vec::new(),
+                deltas: Vec::new(),
+            }
+        }
+    }
+    impl StageExecutor for Recording {
+        fn execute(&mut self, shape: &StageShape) -> StageOutcome {
+            self.shapes.push(shape.clone());
+            StageOutcome { seconds: 0.01 }
+        }
+        fn execute_delta(&mut self, delta: &StageDelta, shape: &StageShape) -> StageOutcome {
+            self.deltas.push(delta.clone());
+            self.execute(shape)
+        }
+    }
+
+    fn config(max_batch: usize) -> SimulationConfig {
+        SimulationConfig {
+            max_batch,
+            ..SimulationConfig::default()
+        }
+    }
+
+    fn run_scenario(
+        scenario: Scenario,
+        cfg: SimulationConfig,
+        policy: &mut dyn SchedulingPolicy,
+    ) -> SimReport {
+        ScenarioSimulation::new(cfg, scenario).run(policy, &mut Fixed(0.01))
+    }
+
+    #[test]
+    fn single_shot_matches_base_semantics() {
+        let scenario = Scenario::new("plain", Workload::fixed(64, 5), Arrivals::ClosedLoop, 20);
+        let report = run_scenario(scenario, config(8), &mut Fcfs);
+        assert_eq!(report.completed.len(), 20);
+        for r in &report.completed {
+            assert_eq!(r.tokens, r.request.output_len);
+        }
+        assert!(report.slo.is_empty());
+        assert_eq!(report.kv_reuse.reuse_hits, 0);
+    }
+
+    #[test]
+    fn fcfs_scenario_equals_base_simulation_timeline() {
+        // Under FCFS with no conversations and no tiers, the scenario
+        // loop must reproduce the base Simulation exactly.
+        let w = Workload::gaussian(64, 6).with_seed(11);
+        let base = crate::scheduler::Simulation::closed_loop(config(4), w.clone(), 12)
+            .run(&mut Fixed(0.01));
+        let scenario = Scenario::new("plain", w, Arrivals::ClosedLoop, 12);
+        let report = run_scenario(scenario, config(4), &mut Fcfs);
+        assert_eq!(report.stage_stats, base.stage_stats);
+        assert_eq!(report.total_time_s, base.total_time_s);
+        assert_eq!(report.completed.len(), base.completed.len());
+    }
+
+    #[test]
+    fn bursty_arrivals_flow_through() {
+        let scenario = Scenario::new(
+            "bursty",
+            Workload::fixed(32, 4).with_seed(3),
+            Arrivals::Bursty {
+                base_qps: 0.0,
+                burst_qps: 500.0,
+                mean_off_s: 0.5,
+                mean_on_s: 0.1,
+            },
+            40,
+        );
+        let report = run_scenario(scenario, config(8), &mut Fcfs);
+        assert_eq!(report.completed.len(), 40);
+        assert!(report.total_time_s > 0.0);
+    }
+
+    #[test]
+    fn multi_turn_spawns_followups_and_reuses_kv() {
+        let scenario = Scenario::new(
+            "chat",
+            Workload::fixed(64, 8).with_seed(5),
+            Arrivals::Poisson { qps: 200.0 },
+            20,
+        )
+        .with_conversation(ConversationSpec::chat(1.0, 3, 0.001, 16));
+        let report = run_scenario(scenario, config(16), &mut Fcfs);
+        // Every conversation runs exactly 3 rounds at prob 1.0.
+        assert_eq!(report.completed.len(), 60);
+        assert!(report.kv_reuse.reuse_hits > 0, "{:?}", report.kv_reuse);
+        assert!(report.kv_reuse.reused_prefill_tokens > 0);
+        // Follow-up prompts grow: round 2 input = 64 + 8 + 16 = 88.
+        let follow = report
+            .completed
+            .iter()
+            .find(|r| r.request.id >= 20)
+            .expect("follow-ups completed");
+        assert!(follow.request.input_len >= 88);
+    }
+
+    #[test]
+    fn reuse_admissions_announce_admit_ctx() {
+        let scenario = Scenario::new(
+            "chat",
+            Workload::fixed(64, 4).with_seed(1),
+            Arrivals::ClosedLoop,
+            2,
+        )
+        .with_conversation(ConversationSpec::chat(1.0, 2, 0.001, 16));
+        let mut rec = Recording::new();
+        let report = ScenarioSimulation::new(config(4), scenario).run(&mut Fcfs, &mut rec);
+        assert_eq!(report.completed.len(), 4);
+        // Find the admission of a follow-up with resident history:
+        // prefill (admit) is the 20-token suffix? No: turn=16, output=4
+        // => suffix = 16 + 4 = 20... admit is input - history = 16.
+        let reuse_delta = rec
+            .deltas
+            .iter()
+            .find(|d| !d.admit_ctx.is_empty() && d.admit_ctx != d.admit)
+            .expect("a reuse admission exists");
+        let (i, _) = reuse_delta
+            .admit_ctx
+            .iter()
+            .enumerate()
+            .find(|(i, ctx)| **ctx != reuse_delta.admit[*i])
+            .expect("mismatched entry");
+        // Full prompt is history (64 + 4) + turn 16 = 84; prefill is 16.
+        assert_eq!(reuse_delta.admit_ctx[i], 84);
+        assert_eq!(reuse_delta.admit[i], 16);
+        // The shape's prefill matches the suffix, and decode contexts in
+        // later stages include the full history.
+        assert!(report.kv_reuse.reuse_hits >= 1);
+    }
+
+    #[test]
+    fn evicted_history_reprefills_in_full() {
+        // KV capacity fits barely more than one conversation: parking a
+        // history evicts the other's, so reuse misses happen.
+        let cfg = SimulationConfig {
+            max_batch: 2,
+            kv_capacity_bytes: 260,
+            kv_bytes_per_token: 1,
+            ..SimulationConfig::default()
+        };
+        let scenario = Scenario::new(
+            "tight",
+            Workload::fixed(64, 8).with_seed(9),
+            Arrivals::Poisson { qps: 50.0 },
+            6,
+        )
+        .with_conversation(ConversationSpec::chat(1.0, 2, 0.01, 16));
+        let report = run_scenario(scenario, cfg, &mut Fcfs);
+        assert_eq!(report.completed.len(), 12);
+        assert!(
+            report.kv_reuse.reuse_misses + report.kv_reuse.parked_evictions > 0,
+            "{:?}",
+            report.kv_reuse
+        );
+    }
+
+    #[test]
+    fn tiers_report_attainment_and_goodput() {
+        let tiers = vec![
+            SloTier::new("interactive", 0.5, 0, 0.05, 0.02),
+            SloTier::new("batch", 0.5, 1, 100.0, 0.0),
+        ];
+        let scenario = Scenario::new(
+            "tiered",
+            Workload::fixed(32, 8).with_seed(2),
+            Arrivals::Poisson { qps: 100.0 },
+            40,
+        )
+        .with_tiers(tiers);
+        let report = run_scenario(scenario, config(4), &mut PriorityTiers);
+        assert_eq!(report.completed.len(), 40);
+        assert_eq!(report.slo.tiers.len(), 2);
+        assert_eq!(report.slo.completed(), 40);
+        // The generous batch tier always attains; overall attainment is
+        // a proper fraction.
+        let batch = &report.slo.tiers[1];
+        assert_eq!(batch.met, batch.completed);
+        assert!(report.slo_attainment() > 0.0 && report.slo_attainment() <= 1.0);
+        assert!(report.goodput_tokens_per_s() > 0.0);
+        assert!(report.goodput_tokens_per_s() <= report.generation_throughput() + 1e-9);
+    }
+
+    #[test]
+    fn spf_admits_short_prompts_first() {
+        // Two long prompts and one short arrive together; batch 1.
+        let trace = vec![
+            crate::trace::TraceRequest {
+                arrival_s: 0.0,
+                input_len: 500,
+                output_len: 2,
+            },
+            crate::trace::TraceRequest {
+                arrival_s: 0.0,
+                input_len: 400,
+                output_len: 2,
+            },
+            crate::trace::TraceRequest {
+                arrival_s: 0.0,
+                input_len: 10,
+                output_len: 2,
+            },
+        ];
+        let scenario = Scenario::new("spf", Workload::fixed(1, 1), Arrivals::trace(trace), 3);
+        let mut rec = Recording::new();
+        ScenarioSimulation::new(config(1), scenario.clone())
+            .run(&mut ShortestPromptFirst, &mut rec);
+        assert_eq!(rec.shapes[0].prefill_len, vec![10]);
+        let mut rec2 = Recording::new();
+        ScenarioSimulation::new(config(1), scenario).run(&mut Fcfs, &mut rec2);
+        assert_eq!(rec2.shapes[0].prefill_len, vec![500]);
+    }
+
+    #[test]
+    fn trace_replay_clamps_request_count() {
+        let trace = vec![
+            crate::trace::TraceRequest {
+                arrival_s: 0.0,
+                input_len: 16,
+                output_len: 2,
+            },
+            crate::trace::TraceRequest {
+                arrival_s: 0.1,
+                input_len: 16,
+                output_len: 2,
+            },
+        ];
+        let scenario = Scenario::new("trace", Workload::fixed(1, 1), Arrivals::trace(trace), 1000);
+        let report = run_scenario(scenario, config(4), &mut Fcfs);
+        assert_eq!(report.completed.len(), 2);
+    }
+
+    #[test]
+    fn stage_cap_stops_runaway() {
+        let cfg = SimulationConfig {
+            max_stages: 5,
+            ..config(1)
+        };
+        let scenario = Scenario::new("cap", Workload::fixed(8, 100), Arrivals::ClosedLoop, 3);
+        let report = run_scenario(scenario, cfg, &mut Fcfs);
+        assert_eq!(report.stage_stats.stages, 5);
+        assert!(report.completed.is_empty());
+    }
+
+    #[test]
+    fn deltas_replay_to_materialized_shapes_with_reuse() {
+        // The delta stream must mirror the shapes exactly, including
+        // reuse admissions joining at their full history context.
+        let scenario = Scenario::new(
+            "chat",
+            Workload::gaussian(48, 6).with_seed(7),
+            Arrivals::Poisson { qps: 300.0 },
+            10,
+        )
+        .with_conversation(ConversationSpec::chat(0.7, 3, 0.002, 12));
+        let mut rec = Recording::new();
+        ScenarioSimulation::new(config(4), scenario).run(&mut Fcfs, &mut rec);
+        let mut mirror: Vec<u64> = Vec::new();
+        let mut pend: Vec<u64> = Vec::new();
+        for (delta, shape) in rec.deltas.iter().zip(&rec.shapes) {
+            if delta.fresh {
+                mirror.clear();
+                pend.clear();
+            }
+            for c in &mut mirror {
+                *c += 1;
+            }
+            mirror.extend(pend.drain(..).map(|p| p + 1));
+            for r in &delta.retire {
+                let pos = mirror
+                    .iter()
+                    .position(|c| c == r)
+                    .expect("retired ctx present");
+                mirror.swap_remove(pos);
+            }
+            pend.extend_from_slice(delta.join_contexts());
+            let mut want = shape.decode_ctx.clone();
+            want.sort_unstable();
+            let mut got = mirror.clone();
+            got.sort_unstable();
+            assert_eq!(got, want);
+            assert_eq!(delta.admit, shape.prefill_len);
+        }
+    }
+}

@@ -117,7 +117,11 @@ impl Simulation {
     /// Closed-loop serving: `total_requests` drawn from `workload`, all
     /// backlogged at time zero; a finished request is replaced at the
     /// next stage boundary.
-    pub fn closed_loop(config: SimulationConfig, workload: Workload, total_requests: usize) -> Self {
+    pub fn closed_loop(
+        config: SimulationConfig,
+        workload: Workload,
+        total_requests: usize,
+    ) -> Self {
         Self {
             config,
             source: RequestSource::new(workload, Arrivals::ClosedLoop),
@@ -185,7 +189,11 @@ impl Simulation {
                 reserved += need;
                 let request = peeked.take().expect("peeked request exists");
                 delta.admit.push(request.input_len);
-                prefills.push(Active { request, generated: 0, first_token_s: 0.0 });
+                prefills.push(Active {
+                    request,
+                    generated: 0,
+                    first_token_s: 0.0,
+                });
             }
 
             if active.is_empty() && prefills.is_empty() {
@@ -201,9 +209,13 @@ impl Simulation {
             }
 
             shape.decode_ctx.clear();
-            shape.decode_ctx.extend(active.iter().map(Active::decode_ctx));
+            shape
+                .decode_ctx
+                .extend(active.iter().map(Active::decode_ctx));
             shape.prefill_len.clear();
-            shape.prefill_len.extend(prefills.iter().map(|p| p.request.input_len));
+            shape
+                .prefill_len
+                .extend(prefills.iter().map(|p| p.request.input_len));
             let outcome = executor.execute_delta(&delta, &shape);
             delta.clear();
             clock += outcome.seconds;
@@ -258,7 +270,14 @@ impl Simulation {
             }
         }
 
-        SimReport { completed, stages, stage_stats, tbt_digest, total_time_s: clock }
+        SimReport {
+            completed,
+            stages,
+            stage_stats,
+            tbt_digest,
+            total_time_s: clock,
+            ..SimReport::default()
+        }
     }
 }
 
@@ -280,7 +299,10 @@ mod tests {
     }
     impl Recording {
         fn new() -> Self {
-            Self { shapes: Vec::new(), deltas: Vec::new() }
+            Self {
+                shapes: Vec::new(),
+                deltas: Vec::new(),
+            }
         }
     }
     impl StageExecutor for Recording {
@@ -295,7 +317,10 @@ mod tests {
     }
 
     fn config(max_batch: usize) -> SimulationConfig {
-        SimulationConfig { max_batch, ..SimulationConfig::default() }
+        SimulationConfig {
+            max_batch,
+            ..SimulationConfig::default()
+        }
     }
 
     #[test]
@@ -326,7 +351,11 @@ mod tests {
         // Fig. 5(a): one prefill stage, Lout decode stages per request.
         let sim = Simulation::closed_loop(config(4), Workload::fixed(128, 64), 16);
         let report = sim.run(&mut Fixed(0.001));
-        assert!(report.decode_only_fraction() > 0.8, "{}", report.decode_only_fraction());
+        assert!(
+            report.decode_only_fraction() > 0.8,
+            "{}",
+            report.decode_only_fraction()
+        );
     }
 
     #[test]
@@ -340,7 +369,10 @@ mod tests {
         let sim = Simulation::closed_loop(cfg, Workload::fixed(16, 4), 12);
         let report = sim.run(&mut Fixed(0.01));
         assert_eq!(report.completed.len(), 12);
-        assert!(report.stages.iter().all(|s| s.batch <= 2), "batch capped by KV capacity");
+        assert!(
+            report.stages.iter().all(|s| s.batch <= 2),
+            "batch capped by KV capacity"
+        );
     }
 
     #[test]
@@ -394,7 +426,10 @@ mod tests {
             }
             mirror.extend(pending.drain(..).map(|p| p + 1));
             for r in &delta.retire {
-                let pos = mirror.iter().position(|c| c == r).expect("retired ctx present");
+                let pos = mirror
+                    .iter()
+                    .position(|c| c == r)
+                    .expect("retired ctx present");
                 mirror.swap_remove(pos);
             }
             pending.extend_from_slice(&delta.admit);
@@ -441,7 +476,10 @@ mod tests {
 
     #[test]
     fn stage_cap_stops_runaway() {
-        let cfg = SimulationConfig { max_stages: 5, ..config(1) };
+        let cfg = SimulationConfig {
+            max_stages: 5,
+            ..config(1)
+        };
         let sim = Simulation::closed_loop(cfg, Workload::fixed(8, 100), 3);
         let report = sim.run(&mut Fixed(0.01));
         assert_eq!(report.stages.len(), 5);
@@ -452,7 +490,10 @@ mod tests {
     fn unrecorded_stages_keep_aggregates() {
         let w = Workload::fixed(64, 5);
         let recorded = Simulation::closed_loop(config(8), w.clone(), 20).run(&mut Fixed(0.01));
-        let cfg = SimulationConfig { record_stages: false, ..config(8) };
+        let cfg = SimulationConfig {
+            record_stages: false,
+            ..config(8)
+        };
         let bare = Simulation::closed_loop(cfg, w, 20).run(&mut Fixed(0.01));
         assert!(bare.stages.is_empty());
         assert_eq!(bare.stage_stats, recorded.stage_stats);

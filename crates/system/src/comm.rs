@@ -60,8 +60,15 @@ impl CommModel {
     ///
     /// Panics if either dimension is zero.
     pub fn new(link: LinkSpec, nodes: u32, devices_per_node: u32) -> Self {
-        assert!(nodes > 0 && devices_per_node > 0, "cluster must be non-empty");
-        Self { link, nodes, devices_per_node }
+        assert!(
+            nodes > 0 && devices_per_node > 0,
+            "cluster must be non-empty"
+        );
+        Self {
+            link,
+            nodes,
+            devices_per_node,
+        }
     }
 
     /// Devices participating in an intra-node collective.

@@ -45,7 +45,10 @@ impl ExpertSplit {
 pub fn split_experts(costs: &[(f64, f64)]) -> ExpertSplit {
     let mut order: Vec<usize> = (0..costs.len()).collect();
     order.sort_by(|&a, &b| {
-        costs[a].0.partial_cmp(&costs[b].0).expect("expert costs are finite")
+        costs[a]
+            .0
+            .partial_cmp(&costs[b].0)
+            .expect("expert costs are finite")
     });
 
     // Suffix sums of xPU times in sorted order.
@@ -73,7 +76,12 @@ pub fn split_experts(costs: &[(f64, f64)]) -> ExpertSplit {
     let xpu_experts: Vec<usize> = order[best_k..].to_vec();
     let pim_seconds: f64 = pim_experts.iter().map(|&i| costs[i].0).sum();
     let xpu_seconds: f64 = xpu_experts.iter().map(|&i| costs[i].1).sum();
-    ExpertSplit { pim_experts, xpu_experts, pim_seconds, xpu_seconds }
+    ExpertSplit {
+        pim_experts,
+        xpu_experts,
+        pim_seconds,
+        xpu_seconds,
+    }
 }
 
 /// Brute-force optimal split over *all* 2^n partitions; test oracle for
@@ -144,7 +152,10 @@ mod tests {
         let s = split_experts(&[]);
         assert_eq!(s.makespan(), 0.0);
         let s = split_experts(&[(2.0, 3.0)]);
-        assert!((s.makespan() - 2.0).abs() < 1e-12, "single expert goes to faster unit");
+        assert!(
+            (s.makespan() - 2.0).abs() < 1e-12,
+            "single expert goes to faster unit"
+        );
     }
 
     #[test]
@@ -160,8 +171,7 @@ mod tests {
         // different token counts), the sorted-prefix family contains an
         // optimal split; verify against brute force.
         let token_counts = [3.0, 1.0, 7.0, 2.0, 5.0, 1.0, 9.0, 4.0];
-        let costs: Vec<(f64, f64)> =
-            token_counts.iter().map(|&t| (t, 0.4 * t + 2.0)).collect();
+        let costs: Vec<(f64, f64)> = token_counts.iter().map(|&t| (t, 0.4 * t + 2.0)).collect();
         let fast = split_experts(&costs).makespan();
         let oracle = split_experts_exhaustive(&costs);
         assert!(

@@ -162,7 +162,11 @@ pub struct EnergyBuckets {
 impl EnergyBuckets {
     /// Total joules.
     pub fn total(&self) -> f64 {
-        self.fc_dram + self.fc_comp + self.attn_dram + self.attn_comp + self.moe_dram
+        self.fc_dram
+            + self.fc_comp
+            + self.attn_dram
+            + self.attn_comp
+            + self.moe_dram
             + self.moe_comp
     }
 
@@ -241,7 +245,10 @@ pub struct SystemConfig {
 
 impl SystemConfig {
     fn base(name: &str, device: DeviceKind, devices_per_node: u32, nodes: u32) -> Self {
-        assert!(devices_per_node >= 1 && nodes >= 1, "cluster must be non-empty");
+        assert!(
+            devices_per_node >= 1 && nodes >= 1,
+            "cluster must be non-empty"
+        );
         Self {
             name: name.into(),
             device,
@@ -355,7 +362,7 @@ impl DecodeAttnPricer {
         let sm_flops = self.softmax_flops_base * ctx_f;
         cost.seconds += sm_flops * self.softmax_inv_flops;
         cost.compute_j += sm_flops * self.softmax_j_per_flop;
-        cost = cost + self.gemm.price(value_flops, kv_dev - kv_dev / 2);
+        cost += self.gemm.price(value_flops, kv_dev - kv_dev / 2);
         KernelCost {
             seconds: cost.seconds * self.count_f,
             dram_energy: duplex_hbm::EnergyBreakdown {
@@ -473,7 +480,11 @@ impl SystemExecutor {
         let pim = if let Some(spec) = config.pim_spec {
             Some(Engine::from_profile(spec, profile, STACKS_PER_DEVICE))
         } else if config.hetero {
-            Some(Engine::from_profile(EngineSpec::logic_pim(STACKS_PER_DEVICE), profile, STACKS_PER_DEVICE))
+            Some(Engine::from_profile(
+                EngineSpec::logic_pim(STACKS_PER_DEVICE),
+                profile,
+                STACKS_PER_DEVICE,
+            ))
         } else {
             match config.device {
                 DeviceKind::Gpu => None,
@@ -492,7 +503,12 @@ impl SystemExecutor {
         let plan = if config.hetero {
             CapacityPlan::hetero(&model, 2, 2, DEVICE_MEM_BYTES)
         } else {
-            CapacityPlan::homogeneous(&model, config.nodes, config.devices_per_node, DEVICE_MEM_BYTES)
+            CapacityPlan::homogeneous(
+                &model,
+                config.nodes,
+                config.devices_per_node,
+                DEVICE_MEM_BYTES,
+            )
         };
         let router = if model.is_moe() {
             ExpertRouter::uniform(model.n_experts, model.top_k)
@@ -586,7 +602,9 @@ impl SystemExecutor {
     }
 
     fn pim(&self) -> &Engine {
-        self.pim.as_ref().expect("policy routed work to a PIM on a PIM-less system")
+        self.pim
+            .as_ref()
+            .expect("policy routed work to a PIM on a PIM-less system")
     }
 
     /// Tensor-parallel degrees and MoE device pool of this system:
@@ -621,8 +639,16 @@ impl SystemExecutor {
         let bpe = self.model.bytes_per_elem;
         let up_n = ((work.up_shape.n as f64 * frac).ceil() as u64).max(1);
         let down_k = ((work.down_shape.k as f64 * frac).ceil() as u64).max(1);
-        let up = GemmShape { m: tokens, n: up_n, k: work.up_shape.k };
-        let down = GemmShape { m: tokens, n: work.down_shape.n, k: down_k };
+        let up = GemmShape {
+            m: tokens,
+            n: up_n,
+            k: work.up_shape.k,
+        };
+        let down = GemmShape {
+            m: tokens,
+            n: work.down_shape.n,
+            k: down_k,
+        };
         let mut cost = KernelCost::zero();
         for _ in 0..work.up_count {
             cost += engine.gemm_cost_amortized(up, up.weight_bytes(bpe));
@@ -678,9 +704,14 @@ impl SystemExecutor {
         // every stage and differs per request cohort — they almost
         // never repeat, so price them uncached instead of churning the
         // engines' memo tables.
-        let mut cost = engine
-            .kernel_cost_amortized_uncached(&Kernel::Gemm { shape: score, dram_bytes: kv_dev / 2 });
-        cost += engine.kernel_cost_uncached(&Kernel::Softmax { rows: score.m, cols: score.n });
+        let mut cost = engine.kernel_cost_amortized_uncached(&Kernel::Gemm {
+            shape: score,
+            dram_bytes: kv_dev / 2,
+        });
+        cost += engine.kernel_cost_uncached(&Kernel::Softmax {
+            rows: score.m,
+            cols: score.n,
+        });
         cost += engine.kernel_cost_amortized_uncached(&Kernel::Gemm {
             shape: value,
             dram_bytes: kv_dev - kv_dev / 2,
@@ -748,10 +779,9 @@ impl SystemExecutor {
             self.shape_scratch = shape;
             return cost;
         }
-        if membership_changed || self.template.is_none() {
-            self.rebuild_decode_template();
-        } else {
-            self.template.as_mut().expect("checked above").advance();
+        match &mut self.template {
+            Some(template) if !membership_changed => template.advance(),
+            _ => self.rebuild_decode_template(),
         }
         self.template.as_ref().expect("rebuilt above").price()
     }
@@ -763,7 +793,8 @@ impl SystemExecutor {
         let nodes = self.config.nodes as usize;
         let (tp_fc, tp_attn, moe_devices) = self.parallel_dims();
         let mut tpl = self.template.take().unwrap_or_default();
-        self.batch.node_placement(nodes, &mut tpl.node_count, &mut tpl.node_sumctx);
+        self.batch
+            .node_placement(nodes, &mut tpl.node_count, &mut tpl.node_sumctx);
         tpl.total_count = self.batch.reqs();
         tpl.total_sumctx = self.batch.ctx_sum();
         // Representative (most-loaded) node; for decode stages the node
@@ -880,9 +911,7 @@ impl SystemExecutor {
             work.attn = work
                 .attn
                 .iter()
-                .flat_map(|op| {
-                    std::iter::repeat(AttnOp { reqs: 1, ..*op }).take(op.reqs as usize)
-                })
+                .flat_map(|op| std::iter::repeat_n(AttnOp { reqs: 1, ..*op }, op.reqs as usize))
                 .collect();
         }
         let nodes = self.config.nodes as usize;
@@ -896,7 +925,11 @@ impl SystemExecutor {
         let mut decode_cursor = 0u64;
         let mut prefill_cursor = 0u64;
         for op in &work.attn {
-            let cursor = if op.decode { &mut decode_cursor } else { &mut prefill_cursor };
+            let cursor = if op.decode {
+                &mut decode_cursor
+            } else {
+                &mut prefill_cursor
+            };
             let base = op.reqs / nodes as u64;
             let rem = op.reqs % nodes as u64;
             let start = *cursor % nodes as u64;
@@ -916,7 +949,9 @@ impl SystemExecutor {
             }
             *cursor += op.reqs;
         }
-        let rep = (0..nodes).max_by_key(|&i| scratch.node_tokens[i]).unwrap_or(0);
+        let rep = (0..nodes)
+            .max_by_key(|&i| scratch.node_tokens[i])
+            .unwrap_or(0);
         let m_fc = scratch.node_tokens[rep].max(1);
         let lm_rows_rep = scratch.node_lm_rows[rep].max(1);
 
@@ -924,7 +959,14 @@ impl SystemExecutor {
         let mut energy = EnergyBuckets::default();
 
         // ------ FC layers (always on the xPU) ------
-        self.price_fc_ops(&work.fc_ops, m_fc, lm_rows_rep, tp_fc, &mut time, &mut energy);
+        self.price_fc_ops(
+            &work.fc_ops,
+            m_fc,
+            lm_rows_rep,
+            tp_fc,
+            &mut time,
+            &mut energy,
+        );
 
         // ------ attention ------
         let (prefill_engine, decode_engine): (&Engine, &Engine) = (&self.xpu, self.decode_engine());
@@ -996,12 +1038,22 @@ impl SystemExecutor {
             // sees the same histogram: price one layer, scale by the
             // block count. Sampled routing falls back to per-layer.
             let identical = grouped
-                && work.moe.windows(2).all(|w| w[0].expert_tokens == w[1].expert_tokens);
-            let priced = if identical { &work.moe[..1] } else { &work.moe[..] };
-            let multiplier = if identical { work.moe.len() as f64 } else { 1.0 };
+                && work
+                    .moe
+                    .windows(2)
+                    .all(|w| w[0].expert_tokens == w[1].expert_tokens);
+            let priced = if identical {
+                &work.moe[..1]
+            } else {
+                &work.moe[..]
+            };
+            let multiplier = if identical {
+                work.moe.len() as f64
+            } else {
+                1.0
+            };
             for layer in priced {
-                let (t, e) =
-                    self.price_moe_layer(&layer.expert_tokens, mixed, tp_fc, moe_devices);
+                let (t, e) = self.price_moe_layer(&layer.expert_tokens, mixed, tp_fc, moe_devices);
                 time.moe += t * multiplier;
                 energy.moe_dram += e.moe_dram * multiplier;
                 energy.moe_comp += e.moe_comp * multiplier;
@@ -1029,7 +1081,11 @@ impl SystemExecutor {
 
         self.scratch = scratch;
         self.work = work;
-        StageCost { seconds, time, energy }
+        StageCost {
+            seconds,
+            time,
+            energy,
+        }
     }
 
     /// Aggregate kernel-pricing cache statistics `(hits, misses)`
@@ -1123,9 +1179,10 @@ impl SystemExecutor {
                 // On-device partial-sum all-reduce: the xPU reads each
                 // Logic-PIM stack's partial outputs (Sec. V-A).
                 let partial = m_fc * self.model.hidden * bpe;
-                let c = self
-                    .xpu
-                    .kernel_cost(&Kernel::Stream { bytes: partial, write: false });
+                let c = self.xpu.kernel_cost(&Kernel::Stream {
+                    bytes: partial,
+                    write: false,
+                });
                 time.moe += c.seconds * moe_blocks;
                 energy.add_moe(&c.scaled(moe_blocks * f64::from(tp_fc) * nodes as f64));
             } else {
@@ -1141,8 +1198,7 @@ impl SystemExecutor {
                 time.comm += 2.0 * self.comm.p2p_intra(bytes) * layers as f64;
             }
             let moe_bytes = m_fc * self.model.hidden * bpe;
-            time.comm +=
-                2.0 * self.comm.p2p_intra(moe_bytes) * self.model.moe_block_count() as f64;
+            time.comm += 2.0 * self.comm.p2p_intra(moe_bytes) * self.model.moe_block_count() as f64;
         }
     }
 
@@ -1181,12 +1237,7 @@ impl SystemExecutor {
 
     /// Expert-tensor-parallel MoE layer: every device of a node holds a
     /// `1/tp` shard of each expert owned by its node (EP across nodes).
-    fn moe_layer_et(
-        &self,
-        expert_tokens: &[u64],
-        mixed: bool,
-        tp: u32,
-    ) -> (f64, EnergyBuckets) {
+    fn moe_layer_et(&self, expert_tokens: &[u64], mixed: bool, tp: u32) -> (f64, EnergyBuckets) {
         let nodes = self.config.nodes;
         let frac = 1.0 / f64::from(tp);
         let mut worst = 0.0f64;
@@ -1215,12 +1266,7 @@ impl SystemExecutor {
     /// executor, and steady-state decode repeats the same histogram for
     /// thousands of stages (and across the symmetric devices of a
     /// layer).
-    fn run_device_experts(
-        &self,
-        tokens: &[u64],
-        mixed: bool,
-        frac: f64,
-    ) -> (f64, EnergyBuckets) {
+    fn run_device_experts(&self, tokens: &[u64], mixed: bool, frac: f64) -> (f64, EnergyBuckets) {
         let mut probe = self.expert_probe.borrow_mut();
         probe.tokens.clear();
         probe.tokens.extend_from_slice(tokens);
@@ -1299,7 +1345,11 @@ impl SystemExecutor {
             // Base Duplex / Bank-PIM / hetero: the PIM owns MoE in
             // decoding-only stages; the hetero system has no choice and
             // keeps MoE on its PIM pool even in mixed stages.
-            let engine = if mixed && !self.config.hetero { &self.xpu } else { self.pim() };
+            let engine = if mixed && !self.config.hetero {
+                &self.xpu
+            } else {
+                self.pim()
+            };
             let mut t = 0.0;
             let mut any = false;
             for &tk in tokens {
@@ -1324,7 +1374,9 @@ impl StageExecutor for SystemExecutor {
         let cost = self.stage_cost(shape);
         self.total += cost;
         self.stages += 1;
-        StageOutcome { seconds: cost.seconds }
+        StageOutcome {
+            seconds: cost.seconds,
+        }
     }
 
     fn execute_delta(&mut self, delta: &StageDelta, shape: &StageShape) -> StageOutcome {
@@ -1351,7 +1403,9 @@ impl StageExecutor for SystemExecutor {
         };
         self.total += cost;
         self.stages += 1;
-        StageOutcome { seconds: cost.seconds }
+        StageOutcome {
+            seconds: cost.seconds,
+        }
     }
 }
 
@@ -1503,13 +1557,27 @@ mod tests {
 
     fn assert_costs_close(a: &StageCost, b: &StageCost, what: &str) {
         let rel = |x: f64, y: f64| (x - y).abs() / x.abs().max(y.abs()).max(f64::MIN_POSITIVE);
-        assert!(rel(a.seconds, b.seconds) < 1e-9, "{what}: seconds {} vs {}", a.seconds, b.seconds);
+        assert!(
+            rel(a.seconds, b.seconds) < 1e-9,
+            "{what}: seconds {} vs {}",
+            a.seconds,
+            b.seconds
+        );
         assert!(rel(a.time.fc, b.time.fc) < 1e-9, "{what}: fc");
-        assert!(rel(a.time.attn_prefill, b.time.attn_prefill) < 1e-9, "{what}: attn_prefill");
-        assert!(rel(a.time.attn_decode, b.time.attn_decode) < 1e-9, "{what}: attn_decode");
+        assert!(
+            rel(a.time.attn_prefill, b.time.attn_prefill) < 1e-9,
+            "{what}: attn_prefill"
+        );
+        assert!(
+            rel(a.time.attn_decode, b.time.attn_decode) < 1e-9,
+            "{what}: attn_decode"
+        );
         assert!(rel(a.time.moe, b.time.moe) < 1e-9, "{what}: moe");
         assert!(rel(a.time.comm, b.time.comm) < 1e-9, "{what}: comm");
-        assert!(rel(a.energy.total(), b.energy.total()) < 1e-9, "{what}: energy");
+        assert!(
+            rel(a.energy.total(), b.energy.total()) < 1e-9,
+            "{what}: energy"
+        );
     }
 
     #[test]
@@ -1560,21 +1628,29 @@ mod tests {
 
     #[test]
     fn kernel_cache_serves_repeated_stages() {
-        let mut ex =
-            SystemExecutor::new(SystemConfig::duplex_pe_et(4, 1), ModelConfig::mixtral_8x7b(), 1);
+        let mut ex = SystemExecutor::new(
+            SystemConfig::duplex_pe_et(4, 1),
+            ModelConfig::mixtral_8x7b(),
+            1,
+        );
         let shape = decode_stage(64, 2048);
         ex.stage_cost(&shape);
         let (_, misses_first) = ex.price_cache_stats();
         ex.stage_cost(&shape);
         let (hits, misses) = ex.price_cache_stats();
-        assert!(hits > 0, "repeated identical stage must hit the price cache");
-        assert_eq!(misses, misses_first, "second identical stage must add no misses");
+        assert!(
+            hits > 0,
+            "repeated identical stage must hit the price cache"
+        );
+        assert_eq!(
+            misses, misses_first,
+            "second identical stage must add no misses"
+        );
     }
 
     #[test]
     fn executor_accumulates_totals() {
-        let mut ex =
-            SystemExecutor::new(SystemConfig::gpu(4, 1), ModelConfig::mixtral_8x7b(), 1);
+        let mut ex = SystemExecutor::new(SystemConfig::gpu(4, 1), ModelConfig::mixtral_8x7b(), 1);
         let shape = decode_stage(8, 256);
         let c1 = ex.stage_cost(&shape);
         ex.execute(&shape);
@@ -1602,6 +1678,7 @@ mod tests {
             let delta = duplex_sched::StageDelta {
                 fresh: stage == 0,
                 admit: admits.clone(),
+                admit_ctx: Vec::new(),
                 retire: retires.clone(),
             };
             for c in &mut mirror {

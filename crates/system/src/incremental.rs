@@ -48,8 +48,9 @@ use crate::exec::{EnergyBuckets, StageCost, TimeBreakdown};
 #[derive(Debug, Clone, Default)]
 pub struct BatchState {
     groups: ContextGroups,
-    /// Prompts admitted by the previous delta; they join the decode set
-    /// at `prompt + 1` on the next advance.
+    /// Decode-join contexts admitted by the previous delta (the prompt
+    /// length, or the full history under prefix reuse); they join the
+    /// decode set at `join + 1` on the next advance.
     pending: Vec<u64>,
     /// False until a fresh delta (or a resync) establishes the state.
     synced: bool,
@@ -115,13 +116,16 @@ impl BatchState {
                 "retired context {ctx} not present in the batch state"
             );
         }
-        self.pending.extend_from_slice(&delta.admit);
+        self.pending.extend_from_slice(delta.join_contexts());
         changed
     }
 
     /// Resync from a materialized stage shape (the shape is ground
     /// truth for the stage being executed: its prefills are this
-    /// stage's admissions).
+    /// stage's admissions). A shape cannot carry reuse join contexts,
+    /// so resync assumes the prefills join decode at their prefilled
+    /// length; schedulers that admit with prefix reuse must keep the
+    /// delta stream unbroken instead of relying on shape resync.
     pub fn rebuild_from(&mut self, shape: &StageShape) {
         self.groups.clear();
         for &ctx in &shape.decode_ctx {
@@ -217,7 +221,11 @@ impl DecodeTemplate {
         // Decode-only: prefill attention is zero, so the co-processing
         // overlap and the serialized sum coincide.
         let seconds = time.fc + dec + time.moe + time.comm;
-        StageCost { seconds, time, energy }
+        StageCost {
+            seconds,
+            time,
+            energy,
+        }
     }
 }
 
@@ -226,7 +234,12 @@ mod tests {
     use super::*;
 
     fn delta(fresh: bool, admit: &[u64], retire: &[u64]) -> StageDelta {
-        StageDelta { fresh, admit: admit.to_vec(), retire: retire.to_vec() }
+        StageDelta {
+            fresh,
+            admit: admit.to_vec(),
+            admit_ctx: Vec::new(),
+            retire: retire.to_vec(),
+        }
     }
 
     #[test]
@@ -236,7 +249,10 @@ mod tests {
         assert!(b.apply(&delta(true, &[100, 100], &[])));
         assert_eq!(b.reqs(), 0, "prefills join the decode set next stage");
         // Stage 2: pure advance — the prefills land at ctx 101.
-        assert!(b.apply(&delta(false, &[], &[])), "flushed prefills change membership");
+        assert!(
+            b.apply(&delta(false, &[], &[])),
+            "flushed prefills change membership"
+        );
         assert_eq!(b.reqs(), 2);
         assert_eq!(b.ctx_sum(), 202);
         // Stage 3: advance only.
@@ -246,6 +262,22 @@ mod tests {
         assert!(b.apply(&delta(false, &[], &[103])));
         assert_eq!(b.reqs(), 1);
         assert_eq!(b.ctx_sum(), 103);
+    }
+
+    #[test]
+    fn reuse_admissions_join_at_full_history() {
+        // A follow-up with 448 resident tokens prefills only 64 new
+        // ones but joins the decode set over its full 512-token history.
+        let mut b = BatchState::default();
+        let mut d = delta(true, &[64], &[]);
+        d.admit_ctx = vec![512];
+        b.apply(&d);
+        assert!(b.apply(&delta(false, &[], &[])));
+        assert_eq!(b.reqs(), 1);
+        assert_eq!(b.ctx_sum(), 513);
+        // It retires at its post-advance full context, not the prefill.
+        assert!(b.apply(&delta(false, &[], &[514])));
+        assert_eq!(b.reqs(), 0);
     }
 
     #[test]
@@ -325,6 +357,9 @@ mod tests {
         assert_eq!(t.node_sumctx, vec![22, 16]);
         assert_eq!(t.total_sumctx, 38);
         let cost = t.price();
-        assert!((cost.time.attn_decode - 22.0).abs() < 1e-12, "max node wins");
+        assert!(
+            (cost.time.attn_decode - 22.0).abs() < 1e-12,
+            "max node wins"
+        );
     }
 }

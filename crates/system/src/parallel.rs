@@ -74,7 +74,10 @@ impl CapacityPlan {
         let stored = non_expert * 2 + expert_bytes;
         let pim_used = non_expert + expert_bytes;
         assert!(pim_used <= pim_mem, "expert weights overflow the PIM pool");
-        assert!(non_expert <= device_mem_bytes * u64::from(gpus), "weights overflow the GPU pool");
+        assert!(
+            non_expert <= device_mem_bytes * u64::from(gpus),
+            "weights overflow the GPU pool"
+        );
         Self {
             total_memory_bytes: total,
             weight_bytes_stored: stored,

@@ -111,8 +111,9 @@ impl SplitSimulation {
         }
 
         let mut source = RequestSource::new(self.workload.clone(), Arrivals::ClosedLoop);
-        let mut backlog: VecDeque<Request> =
-            (0..self.total_requests).map(|_| source.next_request()).collect();
+        let mut backlog: VecDeque<Request> = (0..self.total_requests)
+            .map(|_| source.next_request())
+            .collect();
 
         let mut prefill_clock = 0.0f64;
         let mut migrated: Vec<InFlight> = Vec::new();
@@ -123,7 +124,11 @@ impl SplitSimulation {
             prefill_clock = prefill_clock.max(request.arrival_s) + cost.seconds;
             let kv_bytes = self.model.kv_bytes(request.input_len);
             let ready_at = prefill_clock + self.comm.p2p_intra(kv_bytes);
-            migrated.push(InFlight { request, ready_at, first_token: prefill_clock });
+            migrated.push(InFlight {
+                request,
+                ready_at,
+                first_token: prefill_clock,
+            });
         }
         migrated.sort_by(|a, b| a.ready_at.partial_cmp(&b.ready_at).expect("finite times"));
         let mut incoming: VecDeque<InFlight> = migrated.into();
@@ -180,8 +185,10 @@ impl SplitSimulation {
                 continue;
             }
 
-            let ctxs: Vec<u64> =
-                active.iter().map(|a| a.request.input_len + a.generated).collect();
+            let ctxs: Vec<u64> = active
+                .iter()
+                .map(|a| a.request.input_len + a.generated)
+                .collect();
             let shape = StageShape::decode_only(&ctxs);
             let cost = self.decode_pool.stage_cost(&shape);
             clock += cost.seconds;
@@ -214,7 +221,14 @@ impl SplitSimulation {
 
         // Wall-clock spans whichever pool finished last.
         let total_time_s = clock.max(prefill_clock);
-        SimReport { completed, stages, stage_stats, tbt_digest, total_time_s }
+        SimReport {
+            completed,
+            stages,
+            stage_stats,
+            tbt_digest,
+            total_time_s,
+            ..SimReport::default()
+        }
     }
 }
 
@@ -239,7 +253,10 @@ mod tests {
         for r in &report.completed {
             assert_eq!(r.tokens, r.request.output_len);
         }
-        assert!(report.stages.iter().all(|s| !s.mixed), "decode pool never sees prefills");
+        assert!(
+            report.stages.iter().all(|s| !s.mixed),
+            "decode pool never sees prefills"
+        );
         assert_eq!(report.stage_stats.mixed, 0);
     }
 
@@ -299,6 +316,11 @@ mod tests {
         );
         let report = sim.run();
         let tbt = report.tbt();
-        assert!(tbt.p99 < 2.0 * tbt.p50, "p99 {} vs p50 {}", tbt.p99, tbt.p50);
+        assert!(
+            tbt.p99 < 2.0 * tbt.p50,
+            "p99 {} vs p50 {}",
+            tbt.p99,
+            tbt.p50
+        );
     }
 }

@@ -49,7 +49,8 @@ impl Bencher {
             }
         }
         let est = warm_start.elapsed() / warm_iters.max(1) as u32;
-        let target = ((MEASURE_WINDOW.as_nanos() / est.as_nanos().max(1)) as u64).clamp(1, 5_000_000);
+        let target =
+            ((MEASURE_WINDOW.as_nanos() / est.as_nanos().max(1)) as u64).clamp(1, 5_000_000);
         let start = Instant::now();
         for _ in 0..target {
             black_box(f());
@@ -89,7 +90,11 @@ impl Bencher {
             return;
         }
         let per_iter = self.total.as_secs_f64() / self.iters as f64;
-        println!("{name:<48} {:>12}  ({} iterations)", format_time(per_iter), self.iters);
+        println!(
+            "{name:<48} {:>12}  ({} iterations)",
+            format_time(per_iter),
+            self.iters
+        );
     }
 }
 
@@ -127,7 +132,10 @@ impl Criterion {
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
         let name = name.into();
         println!("-- group: {name}");
-        BenchmarkGroup { _parent: self, name }
+        BenchmarkGroup {
+            _parent: self,
+            name,
+        }
     }
 }
 

@@ -128,7 +128,7 @@ pub mod option {
 
 /// Collection strategies (mirrors `proptest::collection`).
 pub mod collection {
-    use super::{Strategy, StdRng};
+    use super::{StdRng, Strategy};
     use std::ops::Range;
 
     /// Strategy for vectors with a length drawn from a range.
@@ -153,9 +153,7 @@ pub mod collection {
 
 /// Everything user code normally imports.
 pub mod prelude {
-    pub use crate::{
-        prop_assert, prop_assert_eq, proptest, ProptestConfig, Strategy,
-    };
+    pub use crate::{prop_assert, prop_assert_eq, proptest, ProptestConfig, Strategy};
 }
 
 /// Deterministic per-test RNG, seeded from the test's name.
@@ -195,7 +193,10 @@ macro_rules! prop_assert_eq {
         if l != r {
             return ::std::result::Result::Err(format!(
                 "assertion failed: {} == {} (left: {:?}, right: {:?})",
-                stringify!($left), stringify!($right), l, r
+                stringify!($left),
+                stringify!($right),
+                l,
+                r
             ));
         }
     }};

@@ -20,7 +20,9 @@ pub mod prelude {
 
 /// Number of worker threads to use for `n` items.
 fn thread_count(n: usize) -> usize {
-    let avail = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
+    let avail = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
     let cap = std::env::var("RAYON_NUM_THREADS")
         .ok()
         .and_then(|v| v.parse::<usize>().ok())
@@ -59,7 +61,11 @@ where
         }
     });
     out.into_iter()
-        .map(|m| m.into_inner().expect("worker finished").expect("every slot filled"))
+        .map(|m| {
+            m.into_inner()
+                .expect("worker finished")
+                .expect("every slot filled")
+        })
         .collect()
 }
 
@@ -161,10 +167,12 @@ where
     type Item = R::Item;
     fn run(self) -> Vec<R::Item> {
         let f = self.f;
-        par_apply(self.base.run(), move |x| f(x).into_iter().collect::<Vec<_>>())
-            .into_iter()
-            .flatten()
-            .collect()
+        par_apply(self.base.run(), move |x| {
+            f(x).into_iter().collect::<Vec<_>>()
+        })
+        .into_iter()
+        .flatten()
+        .collect()
     }
 }
 
@@ -212,9 +220,14 @@ mod tests {
             })
             .collect();
         let distinct = ids.lock().unwrap().len();
-        let avail = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
+        let avail = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1);
         if avail > 1 {
-            assert!(distinct > 1, "expected parallel execution, saw {distinct} thread(s)");
+            assert!(
+                distinct > 1,
+                "expected parallel execution, saw {distinct} thread(s)"
+            );
         }
     }
 }

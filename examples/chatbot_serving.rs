@@ -13,7 +13,10 @@ use duplex::{run, RunConfig};
 
 fn main() {
     let model = ModelConfig::mixtral_8x7b();
-    println!("Chatbot serving on {}: rounds grow the prompt, replies stay short\n", model.name);
+    println!(
+        "Chatbot serving on {}: rounds grow the prompt, replies stay short\n",
+        model.name
+    );
     println!(
         "{:<8} {:<8} {:>12} {:>12} {:>12} {:>12}",
         "Round", "Lin", "GPU p99 TBT", "Hetero p99", "Duplex p99", "Duplex T2FT"

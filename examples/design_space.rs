@@ -20,7 +20,10 @@ fn main() {
     let conventional_stack_bw = 32.0 * 32.0 / 1.5e-9; // bytes/s
 
     println!("Mixtral decode throughput (tokens/s) vs Logic-PIM design point\n");
-    println!("{:>10} {:>8} {:>12} {:>12}", "BW mult", "Op/B", "TFLOPS/stk", "tokens/s");
+    println!(
+        "{:>10} {:>8} {:>12} {:>12}",
+        "BW mult", "Op/B", "TFLOPS/stk", "tokens/s"
+    );
     for bw_mult in [2.0f64, 4.0, 8.0] {
         for balance in [2.0f64, 8.0, 32.0] {
             let per_stack_flops = bw_mult * conventional_stack_bw * balance;

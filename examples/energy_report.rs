@@ -17,7 +17,15 @@ fn main() {
     println!("Energy per generated token, {} (mJ)\n", model.name);
     println!(
         "{:<14} {:>5} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8}",
-        "System", "Batch", "FC-DRAM", "FC-Comp", "At-DRAM", "At-Comp", "MoE-DRAM", "MoE-Comp", "Total"
+        "System",
+        "Batch",
+        "FC-DRAM",
+        "FC-Comp",
+        "At-DRAM",
+        "At-Comp",
+        "MoE-DRAM",
+        "MoE-Comp",
+        "Total"
     );
     for batch in [32usize, 64, 128] {
         for system in [SystemConfig::gpu(4, 1), SystemConfig::duplex_pe_et(4, 1)] {

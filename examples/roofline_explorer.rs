@@ -18,13 +18,22 @@ fn main() {
         ("Bank-PIM", Engine::bank_pim()),
     ];
     println!("Expert GEMM (n=14336, k=4096, FP16): time by token count\n");
-    println!("{:>8} {:>12} {:>12} {:>12}  winner", "tokens", "xPU us", "LogicPIM us", "BankPIM us");
+    println!(
+        "{:>8} {:>12} {:>12} {:>12}  winner",
+        "tokens", "xPU us", "LogicPIM us", "BankPIM us"
+    );
     let mut last_winner = "";
     for m in [1u64, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096] {
-        let shape = GemmShape { m, n: 14336, k: 4096 };
+        let shape = GemmShape {
+            m,
+            n: 14336,
+            k: 4096,
+        };
         let bytes = shape.weight_bytes(2);
-        let times: Vec<f64> =
-            engines.iter().map(|(_, e)| e.gemm_cost(shape, bytes).seconds).collect();
+        let times: Vec<f64> = engines
+            .iter()
+            .map(|(_, e)| e.gemm_cost(shape, bytes).seconds)
+            .collect();
         let winner = engines
             .iter()
             .zip(&times)

@@ -4,8 +4,8 @@
 
 use duplex::model::ModelConfig;
 use duplex::sched::Workload;
-use duplex::system::parallel::CapacityPlan;
 use duplex::system::exec::DEVICE_MEM_BYTES;
+use duplex::system::parallel::CapacityPlan;
 use duplex::system::{SystemConfig, SystemExecutor};
 use duplex::{run, RunConfig};
 
@@ -97,9 +97,8 @@ fn kv_reservations_never_exceed_budget() {
 #[test]
 fn oversized_models_are_rejected() {
     let model = ModelConfig::grok1(); // 314B params = 628 GB of FP16
-    let result = std::panic::catch_unwind(|| {
-        CapacityPlan::homogeneous(&model, 1, 4, DEVICE_MEM_BYTES)
-    });
+    let result =
+        std::panic::catch_unwind(|| CapacityPlan::homogeneous(&model, 1, 4, DEVICE_MEM_BYTES));
     assert!(result.is_err(), "Grok1 cannot fit 4 devices");
     // But it fits the paper's 2x8 cluster.
     let plan = CapacityPlan::homogeneous(&model, 2, 8, DEVICE_MEM_BYTES);

@@ -47,7 +47,11 @@ fn duplex_beats_gpu_on_every_moe_model() {
             dup.throughput_tokens_per_s,
             gpu.throughput_tokens_per_s
         );
-        assert!(dup.energy_per_token_j < gpu.energy_per_token_j, "{}", model.name);
+        assert!(
+            dup.energy_per_token_j < gpu.energy_per_token_j,
+            "{}",
+            model.name
+        );
     }
 }
 
@@ -83,7 +87,10 @@ fn grok_runs_on_two_nodes() {
     let model = ModelConfig::grok1();
     let r = run(small_cfg(model, SystemConfig::duplex_pe_et(8, 2)));
     assert_eq!(r.report.completed.len(), 16);
-    assert!(r.cost.time.comm > 0.0, "inter-node EP must cost communication");
+    assert!(
+        r.cost.time.comm > 0.0,
+        "inter-node EP must cost communication"
+    );
 }
 
 #[test]

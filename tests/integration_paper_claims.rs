@@ -1,9 +1,7 @@
 //! The paper's qualitative claims, checked end to end at quick scale.
 //! Each test cites the section/figure it pins down.
 
-use duplex::experiments::{
-    fig04_breakdown, fig05_hetero_latency, fig08_edap, fig16_split, Scale,
-};
+use duplex::experiments::{fig04_breakdown, fig05_hetero_latency, fig08_edap, fig16_split, Scale};
 use duplex::model::ModelConfig;
 use duplex::sched::Workload;
 use duplex::system::SystemConfig;
@@ -46,7 +44,10 @@ fn hetero_tail_latency_blows_up() {
     // Find the long-prompt configuration (Lin = 2048 pre-shrink).
     let long: Vec<_> = rows.iter().filter(|r| r.lin == 2048).collect();
     let gpu = long.iter().find(|r| r.system == "GPU").expect("GPU row");
-    let het = long.iter().find(|r| r.system == "Hetero").expect("Hetero row");
+    let het = long
+        .iter()
+        .find(|r| r.system == "Hetero")
+        .expect("Hetero row");
     assert!(het.tbt[0] < gpu.tbt[0], "hetero wins median TBT");
     assert!(
         het.tbt[2] > 1.5 * gpu.tbt[2],
@@ -54,7 +55,10 @@ fn hetero_tail_latency_blows_up() {
         het.tbt[2],
         gpu.tbt[2]
     );
-    assert!(het.t2ft_p50 > 1.5 * gpu.t2ft_p50, "hetero T2FT must blow up");
+    assert!(
+        het.t2ft_p50 > 1.5 * gpu.t2ft_p50,
+        "hetero T2FT must blow up"
+    );
 }
 
 /// Fig. 8: Bank-PIM best at Op/B 1, Logic-PIM best at Op/B 32,
@@ -82,13 +86,7 @@ fn edap_crossover_matches_figure() {
 fn bank_pim_vs_duplex_by_model_class() {
     let opt = ModelConfig::opt_66b();
     let mk = |model: &ModelConfig, system| {
-        RunConfig::closed_loop(
-            model.clone(),
-            system,
-            Workload::gaussian(512, 64),
-            32,
-            40,
-        )
+        RunConfig::closed_loop(model.clone(), system, Workload::gaussian(512, 64), 32, 40)
     };
     let bank = run(mk(&opt, SystemConfig::bank_pim(4, 1)));
     let dup = run(mk(&opt, SystemConfig::duplex(4, 1)));

@@ -19,7 +19,12 @@ fn token_conservation_across_a_real_run() {
     let r = run(cfg);
     let completed_tokens: u64 = r.report.completed.iter().map(|c| c.tokens).sum();
     assert_eq!(completed_tokens, r.report.generated_tokens());
-    let expected: u64 = r.report.completed.iter().map(|c| c.request.output_len).sum();
+    let expected: u64 = r
+        .report
+        .completed
+        .iter()
+        .map(|c| c.request.output_len)
+        .sum();
     assert_eq!(completed_tokens, expected);
 }
 
@@ -87,7 +92,10 @@ fn poisson_arrivals_gate_admission() {
     // Light load: requests mostly run alone, so stages outnumber what a
     // saturated batch would need and the mean batch stays near 1.
     assert!(r.mean_batch < 2.0, "mean batch {}", r.mean_batch);
-    assert!(r.report.total_time_s > 10.0, "clock must span the arrival horizon");
+    assert!(
+        r.report.total_time_s > 10.0,
+        "clock must span the arrival horizon"
+    );
 }
 
 #[test]
@@ -111,7 +119,10 @@ fn kv_exhaustion_throttles_admission_mid_run() {
         r.report.stages.iter().all(|s| s.batch <= 3),
         "KV budget must cap the batch at 3"
     );
-    assert!(r.report.stages.iter().any(|s| s.batch == 3), "budget is reachable");
+    assert!(
+        r.report.stages.iter().any(|s| s.batch == 3),
+        "budget is reachable"
+    );
 }
 
 #[test]
@@ -128,7 +139,10 @@ fn stage_cap_truncates_real_runs() {
     let r = run(cfg);
     assert_eq!(r.report.stages.len(), 37);
     assert_eq!(r.report.stage_stats.stages, 37);
-    assert!(r.report.completed.is_empty(), "no request can finish in 37 stages");
+    assert!(
+        r.report.completed.is_empty(),
+        "no request can finish in 37 stages"
+    );
     // Truncated steady-state throughput still counts in-flight tokens.
     assert!(r.report.generated_tokens() > 0);
     assert!(r.throughput_tokens_per_s > 0.0);
@@ -171,5 +185,8 @@ fn bigger_batches_raise_throughput_and_tbt() {
     let small = mk(8);
     let large = mk(32);
     assert!(large.throughput_tokens_per_s > 1.5 * small.throughput_tokens_per_s);
-    assert!(large.tbt.p50 > small.tbt.p50, "batching costs per-token latency");
+    assert!(
+        large.tbt.p50 > small.tbt.p50,
+        "batching costs per-token latency"
+    );
 }

@@ -6,7 +6,8 @@ use duplex::compute::Engine;
 use duplex::model::ops::StageShape;
 use duplex::model::{ExpertRouter, ModelConfig};
 use duplex::sched::{
-    Simulation, SimulationConfig, StageExecutor, StageOutcome, Workload,
+    Arrivals, ConversationSpec, PolicyKind, Scenario, ScenarioSimulation, Simulation,
+    SimulationConfig, StageExecutor, StageOutcome, Workload,
 };
 use duplex::system::coproc::split_experts;
 use duplex::system::{SystemConfig, SystemExecutor};
@@ -38,7 +39,9 @@ impl StageExecutor for ReferenceExec {
     fn execute(&mut self, shape: &StageShape) -> StageOutcome {
         let cost = self.ex.stage_cost_reference(shape);
         self.energy_j += cost.energy.total();
-        StageOutcome { seconds: cost.seconds }
+        StageOutcome {
+            seconds: cost.seconds,
+        }
     }
 }
 
@@ -164,6 +167,73 @@ proptest! {
             rel_diff(inc.total_cost().energy.total(), oracle.energy_j) < 1e-9,
             "energy"
         );
+    }
+
+    /// The delta path stays pinned to the reference oracle over
+    /// *scenario* traces too: bursty on/off arrivals, policy-driven
+    /// admission, SLO tiers, and multi-turn conversations whose reuse
+    /// admissions prefill a suffix but join decode at their full
+    /// history (`StageDelta::admit_ctx`). Every stage latency and the
+    /// whole timeline must match within 1e-9 relative.
+    #[test]
+    fn scenario_trace_equals_reference(
+        mean_in in 32u64..256,
+        mean_out in 4u64..24,
+        requests in 4usize..14,
+        batch in 1usize..10,
+        seed in 0u64..1000,
+        burst_qps in 20.0f64..2000.0,
+        multi_turn_bit in 0u8..2,
+        policy_idx in 0usize..3,
+    ) {
+        let model = ModelConfig::mixtral_8x7b();
+        let system = SystemConfig::duplex_pe_et(4, 1);
+        let mut inc = SystemExecutor::new(system.clone(), model.clone(), 1);
+        let mut oracle = ReferenceExec::new(SystemExecutor::new(system, model.clone(), 1));
+        let cfg = SimulationConfig {
+            max_batch: batch,
+            kv_capacity_bytes: inc.kv_capacity_bytes(),
+            kv_bytes_per_token: model.kv_bytes_per_token(),
+            ..SimulationConfig::default()
+        };
+        let workload = Workload::gaussian(mean_in, mean_out).with_seed(seed);
+        let arrivals = Arrivals::Bursty {
+            base_qps: 0.0,
+            burst_qps,
+            mean_off_s: 0.5,
+            mean_on_s: 0.2,
+        };
+        let multi_turn = multi_turn_bit == 1;
+        let mk = || {
+            let mut s = Scenario::new("prop", workload.clone(), arrivals.clone(), requests)
+                .with_tiers(Scenario::default_tiers(0.01));
+            if multi_turn {
+                s = s.with_conversation(ConversationSpec::chat(0.7, 3, 0.05, 16));
+            }
+            s
+        };
+        let kind = PolicyKind::ALL[policy_idx];
+        let a = ScenarioSimulation::new(cfg, mk()).run(kind.build().as_mut(), &mut inc);
+        let b = ScenarioSimulation::new(cfg, mk()).run(kind.build().as_mut(), &mut oracle);
+        prop_assert_eq!(a.stages.len(), b.stages.len());
+        for (i, (sa, sb)) in a.stages.iter().zip(&b.stages).enumerate() {
+            prop_assert_eq!(sa.batch, sb.batch);
+            prop_assert!(
+                rel_diff(sa.seconds, sb.seconds) < 1e-9,
+                "stage {}: incremental {} vs reference {}",
+                i, sa.seconds, sb.seconds
+            );
+        }
+        prop_assert!(rel_diff(a.total_time_s, b.total_time_s) < 1e-9, "total time");
+        prop_assert!(
+            rel_diff(inc.total_cost().energy.total(), oracle.energy_j) < 1e-9,
+            "energy"
+        );
+        prop_assert_eq!(a.completed.len(), b.completed.len());
+        prop_assert_eq!(a.kv_reuse, b.kv_reuse);
+        if multi_turn {
+            prop_assert!(a.completed.len() >= requests);
+        }
     }
 
     /// Same trace equivalence on the two-node Grok cluster, where
