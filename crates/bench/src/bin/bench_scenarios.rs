@@ -42,6 +42,7 @@ fn main() {
         let wall_s = start.elapsed().as_secs_f64();
         let stages = report.stage_stats.stages;
         let stages_per_sec = stages as f64 / wall_s;
+        let tbt_p99_ms = report.tbt().p99 * 1e3;
         rows.push(vec![
             name.clone(),
             kind.name().into(),
@@ -50,6 +51,7 @@ fn main() {
             format!("{wall_s:.3}"),
             format!("{stages_per_sec:.0}"),
             format!("{:.0}", report.generation_throughput()),
+            format!("{tbt_p99_ms:.2}"),
             if tiered {
                 format!("{:.3}", report.slo_attainment())
             } else {
@@ -62,14 +64,30 @@ fn main() {
             },
             format!("{:.3}", report.kv_reuse.reuse_fraction()),
         ]);
+        // Per-tier TBT tails make prefill-induced spikes visible per
+        // service class (simulated time: seed-deterministic, so the CI
+        // latency gate can pin them).
+        let tier_tails = if tiered {
+            let tails: Vec<String> = report
+                .slo
+                .tiers
+                .iter()
+                .map(|t| format!("\"tier_{}_tbt_p99_ms\": {:.4}", t.name, t.tbt_p99_s() * 1e3))
+                .collect();
+            format!("{}, ", tails.join(", "))
+        } else {
+            String::new()
+        };
         json_entries.push(format!(
-            "    \"{}\": {{\"stages_per_sec\": {:.1}, \"wall_s\": {:.4}, \"stages\": {}, \"completed\": {}, \"sim_tokens_per_sec\": {:.1}, \"slo_attainment\": {:.4}, \"goodput_tokens_per_s\": {:.1}, \"kv_reuse_fraction\": {:.4}, \"policy\": \"{}\", \"model\": \"{}\", \"system\": \"{}\", \"batch\": {}}}",
+            "    \"{}\": {{\"stages_per_sec\": {:.1}, \"wall_s\": {:.4}, \"stages\": {}, \"completed\": {}, \"sim_tokens_per_sec\": {:.1}, \"tbt_p99_ms\": {:.4}, {}\"slo_attainment\": {:.4}, \"goodput_tokens_per_s\": {:.1}, \"kv_reuse_fraction\": {:.4}, \"policy\": \"{}\", \"model\": \"{}\", \"system\": \"{}\", \"batch\": {}}}",
             name,
             stages_per_sec,
             wall_s,
             stages,
             report.completed.len(),
             report.generation_throughput(),
+            tbt_p99_ms,
+            tier_tails,
             report.slo_attainment(),
             report.goodput_tokens_per_s(),
             report.kv_reuse.reuse_fraction(),
@@ -89,6 +107,7 @@ fn main() {
             "Wall s",
             "stages/s",
             "sim tok/s",
+            "TBT p99 ms",
             "SLO att.",
             "Goodput",
             "KV reuse",
@@ -97,7 +116,7 @@ fn main() {
     );
 
     let json = format!(
-        "{{\n  \"schema\": \"duplex-bench/scenarios/v1\",\n  \"mode\": \"{}\",\n  \"scenarios\": {{\n{}\n  }}\n}}\n",
+        "{{\n  \"schema\": \"duplex-bench/scenarios/v2\",\n  \"mode\": \"{}\",\n  \"scenarios\": {{\n{}\n  }}\n}}\n",
         if quick { "quick" } else { "paper" },
         json_entries.join(",\n")
     );

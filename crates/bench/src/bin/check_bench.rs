@@ -10,8 +10,9 @@
 //! (`BENCH_stage_cost.json`, `BENCH_sim.json`, `BENCH_scenarios.json`)
 //! from the working directory; reports whose file is absent or that
 //! have no baseline section are skipped. Exits 1 when any baselined
-//! metric drops more than the threshold, printing a one-line-per-metric
-//! table either way.
+//! metric drifts more than the threshold past its baseline —
+//! throughput metrics by dropping, latency metrics (TBT/T2FT tails) by
+//! rising — printing a one-line-per-metric table either way.
 
 use duplex_bench::regression::{gate_reports, render_gate, DEFAULT_THRESHOLD};
 
@@ -79,7 +80,8 @@ fn main() {
             print!("{table}");
             if failed {
                 eprintln!(
-                    "benchmark regression: a metric dropped more than {:.0}% below baseline",
+                    "benchmark regression: a metric drifted more than {:.0}% past its \
+                     baseline (throughput below, latency above)",
                     threshold * 100.0
                 );
                 std::process::exit(1);

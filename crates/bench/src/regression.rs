@@ -1,20 +1,37 @@
-//! The CI benchmark-regression gate: compares the throughput metrics
-//! of freshly produced `BENCH_*.json` reports against committed
-//! baselines and fails on a drop beyond the threshold.
+//! The CI benchmark-regression gate: compares the metrics of freshly
+//! produced `BENCH_*.json` reports against committed baselines and
+//! fails on a regression beyond the threshold.
 //!
 //! Baselines live in `ci/bench_baseline.json` as
 //! `{"<file-stem>": {"<entry>": {"stages_per_sec": <f64>}}}` — the
 //! same entry names the bench binaries emit. Only metrics present in
 //! the baseline are gated, so adding a bench entry never breaks CI
-//! until a baseline is recorded for it. The threshold is generous
-//! (30% by default) because shared CI runners are noisy; the gate is
-//! for order-of-magnitude regressions of the fast paths, not for
-//! single-digit drift.
+//! until a baseline is recorded for it.
+//!
+//! The gate is **direction-aware**: throughput-like metrics regress by
+//! *dropping* below baseline, latency-like metrics (TBT/T2FT tails,
+//! identified by name — see [`lower_is_better`]) regress by *rising*
+//! above it. Latency metrics are simulated time, so they are
+//! seed-deterministic and machine-independent; throughput metrics are
+//! wall clock, so their threshold is generous (30% by default, shared
+//! CI runners are noisy) and catches order-of-magnitude fast-path
+//! regressions, not single-digit drift.
 
 use duplex::sched::json::{parse, JsonValue};
 
-/// Default allowed fractional drop before the gate fails.
+/// Default allowed fractional drift before the gate fails.
 pub const DEFAULT_THRESHOLD: f64 = 0.30;
+
+/// Whether a metric regresses by rising (latencies and durations)
+/// rather than by falling (throughput). Keyed on the metric name the
+/// bench binaries emit: TBT / T2FT percentiles, anything per-tier
+/// built on them, and raw wall-clock durations (`wall_s`).
+pub fn lower_is_better(metric: &str) -> bool {
+    metric.starts_with("tbt_")
+        || metric.starts_with("t2ft_")
+        || metric.contains("_tbt_p")
+        || metric.ends_with("wall_s")
+}
 
 /// One gated metric's comparison.
 #[derive(Debug, Clone, PartialEq)]
@@ -25,6 +42,8 @@ pub struct Comparison {
     pub baseline: f64,
     /// Freshly measured value.
     pub current: f64,
+    /// Latency-like metric: regression means rising above baseline.
+    pub lower_is_better: bool,
 }
 
 impl Comparison {
@@ -36,11 +55,15 @@ impl Comparison {
         self.current / self.baseline
     }
 
-    /// Whether this metric regressed beyond `threshold` (a fractional
-    /// drop: 0.30 fails below 70% of baseline). Higher is better for
-    /// every gated metric.
+    /// Whether this metric regressed beyond `threshold`: a fractional
+    /// drop for throughput metrics (0.30 fails below 70% of baseline),
+    /// a fractional rise for latency metrics (0.30 fails above 130%).
     pub fn regressed(&self, threshold: f64) -> bool {
-        self.ratio() < 1.0 - threshold
+        if self.lower_is_better {
+            self.ratio() > 1.0 + threshold
+        } else {
+            self.ratio() < 1.0 - threshold
+        }
     }
 }
 
@@ -86,6 +109,7 @@ pub fn compare_report(
                 key: format!("{report_name}/{entry_name}/{metric}"),
                 baseline: baseline_value,
                 current,
+                lower_is_better: lower_is_better(metric),
             });
         }
     }
@@ -127,18 +151,19 @@ pub fn render_gate(comparisons: &[Comparison], threshold: f64) -> (String, bool)
         .unwrap_or(10)
         .max(10);
     out.push_str(&format!(
-        "{:<width$}  {:>14}  {:>14}  {:>7}  verdict\n",
-        "metric", "baseline", "current", "ratio"
+        "{:<width$}  {:>14}  {:>14}  {:>7}  {:>4}  verdict\n",
+        "metric", "baseline", "current", "ratio", "dir"
     ));
     for c in comparisons {
         let regressed = c.regressed(threshold);
         failed |= regressed;
         out.push_str(&format!(
-            "{:<width$}  {:>14.1}  {:>14.1}  {:>6.2}x  {}\n",
+            "{:<width$}  {:>14.1}  {:>14.1}  {:>6.2}x  {:>4}  {}\n",
             c.key,
             c.baseline,
             c.current,
             c.ratio(),
+            if c.lower_is_better { "min" } else { "max" },
             if regressed { "REGRESSED" } else { "ok" }
         ));
     }
@@ -204,14 +229,69 @@ mod tests {
             key: "k".into(),
             baseline: 100.0,
             current: 71.0,
+            lower_is_better: false,
         };
         assert!(!c.regressed(0.30));
         let c = Comparison {
             key: "k".into(),
             baseline: 100.0,
             current: 69.0,
+            lower_is_better: false,
         };
         assert!(c.regressed(0.30));
+    }
+
+    #[test]
+    fn latency_metrics_regress_by_rising() {
+        let mk = |current: f64| Comparison {
+            key: "BENCH_scenarios/long_prefill_chunked/tbt_p99_ms".into(),
+            baseline: 10.0,
+            current,
+            lower_is_better: true,
+        };
+        assert!(!mk(12.9).regressed(0.30), "within the rise budget");
+        assert!(mk(13.1).regressed(0.30), "31% slower tail fails");
+        assert!(!mk(1.0).regressed(0.30), "a faster tail never fails");
+    }
+
+    #[test]
+    fn metric_direction_is_inferred_from_the_name() {
+        for latency in [
+            "tbt_p99_ms",
+            "t2ft_p50_ms",
+            "tier_interactive_tbt_p99_ms",
+            "wall_s",
+        ] {
+            assert!(lower_is_better(latency), "{latency}");
+        }
+        for throughput in [
+            "stages_per_sec",
+            "sim_tokens_per_sec",
+            "goodput_tokens_per_s",
+        ] {
+            assert!(!lower_is_better(throughput), "{throughput}");
+        }
+    }
+
+    #[test]
+    fn gate_trips_on_latency_regressions_end_to_end() {
+        // A baseline pinning a latency metric: the gate must fail when
+        // the measured tail rises past the threshold, and the rendered
+        // table must carry the direction.
+        let baseline = r#"{
+            "BENCH_scenarios": {
+                "long_prefill_chunked": {"tbt_p99_ms": 5.0, "stages_per_sec": 100.0}
+            }
+        }"#;
+        let report = r#"{"scenarios": {
+            "long_prefill_chunked": {"tbt_p99_ms": 9.0, "stages_per_sec": 400.0}
+        }}"#;
+        let cmp = gate_reports(baseline, &[("BENCH_scenarios", report.into())]).expect("valid");
+        let (table, failed) = render_gate(&cmp, DEFAULT_THRESHOLD);
+        assert!(failed, "{table}");
+        assert!(table.contains("tbt_p99_ms"));
+        assert!(table.contains("min"));
+        assert!(table.contains("REGRESSED"));
     }
 
     #[test]
@@ -237,6 +317,7 @@ mod tests {
             key: "k".into(),
             baseline: 100.0,
             current: 5000.0,
+            lower_is_better: false,
         };
         assert!(!c.regressed(DEFAULT_THRESHOLD));
     }

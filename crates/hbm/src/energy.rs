@@ -1,7 +1,7 @@
 //! DRAM access energy model.
 //!
 //! The paper takes DRAM activation/read/write/TSV energy from O'Connor
-//! et al., *Fine-Grained DRAM* (MICRO 2017) — reference [37]. We encode
+//! et al., *Fine-Grained DRAM* (MICRO 2017) — reference \[37\]. We encode
 //! that breakdown as per-bit (and per-activation) constants and charge
 //! each access path only for the pipeline segments it actually
 //! traverses:

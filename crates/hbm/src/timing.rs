@@ -28,7 +28,7 @@ pub struct HbmTiming {
 }
 
 impl HbmTiming {
-    /// HBM3 timing as used in the paper's evaluation (JEDEC HBM3 [21],
+    /// HBM3 timing as used in the paper's evaluation (JEDEC HBM3 \[21\],
     /// with `tCCD_S` = 1.5 ns called out explicitly in Sec. VI).
     ///
     /// # Examples

@@ -11,9 +11,10 @@
 //!   LM head) whose token dimension is the whole stage's token count;
 //! * **grouped attention ops**: attention can never be batched across
 //!   requests because each request owns its KV matrices (Sec. II-C),
-//!   but requests with *identical* context length produce identical
-//!   kernel shapes, so they collapse into one [`AttnOp`] carrying a
-//!   `reqs` multiplicity. Continuous batching admits requests in
+//!   but requests with *identical* context (for prefills: identical
+//!   `(new, past)` pairs — see prefill-with-past on [`StageShape`])
+//!   produce identical kernel shapes, so they collapse into one
+//!   [`AttnOp`] carrying a `reqs` multiplicity. Continuous batching admits requests in
 //!   cohorts that then advance in lockstep, so big stages typically
 //!   shrink to a handful of groups — the system crate prices each group
 //!   once and scales by `reqs`;
@@ -31,13 +32,32 @@ use crate::config::ModelConfig;
 use crate::routing::ExpertRouter;
 
 /// Composition of one continuous-batching stage.
+///
+/// Prefills may be *prefills-with-past*: a sequence whose earlier
+/// context is already KV-resident (a reused conversation history, or
+/// the chunks of a long prompt processed in previous stages) prefills
+/// only its new tokens, but those tokens cross-attend over the
+/// resident context. `prefill_past` carries that resident length, and
+/// `prefill_hold` marks intermediate chunks of a longer prompt, which
+/// attend and write KV but do not sample an output token.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct StageShape {
     /// KV length attended by each decoding sequence (context so far,
     /// including the token being generated).
     pub decode_ctx: Vec<u64>,
-    /// Prompt length of each prefilling sequence.
+    /// New tokens prefilled by each prefilling sequence (the whole
+    /// prompt for a fresh request; the non-resident suffix or chunk
+    /// under prefix reuse / chunked prefill).
     pub prefill_len: Vec<u64>,
+    /// KV-resident context each prefill's new tokens attend over, in
+    /// addition to themselves. Either empty (every prefill is fresh)
+    /// or parallel to `prefill_len`.
+    pub prefill_past: Vec<u64>,
+    /// Prefills that are intermediate chunks of a longer prompt: they
+    /// attend and write KV but emit no LM-head row (the prompt's final
+    /// chunk samples the first token). Either empty (every prefill
+    /// samples) or parallel to `prefill_len`.
+    pub prefill_hold: Vec<bool>,
 }
 
 impl StageShape {
@@ -45,16 +65,71 @@ impl StageShape {
     pub fn decode_only(ctx: &[u64]) -> Self {
         Self {
             decode_ctx: ctx.to_vec(),
-            prefill_len: Vec::new(),
+            ..Self::default()
         }
     }
 
-    /// A mixed stage: ongoing decodes plus newly admitted prefills.
+    /// A mixed stage: ongoing decodes plus newly admitted fresh
+    /// prefills (no resident past).
     pub fn mixed(decode_ctx: &[u64], prefill_len: &[u64]) -> Self {
         Self {
             decode_ctx: decode_ctx.to_vec(),
             prefill_len: prefill_len.to_vec(),
+            ..Self::default()
         }
+    }
+
+    /// A mixed stage whose prefills carry `(new_tokens, past_ctx)`
+    /// pairs: each prefill attends over `past_ctx` resident tokens in
+    /// addition to its own.
+    pub fn with_past(decode_ctx: &[u64], prefill: &[(u64, u64)]) -> Self {
+        let mut s = Self {
+            decode_ctx: decode_ctx.to_vec(),
+            ..Self::default()
+        };
+        for &(len, past) in prefill {
+            s.push_prefill(len, past, false);
+        }
+        s
+    }
+
+    /// Append one prefill of `len` new tokens over `past` resident
+    /// context; `hold` marks an intermediate chunk (no token sampled).
+    /// Maintains the parallel-vector invariant: `prefill_past` /
+    /// `prefill_hold` stay empty while every entry is zero / sampling.
+    pub fn push_prefill(&mut self, len: u64, past: u64, hold: bool) {
+        if past > 0 || !self.prefill_past.is_empty() {
+            if self.prefill_past.is_empty() {
+                self.prefill_past.resize(self.prefill_len.len(), 0);
+            }
+            self.prefill_past.push(past);
+        }
+        if hold || !self.prefill_hold.is_empty() {
+            if self.prefill_hold.is_empty() {
+                self.prefill_hold.resize(self.prefill_len.len(), false);
+            }
+            self.prefill_hold.push(hold);
+        }
+        self.prefill_len.push(len);
+    }
+
+    /// Remove every prefill, keeping vector capacity.
+    pub fn clear_prefills(&mut self) {
+        self.prefill_len.clear();
+        self.prefill_past.clear();
+        self.prefill_hold.clear();
+    }
+
+    /// Resident past context of prefill `i` (0 when all prefills are
+    /// fresh).
+    pub fn prefill_past_of(&self, i: usize) -> u64 {
+        self.prefill_past.get(i).copied().unwrap_or(0)
+    }
+
+    /// Whether prefill `i` samples an output token (false for
+    /// intermediate chunks of a longer prompt).
+    pub fn prefill_samples(&self, i: usize) -> bool {
+        !self.prefill_hold.get(i).copied().unwrap_or(false)
     }
 
     /// Whether the stage contains at least one prefilling sequence.
@@ -70,6 +145,13 @@ impl StageShape {
     /// Requests in the stage (the paper's "batch size").
     pub fn batch_size(&self) -> usize {
         self.decode_ctx.len() + self.prefill_len.len()
+    }
+
+    /// Sequences sampling an output token this stage (every decode,
+    /// plus prefills that are not held chunks) — the LM-head row count.
+    pub fn sampled_rows(&self) -> u64 {
+        let held = self.prefill_hold.iter().filter(|&&h| h).count();
+        (self.decode_ctx.len() + self.prefill_len.len() - held) as u64
     }
 }
 
@@ -210,8 +292,15 @@ impl FcOp {
 pub struct AttnOp {
     /// True for a decoding sequence, false for a prefilling one.
     pub decode: bool,
-    /// KV length attended.
+    /// KV length produced by this op's own tokens (the full context for
+    /// a decode, the new-token count for a prefill).
     pub ctx: u64,
+    /// KV-resident context attended *in addition to* `ctx`: the parked
+    /// history of a reused turn or the already-processed chunks of a
+    /// long prompt (prefill-with-past). Always 0 for decode ops (their
+    /// whole context is `ctx`) and fresh prefills. The past is fully
+    /// attended — causal masking applies only within the `ctx` block.
+    pub past: u64,
     /// Query rows per KV group (`deg_grp` when decoding, `len * deg_grp`
     /// when prefilling).
     pub q_rows: u64,
@@ -219,22 +308,33 @@ pub struct AttnOp {
     pub groups: u64,
     /// Per-head dimension.
     pub d_head: u64,
-    /// Causal masking (halves the effective score/value FLOPs).
+    /// Causal masking over the new-token block (halves its effective
+    /// score/value FLOPs; the `past` block is attended in full).
     pub causal: bool,
     /// Layer replication count.
     pub count: u64,
     /// How many identical requests this grouped op stands for.
     pub reqs: u64,
+    /// Whether each request of this group emits an LM-head row (every
+    /// decode; prefills unless they are held intermediate chunks).
+    pub samples: bool,
 }
 
 impl AttnOp {
-    /// Effective score-context length after causal masking.
+    /// Total KV length attended (`past + ctx`).
+    pub fn attended(&self) -> u64 {
+        self.past + self.ctx
+    }
+
+    /// Effective score-context length after causal masking: the past is
+    /// fully attended, the new block causally.
     fn eff_ctx(&self) -> u64 {
-        if self.causal {
-            self.ctx.div_ceil(2)
-        } else {
-            self.ctx
-        }
+        self.past
+            + if self.causal {
+                self.ctx.div_ceil(2)
+            } else {
+                self.ctx
+            }
     }
 
     /// The Q·Kᵀ GEMM, groups folded into rows.
@@ -260,9 +360,10 @@ impl AttnOp {
         (self.q_rows * self.groups, self.eff_ctx())
     }
 
-    /// DRAM bytes of K plus V streamed per layer instance.
+    /// DRAM bytes of K plus V streamed per layer instance (resident
+    /// past included: the suffix's cross-attention reads it too).
     pub fn kv_dram_bytes(&self, bytes_per_elem: u64) -> u64 {
-        2 * self.ctx * self.d_head * self.groups * bytes_per_elem
+        2 * self.attended() * self.d_head * self.groups * bytes_per_elem
     }
 
     /// FLOPs per layer instance (score + value GEMMs).
@@ -358,7 +459,8 @@ pub struct StageWork {
     pub fc_ops: Vec<FcOp>,
     /// Grouped attention ops (identical-shape requests share one op
     /// with a `reqs` multiplicity), decode groups before prefill
-    /// groups, each class in ascending context order.
+    /// groups; decodes ascend by context, prefills by `(len, past,
+    /// hold)`.
     pub attn: Vec<AttnOp>,
     /// Per-MoE-layer expert histograms (empty for dense models).
     pub moe: Vec<MoeLayerWork>,
@@ -465,8 +567,16 @@ pub fn enumerate_stage_into<R: Rng + ?Sized>(
     rng: &mut R,
     work: &mut StageWork,
 ) {
+    debug_assert!(
+        shape.prefill_past.is_empty() || shape.prefill_past.len() == shape.prefill_len.len(),
+        "prefill_past must be empty or parallel to prefill_len"
+    );
+    debug_assert!(
+        shape.prefill_hold.is_empty() || shape.prefill_hold.len() == shape.prefill_len.len(),
+        "prefill_hold must be empty or parallel to prefill_len"
+    );
     let tokens = shape.tokens();
-    let lm_rows = shape.decode_ctx.len() as u64 + shape.prefill_len.len() as u64;
+    let lm_rows = shape.sampled_rows();
     let layers = u64::from(config.n_layers);
 
     work.tokens = tokens;
@@ -497,20 +607,33 @@ pub fn enumerate_stage_into<R: Rng + ?Sized>(
         attn.push(AttnOp {
             decode: true,
             ctx,
+            past: 0,
             q_rows: u64::from(config.deg_grp),
             groups: u64::from(config.kv_heads()),
             d_head: config.d_head(),
             causal: false,
             count: layers,
             reqs: 1,
+            samples: true,
         });
     }
     let decode_groups = attn.len();
-    let mut sorted_len = shape.prefill_len.clone();
-    sorted_len.sort_unstable();
-    for &len in &sorted_len {
+    // Prefill groups key on the full `(len, past, hold)` triple: only
+    // identical kernel shapes with identical LM-row accounting may
+    // share a group.
+    let mut sorted_pre: Vec<(u64, u64, bool)> = (0..shape.prefill_len.len())
+        .map(|i| {
+            (
+                shape.prefill_len[i],
+                shape.prefill_past_of(i),
+                !shape.prefill_samples(i),
+            )
+        })
+        .collect();
+    sorted_pre.sort_unstable();
+    for &(len, past, hold) in &sorted_pre {
         if let Some(last) = attn[decode_groups..].last_mut() {
-            if last.ctx == len {
+            if last.ctx == len && last.past == past && last.samples != hold {
                 last.reqs += 1;
                 continue;
             }
@@ -518,12 +641,14 @@ pub fn enumerate_stage_into<R: Rng + ?Sized>(
         attn.push(AttnOp {
             decode: false,
             ctx: len,
+            past,
             q_rows: len * u64::from(config.deg_grp),
             groups: u64::from(config.kv_heads()),
             d_head: config.d_head(),
             causal: true,
             count: layers,
             reqs: 1,
+            samples: !hold,
         });
     }
     debug_assert!(attn[..decode_groups].iter().all(|a| a.decode));
@@ -715,6 +840,82 @@ mod tests {
         let w2 = work(&config, &StageShape::mixed(&[10; 4], &[100]));
         assert_eq!(w1.kv_write_bytes, 4 * config.kv_bytes_per_token());
         assert_eq!(w2.kv_write_bytes, 104 * config.kv_bytes_per_token());
+    }
+
+    #[test]
+    fn prefill_with_past_charges_resident_kv() {
+        let config = ModelConfig::mixtral_8x7b();
+        // A 256-token suffix over a 768-token resident history.
+        let shape = StageShape::with_past(&[100; 3], &[(256, 768)]);
+        let w = work(&config, &shape);
+        assert_eq!(w.tokens, 3 + 256, "only new tokens flow through FC");
+        assert_eq!(w.lm_rows, 4);
+        let pre = w.attn.iter().find(|a| !a.decode).expect("prefill op");
+        assert_eq!((pre.ctx, pre.past), (256, 768));
+        assert_eq!(pre.attended(), 1024);
+        // KV streamed covers past + new; a fresh prefill of the same
+        // suffix reads only its own KV.
+        let fresh = AttnOp { past: 0, ..*pre };
+        assert_eq!(
+            pre.kv_dram_bytes(2) - fresh.kv_dram_bytes(2),
+            2 * 768 * pre.d_head * pre.groups * 2
+        );
+        // Score context: the past is fully attended, the new block
+        // causally.
+        assert_eq!(pre.score_shape().n, 768 + 128);
+        assert!(pre.flops() > fresh.flops());
+        // KV written is only the new tokens'.
+        assert_eq!(w.kv_write_bytes, (3 + 256) * config.kv_bytes_per_token());
+    }
+
+    #[test]
+    fn held_chunks_emit_no_lm_rows_and_group_exactly() {
+        let config = ModelConfig::mixtral_8x7b();
+        let mut shape = StageShape::decode_only(&[50; 4]);
+        // Two identical held chunks, one identical sampling prefill:
+        // the hold flag must keep them in separate groups.
+        shape.push_prefill(128, 256, true);
+        shape.push_prefill(128, 256, false);
+        shape.push_prefill(128, 256, true);
+        assert_eq!(shape.sampled_rows(), 5);
+        let w = work(&config, &shape);
+        assert_eq!(w.lm_rows, 5, "held chunks sample no token");
+        let pre: Vec<_> = w.attn.iter().filter(|a| !a.decode).collect();
+        assert_eq!(pre.len(), 2, "hold splits otherwise identical groups");
+        let held = pre.iter().find(|a| !a.samples).expect("held group");
+        assert_eq!(held.reqs, 2);
+        let sampling = pre.iter().find(|a| a.samples).expect("sampling group");
+        assert_eq!(sampling.reqs, 1);
+    }
+
+    #[test]
+    fn prefill_groups_key_on_len_and_past() {
+        let config = ModelConfig::mixtral_8x7b();
+        // Same suffix length, different pasts: distinct kernel shapes.
+        let shape = StageShape::with_past(&[], &[(64, 0), (64, 512), (64, 512), (64, 0)]);
+        let w = work(&config, &shape);
+        assert_eq!(w.attn.len(), 2);
+        assert_eq!((w.attn[0].past, w.attn[0].reqs), (0, 2));
+        assert_eq!((w.attn[1].past, w.attn[1].reqs), (512, 2));
+    }
+
+    #[test]
+    fn push_prefill_keeps_parallel_invariant() {
+        let mut s = StageShape::default();
+        s.push_prefill(10, 0, false);
+        assert!(s.prefill_past.is_empty() && s.prefill_hold.is_empty());
+        s.push_prefill(20, 7, false);
+        assert_eq!(s.prefill_past, vec![0, 7]);
+        assert!(s.prefill_hold.is_empty());
+        s.push_prefill(30, 0, true);
+        assert_eq!(s.prefill_past, vec![0, 7, 0]);
+        assert_eq!(s.prefill_hold, vec![false, false, true]);
+        assert_eq!(s.prefill_past_of(1), 7);
+        assert!(s.prefill_samples(1));
+        assert!(!s.prefill_samples(2));
+        assert_eq!(s.sampled_rows(), 2);
+        s.clear_prefills();
+        assert!(s.prefill_len.is_empty() && s.prefill_past.is_empty());
     }
 
     #[test]

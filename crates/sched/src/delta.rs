@@ -35,6 +35,15 @@
 //! tokens (`admit`) but decodes over its full history (`admit_ctx`).
 //! Schedulers that never reuse leave `admit_ctx` empty.
 //!
+//! Under *chunked prefill* a long prompt is additionally split into
+//! bounded slices across consecutive stages. Every slice but the last
+//! is announced through [`StageDelta::chunk`] as `(new, past)` — it is
+//! priced as a prefill-with-past in its stage but never joins the
+//! decode set; the final slice arrives as a normal admission whose
+//! `admit_ctx` covers the whole prompt. Chunks therefore leave the
+//! carried decode membership untouched, keeping the incremental
+//! executor O(changes).
+//!
 //! The first delta of a run sets [`StageDelta::fresh`], telling the
 //! executor to clear any batch state left over from a previous run
 //! before applying the delta (an executor may be reused across runs).
@@ -57,7 +66,19 @@ pub struct StageDelta {
     /// parallel to `admit`. Empty means "no reuse": every request joins
     /// at its prefilled prompt length. Non-empty requires
     /// `admit_ctx.len() == admit.len()` and `admit_ctx[i] >= admit[i]`.
+    /// The difference `admit_ctx[i] - admit[i]` is the resident past
+    /// the admission's new tokens cross-attend over
+    /// (prefill-with-past pricing).
     pub admit_ctx: Vec<u64>,
+    /// Intermediate prefill chunks processed this stage, as
+    /// `(new_tokens, past_ctx)` pairs: under chunked prefill a long
+    /// prompt is split into bounded slices, and every slice but the
+    /// last is announced here. Chunks attend over `past_ctx` resident
+    /// tokens, write their own KV, and do **not** join the decode set —
+    /// the prompt's final slice is announced through
+    /// [`StageDelta::admit`] / [`StageDelta::admit_ctx`] instead and
+    /// joins as usual.
+    pub chunk: Vec<(u64, u64)>,
     /// Post-advance decode contexts of the requests that retired after
     /// the previous stage.
     pub retire: Vec<u64>,
@@ -76,7 +97,7 @@ impl StageDelta {
     /// retirements, no reset — the case an incremental executor prices
     /// in O(1).
     pub fn is_pure_advance(&self) -> bool {
-        !self.fresh && self.admit.is_empty() && self.retire.is_empty()
+        !self.fresh && self.admit.is_empty() && self.chunk.is_empty() && self.retire.is_empty()
     }
 
     /// The decode-join context of each admitted request: `admit_ctx`
@@ -93,11 +114,21 @@ impl StageDelta {
         }
     }
 
+    /// Resident past each admission's new tokens attend over:
+    /// `admit_ctx[i] - admit[i]`, or 0 for every entry when `admit_ctx`
+    /// is empty (no reuse).
+    pub fn admit_past(&self, i: usize) -> u64 {
+        self.admit_ctx
+            .get(i)
+            .map_or(0, |ctx| ctx.saturating_sub(self.admit[i]))
+    }
+
     /// Reset to a pure advance, keeping vector capacity for reuse.
     pub fn clear(&mut self) {
         self.fresh = false;
         self.admit.clear();
         self.admit_ctx.clear();
+        self.chunk.clear();
         self.retire.clear();
     }
 }
@@ -118,12 +149,27 @@ mod tests {
         let mut d = StageDelta::start();
         d.admit.extend([128, 256]);
         d.admit_ctx.extend([128, 900]);
+        d.chunk.push((64, 512));
         d.retire.push(1000);
         d.clear();
         assert!(d.is_pure_advance());
         assert!(d.admit.capacity() >= 2);
         assert!(d.retire.capacity() >= 1);
         assert!(d.admit_ctx.is_empty());
+        assert!(d.chunk.is_empty());
+    }
+
+    #[test]
+    fn chunks_break_pure_advance_but_not_joins() {
+        let mut d = StageDelta::start();
+        d.clear();
+        assert!(d.is_pure_advance());
+        d.chunk.push((64, 128));
+        assert!(!d.is_pure_advance(), "a chunk stage is mixed");
+        assert!(
+            d.join_contexts().is_empty(),
+            "held chunks never join the decode set"
+        );
     }
 
     #[test]
@@ -131,9 +177,14 @@ mod tests {
         let mut d = StageDelta::start();
         d.admit.extend([128, 256]);
         assert_eq!(d.join_contexts(), &[128, 256]);
+        assert_eq!(d.admit_past(0), 0);
+        assert_eq!(d.admit_past(1), 0);
         // Prefix reuse: the second request prefills 256 new tokens but
-        // joins decode over its full 900-token history.
+        // joins decode over its full 900-token history — 644 of which
+        // its prefill cross-attends as resident past.
         d.admit_ctx.extend([128, 900]);
         assert_eq!(d.join_contexts(), &[128, 900]);
+        assert_eq!(d.admit_past(0), 0);
+        assert_eq!(d.admit_past(1), 644);
     }
 }

@@ -70,7 +70,9 @@ pub use metrics::{
     KvReuseStats, LatencyDigest, LatencySummary, SimReport, SloStats, StageRecord, StageStats,
     TierStats,
 };
-pub use policy::{Fcfs, PolicyKind, PriorityTiers, SchedulingPolicy, ShortestPromptFirst};
+pub use policy::{
+    Fcfs, PolicyContext, PolicyKind, PriorityTiers, SchedulingPolicy, ShortestPromptFirst,
+};
 pub use request::{Request, RequestRecord};
 pub use scenario::{ConversationSpec, PendingRequest, Scenario, ScenarioSimulation, SloTier};
 pub use scheduler::{Simulation, SimulationConfig, StageExecutor, StageOutcome};

@@ -219,6 +219,11 @@ pub struct TierStats {
     pub met: u64,
     /// Output tokens of SLO-attaining requests (the goodput numerator).
     pub good_tokens: u64,
+    /// Streaming token-gap population of this tier's decoding requests
+    /// (including in-flight ones), for per-tier tail latency — the
+    /// metric mixed-stage prefill spikes show up in, and the one
+    /// chunked prefill is built to flatten.
+    pub tbt_digest: LatencyDigest,
 }
 
 impl TierStats {
@@ -228,6 +233,11 @@ impl TierStats {
             return 0.0;
         }
         self.met as f64 / self.completed as f64
+    }
+
+    /// This tier's TBT p99 in seconds (0 with no recorded gaps).
+    pub fn tbt_p99_s(&self) -> f64 {
+        self.tbt_digest.quantile(99.0)
     }
 }
 
@@ -583,6 +593,7 @@ mod tests {
                     completed: 10,
                     met: 8,
                     good_tokens: 800,
+                    ..TierStats::default()
                 },
                 TierStats {
                     name: "batch".into(),
@@ -591,6 +602,7 @@ mod tests {
                     completed: 5,
                     met: 5,
                     good_tokens: 2000,
+                    ..TierStats::default()
                 },
             ],
         };

@@ -3,11 +3,58 @@
 //! The base [`crate::Simulation`] admits strictly FIFO. Scenario runs
 //! (see [`crate::scenario`]) instead consult a [`SchedulingPolicy`]
 //! each time a batch slot opens: the policy sees every request that
-//! has arrived and not yet been admitted, and picks which one prefills
-//! next. Three classic policies ship here; anything implementing the
-//! trait plugs in.
+//! has arrived and not yet been admitted, plus a [`PolicyContext`]
+//! describing the scheduler's stage (current clock, the chunked-prefill
+//! budget), and picks which one prefills next. Three classic policies
+//! ship here; anything implementing the trait plugs in.
+//!
+//! # Starvation
+//!
+//! Length-biased policies can starve: shortest-prompt-first never
+//! admits a long prompt while shorter ones keep arriving. The
+//! scheduler therefore maintains [`PendingRequest::skipped`] — how many
+//! admissions have gone past a waiting request — and
+//! [`ShortestPromptFirst`] ages on it: once a request has been skipped
+//! [`ShortestPromptFirst::age_after`] times, it outranks every un-aged
+//! request and aged requests drain FIFO. Chunked prefill (see
+//! [`PolicyContext::prefill_chunk`]) independently softens the bias:
+//! with a bounded per-stage prefill budget, a long prompt's *first
+//! stage* costs no more than the chunk, so the policy ranks prompts by
+//! their bounded first-stage cost instead of their full length.
 
 use crate::scenario::PendingRequest;
+
+/// What the scheduler tells a policy about the stage being formed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PolicyContext {
+    /// Simulated time at which the admission decision is made.
+    pub now_s: f64,
+    /// Per-stage prefill token budget under chunked prefill; `None`
+    /// when prompts prefill whole in one stage.
+    pub prefill_chunk: Option<u64>,
+}
+
+impl PolicyContext {
+    /// An unchunked context at `now_s` (tests and simple drivers).
+    pub fn at(now_s: f64) -> Self {
+        Self {
+            now_s,
+            prefill_chunk: None,
+        }
+    }
+
+    /// The prefill tokens request `p`'s first stage would process: the
+    /// non-resident part of its prompt (a reuse follow-up prefills only
+    /// its suffix, assuming its history is still parked), capped by the
+    /// chunk budget when chunking.
+    pub fn first_stage_tokens(&self, p: &PendingRequest) -> u64 {
+        let suffix = p.request.input_len - p.history_tokens;
+        match self.prefill_chunk {
+            Some(chunk) => suffix.min(chunk),
+            None => suffix,
+        }
+    }
+}
 
 /// Picks the next pending request to admit.
 pub trait SchedulingPolicy {
@@ -16,8 +63,8 @@ pub trait SchedulingPolicy {
 
     /// Index into `pending` of the request to admit next. Called with a
     /// non-empty slice in which every request has already arrived
-    /// (`arrival_s <= now_s`); invoked again after each admission.
-    fn pick(&mut self, pending: &[PendingRequest], now_s: f64) -> usize;
+    /// (`arrival_s <= ctx.now_s`); invoked again after each admission.
+    fn pick(&mut self, pending: &[PendingRequest], ctx: &PolicyContext) -> usize;
 }
 
 /// First-come-first-served: strictly by arrival time (ties by id), the
@@ -30,29 +77,71 @@ impl SchedulingPolicy for Fcfs {
         "fcfs"
     }
 
-    fn pick(&mut self, pending: &[PendingRequest], _now_s: f64) -> usize {
+    fn pick(&mut self, pending: &[PendingRequest], _ctx: &PolicyContext) -> usize {
         argmin(pending, |p| (p.request.arrival_s, p.request.id, 0))
     }
 }
 
-/// Shortest-prompt-first: admit the cheapest prefill (ties by arrival,
-/// then id). Improves mean T2FT under bursts at the cost of starving
-/// long prompts.
-#[derive(Debug, Clone, Copy, Default)]
-pub struct ShortestPromptFirst;
+/// Shortest-prompt-first: admit the cheapest first prefill stage (ties
+/// by arrival, then id). Improves mean T2FT under bursts, but unguarded
+/// it starves long prompts; the aging guard promotes any request that
+/// has been skipped [`ShortestPromptFirst::age_after`] times to the
+/// front of the queue (aged requests drain FIFO among themselves).
+#[derive(Debug, Clone, Copy)]
+pub struct ShortestPromptFirst {
+    /// Skipped-admission count after which a waiting request outranks
+    /// every un-aged one. `u64::MAX` disables the guard (the classic,
+    /// starvation-prone policy).
+    pub age_after: u64,
+}
+
+impl ShortestPromptFirst {
+    /// Default skipped-admission budget before a request is aged.
+    pub const DEFAULT_AGE_AFTER: u64 = 32;
+
+    /// A guard tripping after `age_after` skipped admissions.
+    pub fn with_aging(age_after: u64) -> Self {
+        Self { age_after }
+    }
+
+    /// The unguarded classic policy (starves long prompts; ablations
+    /// and tests only).
+    pub fn unguarded() -> Self {
+        Self {
+            age_after: u64::MAX,
+        }
+    }
+}
+
+impl Default for ShortestPromptFirst {
+    fn default() -> Self {
+        Self {
+            age_after: Self::DEFAULT_AGE_AFTER,
+        }
+    }
+}
 
 impl SchedulingPolicy for ShortestPromptFirst {
     fn name(&self) -> &'static str {
         "spf"
     }
 
-    fn pick(&mut self, pending: &[PendingRequest], _now_s: f64) -> usize {
+    fn pick(&mut self, pending: &[PendingRequest], ctx: &PolicyContext) -> usize {
+        // Aged requests (skipped too many admissions) preempt the
+        // length order and drain FIFO; otherwise rank by the bounded
+        // first-stage prefill cost, ties by arrival then id.
+        let aged = self.age_after;
         argmin(pending, |p| {
-            (
-                p.request.input_len as f64,
-                p.request.arrival_s,
-                p.request.id,
-            )
+            if p.skipped >= aged {
+                (0u8, 0.0, p.request.arrival_s, p.request.id)
+            } else {
+                (
+                    1u8,
+                    ctx.first_stage_tokens(p) as f64,
+                    p.request.arrival_s,
+                    p.request.id,
+                )
+            }
         })
     }
 }
@@ -68,7 +157,7 @@ impl SchedulingPolicy for PriorityTiers {
         "priority-edf"
     }
 
-    fn pick(&mut self, pending: &[PendingRequest], _now_s: f64) -> usize {
+    fn pick(&mut self, pending: &[PendingRequest], _ctx: &PolicyContext) -> usize {
         argmin(pending, |p| {
             (f64::from(p.priority), p.deadline_s, p.request.arrival_s)
         })
@@ -80,7 +169,7 @@ impl SchedulingPolicy for PriorityTiers {
 pub enum PolicyKind {
     /// [`Fcfs`].
     Fcfs,
-    /// [`ShortestPromptFirst`].
+    /// [`ShortestPromptFirst`] with the default aging guard.
     ShortestPromptFirst,
     /// [`PriorityTiers`].
     PriorityTiers,
@@ -98,7 +187,7 @@ impl PolicyKind {
     pub fn build(self) -> Box<dyn SchedulingPolicy> {
         match self {
             PolicyKind::Fcfs => Box::new(Fcfs),
-            PolicyKind::ShortestPromptFirst => Box::new(ShortestPromptFirst),
+            PolicyKind::ShortestPromptFirst => Box::new(ShortestPromptFirst::default()),
             PolicyKind::PriorityTiers => Box::new(PriorityTiers),
         }
     }
@@ -144,6 +233,7 @@ mod tests {
             conversation: id,
             round: 1,
             history_tokens: 0,
+            skipped: 0,
         }
     }
 
@@ -154,7 +244,7 @@ mod tests {
             pending(1, 1.0, 900, 0, 9.0),
             pending(2, 3.0, 5, 0, 9.0),
         ];
-        assert_eq!(Fcfs.pick(&q, 3.0), 1);
+        assert_eq!(Fcfs.pick(&q, &PolicyContext::at(3.0)), 1);
     }
 
     #[test]
@@ -164,7 +254,57 @@ mod tests {
             pending(1, 2.0, 8, 0, 9.0),
             pending(2, 0.5, 600, 0, 9.0),
         ];
-        assert_eq!(ShortestPromptFirst.pick(&q, 3.0), 1);
+        assert_eq!(
+            ShortestPromptFirst::default().pick(&q, &PolicyContext::at(3.0)),
+            1
+        );
+    }
+
+    #[test]
+    fn spf_aging_promotes_skipped_requests() {
+        let mut q = [
+            pending(0, 0.0, 900, 0, 9.0),
+            pending(1, 1.0, 10, 0, 9.0),
+            pending(2, 0.5, 800, 0, 9.0),
+        ];
+        let mut spf = ShortestPromptFirst::with_aging(4);
+        let ctx = PolicyContext::at(2.0);
+        assert_eq!(spf.pick(&q, &ctx), 1, "short prompt wins un-aged");
+        // Both long prompts cross the aging threshold: FIFO among aged.
+        q[0].skipped = 4;
+        q[2].skipped = 5;
+        assert_eq!(spf.pick(&q, &ctx), 0, "earliest aged request wins");
+        // The unguarded policy ignores skips entirely.
+        assert_eq!(ShortestPromptFirst::unguarded().pick(&q, &ctx), 1);
+    }
+
+    #[test]
+    fn spf_ranks_by_bounded_first_stage_under_chunking() {
+        // With a 64-token chunk budget both long prompts cost one full
+        // chunk up front; the tie breaks by arrival, not total length.
+        let q = [pending(3, 0.0, 900, 0, 9.0), pending(1, 1.0, 400, 0, 9.0)];
+        let ctx = PolicyContext {
+            now_s: 2.0,
+            prefill_chunk: Some(64),
+        };
+        assert_eq!(ShortestPromptFirst::default().pick(&q, &ctx), 0);
+        // Unchunked, total length decides.
+        assert_eq!(
+            ShortestPromptFirst::default().pick(&q, &PolicyContext::at(2.0)),
+            1
+        );
+    }
+
+    #[test]
+    fn spf_keys_reuse_followups_by_their_suffix() {
+        // A 900-token follow-up with 890 resident tokens prefills only
+        // 10: it must beat a fresh 100-token prompt.
+        let mut follow = pending(7, 1.0, 900, 0, 9.0);
+        follow.history_tokens = 890;
+        let q = [pending(0, 0.0, 100, 0, 9.0), follow];
+        let ctx = PolicyContext::at(2.0);
+        assert_eq!(ctx.first_stage_tokens(&q[1]), 10);
+        assert_eq!(ShortestPromptFirst::default().pick(&q, &ctx), 1);
     }
 
     #[test]
@@ -174,16 +314,16 @@ mod tests {
             pending(1, 0.2, 10, 1, 9.0), // high tier, late deadline
             pending(2, 0.3, 10, 1, 4.0), // high tier, nearer deadline
         ];
-        assert_eq!(PriorityTiers.pick(&q, 1.0), 2);
+        assert_eq!(PriorityTiers.pick(&q, &PolicyContext::at(1.0)), 2);
         // Without the high tier, the urgent low-tier request wins.
         let q2 = [pending(0, 0.1, 10, 2, 0.5), pending(3, 0.0, 10, 2, 8.0)];
-        assert_eq!(PriorityTiers.pick(&q2, 1.0), 0);
+        assert_eq!(PriorityTiers.pick(&q2, &PolicyContext::at(1.0)), 0);
     }
 
     #[test]
     fn policies_have_names() {
         assert_eq!(Fcfs.name(), "fcfs");
-        assert_eq!(ShortestPromptFirst.name(), "spf");
+        assert_eq!(ShortestPromptFirst::default().name(), "spf");
         assert_eq!(PriorityTiers.name(), "priority-edf");
     }
 }

@@ -25,14 +25,29 @@
 //! [`StageDelta`] fast path: pure-decode stages price in O(1), mixed
 //! admit/retire stages fall back to the grouped full path.
 //!
-//! # Modeling note: reused prefixes
+//! # Reused prefixes price exactly
 //!
 //! A reuse-admitted follow-up prefills only its suffix but decodes over
 //! its full history (`admit_ctx`), exactly like prefix caching. The
-//! suffix prefill is priced as a fresh prefill of that length — the
-//! cross-attention of the new tokens over the resident history is not
-//! separately charged, which underprices long-history turn prefills
-//! slightly; decode pricing is exact.
+//! admission announces the split to the executor *and* to the stage
+//! shape (`prefill_past`), so the suffix's cross-attention over the
+//! resident history is charged exactly — the pricing approximation
+//! that previously underpriced long-history turns is closed; see
+//! `duplex_model::ops::StageShape` on prefill-with-past.
+//!
+//! # Chunked prefill
+//!
+//! A long prompt in a mixed stage stalls every decoding request for the
+//! whole prefill, spiking the token-between-token tail. With
+//! [`Scenario::prefill_chunk`] set, each stage prefills at most that
+//! many prompt tokens: a long prompt is split into bounded slices
+//! processed across consecutive stages, each slice a prefill-with-past
+//! over the slices before it (announced via [`StageDelta::chunk`]).
+//! Only the final slice samples the first token and joins the decode
+//! set, so decode requests interleave with short mixed stages instead
+//! of one long one. Throughput is nearly unchanged (the same tokens are
+//! processed; only per-chunk launch overheads repeat), while the
+//! mixed-stage TBT p99 drops by roughly the prompt/chunk ratio.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -44,7 +59,7 @@ use crate::delta::StageDelta;
 use crate::metrics::{
     KvReuseStats, LatencyDigest, SimReport, SloStats, StageRecord, StageStats, TierStats,
 };
-use crate::policy::SchedulingPolicy;
+use crate::policy::{PolicyContext, SchedulingPolicy};
 use crate::request::{Request, RequestRecord};
 use crate::scheduler::{SimulationConfig, StageExecutor};
 use crate::workload::{exp_sample, sample_len, Arrivals, RequestSource, Workload};
@@ -135,6 +150,11 @@ pub struct Scenario {
     pub conversation: Option<ConversationSpec>,
     /// Service tiers; empty runs without SLO accounting.
     pub tiers: Vec<SloTier>,
+    /// Per-stage prefill token budget: prompts longer than this are
+    /// split into chunks across consecutive stages (see the
+    /// [module docs](self)). 0 disables chunking (whole-prompt
+    /// prefills, the paper's behavior).
+    pub prefill_chunk: u64,
 }
 
 impl Scenario {
@@ -147,12 +167,20 @@ impl Scenario {
             requests,
             conversation: None,
             tiers: Vec::new(),
+            prefill_chunk: 0,
         }
     }
 
     /// Attach a conversation spec.
     pub fn with_conversation(mut self, spec: ConversationSpec) -> Self {
         self.conversation = Some(spec);
+        self
+    }
+
+    /// Bound each stage's prefill work to `tokens` prompt tokens
+    /// (chunked prefill; 0 disables).
+    pub fn with_prefill_chunk(mut self, tokens: u64) -> Self {
+        self.prefill_chunk = tokens;
         self
     }
 
@@ -197,6 +225,10 @@ pub struct PendingRequest {
     /// Prompt prefix that may still be KV-resident from the previous
     /// round (0 for fresh requests).
     pub history_tokens: u64,
+    /// Admissions that have gone past this request while it waited —
+    /// the aging signal for starvation guards (see
+    /// [`crate::policy::ShortestPromptFirst`]).
+    pub skipped: u64,
 }
 
 #[derive(Debug)]
@@ -206,6 +238,19 @@ struct ActiveRequest {
     /// suffix under prefix reuse).
     generated: u64,
     first_token_s: f64,
+}
+
+/// A request whose prompt is being prefilled in chunks: admitted (its
+/// KV is reserved, it holds a batch slot) but not yet decoding.
+#[derive(Debug)]
+struct ChunkingRequest {
+    pending: PendingRequest,
+    /// Resident history its chunks attend over (prefix reuse).
+    history: u64,
+    /// New prompt tokens already prefilled by earlier chunks.
+    processed: u64,
+    /// Total new tokens to prefill (input_len - resident history).
+    prefill_total: u64,
 }
 
 impl ActiveRequest {
@@ -263,6 +308,15 @@ impl ScenarioSimulation {
         let mut pending: Vec<PendingRequest> = Vec::new();
         let mut active: Vec<ActiveRequest> = Vec::new();
         let mut admitted: Vec<ActiveRequest> = Vec::new();
+        // Requests mid-way through a chunked prompt prefill, in
+        // admission order (each stage continues them FIFO).
+        let mut chunking: Vec<ChunkingRequest> = Vec::new();
+        // Whether deltas must carry decode-join contexts: reuse
+        // admissions and chunked final slices join above their
+        // prefilled length.
+        let announce_ctx = scenario.conversation.is_some() || scenario.prefill_chunk > 0;
+        // Reused per-stage tier-occupancy counts for per-tier TBT.
+        let mut tier_active: Vec<u64> = vec![0; scenario.tiers.len()];
         let mut completed: Vec<RequestRecord> = Vec::new();
         let mut stages: Vec<StageRecord> = Vec::new();
         let mut stage_stats = StageStats::default();
@@ -320,9 +374,53 @@ impl ScenarioSimulation {
                 pending.push(followups.pop().expect("checked non-empty"));
             }
 
+            // ---- per-stage prefill token budget (chunked prefill) ----
+            let mut budget = if scenario.prefill_chunk == 0 {
+                u64::MAX
+            } else {
+                scenario.prefill_chunk
+            };
+
+            // ---- continue in-flight chunked prompts, FIFO ----
+            let mut ci = 0;
+            while ci < chunking.len() && budget > 0 {
+                let c = &mut chunking[ci];
+                let remaining = c.prefill_total - c.processed;
+                let slice = remaining.min(budget);
+                let past = c.history + c.processed;
+                budget -= slice;
+                if slice == remaining {
+                    // Final slice: samples the first token and joins the
+                    // decode set at the full prompt context.
+                    delta.admit.push(slice);
+                    if announce_ctx {
+                        delta.admit_ctx.push(c.pending.request.input_len);
+                    }
+                    shape.push_prefill(slice, past, false);
+                    let done = chunking.remove(ci);
+                    admitted.push(ActiveRequest {
+                        pending: done.pending,
+                        generated: 0,
+                        first_token_s: 0.0,
+                    });
+                } else {
+                    delta.chunk.push((slice, past));
+                    shape.push_prefill(slice, past, true);
+                    c.processed += slice;
+                    ci += 1;
+                }
+            }
+
             // ---- policy-driven admission ----
-            while active.len() + admitted.len() < config.max_batch && !pending.is_empty() {
-                let idx = policy.pick(&pending, clock);
+            let pctx = PolicyContext {
+                now_s: clock,
+                prefill_chunk: (scenario.prefill_chunk > 0).then_some(scenario.prefill_chunk),
+            };
+            while active.len() + admitted.len() + chunking.len() < config.max_batch
+                && !pending.is_empty()
+                && budget > 0
+            {
+                let idx = policy.pick(&pending, &pctx);
                 assert!(
                     idx < pending.len(),
                     "policy picked index {idx} of {}",
@@ -333,7 +431,10 @@ impl ScenarioSimulation {
                     // Even evicting every parked history cannot admit:
                     // wait for retirements (head-of-line block).
                     assert!(
-                        !(active.is_empty() && admitted.is_empty() && reserved == 0),
+                        !(active.is_empty()
+                            && admitted.is_empty()
+                            && chunking.is_empty()
+                            && reserved == 0),
                         "request {} needs {need} KV bytes, capacity {}",
                         pending[idx].request.id,
                         config.kv_capacity_bytes
@@ -341,6 +442,11 @@ impl ScenarioSimulation {
                     break;
                 }
                 let p = pending.swap_remove(idx);
+                // Everyone still waiting was passed over by this
+                // admission: the aging signal for starvation guards.
+                for q in pending.iter_mut() {
+                    q.skipped += 1;
+                }
                 // Reuse-aware accounting: claim a resident history (its
                 // bytes migrate from the parked pool into the active
                 // reservation), then evict other parked histories until
@@ -366,19 +472,36 @@ impl ScenarioSimulation {
                 }
                 kv_reuse.prefilled_tokens += prefill;
                 reserved += need;
-                delta.admit.push(prefill);
-                if scenario.conversation.is_some() {
-                    delta.admit_ctx.push(p.request.input_len);
+                // The new tokens cross-attend over any reused history.
+                let resident = p.request.input_len - prefill;
+                let slice = prefill.min(budget);
+                budget -= slice;
+                if slice < prefill {
+                    // Prompt longer than the remaining budget: start
+                    // chunking — this slice attends, writes KV, holds.
+                    delta.chunk.push((slice, resident));
+                    shape.push_prefill(slice, resident, true);
+                    chunking.push(ChunkingRequest {
+                        pending: p,
+                        history: resident,
+                        processed: slice,
+                        prefill_total: prefill,
+                    });
+                } else {
+                    delta.admit.push(prefill);
+                    if announce_ctx {
+                        delta.admit_ctx.push(p.request.input_len);
+                    }
+                    shape.push_prefill(prefill, resident, false);
+                    admitted.push(ActiveRequest {
+                        pending: p,
+                        generated: 0,
+                        first_token_s: 0.0,
+                    });
                 }
-                shape.prefill_len.push(prefill);
-                admitted.push(ActiveRequest {
-                    pending: p,
-                    generated: 0,
-                    first_token_s: 0.0,
-                });
             }
 
-            if active.is_empty() && admitted.is_empty() {
+            if active.is_empty() && admitted.is_empty() && chunking.is_empty() {
                 // Idle: jump to the next arrival, if any.
                 let next_source = peeked.as_ref().map(|r| r.arrival_s);
                 let next_follow = followups.last().map(|f| f.request.arrival_s);
@@ -389,7 +512,7 @@ impl ScenarioSimulation {
                     (None, None) => break,
                 };
                 clock = clock.max(next);
-                shape.prefill_len.clear();
+                shape.clear_prefills();
                 continue;
             }
 
@@ -398,7 +521,7 @@ impl ScenarioSimulation {
             shape
                 .decode_ctx
                 .extend(active.iter().map(ActiveRequest::decode_ctx));
-            debug_assert_eq!(shape.prefill_len.len(), admitted.len());
+            debug_assert_eq!(shape.prefill_len.len(), admitted.len() + delta.chunk.len());
             let outcome = executor.execute_delta(&delta, &shape);
             delta.clear();
             clock += outcome.seconds;
@@ -412,9 +535,18 @@ impl ScenarioSimulation {
             if config.record_stages {
                 stages.push(record);
             }
-            shape.prefill_len.clear();
+            shape.clear_prefills();
 
             tbt_digest.record_n(outcome.seconds, active.len() as u64);
+            if !tier_stats.is_empty() {
+                tier_active.iter_mut().for_each(|c| *c = 0);
+                for a in &active {
+                    tier_active[a.pending.tier] += 1;
+                }
+                for (stats, &n) in tier_stats.iter_mut().zip(&tier_active) {
+                    stats.tbt_digest.record_n(outcome.seconds, n);
+                }
+            }
             for a in &mut active {
                 a.generated += 1;
             }
@@ -488,6 +620,7 @@ impl ScenarioSimulation {
                             conversation: done.pending.conversation,
                             round: done.pending.round + 1,
                             history_tokens: history,
+                            skipped: 0,
                         };
                         // Keep descending arrival order (pop from back).
                         let pos = followups
@@ -540,6 +673,7 @@ fn make_pending(request: Request, tier: usize, tiers: &[SloTier]) -> PendingRequ
         conversation: request.id,
         round: 1,
         history_tokens: 0,
+        skipped: 0,
     }
 }
 
@@ -771,11 +905,70 @@ mod tests {
         let scenario = Scenario::new("spf", Workload::fixed(1, 1), Arrivals::trace(trace), 3);
         let mut rec = Recording::new();
         ScenarioSimulation::new(config(1), scenario.clone())
-            .run(&mut ShortestPromptFirst, &mut rec);
+            .run(&mut ShortestPromptFirst::default(), &mut rec);
         assert_eq!(rec.shapes[0].prefill_len, vec![10]);
         let mut rec2 = Recording::new();
         ScenarioSimulation::new(config(1), scenario).run(&mut Fcfs, &mut rec2);
         assert_eq!(rec2.shapes[0].prefill_len, vec![500]);
+    }
+
+    #[test]
+    fn aging_rescues_a_starving_long_prompt() {
+        // One 500-token prompt plus a dense stream of 10-token prompts
+        // at batch 1: unguarded shortest-prompt-first admits every
+        // short first — with an unbounded stream the long prompt would
+        // starve forever. The aging guard admits it after 6 skipped
+        // admissions.
+        let mk_trace = || {
+            let mut trace = vec![crate::trace::TraceRequest {
+                arrival_s: 0.0,
+                input_len: 500,
+                output_len: 2,
+            }];
+            for i in 0..60u32 {
+                trace.push(crate::trace::TraceRequest {
+                    arrival_s: f64::from(i) * 0.001,
+                    input_len: 10,
+                    output_len: 2,
+                });
+            }
+            trace
+        };
+        let run = |policy: &mut dyn SchedulingPolicy| {
+            let scenario = Scenario::new(
+                "starve",
+                Workload::fixed(1, 1),
+                Arrivals::trace(mk_trace()),
+                61,
+            );
+            ScenarioSimulation::new(config(1), scenario).run(policy, &mut Fixed(0.01))
+        };
+        let long_first_token = |report: &SimReport| {
+            report
+                .completed
+                .iter()
+                .find(|r| r.request.input_len == 500)
+                .expect("long prompt completes in a finite trace")
+                .first_token_s
+        };
+
+        let unguarded = run(&mut ShortestPromptFirst::unguarded());
+        let guarded = run(&mut ShortestPromptFirst::with_aging(6));
+        let t_unguarded = long_first_token(&unguarded);
+        let t_guarded = long_first_token(&guarded);
+        // Unguarded: every one of the 60 shorts (2 stages each) goes
+        // first; the long prompt is served dead last.
+        assert!(
+            t_unguarded > 60.0 * 2.0 * 0.01 - 1e-9,
+            "unguarded long prompt served at {t_unguarded}"
+        );
+        // Aged after 6 skipped admissions: served an order of magnitude
+        // earlier, and the stream is not reordered wholesale.
+        assert!(
+            t_guarded < t_unguarded / 4.0,
+            "guarded {t_guarded} vs unguarded {t_unguarded}"
+        );
+        assert_eq!(guarded.completed.len(), 61);
     }
 
     #[test]
@@ -807,6 +1000,182 @@ mod tests {
         let report = run_scenario(scenario, cfg, &mut Fcfs);
         assert_eq!(report.stage_stats.stages, 5);
         assert!(report.completed.is_empty());
+    }
+
+    #[test]
+    fn chunked_prefill_splits_long_prompts() {
+        // One 300-token prompt under a 128-token budget: two held
+        // chunks, then a 44-token final slice that samples and joins.
+        let scenario = Scenario::new("chunk", Workload::fixed(300, 3), Arrivals::ClosedLoop, 1)
+            .with_prefill_chunk(128);
+        let mut rec = Recording::new();
+        let report = ScenarioSimulation::new(config(4), scenario).run(&mut Fcfs, &mut rec);
+        assert_eq!(report.completed.len(), 1);
+
+        assert_eq!(rec.shapes[0].prefill_len, vec![128]);
+        assert_eq!(rec.shapes[0].prefill_hold, vec![true]);
+        assert_eq!(rec.deltas[0].chunk, vec![(128, 0)]);
+        assert!(rec.deltas[0].admit.is_empty());
+
+        assert_eq!(rec.shapes[1].prefill_len, vec![128]);
+        assert_eq!(rec.shapes[1].prefill_past, vec![128]);
+        assert_eq!(rec.deltas[1].chunk, vec![(128, 128)]);
+
+        assert_eq!(rec.shapes[2].prefill_len, vec![44]);
+        assert_eq!(rec.shapes[2].prefill_past, vec![256]);
+        assert!(rec.shapes[2].prefill_samples(0), "final slice samples");
+        assert_eq!(rec.deltas[2].admit, vec![44]);
+        assert_eq!(rec.deltas[2].admit_ctx, vec![300], "joins at full prompt");
+
+        // Decoding over the full context from the next stage on.
+        assert_eq!(rec.shapes[3].decode_ctx, vec![301]);
+        assert!(rec.shapes[3].prefill_len.is_empty());
+        // First token lands after the final slice: 3 prefill stages.
+        let done = &report.completed[0];
+        assert!((done.t2ft() - 0.03).abs() < 1e-9, "t2ft {}", done.t2ft());
+    }
+
+    #[test]
+    fn chunk_budget_bounds_every_stage() {
+        // A burst of long prompts: no stage may prefill more than the
+        // budget, decodes interleave, and everything still completes.
+        let scenario = Scenario::new(
+            "budget",
+            Workload::fixed(200, 6).with_seed(3),
+            Arrivals::Poisson { qps: 500.0 },
+            12,
+        )
+        .with_prefill_chunk(96);
+        let mut rec = Recording::new();
+        let report = ScenarioSimulation::new(config(6), scenario).run(&mut Fcfs, &mut rec);
+        assert_eq!(report.completed.len(), 12);
+        for (i, shape) in rec.shapes.iter().enumerate() {
+            let prefill: u64 = shape.prefill_len.iter().sum();
+            assert!(prefill <= 96, "stage {i} prefills {prefill} tokens");
+        }
+        // The budget forces held chunks to actually occur.
+        assert!(rec.deltas.iter().any(|d| !d.chunk.is_empty()));
+        // Chunks attend over their prompt's earlier slices.
+        assert!(rec
+            .deltas
+            .iter()
+            .flat_map(|d| &d.chunk)
+            .any(|&(_, past)| past > 0));
+    }
+
+    #[test]
+    fn chunked_run_matches_unchunked_completions() {
+        let mk = |chunk: u64| {
+            let scenario = Scenario::new(
+                "cmp",
+                Workload::gaussian(220, 8).with_seed(11),
+                Arrivals::Poisson { qps: 300.0 },
+                15,
+            )
+            .with_prefill_chunk(chunk);
+            run_scenario(scenario, config(4), &mut Fcfs)
+        };
+        let plain = mk(0);
+        let chunked = mk(64);
+        assert_eq!(plain.completed.len(), chunked.completed.len());
+        // Chunking only adds stages (slices), never loses tokens.
+        assert!(chunked.stage_stats.stages > plain.stage_stats.stages);
+        assert_eq!(plain.total_tokens(), chunked.total_tokens());
+        assert_eq!(
+            plain.stage_stats.token_sum, chunked.stage_stats.token_sum,
+            "same FC tokens processed overall"
+        );
+    }
+
+    #[test]
+    fn chunked_deltas_replay_to_materialized_shapes() {
+        // The delta/shape contract under chunking + conversations:
+        // decode membership follows admit/retire alone, and each
+        // stage's prefills are exactly the delta's admissions (with
+        // their reuse past) plus its held chunks.
+        let scenario = Scenario::new(
+            "chunkchat",
+            Workload::gaussian(180, 6).with_seed(23),
+            Arrivals::Poisson { qps: 400.0 },
+            10,
+        )
+        .with_conversation(ConversationSpec::chat(0.8, 3, 0.002, 48))
+        .with_prefill_chunk(80);
+        let mut rec = Recording::new();
+        ScenarioSimulation::new(config(4), scenario).run(&mut Fcfs, &mut rec);
+        assert!(rec.deltas.iter().any(|d| !d.chunk.is_empty()));
+        let mut mirror: Vec<u64> = Vec::new();
+        let mut pend: Vec<u64> = Vec::new();
+        for (delta, shape) in rec.deltas.iter().zip(&rec.shapes) {
+            if delta.fresh {
+                mirror.clear();
+                pend.clear();
+            }
+            for c in &mut mirror {
+                *c += 1;
+            }
+            mirror.extend(pend.drain(..).map(|p| p + 1));
+            for r in &delta.retire {
+                let pos = mirror
+                    .iter()
+                    .position(|c| c == r)
+                    .expect("retired ctx present");
+                mirror.swap_remove(pos);
+            }
+            pend.extend_from_slice(delta.join_contexts());
+            let mut want = shape.decode_ctx.clone();
+            want.sort_unstable();
+            let mut got = mirror.clone();
+            got.sort_unstable();
+            assert_eq!(got, want);
+            // Prefills = admissions (len, past, sampling) + chunks
+            // (len, past, held), as multisets.
+            let mut want_pre: Vec<(u64, u64, bool)> = (0..delta.admit.len())
+                .map(|i| (delta.admit[i], delta.admit_past(i), false))
+                .chain(delta.chunk.iter().map(|&(len, past)| (len, past, true)))
+                .collect();
+            let mut got_pre: Vec<(u64, u64, bool)> = (0..shape.prefill_len.len())
+                .map(|i| {
+                    (
+                        shape.prefill_len[i],
+                        shape.prefill_past_of(i),
+                        !shape.prefill_samples(i),
+                    )
+                })
+                .collect();
+            want_pre.sort_unstable();
+            got_pre.sort_unstable();
+            assert_eq!(got_pre, want_pre);
+        }
+    }
+
+    #[test]
+    fn reuse_admissions_carry_past_in_the_shape() {
+        let scenario = Scenario::new(
+            "chat",
+            Workload::fixed(64, 4).with_seed(1),
+            Arrivals::ClosedLoop,
+            2,
+        )
+        .with_conversation(ConversationSpec::chat(1.0, 2, 0.001, 16));
+        let mut rec = Recording::new();
+        ScenarioSimulation::new(config(4), scenario).run(&mut Fcfs, &mut rec);
+        // A reused follow-up prefills its 16-token suffix over the
+        // 68-token resident history, and the shape says so.
+        let (i, shape) = rec
+            .shapes
+            .iter()
+            .enumerate()
+            .find(|(_, s)| !s.prefill_past.is_empty() && s.prefill_past.iter().any(|&p| p > 0))
+            .expect("a reuse admission with past exists");
+        let j = shape
+            .prefill_past
+            .iter()
+            .position(|&p| p > 0)
+            .expect("past");
+        assert_eq!(shape.prefill_past[j], 68);
+        assert_eq!(shape.prefill_len[j], 16);
+        assert_eq!(rec.deltas[i].admit_past(j), 68);
     }
 
     #[test]

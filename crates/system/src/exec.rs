@@ -8,7 +8,8 @@
 //! loop: paper-scale sweeps price hundreds of thousands of stages, so
 //! the executor works on *grouped* ops end to end:
 //!
-//! * attention arrives pre-grouped from [`enumerate_stage`] — one
+//! * attention arrives pre-grouped from
+//!   [`enumerate_stage`](duplex_model::ops::enumerate_stage) — one
 //!   [`AttnOp`] per distinct context length with a `reqs` multiplicity
 //!   — and each group is priced **once** per node, then scaled by its
 //!   multiplicity (seconds and energy are linear in the number of
@@ -667,7 +668,7 @@ impl SystemExecutor {
     /// prices with a few multiplies. Matches [`Self::attn_cost`] to
     /// floating-point associativity.
     fn decode_attn_pricer(&self, engine: &Engine, op: &AttnOp, tp: u32) -> DecodeAttnPricer {
-        debug_assert!(op.decode && !op.causal);
+        debug_assert!(op.decode && !op.causal && op.past == 0);
         let groups_dev = op.groups.div_ceil(u64::from(tp));
         let m = op.q_rows * groups_dev;
         let m_f = m as f64;
@@ -765,6 +766,7 @@ impl SystemExecutor {
         let membership_changed = self.batch.apply(delta);
         let incremental_ok = self.router.mode() == RoutingMode::Expected
             && delta.admit.is_empty()
+            && delta.chunk.is_empty()
             && self.batch.reqs() > 0;
         if !incremental_ok {
             // The template was not advanced through this stage; the
@@ -774,7 +776,7 @@ impl SystemExecutor {
                 return self.stage_cost_impl(shape, true);
             }
             let mut shape = std::mem::take(&mut self.shape_scratch);
-            self.batch.fill_shape(&mut shape, &delta.admit);
+            self.batch.fill_shape(&mut shape, delta);
             let cost = self.stage_cost_impl(&shape, true);
             self.shape_scratch = shape;
             return cost;
@@ -816,12 +818,14 @@ impl SystemExecutor {
         let proto = AttnOp {
             decode: true,
             ctx: 1,
+            past: 0,
             q_rows: u64::from(self.model.deg_grp),
             groups: u64::from(self.model.kv_heads()),
             d_head: self.model.d_head(),
             causal: false,
             count: u64::from(self.model.n_layers),
             reqs: 1,
+            samples: true,
         };
         let engine = self.decode_engine();
         let unit = self.decode_attn_pricer(engine, &proto, tp_attn).cost(1);
@@ -944,7 +948,10 @@ impl SystemExecutor {
                 if cnt > 0 {
                     scratch.node_attn[n].push((*op, cnt));
                     *tokens += if op.decode { cnt } else { op.ctx * cnt };
-                    *lm_rows += cnt;
+                    // Held prefill chunks sample no token: no LM row.
+                    if op.samples {
+                        *lm_rows += cnt;
+                    }
                 }
             }
             *cursor += op.reqs;
@@ -1679,6 +1686,7 @@ mod tests {
                 fresh: stage == 0,
                 admit: admits.clone(),
                 admit_ctx: Vec::new(),
+                chunk: Vec::new(),
                 retire: retires.clone(),
             };
             for c in &mut mirror {
@@ -1754,6 +1762,120 @@ mod tests {
             ModelConfig::llama3_70b(),
             &lifecycle_trace(),
         );
+    }
+
+    #[test]
+    fn prefill_with_past_matches_reference() {
+        let model = ModelConfig::mixtral_8x7b();
+        let mut with_hold = StageShape::with_past(&[512; 9], &[(256, 768), (256, 768), (64, 0)]);
+        with_hold.push_prefill(128, 384, true); // an intermediate chunk
+        let shapes = [
+            StageShape::with_past(&[100, 200, 100], &[(256, 768)]),
+            with_hold,
+            StageShape::with_past(&[], &[(128, 0), (128, 512), (128, 512)]),
+        ];
+        for system in [
+            SystemConfig::gpu(4, 1),
+            SystemConfig::duplex(4, 1),
+            SystemConfig::duplex_pe(4, 1),
+            SystemConfig::duplex_pe_et(4, 1),
+            SystemConfig::bank_pim(4, 1),
+            SystemConfig::hetero(),
+        ] {
+            for shape in &shapes {
+                let mut fast = SystemExecutor::new(system.clone(), model.clone(), 1);
+                let mut naive = SystemExecutor::new(system.clone(), model.clone(), 1);
+                let a = fast.stage_cost(shape);
+                let b = naive.stage_cost_reference(shape);
+                assert_costs_close(&a, &b, &format!("{} / {:?}", system.name, shape));
+            }
+        }
+    }
+
+    #[test]
+    fn resident_past_is_charged() {
+        // The tentpole fix: a reused turn's suffix prefill must pay for
+        // its cross-attention over the resident history.
+        let model = ModelConfig::mixtral_8x7b();
+        let mut ex = SystemExecutor::new(SystemConfig::duplex_pe_et(4, 1), model, 1);
+        let fresh = ex.stage_cost(&StageShape::with_past(&[512; 31], &[(256, 0)]));
+        let reused = ex.stage_cost(&StageShape::with_past(&[512; 31], &[(256, 4096)]));
+        assert!(
+            reused.time.attn_prefill > 1.5 * fresh.time.attn_prefill,
+            "past 4096 vs 0: {} vs {}",
+            reused.time.attn_prefill,
+            fresh.time.attn_prefill
+        );
+        // Everything except prefill attention is identical: the past
+        // adds no FC/MoE tokens and no KV writes.
+        assert!((reused.time.fc - fresh.time.fc).abs() < 1e-15);
+        assert!((reused.time.moe - fresh.time.moe).abs() < 1e-15);
+    }
+
+    #[test]
+    fn chunked_delta_trace_matches_reference() {
+        // A long prompt prefilled in three chunks while a decode cohort
+        // advances, followed by a fresh admission and pure decodes. The
+        // delta stream must price every stage exactly as the reference
+        // path prices the materialized shapes.
+        let model = ModelConfig::mixtral_8x7b();
+        let mk_delta = || duplex_sched::StageDelta::start();
+        for system in [
+            SystemConfig::gpu(4, 1),
+            SystemConfig::duplex_pe_et(4, 1),
+            SystemConfig::hetero(),
+        ] {
+            let mut inc = SystemExecutor::new(system.clone(), model.clone(), 1);
+            let mut oracle = SystemExecutor::new(system.clone(), model.clone(), 1);
+
+            // Stage 0: fresh cohort of 8 decodes-to-be (prompt 64).
+            let mut delta = mk_delta();
+            delta.admit = vec![64; 8];
+            let mut shape = StageShape::mixed(&[], &[64; 8]);
+            let a = inc.stage_cost_delta(&delta);
+            let b = oracle.stage_cost_reference(&shape);
+            assert_costs_close(&a, &b, &format!("{} stage 0", system.name));
+
+            // Stages 1-2: decode + intermediate chunks of a 640-token
+            // prompt (256, 256, then the final 128).
+            delta.clear();
+            delta.chunk.push((256, 0));
+            shape = StageShape::decode_only(&[65; 8]);
+            shape.push_prefill(256, 0, true);
+            let a = inc.stage_cost_delta(&delta);
+            let b = oracle.stage_cost_reference(&shape);
+            assert_costs_close(&a, &b, &format!("{} stage 1", system.name));
+
+            delta.clear();
+            delta.chunk.push((256, 256));
+            shape = StageShape::decode_only(&[66; 8]);
+            shape.push_prefill(256, 256, true);
+            let a = inc.stage_cost_delta(&delta);
+            let b = oracle.stage_cost_reference(&shape);
+            assert_costs_close(&a, &b, &format!("{} stage 2", system.name));
+
+            // Stage 3: the final slice joins (admit 128 over past 512).
+            delta.clear();
+            delta.admit.push(128);
+            delta.admit_ctx.push(640);
+            shape = StageShape::decode_only(&[67; 8]);
+            shape.push_prefill(128, 512, false);
+            let a = inc.stage_cost_delta(&delta);
+            let b = oracle.stage_cost_reference(&shape);
+            assert_costs_close(&a, &b, &format!("{} stage 3", system.name));
+
+            // Stages 4-6: pure decodes; the chunked request decodes at
+            // its full 641-token context.
+            delta.clear();
+            for s in 0..3u64 {
+                let mut ctx = vec![68 + s; 8];
+                ctx.push(641 + s);
+                let shape = StageShape::decode_only(&ctx);
+                let a = inc.stage_cost_delta(&delta);
+                let b = oracle.stage_cost_reference(&shape);
+                assert_costs_close(&a, &b, &format!("{} stage {}", system.name, 4 + s));
+            }
+        }
     }
 
     #[test]

@@ -122,26 +122,38 @@ impl BatchState {
 
     /// Resync from a materialized stage shape (the shape is ground
     /// truth for the stage being executed: its prefills are this
-    /// stage's admissions). A shape cannot carry reuse join contexts,
-    /// so resync assumes the prefills join decode at their prefilled
-    /// length; schedulers that admit with prefix reuse must keep the
-    /// delta stream unbroken instead of relying on shape resync.
+    /// stage's admissions). Sampling prefills join decode at
+    /// `len + past` (the shape's `prefill_past` carries any resident
+    /// history); held chunks never join — their prompt's final slice
+    /// will arrive as a later admission, so schedulers that chunk must
+    /// keep the delta stream unbroken instead of relying on shape
+    /// resync mid-prompt.
     pub fn rebuild_from(&mut self, shape: &StageShape) {
         self.groups.clear();
         for &ctx in &shape.decode_ctx {
             self.groups.insert(ctx);
         }
         self.pending.clear();
-        self.pending.extend_from_slice(&shape.prefill_len);
+        for (i, &len) in shape.prefill_len.iter().enumerate() {
+            if shape.prefill_samples(i) {
+                self.pending.push(len + shape.prefill_past_of(i));
+            }
+        }
         self.synced = true;
     }
 
     /// Materialize the current stage's shape: the carried decode groups
-    /// plus this stage's admissions as prefills.
-    pub fn fill_shape(&self, shape: &mut StageShape, admits: &[u64]) {
+    /// plus the delta's admissions (with their reuse past) and held
+    /// prefill chunks.
+    pub fn fill_shape(&self, shape: &mut StageShape, delta: &StageDelta) {
         self.groups.fill_decode_ctx(&mut shape.decode_ctx);
-        shape.prefill_len.clear();
-        shape.prefill_len.extend_from_slice(admits);
+        shape.clear_prefills();
+        for (i, &len) in delta.admit.iter().enumerate() {
+            shape.push_prefill(len, delta.admit_past(i), false);
+        }
+        for &(len, past) in &delta.chunk {
+            shape.push_prefill(len, past, true);
+        }
     }
 
     /// Per-node request counts and context sums under the executor's
@@ -171,8 +183,8 @@ impl BatchState {
 }
 
 /// Cached linear pricing of a decode-only batch: rebuild on membership
-/// change, then each stage is one [`DecodeTemplate::advance`] plus one
-/// [`DecodeTemplate::price`]. See the [module docs](self) for why the
+/// change, then each stage is one `advance` plus one `price` (both
+/// crate-internal). See the [module docs](self) for why the
 /// decomposition is exact.
 #[derive(Debug, Clone, Default)]
 pub struct DecodeTemplate {
@@ -238,6 +250,7 @@ mod tests {
             fresh,
             admit: admit.to_vec(),
             admit_ctx: Vec::new(),
+            chunk: Vec::new(),
             retire: retire.to_vec(),
         }
     }
@@ -320,9 +333,16 @@ mod tests {
         b.apply(&delta(true, &[7, 5, 7], &[]));
         b.apply(&delta(false, &[], &[]));
         let mut shape = StageShape::default();
-        b.fill_shape(&mut shape, &[256]);
+        let mut d = delta(false, &[256], &[]);
+        d.admit_ctx = vec![900];
+        d.chunk.push((64, 320));
+        b.fill_shape(&mut shape, &d);
         assert_eq!(shape.decode_ctx, vec![6, 8, 8]);
-        assert_eq!(shape.prefill_len, vec![256]);
+        // The admission carries its reuse past (900 - 256), the held
+        // chunk its own (new, past) pair.
+        assert_eq!(shape.prefill_len, vec![256, 64]);
+        assert_eq!(shape.prefill_past, vec![644, 320]);
+        assert_eq!(shape.prefill_hold, vec![false, true]);
     }
 
     #[test]

@@ -1,0 +1,67 @@
+//! Chunked prefill: bound each stage's prefill work so long prompts
+//! stop spiking the decode token-gap tail.
+//!
+//! Both scenarios see the same Poisson arrivals of ~8k-token prompts;
+//! the chunked one splits each prompt into bounded slices that
+//! interleave with decode stages (each slice a prefill-with-past over
+//! the slices before it), instead of stalling the whole batch for one
+//! monolithic prefill.
+//!
+//! Run with `cargo run --release --example chunked_prefill`.
+
+use duplex::experiments::{run_scenario, scenario_suite, Scale};
+use duplex::model::ModelConfig;
+use duplex::sched::PolicyKind;
+use duplex::system::SystemConfig;
+
+fn main() {
+    let scale = Scale::quick();
+    let model = ModelConfig::mixtral_8x7b();
+    let system = SystemConfig::duplex_pe_et(4, 1);
+    let batch = 64usize;
+    let suite = scenario_suite(&scale, &model, &system, batch);
+
+    println!(
+        "Chunked prefill on {} / {} (batch {batch}):\n",
+        model.name, system.name
+    );
+    println!(
+        "{:<22} {:>9} {:>10} {:>12} {:>12} {:>8}",
+        "Scenario", "chunk", "tokens/s", "TBT p50 ms", "TBT p99 ms", "mixed"
+    );
+
+    let mut p99 = Vec::new();
+    for name in ["long_prefill", "long_prefill_chunked"] {
+        let scenario = suite
+            .iter()
+            .find(|s| s.name == name)
+            .expect("suite scenario")
+            .clone();
+        let chunk = scenario.prefill_chunk;
+        let mut policy = PolicyKind::Fcfs.build();
+        let report = run_scenario(&model, &system, scenario, policy.as_mut(), batch);
+        let tbt = report.tbt();
+        p99.push(tbt.p99);
+        println!(
+            "{:<22} {:>9} {:>10.0} {:>12.2} {:>12.2} {:>7.0}%",
+            name,
+            if chunk == 0 {
+                "-".into()
+            } else {
+                chunk.to_string()
+            },
+            report.generation_throughput(),
+            tbt.p50 * 1e3,
+            tbt.p99 * 1e3,
+            (1.0 - report.decode_only_fraction()) * 100.0,
+        );
+    }
+
+    println!(
+        "\nSame arrivals, same prompts: bounding per-stage prefill work cuts the\n\
+         TBT p99 by {:.1}x while the same tokens flow end to end (the slices'\n\
+         cross-attention over earlier slices is priced exactly via\n\
+         prefill-with-past).",
+        p99[0] / p99[1].max(1e-12)
+    );
+}

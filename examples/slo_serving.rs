@@ -26,8 +26,8 @@ fn main() {
         capacity_qps
     );
     println!(
-        "{:<14} {:>12} {:>12} {:>12} {:>12} {:>12}",
-        "Policy", "interactive", "standard", "batch", "overall", "goodput/s"
+        "{:<14} {:>12} {:>12} {:>12} {:>12} {:>12} {:>12}",
+        "Policy", "interactive", "standard", "batch", "overall", "goodput/s", "int p99 ms"
     );
 
     for kind in PolicyKind::ALL {
@@ -44,13 +44,14 @@ fn main() {
         let report = run_scenario(&model, &system, scenario, policy.as_mut(), batch);
         let att: Vec<f64> = report.slo.tiers.iter().map(|t| t.attainment()).collect();
         println!(
-            "{:<14} {:>11.1}% {:>11.1}% {:>11.1}% {:>11.1}% {:>12.0}",
+            "{:<14} {:>11.1}% {:>11.1}% {:>11.1}% {:>11.1}% {:>12.0} {:>12.2}",
             kind.name(),
             att[0] * 100.0,
             att[1] * 100.0,
             att[2] * 100.0,
             report.slo_attainment() * 100.0,
-            report.goodput_tokens_per_s()
+            report.goodput_tokens_per_s(),
+            report.slo.tiers[0].tbt_p99_s() * 1e3,
         );
     }
     println!("\nPriority-EDF trades batch-tier slack for interactive attainment;");

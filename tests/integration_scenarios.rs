@@ -153,6 +153,74 @@ fn multi_turn_tiered_scenario_is_seed_deterministic() {
 }
 
 #[test]
+fn chunked_prefill_scenario_is_seed_deterministic() {
+    // Chunked prefill adds held prefill-with-past slices and delayed
+    // decode joins to the stage stream; the whole pipeline (scheduler,
+    // chunk budgeting, delta fast path) must stay byte-identical across
+    // runs of the same seed.
+    let run = || {
+        let mut ex = executor();
+        let cfg = sim_config(&ex, 8);
+        let scenario = Scenario::new(
+            "chunked",
+            Workload::gaussian(384, 24).with_seed(13),
+            Arrivals::Poisson { qps: 250.0 },
+            25,
+        )
+        .with_conversation(ConversationSpec::chat(0.6, 3, 0.01, 48))
+        .with_tiers(Scenario::default_tiers(0.004))
+        .with_prefill_chunk(96);
+        ScenarioSimulation::new(cfg, scenario)
+            .run(PolicyKind::PriorityTiers.build().as_mut(), &mut ex)
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(summary(&a), summary(&b));
+    // The run actually chunked: more stages than generated tokens'
+    // share of stages alone would need, and mixed stages dominate the
+    // admission phases.
+    assert!(a.stage_stats.mixed > 25, "{:?}", a.stage_stats);
+    assert!(a.completed.len() >= 25);
+
+    // The per-tier TBT digests are part of the deterministic surface
+    // too (they drive the CI latency gate).
+    let tails_a: Vec<u64> = a
+        .slo
+        .tiers
+        .iter()
+        .map(|t| t.tbt_p99_s().to_bits())
+        .collect();
+    let tails_b: Vec<u64> = b
+        .slo
+        .tiers
+        .iter()
+        .map(|t| t.tbt_p99_s().to_bits())
+        .collect();
+    assert_eq!(tails_a, tails_b);
+}
+
+#[test]
+fn chunked_and_unchunked_complete_the_same_requests() {
+    let run = |chunk: u64| {
+        let mut ex = executor();
+        let cfg = sim_config(&ex, 8);
+        let scenario = Scenario::new(
+            "pair",
+            Workload::gaussian(384, 16).with_seed(29),
+            Arrivals::Poisson { qps: 400.0 },
+            20,
+        )
+        .with_prefill_chunk(chunk);
+        ScenarioSimulation::new(cfg, scenario).run(PolicyKind::Fcfs.build().as_mut(), &mut ex)
+    };
+    let plain = run(0);
+    let chunked = run(128);
+    assert_eq!(plain.completed.len(), chunked.completed.len());
+    assert_eq!(plain.total_tokens(), chunked.total_tokens());
+    assert!(chunked.stage_stats.stages > plain.stage_stats.stages);
+}
+
+#[test]
 fn trace_replay_is_deterministic_and_seed_independent() {
     // A trace pins arrivals and shapes, so even *different* workload
     // seeds must replay identically.

@@ -171,10 +171,12 @@ proptest! {
 
     /// The delta path stays pinned to the reference oracle over
     /// *scenario* traces too: bursty on/off arrivals, policy-driven
-    /// admission, SLO tiers, and multi-turn conversations whose reuse
-    /// admissions prefill a suffix but join decode at their full
-    /// history (`StageDelta::admit_ctx`). Every stage latency and the
-    /// whole timeline must match within 1e-9 relative.
+    /// admission, SLO tiers, multi-turn conversations whose reuse
+    /// admissions prefill a suffix but cross-attend their resident
+    /// history (prefill-with-past via `StageDelta::admit_ctx`), and
+    /// chunked prefill splitting long prompts into held
+    /// prefill-with-past slices (`StageDelta::chunk`). Every stage
+    /// latency and the whole timeline must match within 1e-9 relative.
     #[test]
     fn scenario_trace_equals_reference(
         mean_in in 32u64..256,
@@ -184,6 +186,7 @@ proptest! {
         seed in 0u64..1000,
         burst_qps in 20.0f64..2000.0,
         multi_turn_bit in 0u8..2,
+        chunk in proptest::option::of(8u64..64),
         policy_idx in 0usize..3,
     ) {
         let model = ModelConfig::mixtral_8x7b();
@@ -206,7 +209,8 @@ proptest! {
         let multi_turn = multi_turn_bit == 1;
         let mk = || {
             let mut s = Scenario::new("prop", workload.clone(), arrivals.clone(), requests)
-                .with_tiers(Scenario::default_tiers(0.01));
+                .with_tiers(Scenario::default_tiers(0.01))
+                .with_prefill_chunk(chunk.unwrap_or(0));
             if multi_turn {
                 s = s.with_conversation(ConversationSpec::chat(0.7, 3, 0.05, 16));
             }
@@ -233,6 +237,50 @@ proptest! {
         prop_assert_eq!(a.kv_reuse, b.kv_reuse);
         if multi_turn {
             prop_assert!(a.completed.len() >= requests);
+        }
+    }
+
+    /// The grouped fast path equals the per-request reference for
+    /// arbitrary prefill-with-past stages: random `(new, past)` pairs,
+    /// held chunk slices, duplicated groups — the tentpole's exactness
+    /// claim at the single-stage level.
+    #[test]
+    fn prefill_with_past_grouped_equals_reference(
+        decode_ctx in proptest::collection::vec(16u64..2000, 0..12),
+        prefills in proptest::collection::vec((16u64..512, 0u64..2048, 0u8..2), 1..6),
+        dup in 0u8..2,
+        seed in 0u64..500,
+    ) {
+        let model = ModelConfig::mixtral_8x7b();
+        let mut shape = StageShape::decode_only(&decode_ctx);
+        for &(len, past, hold) in &prefills {
+            shape.push_prefill(len, past, hold == 1);
+        }
+        if dup == 1 {
+            // Duplicate the first prefill so grouping has work to do.
+            let (len, past, hold) = (
+                shape.prefill_len[0],
+                shape.prefill_past_of(0),
+                !shape.prefill_samples(0),
+            );
+            shape.push_prefill(len, past, hold);
+        }
+        for system in [
+            SystemConfig::gpu(4, 1),
+            SystemConfig::duplex_pe_et(4, 1),
+            SystemConfig::hetero(),
+        ] {
+            let name = system.name.clone();
+            let mut fast = SystemExecutor::new(system.clone(), model.clone(), seed);
+            let mut naive = SystemExecutor::new(system, model.clone(), seed);
+            let a = fast.stage_cost(&shape);
+            let b = naive.stage_cost_reference(&shape);
+            prop_assert!(rel_diff(a.seconds, b.seconds) < 1e-9, "{name}: seconds");
+            prop_assert!(
+                rel_diff(a.time.attn_prefill, b.time.attn_prefill) < 1e-9,
+                "{name}: attn_prefill"
+            );
+            prop_assert!(rel_diff(a.energy.total(), b.energy.total()) < 1e-9, "{name}: energy");
         }
     }
 
