@@ -1,0 +1,112 @@
+//! Cluster-serving benchmark: runs the multi-replica fleets of the
+//! cluster suite (a Grok-scale multi-turn + SLO-tiered chat fleet and
+//! a heterogeneous Mixtral fleet) under every shipped router —
+//! round-robin, least-outstanding-work, session-affinity — end to end:
+//! global arrival stream, router placement, per-replica continuous
+//! batching with parked-KV reuse, and the incremental stage fast path
+//! on every replica.
+//!
+//! Reports both fleet serving metrics (throughput, SLO attainment,
+//! fleet TBT p99 from merged digests, KV-reuse fraction, load
+//! imbalance) and harness throughput (simulated stages per second of
+//! wall clock). Results print as a table and land in
+//! `BENCH_cluster.json` next to the other `BENCH_*.json` reports so
+//! the CI regression gate tracks the cluster path too: entries are
+//! keyed `<fleet>_<router>`, throughput metrics gate downward and the
+//! seed-deterministic `tbt_p99_ms` gates upward.
+
+use std::time::Instant;
+
+use duplex::experiments::{cluster_suite, run_cluster, ClusterRow};
+use duplex::sched::RouterKind;
+use duplex_bench::print_table;
+
+fn main() {
+    let scale = duplex_bench::scale_from_args();
+    let quick = scale == duplex::experiments::Scale::quick();
+
+    let mut rows = Vec::new();
+    let mut json_entries = Vec::new();
+    for spec in cluster_suite(&scale) {
+        for kind in RouterKind::ALL {
+            let mut router = kind.build();
+            let start = Instant::now();
+            let report = run_cluster(&spec, router.as_mut());
+            let wall_s = start.elapsed().as_secs_f64();
+            let row = ClusterRow::of(&spec, kind.name(), &report);
+            let stages_per_sec = row.stages as f64 / wall_s;
+            let tbt_p99_ms = row.tbt_p99 * 1e3;
+            rows.push(vec![
+                row.cluster.clone(),
+                row.router.clone(),
+                row.replicas.to_string(),
+                row.completed.to_string(),
+                row.stages.to_string(),
+                format!("{wall_s:.3}"),
+                format!("{stages_per_sec:.0}"),
+                format!("{:.0}", row.throughput),
+                format!("{tbt_p99_ms:.2}"),
+                if row.tiered {
+                    format!("{:.3}", row.interactive_attainment)
+                } else {
+                    "-".into()
+                },
+                format!("{:.3}", row.kv_reuse_fraction),
+                format!("{:.2}", row.load_imbalance),
+            ]);
+            let tiered_metrics = if row.tiered {
+                format!(
+                    "\"slo_attainment\": {:.4}, \"interactive_attainment\": {:.4}, \"goodput_tokens_per_s\": {:.1}, ",
+                    row.attainment, row.interactive_attainment, row.goodput
+                )
+            } else {
+                String::new()
+            };
+            json_entries.push(format!(
+                "    \"{}_{}\": {{\"stages_per_sec\": {:.1}, \"wall_s\": {:.4}, \"stages\": {}, \"completed\": {}, \"replicas\": {}, \"sim_tokens_per_sec\": {:.1}, \"tbt_p99_ms\": {:.4}, {}\"kv_reuse_fraction\": {:.4}, \"load_imbalance\": {:.4}, \"policy\": \"{}\", \"model\": \"{}\", \"batch\": {}}}",
+                row.cluster,
+                kind.name().replace('-', "_"),
+                stages_per_sec,
+                wall_s,
+                row.stages,
+                row.completed,
+                row.replicas,
+                row.throughput,
+                tbt_p99_ms,
+                tiered_metrics,
+                row.kv_reuse_fraction,
+                row.load_imbalance,
+                spec.policy.name(),
+                spec.model.name,
+                spec.batch
+            ));
+        }
+    }
+    print_table(
+        "Cluster suite (router x fleet; global stream, per-replica KV, delta pricing)",
+        &[
+            "Cluster",
+            "Router",
+            "Repl",
+            "Done",
+            "Stages",
+            "Wall s",
+            "stages/s",
+            "sim tok/s",
+            "TBT p99 ms",
+            "Int. att.",
+            "KV reuse",
+            "Imbal",
+        ],
+        &rows,
+    );
+
+    let json = format!(
+        "{{\n  \"schema\": \"duplex-bench/cluster/v1\",\n  \"mode\": \"{}\",\n  \"scenarios\": {{\n{}\n  }}\n}}\n",
+        if quick { "quick" } else { "paper" },
+        json_entries.join(",\n")
+    );
+    let path = "BENCH_cluster.json";
+    std::fs::write(path, &json).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+    println!("\nwrote {path}");
+}

@@ -7,7 +7,8 @@
 //! ```
 //!
 //! Without `--report` flags it gates the default reports
-//! (`BENCH_stage_cost.json`, `BENCH_sim.json`, `BENCH_scenarios.json`)
+//! (`BENCH_stage_cost.json`, `BENCH_sim.json`, `BENCH_scenarios.json`,
+//! `BENCH_cluster.json`)
 //! from the working directory; reports whose file is absent or that
 //! have no baseline section are skipped. Exits 1 when any baselined
 //! metric drifts more than the threshold past its baseline —
@@ -53,6 +54,7 @@ fn main() {
             ("BENCH_stage_cost", "BENCH_stage_cost.json"),
             ("BENCH_sim", "BENCH_sim.json"),
             ("BENCH_scenarios", "BENCH_scenarios.json"),
+            ("BENCH_cluster", "BENCH_cluster.json"),
         ]
         .into_iter()
         .map(|(n, p)| (n.to_string(), p.to_string()))

@@ -442,8 +442,55 @@ pub fn scenarios(scale: &Scale) {
     );
 }
 
+/// The cluster sweep: every suite fleet under every shipped router,
+/// with fleet throughput, SLO attainment, KV reuse and load balance
+/// (beyond the paper; see `duplex::experiments::clusters`).
+pub fn clusters(scale: &Scale) {
+    let table: Vec<Vec<String>> = experiments::clusters(scale)
+        .into_iter()
+        .map(|r| {
+            vec![
+                r.cluster,
+                r.router,
+                r.replicas.to_string(),
+                r.completed.to_string(),
+                format!("{:.0}", r.throughput),
+                if r.tiered {
+                    format!("{:.3}", r.attainment)
+                } else {
+                    "-".into()
+                },
+                if r.tiered {
+                    format!("{:.3}", r.interactive_attainment)
+                } else {
+                    "-".into()
+                },
+                ms(r.tbt_p99),
+                ratio(r.kv_reuse_fraction),
+                ratio(r.load_imbalance),
+            ]
+        })
+        .collect();
+    print_table(
+        "Cluster serving: multi-replica fleets by router (TBT in ms)",
+        &[
+            "Cluster",
+            "Router",
+            "Repl",
+            "Done",
+            "tokens/s",
+            "SLO att.",
+            "Int. att.",
+            "TBT p99",
+            "KV reuse",
+            "Imbalance",
+        ],
+        &table,
+    );
+}
+
 /// Every figure and table, in paper order, in this process, plus the
-/// scenario suite.
+/// scenario and cluster suites.
 pub fn run_all(scale: &Scale) {
     table1_models();
     area_table();
@@ -457,4 +504,5 @@ pub fn run_all(scale: &Scale) {
     fig15(scale);
     fig16(scale);
     scenarios(scale);
+    clusters(scale);
 }

@@ -22,8 +22,9 @@ use duplex_compute::{AreaModel, Edap, Engine};
 use duplex_model::ops::StageShape;
 use duplex_model::ModelConfig;
 use duplex_sched::{
-    Arrivals, ConversationSpec, PolicyKind, RequestSource, Scenario, ScenarioSimulation,
-    SchedulingPolicy, SimReport, SimulationConfig, TraceRequest, Workload,
+    Arrivals, ClusterReport, ClusterSimulation, ConversationSpec, PolicyKind, ReplicaConfig,
+    RequestSource, Router, RouterKind, Scenario, ScenarioSimulation, SchedulingPolicy, SimReport,
+    SimulationConfig, TraceRequest, Workload,
 };
 use duplex_system::{SplitSimulation, SystemConfig, SystemExecutor};
 
@@ -1008,11 +1009,23 @@ pub fn scenario_suite(
     );
     let long_prefill_chunked = Scenario::new(
         "long_prefill_chunked",
+        long_workload.clone(),
+        long_arrivals.clone(),
+        long_requests,
+    )
+    .with_prefill_chunk(scale.len(1024));
+    // The adaptive variant keeps the fixed budget's tail protection
+    // while spending idle decode slots on bigger prefill slices: the
+    // budget tightens to the fixed chunk only when the decode cohort
+    // fills (the open-items "chunk size that adapts to the decode
+    // batch").
+    let long_prefill_adaptive = Scenario::new(
+        "long_prefill_adaptive",
         long_workload,
         long_arrivals,
         long_requests,
     )
-    .with_prefill_chunk(scale.len(1024));
+    .with_prefill_chunk_adaptive(scale.len(1024), scale.len(8192));
 
     vec![
         bursty,
@@ -1022,6 +1035,7 @@ pub fn scenario_suite(
         replay,
         long_prefill,
         long_prefill_chunked,
+        long_prefill_adaptive,
     ]
 }
 
@@ -1078,6 +1092,235 @@ pub fn scenarios(scale: &Scale) -> Vec<ScenarioRow> {
                 t2ft_p50: report.t2ft().p50,
                 kv_reuse_fraction: report.kv_reuse.reuse_fraction(),
             }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------- Clusters
+
+/// One multi-replica serving fleet: a scenario offered to N replicas
+/// (possibly heterogeneous systems) behind a router.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterSpec {
+    /// Display name ("grok_chat_tiered", ...).
+    pub name: String,
+    /// The LLM every replica serves.
+    pub model: ModelConfig,
+    /// One system config per replica (heterogeneous fleets mix
+    /// presets).
+    pub systems: Vec<SystemConfig>,
+    /// Per-replica batch-slot budget.
+    pub batch: usize,
+    /// Admission policy every replica runs.
+    pub policy: PolicyKind,
+    /// The offered workload.
+    pub scenario: Scenario,
+}
+
+/// One row of the cluster sweep: a (fleet, router) pair with fleet and
+/// balance metrics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterRow {
+    /// Fleet display name.
+    pub cluster: String,
+    /// Router display name.
+    pub router: String,
+    /// Replicas in the fleet.
+    pub replicas: usize,
+    /// Requests completed fleet-wide (follow-up rounds included).
+    pub completed: usize,
+    /// Stages executed fleet-wide.
+    pub stages: u64,
+    /// Fleet generation throughput in tokens/s (simulated time).
+    pub throughput: f64,
+    /// Fleet goodput in SLO-attaining tokens/s (0 without tiers).
+    pub goodput: f64,
+    /// Fleet-wide SLO attainment (0 without tiers).
+    pub attainment: f64,
+    /// Interactive-tier attainment (0 without tiers).
+    pub interactive_attainment: f64,
+    /// Whether the scenario declared SLO tiers.
+    pub tiered: bool,
+    /// Fleet TBT p99 in seconds (merged digests).
+    pub tbt_p99: f64,
+    /// Fraction of prompt tokens served from resident KV fleet-wide.
+    pub kv_reuse_fraction: f64,
+    /// Hottest replica's generated tokens over the fleet mean (1.0 =
+    /// balanced).
+    pub load_imbalance: f64,
+}
+
+impl ClusterRow {
+    /// Build a row from a fleet report.
+    pub fn of(spec: &ClusterSpec, router: &str, report: &ClusterReport) -> Self {
+        let slo = report.slo();
+        Self {
+            cluster: spec.name.clone(),
+            router: router.into(),
+            replicas: spec.systems.len(),
+            completed: report.completed(),
+            stages: report.stages(),
+            throughput: report.generation_throughput(),
+            goodput: report.goodput_tokens_per_s(),
+            attainment: slo.attainment(),
+            interactive_attainment: slo.tiers.first().map_or(0.0, |t| t.attainment()),
+            tiered: !slo.tiers.is_empty(),
+            tbt_p99: report.tbt().p99,
+            kv_reuse_fraction: report.kv_reuse().reuse_fraction(),
+            load_imbalance: report.load_imbalance(),
+        }
+    }
+}
+
+/// The cluster suite: the fleets the router comparison runs over.
+///
+/// * `grok_chat_tiered` — the acceptance fleet: four Grok-scale
+///   (2x8-device Duplex+PE+ET) replicas serving multi-turn, SLO-tiered
+///   chat near saturation. Session-affinity routing is what keeps the
+///   multi-turn KV-reuse rate cluster-wide; least-outstanding-work is
+///   what keeps interactive deadlines near saturation.
+/// * `mixtral_hetero` — a mixed fleet (two GPU nodes + two
+///   Duplex+PE+ET nodes) under bursty single-shot traffic: the
+///   capacity-weighted router must load the fast replicas harder.
+pub fn cluster_suite(scale: &Scale) -> Vec<ClusterSpec> {
+    let mut specs = Vec::new();
+
+    // -- Grok-scale multi-turn + SLO-tiered chat fleet --
+    {
+        let model = ModelConfig::grok1();
+        let (d, n) = SystemConfig::default_cluster(&model); // 2x8
+        let duplex = SystemConfig::duplex_pe_et(d, n);
+        let gpu = SystemConfig::gpu(d, n);
+        let batch = 16usize;
+        let lin = scale.len(2048);
+        let lout = scale.len(512);
+        let turn = scale.len(256);
+        let ctx = lin + lout / 2;
+        let duplex_stage = probe_stage_seconds(&model, &duplex, batch, ctx);
+        let gpu_stage = probe_stage_seconds(&model, &gpu, batch, ctx);
+        let life_s = lout as f64 * duplex_stage;
+        // A mixed-generation fleet: three Duplex replicas plus one
+        // GPU-only straggler. Round-robin feeds the straggler a full
+        // quarter of the traffic; the capacity-weighted router loads
+        // it by its probed speed instead.
+        let systems = vec![duplex.clone(), duplex.clone(), duplex, gpu];
+        let fleet_qps = batch as f64 / lout as f64 * (3.0 / duplex_stage + 1.0 / gpu_stage);
+        // Conversations run exactly 4 rounds, so initial arrivals at
+        // ~1/5 of fleet capacity offer ~80% once follow-up rounds (and
+        // their growing history prefills) stack on top; the bursts
+        // push past saturation transiently.
+        let qps = 0.2 * fleet_qps;
+        let requests = scale.requests(batch) * systems.len() * 3;
+        let scenario = Scenario::new(
+            "grok_chat_tiered",
+            Workload::gaussian(lin, lout).with_seed(0xC10D).with_cv(0.6),
+            Arrivals::Bursty {
+                base_qps: 0.4 * qps,
+                burst_qps: 2.8 * qps,
+                mean_off_s: 30.0 * life_s,
+                mean_on_s: 10.0 * life_s,
+            },
+            requests,
+        )
+        .with_conversation(ConversationSpec::chat(1.0, 4, 0.5 * life_s, turn))
+        .with_tiers(Scenario::default_tiers(duplex_stage));
+        specs.push(ClusterSpec {
+            name: "grok_chat_tiered".into(),
+            model,
+            systems,
+            batch,
+            policy: PolicyKind::PriorityTiers,
+            scenario,
+        });
+    }
+
+    // -- Heterogeneous Mixtral fleet: 2 GPU + 2 Duplex+PE+ET --
+    {
+        let model = ModelConfig::mixtral_8x7b();
+        let gpu = SystemConfig::gpu(4, 1);
+        let duplex = SystemConfig::duplex_pe_et(4, 1);
+        let batch = 64usize;
+        let lin = scale.len(1024);
+        let lout = scale.len(512);
+        let gpu_stage = probe_stage_seconds(&model, &gpu, batch, lin + lout / 2);
+        let duplex_stage = probe_stage_seconds(&model, &duplex, batch, lin + lout / 2);
+        let fleet_qps =
+            2.0 * batch as f64 / (lout as f64) * (1.0 / gpu_stage + 1.0 / duplex_stage) / 2.0;
+        let requests = scale.requests(batch) * 4;
+        let scenario = Scenario::new(
+            "mixtral_hetero",
+            Workload::gaussian(lin, lout).with_seed(0xFEE7),
+            Arrivals::Bursty {
+                base_qps: 0.2 * fleet_qps,
+                burst_qps: 1.6 * fleet_qps,
+                mean_off_s: 6.0 * lout as f64 * duplex_stage,
+                mean_on_s: 2.0 * lout as f64 * duplex_stage,
+            },
+            requests,
+        );
+        specs.push(ClusterSpec {
+            name: "mixtral_hetero".into(),
+            model,
+            systems: vec![gpu.clone(), gpu, duplex.clone(), duplex],
+            batch,
+            policy: PolicyKind::Fcfs,
+            scenario,
+        });
+    }
+
+    specs
+}
+
+/// Run one fleet under one router: per-replica `SystemExecutor`s with
+/// replica-local KV budgets, capacity weights probed from each
+/// system's decode-stage latency (fastest replica = highest weight),
+/// everything on the PR 2 delta fast path.
+pub fn run_cluster(spec: &ClusterSpec, router: &mut dyn Router) -> ClusterReport {
+    let mut executors: Vec<SystemExecutor> = spec
+        .systems
+        .iter()
+        .map(|s| SystemExecutor::new(s.clone(), spec.model.clone(), 7))
+        .collect();
+    let probe_ctx = spec.scenario.workload.mean_input + spec.scenario.workload.mean_output / 2;
+    let configs: Vec<ReplicaConfig> = executors
+        .iter()
+        .zip(&spec.systems)
+        .map(|(ex, system)| {
+            let stage_s = probe_stage_seconds(&spec.model, system, spec.batch, probe_ctx);
+            ReplicaConfig::new(SimulationConfig {
+                max_batch: spec.batch,
+                kv_capacity_bytes: ex.kv_capacity_bytes(),
+                kv_bytes_per_token: spec.model.kv_bytes_per_token(),
+                max_stages: usize::MAX,
+                record_stages: false,
+            })
+            .with_weight(1.0 / stage_s)
+        })
+        .collect();
+    let mut policies: Vec<Box<dyn SchedulingPolicy>> =
+        spec.systems.iter().map(|_| spec.policy.build()).collect();
+    ClusterSimulation::new(configs, spec.scenario.clone()).run(
+        router,
+        &mut policies,
+        &mut executors,
+    )
+}
+
+/// The cluster sweep: every suite fleet under every shipped router.
+pub fn clusters(scale: &Scale) -> Vec<ClusterRow> {
+    let suite = cluster_suite(scale);
+    let mut points = Vec::new();
+    for spec in suite {
+        for kind in RouterKind::ALL {
+            points.push((spec.clone(), kind));
+        }
+    }
+    points
+        .into_par_iter()
+        .map(|(spec, kind)| {
+            let mut router = kind.build();
+            let report = run_cluster(&spec, router.as_mut());
+            ClusterRow::of(&spec, kind.name(), &report)
         })
         .collect()
 }
@@ -1202,6 +1445,83 @@ mod tests {
             a.generation_throughput()
         );
         assert_eq!(a.completed.len(), b.completed.len());
+
+        // The occupancy-adaptive budget sits between the two: it
+        // recovers the fixed chunk's throughput loss (idle slots get
+        // big slices) while still flattening the unchunked tail.
+        let adaptive = suite
+            .iter()
+            .find(|s| s.name == "long_prefill_adaptive")
+            .expect("adaptive variant")
+            .clone();
+        assert!(adaptive.adaptive_chunk.is_some());
+        let mut p3 = PolicyKind::Fcfs.build();
+        let c = run_scenario(&model, &system, adaptive, p3.as_mut(), 64);
+        assert!(
+            c.tbt().p99 < 0.85 * a.tbt().p99,
+            "adaptive p99 {} vs unchunked {}",
+            c.tbt().p99,
+            a.tbt().p99
+        );
+        assert!(
+            c.generation_throughput() > b.generation_throughput(),
+            "adaptive tput {} vs fixed-chunk {}",
+            c.generation_throughput(),
+            b.generation_throughput()
+        );
+        assert_eq!(a.completed.len(), c.completed.len());
+    }
+
+    #[test]
+    fn cluster_suite_covers_the_required_fleets() {
+        let suite = cluster_suite(&Scale::quick());
+        let names: Vec<&str> = suite.iter().map(|s| s.name.as_str()).collect();
+        assert!(names.contains(&"grok_chat_tiered"), "{names:?}");
+        assert!(names.contains(&"mixtral_hetero"), "{names:?}");
+        let grok = suite
+            .iter()
+            .find(|s| s.name == "grok_chat_tiered")
+            .expect("grok fleet");
+        // The acceptance fleet: >= 4 Grok-scale (2x8) replicas, a
+        // multi-turn + SLO-tiered scenario.
+        assert!(grok.systems.len() >= 4);
+        for system in &grok.systems {
+            assert_eq!(system.devices_per_node, 8);
+            assert_eq!(system.nodes, 2);
+        }
+        assert!(grok.scenario.conversation.is_some());
+        assert_eq!(grok.scenario.tiers.len(), 3);
+        let hetero = suite
+            .iter()
+            .find(|s| s.name == "mixtral_hetero")
+            .expect("hetero fleet");
+        // A genuinely mixed fleet.
+        let distinct: std::collections::HashSet<&str> =
+            hetero.systems.iter().map(|s| s.name.as_str()).collect();
+        assert!(distinct.len() >= 2, "{distinct:?}");
+    }
+
+    #[test]
+    fn cluster_run_merges_replica_reports() {
+        let suite = cluster_suite(&Scale::quick());
+        let spec = suite
+            .iter()
+            .find(|s| s.name == "mixtral_hetero")
+            .expect("hetero fleet");
+        let mut router = RouterKind::LeastOutstandingWork.build();
+        let report = run_cluster(spec, router.as_mut());
+        assert_eq!(report.replicas.len(), spec.systems.len());
+        assert_eq!(report.completed(), spec.scenario.requests);
+        // Every replica served something, and the fleet totals are the
+        // per-replica sums.
+        assert!(report.replicas.iter().all(|r| !r.completed.is_empty()));
+        let per_replica: usize = report.replicas.iter().map(|r| r.completed.len()).sum();
+        assert_eq!(per_replica, report.completed());
+        assert!(report.generation_throughput() > 0.0);
+        assert!(report.load_imbalance() >= 1.0);
+        let row = ClusterRow::of(spec, "least-outstanding", &report);
+        assert_eq!(row.replicas, 4);
+        assert!(!row.tiered);
     }
 
     #[test]

@@ -314,6 +314,18 @@ impl PagedKvCache {
             .map(|e| e.resident)
             .unwrap_or(false)
     }
+
+    /// Tokens of a request's resident KV, `None` when absent or
+    /// swapped out. A parked conversation history is append-only, so a
+    /// stale entry (parked by an earlier round) is a valid *prefix* of
+    /// the current history — callers reusing it must credit this
+    /// length, not the length they wish were resident.
+    pub fn resident_tokens(&self, request: u64) -> Option<u64> {
+        self.entries
+            .get(&request)
+            .filter(|e| e.resident)
+            .map(|e| e.tokens)
+    }
 }
 
 #[cfg(test)]
@@ -331,8 +343,11 @@ mod tests {
         let ev = c.admit(1, 100).expect("fits");
         assert!(ev.is_empty());
         assert_eq!(c.resident_bytes(), 112); // 7 pages of 16
+        assert_eq!(c.resident_tokens(1), Some(100));
+        assert_eq!(c.resident_tokens(2), None);
         c.release(1);
         assert_eq!(c.resident_bytes(), 0);
+        assert_eq!(c.resident_tokens(1), None);
     }
 
     #[test]

@@ -1,0 +1,639 @@
+//! Multi-replica cluster serving: N independent replicas — each its
+//! own continuous-batching scheduler, KV cache and executor — behind a
+//! pluggable [`Router`], multiplexed on one shared virtual clock.
+//!
+//! A [`ClusterSimulation`] scales the scenario scheduler
+//! ([`crate::scenario`]) from one serving instance to a fleet:
+//!
+//! * **one global arrival stream** — the scenario's arrival process,
+//!   tier draws and multi-turn follow-up spawning stay global (a
+//!   conversation's next round can land on any replica), so seeded
+//!   determinism is preserved: the RNG draw order is fixed by the
+//!   global event order alone;
+//! * **a [`Router`] decides placement** — every arriving request is
+//!   routed exactly once, at its arrival time, against per-replica
+//!   [`ReplicaSnapshot`]s (queue depth, outstanding tokens, KV
+//!   residency of the request's conversation). Session-affinity
+//!   routing is what lets multi-turn KV reuse survive behind the load
+//!   balancer;
+//! * **replicas run asynchronously on a shared virtual clock** — the
+//!   driver always advances the replica whose next stage starts
+//!   earliest, so stage executions interleave exactly as a wall clock
+//!   would order them; replicas may be heterogeneous (different
+//!   [`SimulationConfig`]s, different executors, different capacity
+//!   [`ReplicaConfig::weight`]s);
+//! * **reports merge losslessly** — per-replica [`SimReport`]s plus a
+//!   fleet view built with the metrics `merge` APIs
+//!   ([`crate::LatencyDigest::merge`] and friends): fleet percentiles
+//!   are the percentiles of the concatenated per-replica populations,
+//!   not an average of averages.
+//!
+//! A one-replica cluster is *exactly* a plain
+//! [`crate::ScenarioSimulation`]: both drive the same
+//! `ScenarioStream`/`ReplicaSim` machinery, and the cross-crate
+//! proptests pin the equivalence.
+//!
+//! # Example
+//!
+//! Four fixed-latency replicas behind least-outstanding-work routing:
+//!
+//! ```
+//! use duplex_model::ops::StageShape;
+//! use duplex_sched::cluster::{ClusterSimulation, ReplicaConfig};
+//! use duplex_sched::router::LeastOutstandingWork;
+//! use duplex_sched::{
+//!     Arrivals, PolicyKind, Scenario, SimulationConfig, StageExecutor, StageOutcome, Workload,
+//! };
+//!
+//! struct Fixed;
+//! impl StageExecutor for Fixed {
+//!     fn execute(&mut self, _shape: &StageShape) -> StageOutcome {
+//!         StageOutcome { seconds: 0.010 }
+//!     }
+//! }
+//!
+//! let config = SimulationConfig { max_batch: 4, ..SimulationConfig::default() };
+//! let scenario = Scenario::new(
+//!     "fleet",
+//!     Workload::fixed(64, 8).with_seed(7),
+//!     Arrivals::Poisson { qps: 400.0 },
+//!     32,
+//! );
+//! let cluster = ClusterSimulation::new(vec![ReplicaConfig::new(config); 4], scenario);
+//! let mut policies: Vec<_> = (0..4).map(|_| PolicyKind::Fcfs.build()).collect();
+//! let mut executors = vec![Fixed, Fixed, Fixed, Fixed];
+//! let report = cluster.run(&mut LeastOutstandingWork, &mut policies, &mut executors);
+//! assert_eq!(report.completed(), 32);
+//! assert!(report.replicas.iter().filter(|r| !r.completed.is_empty()).count() > 1);
+//! ```
+
+use crate::metrics::{
+    KvReuseStats, LatencyDigest, LatencySummary, SimReport, SloStats, StageStats,
+};
+use crate::policy::SchedulingPolicy;
+use crate::router::{ReplicaSnapshot, Router};
+use crate::scenario::{ReplicaSim, Scenario, ScenarioStream};
+use crate::scheduler::{SimulationConfig, StageExecutor};
+
+/// One replica's scheduler limits plus its relative serving capacity.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReplicaConfig {
+    /// The replica-local scheduler limits (batch slots, KV budget).
+    pub sim: SimulationConfig,
+    /// Relative serving capacity for weight-aware routers (see
+    /// [`ReplicaSnapshot::weight`]); 1.0 for homogeneous fleets.
+    pub weight: f64,
+}
+
+impl ReplicaConfig {
+    /// A unit-weight replica.
+    pub fn new(sim: SimulationConfig) -> Self {
+        Self { sim, weight: 1.0 }
+    }
+
+    /// Set the relative capacity weight.
+    pub fn with_weight(mut self, weight: f64) -> Self {
+        assert!(weight > 0.0, "capacity weight must be positive");
+        self.weight = weight;
+        self
+    }
+}
+
+/// Fleet-level result: the per-replica [`SimReport`]s plus merged
+/// views built with the metrics `merge` APIs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterReport {
+    /// One report per replica, in replica order.
+    pub replicas: Vec<SimReport>,
+    /// Router display name the run used.
+    pub router: String,
+    /// Fleet wall clock: the latest replica-local finish time.
+    pub total_time_s: f64,
+}
+
+impl ClusterReport {
+    /// Requests completed across the fleet.
+    pub fn completed(&self) -> usize {
+        self.replicas.iter().map(|r| r.completed.len()).sum()
+    }
+
+    /// Generated tokens across the fleet (in-flight tokens counted).
+    pub fn generated_tokens(&self) -> u64 {
+        self.replicas.iter().map(SimReport::generated_tokens).sum()
+    }
+
+    /// Stages executed across the fleet.
+    pub fn stages(&self) -> u64 {
+        self.replicas.iter().map(|r| r.stage_stats.stages).sum()
+    }
+
+    /// Merged stage counters across the fleet.
+    pub fn stage_stats(&self) -> StageStats {
+        let mut total = StageStats::default();
+        for r in &self.replicas {
+            total.merge(&r.stage_stats);
+        }
+        total
+    }
+
+    /// Fleet generation throughput: every replica's tokens over the
+    /// shared clock.
+    pub fn generation_throughput(&self) -> f64 {
+        if self.total_time_s == 0.0 {
+            return 0.0;
+        }
+        self.generated_tokens() as f64 / self.total_time_s
+    }
+
+    /// The fleet's token-gap population: every replica's TBT digest
+    /// merged, so percentiles are over the concatenated streams.
+    pub fn tbt_digest(&self) -> LatencyDigest {
+        let mut merged = LatencyDigest::default();
+        for r in &self.replicas {
+            merged.merge(&r.tbt_digest);
+        }
+        merged
+    }
+
+    /// Fleet TBT summary (from the merged digest).
+    pub fn tbt(&self) -> LatencySummary {
+        self.tbt_digest().summary()
+    }
+
+    /// Fleet T2FT summary over all completed requests.
+    pub fn t2ft(&self) -> LatencySummary {
+        let samples: Vec<f64> = self
+            .replicas
+            .iter()
+            .flat_map(|r| r.completed.iter().map(|c| c.t2ft()))
+            .collect();
+        LatencySummary::of(&samples)
+    }
+
+    /// Merged per-tier SLO accounting across the fleet.
+    pub fn slo(&self) -> SloStats {
+        let mut merged = SloStats::default();
+        for r in &self.replicas {
+            merged.merge(&r.slo);
+        }
+        merged
+    }
+
+    /// Fleet SLO attainment (0 without tiers).
+    pub fn slo_attainment(&self) -> f64 {
+        self.slo().attainment()
+    }
+
+    /// Fleet goodput: SLO-attaining output tokens per second of shared
+    /// clock.
+    pub fn goodput_tokens_per_s(&self) -> f64 {
+        if self.total_time_s == 0.0 {
+            return 0.0;
+        }
+        self.slo().good_tokens() as f64 / self.total_time_s
+    }
+
+    /// Merged prefix-reuse accounting across the fleet.
+    pub fn kv_reuse(&self) -> KvReuseStats {
+        let mut merged = KvReuseStats::default();
+        for r in &self.replicas {
+            merged.merge(&r.kv_reuse);
+        }
+        merged
+    }
+
+    /// Load imbalance across replicas: the hottest replica's generated
+    /// tokens over the fleet mean. 1.0 is perfectly balanced; N means
+    /// one replica did N times its fair share (0 with no tokens).
+    pub fn load_imbalance(&self) -> f64 {
+        let per_replica: Vec<u64> = self
+            .replicas
+            .iter()
+            .map(SimReport::generated_tokens)
+            .collect();
+        let total: u64 = per_replica.iter().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let mean = total as f64 / per_replica.len() as f64;
+        per_replica.iter().copied().max().unwrap_or(0) as f64 / mean
+    }
+}
+
+/// A configured cluster run: N replicas over one scenario, ready for a
+/// router, per-replica policies and per-replica executors.
+#[derive(Debug)]
+pub struct ClusterSimulation {
+    configs: Vec<ReplicaConfig>,
+    scenario: Scenario,
+}
+
+impl ClusterSimulation {
+    /// Bind a scenario to a fleet of replica configs. Under trace
+    /// replay the request count is clamped to the trace length.
+    pub fn new(configs: Vec<ReplicaConfig>, scenario: Scenario) -> Self {
+        assert!(!configs.is_empty(), "a cluster needs at least one replica");
+        Self {
+            configs,
+            scenario: scenario.normalized(),
+        }
+    }
+
+    /// Replicas in the fleet.
+    pub fn replica_count(&self) -> usize {
+        self.configs.len()
+    }
+
+    /// Run the fleet to completion (or every replica's stage cap).
+    /// `policies` and `executors` are indexed like the replica configs
+    /// and must match their length.
+    pub fn run<E: StageExecutor>(
+        self,
+        router: &mut dyn Router,
+        policies: &mut [Box<dyn SchedulingPolicy>],
+        executors: &mut [E],
+    ) -> ClusterReport {
+        let Self { configs, scenario } = self;
+        assert_eq!(
+            configs.len(),
+            policies.len(),
+            "one scheduling policy per replica"
+        );
+        assert_eq!(configs.len(), executors.len(), "one executor per replica");
+        let mut stream = ScenarioStream::new(&scenario, None);
+        let mut replicas: Vec<ReplicaSim> = configs
+            .iter()
+            .map(|c| ReplicaSim::new(c.sim, &scenario))
+            .collect();
+        let mut snapshots: Vec<ReplicaSnapshot> = Vec::with_capacity(replicas.len());
+
+        loop {
+            // ---- route every arrival due by the fleet's next stage start ----
+            while let Some(t_a) = stream.next_arrival_time() {
+                let fleet_next = replicas.iter().filter_map(ReplicaSim::next_start).fold(
+                    None::<f64>,
+                    |acc, t| match acc {
+                        Some(best) if best <= t => Some(best),
+                        _ => Some(t),
+                    },
+                );
+                match fleet_next {
+                    // The next stage forms before this arrival: route it
+                    // later, at its own time.
+                    Some(t) if t_a > t => break,
+                    // Whole fleet drained by its stage caps: stop
+                    // accepting (the run is truncated).
+                    None if !replicas.iter().any(ReplicaSim::can_accept) => break,
+                    _ => {
+                        let p = stream.pop_next().expect("arrival time implies a request");
+                        snapshots.clear();
+                        snapshots.extend(configs.iter().zip(&replicas).map(|(cfg, r)| {
+                            let (in_flight, queued, outstanding_tokens) = r.load();
+                            let (kv_reserved_bytes, kv_capacity_bytes) = r.kv_usage();
+                            ReplicaSnapshot {
+                                now_s: r.clock(),
+                                in_flight,
+                                queued,
+                                max_batch: r.max_batch(),
+                                outstanding_tokens,
+                                kv_reserved_bytes,
+                                kv_capacity_bytes,
+                                weight: cfg.weight,
+                                resident_history_tokens: r.resident_history(p.conversation),
+                                accepting: r.can_accept(),
+                            }
+                        }));
+                        let target = router.route(&p, &snapshots);
+                        assert!(
+                            target < replicas.len(),
+                            "router picked replica {target} of {}",
+                            replicas.len()
+                        );
+                        replicas[target].enqueue(p);
+                    }
+                }
+            }
+
+            // ---- step the replica whose stage starts earliest ----
+            let mut next: Option<(usize, f64)> = None;
+            for (i, r) in replicas.iter().enumerate() {
+                if let Some(t) = r.next_start() {
+                    if next.is_none_or(|(_, best)| t < best) {
+                        next = Some((i, t));
+                    }
+                }
+            }
+            let Some((idx, _)) = next else {
+                break;
+            };
+            replicas[idx].step(&mut stream, policies[idx].as_mut(), &mut executors[idx]);
+        }
+
+        let reports: Vec<SimReport> = replicas.into_iter().map(ReplicaSim::into_report).collect();
+        let total_time_s = reports
+            .iter()
+            .map(|r| r.total_time_s)
+            .fold(0.0f64, f64::max);
+        ClusterReport {
+            replicas: reports,
+            router: router.name().into(),
+            total_time_s,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::PolicyKind;
+    use crate::router::{LeastOutstandingWork, RoundRobin, RouterKind, SessionAffinity};
+    use crate::scenario::{ConversationSpec, ScenarioSimulation};
+    use crate::scheduler::StageOutcome;
+    use crate::workload::{Arrivals, Workload};
+    use duplex_model::ops::StageShape;
+
+    #[derive(Clone, Copy)]
+    struct Fixed(f64);
+    impl StageExecutor for Fixed {
+        fn execute(&mut self, _shape: &StageShape) -> StageOutcome {
+            StageOutcome { seconds: self.0 }
+        }
+    }
+
+    fn config(max_batch: usize) -> SimulationConfig {
+        SimulationConfig {
+            max_batch,
+            ..SimulationConfig::default()
+        }
+    }
+
+    fn policies(n: usize, kind: PolicyKind) -> Vec<Box<dyn SchedulingPolicy>> {
+        (0..n).map(|_| kind.build()).collect()
+    }
+
+    #[test]
+    fn single_replica_cluster_equals_scenario_simulation() {
+        let scenario = Scenario::new(
+            "solo",
+            Workload::gaussian(96, 10).with_seed(7),
+            Arrivals::Poisson { qps: 300.0 },
+            25,
+        )
+        .with_conversation(ConversationSpec::chat(0.7, 3, 0.01, 24))
+        .with_tiers(Scenario::default_tiers(0.01));
+        let plain = ScenarioSimulation::new(config(4), scenario.clone())
+            .run(PolicyKind::PriorityTiers.build().as_mut(), &mut Fixed(0.01));
+        for kind in RouterKind::ALL {
+            let cluster =
+                ClusterSimulation::new(vec![ReplicaConfig::new(config(4))], scenario.clone()).run(
+                    kind.build().as_mut(),
+                    &mut policies(1, PolicyKind::PriorityTiers),
+                    &mut [Fixed(0.01)],
+                );
+            assert_eq!(cluster.replicas.len(), 1);
+            let r = &cluster.replicas[0];
+            assert_eq!(r.stage_stats, plain.stage_stats, "{}", kind.name());
+            assert_eq!(r.total_time_s.to_bits(), plain.total_time_s.to_bits());
+            assert_eq!(r.completed.len(), plain.completed.len());
+            assert_eq!(r.kv_reuse, plain.kv_reuse);
+            assert_eq!(cluster.completed(), plain.completed.len());
+        }
+    }
+
+    #[test]
+    fn fleet_serves_everything_and_spreads_load() {
+        let scenario = Scenario::new(
+            "fleet",
+            Workload::fixed(64, 8).with_seed(3),
+            Arrivals::Poisson { qps: 2000.0 },
+            80,
+        );
+        let report = ClusterSimulation::new(vec![ReplicaConfig::new(config(4)); 4], scenario).run(
+            &mut RoundRobin::default(),
+            &mut policies(4, PolicyKind::Fcfs),
+            &mut [Fixed(0.01); 4],
+        );
+        assert_eq!(report.completed(), 80);
+        // Round-robin spreads a uniform stream exactly evenly.
+        for r in &report.replicas {
+            assert_eq!(r.completed.len(), 20);
+        }
+        assert!((report.load_imbalance() - 1.0).abs() < 0.05);
+        // Fleet totals are sums of replica totals.
+        assert_eq!(
+            report.generated_tokens(),
+            report.replicas.iter().map(|r| r.generated_tokens()).sum()
+        );
+        assert_eq!(report.stage_stats().stages, report.stages());
+        assert!(report.total_time_s > 0.0);
+        assert!(report.generation_throughput() > 0.0);
+        assert_eq!(report.tbt_digest().count(), report.tbt().count as u64);
+    }
+
+    #[test]
+    fn least_outstanding_absorbs_a_slow_replica() {
+        // One replica is 8x slower. JSQ steers work away from it;
+        // round-robin keeps feeding it and strands a deep queue.
+        let scenario = || {
+            Scenario::new(
+                "skewed",
+                Workload::fixed(64, 8).with_seed(5),
+                Arrivals::Poisson { qps: 600.0 },
+                60,
+            )
+        };
+        let configs = vec![ReplicaConfig::new(config(4)); 2];
+        let mut slow_fast = [Fixed(0.08), Fixed(0.01)];
+        let rr = ClusterSimulation::new(configs.clone(), scenario()).run(
+            &mut RoundRobin::default(),
+            &mut policies(2, PolicyKind::Fcfs),
+            &mut slow_fast,
+        );
+        let jsq = ClusterSimulation::new(configs, scenario()).run(
+            &mut LeastOutstandingWork,
+            &mut policies(2, PolicyKind::Fcfs),
+            &mut slow_fast,
+        );
+        assert_eq!(rr.completed(), 60);
+        assert_eq!(jsq.completed(), 60);
+        // JSQ finishes the backlog sooner and sends more work to the
+        // fast replica.
+        assert!(
+            jsq.total_time_s < rr.total_time_s,
+            "jsq {} vs rr {}",
+            jsq.total_time_s,
+            rr.total_time_s
+        );
+        assert!(jsq.replicas[1].completed.len() > rr.replicas[1].completed.len());
+    }
+
+    #[test]
+    fn session_affinity_reuses_kv_where_round_robin_cannot() {
+        // Multi-turn conversations across 4 replicas: round-robin
+        // scatters follow-ups away from their parked KV (reuse misses),
+        // affinity pins them (reuse hits).
+        let scenario = || {
+            Scenario::new(
+                "chat",
+                Workload::fixed(96, 8).with_seed(11),
+                Arrivals::Poisson { qps: 400.0 },
+                24,
+            )
+            .with_conversation(ConversationSpec::chat(1.0, 3, 0.02, 16))
+        };
+        let configs = vec![ReplicaConfig::new(config(4)); 4];
+        let run = |router: &mut dyn Router| {
+            ClusterSimulation::new(configs.clone(), scenario()).run(
+                router,
+                &mut policies(4, PolicyKind::Fcfs),
+                &mut [Fixed(0.01); 4],
+            )
+        };
+        let rr = run(&mut RoundRobin::default());
+        let aff = run(&mut SessionAffinity::default());
+        assert_eq!(rr.completed(), 72, "3 rounds x 24 conversations");
+        assert_eq!(aff.completed(), 72);
+        let (rr_kv, aff_kv) = (rr.kv_reuse(), aff.kv_reuse());
+        assert!(
+            aff_kv.reuse_fraction() > rr_kv.reuse_fraction() + 0.15,
+            "affinity {:?} vs round-robin {:?}",
+            aff_kv,
+            rr_kv
+        );
+        assert!(aff_kv.reuse_hits > rr_kv.reuse_hits);
+    }
+
+    #[test]
+    fn heterogeneous_configs_and_weights_flow_through() {
+        // A fleet with different batch sizes per replica: the bigger
+        // replica absorbs more of a closed-loop backlog under JSQ.
+        let configs = vec![
+            ReplicaConfig::new(config(8)).with_weight(2.0),
+            ReplicaConfig::new(config(2)),
+        ];
+        let scenario = Scenario::new(
+            "hetero",
+            Workload::fixed(32, 6).with_seed(9),
+            Arrivals::Poisson { qps: 5000.0 },
+            60,
+        );
+        let report = ClusterSimulation::new(configs, scenario).run(
+            &mut LeastOutstandingWork,
+            &mut policies(2, PolicyKind::Fcfs),
+            &mut [Fixed(0.01), Fixed(0.01)],
+        );
+        assert_eq!(report.completed(), 60);
+        assert!(report.replicas[0].completed.len() > report.replicas[1].completed.len());
+    }
+
+    #[test]
+    fn stale_parked_prefixes_are_credited_at_their_own_length() {
+        // One 3-round conversation over 2 replicas under round-robin:
+        // round 1 parks 68 tokens on replica 0, round 2 runs (and
+        // parks 88) on replica 1, round 3 returns to replica 0 where
+        // only the stale 68-token *prefix* is resident. The reuse
+        // credit must be those 68 tokens — not the 88 the request
+        // carries as history — and the prefill must cover the rest.
+        let scenario = Scenario::new(
+            "stale",
+            Workload::fixed(64, 4).with_seed(1),
+            Arrivals::ClosedLoop,
+            1,
+        )
+        .with_conversation(ConversationSpec::chat(1.0, 3, 0.001, 16));
+        let report = ClusterSimulation::new(vec![ReplicaConfig::new(config(4)); 2], scenario).run(
+            &mut RoundRobin::default(),
+            &mut policies(2, PolicyKind::Fcfs),
+            &mut [Fixed(0.01); 2],
+        );
+        assert_eq!(report.completed(), 3);
+        let kv = report.kv_reuse();
+        assert_eq!(kv.reuse_hits, 1, "round 3 finds the stale prefix");
+        assert_eq!(kv.reuse_misses, 1, "round 2 finds nothing on replica 1");
+        assert_eq!(kv.reused_prefill_tokens, 68, "stale prefix length, not 88");
+        // Prefills: 64 (round 1) + 84 (round 2, full) + 104 - 68
+        // (round 3 suffix over the stale prefix).
+        assert_eq!(kv.prefilled_tokens, 64 + 84 + 36);
+    }
+
+    #[test]
+    fn capped_replicas_stop_receiving_arrivals() {
+        // Replica 0 is stage-capped from the start (a failed node):
+        // the routers must steer every arrival to the live replica
+        // instead of stranding work in a dead inbox.
+        let capped = SimulationConfig {
+            max_stages: 0,
+            ..config(4)
+        };
+        let scenario = Scenario::new(
+            "failover",
+            Workload::fixed(32, 4).with_seed(5),
+            Arrivals::Poisson { qps: 500.0 },
+            20,
+        );
+        let report = ClusterSimulation::new(
+            vec![ReplicaConfig::new(capped), ReplicaConfig::new(config(4))],
+            scenario,
+        )
+        .run(
+            &mut RoundRobin::default(),
+            &mut policies(2, PolicyKind::Fcfs),
+            &mut [Fixed(0.01); 2],
+        );
+        assert_eq!(report.completed(), 20, "nothing strands on the dead node");
+        assert_eq!(report.replicas[0].stage_stats.stages, 0);
+        assert_eq!(report.replicas[1].completed.len(), 20);
+    }
+
+    #[test]
+    fn cluster_respects_per_replica_stage_caps() {
+        let capped = SimulationConfig {
+            max_stages: 3,
+            ..config(2)
+        };
+        let scenario = Scenario::new(
+            "capped",
+            Workload::fixed(16, 50).with_seed(1),
+            Arrivals::ClosedLoop,
+            8,
+        );
+        let report = ClusterSimulation::new(vec![ReplicaConfig::new(capped); 2], scenario).run(
+            &mut RoundRobin::default(),
+            &mut policies(2, PolicyKind::Fcfs),
+            &mut [Fixed(0.01); 2],
+        );
+        // Both replicas truncate at their cap; nothing completes (50
+        // output tokens need 50 stages) and the run still terminates.
+        assert_eq!(report.completed(), 0);
+        assert_eq!(report.stages(), 6);
+    }
+
+    #[test]
+    fn merged_slo_covers_every_replica() {
+        let scenario = Scenario::new(
+            "tiered",
+            Workload::fixed(48, 8).with_seed(2),
+            Arrivals::Poisson { qps: 800.0 },
+            40,
+        )
+        .with_tiers(Scenario::default_tiers(0.01));
+        let report = ClusterSimulation::new(vec![ReplicaConfig::new(config(4)); 2], scenario).run(
+            &mut RoundRobin::default(),
+            &mut policies(2, PolicyKind::PriorityTiers),
+            &mut [Fixed(0.01); 2],
+        );
+        let slo = report.slo();
+        assert_eq!(slo.tiers.len(), 3);
+        assert_eq!(slo.completed(), 40);
+        assert!(report.slo_attainment() > 0.0);
+        assert!(report.goodput_tokens_per_s() > 0.0);
+        // The merged tier digests hold both replicas' gap populations.
+        let per_replica: u64 = report
+            .replicas
+            .iter()
+            .flat_map(|r| r.slo.tiers.iter().map(|t| t.tbt_digest.count()))
+            .sum();
+        let merged: u64 = slo.tiers.iter().map(|t| t.tbt_digest.count()).sum();
+        assert_eq!(per_replica, merged);
+    }
+}

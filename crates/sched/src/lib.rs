@@ -24,9 +24,15 @@
 //!   admission, and multi-turn conversations with reuse-aware KV
 //!   accounting through `duplex_model::kv_cache`.
 //! * [`policy`] — pluggable admission policies (FCFS,
-//!   shortest-prompt-first, priority tiers with SLO deadlines).
-//! * [`trace`] / [`json`] — recorded arrival traces and the minimal
-//!   JSON reader behind them.
+//!   shortest-prompt-first, priority tiers with SLO deadlines, and
+//!   the batch-tier load-shedding wrapper).
+//! * [`cluster`] / [`router`] — multi-replica serving: a fleet of
+//!   independent replicas on one shared virtual clock behind a
+//!   pluggable request router (round-robin, least-outstanding-work,
+//!   session affinity), with per-replica and merged fleet reports.
+//! * [`trace`] / [`json`] — recorded arrival traces, the
+//!   [`TraceRecorder`] that captures a run as a replayable trace, and
+//!   the minimal JSON reader behind them.
 //!
 //! # Example
 //!
@@ -55,26 +61,35 @@
 //! assert!(report.throughput_tokens_per_s() > 0.0);
 //! ```
 
+pub mod cluster;
 pub mod delta;
 pub mod json;
 pub mod metrics;
 pub mod policy;
 pub mod request;
+pub mod router;
 pub mod scenario;
 pub mod scheduler;
 pub mod trace;
 pub mod workload;
 
+pub use cluster::{ClusterReport, ClusterSimulation, ReplicaConfig};
 pub use delta::StageDelta;
 pub use metrics::{
     KvReuseStats, LatencyDigest, LatencySummary, SimReport, SloStats, StageRecord, StageStats,
     TierStats,
 };
 pub use policy::{
-    Fcfs, PolicyContext, PolicyKind, PriorityTiers, SchedulingPolicy, ShortestPromptFirst,
+    Fcfs, PolicyContext, PolicyKind, PriorityTiers, SchedulingPolicy, ShedBatchTier,
+    ShortestPromptFirst,
 };
 pub use request::{Request, RequestRecord};
-pub use scenario::{ConversationSpec, PendingRequest, Scenario, ScenarioSimulation, SloTier};
+pub use router::{
+    LeastOutstandingWork, ReplicaSnapshot, RoundRobin, Router, RouterKind, SessionAffinity,
+};
+pub use scenario::{
+    AdaptiveChunk, ConversationSpec, PendingRequest, Scenario, ScenarioSimulation, SloTier,
+};
 pub use scheduler::{Simulation, SimulationConfig, StageExecutor, StageOutcome};
-pub use trace::TraceRequest;
+pub use trace::{TraceRecorder, TraceRequest};
 pub use workload::{Arrivals, RequestSource, Workload};

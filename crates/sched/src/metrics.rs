@@ -148,6 +148,25 @@ impl LatencyDigest {
         self.mean()
     }
 
+    /// Fold another digest's population into this one, bucket by
+    /// bucket — the fleet-aggregation primitive: merged percentiles
+    /// are exactly the percentiles of the concatenated sample stream
+    /// (both digests share the same fixed bucket layout).
+    pub fn merge(&mut self, other: &LatencyDigest) {
+        if other.count == 0 {
+            return;
+        }
+        if self.buckets.is_empty() {
+            self.buckets.resize(DIGEST_BUCKETS, (0, 0.0));
+        }
+        for (mine, theirs) in self.buckets.iter_mut().zip(&other.buckets) {
+            mine.0 += theirs.0;
+            mine.1 += theirs.1;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+    }
+
     /// p50/p90/p99/mean summary of the recorded population.
     pub fn summary(&self) -> LatencySummary {
         if self.count == 0 {
@@ -201,6 +220,14 @@ impl StageStats {
         self.batch_sum += record.batch as u64;
         self.token_sum += record.tokens;
     }
+
+    /// Fold another replica's counters into this one (fleet totals).
+    pub fn merge(&mut self, other: &StageStats) {
+        self.stages += other.stages;
+        self.mixed += other.mixed;
+        self.batch_sum += other.batch_sum;
+        self.token_sum += other.token_sum;
+    }
 }
 
 /// Per-SLO-tier attainment counters (scenario runs; see
@@ -239,6 +266,21 @@ impl TierStats {
     pub fn tbt_p99_s(&self) -> f64 {
         self.tbt_digest.quantile(99.0)
     }
+
+    /// Fold another replica's counters for the *same tier* into this
+    /// one (matched by position when merging [`SloStats`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the tier names differ — merging mismatched fleets
+    /// would silently blend unrelated SLOs.
+    pub fn merge(&mut self, other: &TierStats) {
+        assert_eq!(self.name, other.name, "merging different tiers");
+        self.completed += other.completed;
+        self.met += other.met;
+        self.good_tokens += other.good_tokens;
+        self.tbt_digest.merge(&other.tbt_digest);
+    }
 }
 
 /// SLO accounting across tiers. Empty (no tiers) for runs without SLO
@@ -273,6 +315,28 @@ impl SloStats {
     pub fn good_tokens(&self) -> u64 {
         self.tiers.iter().map(|t| t.good_tokens).sum()
     }
+
+    /// Fold another replica's per-tier counters into this one. An
+    /// empty side adopts the other's tiers; otherwise the tier lists
+    /// must match position by position (same scenario on every
+    /// replica).
+    pub fn merge(&mut self, other: &SloStats) {
+        if other.tiers.is_empty() {
+            return;
+        }
+        if self.tiers.is_empty() {
+            self.tiers = other.tiers.clone();
+            return;
+        }
+        assert_eq!(
+            self.tiers.len(),
+            other.tiers.len(),
+            "merging fleets with different tier sets"
+        );
+        for (mine, theirs) in self.tiers.iter_mut().zip(&other.tiers) {
+            mine.merge(theirs);
+        }
+    }
 }
 
 /// Prefix-reuse accounting for multi-turn scenarios: how much prefill
@@ -302,6 +366,15 @@ impl KvReuseStats {
             return 0.0;
         }
         self.reused_prefill_tokens as f64 / total as f64
+    }
+
+    /// Fold another replica's counters into this one (fleet totals).
+    pub fn merge(&mut self, other: &KvReuseStats) {
+        self.reused_prefill_tokens += other.reused_prefill_tokens;
+        self.prefilled_tokens += other.prefilled_tokens;
+        self.parked_evictions += other.parked_evictions;
+        self.reuse_hits += other.reuse_hits;
+        self.reuse_misses += other.reuse_misses;
     }
 }
 
@@ -616,6 +689,117 @@ mod tests {
         };
         assert!((report.goodput_tokens_per_s() - 1400.0).abs() < 1e-9);
         assert!((report.slo_attainment() - 13.0 / 15.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn digest_merge_equals_concatenated_stream() {
+        let samples_a: Vec<f64> = (1..=500).map(|i| i as f64 * 1e-4).collect();
+        let samples_b: Vec<f64> = (1..=300).map(|i| i as f64 * 3e-4).collect();
+        let mut a = LatencyDigest::default();
+        let mut b = LatencyDigest::default();
+        let mut both = LatencyDigest::default();
+        for &s in &samples_a {
+            a.record(s);
+            both.record(s);
+        }
+        for &s in &samples_b {
+            b.record(s);
+            both.record(s);
+        }
+        let mut merged = a.clone();
+        merged.merge(&b);
+        // Bucket counts (hence ranks) merge exactly; sums only differ
+        // by f64 addition order.
+        assert_eq!(merged.count(), both.count());
+        for p in [50.0, 90.0, 99.0] {
+            let (m, b) = (merged.quantile(p), both.quantile(p));
+            assert!((m - b).abs() / b < 1e-12, "p{p}: merged {m} vs both {b}");
+        }
+        assert!((merged.mean() - both.mean()).abs() / both.mean() < 1e-12);
+        // Merging into an empty digest adopts the other population.
+        let mut empty = LatencyDigest::default();
+        empty.merge(&both);
+        assert_eq!(empty.summary(), both.summary());
+        // Merging an empty digest is a no-op (bit-exact).
+        let before = merged.clone();
+        merged.merge(&LatencyDigest::default());
+        assert_eq!(merged, before);
+    }
+
+    #[test]
+    fn stage_and_kv_stats_merge_add_counters() {
+        let mut s = StageStats {
+            stages: 3,
+            mixed: 1,
+            batch_sum: 10,
+            token_sum: 40,
+        };
+        s.merge(&StageStats {
+            stages: 2,
+            mixed: 2,
+            batch_sum: 5,
+            token_sum: 9,
+        });
+        assert_eq!(s.stages, 5);
+        assert_eq!(s.mixed, 3);
+        assert_eq!(s.batch_sum, 15);
+        assert_eq!(s.token_sum, 49);
+
+        let mut kv = KvReuseStats {
+            reused_prefill_tokens: 10,
+            prefilled_tokens: 90,
+            ..KvReuseStats::default()
+        };
+        kv.merge(&KvReuseStats {
+            reused_prefill_tokens: 40,
+            prefilled_tokens: 60,
+            reuse_hits: 2,
+            ..KvReuseStats::default()
+        });
+        assert!((kv.reuse_fraction() - 0.25).abs() < 1e-12);
+        assert_eq!(kv.reuse_hits, 2);
+    }
+
+    #[test]
+    fn slo_merge_folds_matching_tiers() {
+        let tier = |met: u64, completed: u64| TierStats {
+            name: "interactive".into(),
+            completed,
+            met,
+            good_tokens: met * 10,
+            ..TierStats::default()
+        };
+        let mut a = SloStats {
+            tiers: vec![tier(8, 10)],
+        };
+        let b = SloStats {
+            tiers: vec![tier(5, 10)],
+        };
+        a.merge(&b);
+        assert_eq!(a.completed(), 20);
+        assert!((a.attainment() - 13.0 / 20.0).abs() < 1e-12);
+        assert_eq!(a.good_tokens(), 130);
+        // An empty side adopts the populated one; merging empty into
+        // populated is a no-op.
+        let mut empty = SloStats::default();
+        empty.merge(&a);
+        assert_eq!(empty.completed(), 20);
+        a.merge(&SloStats::default());
+        assert_eq!(a.completed(), 20);
+    }
+
+    #[test]
+    #[should_panic(expected = "merging different tiers")]
+    fn tier_merge_rejects_mismatched_names() {
+        let mut a = TierStats {
+            name: "interactive".into(),
+            ..TierStats::default()
+        };
+        let b = TierStats {
+            name: "batch".into(),
+            ..TierStats::default()
+        };
+        a.merge(&b);
     }
 
     #[test]

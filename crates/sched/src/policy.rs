@@ -5,8 +5,20 @@
 //! each time a batch slot opens: the policy sees every request that
 //! has arrived and not yet been admitted, plus a [`PolicyContext`]
 //! describing the scheduler's stage (current clock, the chunked-prefill
-//! budget), and picks which one prefills next. Three classic policies
-//! ship here; anything implementing the trait plugs in.
+//! budget, batch occupancy), and picks which one prefills next. Three
+//! classic policies ship here; anything implementing the trait plugs
+//! in.
+//!
+//! # Admission control
+//!
+//! Beyond *ordering* the queue, a policy may also *defer* it: the
+//! scheduler asks [`SchedulingPolicy::admit_now`], and a `None` answer
+//! leaves the remaining queue waiting for a later stage. The
+//! [`ShedBatchTier`] wrapper uses this to shed batch-tier load near
+//! saturation: once batch occupancy crosses its utilization threshold,
+//! only latency-sensitive tiers are admitted, so interactive
+//! attainment holds while the backlog drains — the open-items
+//! admission-control policy from the roadmap.
 //!
 //! # Starvation
 //!
@@ -32,15 +44,32 @@ pub struct PolicyContext {
     /// Per-stage prefill token budget under chunked prefill; `None`
     /// when prompts prefill whole in one stage.
     pub prefill_chunk: Option<u64>,
+    /// Requests already holding a batch slot for this stage (decoding,
+    /// freshly admitted, or mid-chunk).
+    pub in_flight: usize,
+    /// Batch slots in total.
+    pub max_batch: usize,
 }
 
 impl PolicyContext {
-    /// An unchunked context at `now_s` (tests and simple drivers).
+    /// An unchunked, empty-batch context at `now_s` (tests and simple
+    /// drivers).
     pub fn at(now_s: f64) -> Self {
         Self {
             now_s,
             prefill_chunk: None,
+            in_flight: 0,
+            max_batch: 1,
         }
+    }
+
+    /// Fraction of batch slots already committed to this stage — the
+    /// utilization estimate admission-control wrappers act on.
+    pub fn utilization(&self) -> f64 {
+        if self.max_batch == 0 {
+            return 0.0;
+        }
+        self.in_flight as f64 / self.max_batch as f64
     }
 
     /// The prefill tokens request `p`'s first stage would process: the
@@ -65,6 +94,14 @@ pub trait SchedulingPolicy {
     /// non-empty slice in which every request has already arrived
     /// (`arrival_s <= ctx.now_s`); invoked again after each admission.
     fn pick(&mut self, pending: &[PendingRequest], ctx: &PolicyContext) -> usize;
+
+    /// Like [`SchedulingPolicy::pick`], but may answer `None` to admit
+    /// nothing this stage (admission control): the queue keeps waiting
+    /// and the scheduler re-asks at the next stage boundary. The
+    /// default always admits.
+    fn admit_now(&mut self, pending: &[PendingRequest], ctx: &PolicyContext) -> Option<usize> {
+        Some(self.pick(pending, ctx))
+    }
 }
 
 /// First-come-first-served: strictly by arrival time (ties by id), the
@@ -164,6 +201,99 @@ impl SchedulingPolicy for PriorityTiers {
     }
 }
 
+/// Admission-control wrapper: sheds (defers) batch-tier requests while
+/// estimated utilization sits above a threshold, delegating ordering to
+/// an inner policy. Near saturation the batch tier's long prompts stop
+/// stealing slots from deadline-bound traffic, lifting interactive
+/// attainment at the cost of batch-tier queueing delay — the deferred
+/// requests are *not* dropped, they drain once load falls back under
+/// the threshold.
+pub struct ShedBatchTier {
+    inner: Box<dyn SchedulingPolicy>,
+    /// Batch-occupancy fraction above which sheddable tiers defer.
+    pub utilization_threshold: f64,
+    /// Requests with `priority >= shed_priority` are sheddable (2 =
+    /// the default tier set's batch tier).
+    pub shed_priority: u32,
+    /// Reused scratch for the saturated path (indices into the full
+    /// queue and the filtered view shown to the inner policy), so a
+    /// deep backlog — exactly the regime shedding targets — costs no
+    /// per-admission allocations.
+    eligible: Vec<usize>,
+    subset: Vec<PendingRequest>,
+}
+
+impl ShedBatchTier {
+    /// Default occupancy fraction above which batch traffic defers.
+    pub const DEFAULT_THRESHOLD: f64 = 0.85;
+
+    /// Wrap `inner` with the given threshold and sheddable priority
+    /// floor. The threshold must be positive: at zero an empty batch
+    /// could defer forever and the scheduler would never advance.
+    pub fn new(
+        inner: Box<dyn SchedulingPolicy>,
+        utilization_threshold: f64,
+        shed_priority: u32,
+    ) -> Self {
+        assert!(
+            utilization_threshold > 0.0,
+            "a zero threshold would defer admissions into an empty batch"
+        );
+        Self {
+            inner,
+            utilization_threshold,
+            shed_priority,
+            eligible: Vec::new(),
+            subset: Vec::new(),
+        }
+    }
+
+    /// The default SLO-serving stack: priority-EDF ordering, batch
+    /// tier (priority >= 2) shed above 85% occupancy.
+    pub fn edf() -> Self {
+        Self::new(Box::new(PriorityTiers), Self::DEFAULT_THRESHOLD, 2)
+    }
+}
+
+impl std::fmt::Debug for ShedBatchTier {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShedBatchTier")
+            .field("inner", &self.inner.name())
+            .field("utilization_threshold", &self.utilization_threshold)
+            .field("shed_priority", &self.shed_priority)
+            .finish()
+    }
+}
+
+impl SchedulingPolicy for ShedBatchTier {
+    fn name(&self) -> &'static str {
+        "shed-batch"
+    }
+
+    fn pick(&mut self, pending: &[PendingRequest], ctx: &PolicyContext) -> usize {
+        self.inner.pick(pending, ctx)
+    }
+
+    fn admit_now(&mut self, pending: &[PendingRequest], ctx: &PolicyContext) -> Option<usize> {
+        if ctx.utilization() < self.utilization_threshold {
+            return Some(self.inner.pick(pending, ctx));
+        }
+        // Saturated: only non-sheddable tiers may take the slot.
+        self.eligible.clear();
+        self.subset.clear();
+        for (i, p) in pending.iter().enumerate() {
+            if p.priority < self.shed_priority {
+                self.eligible.push(i);
+                self.subset.push(p.clone());
+            }
+        }
+        if self.eligible.is_empty() {
+            return None;
+        }
+        Some(self.eligible[self.inner.pick(&self.subset, ctx)])
+    }
+}
+
 /// The shipped policies, as a value type for sweep drivers.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum PolicyKind {
@@ -173,14 +303,17 @@ pub enum PolicyKind {
     ShortestPromptFirst,
     /// [`PriorityTiers`].
     PriorityTiers,
+    /// [`ShedBatchTier`] over priority-EDF with the default threshold.
+    ShedBatchTier,
 }
 
 impl PolicyKind {
     /// Every shipped policy.
-    pub const ALL: [PolicyKind; 3] = [
+    pub const ALL: [PolicyKind; 4] = [
         PolicyKind::Fcfs,
         PolicyKind::ShortestPromptFirst,
         PolicyKind::PriorityTiers,
+        PolicyKind::ShedBatchTier,
     ];
 
     /// Instantiate the policy.
@@ -189,6 +322,7 @@ impl PolicyKind {
             PolicyKind::Fcfs => Box::new(Fcfs),
             PolicyKind::ShortestPromptFirst => Box::new(ShortestPromptFirst::default()),
             PolicyKind::PriorityTiers => Box::new(PriorityTiers),
+            PolicyKind::ShedBatchTier => Box::new(ShedBatchTier::edf()),
         }
     }
 
@@ -198,6 +332,7 @@ impl PolicyKind {
             PolicyKind::Fcfs => "fcfs",
             PolicyKind::ShortestPromptFirst => "spf",
             PolicyKind::PriorityTiers => "priority-edf",
+            PolicyKind::ShedBatchTier => "shed-batch",
         }
     }
 }
@@ -284,8 +419,8 @@ mod tests {
         // chunk up front; the tie breaks by arrival, not total length.
         let q = [pending(3, 0.0, 900, 0, 9.0), pending(1, 1.0, 400, 0, 9.0)];
         let ctx = PolicyContext {
-            now_s: 2.0,
             prefill_chunk: Some(64),
+            ..PolicyContext::at(2.0)
         };
         assert_eq!(ShortestPromptFirst::default().pick(&q, &ctx), 0);
         // Unchunked, total length decides.
@@ -321,9 +456,82 @@ mod tests {
     }
 
     #[test]
+    fn utilization_tracks_occupancy() {
+        let ctx = PolicyContext {
+            in_flight: 6,
+            max_batch: 8,
+            ..PolicyContext::at(0.0)
+        };
+        assert!((ctx.utilization() - 0.75).abs() < 1e-12);
+        assert_eq!(PolicyContext::at(0.0).utilization(), 0.0);
+    }
+
+    #[test]
+    fn shed_batch_defers_only_when_saturated() {
+        let q = [
+            pending(0, 0.0, 10, 2, 100.0), // batch tier
+            pending(1, 0.1, 10, 0, 0.5),   // interactive
+        ];
+        let mut shed = ShedBatchTier::edf();
+        let idle = PolicyContext {
+            in_flight: 1,
+            max_batch: 8,
+            ..PolicyContext::at(1.0)
+        };
+        // Under the threshold the wrapper is transparent: EDF picks the
+        // interactive request first either way.
+        assert_eq!(shed.admit_now(&q, &idle), Some(1));
+        let hot = PolicyContext {
+            in_flight: 7,
+            max_batch: 8,
+            ..PolicyContext::at(1.0)
+        };
+        // Saturated: the interactive request still admits ...
+        assert_eq!(shed.admit_now(&q, &hot), Some(1));
+        // ... but a batch-only queue defers entirely.
+        let batch_only = [pending(0, 0.0, 10, 2, 100.0), pending(2, 0.2, 10, 2, 50.0)];
+        assert_eq!(shed.admit_now(&batch_only, &hot), None);
+        // `pick` (ordering without admission control) stays inner-EDF:
+        // the nearer deadline wins.
+        assert_eq!(shed.pick(&batch_only, &hot), 1);
+    }
+
+    #[test]
+    fn shed_batch_maps_subset_indices_back() {
+        // Two interactive requests interleaved with batch ones: the
+        // returned index must point into the *full* queue.
+        let q = [
+            pending(0, 0.0, 10, 2, 100.0),
+            pending(1, 0.3, 10, 1, 5.0),
+            pending(2, 0.1, 10, 2, 90.0),
+            pending(3, 0.2, 10, 1, 2.0), // nearest deadline among tier 1
+        ];
+        let hot = PolicyContext {
+            in_flight: 8,
+            max_batch: 8,
+            ..PolicyContext::at(1.0)
+        };
+        assert_eq!(ShedBatchTier::edf().admit_now(&q, &hot), Some(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "zero threshold")]
+    fn shed_batch_rejects_zero_threshold() {
+        ShedBatchTier::new(Box::new(PriorityTiers), 0.0, 2);
+    }
+
+    #[test]
+    fn default_admit_now_always_admits() {
+        let q = [pending(0, 0.0, 10, 0, 1.0)];
+        assert_eq!(Fcfs.admit_now(&q, &PolicyContext::at(1.0)), Some(0));
+    }
+
+    #[test]
     fn policies_have_names() {
         assert_eq!(Fcfs.name(), "fcfs");
         assert_eq!(ShortestPromptFirst::default().name(), "spf");
         assert_eq!(PriorityTiers.name(), "priority-edf");
+        assert_eq!(ShedBatchTier::edf().name(), "shed-batch");
+        assert_eq!(PolicyKind::ShedBatchTier.build().name(), "shed-batch");
     }
 }

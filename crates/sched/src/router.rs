@@ -1,0 +1,415 @@
+//! Request routing across a fleet of replicas (see [`crate::cluster`]).
+//!
+//! A [`Router`] is the cluster's load balancer: every arriving request
+//! (fresh conversations *and* multi-turn follow-ups) is shown a
+//! [`ReplicaSnapshot`] per replica and the router picks where it
+//! queues. Three classic disciplines ship here:
+//!
+//! * [`RoundRobin`] — ignore state, cycle through replicas: the
+//!   baseline every serving fleet starts with.
+//! * [`LeastOutstandingWork`] — join-shortest-queue over committed
+//!   requests (with outstanding tokens as a bounded tiebreak), scaled
+//!   by each replica's capacity weight so heterogeneous fleets load
+//!   faster replicas proportionally harder.
+//! * [`SessionAffinity`] — pin a conversation's follow-up rounds to
+//!   the replica holding their parked KV, so multi-turn prefix reuse
+//!   survives behind the load balancer; spill to the
+//!   least-outstanding replica when the pinned one saturates (or the
+//!   history was evicted). Fresh requests route least-outstanding.
+//!
+//! Routers are deterministic: same arrival stream + same snapshots =
+//! same placement, which is what keeps cluster runs seed-stable.
+
+use crate::scenario::PendingRequest;
+
+/// One replica's state as shown to a [`Router`] at routing time.
+/// Replicas run on one shared virtual clock but their local frontiers
+/// drift (each sits at its own stage boundary); the snapshot exposes
+/// queue state the way a real load balancer would poll it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReplicaSnapshot {
+    /// The replica's local clock (end of its last executed stage).
+    pub now_s: f64,
+    /// Requests holding a batch slot (decoding or mid-prefill).
+    pub in_flight: usize,
+    /// Requests routed here but not yet admitted.
+    pub queued: usize,
+    /// The replica's batch-slot budget.
+    pub max_batch: usize,
+    /// Prefill + generation tokens still ahead of this replica's
+    /// in-flight and queued requests.
+    pub outstanding_tokens: u64,
+    /// KV bytes reserved by in-flight work.
+    pub kv_reserved_bytes: u64,
+    /// The replica's KV budget.
+    pub kv_capacity_bytes: u64,
+    /// Relative serving capacity (1.0 = fleet average; a replica twice
+    /// as fast carries weight 2.0). Heterogeneous fleets set this from
+    /// probed stage latencies.
+    pub weight: f64,
+    /// Resident tokens of the routed request's conversation history
+    /// parked in this replica's KV pool (0 = none). Replicas that
+    /// served earlier rounds hold shorter, stale prefixes; the current
+    /// holder reports the full history.
+    pub resident_history_tokens: u64,
+    /// Whether this replica still accepts work (false once its stage
+    /// cap truncated it); routers must avoid non-accepting replicas
+    /// while an accepting one exists.
+    pub accepting: bool,
+}
+
+impl ReplicaSnapshot {
+    /// Committed requests (in-flight + queued, the admission-delay
+    /// signal) plus a token-scale tiebreak, normalized by the
+    /// replica's capacity weight — the estimated admission delay the
+    /// balancing routers minimize. Queue depth dominates because a
+    /// new request's time-to-first-token is bounded by the requests
+    /// holding and waiting for slots ahead of it, not by their
+    /// residual token counts.
+    pub fn weighted_load(&self) -> f64 {
+        let slots = (self.in_flight + self.queued) as f64;
+        let drain = self.outstanding_tokens as f64;
+        (slots + drain / (1.0 + drain)) / self.weight.max(f64::MIN_POSITIVE)
+    }
+
+    /// Queue-pressure estimate: committed slots (in-flight + queued)
+    /// per batch slot. 1.0 means a full second batch is already
+    /// waiting... 2.0 means two batches' worth, and so on.
+    pub fn queue_pressure(&self) -> f64 {
+        (self.in_flight + self.queued) as f64 / self.max_batch.max(1) as f64
+    }
+
+    /// Whether any of the routed request's conversation KV is parked
+    /// here.
+    pub fn holds_conversation(&self) -> bool {
+        self.resident_history_tokens > 0
+    }
+}
+
+/// Deterministic argmin over the accepting replicas (all of them when
+/// none accepts — the run is truncating and the pick is moot); first
+/// minimum wins.
+fn argmin_accepting<K: PartialOrd, F: Fn(&ReplicaSnapshot) -> K>(
+    replicas: &[ReplicaSnapshot],
+    key: F,
+) -> usize {
+    assert!(!replicas.is_empty(), "router consulted with no replicas");
+    let mut best: Option<usize> = None;
+    for (i, r) in replicas.iter().enumerate() {
+        if !r.accepting {
+            continue;
+        }
+        match best {
+            Some(b) if key(&replicas[b]) <= key(r) => {}
+            _ => best = Some(i),
+        }
+    }
+    best.unwrap_or(0)
+}
+
+/// Picks the replica an arriving request queues on.
+pub trait Router {
+    /// Display name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Index of the replica `request` is routed to. `replicas` is
+    /// non-empty and indexed like the cluster's replica list.
+    fn route(&mut self, request: &PendingRequest, replicas: &[ReplicaSnapshot]) -> usize;
+}
+
+/// State-blind rotation: request k goes to replica k mod N.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RoundRobin {
+    next: usize,
+}
+
+impl Router for RoundRobin {
+    fn name(&self) -> &'static str {
+        "round-robin"
+    }
+
+    fn route(&mut self, _request: &PendingRequest, replicas: &[ReplicaSnapshot]) -> usize {
+        assert!(!replicas.is_empty(), "router consulted with no replicas");
+        // Rotate, skipping replicas that no longer accept (a full
+        // cycle of non-accepting replicas falls back to the plain
+        // rotation so the pick is still total).
+        for _ in 0..replicas.len() {
+            let pick = self.next % replicas.len();
+            self.next = (self.next + 1) % replicas.len();
+            if replicas[pick].accepting {
+                return pick;
+            }
+        }
+        let pick = self.next % replicas.len();
+        self.next = (self.next + 1) % replicas.len();
+        pick
+    }
+}
+
+/// Join-shortest-queue: route to the replica with the least
+/// capacity-weighted committed work (see
+/// [`ReplicaSnapshot::weighted_load`]; ties to the lowest index).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LeastOutstandingWork;
+
+impl Router for LeastOutstandingWork {
+    fn name(&self) -> &'static str {
+        "least-outstanding"
+    }
+
+    fn route(&mut self, _request: &PendingRequest, replicas: &[ReplicaSnapshot]) -> usize {
+        argmin_accepting(replicas, ReplicaSnapshot::weighted_load)
+    }
+}
+
+/// Session-affinity routing: a follow-up whose conversation KV is
+/// still parked on a replica goes back to that replica — the routing
+/// discipline that lets multi-turn prefix reuse survive behind a load
+/// balancer. Everything else (fresh conversations, evicted histories,
+/// and follow-ups whose pinned replica is saturated) falls through to
+/// [`LeastOutstandingWork`].
+#[derive(Debug, Clone, Copy)]
+pub struct SessionAffinity {
+    /// Spill threshold in [`ReplicaSnapshot::queue_pressure`] units:
+    /// when the pinned replica's committed slots exceed this many
+    /// batches, the follow-up spills to the least-loaded replica
+    /// instead (re-prefilling its history there beats queueing behind
+    /// a hot spot).
+    pub spill_pressure: f64,
+    fallback: LeastOutstandingWork,
+}
+
+impl SessionAffinity {
+    /// Default spill threshold: two full batches of committed work.
+    pub const DEFAULT_SPILL_PRESSURE: f64 = 2.0;
+
+    /// Affinity routing spilling past `spill_pressure` batches of
+    /// committed work on the pinned replica.
+    pub fn with_spill(spill_pressure: f64) -> Self {
+        assert!(spill_pressure > 0.0, "spill pressure must be positive");
+        Self {
+            spill_pressure,
+            fallback: LeastOutstandingWork,
+        }
+    }
+}
+
+impl Default for SessionAffinity {
+    fn default() -> Self {
+        Self::with_spill(Self::DEFAULT_SPILL_PRESSURE)
+    }
+}
+
+impl Router for SessionAffinity {
+    fn name(&self) -> &'static str {
+        "session-affinity"
+    }
+
+    fn route(&mut self, request: &PendingRequest, replicas: &[ReplicaSnapshot]) -> usize {
+        assert!(!replicas.is_empty(), "router consulted with no replicas");
+        if request.history_tokens > 0 {
+            // Several replicas may hold prefixes of this conversation
+            // (stale parks from earlier rounds): pin to the longest
+            // resident prefix — the one that saves the most prefill.
+            let pinned = replicas
+                .iter()
+                .enumerate()
+                .filter(|(_, r)| r.accepting && r.holds_conversation())
+                .max_by(|(ia, a), (ib, b)| {
+                    a.resident_history_tokens
+                        .cmp(&b.resident_history_tokens)
+                        // First maximum wins on ties.
+                        .then(ib.cmp(ia))
+                });
+            if let Some((pinned, holder)) = pinned {
+                if holder.queue_pressure() <= self.spill_pressure {
+                    return pinned;
+                }
+            }
+        }
+        self.fallback.route(request, replicas)
+    }
+}
+
+/// The shipped routers, as a value type for sweep drivers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RouterKind {
+    /// [`RoundRobin`].
+    RoundRobin,
+    /// [`LeastOutstandingWork`].
+    LeastOutstandingWork,
+    /// [`SessionAffinity`] with the default spill threshold.
+    SessionAffinity,
+}
+
+impl RouterKind {
+    /// Every shipped router.
+    pub const ALL: [RouterKind; 3] = [
+        RouterKind::RoundRobin,
+        RouterKind::LeastOutstandingWork,
+        RouterKind::SessionAffinity,
+    ];
+
+    /// Instantiate the router.
+    pub fn build(self) -> Box<dyn Router> {
+        match self {
+            RouterKind::RoundRobin => Box::new(RoundRobin::default()),
+            RouterKind::LeastOutstandingWork => Box::new(LeastOutstandingWork),
+            RouterKind::SessionAffinity => Box::new(SessionAffinity::default()),
+        }
+    }
+
+    /// The router's display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            RouterKind::RoundRobin => "round-robin",
+            RouterKind::LeastOutstandingWork => "least-outstanding",
+            RouterKind::SessionAffinity => "session-affinity",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::Request;
+
+    fn snapshot(outstanding: u64, weight: f64) -> ReplicaSnapshot {
+        ReplicaSnapshot {
+            now_s: 0.0,
+            in_flight: 0,
+            queued: 0,
+            max_batch: 8,
+            outstanding_tokens: outstanding,
+            kv_reserved_bytes: 0,
+            kv_capacity_bytes: 1 << 30,
+            weight,
+            resident_history_tokens: 0,
+            accepting: true,
+        }
+    }
+
+    fn request(history: u64) -> PendingRequest {
+        PendingRequest {
+            request: Request {
+                id: 1,
+                arrival_s: 0.0,
+                input_len: 128,
+                output_len: 16,
+            },
+            tier: 0,
+            priority: 0,
+            deadline_s: f64::INFINITY,
+            conversation: 1,
+            round: if history > 0 { 2 } else { 1 },
+            history_tokens: history,
+            skipped: 0,
+        }
+    }
+
+    #[test]
+    fn round_robin_cycles() {
+        let mut rr = RoundRobin::default();
+        let snaps = vec![snapshot(0, 1.0); 3];
+        let picks: Vec<usize> = (0..7).map(|_| rr.route(&request(0), &snaps)).collect();
+        assert_eq!(picks, vec![0, 1, 2, 0, 1, 2, 0]);
+    }
+
+    #[test]
+    fn least_outstanding_balances_by_weighted_queue_depth() {
+        let mut jsq = LeastOutstandingWork;
+        // Queue depth dominates: 2 committed requests beat 5, whatever
+        // the token backlogs say.
+        let mut deep = snapshot(100, 1.0);
+        deep.in_flight = 5;
+        let mut shallow = snapshot(900, 1.0);
+        shallow.in_flight = 1;
+        shallow.queued = 1;
+        assert_eq!(jsq.route(&request(0), &[deep, shallow]), 1);
+        // Equal depths fall back to the token tiebreak.
+        let snaps = vec![snapshot(500, 1.0), snapshot(100, 1.0), snapshot(300, 1.0)];
+        assert_eq!(jsq.route(&request(0), &snaps), 1);
+        // A replica twice as fast absorbs twice the committed work: 4
+        // slots at weight 2 beat 3 slots at weight 1.
+        let mut fast = snapshot(0, 2.0);
+        fast.in_flight = 4;
+        let mut slow = snapshot(0, 1.0);
+        slow.in_flight = 3;
+        assert_eq!(jsq.route(&request(0), &[fast, slow]), 0);
+        // Ties go to the lowest index, deterministically.
+        let tied = vec![snapshot(100, 1.0), snapshot(100, 1.0)];
+        assert_eq!(jsq.route(&request(0), &tied), 0);
+    }
+
+    #[test]
+    fn affinity_pins_followups_to_the_kv_holder() {
+        let mut aff = SessionAffinity::default();
+        let mut snaps = vec![snapshot(500, 1.0), snapshot(10, 1.0)];
+        snaps[0].resident_history_tokens = 64;
+        // The follow-up returns to its KV even though replica 1 is
+        // nearly idle ...
+        assert_eq!(aff.route(&request(64), &snaps), 0);
+        // ... but a fresh request load-balances.
+        assert_eq!(aff.route(&request(0), &snaps), 1);
+        // An evicted history (no holder) also load-balances.
+        snaps[0].resident_history_tokens = 0;
+        assert_eq!(aff.route(&request(64), &snaps), 1);
+    }
+
+    #[test]
+    fn affinity_spills_off_a_saturated_holder() {
+        let mut aff = SessionAffinity::with_spill(1.5);
+        let mut snaps = vec![snapshot(500, 1.0), snapshot(10, 1.0)];
+        snaps[0].resident_history_tokens = 64;
+        snaps[0].in_flight = 8;
+        snaps[0].queued = 3;
+        // 11 committed slots over 8 = 1.375 batches: still pinned.
+        assert_eq!(aff.route(&request(64), &snaps), 0);
+        snaps[0].queued = 5;
+        // 13/8 = 1.625 > 1.5: spill to the least-loaded replica.
+        assert_eq!(aff.route(&request(64), &snaps), 1);
+    }
+
+    #[test]
+    fn affinity_pins_to_the_longest_resident_prefix() {
+        // Two replicas hold prefixes of the same conversation (a stale
+        // park from round 1 and the current round-2 history): the
+        // follow-up goes to the fuller one, whatever the load says.
+        let mut aff = SessionAffinity::default();
+        let mut snaps = vec![snapshot(500, 1.0), snapshot(10, 1.0), snapshot(0, 1.0)];
+        snaps[0].resident_history_tokens = 68; // stale round-1 prefix
+        snaps[2].resident_history_tokens = 88; // current history
+        assert_eq!(aff.route(&request(88), &snaps), 2);
+        // If the fuller holder stops accepting, the stale prefix still
+        // beats a re-prefill.
+        snaps[2].accepting = false;
+        assert_eq!(aff.route(&request(88), &snaps), 0);
+    }
+
+    #[test]
+    fn routers_skip_non_accepting_replicas() {
+        // A stage-capped replica must stop receiving work while any
+        // live replica remains.
+        let mut snaps = vec![snapshot(0, 1.0), snapshot(500, 1.0), snapshot(400, 1.0)];
+        snaps[0].accepting = false;
+        let mut rr = RoundRobin::default();
+        let picks: Vec<usize> = (0..4).map(|_| rr.route(&request(0), &snaps)).collect();
+        assert_eq!(picks, vec![1, 2, 1, 2], "rotation skips the capped replica");
+        // JSQ ignores the capped replica's tempting empty queue.
+        assert_eq!(LeastOutstandingWork.route(&request(0), &snaps), 2);
+        // With the whole fleet capped the pick is total (run is
+        // truncating anyway).
+        for s in snaps.iter_mut() {
+            s.accepting = false;
+        }
+        assert_eq!(LeastOutstandingWork.route(&request(0), &snaps), 0);
+        let _ = RoundRobin::default().route(&request(0), &snaps);
+    }
+
+    #[test]
+    fn kinds_build_their_routers() {
+        for kind in RouterKind::ALL {
+            assert_eq!(kind.build().name(), kind.name());
+        }
+    }
+}

@@ -25,6 +25,13 @@
 //! [`StageDelta`] fast path: pure-decode stages price in O(1), mixed
 //! admit/retire stages fall back to the grouped full path.
 //!
+//! Internally the run is split into two pieces the cluster scheduler
+//! ([`crate::cluster`]) reuses verbatim: a `ScenarioStream` owning
+//! the arrival process, tier draws and follow-up spawning, and a
+//! `ReplicaSim` owning one continuous-batching event loop (queues,
+//! KV accounting, stage formation, metrics). A plain
+//! [`ScenarioSimulation`] is exactly a one-replica cluster.
+//!
 //! # Reused prefixes price exactly
 //!
 //! A reuse-admitted follow-up prefills only its suffix but decodes over
@@ -48,6 +55,13 @@
 //! of one long one. Throughput is nearly unchanged (the same tokens are
 //! processed; only per-chunk launch overheads repeat), while the
 //! mixed-stage TBT p99 drops by roughly the prompt/chunk ratio.
+//!
+//! A fixed budget throttles prefill bandwidth even when nobody is
+//! decoding; [`Scenario::with_prefill_chunk_adaptive`] instead scales
+//! the budget with the current decode-batch occupancy (see
+//! [`AdaptiveChunk`]), spending idle stages on big prefill slices and
+//! tightening the budget only when a full decode cohort is exposed to
+//! the prefill stall.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -62,6 +76,7 @@ use crate::metrics::{
 use crate::policy::{PolicyContext, SchedulingPolicy};
 use crate::request::{Request, RequestRecord};
 use crate::scheduler::{SimulationConfig, StageExecutor};
+use crate::trace::TraceRecorder;
 use crate::workload::{exp_sample, sample_len, Arrivals, RequestSource, Workload};
 
 /// One service tier: a share of traffic, a priority, and deadlines.
@@ -134,6 +149,33 @@ impl ConversationSpec {
     }
 }
 
+/// A per-stage prefill budget that adapts to decode occupancy: a full
+/// decode cohort gets the latency-protecting `min_tokens` budget, an
+/// idle batch gets `max_tokens` of prefill bandwidth, and occupancies
+/// in between interpolate linearly. This closes the fixed-chunk
+/// throughput gap near saturation noted in
+/// `duplex::experiments::scenario_suite`: the fixed budget throttles
+/// prefill even when no decoding request would feel the stall.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdaptiveChunk {
+    /// Budget when every batch slot is decoding (most TBT-sensitive).
+    pub min_tokens: u64,
+    /// Budget when nothing is decoding (prefill bandwidth is free).
+    pub max_tokens: u64,
+}
+
+impl AdaptiveChunk {
+    /// The stage budget at `decoding` active requests out of
+    /// `max_batch` slots: linear from `max_tokens` (idle) down to
+    /// `min_tokens` (full).
+    pub fn budget(&self, decoding: usize, max_batch: usize) -> u64 {
+        let slots = max_batch.max(1) as u64;
+        let occupied = (decoding as u64).min(slots);
+        let span = self.max_tokens - self.min_tokens;
+        (self.max_tokens - span * occupied / slots).max(1)
+    }
+}
+
 /// A complete serving scenario: shapes, arrivals, conversations, SLOs.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Scenario {
@@ -155,6 +197,9 @@ pub struct Scenario {
     /// [module docs](self)). 0 disables chunking (whole-prompt
     /// prefills, the paper's behavior).
     pub prefill_chunk: u64,
+    /// Occupancy-adaptive prefill budget; overrides the fixed
+    /// [`Scenario::prefill_chunk`] when set.
+    pub adaptive_chunk: Option<AdaptiveChunk>,
 }
 
 impl Scenario {
@@ -168,6 +213,7 @@ impl Scenario {
             conversation: None,
             tiers: Vec::new(),
             prefill_chunk: 0,
+            adaptive_chunk: None,
         }
     }
 
@@ -184,9 +230,53 @@ impl Scenario {
         self
     }
 
+    /// Scale the per-stage prefill budget with decode occupancy: from
+    /// `max_tokens` when the batch is idle down to `min_tokens` when
+    /// every slot decodes (see [`AdaptiveChunk`]).
+    pub fn with_prefill_chunk_adaptive(mut self, min_tokens: u64, max_tokens: u64) -> Self {
+        assert!(min_tokens > 0, "adaptive chunk floor must be positive");
+        assert!(
+            max_tokens >= min_tokens,
+            "adaptive chunk ceiling below its floor"
+        );
+        self.adaptive_chunk = Some(AdaptiveChunk {
+            min_tokens,
+            max_tokens,
+        });
+        self
+    }
+
     /// Attach SLO tiers.
     pub fn with_tiers(mut self, tiers: Vec<SloTier>) -> Self {
         self.tiers = tiers;
+        self
+    }
+
+    /// Whether any stage may carry a prefill budget (fixed or
+    /// adaptive).
+    pub fn chunked(&self) -> bool {
+        self.prefill_chunk > 0 || self.adaptive_chunk.is_some()
+    }
+
+    /// Validate the scenario and clamp its request count to the trace
+    /// length under replay — the shared front door of
+    /// [`ScenarioSimulation::new`] and
+    /// [`crate::cluster::ClusterSimulation::new`], so the two entry
+    /// points cannot drift.
+    ///
+    /// # Panics
+    ///
+    /// Panics when tiers are declared with a non-positive total
+    /// weight.
+    pub(crate) fn normalized(mut self) -> Self {
+        if let Arrivals::Trace { requests } = &self.arrivals {
+            self.requests = self.requests.min(requests.len());
+        }
+        let total_weight: f64 = self.tiers.iter().map(|t| t.weight).sum();
+        assert!(
+            self.tiers.is_empty() || total_weight > 0.0,
+            "tier weights must sum to a positive value"
+        );
         self
     }
 
@@ -234,8 +324,7 @@ pub struct PendingRequest {
 #[derive(Debug)]
 struct ActiveRequest {
     pending: PendingRequest,
-    /// Tokens actually prefilled at admission (= input_len, or the new
-    /// suffix under prefix reuse).
+    /// Tokens actually generated so far.
     generated: u64,
     first_token_s: f64,
 }
@@ -263,402 +352,152 @@ impl ActiveRequest {
     }
 }
 
-/// A configured scenario run, ready for a policy and an executor.
-#[derive(Debug)]
-pub struct ScenarioSimulation {
-    config: SimulationConfig,
-    scenario: Scenario,
+/// The scenario-global side of a run: the arrival process, tier draws,
+/// follow-up spawning and (optionally) trace recording. One stream
+/// feeds every replica of a cluster; the replicas never touch RNG, so
+/// the draw order — and with it seeded determinism — is fixed by the
+/// global event order alone.
+pub(crate) struct ScenarioStream<'a> {
+    workload: Workload,
+    conversation: Option<ConversationSpec>,
+    tiers: Vec<SloTier>,
+    tier_weight_total: f64,
+    source: RequestSource,
+    rng: StdRng,
+    drawn: usize,
+    requests: usize,
+    next_id: u64,
+    peeked: Option<Request>,
+    /// Follow-ups not yet arrived, sorted by descending arrival time
+    /// (pop from the back).
+    followups: Vec<PendingRequest>,
+    recorder: Option<&'a mut TraceRecorder>,
 }
 
-impl ScenarioSimulation {
-    /// Bind a scenario to scheduler limits. Under trace replay the
-    /// request count is clamped to the trace length.
-    pub fn new(config: SimulationConfig, scenario: Scenario) -> Self {
-        let mut scenario = scenario;
-        if let Arrivals::Trace { requests } = &scenario.arrivals {
-            scenario.requests = scenario.requests.min(requests.len());
-        }
+impl<'a> ScenarioStream<'a> {
+    pub(crate) fn new(scenario: &Scenario, recorder: Option<&'a mut TraceRecorder>) -> Self {
         let total_weight: f64 = scenario.tiers.iter().map(|t| t.weight).sum();
         assert!(
             scenario.tiers.is_empty() || total_weight > 0.0,
             "tier weights must sum to a positive value"
         );
-        Self { config, scenario }
-    }
-
-    /// Run to completion (or the stage cap) under `policy` and report.
-    pub fn run<E: StageExecutor + ?Sized>(
-        self,
-        policy: &mut dyn SchedulingPolicy,
-        executor: &mut E,
-    ) -> SimReport {
-        let Self { config, scenario } = self;
-        let bytes_per_token = config.kv_bytes_per_token;
-        let mut source = RequestSource::new(scenario.workload.clone(), scenario.arrivals.clone());
-        // Scenario-side draws (tier assignment, think times, follow-up
-        // lengths) use an independent stream so they never perturb the
-        // arrival process.
-        let mut rng = StdRng::seed_from_u64(scenario.workload.seed ^ 0x5C3A_A110);
-        let mut drawn = 0usize;
-        let mut next_id = scenario.requests as u64;
-        let mut peeked: Option<Request> = None;
-        // Follow-ups not yet arrived, sorted by descending arrival time
-        // (pop from the back).
-        let mut followups: Vec<PendingRequest> = Vec::new();
-        let mut pending: Vec<PendingRequest> = Vec::new();
-        let mut active: Vec<ActiveRequest> = Vec::new();
-        let mut admitted: Vec<ActiveRequest> = Vec::new();
-        // Requests mid-way through a chunked prompt prefill, in
-        // admission order (each stage continues them FIFO).
-        let mut chunking: Vec<ChunkingRequest> = Vec::new();
-        // Whether deltas must carry decode-join contexts: reuse
-        // admissions and chunked final slices join above their
-        // prefilled length.
-        let announce_ctx = scenario.conversation.is_some() || scenario.prefill_chunk > 0;
-        // Reused per-stage tier-occupancy counts for per-tier TBT.
-        let mut tier_active: Vec<u64> = vec![0; scenario.tiers.len()];
-        let mut completed: Vec<RequestRecord> = Vec::new();
-        let mut stages: Vec<StageRecord> = Vec::new();
-        let mut stage_stats = StageStats::default();
-        let mut tbt_digest = LatencyDigest::default();
-        let mut tier_stats: Vec<TierStats> = scenario
-            .tiers
-            .iter()
-            .map(|t| TierStats {
-                name: t.name.clone(),
-                t2ft_deadline_s: t.t2ft_deadline_s,
-                tbt_deadline_s: t.tbt_deadline_s,
-                ..TierStats::default()
-            })
-            .collect();
-        let tier_weight_total: f64 = scenario.tiers.iter().map(|t| t.weight).sum();
-        let mut kv_reuse = KvReuseStats::default();
-        // Finished conversations' KV, parked between turns. Recompute
-        // policy: an evicted history is simply re-prefilled.
-        let mut parked = scenario.conversation.as_ref().map(|spec| {
-            PagedKvCache::new(
-                config.kv_capacity_bytes,
-                spec.page_tokens,
-                bytes_per_token.max(1),
-                EvictionPolicy::Recompute,
-            )
-        });
-        let mut reserved: u64 = 0;
-        let mut clock = 0.0f64;
-        let mut delta = StageDelta::start();
-        let mut shape = StageShape::default();
-
-        loop {
-            if (stage_stats.stages as usize) >= config.max_stages {
-                break;
-            }
-            // ---- pull arrivals into the waiting queue ----
-            loop {
-                if peeked.is_none() && drawn < scenario.requests {
-                    peeked = Some(source.next_request());
-                    drawn += 1;
-                }
-                match &peeked {
-                    Some(r) if r.arrival_s <= clock => {
-                        let request = peeked.take().expect("peeked request exists");
-                        let tier = draw_tier(&scenario.tiers, tier_weight_total, &mut rng);
-                        pending.push(make_pending(request, tier, &scenario.tiers));
-                    }
-                    _ => break,
-                }
-            }
-            while followups
-                .last()
-                .is_some_and(|f| f.request.arrival_s <= clock)
-            {
-                pending.push(followups.pop().expect("checked non-empty"));
-            }
-
-            // ---- per-stage prefill token budget (chunked prefill) ----
-            let mut budget = if scenario.prefill_chunk == 0 {
-                u64::MAX
-            } else {
-                scenario.prefill_chunk
-            };
-
-            // ---- continue in-flight chunked prompts, FIFO ----
-            let mut ci = 0;
-            while ci < chunking.len() && budget > 0 {
-                let c = &mut chunking[ci];
-                let remaining = c.prefill_total - c.processed;
-                let slice = remaining.min(budget);
-                let past = c.history + c.processed;
-                budget -= slice;
-                if slice == remaining {
-                    // Final slice: samples the first token and joins the
-                    // decode set at the full prompt context.
-                    delta.admit.push(slice);
-                    if announce_ctx {
-                        delta.admit_ctx.push(c.pending.request.input_len);
-                    }
-                    shape.push_prefill(slice, past, false);
-                    let done = chunking.remove(ci);
-                    admitted.push(ActiveRequest {
-                        pending: done.pending,
-                        generated: 0,
-                        first_token_s: 0.0,
-                    });
-                } else {
-                    delta.chunk.push((slice, past));
-                    shape.push_prefill(slice, past, true);
-                    c.processed += slice;
-                    ci += 1;
-                }
-            }
-
-            // ---- policy-driven admission ----
-            let pctx = PolicyContext {
-                now_s: clock,
-                prefill_chunk: (scenario.prefill_chunk > 0).then_some(scenario.prefill_chunk),
-            };
-            while active.len() + admitted.len() + chunking.len() < config.max_batch
-                && !pending.is_empty()
-                && budget > 0
-            {
-                let idx = policy.pick(&pending, &pctx);
-                assert!(
-                    idx < pending.len(),
-                    "policy picked index {idx} of {}",
-                    pending.len()
-                );
-                let need = pending[idx].request.max_kv_tokens() * bytes_per_token;
-                if reserved.saturating_add(need) > config.kv_capacity_bytes {
-                    // Even evicting every parked history cannot admit:
-                    // wait for retirements (head-of-line block).
-                    assert!(
-                        !(active.is_empty()
-                            && admitted.is_empty()
-                            && chunking.is_empty()
-                            && reserved == 0),
-                        "request {} needs {need} KV bytes, capacity {}",
-                        pending[idx].request.id,
-                        config.kv_capacity_bytes
-                    );
-                    break;
-                }
-                let p = pending.swap_remove(idx);
-                // Everyone still waiting was passed over by this
-                // admission: the aging signal for starvation guards.
-                for q in pending.iter_mut() {
-                    q.skipped += 1;
-                }
-                // Reuse-aware accounting: claim a resident history (its
-                // bytes migrate from the parked pool into the active
-                // reservation), then evict other parked histories until
-                // the new reservation fits.
-                let mut prefill = p.request.input_len;
-                if let Some(cache) = parked.as_mut() {
-                    if p.history_tokens > 0 {
-                        if cache.is_resident(p.conversation) {
-                            cache.release(p.conversation);
-                            prefill = p.request.input_len - p.history_tokens;
-                            kv_reuse.reuse_hits += 1;
-                            kv_reuse.reused_prefill_tokens += p.history_tokens;
-                        } else {
-                            kv_reuse.reuse_misses += 1;
-                        }
-                    }
-                    while reserved + cache.resident_bytes() + need > config.kv_capacity_bytes {
-                        cache
-                            .evict_one()
-                            .expect("over budget implies a parked victim");
-                        kv_reuse.parked_evictions += 1;
-                    }
-                }
-                kv_reuse.prefilled_tokens += prefill;
-                reserved += need;
-                // The new tokens cross-attend over any reused history.
-                let resident = p.request.input_len - prefill;
-                let slice = prefill.min(budget);
-                budget -= slice;
-                if slice < prefill {
-                    // Prompt longer than the remaining budget: start
-                    // chunking — this slice attends, writes KV, holds.
-                    delta.chunk.push((slice, resident));
-                    shape.push_prefill(slice, resident, true);
-                    chunking.push(ChunkingRequest {
-                        pending: p,
-                        history: resident,
-                        processed: slice,
-                        prefill_total: prefill,
-                    });
-                } else {
-                    delta.admit.push(prefill);
-                    if announce_ctx {
-                        delta.admit_ctx.push(p.request.input_len);
-                    }
-                    shape.push_prefill(prefill, resident, false);
-                    admitted.push(ActiveRequest {
-                        pending: p,
-                        generated: 0,
-                        first_token_s: 0.0,
-                    });
-                }
-            }
-
-            if active.is_empty() && admitted.is_empty() && chunking.is_empty() {
-                // Idle: jump to the next arrival, if any.
-                let next_source = peeked.as_ref().map(|r| r.arrival_s);
-                let next_follow = followups.last().map(|f| f.request.arrival_s);
-                let next = match (next_source, next_follow) {
-                    (Some(a), Some(b)) => a.min(b),
-                    (Some(a), None) => a,
-                    (None, Some(b)) => b,
-                    (None, None) => break,
-                };
-                clock = clock.max(next);
-                shape.clear_prefills();
-                continue;
-            }
-
-            // ---- execute the stage ----
-            shape.decode_ctx.clear();
-            shape
-                .decode_ctx
-                .extend(active.iter().map(ActiveRequest::decode_ctx));
-            debug_assert_eq!(shape.prefill_len.len(), admitted.len() + delta.chunk.len());
-            let outcome = executor.execute_delta(&delta, &shape);
-            delta.clear();
-            clock += outcome.seconds;
-            let record = StageRecord {
-                seconds: outcome.seconds,
-                mixed: shape.is_mixed(),
-                batch: shape.batch_size(),
-                tokens: shape.tokens(),
-            };
-            stage_stats.record(&record);
-            if config.record_stages {
-                stages.push(record);
-            }
-            shape.clear_prefills();
-
-            tbt_digest.record_n(outcome.seconds, active.len() as u64);
-            if !tier_stats.is_empty() {
-                tier_active.iter_mut().for_each(|c| *c = 0);
-                for a in &active {
-                    tier_active[a.pending.tier] += 1;
-                }
-                for (stats, &n) in tier_stats.iter_mut().zip(&tier_active) {
-                    stats.tbt_digest.record_n(outcome.seconds, n);
-                }
-            }
-            for a in &mut active {
-                a.generated += 1;
-            }
-            for mut a in admitted.drain(..) {
-                a.generated = 1;
-                a.first_token_s = clock;
-                active.push(a);
-            }
-
-            // ---- retire, account SLOs, spawn follow-ups ----
-            let mut i = 0;
-            while i < active.len() {
-                if active[i].generated < active[i].pending.request.output_len {
-                    i += 1;
-                    continue;
-                }
-                let done = active.swap_remove(i);
-                reserved -= done.kv_reserved(bytes_per_token);
-                delta.retire.push(done.decode_ctx());
-                let record = RequestRecord {
-                    first_token_s: done.first_token_s,
-                    last_token_s: clock,
-                    tokens: done.generated,
-                    request: done.pending.request,
-                };
-                if !tier_stats.is_empty() {
-                    let tier = &scenario.tiers[done.pending.tier];
-                    let stats = &mut tier_stats[done.pending.tier];
-                    stats.completed += 1;
-                    let met_t2ft = record.t2ft() <= tier.t2ft_deadline_s;
-                    let met_tbt =
-                        tier.tbt_deadline_s == 0.0 || record.mean_tbt() <= tier.tbt_deadline_s;
-                    if met_t2ft && met_tbt {
-                        stats.met += 1;
-                        stats.good_tokens += record.tokens;
-                    }
-                }
-                if let (Some(spec), Some(cache)) = (&scenario.conversation, parked.as_mut()) {
-                    let continues = done.pending.round < spec.max_rounds
-                        && rng.random::<f64>() < spec.followup_prob;
-                    if continues {
-                        let history = done.pending.request.input_len + done.generated;
-                        // Park the history; if it cannot fit alone the
-                        // follow-up simply re-prefills.
-                        if let Ok(events) = cache.admit(done.pending.conversation, history) {
-                            kv_reuse.parked_evictions += events.len() as u64
-                        }
-                        let think = exp_sample(&mut rng, 1.0 / spec.mean_think_s);
-                        let turn = sample_len(&mut rng, spec.turn_tokens, scenario.workload.cv);
-                        let output = sample_len(
-                            &mut rng,
-                            scenario.workload.mean_output,
-                            scenario.workload.cv,
-                        );
-                        let request = Request {
-                            id: next_id,
-                            arrival_s: clock + think,
-                            input_len: history + turn,
-                            output_len: output,
-                        };
-                        next_id += 1;
-                        let follow = PendingRequest {
-                            deadline_s: request.arrival_s
-                                + scenario
-                                    .tiers
-                                    .get(done.pending.tier)
-                                    .map_or(f64::INFINITY, |t| t.t2ft_deadline_s),
-                            request,
-                            tier: done.pending.tier,
-                            priority: done.pending.priority,
-                            conversation: done.pending.conversation,
-                            round: done.pending.round + 1,
-                            history_tokens: history,
-                            skipped: 0,
-                        };
-                        // Keep descending arrival order (pop from back).
-                        let pos = followups
-                            .partition_point(|f| f.request.arrival_s > follow.request.arrival_s);
-                        followups.insert(pos, follow);
-                    } else {
-                        // The conversation is over; drop any parked KV.
-                        cache.release(done.pending.conversation);
-                    }
-                }
-                completed.push(record);
-            }
-        }
-
-        SimReport {
-            completed,
-            stages,
-            stage_stats,
-            tbt_digest,
-            total_time_s: clock,
-            slo: SloStats { tiers: tier_stats },
-            kv_reuse,
+        Self {
+            workload: scenario.workload.clone(),
+            conversation: scenario.conversation,
+            tiers: scenario.tiers.clone(),
+            tier_weight_total: total_weight,
+            source: RequestSource::new(scenario.workload.clone(), scenario.arrivals.clone()),
+            // Scenario-side draws (tier assignment, think times,
+            // follow-up lengths) use an independent stream so they
+            // never perturb the arrival process.
+            rng: StdRng::seed_from_u64(scenario.workload.seed ^ 0x5C3A_A110),
+            drawn: 0,
+            requests: scenario.requests,
+            next_id: scenario.requests as u64,
+            peeked: None,
+            followups: Vec::new(),
+            recorder,
         }
     }
-}
 
-fn draw_tier(tiers: &[SloTier], weight_total: f64, rng: &mut StdRng) -> usize {
-    if tiers.is_empty() {
-        return 0;
+    fn peek_source(&mut self) -> Option<&Request> {
+        if self.peeked.is_none() && self.drawn < self.requests {
+            self.peeked = Some(self.source.next_request());
+            self.drawn += 1;
+        }
+        self.peeked.as_ref()
     }
-    let mut u: f64 = rng.random::<f64>() * weight_total;
-    for (i, t) in tiers.iter().enumerate() {
-        u -= t.weight;
-        if u < 0.0 {
-            return i;
+
+    /// Arrival time of the next request (source or follow-up), if any.
+    pub(crate) fn next_arrival_time(&mut self) -> Option<f64> {
+        let source = self.peek_source().map(|r| r.arrival_s);
+        let follow = self.followups.last().map(|f| f.request.arrival_s);
+        match (source, follow) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (Some(a), None) => Some(a),
+            (None, Some(b)) => Some(b),
+            (None, None) => None,
         }
     }
-    tiers.len() - 1
+
+    /// Pop the earliest pending arrival (source wins exact ties so the
+    /// one-replica cluster reproduces the plain scheduler's queue
+    /// order), drawing its tier when it comes from the source.
+    pub(crate) fn pop_next(&mut self) -> Option<PendingRequest> {
+        let source = self.peek_source().map(|r| r.arrival_s);
+        let follow = self.followups.last().map(|f| f.request.arrival_s);
+        let from_source = match (source, follow) {
+            (Some(a), Some(b)) => a <= b,
+            (Some(_), None) => true,
+            (None, Some(_)) => false,
+            (None, None) => return None,
+        };
+        let pending = if from_source {
+            let request = self.peeked.take().expect("peeked request exists");
+            let tier = self.draw_tier();
+            make_pending(request, tier, &self.tiers)
+        } else {
+            self.followups.pop().expect("checked non-empty")
+        };
+        if let Some(rec) = self.recorder.as_deref_mut() {
+            rec.record_request(&pending.request);
+        }
+        Some(pending)
+    }
+
+    fn draw_tier(&mut self) -> usize {
+        if self.tiers.is_empty() {
+            return 0;
+        }
+        let mut u: f64 = self.rng.random::<f64>() * self.tier_weight_total;
+        for (i, t) in self.tiers.iter().enumerate() {
+            u -= t.weight;
+            if u < 0.0 {
+                return i;
+            }
+        }
+        self.tiers.len() - 1
+    }
+
+    /// Roll the continuation die for a finished round.
+    fn roll_followup(&mut self, prob: f64) -> bool {
+        self.rng.random::<f64>() < prob
+    }
+
+    /// Draw think time and lengths for the next round and queue the
+    /// follow-up (absolute arrival time).
+    fn spawn_followup(&mut self, done: &PendingRequest, history: u64, now_s: f64) {
+        let spec = self.conversation.expect("spawn requires a conversation");
+        let think = exp_sample(&mut self.rng, 1.0 / spec.mean_think_s);
+        let turn = sample_len(&mut self.rng, spec.turn_tokens, self.workload.cv);
+        let output = sample_len(&mut self.rng, self.workload.mean_output, self.workload.cv);
+        let request = Request {
+            id: self.next_id,
+            arrival_s: now_s + think,
+            input_len: history + turn,
+            output_len: output,
+        };
+        self.next_id += 1;
+        let follow = PendingRequest {
+            deadline_s: request.arrival_s
+                + self
+                    .tiers
+                    .get(done.tier)
+                    .map_or(f64::INFINITY, |t| t.t2ft_deadline_s),
+            request,
+            tier: done.tier,
+            priority: done.priority,
+            conversation: done.conversation,
+            round: done.round + 1,
+            history_tokens: history,
+            skipped: 0,
+        };
+        // Keep descending arrival order (pop from back).
+        let pos = self
+            .followups
+            .partition_point(|f| f.request.arrival_s > follow.request.arrival_s);
+        self.followups.insert(pos, follow);
+    }
 }
 
 fn make_pending(request: Request, tier: usize, tiers: &[SloTier]) -> PendingRequest {
@@ -677,11 +516,547 @@ fn make_pending(request: Request, tier: usize, tiers: &[SloTier]) -> PendingRequ
     }
 }
 
+/// One replica's continuous-batching event loop: routed requests enter
+/// through [`ReplicaSim::enqueue`], [`ReplicaSim::step`] forms and
+/// executes one stage, and the accumulated metrics leave through
+/// [`ReplicaSim::into_report`]. The plain [`ScenarioSimulation`] is a
+/// one-replica instance of exactly this machine.
+pub(crate) struct ReplicaSim {
+    config: SimulationConfig,
+    tiers: Vec<SloTier>,
+    conversation: Option<ConversationSpec>,
+    prefill_chunk: u64,
+    adaptive_chunk: Option<AdaptiveChunk>,
+    /// Whether deltas must carry decode-join contexts: reuse
+    /// admissions and chunked final slices join above their prefilled
+    /// length.
+    announce_ctx: bool,
+    /// Routed requests not yet folded into the waiting queue, sorted
+    /// by descending arrival time (pop from the back).
+    inbox: Vec<PendingRequest>,
+    pending: Vec<PendingRequest>,
+    active: Vec<ActiveRequest>,
+    admitted: Vec<ActiveRequest>,
+    /// Requests mid-way through a chunked prompt prefill, in admission
+    /// order (each stage continues them FIFO).
+    chunking: Vec<ChunkingRequest>,
+    /// Finished conversations' KV, parked between turns. Recompute
+    /// policy: an evicted history is simply re-prefilled.
+    parked: Option<PagedKvCache>,
+    reserved: u64,
+    clock: f64,
+    delta: StageDelta,
+    shape: StageShape,
+    completed: Vec<RequestRecord>,
+    stages: Vec<StageRecord>,
+    stage_stats: StageStats,
+    tbt_digest: LatencyDigest,
+    tier_stats: Vec<TierStats>,
+    /// Reused per-stage tier-occupancy counts for per-tier TBT.
+    tier_active: Vec<u64>,
+    kv_reuse: KvReuseStats,
+}
+
+impl ReplicaSim {
+    pub(crate) fn new(config: SimulationConfig, scenario: &Scenario) -> Self {
+        let parked = scenario.conversation.as_ref().map(|spec| {
+            PagedKvCache::new(
+                config.kv_capacity_bytes,
+                spec.page_tokens,
+                config.kv_bytes_per_token.max(1),
+                EvictionPolicy::Recompute,
+            )
+        });
+        let tier_stats: Vec<TierStats> = scenario
+            .tiers
+            .iter()
+            .map(|t| TierStats {
+                name: t.name.clone(),
+                t2ft_deadline_s: t.t2ft_deadline_s,
+                tbt_deadline_s: t.tbt_deadline_s,
+                ..TierStats::default()
+            })
+            .collect();
+        Self {
+            tiers: scenario.tiers.clone(),
+            conversation: scenario.conversation,
+            prefill_chunk: scenario.prefill_chunk,
+            adaptive_chunk: scenario.adaptive_chunk,
+            announce_ctx: scenario.conversation.is_some() || scenario.chunked(),
+            inbox: Vec::new(),
+            pending: Vec::new(),
+            active: Vec::new(),
+            admitted: Vec::new(),
+            chunking: Vec::new(),
+            parked,
+            reserved: 0,
+            clock: 0.0,
+            delta: StageDelta::start(),
+            shape: StageShape::default(),
+            completed: Vec::new(),
+            stages: Vec::new(),
+            stage_stats: StageStats::default(),
+            tbt_digest: LatencyDigest::default(),
+            tier_active: vec![0; tier_stats.len()],
+            tier_stats,
+            kv_reuse: KvReuseStats::default(),
+            config,
+        }
+    }
+
+    /// Hand a routed request to this replica.
+    pub(crate) fn enqueue(&mut self, p: PendingRequest) {
+        let pos = self
+            .inbox
+            .partition_point(|q| q.request.arrival_s > p.request.arrival_s);
+        self.inbox.insert(pos, p);
+    }
+
+    fn in_flight(&self) -> bool {
+        !self.active.is_empty() || !self.chunking.is_empty() || !self.admitted.is_empty()
+    }
+
+    /// Whether the stage cap still allows this replica to run.
+    pub(crate) fn can_accept(&self) -> bool {
+        (self.stage_stats.stages as usize) < self.config.max_stages
+    }
+
+    /// When this replica's next stage would start: its clock while it
+    /// has work, the earliest routed arrival while idle, `None` when
+    /// drained (or stage-capped).
+    pub(crate) fn next_start(&self) -> Option<f64> {
+        if !self.can_accept() {
+            return None;
+        }
+        if self.in_flight() || !self.pending.is_empty() {
+            return Some(self.clock);
+        }
+        self.inbox
+            .last()
+            .map(|p| self.clock.max(p.request.arrival_s))
+    }
+
+    /// Resident tokens of this conversation's parked history in this
+    /// replica's KV pool (0 when absent) — the session-affinity
+    /// routing signal. A stale entry from an earlier round reports its
+    /// own (shorter) prefix length.
+    pub(crate) fn resident_history(&self, conversation: u64) -> u64 {
+        self.parked
+            .as_ref()
+            .and_then(|cache| cache.resident_tokens(conversation))
+            .unwrap_or(0)
+    }
+
+    /// Router-facing load metrics: (in-flight requests, queued
+    /// requests, outstanding work in tokens). A queued follow-up is
+    /// charged the prefill *this* replica would actually run: its
+    /// history counts as reused only up to the prefix parked here —
+    /// a spilled follow-up re-prefills everything, and the load says
+    /// so. Exact O(queue) walk per snapshot; revisit with running
+    /// counters if fleets outgrow the suite's backlog sizes.
+    pub(crate) fn load(&self) -> (usize, usize, u64) {
+        let in_flight = self.active.len() + self.admitted.len() + self.chunking.len();
+        let queued = self.pending.len() + self.inbox.len();
+        let mut tokens: u64 = self
+            .active
+            .iter()
+            .map(|a| a.pending.request.output_len.saturating_sub(a.generated))
+            .sum();
+        tokens += self
+            .chunking
+            .iter()
+            .map(|c| c.prefill_total - c.processed + c.pending.request.output_len)
+            .sum::<u64>();
+        tokens += self
+            .pending
+            .iter()
+            .chain(self.inbox.iter())
+            .map(|p| {
+                let reused = self.resident_history(p.conversation).min(p.history_tokens);
+                p.request.input_len - reused + p.request.output_len
+            })
+            .sum::<u64>();
+        (in_flight, queued, tokens)
+    }
+
+    /// KV bytes reserved by in-flight work, and the replica's budget.
+    pub(crate) fn kv_usage(&self) -> (u64, u64) {
+        (self.reserved, self.config.kv_capacity_bytes)
+    }
+
+    pub(crate) fn clock(&self) -> f64 {
+        self.clock
+    }
+
+    pub(crate) fn max_batch(&self) -> usize {
+        self.config.max_batch
+    }
+
+    /// Form and execute one stage at this replica's `next_start` time.
+    /// Completed conversations roll their follow-up dice on `stream`
+    /// (in retirement order, so the global RNG sequence is
+    /// deterministic) and queue the next round there.
+    pub(crate) fn step<E: StageExecutor + ?Sized>(
+        &mut self,
+        stream: &mut ScenarioStream<'_>,
+        policy: &mut dyn SchedulingPolicy,
+        executor: &mut E,
+    ) {
+        let bytes_per_token = self.config.kv_bytes_per_token;
+        // Idle replicas jump to their earliest routed arrival.
+        if !self.in_flight() && self.pending.is_empty() {
+            if let Some(p) = self.inbox.last() {
+                self.clock = self.clock.max(p.request.arrival_s);
+            }
+        }
+        // ---- fold arrived inbox entries into the waiting queue ----
+        while self
+            .inbox
+            .last()
+            .is_some_and(|p| p.request.arrival_s <= self.clock)
+        {
+            self.pending
+                .push(self.inbox.pop().expect("checked non-empty"));
+        }
+
+        // ---- per-stage prefill token budget (chunked prefill) ----
+        let stage_budget = if let Some(adaptive) = self.adaptive_chunk {
+            adaptive.budget(self.active.len(), self.config.max_batch)
+        } else if self.prefill_chunk == 0 {
+            u64::MAX
+        } else {
+            self.prefill_chunk
+        };
+        let mut budget = stage_budget;
+
+        // ---- continue in-flight chunked prompts, FIFO ----
+        let mut ci = 0;
+        while ci < self.chunking.len() && budget > 0 {
+            let c = &mut self.chunking[ci];
+            let remaining = c.prefill_total - c.processed;
+            let slice = remaining.min(budget);
+            let past = c.history + c.processed;
+            budget -= slice;
+            if slice == remaining {
+                // Final slice: samples the first token and joins the
+                // decode set at the full prompt context.
+                self.delta.admit.push(slice);
+                if self.announce_ctx {
+                    self.delta.admit_ctx.push(c.pending.request.input_len);
+                }
+                self.shape.push_prefill(slice, past, false);
+                let done = self.chunking.remove(ci);
+                self.admitted.push(ActiveRequest {
+                    pending: done.pending,
+                    generated: 0,
+                    first_token_s: 0.0,
+                });
+            } else {
+                self.delta.chunk.push((slice, past));
+                self.shape.push_prefill(slice, past, true);
+                c.processed += slice;
+                ci += 1;
+            }
+        }
+
+        // ---- policy-driven admission ----
+        while self.active.len() + self.admitted.len() + self.chunking.len() < self.config.max_batch
+            && !self.pending.is_empty()
+            && budget > 0
+        {
+            let pctx = PolicyContext {
+                now_s: self.clock,
+                prefill_chunk: (stage_budget != u64::MAX).then_some(stage_budget),
+                in_flight: self.active.len() + self.admitted.len() + self.chunking.len(),
+                max_batch: self.config.max_batch,
+            };
+            let Some(idx) = policy.admit_now(&self.pending, &pctx) else {
+                // Admission control deferred the rest of the queue.
+                assert!(
+                    self.in_flight(),
+                    "policy deferred every admission with an empty batch"
+                );
+                break;
+            };
+            assert!(
+                idx < self.pending.len(),
+                "policy picked index {idx} of {}",
+                self.pending.len()
+            );
+            let need = self.pending[idx].request.max_kv_tokens() * bytes_per_token;
+            if self.reserved.saturating_add(need) > self.config.kv_capacity_bytes {
+                // Even evicting every parked history cannot admit:
+                // wait for retirements (head-of-line block).
+                assert!(
+                    !(self.active.is_empty()
+                        && self.admitted.is_empty()
+                        && self.chunking.is_empty()
+                        && self.reserved == 0),
+                    "request {} needs {need} KV bytes, capacity {}",
+                    self.pending[idx].request.id,
+                    self.config.kv_capacity_bytes
+                );
+                break;
+            }
+            let p = self.pending.swap_remove(idx);
+            // Everyone still waiting was passed over by this
+            // admission: the aging signal for starvation guards.
+            for q in self.pending.iter_mut() {
+                q.skipped += 1;
+            }
+            // Reuse-aware accounting: claim a resident history (its
+            // bytes migrate from the parked pool into the active
+            // reservation), then evict other parked histories until
+            // the new reservation fits.
+            let mut prefill = p.request.input_len;
+            if let Some(cache) = self.parked.as_mut() {
+                if p.history_tokens > 0 {
+                    // The parked entry may be *stale*: in a cluster, an
+                    // earlier round parked here while later rounds ran
+                    // elsewhere. Histories are append-only, so a stale
+                    // entry is a valid prefix — reuse exactly the
+                    // resident tokens, never the full history the
+                    // request wishes were here.
+                    match cache.resident_tokens(p.conversation) {
+                        Some(resident_tokens) => {
+                            let reused = resident_tokens.min(p.history_tokens);
+                            cache.release(p.conversation);
+                            prefill = p.request.input_len - reused;
+                            self.kv_reuse.reuse_hits += 1;
+                            self.kv_reuse.reused_prefill_tokens += reused;
+                        }
+                        None => self.kv_reuse.reuse_misses += 1,
+                    }
+                }
+                while self.reserved + cache.resident_bytes() + need > self.config.kv_capacity_bytes
+                {
+                    cache
+                        .evict_one()
+                        .expect("over budget implies a parked victim");
+                    self.kv_reuse.parked_evictions += 1;
+                }
+            }
+            self.kv_reuse.prefilled_tokens += prefill;
+            self.reserved += need;
+            // The new tokens cross-attend over any reused history.
+            let resident = p.request.input_len - prefill;
+            let slice = prefill.min(budget);
+            budget -= slice;
+            if slice < prefill {
+                // Prompt longer than the remaining budget: start
+                // chunking — this slice attends, writes KV, holds.
+                self.delta.chunk.push((slice, resident));
+                self.shape.push_prefill(slice, resident, true);
+                self.chunking.push(ChunkingRequest {
+                    pending: p,
+                    history: resident,
+                    processed: slice,
+                    prefill_total: prefill,
+                });
+            } else {
+                self.delta.admit.push(prefill);
+                if self.announce_ctx {
+                    self.delta.admit_ctx.push(p.request.input_len);
+                }
+                self.shape.push_prefill(prefill, resident, false);
+                self.admitted.push(ActiveRequest {
+                    pending: p,
+                    generated: 0,
+                    first_token_s: 0.0,
+                });
+            }
+        }
+
+        assert!(
+            self.in_flight(),
+            "step called with no admissible work (queue {} requests)",
+            self.pending.len() + self.inbox.len()
+        );
+
+        // ---- execute the stage ----
+        self.shape.decode_ctx.clear();
+        self.shape
+            .decode_ctx
+            .extend(self.active.iter().map(ActiveRequest::decode_ctx));
+        debug_assert_eq!(
+            self.shape.prefill_len.len(),
+            self.admitted.len() + self.delta.chunk.len()
+        );
+        let outcome = executor.execute_delta(&self.delta, &self.shape);
+        self.delta.clear();
+        self.clock += outcome.seconds;
+        let record = StageRecord {
+            seconds: outcome.seconds,
+            mixed: self.shape.is_mixed(),
+            batch: self.shape.batch_size(),
+            tokens: self.shape.tokens(),
+        };
+        self.stage_stats.record(&record);
+        if self.config.record_stages {
+            self.stages.push(record);
+        }
+        self.shape.clear_prefills();
+
+        self.tbt_digest
+            .record_n(outcome.seconds, self.active.len() as u64);
+        if !self.tier_stats.is_empty() {
+            self.tier_active.iter_mut().for_each(|c| *c = 0);
+            for a in &self.active {
+                self.tier_active[a.pending.tier] += 1;
+            }
+            for (stats, &n) in self.tier_stats.iter_mut().zip(&self.tier_active) {
+                stats.tbt_digest.record_n(outcome.seconds, n);
+            }
+        }
+        for a in &mut self.active {
+            a.generated += 1;
+        }
+        for mut a in self.admitted.drain(..) {
+            a.generated = 1;
+            a.first_token_s = self.clock;
+            self.active.push(a);
+        }
+
+        // ---- retire, account SLOs, spawn follow-ups ----
+        let mut i = 0;
+        while i < self.active.len() {
+            if self.active[i].generated < self.active[i].pending.request.output_len {
+                i += 1;
+                continue;
+            }
+            let done = self.active.swap_remove(i);
+            self.reserved -= done.kv_reserved(bytes_per_token);
+            self.delta.retire.push(done.decode_ctx());
+            let record = RequestRecord {
+                first_token_s: done.first_token_s,
+                last_token_s: self.clock,
+                tokens: done.generated,
+                request: done.pending.request,
+            };
+            if !self.tier_stats.is_empty() {
+                let tier = &self.tiers[done.pending.tier];
+                let stats = &mut self.tier_stats[done.pending.tier];
+                stats.completed += 1;
+                let met_t2ft = record.t2ft() <= tier.t2ft_deadline_s;
+                let met_tbt =
+                    tier.tbt_deadline_s == 0.0 || record.mean_tbt() <= tier.tbt_deadline_s;
+                if met_t2ft && met_tbt {
+                    stats.met += 1;
+                    stats.good_tokens += record.tokens;
+                }
+            }
+            if let (Some(spec), Some(cache)) = (&self.conversation, self.parked.as_mut()) {
+                let continues = done.pending.round < spec.max_rounds
+                    && stream.roll_followup(spec.followup_prob);
+                if continues {
+                    let history = done.pending.request.input_len + done.generated;
+                    // Park the history; if it cannot fit alone the
+                    // follow-up simply re-prefills.
+                    if let Ok(events) = cache.admit(done.pending.conversation, history) {
+                        self.kv_reuse.parked_evictions += events.len() as u64
+                    }
+                    stream.spawn_followup(&done.pending, history, self.clock);
+                } else {
+                    // The conversation is over; drop any parked KV.
+                    cache.release(done.pending.conversation);
+                }
+            }
+            self.completed.push(record);
+        }
+    }
+
+    /// Fold the accumulated metrics into a report.
+    pub(crate) fn into_report(self) -> SimReport {
+        SimReport {
+            completed: self.completed,
+            stages: self.stages,
+            stage_stats: self.stage_stats,
+            tbt_digest: self.tbt_digest,
+            total_time_s: self.clock,
+            slo: SloStats {
+                tiers: self.tier_stats,
+            },
+            kv_reuse: self.kv_reuse,
+        }
+    }
+}
+
+/// A configured scenario run, ready for a policy and an executor.
+#[derive(Debug)]
+pub struct ScenarioSimulation {
+    config: SimulationConfig,
+    scenario: Scenario,
+}
+
+impl ScenarioSimulation {
+    /// Bind a scenario to scheduler limits. Under trace replay the
+    /// request count is clamped to the trace length.
+    pub fn new(config: SimulationConfig, scenario: Scenario) -> Self {
+        Self {
+            config,
+            scenario: scenario.normalized(),
+        }
+    }
+
+    /// Run to completion (or the stage cap) under `policy` and report.
+    pub fn run<E: StageExecutor + ?Sized>(
+        self,
+        policy: &mut dyn SchedulingPolicy,
+        executor: &mut E,
+    ) -> SimReport {
+        self.run_inner(policy, executor, None)
+    }
+
+    /// Run like [`ScenarioSimulation::run`] while recording every
+    /// admitted request (initial arrivals *and* spawned follow-up
+    /// rounds, with absolute arrival times and full prompts) into
+    /// `recorder`, ready for [`crate::Arrivals::Trace`] replay.
+    pub fn run_recording<E: StageExecutor + ?Sized>(
+        self,
+        policy: &mut dyn SchedulingPolicy,
+        executor: &mut E,
+        recorder: &mut TraceRecorder,
+    ) -> SimReport {
+        self.run_inner(policy, executor, Some(recorder))
+    }
+
+    fn run_inner<E: StageExecutor + ?Sized>(
+        self,
+        policy: &mut dyn SchedulingPolicy,
+        executor: &mut E,
+        recorder: Option<&mut TraceRecorder>,
+    ) -> SimReport {
+        let Self { config, scenario } = self;
+        let mut stream = ScenarioStream::new(&scenario, recorder);
+        let mut replica = ReplicaSim::new(config, &scenario);
+        loop {
+            // Deliver every arrival due by the replica's next stage
+            // start (all of them, when it is idle).
+            while let Some(t_a) = stream.next_arrival_time() {
+                match replica.next_start() {
+                    Some(t) if t_a > t => break,
+                    None if !replica.can_accept() => break,
+                    _ => {
+                        let p = stream.pop_next().expect("arrival time implies a request");
+                        replica.enqueue(p);
+                    }
+                }
+            }
+            if replica.next_start().is_none() {
+                break;
+            }
+            replica.step(&mut stream, policy, executor);
+        }
+        replica.into_report()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::policy::{Fcfs, PriorityTiers, ShortestPromptFirst};
     use crate::scheduler::StageOutcome;
+    use crate::trace::parse_trace;
 
     struct Fixed(f64);
     impl StageExecutor for Fixed {
@@ -1088,22 +1463,195 @@ mod tests {
     }
 
     #[test]
-    fn chunked_deltas_replay_to_materialized_shapes() {
-        // The delta/shape contract under chunking + conversations:
-        // decode membership follows admit/retire alone, and each
-        // stage's prefills are exactly the delta's admissions (with
-        // their reuse past) plus its held chunks.
+    fn shedding_batch_tier_lifts_interactive_attainment_near_saturation() {
+        // A shape-aware executor: prefills stall the whole batch (the
+        // mixed-stage spike chunked prefill also fights), decodes are
+        // cheap. Near saturation, plain EDF admits batch-tier prompts
+        // into every open slot, so interactive decoders keep eating
+        // mixed-stage latency and miss their TBT deadline; the
+        // shedding wrapper defers batch admissions while occupancy is
+        // high, pushing those prefills into emptier moments.
+        struct Linear;
+        impl StageExecutor for Linear {
+            fn execute(&mut self, shape: &StageShape) -> StageOutcome {
+                let prefill: u64 = shape.prefill_len.iter().sum();
+                StageOutcome {
+                    seconds: 0.002 + 1.5e-4 * prefill as f64 + 1e-4 * shape.decode_ctx.len() as f64,
+                }
+            }
+        }
+        let tiers = vec![
+            SloTier::new("interactive", 0.5, 0, 0.6, 0.0048),
+            SloTier::new("batch", 0.5, 2, 60.0, 0.0),
+        ];
+        let mk = |policy: &mut dyn SchedulingPolicy| {
+            let scenario = Scenario::new(
+                "shed",
+                Workload::gaussian(64, 16).with_seed(21),
+                Arrivals::Poisson { qps: 55.0 },
+                400,
+            )
+            .with_tiers(tiers.clone());
+            ScenarioSimulation::new(config(8), scenario).run(policy, &mut Linear)
+        };
+        let edf = mk(&mut PriorityTiers);
+        let shed = mk(&mut crate::policy::ShedBatchTier::new(
+            Box::new(PriorityTiers),
+            0.5,
+            2,
+        ));
+        assert_eq!(edf.completed.len(), 400);
+        assert_eq!(shed.completed.len(), 400, "shedding defers, never drops");
+        let interactive = |r: &SimReport| r.slo.tiers[0].attainment();
+        assert!(
+            interactive(&shed) > interactive(&edf) + 0.05,
+            "shed {} vs edf {}",
+            interactive(&shed),
+            interactive(&edf)
+        );
+        // The price is batch-tier queueing delay, not lost work.
+        let batch = |r: &SimReport| r.slo.tiers[1].completed;
+        assert_eq!(batch(&shed), batch(&edf));
+    }
+
+    #[test]
+    fn adaptive_chunk_budget_interpolates_on_occupancy() {
+        let a = AdaptiveChunk {
+            min_tokens: 64,
+            max_tokens: 512,
+        };
+        assert_eq!(a.budget(0, 8), 512, "idle batch gets the ceiling");
+        assert_eq!(a.budget(8, 8), 64, "full batch gets the floor");
+        assert_eq!(a.budget(4, 8), 288, "half occupancy interpolates");
+        assert_eq!(a.budget(16, 8), 64, "overfull clamps to the floor");
+        // Degenerate: zero-slot batches never divide by zero.
+        assert!(a.budget(0, 0) >= 1);
+    }
+
+    #[test]
+    fn adaptive_chunk_widens_idle_prefills_and_bounds_busy_ones() {
+        // Long prompts trickle in while a decode cohort persists: the
+        // first (idle) admission may prefill up to the ceiling, while
+        // stages with decoders in flight stay near the floor.
+        let mk = |scenario: Scenario| {
+            let mut rec = Recording::new();
+            let report = ScenarioSimulation::new(config(4), scenario).run(&mut Fcfs, &mut rec);
+            (report, rec)
+        };
+        let base = Scenario::new(
+            "adaptive",
+            Workload::fixed(400, 24).with_seed(5),
+            Arrivals::Poisson { qps: 200.0 },
+            8,
+        );
+        let (fixed_report, fixed_rec) = mk(base.clone().with_prefill_chunk(64));
+        let (adapt_report, adapt_rec) = mk(base.with_prefill_chunk_adaptive(64, 512));
+        assert_eq!(fixed_report.completed.len(), adapt_report.completed.len());
+        assert_eq!(fixed_report.total_tokens(), adapt_report.total_tokens());
+        // The adaptive run used idle bandwidth: at least one stage
+        // prefills beyond the fixed budget ...
+        let max_prefill = |rec: &Recording| {
+            rec.shapes
+                .iter()
+                .map(|s| s.prefill_len.iter().sum::<u64>())
+                .max()
+                .unwrap_or(0)
+        };
+        assert!(max_prefill(&adapt_rec) > 64, "idle stages widen");
+        assert!(max_prefill(&fixed_rec) <= 64, "fixed stays bounded");
+        // ... and stages with a full decode cohort stay at the floor.
+        for (delta, shape) in adapt_rec.deltas.iter().zip(&adapt_rec.shapes) {
+            let _ = delta;
+            if shape.decode_ctx.len() >= 4 {
+                let prefill: u64 = shape.prefill_len.iter().sum();
+                assert!(prefill <= 64, "busy stage prefills {prefill}");
+            }
+        }
+        // Fewer stages overall: idle slices are bigger.
+        assert!(adapt_report.stage_stats.stages <= fixed_report.stage_stats.stages);
+    }
+
+    #[test]
+    fn adaptive_chunk_is_exact_against_the_delta_contract() {
+        // The adaptive budget reuses the chunking machinery, so the
+        // delta/shape mirror must still replay exactly.
         let scenario = Scenario::new(
-            "chunkchat",
+            "adaptchat",
             Workload::gaussian(180, 6).with_seed(23),
             Arrivals::Poisson { qps: 400.0 },
             10,
         )
         .with_conversation(ConversationSpec::chat(0.8, 3, 0.002, 48))
-        .with_prefill_chunk(80);
+        .with_prefill_chunk_adaptive(48, 160);
         let mut rec = Recording::new();
         ScenarioSimulation::new(config(4), scenario).run(&mut Fcfs, &mut rec);
         assert!(rec.deltas.iter().any(|d| !d.chunk.is_empty()));
+        assert_deltas_mirror_shapes(&rec);
+    }
+
+    #[test]
+    fn recorder_round_trips_through_trace_replay() {
+        // Record a bursty run's admissions, replay the JSON trace, and
+        // the replayed run must reproduce the timeline byte for byte.
+        let scenario = Scenario::new(
+            "record",
+            Workload::gaussian(48, 6).with_seed(17),
+            Arrivals::Bursty {
+                base_qps: 0.0,
+                burst_qps: 400.0,
+                mean_off_s: 0.05,
+                mean_on_s: 0.02,
+            },
+            24,
+        );
+        let mut recorder = TraceRecorder::new();
+        let original = ScenarioSimulation::new(config(4), scenario).run_recording(
+            &mut Fcfs,
+            &mut Fixed(0.01),
+            &mut recorder,
+        );
+        assert_eq!(recorder.len(), 24);
+
+        let parsed = parse_trace(&recorder.to_json()).expect("recorded trace parses");
+        assert_eq!(parsed.len(), 24);
+        let replay = Scenario::new(
+            "replay",
+            Workload::fixed(1, 1),
+            Arrivals::trace(parsed),
+            1000,
+        );
+        let replayed = ScenarioSimulation::new(config(4), replay).run(&mut Fcfs, &mut Fixed(0.01));
+        assert_eq!(replayed.completed.len(), original.completed.len());
+        assert_eq!(replayed.stage_stats, original.stage_stats);
+        assert_eq!(
+            replayed.total_time_s.to_bits(),
+            original.total_time_s.to_bits()
+        );
+    }
+
+    #[test]
+    fn recorder_captures_followup_rounds() {
+        let scenario = Scenario::new(
+            "chatrec",
+            Workload::fixed(64, 4).with_seed(1),
+            Arrivals::ClosedLoop,
+            2,
+        )
+        .with_conversation(ConversationSpec::chat(1.0, 2, 0.001, 16));
+        let mut recorder = TraceRecorder::new();
+        let report = ScenarioSimulation::new(config(4), scenario).run_recording(
+            &mut Fcfs,
+            &mut Fixed(0.01),
+            &mut recorder,
+        );
+        assert_eq!(report.completed.len(), 4);
+        // Two conversations x two rounds: the follow-ups appear with
+        // their full (history + turn) prompts.
+        assert_eq!(recorder.len(), 4);
+        assert!(recorder.trace().iter().any(|r| r.input_len == 84));
+    }
+
+    fn assert_deltas_mirror_shapes(rec: &Recording) {
         let mut mirror: Vec<u64> = Vec::new();
         let mut pend: Vec<u64> = Vec::new();
         for (delta, shape) in rec.deltas.iter().zip(&rec.shapes) {
@@ -1147,6 +1695,26 @@ mod tests {
             got_pre.sort_unstable();
             assert_eq!(got_pre, want_pre);
         }
+    }
+
+    #[test]
+    fn chunked_deltas_replay_to_materialized_shapes() {
+        // The delta/shape contract under chunking + conversations:
+        // decode membership follows admit/retire alone, and each
+        // stage's prefills are exactly the delta's admissions (with
+        // their reuse past) plus its held chunks.
+        let scenario = Scenario::new(
+            "chunkchat",
+            Workload::gaussian(180, 6).with_seed(23),
+            Arrivals::Poisson { qps: 400.0 },
+            10,
+        )
+        .with_conversation(ConversationSpec::chat(0.8, 3, 0.002, 48))
+        .with_prefill_chunk(80);
+        let mut rec = Recording::new();
+        ScenarioSimulation::new(config(4), scenario).run(&mut Fcfs, &mut rec);
+        assert!(rec.deltas.iter().any(|d| !d.chunk.is_empty()));
+        assert_deltas_mirror_shapes(&rec);
     }
 
     #[test]

@@ -5,8 +5,17 @@
 //! array) of `{"arrival_s": f64, "input_len": u64, "output_len": u64}`
 //! objects. Requests are sorted by arrival time on load, so traces may
 //! be recorded out of order.
+//!
+//! [`TraceRecorder`] closes the loop in the other direction: attach
+//! one to a scenario run (see
+//! [`crate::ScenarioSimulation::run_recording`]) and every admitted
+//! request — synthetic arrivals *and* multi-turn follow-up rounds,
+//! with absolute arrival times and full prompts — is captured in this
+//! format, ready to be written out and replayed through
+//! [`crate::Arrivals::Trace`].
 
 use crate::json::{parse, JsonValue};
+use crate::request::Request;
 
 /// One recorded request.
 #[derive(Debug, Clone, PartialEq)]
@@ -92,6 +101,64 @@ pub fn format_trace(requests: &[TraceRequest]) -> String {
     out
 }
 
+/// Captures a request stream as a replayable trace: the bridge from
+/// "a scenario happened" to "a trace file exists". The scenario
+/// scheduler records each request when it enters the waiting queue, so
+/// a recorded multi-turn run flattens into plain arrivals whose
+/// prompts carry their conversation history — replaying it reproduces
+/// the same offered load without needing the conversation machinery.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TraceRecorder {
+    requests: Vec<TraceRequest>,
+}
+
+impl TraceRecorder {
+    /// An empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one request's arrival time and shape.
+    pub fn record(&mut self, arrival_s: f64, input_len: u64, output_len: u64) {
+        self.requests.push(TraceRequest {
+            arrival_s,
+            input_len,
+            output_len,
+        });
+    }
+
+    /// Record a scheduler [`Request`].
+    pub fn record_request(&mut self, r: &Request) {
+        self.record(r.arrival_s, r.input_len, r.output_len);
+    }
+
+    /// Requests recorded so far, in recording order.
+    pub fn trace(&self) -> &[TraceRequest] {
+        &self.requests
+    }
+
+    /// Number of recorded requests.
+    pub fn len(&self) -> usize {
+        self.requests.len()
+    }
+
+    /// Whether nothing has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.requests.is_empty()
+    }
+
+    /// The recording as a trace document (see [`format_trace`]);
+    /// [`parse_trace`] round-trips it.
+    pub fn to_json(&self) -> String {
+        format_trace(&self.requests)
+    }
+
+    /// Consume the recorder into a replayable arrival process.
+    pub fn into_arrivals(self) -> crate::workload::Arrivals {
+        crate::workload::Arrivals::trace(self.requests)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -119,6 +186,28 @@ mod tests {
         assert!(parse_trace(r#"[{"arrival_s": 0, "input_len": 1, "output_len": -2}]"#).is_err());
         assert!(parse_trace(r#"{"no_requests": 3}"#).is_err());
         assert!(parse_trace("not json").is_err());
+    }
+
+    #[test]
+    fn recorder_round_trips_through_parse() {
+        let mut rec = TraceRecorder::new();
+        assert!(rec.is_empty());
+        rec.record(0.5, 128, 32);
+        rec.record_request(&Request {
+            id: 9,
+            arrival_s: 0.25,
+            input_len: 64,
+            output_len: 16,
+        });
+        assert_eq!(rec.len(), 2);
+        let parsed = parse_trace(&rec.to_json()).expect("recorded trace parses");
+        // Parsing sorts by arrival; the recorded shapes survive.
+        assert_eq!(parsed[0].arrival_s, 0.25);
+        assert_eq!(parsed[1].input_len, 128);
+        match rec.into_arrivals() {
+            crate::workload::Arrivals::Trace { requests } => assert_eq!(requests.len(), 2),
+            other => panic!("expected a trace process, got {other:?}"),
+        }
     }
 
     #[test]

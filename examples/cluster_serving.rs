@@ -1,0 +1,65 @@
+//! Cluster serving: a fleet of Grok-scale replicas (three Duplex+PE+ET
+//! nodes plus one GPU-only straggler, 2x8 devices each) serves
+//! multi-turn, SLO-tiered chat behind a load balancer — and the
+//! routing discipline decides whether the fleet keeps its prefix-reuse
+//! rate and its interactive deadlines.
+//!
+//! * round-robin scatters follow-up rounds away from their parked KV
+//!   (every reuse miss re-prefills the whole conversation history) and
+//!   feeds the slow replica a full quarter of the traffic;
+//! * least-outstanding-work balances by capacity-weighted queue depth,
+//!   protecting interactive T2FT deadlines;
+//! * session-affinity pins conversations to the replica holding their
+//!   KV (spilling when it saturates), keeping the fleet-wide reuse
+//!   fraction — and with it the TBT tail — close to the single-node
+//!   number.
+//!
+//! Run with `cargo run --release --example cluster_serving`.
+
+use duplex::experiments::{cluster_suite, run_cluster, ClusterRow, Scale};
+use duplex::sched::RouterKind;
+
+fn main() {
+    let scale = Scale::quick();
+    let suite = cluster_suite(&scale);
+    let spec = suite
+        .iter()
+        .find(|s| s.name == "grok_chat_tiered")
+        .expect("the cluster suite ships the grok fleet");
+
+    println!(
+        "{} replicas serving {} ({} conversations, 4 rounds each):",
+        spec.systems.len(),
+        spec.model.name,
+        spec.scenario.requests
+    );
+    for (i, system) in spec.systems.iter().enumerate() {
+        println!(
+            "  replica {i}: {} ({}x{} devices)",
+            system.name, system.nodes, system.devices_per_node
+        );
+    }
+    println!(
+        "\n{:<20} {:>10} {:>10} {:>12} {:>10} {:>10}",
+        "Router", "tokens/s", "KV reuse", "TBT p99 ms", "int. SLO", "imbalance"
+    );
+
+    for kind in RouterKind::ALL {
+        let mut router = kind.build();
+        let report = run_cluster(spec, router.as_mut());
+        let row = ClusterRow::of(spec, kind.name(), &report);
+        println!(
+            "{:<20} {:>10.0} {:>9.1}% {:>12.2} {:>9.1}% {:>10.2}",
+            row.router,
+            row.throughput,
+            row.kv_reuse_fraction * 100.0,
+            row.tbt_p99 * 1e3,
+            row.interactive_attainment * 100.0,
+            row.load_imbalance
+        );
+    }
+
+    println!("\nSession affinity keeps multi-turn KV reuse alive cluster-wide;");
+    println!("least-outstanding-work shields interactive deadlines from the");
+    println!("slow replica that round-robin keeps overfeeding.");
+}

@@ -56,4 +56,6 @@ fn main() {
     }
     println!("\nPriority-EDF trades batch-tier slack for interactive attainment;");
     println!("shortest-prompt-first helps T2FT but ignores deadlines entirely.");
+    println!("Shedding batch-tier admissions near saturation (shed-batch)");
+    println!("closes the remaining interactive gap without dropping work.");
 }

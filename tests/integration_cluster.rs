@@ -1,0 +1,151 @@
+//! The cluster subsystem's acceptance claims, end to end at quick
+//! scale: on the Grok-scale (2x8-devices-per-replica, 4-replica)
+//! multi-turn + SLO-tiered fleet of `experiments::cluster_suite`,
+//!
+//! * session-affinity routing beats round-robin on fleet KV-reuse
+//!   fraction *and* fleet TBT p99 (multi-turn prefix reuse survives
+//!   the load balancer, so follow-up prefills shrink);
+//! * least-outstanding-work routing beats round-robin on interactive
+//!   SLO attainment (the capacity-weighted balancer stops overfeeding
+//!   the fleet's slow replica);
+//!
+//! and a one-replica cluster is bit-for-bit the plain
+//! `ScenarioSimulation` under every router. All numbers are simulated
+//! time: seed-deterministic, so these are exact assertions, and the
+//! same values land in `BENCH_cluster.json` where the CI gate pins
+//! them.
+
+use duplex::experiments::{cluster_suite, run_cluster, ClusterRow, Scale};
+use duplex::model::ModelConfig;
+use duplex::sched::{
+    Arrivals, ClusterSimulation, ConversationSpec, PolicyKind, ReplicaConfig, RouterKind, Scenario,
+    ScenarioSimulation, SchedulingPolicy, SimulationConfig, Workload,
+};
+use duplex::system::{SystemConfig, SystemExecutor};
+
+fn grok_rows() -> Vec<ClusterRow> {
+    let suite = cluster_suite(&Scale::quick());
+    let spec = suite
+        .iter()
+        .find(|s| s.name == "grok_chat_tiered")
+        .expect("the suite ships the grok fleet");
+    RouterKind::ALL
+        .iter()
+        .map(|kind| {
+            let mut router = kind.build();
+            let report = run_cluster(spec, router.as_mut());
+            ClusterRow::of(spec, kind.name(), &report)
+        })
+        .collect()
+}
+
+#[test]
+fn session_affinity_beats_round_robin_on_reuse_and_tail() {
+    let rows = grok_rows();
+    let row = |name: &str| {
+        rows.iter()
+            .find(|r| r.router == name)
+            .expect("router row exists")
+    };
+    let rr = row("round-robin");
+    let aff = row("session-affinity");
+    assert_eq!(rr.completed, aff.completed, "same offered rounds");
+    // KV reuse: affinity keeps follow-ups next to their parked KV.
+    assert!(
+        aff.kv_reuse_fraction > rr.kv_reuse_fraction + 0.2,
+        "affinity reuse {} vs round-robin {}",
+        aff.kv_reuse_fraction,
+        rr.kv_reuse_fraction
+    );
+    // Fleet TBT p99: reused histories stop re-prefilling through the
+    // decode cohort's token gaps.
+    assert!(
+        aff.tbt_p99 < rr.tbt_p99,
+        "affinity p99 {} vs round-robin {}",
+        aff.tbt_p99,
+        rr.tbt_p99
+    );
+}
+
+#[test]
+fn least_outstanding_beats_round_robin_on_interactive_attainment() {
+    let rows = grok_rows();
+    let row = |name: &str| {
+        rows.iter()
+            .find(|r| r.router == name)
+            .expect("router row exists")
+    };
+    let rr = row("round-robin");
+    let jsq = row("least-outstanding");
+    assert!(rr.tiered && jsq.tiered);
+    assert!(
+        jsq.interactive_attainment > rr.interactive_attainment + 0.02,
+        "jsq interactive {} vs round-robin {}",
+        jsq.interactive_attainment,
+        rr.interactive_attainment
+    );
+    // The balancer's whole point: it routes by capacity-weighted load
+    // instead of counts, so it is *less* even in counts but better in
+    // deadlines.
+    assert!(jsq.attainment > rr.attainment);
+}
+
+#[test]
+fn one_replica_cluster_is_exactly_the_scenario_simulation() {
+    // Same model, same system, same scenario: a 1-replica cluster must
+    // reproduce the plain scenario scheduler bit for bit, router
+    // regardless — including through a real SystemExecutor on the
+    // delta fast path.
+    let model = ModelConfig::mixtral_8x7b();
+    let system = SystemConfig::duplex_pe_et(4, 1);
+    let scenario = Scenario::new(
+        "solo",
+        Workload::gaussian(128, 12).with_seed(41),
+        Arrivals::Poisson { qps: 400.0 },
+        30,
+    )
+    .with_conversation(ConversationSpec::chat(0.75, 3, 0.01, 32))
+    .with_tiers(Scenario::default_tiers(0.004));
+    let mk_exec = || SystemExecutor::new(system.clone(), model.clone(), 7);
+    let cfg = |ex: &SystemExecutor| SimulationConfig {
+        max_batch: 8,
+        kv_capacity_bytes: ex.kv_capacity_bytes(),
+        kv_bytes_per_token: model.kv_bytes_per_token(),
+        ..SimulationConfig::default()
+    };
+
+    let mut plain_ex = mk_exec();
+    let plain = ScenarioSimulation::new(cfg(&plain_ex), scenario.clone())
+        .run(PolicyKind::PriorityTiers.build().as_mut(), &mut plain_ex);
+
+    for kind in RouterKind::ALL {
+        let mut ex = mk_exec();
+        let configs = vec![ReplicaConfig::new(cfg(&ex))];
+        let mut policies: Vec<Box<dyn SchedulingPolicy>> = vec![PolicyKind::PriorityTiers.build()];
+        let cluster = ClusterSimulation::new(configs, scenario.clone()).run(
+            kind.build().as_mut(),
+            &mut policies,
+            std::slice::from_mut(&mut ex),
+        );
+        let r = &cluster.replicas[0];
+        assert_eq!(r.stage_stats, plain.stage_stats, "{}", kind.name());
+        assert_eq!(r.total_time_s.to_bits(), plain.total_time_s.to_bits());
+        assert_eq!(r.completed.len(), plain.completed.len());
+        for (a, b) in r.completed.iter().zip(&plain.completed) {
+            assert_eq!(a.request, b.request);
+            assert_eq!(a.first_token_s.to_bits(), b.first_token_s.to_bits());
+            assert_eq!(a.last_token_s.to_bits(), b.last_token_s.to_bits());
+        }
+        assert_eq!(r.kv_reuse, plain.kv_reuse);
+        assert_eq!(cluster.total_time_s.to_bits(), plain.total_time_s.to_bits());
+    }
+}
+
+#[test]
+fn bench_rows_are_reproducible() {
+    // The exact numbers the CI gate pins: two sweeps of the quick
+    // cluster suite must agree to the bit.
+    let a = grok_rows();
+    let b = grok_rows();
+    assert_eq!(a, b);
+}

@@ -7,7 +7,8 @@
 
 use duplex::model::ModelConfig;
 use duplex::sched::{
-    Arrivals, ConversationSpec, PolicyKind, Scenario, ScenarioSimulation, SimReport, Simulation,
+    Arrivals, ClusterReport, ClusterSimulation, ConversationSpec, PolicyKind, ReplicaConfig,
+    RouterKind, Scenario, ScenarioSimulation, SchedulingPolicy, SimReport, Simulation,
     SimulationConfig, TraceRequest, Workload,
 };
 use duplex::system::{SystemConfig, SystemExecutor};
@@ -244,6 +245,116 @@ fn trace_replay_is_deterministic_and_seed_independent() {
     };
     assert_eq!(summary(&run(1)), summary(&run(1)));
     assert_eq!(summary(&run(1)), summary(&run(2)));
+}
+
+/// Byte-exact rendering of a whole fleet report: every replica's
+/// summary plus the merged fleet aggregates.
+fn cluster_summary(report: &ClusterReport) -> String {
+    let mut out = format!(
+        "router={} total_time_bits={:016x} completed={} imbalance_bits={:016x}\n",
+        report.router,
+        report.total_time_s.to_bits(),
+        report.completed(),
+        report.load_imbalance().to_bits(),
+    );
+    let fleet_tbt = report.tbt();
+    out.push_str(&format!(
+        "fleet tbt p99={:016x} mean={:016x} count={} kv_reuse={:?}\n",
+        fleet_tbt.p99.to_bits(),
+        fleet_tbt.mean.to_bits(),
+        fleet_tbt.count,
+        report.kv_reuse(),
+    ));
+    for t in &report.slo().tiers {
+        out.push_str(&format!(
+            "fleet tier {} completed={} met={} good={}\n",
+            t.name, t.completed, t.met, t.good_tokens
+        ));
+    }
+    for (i, r) in report.replicas.iter().enumerate() {
+        out.push_str(&format!("--- replica {i} ---\n"));
+        out.push_str(&summary(r));
+    }
+    out
+}
+
+fn cluster_scenario() -> Scenario {
+    Scenario::new(
+        "cluster",
+        Workload::gaussian(96, 10).with_seed(29),
+        Arrivals::Bursty {
+            base_qps: 50.0,
+            burst_qps: 900.0,
+            mean_off_s: 0.05,
+            mean_on_s: 0.03,
+        },
+        40,
+    )
+    .with_conversation(ConversationSpec::chat(0.8, 3, 0.01, 24))
+    .with_tiers(Scenario::default_tiers(0.005))
+}
+
+fn run_cluster_fleet(kind: RouterKind) -> ClusterReport {
+    // A heterogeneous 3-replica fleet: two Duplex nodes and one GPU
+    // node, each with its own executor and KV budget.
+    let systems = [
+        SystemConfig::duplex_pe_et(4, 1),
+        SystemConfig::duplex_pe_et(4, 1),
+        SystemConfig::gpu(4, 1),
+    ];
+    let model = ModelConfig::mixtral_8x7b();
+    let mut executors: Vec<SystemExecutor> = systems
+        .iter()
+        .map(|s| SystemExecutor::new(s.clone(), model.clone(), 7))
+        .collect();
+    let configs: Vec<ReplicaConfig> = executors
+        .iter()
+        .enumerate()
+        .map(|(i, ex)| {
+            ReplicaConfig::new(sim_config(ex, 8)).with_weight(if i < 2 { 2.0 } else { 1.0 })
+        })
+        .collect();
+    let mut policies: Vec<Box<dyn SchedulingPolicy>> =
+        (0..3).map(|_| PolicyKind::PriorityTiers.build()).collect();
+    ClusterSimulation::new(configs, cluster_scenario()).run(
+        kind.build().as_mut(),
+        &mut policies,
+        &mut executors,
+    )
+}
+
+#[test]
+fn cluster_reports_are_seed_deterministic() {
+    // The whole fleet — global arrival stream, router placement,
+    // per-replica scheduling, merged digests — must be byte-identical
+    // across runs for every shipped router.
+    for kind in RouterKind::ALL {
+        let a = run_cluster_fleet(kind);
+        let b = run_cluster_fleet(kind);
+        assert_eq!(
+            cluster_summary(&a),
+            cluster_summary(&b),
+            "router {}",
+            kind.name()
+        );
+        // And the fleet actually exercised multi-turn + tiers.
+        assert!(a.completed() > 40, "follow-ups ran ({})", a.completed());
+        assert!(a.slo().completed() > 0);
+    }
+}
+
+#[test]
+fn cluster_routers_place_differently_but_serve_everything() {
+    let rr = run_cluster_fleet(RouterKind::RoundRobin);
+    let aff = run_cluster_fleet(RouterKind::SessionAffinity);
+    assert_eq!(rr.completed(), aff.completed(), "same offered rounds");
+    assert_ne!(
+        cluster_summary(&rr),
+        cluster_summary(&aff),
+        "routers actually change placement"
+    );
+    // Affinity finds resident histories that round-robin scatters.
+    assert!(aff.kv_reuse().reuse_fraction() > rr.kv_reuse().reuse_fraction());
 }
 
 #[test]

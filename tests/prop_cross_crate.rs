@@ -6,8 +6,9 @@ use duplex::compute::Engine;
 use duplex::model::ops::StageShape;
 use duplex::model::{ExpertRouter, ModelConfig};
 use duplex::sched::{
-    Arrivals, ConversationSpec, PolicyKind, Scenario, ScenarioSimulation, Simulation,
-    SimulationConfig, StageExecutor, StageOutcome, Workload,
+    Arrivals, ClusterSimulation, ConversationSpec, PolicyKind, ReplicaConfig, RouterKind, Scenario,
+    ScenarioSimulation, SchedulingPolicy, Simulation, SimulationConfig, StageExecutor,
+    StageOutcome, Workload,
 };
 use duplex::system::coproc::split_experts;
 use duplex::system::{SystemConfig, SystemExecutor};
@@ -187,7 +188,7 @@ proptest! {
         burst_qps in 20.0f64..2000.0,
         multi_turn_bit in 0u8..2,
         chunk in proptest::option::of(8u64..64),
-        policy_idx in 0usize..3,
+        policy_idx in 0usize..4,
     ) {
         let model = ModelConfig::mixtral_8x7b();
         let system = SystemConfig::duplex_pe_et(4, 1);
@@ -238,6 +239,153 @@ proptest! {
         if multi_turn {
             prop_assert!(a.completed.len() >= requests);
         }
+    }
+
+    /// A one-replica cluster is the plain scenario scheduler, bit for
+    /// bit: same stage stream, same timeline, same completions — for
+    /// every shipped router, over randomized scenarios (conversations,
+    /// tiers, chunking) on a real `SystemExecutor`.
+    #[test]
+    fn one_replica_cluster_equals_scenario_simulation(
+        mean_in in 32u64..256,
+        mean_out in 4u64..24,
+        requests in 4usize..14,
+        batch in 1usize..10,
+        seed in 0u64..1000,
+        qps in 20.0f64..2000.0,
+        multi_turn_bit in 0u8..2,
+        chunk in proptest::option::of(8u64..64),
+        policy_idx in 0usize..4,
+        router_idx in 0usize..3,
+    ) {
+        let model = ModelConfig::mixtral_8x7b();
+        let system = SystemConfig::duplex_pe_et(4, 1);
+        let mut plain_ex = SystemExecutor::new(system.clone(), model.clone(), 1);
+        let mut cluster_ex = SystemExecutor::new(system, model.clone(), 1);
+        let cfg = SimulationConfig {
+            max_batch: batch,
+            kv_capacity_bytes: plain_ex.kv_capacity_bytes(),
+            kv_bytes_per_token: model.kv_bytes_per_token(),
+            ..SimulationConfig::default()
+        };
+        let mk = || {
+            let mut s = Scenario::new(
+                "prop",
+                Workload::gaussian(mean_in, mean_out).with_seed(seed),
+                Arrivals::Poisson { qps },
+                requests,
+            )
+            .with_tiers(Scenario::default_tiers(0.01))
+            .with_prefill_chunk(chunk.unwrap_or(0));
+            if multi_turn_bit == 1 {
+                s = s.with_conversation(ConversationSpec::chat(0.7, 3, 0.05, 16));
+            }
+            s
+        };
+        let kind = PolicyKind::ALL[policy_idx];
+        let plain = ScenarioSimulation::new(cfg, mk()).run(kind.build().as_mut(), &mut plain_ex);
+        let mut policies: Vec<Box<dyn SchedulingPolicy>> = vec![kind.build()];
+        let cluster = ClusterSimulation::new(vec![ReplicaConfig::new(cfg)], mk()).run(
+            RouterKind::ALL[router_idx].build().as_mut(),
+            &mut policies,
+            std::slice::from_mut(&mut cluster_ex),
+        );
+        let r = &cluster.replicas[0];
+        prop_assert_eq!(&r.stage_stats, &plain.stage_stats);
+        prop_assert_eq!(r.total_time_s.to_bits(), plain.total_time_s.to_bits());
+        prop_assert_eq!(r.completed.len(), plain.completed.len());
+        for (a, b) in r.completed.iter().zip(&plain.completed) {
+            prop_assert_eq!(a.request, b.request);
+            prop_assert_eq!(a.first_token_s.to_bits(), b.first_token_s.to_bits());
+            prop_assert_eq!(a.last_token_s.to_bits(), b.last_token_s.to_bits());
+        }
+        prop_assert_eq!(r.kv_reuse, plain.kv_reuse);
+        prop_assert_eq!(
+            plain_ex.total_cost().energy.total().to_bits(),
+            cluster_ex.total_cost().energy.total().to_bits()
+        );
+    }
+
+    /// Fleet totals stay pinned to the reference oracle: running the
+    /// same routed fleet once on the incremental delta path and once
+    /// through per-request `stage_cost_reference` pricing must agree
+    /// per replica — timeline and energy — within 1e-9 relative.
+    /// (Round-robin placement is pricing-independent, so both runs
+    /// route identically.)
+    #[test]
+    fn cluster_totals_equal_reference_pricing_sum(
+        mean_in in 32u64..256,
+        mean_out in 4u64..24,
+        requests in 6usize..18,
+        batch in 1usize..8,
+        seed in 0u64..1000,
+        qps in 50.0f64..2000.0,
+        replicas in 2usize..5,
+        multi_turn_bit in 0u8..2,
+    ) {
+        let model = ModelConfig::mixtral_8x7b();
+        let system = SystemConfig::duplex_pe_et(4, 1);
+        let mut fast: Vec<SystemExecutor> = (0..replicas)
+            .map(|_| SystemExecutor::new(system.clone(), model.clone(), 1))
+            .collect();
+        let mut oracle: Vec<ReferenceExec> = (0..replicas)
+            .map(|_| ReferenceExec::new(SystemExecutor::new(system.clone(), model.clone(), 1)))
+            .collect();
+        let cfg = SimulationConfig {
+            max_batch: batch,
+            kv_capacity_bytes: fast[0].kv_capacity_bytes(),
+            kv_bytes_per_token: model.kv_bytes_per_token(),
+            ..SimulationConfig::default()
+        };
+        let mk = || {
+            let mut s = Scenario::new(
+                "prop",
+                Workload::gaussian(mean_in, mean_out).with_seed(seed),
+                Arrivals::Poisson { qps },
+                requests,
+            );
+            if multi_turn_bit == 1 {
+                s = s.with_conversation(ConversationSpec::chat(0.6, 3, 0.05, 16));
+            }
+            s
+        };
+        let configs = vec![ReplicaConfig::new(cfg); replicas];
+        let mut p1: Vec<Box<dyn SchedulingPolicy>> =
+            (0..replicas).map(|_| PolicyKind::Fcfs.build()).collect();
+        let a = ClusterSimulation::new(configs.clone(), mk()).run(
+            &mut duplex::sched::RoundRobin::default(),
+            &mut p1,
+            &mut fast,
+        );
+        let mut p2: Vec<Box<dyn SchedulingPolicy>> =
+            (0..replicas).map(|_| PolicyKind::Fcfs.build()).collect();
+        let b = ClusterSimulation::new(configs, mk()).run(
+            &mut duplex::sched::RoundRobin::default(),
+            &mut p2,
+            &mut oracle,
+        );
+        prop_assert_eq!(a.completed(), b.completed());
+        prop_assert_eq!(a.generated_tokens(), b.generated_tokens());
+        for (ra, rb) in a.replicas.iter().zip(&b.replicas) {
+            prop_assert_eq!(ra.stage_stats.stages, rb.stage_stats.stages);
+            prop_assert!(
+                rel_diff(ra.total_time_s, rb.total_time_s) < 1e-9,
+                "replica time {} vs reference {}",
+                ra.total_time_s,
+                rb.total_time_s
+            );
+        }
+        prop_assert!(rel_diff(a.total_time_s, b.total_time_s) < 1e-9);
+        // Fleet energy: the sum of per-replica delta-path totals must
+        // match the sum of reference-priced totals.
+        let fast_energy: f64 = fast.iter().map(|e| e.total_cost().energy.total()).sum();
+        let oracle_energy: f64 = oracle.iter().map(|e| e.energy_j).sum();
+        prop_assert!(
+            rel_diff(fast_energy, oracle_energy) < 1e-9,
+            "fleet energy {} vs reference {}",
+            fast_energy,
+            oracle_energy
+        );
     }
 
     /// The grouped fast path equals the per-request reference for
