@@ -6,35 +6,110 @@
 //! batching with parked-KV reuse, and the incremental stage fast path
 //! on every replica.
 //!
-//! Reports both fleet serving metrics (throughput, SLO attainment,
-//! fleet TBT p99 from merged digests, KV-reuse fraction, load
-//! imbalance) and harness throughput (simulated stages per second of
-//! wall clock). Results print as a table and land in
-//! `BENCH_cluster.json` next to the other `BENCH_*.json` reports so
-//! the CI regression gate tracks the cluster path too: entries are
-//! keyed `<fleet>_<router>`, throughput metrics gate downward and the
-//! seed-deterministic `tbt_p99_ms` gates upward.
+//! Every (fleet, router) pair runs twice: once on the serial oracle
+//! (one replica window at a time, in index order) and once on the
+//! parallel clock-merge path (replica windows stepped concurrently on
+//! the vendored rayon pool; pin the worker count with
+//! `DUPLEX_THREADS`). The two reports are asserted byte-identical —
+//! the clock-merge invariant — so the runs differ only in wall clock,
+//! reported as `serial_wall_s` / `wall_s` and the harness-throughput
+//! pair `serial_fleet_stages_per_s` / `fleet_stages_per_s` (simulated
+//! fleet stages per second of wall clock).
+//!
+//! Also exercises pause/resume: the Grok fleet is paused mid-run, the
+//! snapshot is written to `BENCH_cluster_snapshot.json` (the CI
+//! artifact), parsed back, and resumed — the resumed report must equal
+//! the uninterrupted one bit for bit.
+//!
+//! Fleet serving metrics (throughput, SLO attainment, fleet TBT p99
+//! from merged digests, KV-reuse fraction, load imbalance) land with
+//! the timing numbers in `BENCH_cluster.json` next to the other
+//! `BENCH_*.json` reports so the CI regression gate tracks the cluster
+//! path too: entries are keyed `<fleet>_<router>`,
+//! `fleet_stages_per_s` gates downward and the wall-clock / simulated
+//! latency metrics (`*wall_s`, `tbt_p99_ms`) gate upward.
 
 use std::time::Instant;
 
-use duplex::experiments::{cluster_suite, run_cluster, ClusterRow};
-use duplex::sched::RouterKind;
+use duplex::experiments::{build_cluster, run_cluster_with, ClusterRow, ClusterSpec};
+use duplex::sched::{ClusterConfig, ClusterSnapshot, RouterKind};
 use duplex_bench::print_table;
+
+/// Pause the fleet at 40% of its simulated span, push the snapshot
+/// through the JSON wire format, resume, and demand the report the
+/// uninterrupted run produced. Returns (snapshot JSON, pause time).
+fn snapshot_roundtrip(spec: &ClusterSpec, full_time_s: f64) -> (String, f64) {
+    let kind = RouterKind::ALL[0];
+    let stop_s = 0.4 * full_time_s;
+    let (sim, mut policies, mut executors) = build_cluster(spec);
+    let mut router = kind.build();
+    let snapshot = sim
+        .run_until(router.as_mut(), &mut policies, &mut executors, stop_s)
+        .snapshot()
+        .unwrap_or_else(|| panic!("{}: the 40% bound lands mid-run", spec.name));
+    let text = snapshot.to_json();
+    let restored = ClusterSnapshot::from_json(&text)
+        .unwrap_or_else(|e| panic!("{}: snapshot does not parse back: {e}", spec.name));
+    assert_eq!(restored, snapshot, "snapshot JSON round-trip is lossless");
+
+    let (sim, mut fresh_policies, mut fresh_executors) = build_cluster(spec);
+    let mut router = kind.build();
+    let resumed = sim.resume(
+        &restored,
+        router.as_mut(),
+        &mut fresh_policies,
+        &mut fresh_executors,
+    );
+    let full = run_cluster_with(spec, kind.build().as_mut(), ClusterConfig::default());
+    assert_eq!(
+        resumed, full,
+        "{}: resumed report must equal the uninterrupted run",
+        spec.name
+    );
+    (text, snapshot.taken_at_s())
+}
 
 fn main() {
     let scale = duplex_bench::scale_from_args();
     let quick = scale == duplex::experiments::Scale::quick();
+    let threads = ClusterConfig::default().effective_threads();
 
     let mut rows = Vec::new();
     let mut json_entries = Vec::new();
-    for spec in cluster_suite(&scale) {
+    let mut grok_time_s = None;
+    let suite = duplex::experiments::cluster_suite(&scale);
+    for spec in &suite {
         for kind in RouterKind::ALL {
+            // Fleet construction (executor builds, capacity probes)
+            // stays outside the timed region: the metric is stepping
+            // throughput, not setup cost.
+            let (sim, mut policies, mut executors) = build_cluster(spec);
+            let sim = sim.with_config(ClusterConfig::serial());
             let mut router = kind.build();
             let start = Instant::now();
-            let report = run_cluster(&spec, router.as_mut());
+            let serial = sim.run(router.as_mut(), &mut policies, &mut executors);
+            let serial_wall_s = start.elapsed().as_secs_f64();
+
+            let (sim, mut policies, mut executors) = build_cluster(spec);
+            let sim = sim.with_config(ClusterConfig::default());
+            let mut router = kind.build();
+            let start = Instant::now();
+            let report = sim.run(router.as_mut(), &mut policies, &mut executors);
             let wall_s = start.elapsed().as_secs_f64();
-            let row = ClusterRow::of(&spec, kind.name(), &report);
-            let stages_per_sec = row.stages as f64 / wall_s;
+            assert_eq!(
+                serial,
+                report,
+                "clock-merge invariant: parallel != serial for {} under {}",
+                spec.name,
+                kind.name()
+            );
+            if spec.name == "grok_chat_tiered" {
+                grok_time_s = Some(report.total_time_s);
+            }
+
+            let row = ClusterRow::of(spec, kind.name(), &report);
+            let fleet_stages_per_s = row.stages as f64 / wall_s;
+            let serial_fleet_stages_per_s = row.stages as f64 / serial_wall_s;
             let tbt_p99_ms = row.tbt_p99 * 1e3;
             rows.push(vec![
                 row.cluster.clone(),
@@ -42,8 +117,9 @@ fn main() {
                 row.replicas.to_string(),
                 row.completed.to_string(),
                 row.stages.to_string(),
+                format!("{serial_wall_s:.3}"),
                 format!("{wall_s:.3}"),
-                format!("{stages_per_sec:.0}"),
+                format!("{fleet_stages_per_s:.0}"),
                 format!("{:.0}", row.throughput),
                 format!("{tbt_p99_ms:.2}"),
                 if row.tiered {
@@ -63,11 +139,14 @@ fn main() {
                 String::new()
             };
             json_entries.push(format!(
-                "    \"{}_{}\": {{\"stages_per_sec\": {:.1}, \"wall_s\": {:.4}, \"stages\": {}, \"completed\": {}, \"replicas\": {}, \"sim_tokens_per_sec\": {:.1}, \"tbt_p99_ms\": {:.4}, {}\"kv_reuse_fraction\": {:.4}, \"load_imbalance\": {:.4}, \"policy\": \"{}\", \"model\": \"{}\", \"batch\": {}}}",
+                "    \"{}_{}\": {{\"fleet_stages_per_s\": {:.1}, \"wall_s\": {:.4}, \"serial_fleet_stages_per_s\": {:.1}, \"serial_wall_s\": {:.4}, \"threads\": {}, \"stages\": {}, \"completed\": {}, \"replicas\": {}, \"sim_tokens_per_sec\": {:.1}, \"tbt_p99_ms\": {:.4}, {}\"kv_reuse_fraction\": {:.4}, \"load_imbalance\": {:.4}, \"policy\": \"{}\", \"model\": \"{}\", \"batch\": {}}}",
                 row.cluster,
                 kind.name().replace('-', "_"),
-                stages_per_sec,
+                fleet_stages_per_s,
                 wall_s,
+                serial_fleet_stages_per_s,
+                serial_wall_s,
+                threads,
                 row.stages,
                 row.completed,
                 row.replicas,
@@ -83,15 +162,18 @@ fn main() {
         }
     }
     print_table(
-        "Cluster suite (router x fleet; global stream, per-replica KV, delta pricing)",
+        &format!(
+            "Cluster suite (router x fleet; serial oracle vs parallel windows, {threads} threads)"
+        ),
         &[
             "Cluster",
             "Router",
             "Repl",
             "Done",
             "Stages",
-            "Wall s",
-            "stages/s",
+            "Serial s",
+            "Par s",
+            "fleet st/s",
             "sim tok/s",
             "TBT p99 ms",
             "Int. att.",
@@ -101,12 +183,31 @@ fn main() {
         &rows,
     );
 
+    // ---- snapshot round-trip artifact (Grok fleet, first router) ----
+    let grok = suite
+        .iter()
+        .find(|s| s.name == "grok_chat_tiered")
+        .expect("the suite ships the grok fleet");
+    let (snapshot_json, taken_at_s) =
+        snapshot_roundtrip(grok, grok_time_s.expect("the sweep ran the grok fleet"));
+    let snap_path = "BENCH_cluster_snapshot.json";
+    std::fs::write(snap_path, &snapshot_json)
+        .unwrap_or_else(|e| panic!("writing {snap_path}: {e}"));
+    println!(
+        "\nsnapshot round-trip ok: paused grok_chat_tiered at {taken_at_s:.3}s, resumed \
+         bit-identically ({} bytes -> {snap_path})",
+        snapshot_json.len()
+    );
+
     let json = format!(
-        "{{\n  \"schema\": \"duplex-bench/cluster/v1\",\n  \"mode\": \"{}\",\n  \"scenarios\": {{\n{}\n  }}\n}}\n",
+        "{{\n  \"schema\": \"duplex-bench/cluster/v1\",\n  \"mode\": \"{}\",\n  \"threads\": {},\n  \"snapshot_roundtrip\": {{\"cluster\": \"grok_chat_tiered\", \"taken_at_s\": {:.6}, \"bytes\": {}, \"resumed_bit_identical\": true}},\n  \"scenarios\": {{\n{}\n  }}\n}}\n",
         if quick { "quick" } else { "paper" },
+        threads,
+        taken_at_s,
+        snapshot_json.len(),
         json_entries.join(",\n")
     );
     let path = "BENCH_cluster.json";
     std::fs::write(path, &json).unwrap_or_else(|e| panic!("writing {path}: {e}"));
-    println!("\nwrote {path}");
+    println!("wrote {path}");
 }

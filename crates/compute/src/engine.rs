@@ -282,6 +282,23 @@ impl Engine {
         self.without_overhead(self.kernel_cost(kernel), Self::amortizable_work(kernel))
     }
 
+    /// Like [`Engine::gemm_cost`] but bypassing the memo cache. The
+    /// roofline math is a handful of multiplies — cheaper than a probe
+    /// of the memo table — so per-stage pricing paths use this and
+    /// reserve memoization for aggregates (see `kernel_cost`).
+    pub fn gemm_cost_uncached(&self, shape: GemmShape, dram_bytes: u64) -> KernelCost {
+        self.price_kernel(&Kernel::Gemm { shape, dram_bytes })
+    }
+
+    /// Like [`Engine::gemm_cost_amortized`] but bypassing the memo
+    /// cache (see [`Engine::gemm_cost_uncached`]).
+    pub fn gemm_cost_amortized_uncached(&self, shape: GemmShape, dram_bytes: u64) -> KernelCost {
+        self.without_overhead(
+            self.gemm_cost_uncached(shape, dram_bytes),
+            shape.m * shape.n * shape.k,
+        )
+    }
+
     /// Like [`Engine::kernel_cost_amortized`] but bypassing the memo
     /// cache. Use for kernels whose shapes rarely repeat (per-context
     /// attention score/value GEMMs advance every stage), where caching

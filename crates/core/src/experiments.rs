@@ -22,9 +22,9 @@ use duplex_compute::{AreaModel, Edap, Engine};
 use duplex_model::ops::StageShape;
 use duplex_model::ModelConfig;
 use duplex_sched::{
-    Arrivals, ClusterReport, ClusterSimulation, ConversationSpec, PolicyKind, ReplicaConfig,
-    RequestSource, Router, RouterKind, Scenario, ScenarioSimulation, SchedulingPolicy, SimReport,
-    SimulationConfig, TraceRequest, Workload,
+    Arrivals, ClusterConfig, ClusterReport, ClusterSimulation, ConversationSpec, PolicyKind,
+    ReplicaConfig, RequestSource, Router, RouterKind, Scenario, ScenarioSimulation,
+    SchedulingPolicy, SimReport, SimulationConfig, TraceRequest, Workload,
 };
 use duplex_system::{SplitSimulation, SystemConfig, SystemExecutor};
 
@@ -1271,12 +1271,21 @@ pub fn cluster_suite(scale: &Scale) -> Vec<ClusterSpec> {
     specs
 }
 
-/// Run one fleet under one router: per-replica `SystemExecutor`s with
-/// replica-local KV budgets, capacity weights probed from each
-/// system's decode-stage latency (fastest replica = highest weight),
-/// everything on the PR 2 delta fast path.
-pub fn run_cluster(spec: &ClusterSpec, router: &mut dyn Router) -> ClusterReport {
-    let mut executors: Vec<SystemExecutor> = spec
+/// Build one fleet ready to run: the bound [`ClusterSimulation`] plus
+/// per-replica policies and `SystemExecutor`s with replica-local KV
+/// budgets, capacity weights probed from each system's decode-stage
+/// latency (fastest replica = highest weight). Snapshot/resume callers
+/// rebuild executors through this (a resumed fleet needs freshly built
+/// executors; the snapshot restores their carried batch state).
+#[allow(clippy::type_complexity)]
+pub fn build_cluster(
+    spec: &ClusterSpec,
+) -> (
+    ClusterSimulation,
+    Vec<Box<dyn SchedulingPolicy>>,
+    Vec<SystemExecutor>,
+) {
+    let executors: Vec<SystemExecutor> = spec
         .systems
         .iter()
         .map(|s| SystemExecutor::new(s.clone(), spec.model.clone(), 7))
@@ -1297,13 +1306,32 @@ pub fn run_cluster(spec: &ClusterSpec, router: &mut dyn Router) -> ClusterReport
             .with_weight(1.0 / stage_s)
         })
         .collect();
-    let mut policies: Vec<Box<dyn SchedulingPolicy>> =
+    let policies: Vec<Box<dyn SchedulingPolicy>> =
         spec.systems.iter().map(|_| spec.policy.build()).collect();
-    ClusterSimulation::new(configs, spec.scenario.clone()).run(
-        router,
-        &mut policies,
-        &mut executors,
+    (
+        ClusterSimulation::new(configs, spec.scenario.clone()),
+        policies,
+        executors,
     )
+}
+
+/// Run one fleet under one router, everything on the PR 2 delta fast
+/// path (default execution knobs: parallel windows, auto threads).
+pub fn run_cluster(spec: &ClusterSpec, router: &mut dyn Router) -> ClusterReport {
+    run_cluster_with(spec, router, ClusterConfig::default())
+}
+
+/// [`run_cluster`] with explicit execution knobs — the serial oracle
+/// vs parallel windows, pinned thread counts. Results never depend on
+/// `cluster` (the clock-merge invariant); only wall-clock time does.
+pub fn run_cluster_with(
+    spec: &ClusterSpec,
+    router: &mut dyn Router,
+    cluster: ClusterConfig,
+) -> ClusterReport {
+    let (sim, mut policies, mut executors) = build_cluster(spec);
+    sim.with_config(cluster)
+        .run(router, &mut policies, &mut executors)
 }
 
 /// The cluster sweep: every suite fleet under every shipped router.

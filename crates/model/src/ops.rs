@@ -464,10 +464,22 @@ pub struct StageWork {
     pub attn: Vec<AttnOp>,
     /// Per-MoE-layer expert histograms (empty for dense models).
     pub moe: Vec<MoeLayerWork>,
+    /// Every MoE layer of this stage sees the same histogram (always
+    /// true under expected-value routing). When set by
+    /// [`enumerate_stage_into`], only `moe[0]` is filled — the
+    /// remaining layers keep unspecified contents and consumers must
+    /// price `moe[0]` once per layer. [`enumerate_stage`] materializes
+    /// every layer and clears this flag.
+    pub moe_uniform: bool,
     /// KV-cache bytes appended by this stage (all layers, all requests).
     pub kv_write_bytes: u64,
     /// Whether the stage was mixed (had prefill sequences).
     pub mixed: bool,
+    /// Sort scratch for decode contexts (reused across calls; contents
+    /// after a call are an implementation detail).
+    pub ctx_scratch: Vec<u64>,
+    /// Sort scratch for prefill `(len, past, hold)` keys.
+    pub pre_scratch: Vec<(u64, u64, bool)>,
 }
 
 /// Fill `fc_ops` with the batched FC GEMMs of one stage over `tokens`
@@ -552,6 +564,15 @@ pub fn enumerate_stage<R: Rng + ?Sized>(
 ) -> StageWork {
     let mut work = StageWork::default();
     enumerate_stage_into(config, shape, router, rng, &mut work);
+    // The _into form leaves uniform histograms collapsed into `moe[0]`;
+    // materialize them so casual consumers see every layer filled.
+    if work.moe_uniform {
+        let (first, rest) = work.moe.split_at_mut(1);
+        for layer in rest {
+            layer.expert_tokens.clone_from(&first[0].expert_tokens);
+        }
+        work.moe_uniform = false;
+    }
     work
 }
 
@@ -559,7 +580,12 @@ pub fn enumerate_stage<R: Rng + ?Sized>(
 /// `work`, keeping the capacity of its vectors (including each MoE
 /// layer's histogram). The stage-pricing hot loop calls this with an
 /// executor-owned scratch `StageWork` so steady-state enumeration
-/// performs no per-stage heap allocation beyond the context sort.
+/// performs no per-stage heap allocation at all (the context and
+/// prefill sorts run in `work`'s scratch vectors).
+///
+/// Unlike [`enumerate_stage`], uniform MoE histograms stay collapsed:
+/// under expected-value routing only `work.moe[0]` is filled and
+/// `work.moe_uniform` is set (see [`StageWork::moe_uniform`]).
 pub fn enumerate_stage_into<R: Rng + ?Sized>(
     config: &ModelConfig,
     shape: &StageShape,
@@ -593,11 +619,17 @@ pub fn enumerate_stage_into<R: Rng + ?Sized>(
     // over equal keys) and when they are all distinct (no per-request
     // hashing); the deterministic order keeps round-robin data-parallel
     // placement reproducible.
-    let attn = &mut work.attn;
+    let StageWork {
+        attn,
+        ctx_scratch,
+        pre_scratch,
+        ..
+    } = &mut *work;
     attn.clear();
-    let mut sorted_ctx = shape.decode_ctx.clone();
-    sorted_ctx.sort_unstable();
-    for &ctx in &sorted_ctx {
+    ctx_scratch.clear();
+    ctx_scratch.extend_from_slice(&shape.decode_ctx);
+    ctx_scratch.sort_unstable();
+    for &ctx in ctx_scratch.iter() {
         if let Some(last) = attn.last_mut() {
             if last.ctx == ctx {
                 last.reqs += 1;
@@ -621,17 +653,16 @@ pub fn enumerate_stage_into<R: Rng + ?Sized>(
     // Prefill groups key on the full `(len, past, hold)` triple: only
     // identical kernel shapes with identical LM-row accounting may
     // share a group.
-    let mut sorted_pre: Vec<(u64, u64, bool)> = (0..shape.prefill_len.len())
-        .map(|i| {
-            (
-                shape.prefill_len[i],
-                shape.prefill_past_of(i),
-                !shape.prefill_samples(i),
-            )
-        })
-        .collect();
-    sorted_pre.sort_unstable();
-    for &(len, past, hold) in &sorted_pre {
+    pre_scratch.clear();
+    pre_scratch.extend((0..shape.prefill_len.len()).map(|i| {
+        (
+            shape.prefill_len[i],
+            shape.prefill_past_of(i),
+            !shape.prefill_samples(i),
+        )
+    }));
+    pre_scratch.sort_unstable();
+    for &(len, past, hold) in pre_scratch.iter() {
         if let Some(last) = attn[decode_groups..].last_mut() {
             if last.ctx == len && last.past == past && last.samples != hold {
                 last.reqs += 1;
@@ -669,16 +700,15 @@ pub fn enumerate_stage_into<R: Rng + ?Sized>(
     for (i, layer) in work.moe.iter_mut().enumerate() {
         layer.layer = i as u32;
     }
+    work.moe_uniform = false;
     if blocks > 0 {
         match router.mode() {
             // Expected counts are a pure function of the token count:
-            // compute one histogram and share it across layers.
+            // compute one histogram; layers 1.. stay collapsed (see
+            // [`StageWork::moe_uniform`]).
             crate::routing::RoutingMode::Expected => {
-                let (first, rest) = work.moe.split_at_mut(1);
-                router.route_expected_into(tokens, &mut first[0].expert_tokens);
-                for layer in rest {
-                    layer.expert_tokens.clone_from(&first[0].expert_tokens);
-                }
+                router.route_expected_into(tokens, &mut work.moe[0].expert_tokens);
+                work.moe_uniform = true;
             }
             // Each layer's gate is an independent draw.
             crate::routing::RoutingMode::Sampled => {

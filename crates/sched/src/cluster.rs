@@ -17,10 +17,11 @@
 //!   routing is what lets multi-turn KV reuse survive behind the load
 //!   balancer;
 //! * **replicas run asynchronously on a shared virtual clock** — the
-//!   driver always advances the replica whose next stage starts
-//!   earliest, so stage executions interleave exactly as a wall clock
-//!   would order them; replicas may be heterogeneous (different
-//!   [`SimulationConfig`]s, different executors, different capacity
+//!   driver alternates *dispatch* phases (route every arrival due by
+//!   the fleet's next stage start) with *window* phases (each replica
+//!   independently steps up to the next global synchronization point);
+//!   replicas may be heterogeneous (different [`SimulationConfig`]s,
+//!   different executors, different capacity
 //!   [`ReplicaConfig::weight`]s);
 //! * **reports merge losslessly** — per-replica [`SimReport`]s plus a
 //!   fleet view built with the metrics `merge` APIs
@@ -32,6 +33,25 @@
 //! [`crate::ScenarioSimulation`]: both drive the same
 //! `ScenarioStream`/`ReplicaSim` machinery, and the cross-crate
 //! proptests pin the equivalence.
+//!
+//! # The clock-merge invariant
+//!
+//! Between synchronization points, replicas share **nothing**: a
+//! `ReplicaSim` step touches only replica-local
+//! state, and every action that would touch shared state (the arrival
+//! stream's RNG, follow-up queue, or the replica's parked-KV pool
+//! whose occupancy those actions change) is buffered as an ordered
+//! `RetireEvent`. A window runs each replica forward until its next
+//! stage would start at or after the **window bound** — the next
+//! global arrival time — or until a step buffers events; the driver
+//! then applies every replica's buffered events against the shared
+//! stream *in replica-index order*. Because windows are
+//! side-effect-free and the merge order is fixed, executing the
+//! windows concurrently (the [`ClusterConfig::parallel`] path, on the
+//! vendored rayon pool) is **byte-identical** to executing them one
+//! replica at a time in index order (the serial oracle): same RNG
+//! sequence, same routing decisions, same reports, to the bit. The
+//! integration tests assert this for every [`crate::RouterKind`].
 //!
 //! # Example
 //!
@@ -74,6 +94,62 @@ use crate::policy::SchedulingPolicy;
 use crate::router::{ReplicaSnapshot, Router};
 use crate::scenario::{ReplicaSim, Scenario, ScenarioStream};
 use crate::scheduler::{SimulationConfig, StageExecutor};
+use crate::snapshot::ClusterSnapshot;
+
+/// Execution knobs for the cluster driver. Results never depend on
+/// these: the parallel path is byte-identical to the serial oracle
+/// (see the module docs on the clock-merge invariant), so `parallel`
+/// and `threads` only trade wall-clock time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClusterConfig {
+    /// Step replica windows concurrently on the vendored rayon pool.
+    /// `false` is the serial oracle the determinism tests compare
+    /// against.
+    pub parallel: bool,
+    /// Worker threads for the parallel path; `0` means auto: the
+    /// `DUPLEX_THREADS` environment variable when set, otherwise the
+    /// machine's available parallelism.
+    pub threads: usize,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        Self {
+            parallel: true,
+            threads: 0,
+        }
+    }
+}
+
+impl ClusterConfig {
+    /// The serial oracle: one replica at a time, in index order.
+    pub fn serial() -> Self {
+        Self {
+            parallel: false,
+            threads: 0,
+        }
+    }
+
+    /// Resolved window concurrency: 1 when serial, else `threads`,
+    /// `DUPLEX_THREADS`, or the machine width, in that order.
+    pub fn effective_threads(&self) -> usize {
+        if !self.parallel {
+            return 1;
+        }
+        if self.threads > 0 {
+            return self.threads;
+        }
+        std::env::var("DUPLEX_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&v| v > 0)
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|p| p.get())
+                    .unwrap_or(1)
+            })
+    }
+}
 
 /// One replica's scheduler limits plus its relative serving capacity.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -220,23 +296,173 @@ impl ClusterReport {
     }
 }
 
+/// Route every arrival due by the fleet's next stage start. Returns
+/// when the next arrival is strictly later than the fleet's next stage
+/// start (route it later, at its own time), when the stream is
+/// drained, or when the whole fleet is stage-capped.
+fn dispatch_arrivals(
+    stream: &mut ScenarioStream<'_>,
+    router: &mut dyn Router,
+    configs: &[ReplicaConfig],
+    replicas: &mut [ReplicaSim],
+    snapshots: &mut Vec<ReplicaSnapshot>,
+) {
+    while let Some(t_a) = stream.next_arrival_time() {
+        let fleet_next = replicas.iter().filter_map(ReplicaSim::next_start).fold(
+            None::<f64>,
+            |acc, t| match acc {
+                Some(best) if best <= t => Some(best),
+                _ => Some(t),
+            },
+        );
+        match fleet_next {
+            // The next stage forms before this arrival: route it
+            // later, at its own time.
+            Some(t) if t_a > t => break,
+            // Whole fleet drained by its stage caps: stop
+            // accepting (the run is truncated).
+            None if !replicas.iter().any(ReplicaSim::can_accept) => break,
+            _ => {
+                let p = stream.pop_next().expect("arrival time implies a request");
+                snapshots.clear();
+                snapshots.extend(configs.iter().zip(replicas.iter()).map(|(cfg, r)| {
+                    let (in_flight, queued, outstanding_tokens) = r.load();
+                    let (kv_reserved_bytes, kv_capacity_bytes) = r.kv_usage();
+                    ReplicaSnapshot {
+                        now_s: r.clock(),
+                        in_flight,
+                        queued,
+                        max_batch: r.max_batch(),
+                        outstanding_tokens,
+                        kv_reserved_bytes,
+                        kv_capacity_bytes,
+                        weight: cfg.weight,
+                        resident_history_tokens: r.resident_history(p.conversation),
+                        accepting: r.can_accept(),
+                    }
+                }));
+                let target = router.route(&p, snapshots);
+                assert!(
+                    target < replicas.len(),
+                    "router picked replica {target} of {}",
+                    replicas.len()
+                );
+                replicas[target].enqueue(p);
+            }
+        }
+    }
+}
+
+/// One dispatch → window → merge round. Returns `false` when the fleet
+/// is drained (no replica has a next stage). See the module docs for
+/// why the parallel window is byte-identical to the serial one.
+#[allow(clippy::too_many_arguments)]
+fn drive_round<E: StageExecutor + Send>(
+    stream: &mut ScenarioStream<'_>,
+    router: &mut dyn Router,
+    configs: &[ReplicaConfig],
+    replicas: &mut [ReplicaSim],
+    snapshots: &mut Vec<ReplicaSnapshot>,
+    policies: &mut [Box<dyn SchedulingPolicy>],
+    executors: &mut [E],
+    threads: usize,
+) -> bool {
+    // ---- dispatch: route every arrival due by the fleet's next stage ----
+    dispatch_arrivals(stream, router, configs, replicas, snapshots);
+    if !replicas.iter().any(|r| r.next_start().is_some()) {
+        return false;
+    }
+    // ---- window: every replica steps to the next global sync point ----
+    // After dispatch the next arrival (if any) is strictly later than
+    // the fleet's earliest stage start, so at least one replica steps:
+    // every round makes progress.
+    let bound = stream.next_arrival_time();
+    if threads > 1 && replicas.len() > 1 {
+        let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = replicas
+            .iter_mut()
+            .zip(policies.iter_mut())
+            .zip(executors.iter_mut())
+            .map(|((r, p), e)| {
+                Box::new(move || r.run_window(bound, p.as_mut(), e))
+                    as Box<dyn FnOnce() + Send + '_>
+            })
+            .collect();
+        rayon::join_all(jobs);
+    } else {
+        for ((r, p), e) in replicas
+            .iter_mut()
+            .zip(policies.iter_mut())
+            .zip(executors.iter_mut())
+        {
+            r.run_window(bound, p.as_mut(), e);
+        }
+    }
+    // ---- merge: apply buffered events in replica-index order ----
+    for r in replicas.iter_mut() {
+        r.drain_retire_events(stream);
+    }
+    true
+}
+
+/// The outcome of a bounded cluster run
+/// ([`ClusterSimulation::run_until`] /
+/// [`ClusterSimulation::resume_until`]): either the run reached its
+/// virtual-time bound and paused into a resumable [`ClusterSnapshot`],
+/// or it drained first and produced the final [`ClusterReport`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum ClusterRun {
+    /// The fleet paused at the first merge point whose next event lies
+    /// at or past the bound; resume with
+    /// [`ClusterSimulation::resume`].
+    Paused(ClusterSnapshot),
+    /// The fleet drained (or hit every stage cap) before the bound.
+    Done(ClusterReport),
+}
+
+impl ClusterRun {
+    /// The final report, if the run finished.
+    pub fn report(self) -> Option<ClusterReport> {
+        match self {
+            ClusterRun::Done(report) => Some(report),
+            ClusterRun::Paused(_) => None,
+        }
+    }
+
+    /// The pause snapshot, if the run hit its bound.
+    pub fn snapshot(self) -> Option<ClusterSnapshot> {
+        match self {
+            ClusterRun::Paused(snapshot) => Some(snapshot),
+            ClusterRun::Done(_) => None,
+        }
+    }
+}
+
 /// A configured cluster run: N replicas over one scenario, ready for a
 /// router, per-replica policies and per-replica executors.
 #[derive(Debug)]
 pub struct ClusterSimulation {
     configs: Vec<ReplicaConfig>,
     scenario: Scenario,
+    cluster: ClusterConfig,
 }
 
 impl ClusterSimulation {
-    /// Bind a scenario to a fleet of replica configs. Under trace
+    /// Bind a scenario to a fleet of replica configs (default
+    /// [`ClusterConfig`]: parallel, auto thread count). Under trace
     /// replay the request count is clamped to the trace length.
     pub fn new(configs: Vec<ReplicaConfig>, scenario: Scenario) -> Self {
         assert!(!configs.is_empty(), "a cluster needs at least one replica");
         Self {
             configs,
             scenario: scenario.normalized(),
+            cluster: ClusterConfig::default(),
         }
+    }
+
+    /// Override the execution knobs (serial oracle, thread count).
+    pub fn with_config(mut self, cluster: ClusterConfig) -> Self {
+        self.cluster = cluster;
+        self
     }
 
     /// Replicas in the fleet.
@@ -247,29 +473,119 @@ impl ClusterSimulation {
     /// Run the fleet to completion (or every replica's stage cap).
     /// `policies` and `executors` are indexed like the replica configs
     /// and must match their length.
-    pub fn run<E: StageExecutor>(
-        self,
+    pub fn run<E: StageExecutor + Send>(
+        &self,
         router: &mut dyn Router,
         policies: &mut [Box<dyn SchedulingPolicy>],
         executors: &mut [E],
     ) -> ClusterReport {
-        let Self { configs, scenario } = self;
+        match self.run_inner(router, policies, executors, None, None) {
+            ClusterRun::Done(report) => report,
+            ClusterRun::Paused(_) => unreachable!("an unbounded run never pauses"),
+        }
+    }
+
+    /// Run until the first merge point whose next event (stage start
+    /// or arrival) lies at or past `stop_s` virtual seconds: every
+    /// event strictly before the bound executes, then the fleet pauses
+    /// into a [`ClusterSnapshot`]. Returns
+    /// [`ClusterRun::Done`] when the fleet drains first.
+    ///
+    /// Pausing and [`resume`](Self::resume)-ing is **byte-identical**
+    /// to the uninterrupted [`run`](Self::run) — same RNG draws, same
+    /// routing, same final report to the bit (asserted by the
+    /// integration tests) — because snapshots capture the complete
+    /// dynamic state at a merge point of the clock-merge protocol.
+    pub fn run_until<E: StageExecutor + Send>(
+        &self,
+        router: &mut dyn Router,
+        policies: &mut [Box<dyn SchedulingPolicy>],
+        executors: &mut [E],
+        stop_s: f64,
+    ) -> ClusterRun {
+        self.run_inner(router, policies, executors, None, Some(stop_s))
+    }
+
+    /// Continue a paused run to completion. The cluster, scenario,
+    /// router kind and policies must match the run that produced the
+    /// snapshot; `executors` must be *freshly built* (their carried
+    /// batch state is restored from the snapshot).
+    pub fn resume<E: StageExecutor + Send>(
+        &self,
+        snapshot: &ClusterSnapshot,
+        router: &mut dyn Router,
+        policies: &mut [Box<dyn SchedulingPolicy>],
+        executors: &mut [E],
+    ) -> ClusterReport {
+        match self.run_inner(router, policies, executors, Some(snapshot), None) {
+            ClusterRun::Done(report) => report,
+            ClusterRun::Paused(_) => unreachable!("an unbounded resume never pauses"),
+        }
+    }
+
+    /// Continue a paused run until a further bound (see
+    /// [`run_until`](Self::run_until)); a run may pause and resume any
+    /// number of times.
+    pub fn resume_until<E: StageExecutor + Send>(
+        &self,
+        snapshot: &ClusterSnapshot,
+        router: &mut dyn Router,
+        policies: &mut [Box<dyn SchedulingPolicy>],
+        executors: &mut [E],
+        stop_s: f64,
+    ) -> ClusterRun {
+        self.run_inner(router, policies, executors, Some(snapshot), Some(stop_s))
+    }
+
+    fn run_inner<E: StageExecutor + Send>(
+        &self,
+        router: &mut dyn Router,
+        policies: &mut [Box<dyn SchedulingPolicy>],
+        executors: &mut [E],
+        start: Option<&ClusterSnapshot>,
+        stop_s: Option<f64>,
+    ) -> ClusterRun {
+        let configs = &self.configs;
         assert_eq!(
             configs.len(),
             policies.len(),
             "one scheduling policy per replica"
         );
         assert_eq!(configs.len(), executors.len(), "one executor per replica");
-        let mut stream = ScenarioStream::new(&scenario, None);
+        let mut stream = ScenarioStream::new(&self.scenario, None);
         let mut replicas: Vec<ReplicaSim> = configs
             .iter()
-            .map(|c| ReplicaSim::new(c.sim, &scenario))
+            .map(|c| ReplicaSim::new(c.sim, &self.scenario))
             .collect();
+        if let Some(snap) = start {
+            assert_eq!(
+                snap.replicas.len(),
+                replicas.len(),
+                "snapshot replica count does not match the cluster"
+            );
+            stream.import_state(&snap.stream);
+            router.import_state(&snap.router);
+            for ((replica, state), executor) in replicas
+                .iter_mut()
+                .zip(&snap.replicas)
+                .zip(executors.iter_mut())
+            {
+                replica.import_state(state);
+                if let Some(batch) = &state.batch {
+                    executor.import_batch(batch);
+                }
+            }
+        }
         let mut snapshots: Vec<ReplicaSnapshot> = Vec::with_capacity(replicas.len());
+        let threads = self.cluster.effective_threads();
 
         loop {
-            // ---- route every arrival due by the fleet's next stage start ----
-            while let Some(t_a) = stream.next_arrival_time() {
+            // ---- pause check, at the merge-point boundary ----
+            // Peeking the arrival time here draws the same source
+            // request the upcoming dispatch would peek, so the stream
+            // state a snapshot captures is on the uninterrupted run's
+            // draw order.
+            if let Some(stop) = stop_s {
                 let fleet_next = replicas.iter().filter_map(ReplicaSim::next_start).fold(
                     None::<f64>,
                     |acc, t| match acc {
@@ -277,56 +593,40 @@ impl ClusterSimulation {
                         _ => Some(t),
                     },
                 );
-                match fleet_next {
-                    // The next stage forms before this arrival: route it
-                    // later, at its own time.
-                    Some(t) if t_a > t => break,
-                    // Whole fleet drained by its stage caps: stop
-                    // accepting (the run is truncated).
-                    None if !replicas.iter().any(ReplicaSim::can_accept) => break,
-                    _ => {
-                        let p = stream.pop_next().expect("arrival time implies a request");
-                        snapshots.clear();
-                        snapshots.extend(configs.iter().zip(&replicas).map(|(cfg, r)| {
-                            let (in_flight, queued, outstanding_tokens) = r.load();
-                            let (kv_reserved_bytes, kv_capacity_bytes) = r.kv_usage();
-                            ReplicaSnapshot {
-                                now_s: r.clock(),
-                                in_flight,
-                                queued,
-                                max_batch: r.max_batch(),
-                                outstanding_tokens,
-                                kv_reserved_bytes,
-                                kv_capacity_bytes,
-                                weight: cfg.weight,
-                                resident_history_tokens: r.resident_history(p.conversation),
-                                accepting: r.can_accept(),
-                            }
-                        }));
-                        let target = router.route(&p, &snapshots);
-                        assert!(
-                            target < replicas.len(),
-                            "router picked replica {target} of {}",
-                            replicas.len()
-                        );
-                        replicas[target].enqueue(p);
-                    }
+                let next_event = match (fleet_next, stream.next_arrival_time()) {
+                    (Some(a), Some(b)) => Some(a.min(b)),
+                    (a, b) => a.or(b),
+                };
+                if next_event.is_some_and(|t| t >= stop) {
+                    let states = replicas
+                        .iter()
+                        .zip(executors.iter())
+                        .map(|(r, e)| {
+                            let mut state = r.export_state();
+                            state.batch = e.export_batch();
+                            state
+                        })
+                        .collect();
+                    return ClusterRun::Paused(ClusterSnapshot {
+                        taken_at_s: stop,
+                        router: router.export_state(),
+                        stream: stream.export_state(),
+                        replicas: states,
+                    });
                 }
             }
-
-            // ---- step the replica whose stage starts earliest ----
-            let mut next: Option<(usize, f64)> = None;
-            for (i, r) in replicas.iter().enumerate() {
-                if let Some(t) = r.next_start() {
-                    if next.is_none_or(|(_, best)| t < best) {
-                        next = Some((i, t));
-                    }
-                }
-            }
-            let Some((idx, _)) = next else {
+            if !drive_round(
+                &mut stream,
+                router,
+                configs,
+                &mut replicas,
+                &mut snapshots,
+                policies,
+                executors,
+                threads,
+            ) {
                 break;
-            };
-            replicas[idx].step(&mut stream, policies[idx].as_mut(), &mut executors[idx]);
+            }
         }
 
         let reports: Vec<SimReport> = replicas.into_iter().map(ReplicaSim::into_report).collect();
@@ -334,11 +634,11 @@ impl ClusterSimulation {
             .iter()
             .map(|r| r.total_time_s)
             .fold(0.0f64, f64::max);
-        ClusterReport {
+        ClusterRun::Done(ClusterReport {
             replicas: reports,
             router: router.name().into(),
             total_time_s,
-        }
+        })
     }
 }
 

@@ -70,10 +70,11 @@ pub mod request;
 pub mod router;
 pub mod scenario;
 pub mod scheduler;
+pub mod snapshot;
 pub mod trace;
 pub mod workload;
 
-pub use cluster::{ClusterReport, ClusterSimulation, ReplicaConfig};
+pub use cluster::{ClusterConfig, ClusterReport, ClusterRun, ClusterSimulation, ReplicaConfig};
 pub use delta::StageDelta;
 pub use metrics::{
     KvReuseStats, LatencyDigest, LatencySummary, SimReport, SloStats, StageRecord, StageStats,
@@ -90,6 +91,7 @@ pub use router::{
 pub use scenario::{
     AdaptiveChunk, ConversationSpec, PendingRequest, Scenario, ScenarioSimulation, SloTier,
 };
-pub use scheduler::{Simulation, SimulationConfig, StageExecutor, StageOutcome};
+pub use scheduler::{BatchCheckpoint, Simulation, SimulationConfig, StageExecutor, StageOutcome};
+pub use snapshot::ClusterSnapshot;
 pub use trace::{TraceRecorder, TraceRequest};
 pub use workload::{Arrivals, RequestSource, Workload};

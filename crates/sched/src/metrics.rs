@@ -107,10 +107,29 @@ impl LatencyDigest {
         if n == 0 {
             return;
         }
+        self.record_n_in(Self::bucket_of(value), value, n);
+    }
+
+    /// The bucket `value` lands in (exactly [`LatencyDigest::record_n`]'s
+    /// choice). The bucket math costs two `ln` calls, so a caller
+    /// recording one value into several digests — the scheduler feeds
+    /// the fleet digest plus one digest per SLO tier every stage —
+    /// looks the bucket up once and records via
+    /// [`LatencyDigest::record_n_in`].
+    pub fn bucket_for(value: f64) -> usize {
+        Self::bucket_of(value)
+    }
+
+    /// [`LatencyDigest::record_n`] with the bucket index precomputed by
+    /// [`LatencyDigest::bucket_for`] on the same `value`.
+    pub fn record_n_in(&mut self, bucket: usize, value: f64, n: u64) {
+        if n == 0 {
+            return;
+        }
         if self.buckets.is_empty() {
             self.buckets.resize(DIGEST_BUCKETS, (0, 0.0));
         }
-        let b = &mut self.buckets[Self::bucket_of(value)];
+        let b = &mut self.buckets[bucket];
         b.0 += n;
         b.1 += value * n as f64;
         self.count += n;
@@ -165,6 +184,39 @@ impl LatencyDigest {
         }
         self.count += other.count;
         self.sum += other.sum;
+    }
+
+    /// Export the digest for a snapshot: the nonzero buckets as
+    /// `(index, count, sum)` plus the global count and sum. The global
+    /// sum is accumulated in record order and is *not* recomputable
+    /// from the bucket sums bit-exactly, so it is carried explicitly.
+    pub(crate) fn export_state(&self) -> (Vec<(u64, u64, f64)>, u64, f64) {
+        let buckets = self
+            .buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &(n, _))| n > 0)
+            .map(|(i, &(n, sum))| (i as u64, n, sum))
+            .collect();
+        (buckets, self.count, self.sum)
+    }
+
+    /// Rebuild a digest from [`export_state`](Self::export_state)
+    /// output. A never-recorded digest round-trips to
+    /// `LatencyDigest::default()` — bucket allocation stays lazy so
+    /// `PartialEq` cannot tell a restored digest from the original.
+    pub(crate) fn import_state(buckets: &[(u64, u64, f64)], count: u64, sum: f64) -> Self {
+        let mut d = LatencyDigest::default();
+        if count == 0 {
+            return d;
+        }
+        d.buckets.resize(DIGEST_BUCKETS, (0, 0.0));
+        for &(i, n, s) in buckets {
+            d.buckets[i as usize] = (n, s);
+        }
+        d.count = count;
+        d.sum = sum;
+        d
     }
 
     /// p50/p90/p99/mean summary of the recorded population.

@@ -86,7 +86,11 @@ impl PolicyContext {
 }
 
 /// Picks the next pending request to admit.
-pub trait SchedulingPolicy {
+///
+/// `Send` is a supertrait so boxed policies can ride along when the
+/// cluster simulator steps replicas on worker threads; policies are
+/// replica-local state machines, so this costs implementors nothing.
+pub trait SchedulingPolicy: Send {
     /// Display name for reports.
     fn name(&self) -> &'static str;
 

@@ -115,6 +115,19 @@ pub trait Router {
     /// Index of the replica `request` is routed to. `replicas` is
     /// non-empty and indexed like the cluster's replica list.
     fn route(&mut self, request: &PendingRequest, replicas: &[ReplicaSnapshot]) -> usize;
+
+    /// The router's mutable state as opaque words, for cluster
+    /// snapshots. Stateless routers (the default) export nothing;
+    /// [`RoundRobin`] exports its rotation cursor.
+    fn export_state(&self) -> Vec<u64> {
+        Vec::new()
+    }
+
+    /// Restore state captured by [`export_state`](Self::export_state).
+    /// The default ignores it (stateless routers).
+    fn import_state(&mut self, state: &[u64]) {
+        let _ = state;
+    }
 }
 
 /// State-blind rotation: request k goes to replica k mod N.
@@ -143,6 +156,16 @@ impl Router for RoundRobin {
         let pick = self.next % replicas.len();
         self.next = (self.next + 1) % replicas.len();
         pick
+    }
+
+    fn export_state(&self) -> Vec<u64> {
+        vec![self.next as u64]
+    }
+
+    fn import_state(&mut self, state: &[u64]) {
+        if let Some(&next) = state.first() {
+            self.next = next as usize;
+        }
     }
 }
 
@@ -411,5 +434,26 @@ mod tests {
         for kind in RouterKind::ALL {
             assert_eq!(kind.build().name(), kind.name());
         }
+    }
+
+    #[test]
+    fn round_robin_state_round_trips_mid_rotation() {
+        let snaps = vec![snapshot(0, 1.0); 3];
+        let mut rr = RoundRobin::default();
+        rr.route(&request(0), &snaps);
+        rr.route(&request(0), &snaps);
+        let state = rr.export_state();
+        let mut restored = RoundRobin::default();
+        restored.import_state(&state);
+        for _ in 0..4 {
+            assert_eq!(
+                restored.route(&request(0), &snaps),
+                rr.route(&request(0), &snaps)
+            );
+        }
+        // Stateless routers export nothing and ignore imports.
+        let mut jsq = LeastOutstandingWork;
+        assert!(Router::export_state(&jsq).is_empty());
+        jsq.import_state(&[7]);
     }
 }

@@ -76,6 +76,9 @@ use crate::metrics::{
 use crate::policy::{PolicyContext, SchedulingPolicy};
 use crate::request::{Request, RequestRecord};
 use crate::scheduler::{SimulationConfig, StageExecutor};
+use crate::snapshot::{
+    ActiveState, ChunkingState, DigestState, KvState, ReplicaState, StreamState, TierState,
+};
 use crate::trace::TraceRecorder;
 use crate::workload::{exp_sample, sample_len, Arrivals, RequestSource, Workload};
 
@@ -498,6 +501,45 @@ impl<'a> ScenarioStream<'a> {
             .partition_point(|f| f.request.arrival_s > follow.request.arrival_s);
         self.followups.insert(pos, follow);
     }
+
+    /// Capture the stream's dynamic state (both RNG streams, draw
+    /// counters, the peeked request and queued follow-ups) for a
+    /// [`crate::ClusterSnapshot`]. Static configuration (workload,
+    /// tiers, conversation spec) is not captured: a resume rebuilds it
+    /// from the same [`Scenario`].
+    pub(crate) fn export_state(&self) -> StreamState {
+        let (source_rng, source_next_id, source_clock, source_burst_on, source_phase_until) =
+            self.source.export_state();
+        StreamState {
+            source_rng,
+            source_next_id,
+            source_clock,
+            source_burst_on,
+            source_phase_until,
+            rng: self.rng.state(),
+            drawn: self.drawn as u64,
+            next_id: self.next_id,
+            peeked: self.peeked,
+            followups: self.followups.clone(),
+        }
+    }
+
+    /// Restore state captured by [`export_state`](Self::export_state)
+    /// onto a freshly built stream for the same scenario.
+    pub(crate) fn import_state(&mut self, s: &StreamState) {
+        self.source.import_state(
+            s.source_rng,
+            s.source_next_id,
+            s.source_clock,
+            s.source_burst_on,
+            s.source_phase_until,
+        );
+        self.rng = StdRng::from_state(s.rng);
+        self.drawn = s.drawn as usize;
+        self.next_id = s.next_id;
+        self.peeked = s.peeked;
+        self.followups = s.followups.clone();
+    }
 }
 
 fn make_pending(request: Request, tier: usize, tiers: &[SloTier]) -> PendingRequest {
@@ -514,6 +556,31 @@ fn make_pending(request: Request, tier: usize, tiers: &[SloTier]) -> PendingRequ
         history_tokens: 0,
         skipped: 0,
     }
+}
+
+/// A conversation-lifecycle action buffered during
+/// [`ReplicaSim::step`] and applied to the shared [`ScenarioStream`]
+/// at the next merge point, in buffer order. Deferring these (instead
+/// of mutating the stream mid-step) is what makes replica stepping
+/// side-effect-free between synchronization points.
+pub(crate) enum RetireEvent {
+    /// A round below the conversation's round cap finished: roll the
+    /// continuation die; on success park `history` tokens and spawn
+    /// the follow-up round (think time measured from `now_s`), on
+    /// failure release the conversation's parked KV.
+    MaybeFollowup {
+        /// The finished round, owning conversation identity and tier.
+        pending: PendingRequest,
+        /// Prompt + generated tokens: the parked-history length.
+        history: u64,
+        /// The replica clock when the round retired.
+        now_s: f64,
+    },
+    /// The round cap was reached: drop parked KV, no die roll.
+    Release {
+        /// The conversation whose KV is released.
+        conversation: u64,
+    },
 }
 
 /// One replica's continuous-batching event loop: routed requests enter
@@ -555,6 +622,9 @@ pub(crate) struct ReplicaSim {
     /// Reused per-stage tier-occupancy counts for per-tier TBT.
     tier_active: Vec<u64>,
     kv_reuse: KvReuseStats,
+    /// Conversation events buffered by [`ReplicaSim::step`], applied
+    /// at the next merge point (capacity reused across steps).
+    retire_events: Vec<RetireEvent>,
 }
 
 impl ReplicaSim {
@@ -600,6 +670,7 @@ impl ReplicaSim {
             tier_active: vec![0; tier_stats.len()],
             tier_stats,
             kv_reuse: KvReuseStats::default(),
+            retire_events: Vec::new(),
             config,
         }
     }
@@ -693,12 +764,17 @@ impl ReplicaSim {
     }
 
     /// Form and execute one stage at this replica's `next_start` time.
-    /// Completed conversations roll their follow-up dice on `stream`
-    /// (in retirement order, so the global RNG sequence is
-    /// deterministic) and queue the next round there.
+    ///
+    /// `step` never touches the shared [`ScenarioStream`]: completed
+    /// conversations are *buffered* as [`RetireEvent`]s in retirement
+    /// order, and the caller applies them against the stream with
+    /// [`ReplicaSim::drain_retire_events`]. Draining immediately after
+    /// each step reproduces the historical inline behavior exactly
+    /// (same RNG sequence, same parked-KV operation order); the
+    /// cluster drains at its merge points instead, which is what lets
+    /// replicas step concurrently between router events.
     pub(crate) fn step<E: StageExecutor + ?Sized>(
         &mut self,
-        stream: &mut ScenarioStream<'_>,
         policy: &mut dyn SchedulingPolicy,
         executor: &mut E,
     ) {
@@ -897,15 +973,16 @@ impl ReplicaSim {
         }
         self.shape.clear_prefills();
 
-        self.tbt_digest
-            .record_n(outcome.seconds, self.active.len() as u64);
-        if !self.tier_stats.is_empty() {
-            self.tier_active.iter_mut().for_each(|c| *c = 0);
-            for a in &self.active {
-                self.tier_active[a.pending.tier] += 1;
-            }
+        // One TBT sample per decoding request; `tier_active` tracks the
+        // active set's per-tier counts incrementally (updated on admit
+        // and retire below), and the bucket index is computed once and
+        // shared across the fleet and tier digests.
+        if !self.active.is_empty() {
+            let bucket = LatencyDigest::bucket_for(outcome.seconds);
+            self.tbt_digest
+                .record_n_in(bucket, outcome.seconds, self.active.len() as u64);
             for (stats, &n) in self.tier_stats.iter_mut().zip(&self.tier_active) {
-                stats.tbt_digest.record_n(outcome.seconds, n);
+                stats.tbt_digest.record_n_in(bucket, outcome.seconds, n);
             }
         }
         for a in &mut self.active {
@@ -914,6 +991,9 @@ impl ReplicaSim {
         for mut a in self.admitted.drain(..) {
             a.generated = 1;
             a.first_token_s = self.clock;
+            if !self.tier_active.is_empty() {
+                self.tier_active[a.pending.tier] += 1;
+            }
             self.active.push(a);
         }
 
@@ -925,6 +1005,9 @@ impl ReplicaSim {
                 continue;
             }
             let done = self.active.swap_remove(i);
+            if !self.tier_active.is_empty() {
+                self.tier_active[done.pending.tier] -= 1;
+            }
             self.reserved -= done.kv_reserved(bytes_per_token);
             self.delta.retire.push(done.decode_ctx());
             let record = RequestRecord {
@@ -945,23 +1028,101 @@ impl ReplicaSim {
                     stats.good_tokens += record.tokens;
                 }
             }
-            if let (Some(spec), Some(cache)) = (&self.conversation, self.parked.as_mut()) {
-                let continues = done.pending.round < spec.max_rounds
-                    && stream.roll_followup(spec.followup_prob);
-                if continues {
-                    let history = done.pending.request.input_len + done.generated;
-                    // Park the history; if it cannot fit alone the
-                    // follow-up simply re-prefills.
-                    if let Ok(events) = cache.admit(done.pending.conversation, history) {
-                        self.kv_reuse.parked_evictions += events.len() as u64
-                    }
-                    stream.spawn_followup(&done.pending, history, self.clock);
+            if let Some(spec) = &self.conversation {
+                if done.pending.round < spec.max_rounds {
+                    // The continuation die, history parking and
+                    // follow-up spawn all happen at drain time (they
+                    // need the shared stream); `now_s` is captured so
+                    // a deferred drain prices think time identically.
+                    self.retire_events.push(RetireEvent::MaybeFollowup {
+                        history: done.pending.request.input_len + done.generated,
+                        now_s: self.clock,
+                        pending: done.pending,
+                    });
                 } else {
-                    // The conversation is over; drop any parked KV.
-                    cache.release(done.pending.conversation);
+                    // Round cap: the conversation is over, no die roll.
+                    self.retire_events.push(RetireEvent::Release {
+                        conversation: done.pending.conversation,
+                    });
                 }
             }
             self.completed.push(record);
+        }
+    }
+
+    /// Whether [`ReplicaSim::step`] buffered conversation events that
+    /// must be applied to the stream before this replica's parked KV
+    /// pool (or the global arrival order) can be observed again.
+    pub(crate) fn has_retire_events(&self) -> bool {
+        !self.retire_events.is_empty()
+    }
+
+    /// Apply the buffered [`RetireEvent`]s against the shared stream,
+    /// in the order they were buffered: roll continuation dice, park
+    /// finished histories, spawn follow-up rounds, release closed
+    /// conversations. Calling this right after [`ReplicaSim::step`]
+    /// reproduces the inline retirement semantics bit for bit.
+    pub(crate) fn drain_retire_events(&mut self, stream: &mut ScenarioStream<'_>) {
+        if self.retire_events.is_empty() {
+            return;
+        }
+        let spec = self
+            .conversation
+            .as_ref()
+            .expect("retire events imply a conversation spec");
+        let followup_prob = spec.followup_prob;
+        let cache = self
+            .parked
+            .as_mut()
+            .expect("a conversation spec implies a parked pool");
+        let mut events = std::mem::take(&mut self.retire_events);
+        for event in events.drain(..) {
+            match event {
+                RetireEvent::MaybeFollowup {
+                    pending,
+                    history,
+                    now_s,
+                } => {
+                    if stream.roll_followup(followup_prob) {
+                        // Park the history; if it cannot fit alone the
+                        // follow-up simply re-prefills.
+                        if let Ok(evicted) = cache.admit(pending.conversation, history) {
+                            self.kv_reuse.parked_evictions += evicted.len() as u64;
+                        }
+                        stream.spawn_followup(&pending, history, now_s);
+                    } else {
+                        // The conversation is over; drop any parked KV.
+                        cache.release(pending.conversation);
+                    }
+                }
+                RetireEvent::Release { conversation } => cache.release(conversation),
+            }
+        }
+        // Hand the (now empty) buffer back so its capacity is reused.
+        self.retire_events = events;
+    }
+
+    /// Step this replica repeatedly until its next stage would start at
+    /// or after `bound` (`None` = unbounded), it drains, or a step
+    /// buffers retire events — the per-replica half of the cluster's
+    /// clock-merge protocol. Stopping at the first buffered event is
+    /// what keeps windows deterministic: everything after it could
+    /// depend on the continuation die or on parked-KV bytes freed by a
+    /// release, both of which are resolved only at merge time.
+    pub(crate) fn run_window<E: StageExecutor + ?Sized>(
+        &mut self,
+        bound: Option<f64>,
+        policy: &mut dyn SchedulingPolicy,
+        executor: &mut E,
+    ) {
+        while let Some(t) = self.next_start() {
+            if bound.is_some_and(|b| t >= b) {
+                break;
+            }
+            self.step(policy, executor);
+            if self.has_retire_events() {
+                break;
+            }
         }
     }
 
@@ -979,6 +1140,154 @@ impl ReplicaSim {
             kv_reuse: self.kv_reuse,
         }
     }
+
+    /// Capture this replica's dynamic state for a
+    /// [`crate::ClusterSnapshot`]. Only valid at a merge point, where
+    /// the admission and retire-event buffers are empty; the carried
+    /// [`StageDelta`] `fresh` flag and retirement list are the only
+    /// cross-step stage state, and both are captured. The executor's
+    /// batch checkpoint is filled in by the cluster (which owns the
+    /// executors).
+    pub(crate) fn export_state(&self) -> ReplicaState {
+        assert!(
+            self.admitted.is_empty(),
+            "snapshot outside a merge point: admissions in flight"
+        );
+        assert!(
+            self.retire_events.is_empty(),
+            "snapshot outside a merge point: undrained retire events"
+        );
+        debug_assert!(
+            self.delta.admit.is_empty()
+                && self.delta.admit_ctx.is_empty()
+                && self.delta.chunk.is_empty(),
+            "per-stage delta fields must be clear between steps"
+        );
+        ReplicaState {
+            inbox: self.inbox.clone(),
+            pending: self.pending.clone(),
+            active: self
+                .active
+                .iter()
+                .map(|a| ActiveState {
+                    pending: a.pending.clone(),
+                    generated: a.generated,
+                    first_token_s: a.first_token_s,
+                })
+                .collect(),
+            chunking: self
+                .chunking
+                .iter()
+                .map(|c| ChunkingState {
+                    pending: c.pending.clone(),
+                    history: c.history,
+                    processed: c.processed,
+                    prefill_total: c.prefill_total,
+                })
+                .collect(),
+            parked: self.parked.as_ref().map(|cache| {
+                let (clock, entries) = cache.export_entries();
+                KvState { clock, entries }
+            }),
+            reserved: self.reserved,
+            clock: self.clock,
+            delta_fresh: self.delta.fresh,
+            delta_retire: self.delta.retire.clone(),
+            completed: self.completed.clone(),
+            stages: self.stages.clone(),
+            stage_stats: self.stage_stats,
+            tbt_digest: digest_state(&self.tbt_digest),
+            tiers: self
+                .tier_stats
+                .iter()
+                .map(|t| TierState {
+                    completed: t.completed,
+                    met: t.met,
+                    good_tokens: t.good_tokens,
+                    tbt: digest_state(&t.tbt_digest),
+                })
+                .collect(),
+            kv_reuse: self.kv_reuse,
+            batch: None,
+        }
+    }
+
+    /// Restore state captured by [`export_state`](Self::export_state)
+    /// onto a freshly built replica for the same scenario and config.
+    /// `tier_active` is derived state and is recounted from the active
+    /// set (identical to its incremental maintenance).
+    pub(crate) fn import_state(&mut self, s: &ReplicaState) {
+        self.inbox = s.inbox.clone();
+        self.pending = s.pending.clone();
+        self.active = s
+            .active
+            .iter()
+            .map(|a| ActiveRequest {
+                pending: a.pending.clone(),
+                generated: a.generated,
+                first_token_s: a.first_token_s,
+            })
+            .collect();
+        self.chunking = s
+            .chunking
+            .iter()
+            .map(|c| ChunkingRequest {
+                pending: c.pending.clone(),
+                history: c.history,
+                processed: c.processed,
+                prefill_total: c.prefill_total,
+            })
+            .collect();
+        match (&mut self.parked, &s.parked) {
+            (Some(cache), Some(kv)) => cache.import_entries(kv.clock, &kv.entries),
+            (None, None) => {}
+            _ => panic!("snapshot parked-KV state does not match the scenario"),
+        }
+        self.reserved = s.reserved;
+        self.clock = s.clock;
+        self.delta = StageDelta::start();
+        if !s.delta_fresh {
+            self.delta.clear();
+        }
+        self.delta.retire.extend_from_slice(&s.delta_retire);
+        self.completed = s.completed.clone();
+        self.stages = s.stages.clone();
+        self.stage_stats = s.stage_stats;
+        self.tbt_digest = import_digest(&s.tbt_digest);
+        assert_eq!(
+            self.tier_stats.len(),
+            s.tiers.len(),
+            "snapshot tier set does not match the scenario"
+        );
+        for (t, ts) in self.tier_stats.iter_mut().zip(&s.tiers) {
+            t.completed = ts.completed;
+            t.met = ts.met;
+            t.good_tokens = ts.good_tokens;
+            t.tbt_digest = import_digest(&ts.tbt);
+        }
+        for n in self.tier_active.iter_mut() {
+            *n = 0;
+        }
+        if !self.tier_active.is_empty() {
+            for a in &self.active {
+                self.tier_active[a.pending.tier] += 1;
+            }
+        }
+        self.kv_reuse = s.kv_reuse;
+    }
+}
+
+fn digest_state(d: &LatencyDigest) -> DigestState {
+    let (buckets, count, sum) = d.export_state();
+    DigestState {
+        buckets,
+        count,
+        sum,
+    }
+}
+
+fn import_digest(s: &DigestState) -> LatencyDigest {
+    LatencyDigest::import_state(&s.buckets, s.count, s.sum)
 }
 
 /// A configured scenario run, ready for a policy and an executor.
@@ -1045,7 +1354,11 @@ impl ScenarioSimulation {
             if replica.next_start().is_none() {
                 break;
             }
-            replica.step(&mut stream, policy, executor);
+            replica.step(policy, executor);
+            // Draining right after the step keeps the RNG-draw and
+            // parked-KV operation order identical to the historical
+            // inline retirement path.
+            replica.drain_retire_events(&mut stream);
         }
         replica.into_report()
     }

@@ -34,6 +34,22 @@ pub struct StageOutcome {
     pub seconds: f64,
 }
 
+/// Executor-side batch state captured by a cluster snapshot: the
+/// carried decode groups, the decode-join contexts pending from the
+/// previous stage, and the executor's RNG stream (sampled expert
+/// routing draws from it, so resuming must continue the same stream
+/// for bit-identical pricing).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchCheckpoint {
+    /// Run-length-encoded decode groups as `(ctx, reqs)`, ascending.
+    pub decode_groups: Vec<(u64, u64)>,
+    /// Contexts admitted by the previous delta, joining decode next
+    /// stage at `ctx + 1`.
+    pub pending_joins: Vec<u64>,
+    /// The executor's RNG state (xoshiro256** words).
+    pub rng: [u64; 4],
+}
+
 /// Prices one stage of work. Implemented by the system crate's
 /// execution engines; test doubles return fixed latencies.
 pub trait StageExecutor {
@@ -51,6 +67,22 @@ pub trait StageExecutor {
     fn execute_delta(&mut self, delta: &StageDelta, shape: &StageShape) -> StageOutcome {
         let _ = delta;
         self.execute(shape)
+    }
+
+    /// Export the executor's carried batch state for a cluster
+    /// snapshot. Stateless executors (the default) have nothing to
+    /// carry and return `None`, and a snapshot without a checkpoint
+    /// skips [`import_batch`](Self::import_batch) on resume.
+    fn export_batch(&self) -> Option<BatchCheckpoint> {
+        None
+    }
+
+    /// Restore a previously exported batch state so that resumed
+    /// stages price bit-identically to the uninterrupted run. The
+    /// default ignores the checkpoint (stateless executors re-derive
+    /// everything from the first fresh delta or shape).
+    fn import_batch(&mut self, checkpoint: &BatchCheckpoint) {
+        let _ = checkpoint;
     }
 }
 

@@ -23,9 +23,11 @@
 //!   and scaled by the MoE block count;
 //! * per-stage scratch (per-node token/row/op buffers) lives in the
 //!   executor and is reused across stages instead of reallocated;
-//! * kernel pricing underneath is memoized by the engines (see
-//!   `duplex_compute::Engine::cache_stats`), so repeated shapes across
-//!   layers, nodes and stages are hash lookups.
+//! * kernel pricing underneath goes straight to the roofline math
+//!   (`duplex_compute::Engine::kernel_cost_uncached` and friends): a
+//!   price is a handful of multiplies, cheaper than probing the
+//!   engines' memo table, so the executor memoizes only *aggregates*
+//!   (the decode-stage constants keyed on `(m_fc, tokens)`).
 //!
 //! **Invariants.** Grouping is a pure batching of identical work: for
 //! any stage shape and system, the fast path's [`StageCost`] equals the
@@ -84,7 +86,7 @@ use duplex_model::ops::{
 };
 use duplex_model::routing::RoutingMode;
 use duplex_model::{ExpertRouter, ModelConfig};
-use duplex_sched::{StageDelta, StageExecutor, StageOutcome};
+use duplex_sched::{BatchCheckpoint, StageDelta, StageExecutor, StageOutcome};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -652,12 +654,12 @@ impl SystemExecutor {
         };
         let mut cost = KernelCost::zero();
         for _ in 0..work.up_count {
-            cost += engine.gemm_cost_amortized(up, up.weight_bytes(bpe));
+            cost += engine.gemm_cost_amortized_uncached(up, up.weight_bytes(bpe));
         }
-        cost += engine.gemm_cost_amortized(down, down.weight_bytes(bpe));
+        cost += engine.gemm_cost_amortized_uncached(down, down.weight_bytes(bpe));
         if work.activation_elems > 0 {
             let elems = (work.activation_elems as f64 * frac).ceil() as u64;
-            cost += engine.kernel_cost(&Kernel::Elementwise { elems });
+            cost += engine.kernel_cost_uncached(&Kernel::Elementwise { elems });
         }
         cost
     }
@@ -843,7 +845,7 @@ impl SystemExecutor {
                 continue;
             }
             let bytes = cnt * kv_tok / u64::from(tp_attn);
-            let c = engine.kernel_cost(&Kernel::Stream { bytes, write: true });
+            let c = engine.kernel_cost_uncached(&Kernel::Stream { bytes, write: true });
             tpl.base_energy.add_attn(&c.scaled(f64::from(tp_attn)));
             tpl.node_const_s
                 .push(c.seconds + 3.0 * engine.spec().launch_overhead_s * layers);
@@ -1013,13 +1015,13 @@ impl SystemExecutor {
             let kv_tok = self.model.kv_bytes_per_token();
             if decode_tokens > 0 {
                 let bytes = decode_tokens * kv_tok / u64::from(tp_attn);
-                let c = decode_engine.kernel_cost(&Kernel::Stream { bytes, write: true });
+                let c = decode_engine.kernel_cost_uncached(&Kernel::Stream { bytes, write: true });
                 dec += c.seconds;
                 energy.add_attn(&c.scaled(f64::from(tp_attn)));
             }
             if prefill_tokens > 0 {
                 let bytes = prefill_tokens * kv_tok / u64::from(tp_attn);
-                let c = prefill_engine.kernel_cost(&Kernel::Stream { bytes, write: true });
+                let c = prefill_engine.kernel_cost_uncached(&Kernel::Stream { bytes, write: true });
                 pre += c.seconds;
                 energy.add_attn(&c.scaled(f64::from(tp_attn)));
             }
@@ -1042,28 +1044,39 @@ impl SystemExecutor {
         if !work.moe.is_empty() {
             let mixed = work.mixed;
             // Under expected-value routing every MoE layer of a stage
-            // sees the same histogram: price one layer, scale by the
-            // block count. Sampled routing falls back to per-layer.
+            // sees the same histogram (`moe_uniform`, with only `moe[0]`
+            // materialized): price one layer, scale by the block count.
+            // Sampled routing falls back to per-layer, with the equality
+            // scan still collapsing histograms that happen to coincide.
             let identical = grouped
-                && work
-                    .moe
-                    .windows(2)
-                    .all(|w| w[0].expert_tokens == w[1].expert_tokens);
-            let priced = if identical {
-                &work.moe[..1]
-            } else {
-                &work.moe[..]
-            };
-            let multiplier = if identical {
-                work.moe.len() as f64
-            } else {
-                1.0
-            };
-            for layer in priced {
-                let (t, e) = self.price_moe_layer(&layer.expert_tokens, mixed, tp_fc, moe_devices);
+                && (work.moe_uniform
+                    || work
+                        .moe
+                        .windows(2)
+                        .all(|w| w[0].expert_tokens == w[1].expert_tokens));
+            if identical {
+                let multiplier = work.moe.len() as f64;
+                let (t, e) =
+                    self.price_moe_layer(&work.moe[0].expert_tokens, mixed, tp_fc, moe_devices);
                 time.moe += t * multiplier;
                 energy.moe_dram += e.moe_dram * multiplier;
                 energy.moe_comp += e.moe_comp * multiplier;
+            } else {
+                // The reference path sums per-layer prices; a collapsed
+                // uniform stage prices `moe[0]` once per layer, which
+                // sums the same addends the materialized form would.
+                for i in 0..work.moe.len() {
+                    let idx = if work.moe_uniform { 0 } else { i };
+                    let (t, e) = self.price_moe_layer(
+                        &work.moe[idx].expert_tokens,
+                        mixed,
+                        tp_fc,
+                        moe_devices,
+                    );
+                    time.moe += t;
+                    energy.moe_dram += e.moe_dram;
+                    energy.moe_comp += e.moe_comp;
+                }
             }
         }
 
@@ -1096,7 +1109,10 @@ impl SystemExecutor {
     }
 
     /// Aggregate kernel-pricing cache statistics `(hits, misses)`
-    /// across this executor's engines.
+    /// across this executor's engines. The executor's own stage paths
+    /// price kernels uncached (the roofline math is cheaper than a memo
+    /// probe), so for simulator runs this reports `(0, 0)`; it stays
+    /// for callers that price kernels through the engines directly.
     pub fn price_cache_stats(&self) -> (u64, u64) {
         let (mut h, mut m) = self.xpu.cache_stats();
         if let Some(pim) = &self.pim {
@@ -1130,7 +1146,10 @@ impl SystemExecutor {
                 k: op.shape.k,
             };
             let dram = op.weight_bytes(bpe) / u64::from(tp_fc);
-            let dev = self.xpu.gemm_cost(sharded, dram).scaled(op.count as f64);
+            let dev = self
+                .xpu
+                .gemm_cost_uncached(sharded, dram)
+                .scaled(op.count as f64);
             time.fc += dev.seconds;
             // Every device of every node does symmetric work.
             let cluster = dev.scaled(f64::from(tp_fc) * nodes as f64);
@@ -1186,7 +1205,7 @@ impl SystemExecutor {
                 // On-device partial-sum all-reduce: the xPU reads each
                 // Logic-PIM stack's partial outputs (Sec. V-A).
                 let partial = m_fc * self.model.hidden * bpe;
-                let c = self.xpu.kernel_cost(&Kernel::Stream {
+                let c = self.xpu.kernel_cost_uncached(&Kernel::Stream {
                     bytes: partial,
                     write: false,
                 });
@@ -1414,6 +1433,24 @@ impl StageExecutor for SystemExecutor {
             seconds: cost.seconds,
         }
     }
+
+    fn export_batch(&self) -> Option<BatchCheckpoint> {
+        let (decode_groups, pending_joins) = self.batch.export();
+        Some(BatchCheckpoint {
+            decode_groups,
+            pending_joins,
+            rng: self.rng.state(),
+        })
+    }
+
+    fn import_batch(&mut self, checkpoint: &BatchCheckpoint) {
+        self.batch
+            .restore(&checkpoint.decode_groups, &checkpoint.pending_joins);
+        // The decode template is a pure function of the groups; drop it
+        // and let the next stage rebuild it (bit-identical).
+        self.template = None;
+        self.rng = StdRng::from_state(checkpoint.rng);
+    }
 }
 
 #[cfg(test)]
@@ -1634,24 +1671,24 @@ mod tests {
     }
 
     #[test]
-    fn kernel_cache_serves_repeated_stages() {
+    fn stage_pricing_is_uncached_and_reproducible() {
         let mut ex = SystemExecutor::new(
             SystemConfig::duplex_pe_et(4, 1),
             ModelConfig::mixtral_8x7b(),
             1,
         );
         let shape = decode_stage(64, 2048);
-        ex.stage_cost(&shape);
-        let (_, misses_first) = ex.price_cache_stats();
-        ex.stage_cost(&shape);
-        let (hits, misses) = ex.price_cache_stats();
-        assert!(
-            hits > 0,
-            "repeated identical stage must hit the price cache"
+        let a = ex.stage_cost(&shape);
+        let b = ex.stage_cost(&shape);
+        assert_eq!(
+            a.seconds.to_bits(),
+            b.seconds.to_bits(),
+            "repeated identical stage must price bit-identically"
         );
         assert_eq!(
-            misses, misses_first,
-            "second identical stage must add no misses"
+            ex.price_cache_stats(),
+            (0, 0),
+            "stage pricing must not touch the engine kernel memo"
         );
     }
 

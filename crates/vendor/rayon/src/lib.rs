@@ -1,37 +1,236 @@
 //! Offline stand-in for the `rayon` crate.
 //!
 //! Implements the `into_par_iter().map(..).collect()` shape the sweep
-//! drivers use, on top of `std::thread::scope` with a shared atomic
-//! work index (simple self-scheduling — the sweeps' work items are
-//! coarse, so work stealing buys nothing here). Result order matches
-//! the input order, as with real rayon `collect()` on indexed iterators.
+//! drivers use, plus a scoped [`join_all`] entry point for the cluster
+//! simulator's fork/join windows. Both run on a single **persistent
+//! worker pool**: threads are spawned lazily on first parallel use and
+//! then parked on a condvar between calls, so fine-grained fork/join
+//! (thousands of sub-millisecond windows per cluster run) pays a
+//! notify/park handshake instead of a `thread::spawn` per call
+//! (~tens of microseconds each, which would dwarf the window itself).
+//! Result order matches the input order, as with real rayon
+//! `collect()` on indexed iterators.
 //!
 //! Thread count comes from `std::thread::available_parallelism`, capped
 //! by the `RAYON_NUM_THREADS` environment variable when set (the same
-//! knob the real crate honors).
+//! knob the real crate honors). The env var is read once per call so
+//! tests can vary it; the pool itself only ever grows up to the
+//! hardware limit.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 
 /// The traits user code imports (mirrors `rayon::prelude`).
 pub mod prelude {
     pub use crate::{IntoParallelIterator, ParallelIterator};
 }
 
-/// Number of worker threads to use for `n` items.
-fn thread_count(n: usize) -> usize {
-    let avail = std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(1);
-    let cap = std::env::var("RAYON_NUM_THREADS")
-        .ok()
-        .and_then(|v| v.parse::<usize>().ok())
-        .filter(|&v| v > 0)
-        .unwrap_or(avail);
+/// Number of worker threads to use for `n` items given the hardware
+/// parallelism `avail` and the optional `RAYON_NUM_THREADS` cap.
+///
+/// Pure so the policy is unit-testable: the cap only ever *lowers* the
+/// hardware limit (a cap above `avail` is clamped), zero/invalid caps
+/// are ignored, no more threads than items are used, and the result is
+/// at least 1 (the caller runs inline in that case).
+fn thread_count_from(avail: usize, cap: Option<usize>, n: usize) -> usize {
+    let cap = cap.filter(|&v| v > 0).unwrap_or(avail);
     cap.min(avail).min(n).max(1)
 }
 
-/// Apply `f` to every item on a thread pool, preserving input order.
+fn hardware_parallelism() -> usize {
+    std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+}
+
+fn env_cap() -> Option<usize> {
+    std::env::var("RAYON_NUM_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+}
+
+/// Number of worker threads to use for `n` items.
+fn thread_count(n: usize) -> usize {
+    thread_count_from(hardware_parallelism(), env_cap(), n)
+}
+
+/// One unit of queued work: the job plus the batch it belongs to, so
+/// completion can be signalled to the submitting caller.
+struct Task {
+    job: Box<dyn FnOnce() + Send + 'static>,
+    batch: Arc<Batch>,
+}
+
+impl Task {
+    fn run(self) {
+        if catch_unwind(AssertUnwindSafe(self.job)).is_err() {
+            self.batch.panicked.store(true, Ordering::Release);
+        }
+        self.batch.complete_one();
+    }
+}
+
+/// Completion latch for one `join_all` / `par_apply` submission.
+struct Batch {
+    pending: Mutex<usize>,
+    done: Condvar,
+    panicked: AtomicBool,
+}
+
+impl Batch {
+    fn new(jobs: usize) -> Arc<Self> {
+        Arc::new(Self {
+            pending: Mutex::new(jobs),
+            done: Condvar::new(),
+            panicked: AtomicBool::new(false),
+        })
+    }
+
+    fn complete_one(&self) {
+        let mut pending = self.pending.lock().expect("batch latch poisoned");
+        *pending -= 1;
+        if *pending == 0 {
+            self.done.notify_all();
+        }
+    }
+
+    fn wait(&self) {
+        let mut pending = self.pending.lock().expect("batch latch poisoned");
+        while *pending > 0 {
+            pending = self.done.wait(pending).expect("batch latch poisoned");
+        }
+    }
+}
+
+/// The process-wide worker pool: a shared FIFO of tasks plus parked
+/// worker threads. Workers are spawned lazily up to the hardware
+/// parallelism and then live for the process lifetime, parked on
+/// `available` whenever the queue is empty.
+struct Pool {
+    queue: Mutex<VecDeque<Task>>,
+    available: Condvar,
+    spawned: AtomicUsize,
+}
+
+static POOL: OnceLock<Pool> = OnceLock::new();
+
+fn pool() -> &'static Pool {
+    POOL.get_or_init(|| Pool {
+        queue: Mutex::new(VecDeque::new()),
+        available: Condvar::new(),
+        spawned: AtomicUsize::new(0),
+    })
+}
+
+/// Number of pool worker threads spawned so far in this process.
+/// Monotonic: the pool reuses workers across calls instead of spawning
+/// per call (pinned by a unit test below).
+pub fn pool_threads_spawned() -> usize {
+    pool().spawned.load(Ordering::Acquire)
+}
+
+impl Pool {
+    /// Ensure at least `want` workers exist (capped by hardware
+    /// parallelism; the submitting thread also drains the queue, so
+    /// `want` counts it out).
+    fn ensure_workers(&'static self, want: usize) {
+        let limit = hardware_parallelism().saturating_sub(1).max(1);
+        let want = want.min(limit);
+        loop {
+            let have = self.spawned.load(Ordering::Acquire);
+            if have >= want {
+                return;
+            }
+            if self
+                .spawned
+                .compare_exchange(have, have + 1, Ordering::AcqRel, Ordering::Acquire)
+                .is_err()
+            {
+                continue;
+            }
+            std::thread::Builder::new()
+                .name(format!("rayon-shim-{have}"))
+                .spawn(move || self.worker_loop())
+                .expect("spawning pool worker");
+        }
+    }
+
+    fn worker_loop(&self) {
+        loop {
+            let task = {
+                let mut queue = self.queue.lock().expect("pool queue poisoned");
+                loop {
+                    if let Some(task) = queue.pop_front() {
+                        break task;
+                    }
+                    queue = self.available.wait(queue).expect("pool queue poisoned");
+                }
+            };
+            task.run();
+        }
+    }
+
+    /// Submit the jobs as one batch and block until all have run. The
+    /// caller helps drain the queue (so progress never depends on a
+    /// free worker), then parks until its batch completes.
+    fn run_batch(&'static self, jobs: Vec<Box<dyn FnOnce() + Send + '_>>, workers: usize) {
+        let batch = Batch::new(jobs.len());
+        {
+            let mut queue = self.queue.lock().expect("pool queue poisoned");
+            for job in jobs {
+                // SAFETY: lifetime erasure. `run_batch` does not return
+                // until `batch.wait()` observes every job of this batch
+                // complete, so all borrows captured by the jobs outlive
+                // their execution. Jobs never escape the pool: they are
+                // either run by a worker or by this caller below.
+                let job: Box<dyn FnOnce() + Send + 'static> = unsafe { std::mem::transmute(job) };
+                queue.push_back(Task {
+                    job,
+                    batch: Arc::clone(&batch),
+                });
+            }
+        }
+        self.ensure_workers(workers.saturating_sub(1));
+        self.available.notify_all();
+        // Help drain; tasks from other batches may be interleaved,
+        // which is fine — running them only speeds their caller up.
+        loop {
+            let task = self.queue.lock().expect("pool queue poisoned").pop_front();
+            match task {
+                Some(task) => task.run(),
+                None => break,
+            }
+        }
+        batch.wait();
+        if batch.panicked.load(Ordering::Acquire) {
+            panic!("a rayon-shim pool task panicked");
+        }
+    }
+}
+
+/// Run every closure to completion, concurrently when the machine (and
+/// `RAYON_NUM_THREADS`) allow, inline otherwise. Blocks until all jobs
+/// have finished; panics if any job panicked.
+///
+/// This is the scoped fork/join entry point for callers that need
+/// heterogeneous jobs borrowing local state (e.g. the cluster
+/// simulator stepping each replica to a synchronization point): the
+/// closures may borrow non-`'static` data because the call does not
+/// return until every job has run.
+pub fn join_all(jobs: Vec<Box<dyn FnOnce() + Send + '_>>) {
+    let threads = thread_count(jobs.len());
+    if threads <= 1 || jobs.len() <= 1 {
+        for job in jobs {
+            job();
+        }
+        return;
+    }
+    pool().run_batch(jobs, threads);
+}
+
+/// Apply `f` to every item on the worker pool, preserving input order.
 fn par_apply<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
 where
     T: Send,
@@ -46,20 +245,21 @@ where
     let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
     let out: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
     let next = AtomicUsize::new(0);
-    let f = &f;
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
-                }
-                let item = slots[i].lock().expect("input slot poisoned").take();
-                let item = item.expect("each index is claimed exactly once");
-                *out[i].lock().expect("output slot poisoned") = Some(f(item));
-            });
+    let worker = |_: ()| loop {
+        let i = next.fetch_add(1, Ordering::Relaxed);
+        if i >= n {
+            break;
         }
-    });
+        let item = slots[i].lock().expect("input slot poisoned").take();
+        let item = item.expect("each index is claimed exactly once");
+        *out[i].lock().expect("output slot poisoned") = Some(f(item));
+    };
+    let worker = &worker;
+    join_all(
+        (0..threads)
+            .map(|_| Box::new(move || worker(())) as Box<dyn FnOnce() + Send + '_>)
+            .collect(),
+    );
     out.into_iter()
         .map(|m| {
             m.into_inner()
@@ -184,6 +384,7 @@ pub fn current_num_threads() -> usize {
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
+    use super::*;
 
     #[test]
     fn map_collect_preserves_order() {
@@ -204,6 +405,69 @@ mod tests {
         let v: Vec<u32> = Vec::new();
         let out: Vec<u32> = v.into_par_iter().map(|x| x + 1).collect();
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn thread_count_policy() {
+        // No cap: hardware limit, then item count, floor of 1.
+        assert_eq!(thread_count_from(8, None, 100), 8);
+        assert_eq!(thread_count_from(8, None, 3), 3);
+        assert_eq!(thread_count_from(8, None, 0), 1);
+        assert_eq!(thread_count_from(1, None, 100), 1);
+        // Cap lowers but never raises the hardware limit.
+        assert_eq!(thread_count_from(8, Some(4), 100), 4);
+        assert_eq!(thread_count_from(4, Some(16), 100), 4);
+        // Zero / unparsable caps are ignored.
+        assert_eq!(thread_count_from(8, Some(0), 100), 8);
+        // Cap interacts with item count: fewest wins.
+        assert_eq!(thread_count_from(8, Some(4), 2), 2);
+    }
+
+    #[test]
+    fn join_all_runs_every_job_and_supports_borrows() {
+        let mut outputs = vec![0u64; 8];
+        {
+            let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = outputs
+                .iter_mut()
+                .enumerate()
+                .map(|(i, slot)| {
+                    Box::new(move || {
+                        *slot = (i as u64 + 1) * 10;
+                    }) as Box<dyn FnOnce() + Send + '_>
+                })
+                .collect();
+            super::join_all(jobs);
+        }
+        assert_eq!(outputs, vec![10, 20, 30, 40, 50, 60, 70, 80]);
+    }
+
+    #[test]
+    fn pool_reuses_workers_across_calls() {
+        // Warm the pool once, then check that repeated parallel calls
+        // do not spawn new threads: the pool parks and reuses them.
+        let warm: Vec<u32> = (0..64).collect();
+        let _: Vec<u32> = warm.into_par_iter().map(|x| x + 1).collect();
+        let after_warm = pool_threads_spawned();
+        for _ in 0..8 {
+            let v: Vec<u32> = (0..64).collect();
+            let _: Vec<u32> = v.into_par_iter().map(|x| x + 1).collect();
+            let mut outputs = [0u64; 4];
+            let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = outputs
+                .iter_mut()
+                .map(|slot| Box::new(move || *slot = 1) as Box<dyn FnOnce() + Send + '_>)
+                .collect();
+            super::join_all(jobs);
+        }
+        assert_eq!(
+            pool_threads_spawned(),
+            after_warm,
+            "parallel calls after warm-up must reuse parked workers"
+        );
+        let limit = hardware_parallelism();
+        assert!(
+            pool_threads_spawned() < limit.max(2),
+            "pool never exceeds hardware parallelism minus the caller"
+        );
     }
 
     #[test]

@@ -15,11 +15,14 @@
 //! same values land in `BENCH_cluster.json` where the CI gate pins
 //! them.
 
-use duplex::experiments::{cluster_suite, run_cluster, ClusterRow, Scale};
+use duplex::experiments::{
+    build_cluster, cluster_suite, run_cluster, run_cluster_with, ClusterRow, Scale,
+};
 use duplex::model::ModelConfig;
 use duplex::sched::{
-    Arrivals, ClusterSimulation, ConversationSpec, PolicyKind, ReplicaConfig, RouterKind, Scenario,
-    ScenarioSimulation, SchedulingPolicy, SimulationConfig, Workload,
+    Arrivals, ClusterConfig, ClusterSimulation, ClusterSnapshot, ConversationSpec, PolicyKind,
+    ReplicaConfig, RouterKind, Scenario, ScenarioSimulation, SchedulingPolicy, SimulationConfig,
+    Workload,
 };
 use duplex::system::{SystemConfig, SystemExecutor};
 
@@ -148,4 +151,117 @@ fn bench_rows_are_reproducible() {
     let a = grok_rows();
     let b = grok_rows();
     assert_eq!(a, b);
+}
+
+#[test]
+fn parallel_windows_are_byte_identical_to_serial() {
+    // The clock-merge invariant, end to end on real SystemExecutors:
+    // for every suite fleet under every router, stepping replica
+    // windows concurrently must reproduce the serial oracle's report
+    // to the bit — same stages, same clocks, same digests.
+    for spec in &cluster_suite(&Scale::quick()) {
+        for kind in RouterKind::ALL {
+            let serial = run_cluster_with(spec, kind.build().as_mut(), ClusterConfig::serial());
+            let parallel = run_cluster_with(
+                spec,
+                kind.build().as_mut(),
+                ClusterConfig {
+                    parallel: true,
+                    threads: 4,
+                },
+            );
+            assert_eq!(
+                serial.total_time_s.to_bits(),
+                parallel.total_time_s.to_bits(),
+                "{} under {}",
+                spec.name,
+                kind.name()
+            );
+            assert_eq!(serial, parallel, "{} under {}", spec.name, kind.name());
+        }
+    }
+}
+
+#[test]
+fn snapshot_resume_matches_uninterrupted_run_bit_for_bit() {
+    // Pause the acceptance fleet mid-run, push the snapshot through
+    // its JSON wire format, resume on a freshly built fleet, and
+    // demand the final report equals the uninterrupted run's, bit for
+    // bit, under every router.
+    let suite = cluster_suite(&Scale::quick());
+    let spec = suite
+        .iter()
+        .find(|s| s.name == "grok_chat_tiered")
+        .expect("the suite ships the grok fleet");
+    for kind in RouterKind::ALL {
+        let full = run_cluster(spec, kind.build().as_mut());
+        let stop_s = full.total_time_s * 0.4;
+
+        let (sim, mut policies, mut executors) = build_cluster(spec);
+        let mut router = kind.build();
+        let snapshot = sim
+            .run_until(router.as_mut(), &mut policies, &mut executors, stop_s)
+            .snapshot()
+            .expect("the bound lands mid-run");
+        assert!(snapshot.replica_count() == spec.systems.len());
+
+        let text = snapshot.to_json();
+        let restored = ClusterSnapshot::from_json(&text).expect("the wire format round-trips");
+        assert_eq!(restored, snapshot, "JSON round-trip is lossless");
+
+        let (sim, mut policies, mut executors) = build_cluster(spec);
+        let mut router = kind.build();
+        let resumed = sim.resume(&restored, router.as_mut(), &mut policies, &mut executors);
+        assert_eq!(
+            resumed.total_time_s.to_bits(),
+            full.total_time_s.to_bits(),
+            "router {}",
+            kind.name()
+        );
+        assert_eq!(resumed, full, "router {}", kind.name());
+    }
+}
+
+#[test]
+fn repeated_pause_resume_still_matches() {
+    // A run may pause any number of times: chain two bounded resumes
+    // before the final unbounded one and compare against the oracle.
+    let suite = cluster_suite(&Scale::quick());
+    let spec = suite
+        .iter()
+        .find(|s| s.name == "mixtral_hetero")
+        .expect("the suite ships the mixtral fleet");
+    let kind = RouterKind::ALL[0];
+    let full = run_cluster(spec, kind.build().as_mut());
+
+    let (sim, mut policies, mut executors) = build_cluster(spec);
+    let mut router = kind.build();
+    let first = sim
+        .run_until(
+            router.as_mut(),
+            &mut policies,
+            &mut executors,
+            full.total_time_s * 0.25,
+        )
+        .snapshot()
+        .expect("first bound lands mid-run");
+
+    let (sim, mut policies, mut executors) = build_cluster(spec);
+    let mut router = kind.build();
+    let second = sim
+        .resume_until(
+            &first,
+            router.as_mut(),
+            &mut policies,
+            &mut executors,
+            full.total_time_s * 0.7,
+        )
+        .snapshot()
+        .expect("second bound lands mid-run");
+    assert!(second.taken_at_s() > first.taken_at_s());
+
+    let (sim, mut policies, mut executors) = build_cluster(spec);
+    let mut router = kind.build();
+    let resumed = sim.resume(&second, router.as_mut(), &mut policies, &mut executors);
+    assert_eq!(resumed, full);
 }

@@ -347,7 +347,26 @@ fn cluster_reports_are_seed_deterministic() {
 fn cluster_routers_place_differently_but_serve_everything() {
     let rr = run_cluster_fleet(RouterKind::RoundRobin);
     let aff = run_cluster_fleet(RouterKind::SessionAffinity);
-    assert_eq!(rr.completed(), aff.completed(), "same offered rounds");
+    // Placement changes retirement order, retirement order changes
+    // which continuation dice each conversation draws, so the offered
+    // round count itself varies a little between routers. Every router
+    // must still serve at least every initial request, and the fleets
+    // stay within a few follow-up rounds of each other.
+    assert!(rr.completed() >= 40, "rr serves every initial request");
+    assert!(
+        aff.completed() >= 40,
+        "affinity serves every initial request"
+    );
+    let (lo, hi) = (
+        rr.completed().min(aff.completed()),
+        rr.completed().max(aff.completed()),
+    );
+    assert!(
+        hi - lo <= hi / 10,
+        "offered rounds stay comparable: rr {} vs affinity {}",
+        rr.completed(),
+        aff.completed()
+    );
     assert_ne!(
         cluster_summary(&rr),
         cluster_summary(&aff),

@@ -6,15 +6,15 @@ use duplex::compute::Engine;
 use duplex::model::ops::StageShape;
 use duplex::model::{ExpertRouter, ModelConfig};
 use duplex::sched::{
-    Arrivals, ClusterSimulation, ConversationSpec, PolicyKind, ReplicaConfig, RouterKind, Scenario,
-    ScenarioSimulation, SchedulingPolicy, Simulation, SimulationConfig, StageExecutor,
-    StageOutcome, Workload,
+    Arrivals, ClusterSimulation, ConversationSpec, LatencyDigest, PolicyKind, ReplicaConfig,
+    RouterKind, Scenario, ScenarioSimulation, SchedulingPolicy, Simulation, SimulationConfig,
+    SloStats, StageExecutor, StageOutcome, TierStats, Workload,
 };
 use duplex::system::coproc::split_experts;
 use duplex::system::{SystemConfig, SystemExecutor};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 
 /// Relative difference, safe around zero.
 fn rel_diff(a: f64, b: f64) -> f64 {
@@ -537,5 +537,76 @@ proptest! {
         let taller = GemmShape { m: m * 2, ..shape };
         let c = pim.gemm_cost(taller, bytes);
         prop_assert!(c.seconds >= a.seconds - 1e-15);
+    }
+
+    /// Fleet aggregation is order-independent: merging per-replica
+    /// digests and SLO counters in any replica order yields the same
+    /// population — counts exactly, floating-point accumulators to
+    /// within reassociation noise.
+    #[test]
+    fn digest_and_slo_merge_are_order_independent(
+        groups in proptest::collection::vec(
+            proptest::collection::vec(1e-6f64..10.0, 0..40), 2..6),
+        perm_seed in 0u64..10_000,
+    ) {
+        // Seeded Fisher-Yates: a uniform permutation of the replicas.
+        let mut perm: Vec<usize> = (0..groups.len()).collect();
+        let mut rng = StdRng::seed_from_u64(perm_seed);
+        for i in (1..perm.len()).rev() {
+            let j = (rng.random::<u64>() % (i as u64 + 1)) as usize;
+            perm.swap(i, j);
+        }
+        let replica = |samples: &[f64]| {
+            let mut digest = LatencyDigest::default();
+            for &s in samples {
+                digest.record(s);
+            }
+            let met = (samples.len() / 2) as u64;
+            let slo = SloStats {
+                tiers: vec![TierStats {
+                    name: "interactive".into(),
+                    t2ft_deadline_s: 0.01,
+                    tbt_deadline_s: 0.001,
+                    completed: samples.len() as u64,
+                    met,
+                    good_tokens: 32 * met,
+                    tbt_digest: digest.clone(),
+                }],
+            };
+            (digest, slo)
+        };
+        let mut fwd_digest = LatencyDigest::default();
+        let mut fwd_slo = SloStats::default();
+        for g in &groups {
+            let (d, s) = replica(g);
+            fwd_digest.merge(&d);
+            fwd_slo.merge(&s);
+        }
+        let mut perm_digest = LatencyDigest::default();
+        let mut perm_slo = SloStats::default();
+        for &i in &perm {
+            let (d, s) = replica(&groups[i]);
+            perm_digest.merge(&d);
+            perm_slo.merge(&s);
+        }
+        // Counts (and everything derived from them) are exact.
+        prop_assert_eq!(fwd_digest.count(), perm_digest.count());
+        let (a, b) = (fwd_digest.summary(), perm_digest.summary());
+        prop_assert_eq!(a.count, b.count);
+        // Quantiles and means come from f64 bucket sums: equal up to
+        // reassociation of the per-replica additions.
+        prop_assert!(rel_diff(a.p50, b.p50) < 1e-12);
+        prop_assert!(rel_diff(a.p99, b.p99) < 1e-12);
+        prop_assert!(rel_diff(a.mean, b.mean) < 1e-12);
+        let (ft, pt) = (&fwd_slo.tiers, &perm_slo.tiers);
+        prop_assert_eq!(ft.len(), pt.len());
+        for (x, y) in ft.iter().zip(pt) {
+            prop_assert_eq!(&x.name, &y.name);
+            prop_assert_eq!(x.completed, y.completed);
+            prop_assert_eq!(x.met, y.met);
+            prop_assert_eq!(x.good_tokens, y.good_tokens);
+            prop_assert_eq!(x.tbt_digest.count(), y.tbt_digest.count());
+        }
+        prop_assert!(rel_diff(fwd_slo.attainment(), perm_slo.attainment()) < 1e-12);
     }
 }
