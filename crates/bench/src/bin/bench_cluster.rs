@@ -28,6 +28,13 @@
 //! path too: entries are keyed `<fleet>_<router>`,
 //! `fleet_stages_per_s` gates downward and the wall-clock / simulated
 //! latency metrics (`*wall_s`, `tbt_p99_ms`) gate upward.
+//!
+//! The `grok_failover` fleet runs its scripted crash + drain under
+//! every router and its entries additionally carry the recovery
+//! metrics — `recovery_time_s` (gates upward), and
+//! `fault_interactive_attainment`, the during-failure interactive SLO
+//! attainment (gates downward) — plus the ungated bookkeeping counts
+//! `requests_lost`, `retries_issued`, `kv_bytes_migrated`.
 
 use std::time::Instant;
 
@@ -54,12 +61,14 @@ fn snapshot_roundtrip(spec: &ClusterSpec, full_time_s: f64) -> (String, f64) {
 
     let (sim, mut fresh_policies, mut fresh_executors) = build_cluster(spec);
     let mut router = kind.build();
-    let resumed = sim.resume(
-        &restored,
-        router.as_mut(),
-        &mut fresh_policies,
-        &mut fresh_executors,
-    );
+    let resumed = sim
+        .resume(
+            &restored,
+            router.as_mut(),
+            &mut fresh_policies,
+            &mut fresh_executors,
+        )
+        .unwrap_or_else(|e| panic!("{}: snapshot rejected at resume: {e}", spec.name));
     let full = run_cluster_with(spec, kind.build().as_mut(), ClusterConfig::default());
     assert_eq!(
         resumed, full,
@@ -138,8 +147,20 @@ fn main() {
             } else {
                 String::new()
             };
+            let fault_metrics = if spec.faults.is_some() {
+                format!(
+                    "\"recovery_time_s\": {:.6}, \"fault_interactive_attainment\": {:.4}, \"requests_lost\": {}, \"retries_issued\": {}, \"kv_bytes_migrated\": {}, ",
+                    row.recovery_time_s,
+                    row.fault_attainment,
+                    row.requests_lost,
+                    row.retries_issued,
+                    row.kv_bytes_migrated
+                )
+            } else {
+                String::new()
+            };
             json_entries.push(format!(
-                "    \"{}_{}\": {{\"fleet_stages_per_s\": {:.1}, \"wall_s\": {:.4}, \"serial_fleet_stages_per_s\": {:.1}, \"serial_wall_s\": {:.4}, \"threads\": {}, \"stages\": {}, \"completed\": {}, \"replicas\": {}, \"sim_tokens_per_sec\": {:.1}, \"tbt_p99_ms\": {:.4}, {}\"kv_reuse_fraction\": {:.4}, \"load_imbalance\": {:.4}, \"policy\": \"{}\", \"model\": \"{}\", \"batch\": {}}}",
+                "    \"{}_{}\": {{\"fleet_stages_per_s\": {:.1}, \"wall_s\": {:.4}, \"serial_fleet_stages_per_s\": {:.1}, \"serial_wall_s\": {:.4}, \"threads\": {}, \"stages\": {}, \"completed\": {}, \"replicas\": {}, \"sim_tokens_per_sec\": {:.1}, \"tbt_p99_ms\": {:.4}, {}{}\"kv_reuse_fraction\": {:.4}, \"load_imbalance\": {:.4}, \"policy\": \"{}\", \"model\": \"{}\", \"batch\": {}}}",
                 row.cluster,
                 kind.name().replace('-', "_"),
                 fleet_stages_per_s,
@@ -153,6 +174,7 @@ fn main() {
                 row.throughput,
                 tbt_p99_ms,
                 tiered_metrics,
+                fault_metrics,
                 row.kv_reuse_fraction,
                 row.load_imbalance,
                 spec.policy.name(),

@@ -25,12 +25,16 @@ pub const DEFAULT_THRESHOLD: f64 = 0.30;
 /// Whether a metric regresses by rising (latencies and durations)
 /// rather than by falling (throughput). Keyed on the metric name the
 /// bench binaries emit: TBT / T2FT percentiles, anything per-tier
-/// built on them, and raw wall-clock durations (`wall_s`).
+/// built on them, raw wall-clock durations (`wall_s`), and the
+/// failure-drill time-to-recover (`recovery_time_s`). Attainment
+/// metrics — including `fault_interactive_attainment` — keep the
+/// default higher-is-better direction.
 pub fn lower_is_better(metric: &str) -> bool {
     metric.starts_with("tbt_")
         || metric.starts_with("t2ft_")
         || metric.contains("_tbt_p")
         || metric.ends_with("wall_s")
+        || metric.ends_with("recovery_time_s")
 }
 
 /// One gated metric's comparison.
@@ -261,6 +265,7 @@ mod tests {
             "t2ft_p50_ms",
             "tier_interactive_tbt_p99_ms",
             "wall_s",
+            "recovery_time_s",
         ] {
             assert!(lower_is_better(latency), "{latency}");
         }
@@ -268,6 +273,7 @@ mod tests {
             "stages_per_sec",
             "sim_tokens_per_sec",
             "goodput_tokens_per_s",
+            "fault_interactive_attainment",
         ] {
             assert!(!lower_is_better(throughput), "{throughput}");
         }

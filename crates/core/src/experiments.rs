@@ -22,11 +22,11 @@ use duplex_compute::{AreaModel, Edap, Engine};
 use duplex_model::ops::StageShape;
 use duplex_model::ModelConfig;
 use duplex_sched::{
-    Arrivals, ClusterConfig, ClusterReport, ClusterSimulation, ConversationSpec, PolicyKind,
-    ReplicaConfig, RequestSource, Router, RouterKind, Scenario, ScenarioSimulation,
-    SchedulingPolicy, SimReport, SimulationConfig, TraceRequest, Workload,
+    Arrivals, ClusterConfig, ClusterReport, ClusterSimulation, ConversationSpec, FaultEvent,
+    FaultKind, FaultPlan, PolicyKind, ReplicaConfig, RequestSource, Router, RouterKind, Scenario,
+    ScenarioSimulation, SchedulingPolicy, SimReport, SimulationConfig, TraceRequest, Workload,
 };
-use duplex_system::{SplitSimulation, SystemConfig, SystemExecutor};
+use duplex_system::{CommModel, SplitSimulation, SystemConfig, SystemExecutor};
 
 use crate::{run, RunConfig, RunResult};
 
@@ -1115,6 +1115,9 @@ pub struct ClusterSpec {
     pub policy: PolicyKind,
     /// The offered workload.
     pub scenario: Scenario,
+    /// Scripted fault drill (crashes/drains/slowdowns) run against the
+    /// fleet; `None` for a healthy-fleet sweep.
+    pub faults: Option<FaultPlan>,
 }
 
 /// One row of the cluster sweep: a (fleet, router) pair with fleet and
@@ -1148,6 +1151,18 @@ pub struct ClusterRow {
     /// Hottest replica's generated tokens over the fleet mean (1.0 =
     /// balanced).
     pub load_imbalance: f64,
+    /// Worst time-to-recover across scripted faults in seconds (0
+    /// without a fault plan).
+    pub recovery_time_s: f64,
+    /// Interactive-tier SLO attainment inside the during-failure
+    /// windows (0 without faults or tiers).
+    pub fault_attainment: f64,
+    /// Requests lost to crashes fleet-wide.
+    pub requests_lost: u64,
+    /// Retry re-enqueues issued for lost requests.
+    pub retries_issued: u64,
+    /// KV bytes shipped across replicas (drain handoffs + migrations).
+    pub kv_bytes_migrated: u64,
 }
 
 impl ClusterRow {
@@ -1168,6 +1183,11 @@ impl ClusterRow {
             tbt_p99: report.tbt().p99,
             kv_reuse_fraction: report.kv_reuse().reuse_fraction(),
             load_imbalance: report.load_imbalance(),
+            recovery_time_s: report.recovery_time_s(),
+            fault_attainment: report.fault_interactive_attainment(),
+            requests_lost: report.recovery.requests_lost,
+            retries_issued: report.recovery.retries_issued,
+            kv_bytes_migrated: report.recovery.kv_bytes_migrated,
         }
     }
 }
@@ -1179,6 +1199,11 @@ impl ClusterRow {
 ///   chat near saturation. Session-affinity routing is what keeps the
 ///   multi-turn KV-reuse rate cluster-wide; least-outstanding-work is
 ///   what keeps interactive deadlines near saturation.
+/// * `grok_failover` — the same Grok-scale fleet under steady Poisson
+///   load with a scripted mid-run crash and a later graceful drain:
+///   the failure drill behind the recovery-SLO CI gate. Lost requests
+///   retry through the router; parked KV migrates over the
+///   interconnect instead of re-prefilling.
 /// * `mixtral_hetero` — a mixed fleet (two GPU nodes + two
 ///   Duplex+PE+ET nodes) under bursty single-shot traffic: the
 ///   capacity-weighted router must load the fast replicas harder.
@@ -1231,6 +1256,74 @@ pub fn cluster_suite(scale: &Scale) -> Vec<ClusterSpec> {
             batch,
             policy: PolicyKind::PriorityTiers,
             scenario,
+            faults: None,
+        });
+    }
+
+    // -- Grok-scale failure drill: crash + drain + warm-up restart --
+    {
+        let model = ModelConfig::grok1();
+        let (d, n) = SystemConfig::default_cluster(&model); // 2x8
+        let duplex = SystemConfig::duplex_pe_et(d, n);
+        let gpu = SystemConfig::gpu(d, n);
+        let batch = 16usize;
+        let lin = scale.len(2048);
+        let lout = scale.len(512);
+        let turn = scale.len(256);
+        let ctx = lin + lout / 2;
+        let duplex_stage = probe_stage_seconds(&model, &duplex, batch, ctx);
+        let gpu_stage = probe_stage_seconds(&model, &gpu, batch, ctx);
+        let life_s = lout as f64 * duplex_stage;
+        let systems = vec![duplex.clone(), duplex.clone(), duplex.clone(), gpu];
+        let fleet_qps = batch as f64 / lout as f64 * (3.0 / duplex_stage + 1.0 / gpu_stage);
+        // Steady Poisson arrivals (no bursts): the drill measures how
+        // the fleet absorbs *scripted* disruptions, so the offered load
+        // itself stays flat at a point with headroom for failover.
+        let qps = 0.3 * fleet_qps;
+        let requests = scale.requests(batch) * systems.len() * 2;
+        let span_est = requests as f64 / qps;
+        let scenario = Scenario::new(
+            "grok_failover",
+            Workload::gaussian(lin, lout).with_seed(0xFA11).with_cv(0.6),
+            Arrivals::Poisson { qps },
+            requests,
+        )
+        .with_conversation(ConversationSpec::chat(1.0, 4, 0.5 * life_s, turn))
+        .with_tiers(Scenario::default_tiers(duplex_stage));
+        // KV migrations ship over the fleet's inter-node interconnect
+        // (the same link CommModel prices p2p transfers on).
+        let link = CommModel::new(duplex.link, duplex.nodes, duplex.devices_per_node).kv_link();
+        let faults = FaultPlan::new(vec![
+            // Hard crash of a Duplex replica mid-run: in-flight and
+            // queued requests are lost and retried through the router.
+            FaultEvent {
+                at_s: 0.30 * span_est,
+                replica: 0,
+                kind: FaultKind::Crash {
+                    down_s: 2.0 * life_s,
+                },
+            },
+            // Graceful drain of another replica later: displaced
+            // queue entries reroute and parked KV is handed off.
+            FaultEvent {
+                at_s: 0.55 * span_est,
+                replica: 1,
+                kind: FaultKind::Drain {
+                    down_s: 1.0 * life_s,
+                },
+            },
+        ])
+        .with_link(link)
+        .with_warmup(1.0 * life_s, 2.0)
+        .with_recovery_tracking(0.7, span_est / 40.0, 4.0 * life_s);
+        specs.push(ClusterSpec {
+            name: "grok_failover".into(),
+            model,
+            systems,
+            batch,
+            policy: PolicyKind::PriorityTiers,
+            scenario,
+            faults: Some(faults),
         });
     }
 
@@ -1265,6 +1358,7 @@ pub fn cluster_suite(scale: &Scale) -> Vec<ClusterSpec> {
             batch,
             policy: PolicyKind::Fcfs,
             scenario,
+            faults: None,
         });
     }
 
@@ -1308,11 +1402,11 @@ pub fn build_cluster(
         .collect();
     let policies: Vec<Box<dyn SchedulingPolicy>> =
         spec.systems.iter().map(|_| spec.policy.build()).collect();
-    (
-        ClusterSimulation::new(configs, spec.scenario.clone()),
-        policies,
-        executors,
-    )
+    let mut sim = ClusterSimulation::new(configs, spec.scenario.clone());
+    if let Some(plan) = &spec.faults {
+        sim = sim.with_faults(plan.clone());
+    }
+    (sim, policies, executors)
 }
 
 /// Run one fleet under one router, everything on the PR 2 delta fast
@@ -1506,6 +1600,18 @@ mod tests {
         let names: Vec<&str> = suite.iter().map(|s| s.name.as_str()).collect();
         assert!(names.contains(&"grok_chat_tiered"), "{names:?}");
         assert!(names.contains(&"mixtral_hetero"), "{names:?}");
+        assert!(names.contains(&"grok_failover"), "{names:?}");
+        let drill = suite
+            .iter()
+            .find(|s| s.name == "grok_failover")
+            .expect("failure drill");
+        let plan = drill.faults.as_ref().expect("the drill scripts faults");
+        assert_eq!(plan.faults.len(), 2, "one crash plus one drain");
+        assert!(drill.scenario.conversation.is_some());
+        assert!(suite
+            .iter()
+            .filter(|s| s.name != "grok_failover")
+            .all(|s| s.faults.is_none()));
         let grok = suite
             .iter()
             .find(|s| s.name == "grok_chat_tiered")

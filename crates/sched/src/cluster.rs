@@ -87,14 +87,17 @@
 //! assert!(report.replicas.iter().filter(|r| !r.completed.is_empty()).count() > 1);
 //! ```
 
+use crate::fault::{
+    FaultKind, FaultOutcome, FaultPlan, FaultWindowStats, KvLinkSpec, RecoveryStats,
+};
 use crate::metrics::{
     KvReuseStats, LatencyDigest, LatencySummary, SimReport, SloStats, StageStats,
 };
 use crate::policy::SchedulingPolicy;
 use crate::router::{ReplicaSnapshot, Router};
-use crate::scenario::{ReplicaSim, Scenario, ScenarioStream};
+use crate::scenario::{ReplicaSim, Scenario, ScenarioStream, SloTier};
 use crate::scheduler::{SimulationConfig, StageExecutor};
-use crate::snapshot::ClusterSnapshot;
+use crate::snapshot::{ClusterSnapshot, FaultState};
 
 /// Execution knobs for the cluster driver. Results never depend on
 /// these: the parallel path is byte-identical to the serial oracle
@@ -132,6 +135,12 @@ impl ClusterConfig {
 
     /// Resolved window concurrency: 1 when serial, else `threads`,
     /// `DUPLEX_THREADS`, or the machine width, in that order.
+    ///
+    /// # Panics
+    ///
+    /// When `DUPLEX_THREADS` is set to anything but a positive
+    /// integer: a set-but-invalid override is a typo worth naming, not
+    /// something to silently round to the machine width.
     pub fn effective_threads(&self) -> usize {
         if !self.parallel {
             return 1;
@@ -139,15 +148,23 @@ impl ClusterConfig {
         if self.threads > 0 {
             return self.threads;
         }
-        std::env::var("DUPLEX_THREADS")
-            .ok()
-            .and_then(|v| v.parse::<usize>().ok())
-            .filter(|&v| v > 0)
-            .unwrap_or_else(|| {
-                std::thread::available_parallelism()
-                    .map(|p| p.get())
-                    .unwrap_or(1)
-            })
+        match std::env::var("DUPLEX_THREADS") {
+            Ok(raw) => parse_duplex_threads(&raw),
+            Err(_) => std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(1),
+        }
+    }
+}
+
+/// Parse a `DUPLEX_THREADS` value. A set-but-invalid override (empty,
+/// non-numeric, zero) is a hard error naming the variable — silently
+/// falling back to the machine width would hide the typo and change
+/// wall-clock behavior without a trace.
+fn parse_duplex_threads(raw: &str) -> usize {
+    match raw.trim().parse::<usize>() {
+        Ok(n) if n > 0 => n,
+        _ => panic!("DUPLEX_THREADS must be a positive integer, got {raw:?}"),
     }
 }
 
@@ -185,6 +202,12 @@ pub struct ClusterReport {
     pub router: String,
     /// Fleet wall clock: the latest replica-local finish time.
     pub total_time_s: f64,
+    /// Fault/recovery counters (all zeros without a
+    /// [`FaultPlan`], except KV-migration stats, which a
+    /// migration-aware router can also accrue on a healthy fleet).
+    pub recovery: RecoveryStats,
+    /// Per-injected-fault recovery outcomes (empty without a plan).
+    pub faults: Vec<FaultOutcome>,
 }
 
 impl ClusterReport {
@@ -278,6 +301,32 @@ impl ClusterReport {
         merged
     }
 
+    /// Worst-case recovery time across the run's injected faults:
+    /// virtual seconds from a fault to the fleet token rate returning
+    /// within the plan's threshold of its pre-fault level (0 without
+    /// faults; a never-recovered fault counts its remaining run span).
+    pub fn recovery_time_s(&self) -> f64 {
+        self.faults
+            .iter()
+            .map(|f| f.recovery_time_s)
+            .fold(0.0, f64::max)
+    }
+
+    /// During-failure SLO attainment of the first (interactive) tier,
+    /// merged over every fault's window; 0 when no interactive request
+    /// retired inside any window.
+    pub fn fault_interactive_attainment(&self) -> f64 {
+        let (completed, met) = self
+            .faults
+            .iter()
+            .filter_map(|f| f.windows.first())
+            .fold((0u64, 0u64), |(c, m), w| (c + w.completed, m + w.met));
+        if completed == 0 {
+            return 0.0;
+        }
+        met as f64 / completed as f64
+    }
+
     /// Load imbalance across replicas: the hottest replica's generated
     /// tokens over the fleet mean. 1.0 is perfectly balanced; N means
     /// one replica did N times its fair share (0 with no tokens).
@@ -296,32 +345,50 @@ impl ClusterReport {
     }
 }
 
+/// The fleet's earliest next stage start, across replicas.
+fn fleet_next_start(replicas: &[ReplicaSim]) -> Option<f64> {
+    replicas
+        .iter()
+        .filter_map(ReplicaSim::next_start)
+        .fold(None::<f64>, |acc, t| match acc {
+            Some(best) if best <= t => Some(best),
+            _ => Some(t),
+        })
+}
+
 /// Route every arrival due by the fleet's next stage start. Returns
 /// when the next arrival is strictly later than the fleet's next stage
-/// start (route it later, at its own time), when the stream is
-/// drained, or when the whole fleet is stage-capped.
+/// start (route it later, at its own time), when it lies at or past
+/// `limit` (a pending fault event: the routing decision must see the
+/// post-fault fleet), when the stream is drained, or when no replica is
+/// admitting (the whole fleet is down or stage-capped; down fleets
+/// *hold* their arrivals for the fault boundary to restart a replica).
+///
+/// Router-requested KV migrations execute here: the parked pages move
+/// source → target and the transfer is priced over `link` against the
+/// receiving replica's clock.
+#[allow(clippy::too_many_arguments)]
 fn dispatch_arrivals(
     stream: &mut ScenarioStream<'_>,
     router: &mut dyn Router,
     configs: &[ReplicaConfig],
     replicas: &mut [ReplicaSim],
     snapshots: &mut Vec<ReplicaSnapshot>,
+    limit: Option<f64>,
+    link: KvLinkSpec,
+    stats: &mut RecoveryStats,
 ) {
     while let Some(t_a) = stream.next_arrival_time() {
-        let fleet_next = replicas.iter().filter_map(ReplicaSim::next_start).fold(
-            None::<f64>,
-            |acc, t| match acc {
-                Some(best) if best <= t => Some(best),
-                _ => Some(t),
-            },
-        );
-        match fleet_next {
+        if limit.is_some_and(|l| t_a >= l) {
+            break;
+        }
+        if !replicas.iter().any(ReplicaSim::is_admitting) {
+            break;
+        }
+        match fleet_next_start(replicas) {
             // The next stage forms before this arrival: route it
             // later, at its own time.
             Some(t) if t_a > t => break,
-            // Whole fleet drained by its stage caps: stop
-            // accepting (the run is truncated).
-            None if !replicas.iter().any(ReplicaSim::can_accept) => break,
             _ => {
                 let p = stream.pop_next().expect("arrival time implies a request");
                 snapshots.clear();
@@ -338,24 +405,64 @@ fn dispatch_arrivals(
                         kv_capacity_bytes,
                         weight: cfg.weight,
                         resident_history_tokens: r.resident_history(p.conversation),
-                        accepting: r.can_accept(),
+                        accepting: r.is_admitting(),
                     }
                 }));
-                let target = router.route(&p, snapshots);
+                let decision = router.decide(&p, snapshots);
+                let target = decision.replica;
                 assert!(
                     target < replicas.len(),
                     "router picked replica {target} of {}",
                     replicas.len()
                 );
+                assert!(
+                    replicas[target].is_admitting(),
+                    "router picked a non-admitting replica while one admits"
+                );
+                if let Some(src) = decision.migrate_from {
+                    if src < replicas.len() && src != target {
+                        migrate_parked(configs, replicas, src, target, p.conversation, link, stats);
+                    }
+                }
                 replicas[target].enqueue(p);
             }
         }
     }
 }
 
-/// One dispatch → window → merge round. Returns `false` when the fleet
-/// is drained (no replica has a next stage). See the module docs for
-/// why the parallel window is byte-identical to the serial one.
+/// Ship `conversation`'s parked KV from `src` to `target` (no-op when
+/// nothing is resident or the target cannot hold it), pricing the
+/// transfer over `link` against the target's clock. Returns the bytes
+/// moved.
+fn migrate_parked(
+    configs: &[ReplicaConfig],
+    replicas: &mut [ReplicaSim],
+    src: usize,
+    target: usize,
+    conversation: u64,
+    link: KvLinkSpec,
+    stats: &mut RecoveryStats,
+) -> u64 {
+    let Some(tokens) = replicas[src].parked_tokens(conversation) else {
+        return 0;
+    };
+    if !replicas[target].receive_parked(conversation, tokens) {
+        return 0;
+    }
+    replicas[src].release_parked(conversation);
+    let bytes = tokens * configs[src].sim.kv_bytes_per_token.max(1);
+    let seconds = link.transfer_seconds(bytes);
+    replicas[target].add_transfer_time(seconds);
+    stats.kv_bytes_migrated += bytes;
+    stats.kv_migrations += 1;
+    stats.migration_seconds += seconds;
+    bytes
+}
+
+/// One dispatch → window → merge round. Returns `false` when no
+/// replica has a next stage (the fleet drained, truncated, or is fully
+/// down holding arrivals). See the module docs for why the parallel
+/// window is byte-identical to the serial one.
 #[allow(clippy::too_many_arguments)]
 fn drive_round<E: StageExecutor + Send>(
     stream: &mut ScenarioStream<'_>,
@@ -366,17 +473,33 @@ fn drive_round<E: StageExecutor + Send>(
     policies: &mut [Box<dyn SchedulingPolicy>],
     executors: &mut [E],
     threads: usize,
+    limit: Option<f64>,
+    link: KvLinkSpec,
+    stats: &mut RecoveryStats,
 ) -> bool {
     // ---- dispatch: route every arrival due by the fleet's next stage ----
-    dispatch_arrivals(stream, router, configs, replicas, snapshots);
+    dispatch_arrivals(
+        stream, router, configs, replicas, snapshots, limit, link, stats,
+    );
     if !replicas.iter().any(|r| r.next_start().is_some()) {
         return false;
     }
     // ---- window: every replica steps to the next global sync point ----
     // After dispatch the next arrival (if any) is strictly later than
     // the fleet's earliest stage start, so at least one replica steps:
-    // every round makes progress.
-    let bound = stream.next_arrival_time();
+    // every round makes progress. Two fault-plan wrinkles: windows
+    // never run past `limit` (the next fault event lands at that merge
+    // point), and a fully-down fleet ignores its *held* arrivals (they
+    // may predate the pending restart that will release them).
+    let arrival = stream.next_arrival_time();
+    let bound = if replicas.iter().any(ReplicaSim::is_admitting) {
+        match (arrival, limit) {
+            (Some(a), Some(l)) => Some(a.min(l)),
+            (a, l) => a.or(l),
+        }
+    } else {
+        limit
+    };
     if threads > 1 && replicas.len() > 1 {
         let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = replicas
             .iter_mut()
@@ -404,6 +527,421 @@ fn drive_round<E: StageExecutor + Send>(
     true
 }
 
+/// A scheduled fault-machinery event on the virtual clock.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct TimedEvent {
+    at_s: f64,
+    /// Schedule order, the deterministic tiebreak for equal times.
+    seq: u64,
+    action: Action,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Action {
+    /// Apply plan fault `faults[i]`.
+    Apply(usize),
+    /// Bring replica `i` back up.
+    Restart(usize),
+    /// Reset replica `i`'s stage-latency factor to nominal.
+    ClearSlow(usize),
+}
+
+/// The cluster's live fault machinery: the pending event queue
+/// (scripted faults plus the restarts/warm-up-clears they schedule),
+/// per-request retry counts, and in-progress drains. All of it is
+/// merge-point state: events apply only when every replica's frontier
+/// has reached the event time, which is what keeps faulted runs
+/// byte-identical between serial and parallel stepping.
+struct FaultRuntime<'p> {
+    plan: &'p FaultPlan,
+    events: Vec<TimedEvent>,
+    seq: u64,
+    /// Retry counts per lost request id, sorted by id.
+    attempts: Vec<(u64, u32)>,
+    /// Per replica: `(down_s, fault_at_s)` of an in-progress drain.
+    draining_down: Vec<Option<(f64, f64)>>,
+}
+
+impl<'p> FaultRuntime<'p> {
+    fn new(plan: &'p FaultPlan, replica_count: usize) -> Self {
+        for f in &plan.faults {
+            assert!(
+                f.replica < replica_count,
+                "fault targets replica {} of {replica_count}",
+                f.replica
+            );
+        }
+        let events: Vec<TimedEvent> = plan
+            .faults
+            .iter()
+            .enumerate()
+            .map(|(i, f)| TimedEvent {
+                at_s: f.at_s,
+                seq: i as u64,
+                action: Action::Apply(i),
+            })
+            .collect();
+        Self {
+            plan,
+            seq: events.len() as u64,
+            events,
+            attempts: Vec::new(),
+            draining_down: vec![None; replica_count],
+        }
+    }
+
+    fn schedule(&mut self, at_s: f64, action: Action) {
+        self.events.push(TimedEvent {
+            at_s,
+            seq: self.seq,
+            action,
+        });
+        self.seq += 1;
+    }
+
+    fn has_events(&self) -> bool {
+        !self.events.is_empty()
+    }
+
+    /// Earliest pending event time (the dispatch/window `limit`).
+    fn next_event_at(&self) -> Option<f64> {
+        self.events
+            .iter()
+            .map(|e| e.at_s)
+            .fold(None::<f64>, |acc, t| match acc {
+                Some(best) if best <= t => Some(best),
+                _ => Some(t),
+            })
+    }
+
+    /// Retry count of `request` after one more loss (1-based).
+    fn bump_attempts(&mut self, request: u64) -> u32 {
+        match self.attempts.binary_search_by_key(&request, |&(id, _)| id) {
+            Ok(i) => {
+                self.attempts[i].1 += 1;
+                self.attempts[i].1
+            }
+            Err(i) => {
+                self.attempts.insert(i, (request, 1));
+                1
+            }
+        }
+    }
+
+    /// The earliest pending event, if the fleet frontier has reached
+    /// it: no stage starts before it and no arrival routes before it.
+    /// A fully-down fleet's *held* arrivals don't block (they may
+    /// predate the very restart that will release them).
+    fn due_event_index(
+        &self,
+        replicas: &[ReplicaSim],
+        stream: &mut ScenarioStream<'_>,
+    ) -> Option<usize> {
+        let (idx, ev) = self.events.iter().enumerate().min_by(|(_, a), (_, b)| {
+            a.at_s
+                .partial_cmp(&b.at_s)
+                .expect("event times are finite")
+                .then(a.seq.cmp(&b.seq))
+        })?;
+        let stage_ok = fleet_next_start(replicas).is_none_or(|t| t >= ev.at_s);
+        let arrival_ok = stream.next_arrival_time().is_none_or(|t| t >= ev.at_s)
+            || !replicas.iter().any(ReplicaSim::is_admitting);
+        (stage_ok && arrival_ok).then_some(idx)
+    }
+
+    /// Run the merge-point fault boundary to quiescence: apply every
+    /// due event (virtual-time order, schedule order on ties) and
+    /// complete every finished drain (replica-index order), repeating
+    /// until neither fires.
+    fn process_boundary(
+        &mut self,
+        stream: &mut ScenarioStream<'_>,
+        configs: &[ReplicaConfig],
+        replicas: &mut [ReplicaSim],
+        stats: &mut RecoveryStats,
+    ) {
+        loop {
+            if let Some(idx) = self.due_event_index(replicas, stream) {
+                let ev = self.events.remove(idx);
+                self.apply_event(ev, stream, replicas, stats);
+                continue;
+            }
+            if let Some(i) =
+                (0..replicas.len()).find(|&i| replicas[i].is_draining() && !replicas[i].in_flight())
+            {
+                self.complete_drain(i, configs, replicas, stats);
+                continue;
+            }
+            break;
+        }
+    }
+
+    fn apply_event(
+        &mut self,
+        ev: TimedEvent,
+        stream: &mut ScenarioStream<'_>,
+        replicas: &mut [ReplicaSim],
+        stats: &mut RecoveryStats,
+    ) {
+        match ev.action {
+            Action::Apply(fi) => {
+                let fault = self.plan.faults[fi];
+                stats.faults_injected += 1;
+                match fault.kind {
+                    FaultKind::Crash { down_s } => {
+                        // The replica's last stage may have straddled
+                        // the fault time (stage granularity): the
+                        // outage is measured from where it actually
+                        // stopped.
+                        let now = replicas[fault.replica].clock().max(fault.at_s);
+                        let lost = replicas[fault.replica].crash();
+                        self.schedule(now + down_s, Action::Restart(fault.replica));
+                        for mut p in lost {
+                            stats.requests_lost += 1;
+                            let attempt = self.bump_attempts(p.request.id);
+                            if attempt <= self.plan.retry.max_retries {
+                                stats.retries_issued += 1;
+                                // Re-enqueue through the router at the
+                                // backoff time; the original absolute
+                                // SLO deadline is kept.
+                                p.request.arrival_s = now + self.plan.retry.delay_s(attempt);
+                                stream.requeue(p);
+                            } else {
+                                stats.requests_dropped += 1;
+                            }
+                        }
+                    }
+                    FaultKind::Drain { down_s } => {
+                        let displaced = replicas[fault.replica].begin_drain();
+                        self.draining_down[fault.replica] = Some((down_s, fault.at_s));
+                        // Not-yet-started requests reroute at their
+                        // original arrival times: nothing was lost, no
+                        // retry budget is spent.
+                        for p in displaced {
+                            stream.requeue(p);
+                        }
+                    }
+                    FaultKind::Slowdown { duration_s, factor } => {
+                        let now = replicas[fault.replica].clock().max(fault.at_s);
+                        replicas[fault.replica].set_perf_factor(factor);
+                        self.schedule(now + duration_s, Action::ClearSlow(fault.replica));
+                    }
+                }
+            }
+            Action::Restart(i) => {
+                replicas[i].restart(ev.at_s);
+                if self.plan.warmup_s > 0.0 {
+                    replicas[i].set_perf_factor(self.plan.warmup_factor);
+                    self.schedule(ev.at_s + self.plan.warmup_s, Action::ClearSlow(i));
+                }
+            }
+            Action::ClearSlow(i) => replicas[i].set_perf_factor(1.0),
+        }
+    }
+
+    /// A draining replica's batch just emptied: hand its parked KV to
+    /// the least-loaded admitting replica as one priced batched
+    /// transfer, then take it down and schedule the restart.
+    fn complete_drain(
+        &mut self,
+        i: usize,
+        configs: &[ReplicaConfig],
+        replicas: &mut [ReplicaSim],
+        stats: &mut RecoveryStats,
+    ) {
+        let (down_s, fault_at_s) = self.draining_down[i].take().unwrap_or((0.0, 0.0));
+        let moved = replicas[i].take_parked();
+        replicas[i].finish_drain();
+        if !moved.is_empty() {
+            if let Some(target) = best_handoff_target(configs, replicas, i) {
+                let mut bytes = 0u64;
+                for (conversation, tokens) in moved {
+                    if replicas[target].receive_parked(conversation, tokens) {
+                        bytes += tokens * configs[i].sim.kv_bytes_per_token.max(1);
+                        stats.kv_migrations += 1;
+                    }
+                }
+                if bytes > 0 {
+                    let seconds = self.plan.link.transfer_seconds(bytes);
+                    replicas[target].add_transfer_time(seconds);
+                    stats.kv_bytes_migrated += bytes;
+                    stats.migration_seconds += seconds;
+                }
+            }
+        }
+        let restart_at = replicas[i].clock().max(fault_at_s) + down_s;
+        self.schedule(restart_at, Action::Restart(i));
+    }
+
+    fn export_state(&self) -> FaultState {
+        FaultState {
+            events: self
+                .events
+                .iter()
+                .map(|e| {
+                    let (code, arg) = match e.action {
+                        Action::Apply(i) => (0u64, i as u64),
+                        Action::Restart(i) => (1, i as u64),
+                        Action::ClearSlow(i) => (2, i as u64),
+                    };
+                    (e.at_s.to_bits(), e.seq, code, arg)
+                })
+                .collect(),
+            seq: self.seq,
+            attempts: self
+                .attempts
+                .iter()
+                .map(|&(id, n)| (id, u64::from(n)))
+                .collect(),
+            draining_down: self
+                .draining_down
+                .iter()
+                .enumerate()
+                .filter_map(|(i, d)| {
+                    d.map(|(down_s, at_s)| (i as u64, down_s.to_bits(), at_s.to_bits()))
+                })
+                .collect(),
+        }
+    }
+
+    /// Restore state captured by [`FaultRuntime::export_state`]. The
+    /// caller validated the shape against the plan and fleet.
+    fn import_state(&mut self, s: &FaultState) {
+        self.events = s
+            .events
+            .iter()
+            .map(|&(at_bits, seq, code, arg)| TimedEvent {
+                at_s: f64::from_bits(at_bits),
+                seq,
+                action: match code {
+                    0 => Action::Apply(arg as usize),
+                    1 => Action::Restart(arg as usize),
+                    _ => Action::ClearSlow(arg as usize),
+                },
+            })
+            .collect();
+        self.seq = s.seq;
+        self.attempts = s.attempts.iter().map(|&(id, n)| (id, n as u32)).collect();
+        for d in self.draining_down.iter_mut() {
+            *d = None;
+        }
+        for &(replica, down_bits, at_bits) in &s.draining_down {
+            self.draining_down[replica as usize] =
+                Some((f64::from_bits(down_bits), f64::from_bits(at_bits)));
+        }
+    }
+}
+
+/// The least weighted-load admitting replica other than `skip` (the
+/// drain-handoff target); `None` when the whole rest of the fleet is
+/// down.
+fn best_handoff_target(
+    configs: &[ReplicaConfig],
+    replicas: &[ReplicaSim],
+    skip: usize,
+) -> Option<usize> {
+    let mut best: Option<(usize, f64)> = None;
+    for (j, r) in replicas.iter().enumerate() {
+        if j == skip || !r.is_admitting() {
+            continue;
+        }
+        let (in_flight, queued, outstanding) = r.load();
+        let slots = (in_flight + queued) as f64;
+        let drain = outstanding as f64;
+        let load = (slots + drain / (1.0 + drain)) / configs[j].weight.max(f64::MIN_POSITIVE);
+        match best {
+            Some((_, b)) if b <= load => {}
+            _ => best = Some((j, load)),
+        }
+    }
+    best.map(|(j, _)| j)
+}
+
+/// Fold the plan, the leftover event queue and the per-replica
+/// recovery recordings into per-fault [`FaultOutcome`]s. Runs at the
+/// end of a completed run, before the replicas are consumed into
+/// reports; never-recovered faults get their remaining-span fallback
+/// filled in by the caller (which knows the fleet wall clock).
+fn compute_fault_outcomes(
+    plan: &FaultPlan,
+    rt: &FaultRuntime<'_>,
+    replicas: &[ReplicaSim],
+    tiers: &[SloTier],
+) -> Vec<FaultOutcome> {
+    // A plan fault whose Apply event is still queued never fired.
+    let mut unapplied = vec![false; plan.faults.len()];
+    for ev in &rt.events {
+        if let Action::Apply(fi) = ev.action {
+            unapplied[fi] = true;
+        }
+    }
+    // Fleet token timeline: per-replica bucket counts, merged.
+    let mut merged: Vec<(u64, u64)> = Vec::new();
+    let mut all: Vec<(u64, u64)> = replicas
+        .iter()
+        .flat_map(|r| r.timeline().iter().copied())
+        .collect();
+    all.sort_unstable();
+    for (bucket, tokens) in all {
+        match merged.last_mut() {
+            Some((b, n)) if *b == bucket => *n += tokens,
+            _ => merged.push((bucket, tokens)),
+        }
+    }
+    let bucket_s = plan.timeline_bucket_s;
+    plan.faults
+        .iter()
+        .enumerate()
+        .filter(|&(fi, _)| !unapplied[fi])
+        .map(|(fi, f)| {
+            let windows: Vec<FaultWindowStats> = tiers
+                .iter()
+                .enumerate()
+                .map(|(ti, tier)| {
+                    let (mut completed, mut met) = (0u64, 0u64);
+                    for r in replicas {
+                        if let Some(&(c, m)) = r.window_counts().get(fi).and_then(|w| w.get(ti)) {
+                            completed += c;
+                            met += m;
+                        }
+                    }
+                    FaultWindowStats {
+                        tier: tier.name.clone(),
+                        completed,
+                        met,
+                    }
+                })
+                .collect();
+            // Pre-fault rate: mean over the last (up to) 5 non-empty
+            // buckets before the fault's bucket.
+            let fault_bucket = (f.at_s / bucket_s) as u64;
+            let pre: Vec<u64> = merged
+                .iter()
+                .filter(|&&(b, _)| b < fault_bucket)
+                .map(|&(_, n)| n)
+                .collect();
+            let tail = pre.len().min(5);
+            let pre_rate = if tail == 0 {
+                0.0
+            } else {
+                pre[pre.len() - tail..].iter().sum::<u64>() as f64 / tail as f64
+            };
+            let recovered_at_s = merged
+                .iter()
+                .find(|&&(b, n)| b > fault_bucket && n as f64 >= plan.recovery_threshold * pre_rate)
+                .map(|&(b, _)| b as f64 * bucket_s);
+            FaultOutcome {
+                at_s: f.at_s,
+                replica: f.replica,
+                kind: f.kind,
+                recovered_at_s,
+                recovery_time_s: recovered_at_s.map_or(0.0, |t| (t - f.at_s).max(0.0)),
+                windows,
+            }
+        })
+        .collect()
+}
+
 /// The outcome of a bounded cluster run
 /// ([`ClusterSimulation::run_until`] /
 /// [`ClusterSimulation::resume_until`]): either the run reached its
@@ -413,8 +951,9 @@ fn drive_round<E: StageExecutor + Send>(
 pub enum ClusterRun {
     /// The fleet paused at the first merge point whose next event lies
     /// at or past the bound; resume with
-    /// [`ClusterSimulation::resume`].
-    Paused(ClusterSnapshot),
+    /// [`ClusterSimulation::resume`]. Boxed: a snapshot carries the
+    /// whole fleet's state and dwarfs a [`ClusterReport`].
+    Paused(Box<ClusterSnapshot>),
     /// The fleet drained (or hit every stage cap) before the bound.
     Done(ClusterReport),
 }
@@ -431,7 +970,7 @@ impl ClusterRun {
     /// The pause snapshot, if the run hit its bound.
     pub fn snapshot(self) -> Option<ClusterSnapshot> {
         match self {
-            ClusterRun::Paused(snapshot) => Some(snapshot),
+            ClusterRun::Paused(snapshot) => Some(*snapshot),
             ClusterRun::Done(_) => None,
         }
     }
@@ -444,6 +983,7 @@ pub struct ClusterSimulation {
     configs: Vec<ReplicaConfig>,
     scenario: Scenario,
     cluster: ClusterConfig,
+    faults: Option<FaultPlan>,
 }
 
 impl ClusterSimulation {
@@ -456,12 +996,30 @@ impl ClusterSimulation {
             configs,
             scenario: scenario.normalized(),
             cluster: ClusterConfig::default(),
+            faults: None,
         }
     }
 
     /// Override the execution knobs (serial oracle, thread count).
     pub fn with_config(mut self, cluster: ClusterConfig) -> Self {
         self.cluster = cluster;
+        self
+    }
+
+    /// Attach a deterministic fault script (crashes, drains,
+    /// slowdowns) applied at the run's clock-merge points; the report
+    /// then carries [`ClusterReport::recovery`] and
+    /// [`ClusterReport::faults`].
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        for f in &plan.faults {
+            assert!(
+                f.replica < self.configs.len(),
+                "fault targets replica {} of a {}-replica fleet",
+                f.replica,
+                self.configs.len()
+            );
+        }
+        self.faults = Some(plan);
         self
     }
 
@@ -480,8 +1038,9 @@ impl ClusterSimulation {
         executors: &mut [E],
     ) -> ClusterReport {
         match self.run_inner(router, policies, executors, None, None) {
-            ClusterRun::Done(report) => report,
-            ClusterRun::Paused(_) => unreachable!("an unbounded run never pauses"),
+            Ok(ClusterRun::Done(report)) => report,
+            Ok(ClusterRun::Paused(_)) => unreachable!("an unbounded run never pauses"),
+            Err(e) => unreachable!("no snapshot to validate: {e}"),
         }
     }
 
@@ -504,28 +1063,33 @@ impl ClusterSimulation {
         stop_s: f64,
     ) -> ClusterRun {
         self.run_inner(router, policies, executors, None, Some(stop_s))
+            .expect("no snapshot to validate")
     }
 
     /// Continue a paused run to completion. The cluster, scenario,
-    /// router kind and policies must match the run that produced the
-    /// snapshot; `executors` must be *freshly built* (their carried
-    /// batch state is restored from the snapshot).
+    /// router kind, fault plan and policies must match the run that
+    /// produced the snapshot; `executors` must be *freshly built*
+    /// (their carried batch state is restored from the snapshot).
+    /// Snapshots whose shape does not match this cluster (replica
+    /// count, tier set, fault plan) are rejected with a descriptive
+    /// error.
     pub fn resume<E: StageExecutor + Send>(
         &self,
         snapshot: &ClusterSnapshot,
         router: &mut dyn Router,
         policies: &mut [Box<dyn SchedulingPolicy>],
         executors: &mut [E],
-    ) -> ClusterReport {
-        match self.run_inner(router, policies, executors, Some(snapshot), None) {
-            ClusterRun::Done(report) => report,
+    ) -> Result<ClusterReport, String> {
+        match self.run_inner(router, policies, executors, Some(snapshot), None)? {
+            ClusterRun::Done(report) => Ok(report),
             ClusterRun::Paused(_) => unreachable!("an unbounded resume never pauses"),
         }
     }
 
     /// Continue a paused run until a further bound (see
     /// [`run_until`](Self::run_until)); a run may pause and resume any
-    /// number of times.
+    /// number of times. Mismatched snapshots are rejected like in
+    /// [`resume`](Self::resume).
     pub fn resume_until<E: StageExecutor + Send>(
         &self,
         snapshot: &ClusterSnapshot,
@@ -533,8 +1097,85 @@ impl ClusterSimulation {
         policies: &mut [Box<dyn SchedulingPolicy>],
         executors: &mut [E],
         stop_s: f64,
-    ) -> ClusterRun {
+    ) -> Result<ClusterRun, String> {
         self.run_inner(router, policies, executors, Some(snapshot), Some(stop_s))
+    }
+
+    /// Reject a snapshot whose shape cannot belong to this cluster
+    /// before any of it is imported (imports assume a valid shape).
+    fn validate_snapshot(&self, snap: &ClusterSnapshot) -> Result<(), String> {
+        if snap.replicas.len() != self.configs.len() {
+            return Err(format!(
+                "snapshot has {} replicas, the cluster has {}",
+                snap.replicas.len(),
+                self.configs.len()
+            ));
+        }
+        let tier_count = self.scenario.tiers.len();
+        let fault_count = self.faults.as_ref().map_or(0, |p| p.faults.len());
+        for (i, s) in snap.replicas.iter().enumerate() {
+            if s.tiers.len() != tier_count {
+                return Err(format!(
+                    "replica {i}: snapshot has {} SLO tiers, the scenario has {tier_count}",
+                    s.tiers.len()
+                ));
+            }
+            if s.parked.is_some() != self.scenario.conversation.is_some() {
+                return Err(format!(
+                    "replica {i}: snapshot parked-KV state does not match the scenario"
+                ));
+            }
+            if s.window_counts.len() != fault_count {
+                return Err(format!(
+                    "replica {i}: snapshot has {} fault windows, the plan has {fault_count}",
+                    s.window_counts.len()
+                ));
+            }
+            if let Some(w) = s.window_counts.iter().find(|w| w.len() != tier_count) {
+                return Err(format!(
+                    "replica {i}: a fault window has {} tier slots, the scenario has {tier_count}",
+                    w.len()
+                ));
+            }
+        }
+        match (&self.faults, &snap.fault) {
+            (Some(_), None) => {
+                return Err(
+                    "the cluster has a fault plan but the snapshot has no fault state".to_string(),
+                );
+            }
+            (None, Some(_)) => {
+                return Err(
+                    "the snapshot has fault state but the cluster has no fault plan".to_string(),
+                );
+            }
+            _ => {}
+        }
+        if let (Some(plan), Some(fs)) = (&self.faults, &snap.fault) {
+            for &(_, _, code, arg) in &fs.events {
+                let valid = match code {
+                    0 => (arg as usize) < plan.faults.len(),
+                    1 | 2 => (arg as usize) < self.configs.len(),
+                    _ => false,
+                };
+                if !valid {
+                    return Err(format!(
+                        "snapshot fault event has code {code} with out-of-range argument {arg}"
+                    ));
+                }
+            }
+            if let Some(&(replica, _, _)) = fs
+                .draining_down
+                .iter()
+                .find(|&&(r, _, _)| r as usize >= self.configs.len())
+            {
+                return Err(format!(
+                    "snapshot drain state targets replica {replica} of {}",
+                    self.configs.len()
+                ));
+            }
+        }
+        Ok(())
     }
 
     fn run_inner<E: StageExecutor + Send>(
@@ -544,7 +1185,7 @@ impl ClusterSimulation {
         executors: &mut [E],
         start: Option<&ClusterSnapshot>,
         stop_s: Option<f64>,
-    ) -> ClusterRun {
+    ) -> Result<ClusterRun, String> {
         let configs = &self.configs;
         assert_eq!(
             configs.len(),
@@ -557,14 +1198,26 @@ impl ClusterSimulation {
             .iter()
             .map(|c| ReplicaSim::new(c.sim, &self.scenario))
             .collect();
+        let mut stats = RecoveryStats::default();
+        let mut fault_rt = self.faults.as_ref().map(|plan| {
+            let windows: Vec<(f64, f64)> = plan
+                .faults
+                .iter()
+                .map(|f| (f.at_s, f.at_s + plan.slo_window_s))
+                .collect();
+            for r in replicas.iter_mut() {
+                r.set_fault_recording(windows.clone(), plan.timeline_bucket_s);
+            }
+            FaultRuntime::new(plan, configs.len())
+        });
         if let Some(snap) = start {
-            assert_eq!(
-                snap.replicas.len(),
-                replicas.len(),
-                "snapshot replica count does not match the cluster"
-            );
+            self.validate_snapshot(snap)?;
             stream.import_state(&snap.stream);
             router.import_state(&snap.router);
+            stats = snap.stats;
+            if let (Some(rt), Some(fs)) = (fault_rt.as_mut(), &snap.fault) {
+                rt.import_state(fs);
+            }
             for ((replica, state), executor) in replicas
                 .iter_mut()
                 .zip(&snap.replicas)
@@ -576,27 +1229,38 @@ impl ClusterSimulation {
                 }
             }
         }
+        let link = self
+            .faults
+            .as_ref()
+            .map_or_else(KvLinkSpec::default, |p| p.link);
         let mut snapshots: Vec<ReplicaSnapshot> = Vec::with_capacity(replicas.len());
         let threads = self.cluster.effective_threads();
 
         loop {
+            // ---- fault boundary, at the merge point ----
+            // Apply every due fault event (scripted faults, restarts,
+            // warm-up clears) and complete finished drains before
+            // anything observes the fleet.
+            if let Some(rt) = fault_rt.as_mut() {
+                rt.process_boundary(&mut stream, configs, &mut replicas, &mut stats);
+            }
             // ---- pause check, at the merge-point boundary ----
             // Peeking the arrival time here draws the same source
             // request the upcoming dispatch would peek, so the stream
             // state a snapshot captures is on the uninterrupted run's
             // draw order.
             if let Some(stop) = stop_s {
-                let fleet_next = replicas.iter().filter_map(ReplicaSim::next_start).fold(
-                    None::<f64>,
-                    |acc, t| match acc {
-                        Some(best) if best <= t => Some(best),
-                        _ => Some(t),
-                    },
-                );
-                let next_event = match (fleet_next, stream.next_arrival_time()) {
-                    (Some(a), Some(b)) => Some(a.min(b)),
-                    (a, b) => a.or(b),
-                };
+                let next_event = [
+                    fleet_next_start(&replicas),
+                    stream.next_arrival_time(),
+                    fault_rt.as_ref().and_then(FaultRuntime::next_event_at),
+                ]
+                .into_iter()
+                .flatten()
+                .fold(None::<f64>, |acc, t| match acc {
+                    Some(best) if best <= t => Some(best),
+                    _ => Some(t),
+                });
                 if next_event.is_some_and(|t| t >= stop) {
                     let states = replicas
                         .iter()
@@ -607,14 +1271,17 @@ impl ClusterSimulation {
                             state
                         })
                         .collect();
-                    return ClusterRun::Paused(ClusterSnapshot {
+                    return Ok(ClusterRun::Paused(Box::new(ClusterSnapshot {
                         taken_at_s: stop,
                         router: router.export_state(),
                         stream: stream.export_state(),
                         replicas: states,
-                    });
+                        stats,
+                        fault: fault_rt.as_ref().map(FaultRuntime::export_state),
+                    })));
                 }
             }
+            let limit = fault_rt.as_ref().and_then(FaultRuntime::next_event_at);
             if !drive_round(
                 &mut stream,
                 router,
@@ -624,27 +1291,55 @@ impl ClusterSimulation {
                 policies,
                 executors,
                 threads,
+                limit,
+                link,
+                &mut stats,
             ) {
+                // A fully-down fleet holds its arrivals instead of
+                // stepping: keep looping while the fault machinery can
+                // still deliver them (pending events, or a finished
+                // drain whose completion schedules the restart).
+                let fault_can_progress = fault_rt.as_ref().is_some_and(FaultRuntime::has_events)
+                    || replicas.iter().any(|r| r.is_draining() && !r.in_flight());
+                if fault_can_progress && stream.next_arrival_time().is_some() {
+                    continue;
+                }
                 break;
             }
         }
 
+        let mut fault_outcomes = match (&self.faults, &fault_rt) {
+            (Some(plan), Some(rt)) => {
+                compute_fault_outcomes(plan, rt, &replicas, &self.scenario.tiers)
+            }
+            _ => Vec::new(),
+        };
         let reports: Vec<SimReport> = replicas.into_iter().map(ReplicaSim::into_report).collect();
         let total_time_s = reports
             .iter()
             .map(|r| r.total_time_s)
             .fold(0.0f64, f64::max);
-        ClusterRun::Done(ClusterReport {
+        for o in fault_outcomes.iter_mut() {
+            if o.recovered_at_s.is_none() {
+                // Never recovered inside the run: the remaining span
+                // is the pessimistic, gateable stand-in.
+                o.recovery_time_s = (total_time_s - o.at_s).max(0.0);
+            }
+        }
+        Ok(ClusterRun::Done(ClusterReport {
             replicas: reports,
             router: router.name().into(),
             total_time_s,
-        })
+            recovery: stats,
+            faults: fault_outcomes,
+        }))
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::{FaultEvent, RetryPolicy};
     use crate::policy::PolicyKind;
     use crate::router::{LeastOutstandingWork, RoundRobin, RouterKind, SessionAffinity};
     use crate::scenario::{ConversationSpec, ScenarioSimulation};
@@ -935,5 +1630,185 @@ mod tests {
             .sum();
         let merged: u64 = slo.tiers.iter().map(|t| t.tbt_digest.count()).sum();
         assert_eq!(per_replica, merged);
+    }
+
+    #[test]
+    fn duplex_threads_parses_positive_integers() {
+        assert_eq!(parse_duplex_threads("1"), 1);
+        assert_eq!(parse_duplex_threads("16"), 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "DUPLEX_THREADS must be a positive integer")]
+    fn duplex_threads_rejects_zero() {
+        parse_duplex_threads("0");
+    }
+
+    #[test]
+    #[should_panic(expected = "DUPLEX_THREADS must be a positive integer")]
+    fn duplex_threads_rejects_junk() {
+        parse_duplex_threads("many");
+    }
+
+    #[test]
+    fn a_run_without_faults_reports_zeroed_recovery() {
+        let scenario = Scenario::new(
+            "calm",
+            Workload::fixed(48, 8).with_seed(2),
+            Arrivals::Poisson { qps: 800.0 },
+            20,
+        );
+        let report = ClusterSimulation::new(vec![ReplicaConfig::new(config(4)); 2], scenario).run(
+            &mut RoundRobin::default(),
+            &mut policies(2, PolicyKind::Fcfs),
+            &mut [Fixed(0.01); 2],
+        );
+        assert_eq!(report.recovery, RecoveryStats::default());
+        assert!(report.faults.is_empty());
+        assert_eq!(report.recovery_time_s(), 0.0);
+    }
+
+    #[test]
+    fn a_crash_retries_lost_requests_and_the_fleet_still_completes() {
+        let scenario = Scenario::new(
+            "crashy",
+            Workload::fixed(64, 8).with_seed(3),
+            Arrivals::Poisson { qps: 800.0 },
+            40,
+        )
+        .with_tiers(Scenario::default_tiers(0.01));
+        let plan = FaultPlan::new(vec![FaultEvent {
+            at_s: 0.05,
+            replica: 0,
+            kind: FaultKind::Crash { down_s: 0.1 },
+        }])
+        .with_recovery_tracking(0.7, 0.02, 0.5);
+        let report = ClusterSimulation::new(vec![ReplicaConfig::new(config(4)); 2], scenario)
+            .with_faults(plan)
+            .run(
+                &mut RoundRobin::default(),
+                &mut policies(2, PolicyKind::Fcfs),
+                &mut [Fixed(0.01); 2],
+            );
+        assert_eq!(report.recovery.faults_injected, 1);
+        assert!(report.recovery.requests_lost > 0, "{:?}", report.recovery);
+        assert_eq!(
+            report.recovery.retries_issued, report.recovery.requests_lost,
+            "one crash cannot exhaust a 3-retry budget"
+        );
+        assert_eq!(report.recovery.requests_dropped, 0);
+        // Every lost request is retried to completion.
+        assert_eq!(report.completed(), 40);
+        assert_eq!(report.faults.len(), 1);
+        assert!(report.recovery_time_s() >= 0.0);
+        assert!(!report.faults[0].windows.is_empty());
+    }
+
+    #[test]
+    fn an_exhausted_retry_budget_drops_the_lost_requests() {
+        let scenario = Scenario::new(
+            "lossy",
+            Workload::fixed(64, 8).with_seed(3),
+            Arrivals::Poisson { qps: 800.0 },
+            40,
+        );
+        let plan = FaultPlan::new(vec![FaultEvent {
+            at_s: 0.05,
+            replica: 0,
+            kind: FaultKind::Crash { down_s: 0.1 },
+        }])
+        .with_retry(RetryPolicy {
+            max_retries: 0,
+            ..RetryPolicy::default()
+        });
+        let report = ClusterSimulation::new(vec![ReplicaConfig::new(config(4)); 2], scenario)
+            .with_faults(plan)
+            .run(
+                &mut RoundRobin::default(),
+                &mut policies(2, PolicyKind::Fcfs),
+                &mut [Fixed(0.01); 2],
+            );
+        assert!(report.recovery.requests_dropped > 0);
+        assert_eq!(report.recovery.retries_issued, 0);
+        assert_eq!(
+            report.completed() as u64,
+            40 - report.recovery.requests_dropped
+        );
+    }
+
+    #[test]
+    fn a_drain_hands_parked_kv_to_the_surviving_replica() {
+        let scenario = Scenario::new(
+            "drained",
+            Workload::gaussian(96, 10).with_seed(7),
+            Arrivals::Poisson { qps: 400.0 },
+            30,
+        )
+        .with_conversation(ConversationSpec::chat(0.7, 3, 0.01, 24));
+        let plan = FaultPlan::new(vec![FaultEvent {
+            at_s: 0.06,
+            replica: 0,
+            kind: FaultKind::Drain { down_s: 0.05 },
+        }]);
+        let report = ClusterSimulation::new(vec![ReplicaConfig::new(config(4)); 2], scenario)
+            .with_faults(plan)
+            .run(
+                &mut SessionAffinity::default(),
+                &mut policies(2, PolicyKind::Fcfs),
+                &mut [Fixed(0.01); 2],
+            );
+        // A graceful drain loses nothing: displaced queue entries are
+        // re-routed and parked KV is handed to the surviving replica.
+        assert_eq!(report.recovery.requests_lost, 0);
+        assert_eq!(report.recovery.requests_dropped, 0);
+        assert!(
+            report.recovery.kv_migrations > 0,
+            "the drained replica held parked KV: {:?}",
+            report.recovery
+        );
+        assert!(report.recovery.kv_bytes_migrated > 0);
+        assert!(report.recovery.migration_seconds > 0.0);
+        assert!(report.completed() > 0);
+    }
+
+    #[test]
+    fn a_slowdown_stretches_the_run_but_loses_nothing() {
+        let scenario = || {
+            Scenario::new(
+                "sluggish",
+                Workload::fixed(64, 8).with_seed(5),
+                Arrivals::Poisson { qps: 600.0 },
+                30,
+            )
+        };
+        let configs = vec![ReplicaConfig::new(config(4))];
+        let healthy = ClusterSimulation::new(configs.clone(), scenario()).run(
+            &mut RoundRobin::default(),
+            &mut policies(1, PolicyKind::Fcfs),
+            &mut [Fixed(0.01)],
+        );
+        let plan = FaultPlan::new(vec![FaultEvent {
+            at_s: 0.0,
+            replica: 0,
+            kind: FaultKind::Slowdown {
+                duration_s: 1e3,
+                factor: 4.0,
+            },
+        }]);
+        let slowed = ClusterSimulation::new(configs, scenario())
+            .with_faults(plan)
+            .run(
+                &mut RoundRobin::default(),
+                &mut policies(1, PolicyKind::Fcfs),
+                &mut [Fixed(0.01)],
+            );
+        assert_eq!(slowed.completed(), 30);
+        assert_eq!(slowed.recovery.requests_lost, 0);
+        assert!(
+            slowed.total_time_s > healthy.total_time_s * 2.0,
+            "4x slowdown: {} vs {}",
+            slowed.total_time_s,
+            healthy.total_time_s
+        );
     }
 }

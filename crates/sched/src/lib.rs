@@ -29,7 +29,12 @@
 //! * [`cluster`] / [`router`] — multi-replica serving: a fleet of
 //!   independent replicas on one shared virtual clock behind a
 //!   pluggable request router (round-robin, least-outstanding-work,
-//!   session affinity), with per-replica and merged fleet reports.
+//!   session affinity, migration-aware affinity), with per-replica and
+//!   merged fleet reports.
+//! * [`fault`] — deterministic fault injection for cluster runs:
+//!   scripted crashes, drains and slowdowns, retry/reroute of lost
+//!   requests, priced cross-replica KV migration, and recovery
+//!   metrics.
 //! * [`trace`] / [`json`] — recorded arrival traces, the
 //!   [`TraceRecorder`] that captures a run as a replayable trace, and
 //!   the minimal JSON reader behind them.
@@ -63,6 +68,7 @@
 
 pub mod cluster;
 pub mod delta;
+pub mod fault;
 pub mod json;
 pub mod metrics;
 pub mod policy;
@@ -76,6 +82,10 @@ pub mod workload;
 
 pub use cluster::{ClusterConfig, ClusterReport, ClusterRun, ClusterSimulation, ReplicaConfig};
 pub use delta::StageDelta;
+pub use fault::{
+    FaultEvent, FaultKind, FaultOutcome, FaultPlan, FaultWindowStats, KvLinkSpec, RecoveryStats,
+    RetryPolicy,
+};
 pub use metrics::{
     KvReuseStats, LatencyDigest, LatencySummary, SimReport, SloStats, StageRecord, StageStats,
     TierStats,
@@ -86,7 +96,8 @@ pub use policy::{
 };
 pub use request::{Request, RequestRecord};
 pub use router::{
-    LeastOutstandingWork, ReplicaSnapshot, RoundRobin, Router, RouterKind, SessionAffinity,
+    KvMigration, LeastOutstandingWork, ReplicaSnapshot, RoundRobin, RouteDecision, Router,
+    RouterKind, SessionAffinity,
 };
 pub use scenario::{
     AdaptiveChunk, ConversationSpec, PendingRequest, Scenario, ScenarioSimulation, SloTier,

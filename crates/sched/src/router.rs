@@ -16,10 +16,16 @@
 //!   survives behind the load balancer; spill to the
 //!   least-outstanding replica when the pinned one saturates (or the
 //!   history was evicted). Fresh requests route least-outstanding.
+//! * [`KvMigration`] — affinity that, when the pinned replica is down
+//!   or saturated, weighs *shipping* the parked history over the
+//!   interconnect against re-prefilling it at the new replica, and
+//!   asks the cluster to migrate when the transfer is cheaper (see
+//!   [`Router::decide`] and [`crate::fault::KvLinkSpec`]).
 //!
 //! Routers are deterministic: same arrival stream + same snapshots =
 //! same placement, which is what keeps cluster runs seed-stable.
 
+use crate::fault::KvLinkSpec;
 use crate::scenario::PendingRequest;
 
 /// One replica's state as shown to a [`Router`] at routing time.
@@ -107,6 +113,20 @@ fn argmin_accepting<K: PartialOrd, F: Fn(&ReplicaSnapshot) -> K>(
     best.unwrap_or(0)
 }
 
+/// A routing decision: where the request queues, and whether its
+/// parked conversation KV should be migrated there first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RouteDecision {
+    /// The replica the request queues on.
+    pub replica: usize,
+    /// Migrate the conversation's parked KV from this replica to
+    /// [`RouteDecision::replica`] before queueing (a priced transfer
+    /// over the interconnect; see [`crate::fault::KvLinkSpec`]). The
+    /// cluster ignores it when it equals the target or the source no
+    /// longer holds the history.
+    pub migrate_from: Option<usize>,
+}
+
 /// Picks the replica an arriving request queues on.
 pub trait Router {
     /// Display name for reports.
@@ -115,6 +135,16 @@ pub trait Router {
     /// Index of the replica `request` is routed to. `replicas` is
     /// non-empty and indexed like the cluster's replica list.
     fn route(&mut self, request: &PendingRequest, replicas: &[ReplicaSnapshot]) -> usize;
+
+    /// Full routing decision, including an optional KV-migration
+    /// request. The default wraps [`Router::route`] with no migration;
+    /// migration-aware routers override this instead.
+    fn decide(&mut self, request: &PendingRequest, replicas: &[ReplicaSnapshot]) -> RouteDecision {
+        RouteDecision {
+            replica: self.route(request, replicas),
+            migrate_from: None,
+        }
+    }
 
     /// The router's mutable state as opaque words, for cluster
     /// snapshots. Stateless routers (the default) export nothing;
@@ -254,6 +284,128 @@ impl Router for SessionAffinity {
     }
 }
 
+/// Migration-aware session affinity: follow-ups pin to their KV
+/// holder like [`SessionAffinity`], but when the holder is down or
+/// saturated the router weighs *shipping* the parked pages over the
+/// interconnect against re-prefilling the history at the new replica,
+/// and requests a migration (via [`Router::decide`]) when the
+/// transfer is cheaper. The estimates here only steer the decision;
+/// the cluster prices the actual transfer with the replica's exact
+/// KV geometry.
+#[derive(Debug, Clone, Copy)]
+pub struct KvMigration {
+    /// Spill threshold in [`ReplicaSnapshot::queue_pressure`] units,
+    /// as in [`SessionAffinity::spill_pressure`]. The default is lower
+    /// (one batch, not two): with a cheap migration path, diverting
+    /// off a hot holder early costs a transfer instead of a
+    /// re-prefill, so pinning through congestion pays off less.
+    pub spill_pressure: f64,
+    /// The interconnect the migration would cross.
+    pub link: KvLinkSpec,
+    /// Estimated KV bytes per parked token (decision-making only).
+    pub kv_bytes_per_token: u64,
+    /// Estimated prefill throughput of a replica, tokens/s: the
+    /// re-prefill cost a migration competes with.
+    pub prefill_tokens_per_s: f64,
+    fallback: LeastOutstandingWork,
+}
+
+impl KvMigration {
+    /// Default spill threshold: one full batch of committed work.
+    pub const DEFAULT_SPILL_PRESSURE: f64 = 1.0;
+
+    /// Migration-aware affinity over `link`, estimating parked
+    /// entries at `kv_bytes_per_token` and re-prefill at
+    /// `prefill_tokens_per_s`.
+    pub fn new(link: KvLinkSpec, kv_bytes_per_token: u64, prefill_tokens_per_s: f64) -> Self {
+        assert!(
+            prefill_tokens_per_s > 0.0,
+            "prefill throughput must be positive"
+        );
+        Self {
+            spill_pressure: Self::DEFAULT_SPILL_PRESSURE,
+            link,
+            kv_bytes_per_token,
+            prefill_tokens_per_s,
+            fallback: LeastOutstandingWork,
+        }
+    }
+
+    /// Override the spill threshold.
+    pub fn with_spill(mut self, spill_pressure: f64) -> Self {
+        assert!(spill_pressure > 0.0, "spill pressure must be positive");
+        self.spill_pressure = spill_pressure;
+        self
+    }
+
+    /// Whether shipping `resident` parked tokens beats re-prefilling
+    /// them, under this router's estimates.
+    fn migration_pays(&self, resident: u64) -> bool {
+        let transfer_s = self
+            .link
+            .transfer_seconds(resident * self.kv_bytes_per_token);
+        transfer_s < resident as f64 / self.prefill_tokens_per_s
+    }
+}
+
+impl Default for KvMigration {
+    /// Generic large-model estimates: the default interconnect,
+    /// ~100 KB of KV per token, ~10k prefill tokens/s. Fleets with
+    /// real numbers should use [`KvMigration::new`].
+    fn default() -> Self {
+        Self::new(KvLinkSpec::default(), 100_000, 10_000.0)
+    }
+}
+
+impl Router for KvMigration {
+    fn name(&self) -> &'static str {
+        "kv-migration"
+    }
+
+    fn route(&mut self, request: &PendingRequest, replicas: &[ReplicaSnapshot]) -> usize {
+        self.decide(request, replicas).replica
+    }
+
+    fn decide(&mut self, request: &PendingRequest, replicas: &[ReplicaSnapshot]) -> RouteDecision {
+        assert!(!replicas.is_empty(), "router consulted with no replicas");
+        if request.history_tokens > 0 {
+            // The longest resident prefix, wherever it is — a downed
+            // holder cannot take the request but can still be a
+            // migration source.
+            let holder = replicas
+                .iter()
+                .enumerate()
+                .filter(|(_, r)| r.holds_conversation())
+                .max_by(|(ia, a), (ib, b)| {
+                    a.resident_history_tokens
+                        .cmp(&b.resident_history_tokens)
+                        // First maximum wins on ties.
+                        .then(ib.cmp(ia))
+                });
+            if let Some((src, holder)) = holder {
+                if holder.accepting && holder.queue_pressure() <= self.spill_pressure {
+                    return RouteDecision {
+                        replica: src,
+                        migrate_from: None,
+                    };
+                }
+                // The holder is down or hot: divert, and bring the KV
+                // along when the wire beats the re-prefill.
+                let target = self.fallback.route(request, replicas);
+                let migrate = target != src && self.migration_pays(holder.resident_history_tokens);
+                return RouteDecision {
+                    replica: target,
+                    migrate_from: migrate.then_some(src),
+                };
+            }
+        }
+        RouteDecision {
+            replica: self.fallback.route(request, replicas),
+            migrate_from: None,
+        }
+    }
+}
+
 /// The shipped routers, as a value type for sweep drivers.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RouterKind {
@@ -263,14 +415,17 @@ pub enum RouterKind {
     LeastOutstandingWork,
     /// [`SessionAffinity`] with the default spill threshold.
     SessionAffinity,
+    /// [`KvMigration`] with the default link and cost estimates.
+    KvMigration,
 }
 
 impl RouterKind {
     /// Every shipped router.
-    pub const ALL: [RouterKind; 3] = [
+    pub const ALL: [RouterKind; 4] = [
         RouterKind::RoundRobin,
         RouterKind::LeastOutstandingWork,
         RouterKind::SessionAffinity,
+        RouterKind::KvMigration,
     ];
 
     /// Instantiate the router.
@@ -279,6 +434,7 @@ impl RouterKind {
             RouterKind::RoundRobin => Box::new(RoundRobin::default()),
             RouterKind::LeastOutstandingWork => Box::new(LeastOutstandingWork),
             RouterKind::SessionAffinity => Box::new(SessionAffinity::default()),
+            RouterKind::KvMigration => Box::new(KvMigration::default()),
         }
     }
 
@@ -288,6 +444,7 @@ impl RouterKind {
             RouterKind::RoundRobin => "round-robin",
             RouterKind::LeastOutstandingWork => "least-outstanding",
             RouterKind::SessionAffinity => "session-affinity",
+            RouterKind::KvMigration => "kv-migration",
         }
     }
 }
@@ -427,6 +584,76 @@ mod tests {
         }
         assert_eq!(LeastOutstandingWork.route(&request(0), &snaps), 0);
         let _ = RoundRobin::default().route(&request(0), &snaps);
+    }
+
+    #[test]
+    fn kv_migration_pins_until_the_holder_goes_down() {
+        let mut mig = KvMigration::default();
+        let mut snaps = vec![snapshot(500, 1.0), snapshot(10, 1.0)];
+        snaps[0].resident_history_tokens = 64;
+        // Healthy holder under the spill threshold: plain affinity.
+        assert_eq!(
+            mig.decide(&request(64), &snaps),
+            RouteDecision {
+                replica: 0,
+                migrate_from: None
+            }
+        );
+        // Holder down (crash/drain): divert and ship the KV — the
+        // default estimates price the wire far under the re-prefill.
+        snaps[0].accepting = false;
+        assert_eq!(
+            mig.decide(&request(64), &snaps),
+            RouteDecision {
+                replica: 1,
+                migrate_from: Some(0)
+            }
+        );
+        // Fresh requests just load-balance.
+        assert_eq!(
+            mig.decide(&request(0), &snaps),
+            RouteDecision {
+                replica: 1,
+                migrate_from: None
+            }
+        );
+    }
+
+    #[test]
+    fn kv_migration_declines_a_transfer_slower_than_reprefill() {
+        // A 1 B/s link: shipping anything loses to re-prefilling.
+        let mut mig = KvMigration::new(KvLinkSpec::new(1.0, 0.0), 100_000, 10_000.0);
+        let mut snaps = vec![snapshot(500, 1.0), snapshot(10, 1.0)];
+        snaps[0].resident_history_tokens = 64;
+        snaps[0].accepting = false;
+        assert_eq!(
+            mig.decide(&request(64), &snaps),
+            RouteDecision {
+                replica: 1,
+                migrate_from: None
+            }
+        );
+    }
+
+    #[test]
+    fn kv_migration_spills_a_hot_holder_earlier_than_affinity() {
+        // One full batch committed on the holder: affinity (spill 2.0)
+        // still pins, migration (spill 1.0 + cheap wire) diverts and
+        // ships.
+        let mut aff = SessionAffinity::default();
+        let mut mig = KvMigration::default();
+        let mut snaps = vec![snapshot(500, 1.0), snapshot(10, 1.0)];
+        snaps[0].resident_history_tokens = 64;
+        snaps[0].in_flight = 8;
+        snaps[0].queued = 2;
+        assert_eq!(aff.route(&request(64), &snaps), 0);
+        assert_eq!(
+            mig.decide(&request(64), &snaps),
+            RouteDecision {
+                replica: 1,
+                migrate_from: Some(0)
+            }
+        );
     }
 
     #[test]

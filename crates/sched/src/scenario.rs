@@ -502,6 +502,19 @@ impl<'a> ScenarioStream<'a> {
         self.followups.insert(pos, follow);
     }
 
+    /// Re-enqueue a request that left the fleet (crash retry, drain
+    /// reroute) so it flows back through the router at its (possibly
+    /// rewritten) arrival time. Rides the follow-up queue: the request
+    /// merges into the global arrival order and is captured by stream
+    /// snapshots like any other queued arrival. No RNG is drawn — the
+    /// request keeps its identity, tier and history.
+    pub(crate) fn requeue(&mut self, p: PendingRequest) {
+        let pos = self
+            .followups
+            .partition_point(|f| f.request.arrival_s > p.request.arrival_s);
+        self.followups.insert(pos, p);
+    }
+
     /// Capture the stream's dynamic state (both RNG streams, draw
     /// counters, the peeked request and queued follow-ups) for a
     /// [`crate::ClusterSnapshot`]. Static configuration (workload,
@@ -625,6 +638,23 @@ pub(crate) struct ReplicaSim {
     /// Conversation events buffered by [`ReplicaSim::step`], applied
     /// at the next merge point (capacity reused across steps).
     retire_events: Vec<RetireEvent>,
+    /// Router-facing admission flag: false while a fault plan has this
+    /// replica down or draining. Orthogonal to the stage cap.
+    admitting: bool,
+    /// Whether the replica is finishing its batch under a drain fault.
+    draining: bool,
+    /// Virtual-time multiplier on stage latency (restart warm-up,
+    /// transient slowdown). 1.0 is bit-exact pass-through.
+    perf_factor: f64,
+    /// During-failure SLO windows `[start, end)` from the fault plan
+    /// (empty without one) and the per-window, per-tier
+    /// (completed, met) counts.
+    fault_windows: Vec<(f64, f64)>,
+    window_counts: Vec<Vec<(u64, u64)>>,
+    /// Generated-token timeline: bucket width (0 = disabled) and
+    /// per-bucket token counts in bucket order.
+    timeline_bucket_s: f64,
+    timeline: Vec<(u64, u64)>,
 }
 
 impl ReplicaSim {
@@ -671,6 +701,13 @@ impl ReplicaSim {
             tier_stats,
             kv_reuse: KvReuseStats::default(),
             retire_events: Vec::new(),
+            admitting: true,
+            draining: false,
+            perf_factor: 1.0,
+            fault_windows: Vec::new(),
+            window_counts: Vec::new(),
+            timeline_bucket_s: 0.0,
+            timeline: Vec::new(),
             config,
         }
     }
@@ -683,7 +720,7 @@ impl ReplicaSim {
         self.inbox.insert(pos, p);
     }
 
-    fn in_flight(&self) -> bool {
+    pub(crate) fn in_flight(&self) -> bool {
         !self.active.is_empty() || !self.chunking.is_empty() || !self.admitted.is_empty()
     }
 
@@ -761,6 +798,168 @@ impl ReplicaSim {
 
     pub(crate) fn max_batch(&self) -> usize {
         self.config.max_batch
+    }
+
+    /// Router-facing admission: the stage cap allows more work *and*
+    /// no fault has this replica down or draining. What dispatch
+    /// advertises as [`crate::router::ReplicaSnapshot::accepting`].
+    pub(crate) fn is_admitting(&self) -> bool {
+        self.admitting && self.can_accept()
+    }
+
+    pub(crate) fn is_draining(&self) -> bool {
+        self.draining
+    }
+
+    /// Arm fault-plan recording: the during-failure SLO windows (one
+    /// per scripted fault) and the generated-token timeline bucket.
+    /// Must be called before the run starts (and before any snapshot
+    /// import) so no-fault runs skip the recording entirely.
+    pub(crate) fn set_fault_recording(&mut self, windows: Vec<(f64, f64)>, bucket_s: f64) {
+        self.window_counts = vec![vec![(0, 0); self.tier_stats.len()]; windows.len()];
+        self.fault_windows = windows;
+        self.timeline_bucket_s = bucket_s;
+    }
+
+    /// Scale this replica's stage latency (warm-up, slowdown; 1.0 =
+    /// nominal).
+    pub(crate) fn set_perf_factor(&mut self, factor: f64) {
+        self.perf_factor = factor;
+    }
+
+    /// Hard-crash this replica at a merge point: every queued,
+    /// chunking and decoding request is lost (returned sorted by
+    /// request id for deterministic retry order), the parked KV pool
+    /// is wiped, and the replica stops admitting until restarted. The
+    /// carried stage delta resets to a fresh one, so the executor's
+    /// next `execute_delta` rebuilds its batch state from scratch.
+    pub(crate) fn crash(&mut self) -> Vec<PendingRequest> {
+        debug_assert!(
+            self.admitted.is_empty() && self.retire_events.is_empty(),
+            "crash applied outside a merge point"
+        );
+        let mut lost: Vec<PendingRequest> = Vec::new();
+        lost.append(&mut self.inbox);
+        lost.append(&mut self.pending);
+        lost.extend(self.chunking.drain(..).map(|c| c.pending));
+        lost.extend(self.active.drain(..).map(|a| a.pending));
+        lost.sort_by_key(|p| p.request.id);
+        for n in self.tier_active.iter_mut() {
+            *n = 0;
+        }
+        self.reserved = 0;
+        self.delta = StageDelta::start();
+        if let Some(spec) = &self.conversation {
+            self.parked = Some(PagedKvCache::new(
+                self.config.kv_capacity_bytes,
+                spec.page_tokens,
+                self.config.kv_bytes_per_token.max(1),
+                EvictionPolicy::Recompute,
+            ));
+        }
+        self.admitting = false;
+        self.draining = false;
+        lost
+    }
+
+    /// Begin a graceful drain: stop admitting, return the
+    /// queued-but-unstarted requests (sorted by request id) for
+    /// rerouting, keep the in-flight batch running. The cluster
+    /// completes the drain (KV handoff, down window) once
+    /// [`ReplicaSim::in_flight`] empties.
+    pub(crate) fn begin_drain(&mut self) -> Vec<PendingRequest> {
+        let mut displaced: Vec<PendingRequest> = Vec::new();
+        displaced.append(&mut self.inbox);
+        displaced.append(&mut self.pending);
+        displaced.sort_by_key(|p| p.request.id);
+        self.admitting = false;
+        self.draining = true;
+        displaced
+    }
+
+    /// The drain's batch finished and its KV was handed off: the
+    /// replica is now plain down (not admitting) until restarted.
+    pub(crate) fn finish_drain(&mut self) {
+        debug_assert!(self.draining && !self.in_flight());
+        self.draining = false;
+    }
+
+    /// Bring a downed replica back at virtual time `at`: it admits
+    /// again and its clock cannot run before the restart.
+    pub(crate) fn restart(&mut self, at: f64) {
+        self.admitting = true;
+        self.clock = self.clock.max(at);
+    }
+
+    /// Resident parked tokens of `conversation` (None when absent or
+    /// evicted) — the migration-source probe.
+    pub(crate) fn parked_tokens(&self, conversation: u64) -> Option<u64> {
+        self.parked
+            .as_ref()
+            .and_then(|cache| cache.resident_tokens(conversation))
+    }
+
+    /// Drop `conversation`'s parked entry (its pages just shipped
+    /// elsewhere).
+    pub(crate) fn release_parked(&mut self, conversation: u64) {
+        if let Some(cache) = self.parked.as_mut() {
+            cache.release(conversation);
+        }
+    }
+
+    /// Park a migrated conversation history here. Returns false when
+    /// the entry cannot fit even after evicting everything else (the
+    /// migration is abandoned and the conversation re-prefills later).
+    pub(crate) fn receive_parked(&mut self, conversation: u64, tokens: u64) -> bool {
+        let Some(cache) = self.parked.as_mut() else {
+            return false;
+        };
+        // A stale shorter prefix of the same conversation may already
+        // be parked here; the shipped entry supersedes it.
+        cache.release(conversation);
+        match cache.admit(conversation, tokens) {
+            Ok(evicted) => {
+                self.kv_reuse.parked_evictions += evicted.len() as u64;
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    /// Take every parked entry for a drain handoff, in deterministic
+    /// (request-id) order: resident `(conversation, tokens)` pairs.
+    /// Leaves the pool empty.
+    pub(crate) fn take_parked(&mut self) -> Vec<(u64, u64)> {
+        let Some(cache) = self.parked.as_mut() else {
+            return Vec::new();
+        };
+        let (_, entries) = cache.export_entries();
+        let mut moved = Vec::new();
+        for e in &entries {
+            cache.release(e.request);
+            if e.resident {
+                moved.push((e.request, e.tokens));
+            }
+        }
+        moved
+    }
+
+    /// Charge a KV-migration transfer to this (receiving) replica's
+    /// clock: the interconnect and the pool are busy for `seconds`.
+    pub(crate) fn add_transfer_time(&mut self, seconds: f64) {
+        self.clock += seconds;
+    }
+
+    /// Per-fault during-failure SLO counts (window x tier), for the
+    /// cluster's recovery report.
+    pub(crate) fn window_counts(&self) -> &[Vec<(u64, u64)>] {
+        &self.window_counts
+    }
+
+    /// The generated-token timeline (bucket index, tokens), for the
+    /// cluster's recovery report.
+    pub(crate) fn timeline(&self) -> &[(u64, u64)] {
+        &self.timeline
     }
 
     /// Form and execute one stage at this replica's `next_start` time.
@@ -960,9 +1159,24 @@ impl ReplicaSim {
         );
         let outcome = executor.execute_delta(&self.delta, &self.shape);
         self.delta.clear();
-        self.clock += outcome.seconds;
+        // `perf_factor` is 1.0 outside fault plans, and x * 1.0 == x
+        // is bit-exact in IEEE 754, so no-fault runs are unchanged.
+        let stage_seconds = outcome.seconds * self.perf_factor;
+        self.clock += stage_seconds;
+        // Recovery timeline: bucket the tokens this stage generated
+        // (decodes plus sampled first tokens) by virtual time.
+        if self.timeline_bucket_s > 0.0 {
+            let tokens = (self.active.len() + self.admitted.len()) as u64;
+            if tokens > 0 {
+                let bucket = (self.clock / self.timeline_bucket_s) as u64;
+                match self.timeline.last_mut() {
+                    Some((b, n)) if *b == bucket => *n += tokens,
+                    _ => self.timeline.push((bucket, tokens)),
+                }
+            }
+        }
         let record = StageRecord {
-            seconds: outcome.seconds,
+            seconds: stage_seconds,
             mixed: self.shape.is_mixed(),
             batch: self.shape.batch_size(),
             tokens: self.shape.tokens(),
@@ -978,11 +1192,11 @@ impl ReplicaSim {
         // and retire below), and the bucket index is computed once and
         // shared across the fleet and tier digests.
         if !self.active.is_empty() {
-            let bucket = LatencyDigest::bucket_for(outcome.seconds);
+            let bucket = LatencyDigest::bucket_for(stage_seconds);
             self.tbt_digest
-                .record_n_in(bucket, outcome.seconds, self.active.len() as u64);
+                .record_n_in(bucket, stage_seconds, self.active.len() as u64);
             for (stats, &n) in self.tier_stats.iter_mut().zip(&self.tier_active) {
-                stats.tbt_digest.record_n_in(bucket, outcome.seconds, n);
+                stats.tbt_digest.record_n_in(bucket, stage_seconds, n);
             }
         }
         for a in &mut self.active {
@@ -1020,12 +1234,27 @@ impl ReplicaSim {
                 let tier = &self.tiers[done.pending.tier];
                 let stats = &mut self.tier_stats[done.pending.tier];
                 stats.completed += 1;
-                let met_t2ft = record.t2ft() <= tier.t2ft_deadline_s;
+                // The T2FT deadline is checked against the *absolute*
+                // deadline stamped at spawn time: a crash-retried
+                // request keeps its original deadline even though its
+                // arrival was rewritten to the retry time.
+                let met_t2ft = record.first_token_s <= done.pending.deadline_s;
                 let met_tbt =
                     tier.tbt_deadline_s == 0.0 || record.mean_tbt() <= tier.tbt_deadline_s;
-                if met_t2ft && met_tbt {
+                let met = met_t2ft && met_tbt;
+                if met {
                     stats.met += 1;
                     stats.good_tokens += record.tokens;
+                }
+                // During-failure SLO windows (fault plans only).
+                for (wi, &(start, end)) in self.fault_windows.iter().enumerate() {
+                    if record.last_token_s >= start && record.last_token_s < end {
+                        let cell = &mut self.window_counts[wi][done.pending.tier];
+                        cell.0 += 1;
+                        if met {
+                            cell.1 += 1;
+                        }
+                    }
                 }
             }
             if let Some(spec) = &self.conversation {
@@ -1208,6 +1437,11 @@ impl ReplicaSim {
                 })
                 .collect(),
             kv_reuse: self.kv_reuse,
+            admitting: self.admitting,
+            draining: self.draining,
+            perf_factor: self.perf_factor,
+            timeline: self.timeline.clone(),
+            window_counts: self.window_counts.clone(),
             batch: None,
         }
     }
@@ -1274,6 +1508,13 @@ impl ReplicaSim {
             }
         }
         self.kv_reuse = s.kv_reuse;
+        self.admitting = s.admitting;
+        self.draining = s.draining;
+        self.perf_factor = s.perf_factor;
+        self.timeline = s.timeline.clone();
+        // `set_fault_recording` sized these from the plan before the
+        // import; the cluster validates the snapshot shape up front.
+        self.window_counts = s.window_counts.clone();
     }
 }
 

@@ -25,8 +25,14 @@
 //! # Serialization
 //!
 //! [`ClusterSnapshot::to_json`] writes a self-describing JSON document
-//! (schema id `duplex/cluster-snapshot/v1`) that
-//! [`ClusterSnapshot::from_json`] parses back. Exactness rules:
+//! (schema id `duplex/cluster-snapshot/v2`) that
+//! [`ClusterSnapshot::from_json`] parses back. Version 2 extends v1
+//! with fault-drill state: per-replica admission/drain flags, the
+//! fault perf factor, the generated-token timeline, per-fault SLO
+//! window counters, the fleet's [`RecoveryStats`], and the pending
+//! fault event queue. v1 documents are rejected with a message naming
+//! both versions rather than silently resuming without fault state.
+//! Exactness rules:
 //!
 //! * every `u64` is a quoted decimal string (RNG words use all 64
 //!   bits, beyond `f64`'s integer range);
@@ -35,6 +41,7 @@
 //!   exact clock values round-trip without parsing loss;
 //! * booleans are plain JSON booleans.
 
+use crate::fault::RecoveryStats;
 use crate::json::{self, JsonValue};
 use crate::metrics::{KvReuseStats, StageRecord, StageStats};
 use crate::request::{Request, RequestRecord};
@@ -125,9 +132,33 @@ pub(crate) struct ReplicaState {
     pub(crate) tbt_digest: DigestState,
     pub(crate) tiers: Vec<TierState>,
     pub(crate) kv_reuse: KvReuseStats,
+    /// Whether faults currently allow this replica to admit requests.
+    pub(crate) admitting: bool,
+    /// Whether the replica is gracefully draining towards a handoff.
+    pub(crate) draining: bool,
+    /// Stage-time multiplier from an active slowdown or warm-up.
+    pub(crate) perf_factor: f64,
+    /// Generated-token recovery timeline as `(bucket, tokens)` pairs.
+    pub(crate) timeline: Vec<(u64, u64)>,
+    /// Per scripted fault, per SLO tier: `(completed, met)` inside the
+    /// fault's measurement window.
+    pub(crate) window_counts: Vec<Vec<(u64, u64)>>,
     /// The replica executor's carried batch state (`None` for
     /// stateless executors).
     pub(crate) batch: Option<BatchCheckpoint>,
+}
+
+/// The fault runtime's dynamic state: the pending event queue
+/// (`(at_s bits, seq, code, replica-or-fault index)` with codes
+/// 0 = apply scripted fault, 1 = restart, 2 = clear slowdown), the
+/// event sequence counter, per-request retry attempts, and in-progress
+/// drains as `(replica, down_s bits, fault at_s bits)`.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct FaultState {
+    pub(crate) events: Vec<(u64, u64, u64, u64)>,
+    pub(crate) seq: u64,
+    pub(crate) attempts: Vec<(u64, u64)>,
+    pub(crate) draining_down: Vec<(u64, u64, u64)>,
 }
 
 /// A paused cluster run: everything needed to continue it later —
@@ -155,7 +186,17 @@ pub struct ClusterSnapshot {
     pub(crate) router: Vec<u64>,
     pub(crate) stream: StreamState,
     pub(crate) replicas: Vec<ReplicaState>,
+    /// Fleet-wide fault/recovery counters accumulated so far.
+    pub(crate) stats: RecoveryStats,
+    /// Fault runtime state; present exactly when the run has a
+    /// [`crate::FaultPlan`] attached.
+    pub(crate) fault: Option<FaultState>,
 }
+
+/// The schema id written by [`ClusterSnapshot::to_json`].
+const SCHEMA: &str = "duplex/cluster-snapshot/v2";
+/// The previous schema id, recognized only to produce a clear error.
+const SCHEMA_V1: &str = "duplex/cluster-snapshot/v1";
 
 impl ClusterSnapshot {
     /// The virtual time the run paused at.
@@ -168,11 +209,11 @@ impl ClusterSnapshot {
         self.replicas.len()
     }
 
-    /// Serialize to the `duplex/cluster-snapshot/v1` JSON document.
+    /// Serialize to the `duplex/cluster-snapshot/v2` JSON document.
     pub fn to_json(&self) -> String {
         let mut w = Writer::new();
         w.obj_open();
-        w.str_field("schema", "duplex/cluster-snapshot/v1");
+        w.str_field("schema", SCHEMA);
         w.f64_field("taken_at_s", self.taken_at_s);
         w.key("router");
         w.u64_array(&self.router);
@@ -185,6 +226,13 @@ impl ClusterSnapshot {
             write_replica(&mut w, r);
         }
         w.arr_close();
+        w.key("stats");
+        write_stats(&mut w, &self.stats);
+        w.key("fault");
+        match &self.fault {
+            Some(f) => write_fault(&mut w, f),
+            None => w.out.push_str("null"),
+        }
         w.obj_close();
         w.out
     }
@@ -194,14 +242,26 @@ impl ClusterSnapshot {
     /// # Errors
     ///
     /// Returns a message naming the offending field when the text is
-    /// not valid JSON, the schema id is wrong, or a field is missing
-    /// or mistyped.
+    /// not valid JSON, the schema id is wrong (including the retired
+    /// v1 schema, which lacks fault state), or a field is missing or
+    /// mistyped.
     pub fn from_json(text: &str) -> Result<Self, String> {
         let v = json::parse(text)?;
         let schema = get_str(&v, "schema")?;
-        if schema != "duplex/cluster-snapshot/v1" {
-            return Err(format!("unsupported snapshot schema {schema:?}"));
+        if schema != SCHEMA {
+            return Err(if schema == SCHEMA_V1 {
+                format!(
+                    "snapshot schema {schema:?} predates fault-aware snapshots \
+                     and cannot be resumed; re-take it as {SCHEMA:?}"
+                )
+            } else {
+                format!("unsupported snapshot schema {schema:?} (expected {SCHEMA:?})")
+            });
         }
+        let fault = match get(&v, "fault")? {
+            JsonValue::Null => None,
+            f => Some(read_fault(f)?),
+        };
         Ok(ClusterSnapshot {
             taken_at_s: get_f64(&v, "taken_at_s")?,
             router: get_u64_array(&v, "router")?,
@@ -210,6 +270,8 @@ impl ClusterSnapshot {
                 .iter()
                 .map(read_replica)
                 .collect::<Result<Vec<_>, _>>()?,
+            stats: read_stats(get(&v, "stats")?)?,
+            fault,
         })
     }
 }
@@ -401,6 +463,45 @@ fn write_stream(w: &mut Writer, s: &StreamState) {
     w.obj_close();
 }
 
+fn write_stats(w: &mut Writer, s: &RecoveryStats) {
+    w.obj_open();
+    w.u64_field("faults_injected", s.faults_injected);
+    w.u64_field("requests_lost", s.requests_lost);
+    w.u64_field("retries_issued", s.retries_issued);
+    w.u64_field("requests_dropped", s.requests_dropped);
+    w.u64_field("kv_bytes_migrated", s.kv_bytes_migrated);
+    w.u64_field("kv_migrations", s.kv_migrations);
+    w.f64_field("migration_seconds", s.migration_seconds);
+    w.obj_close();
+}
+
+fn write_fault(w: &mut Writer, f: &FaultState) {
+    w.obj_open();
+    w.key("events");
+    w.arr_open();
+    for &(at, seq, code, arg) in &f.events {
+        w.item();
+        w.u64_array(&[at, seq, code, arg]);
+    }
+    w.arr_close();
+    w.u64_field("seq", f.seq);
+    w.key("attempts");
+    w.arr_open();
+    for &(id, n) in &f.attempts {
+        w.item();
+        w.u64_array(&[id, n]);
+    }
+    w.arr_close();
+    w.key("draining_down");
+    w.arr_open();
+    for &(replica, down, at) in &f.draining_down {
+        w.item();
+        w.u64_array(&[replica, down, at]);
+    }
+    w.arr_close();
+    w.obj_close();
+}
+
 fn write_replica(w: &mut Writer, r: &ReplicaState) {
     w.obj_open();
     w.key("inbox");
@@ -514,6 +615,28 @@ fn write_replica(w: &mut Writer, r: &ReplicaState) {
     w.u64_field("reuse_hits", r.kv_reuse.reuse_hits);
     w.u64_field("reuse_misses", r.kv_reuse.reuse_misses);
     w.obj_close();
+    w.bool_field("admitting", r.admitting);
+    w.bool_field("draining", r.draining);
+    w.f64_field("perf_factor", r.perf_factor);
+    w.key("timeline");
+    w.arr_open();
+    for &(bucket, tokens) in &r.timeline {
+        w.item();
+        w.u64_array(&[bucket, tokens]);
+    }
+    w.arr_close();
+    w.key("window_counts");
+    w.arr_open();
+    for window in &r.window_counts {
+        w.item();
+        w.arr_open();
+        for &(completed, met) in window {
+            w.item();
+            w.u64_array(&[completed, met]);
+        }
+        w.arr_close();
+    }
+    w.arr_close();
     w.key("batch");
     match &r.batch {
         Some(b) => {
@@ -595,6 +718,20 @@ fn get_u64_array(v: &JsonValue, key: &str) -> Result<Vec<u64>, String> {
     get_arr(v, key)?.iter().map(|x| u64_of(x, key)).collect()
 }
 
+/// Decode a fixed-width row of quoted u64s (`["1","2",...]`).
+fn u64_row(v: &JsonValue, width: usize, what: &str) -> Result<Vec<u64>, String> {
+    let row = v
+        .as_array()
+        .filter(|a| a.len() == width)
+        .ok_or_else(|| format!("{what} is not a {width}-element array"))?;
+    row.iter().map(|x| u64_of(x, what)).collect()
+}
+
+fn u64_pair(v: &JsonValue, what: &str) -> Result<(u64, u64), String> {
+    let row = u64_row(v, 2, what)?;
+    Ok((row[0], row[1]))
+}
+
 fn read_request(v: &JsonValue) -> Result<Request, String> {
     Ok(Request {
         id: get_u64(v, "id")?,
@@ -667,6 +804,45 @@ fn rng_words(v: &JsonValue, key: &str) -> Result<[u64; 4], String> {
     words
         .try_into()
         .map_err(|_| format!("field {key:?} is not a 4-word RNG state"))
+}
+
+fn read_stats(v: &JsonValue) -> Result<RecoveryStats, String> {
+    Ok(RecoveryStats {
+        faults_injected: get_u64(v, "faults_injected")?,
+        requests_lost: get_u64(v, "requests_lost")?,
+        retries_issued: get_u64(v, "retries_issued")?,
+        requests_dropped: get_u64(v, "requests_dropped")?,
+        kv_bytes_migrated: get_u64(v, "kv_bytes_migrated")?,
+        kv_migrations: get_u64(v, "kv_migrations")?,
+        migration_seconds: get_f64(v, "migration_seconds")?,
+    })
+}
+
+fn read_fault(v: &JsonValue) -> Result<FaultState, String> {
+    let events = get_arr(v, "events")?
+        .iter()
+        .map(|e| {
+            let row = u64_row(e, 4, "fault event")?;
+            Ok((row[0], row[1], row[2], row[3]))
+        })
+        .collect::<Result<Vec<_>, String>>()?;
+    let attempts = get_arr(v, "attempts")?
+        .iter()
+        .map(|a| u64_pair(a, "retry attempt"))
+        .collect::<Result<Vec<_>, String>>()?;
+    let draining_down = get_arr(v, "draining_down")?
+        .iter()
+        .map(|d| {
+            let row = u64_row(d, 3, "drain state")?;
+            Ok((row[0], row[1], row[2]))
+        })
+        .collect::<Result<Vec<_>, String>>()?;
+    Ok(FaultState {
+        events,
+        seq: get_u64(v, "seq")?,
+        attempts,
+        draining_down,
+    })
 }
 
 fn read_replica(v: &JsonValue) -> Result<ReplicaState, String> {
@@ -783,6 +959,21 @@ fn read_replica(v: &JsonValue) -> Result<ReplicaState, String> {
             })
         }
     };
+    let timeline = get_arr(v, "timeline")?
+        .iter()
+        .map(|p| u64_pair(p, "timeline entry"))
+        .collect::<Result<Vec<_>, String>>()?;
+    let window_counts = get_arr(v, "window_counts")?
+        .iter()
+        .map(|window| {
+            window
+                .as_array()
+                .ok_or("a fault window's counts are not an array")?
+                .iter()
+                .map(|p| u64_pair(p, "window tier counts"))
+                .collect::<Result<Vec<_>, String>>()
+        })
+        .collect::<Result<Vec<_>, String>>()?;
     Ok(ReplicaState {
         inbox: read_pending_list(v, "inbox")?,
         pending: read_pending_list(v, "pending")?,
@@ -799,6 +990,11 @@ fn read_replica(v: &JsonValue) -> Result<ReplicaState, String> {
         tbt_digest: read_digest(get(v, "tbt_digest")?)?,
         tiers,
         kv_reuse,
+        admitting: get_bool(v, "admitting")?,
+        draining: get_bool(v, "draining")?,
+        perf_factor: get_f64(v, "perf_factor")?,
+        timeline,
+        window_counts,
         batch,
     })
 }
@@ -919,12 +1115,32 @@ mod tests {
                     reuse_hits: 2,
                     reuse_misses: 1,
                 },
+                admitting: false,
+                draining: true,
+                perf_factor: 0.5,
+                timeline: vec![(3, 40), (4, 12)],
+                window_counts: vec![vec![(2, 1)]],
                 batch: Some(BatchCheckpoint {
                     decode_groups: vec![(68, 1), (90, 2)],
                     pending_joins: vec![64],
                     rng: [9, 10, 11, 12],
                 }),
             }],
+            stats: RecoveryStats {
+                faults_injected: 1,
+                requests_lost: 4,
+                retries_issued: 3,
+                requests_dropped: 1,
+                kv_bytes_migrated: 7 << 20,
+                kv_migrations: 2,
+                migration_seconds: 0.25e-3,
+            },
+            fault: Some(FaultState {
+                events: vec![(4.5f64.to_bits(), 1, 1, 0), (6.0f64.to_bits(), 2, 2, 0)],
+                seq: 3,
+                attempts: vec![(31, 1), (40, 2)],
+                draining_down: vec![(0, 1.5f64.to_bits(), 4.0f64.to_bits())],
+            }),
         }
     }
 
@@ -951,6 +1167,16 @@ mod tests {
         let wrong = r#"{"schema": "duplex-bench/cluster/v1"}"#;
         let err = ClusterSnapshot::from_json(wrong).expect_err("wrong schema");
         assert!(err.contains("schema"), "{err}");
+        assert!(err.contains(SCHEMA), "names the expected schema: {err}");
+    }
+
+    #[test]
+    fn from_json_explains_the_retired_v1_schema() {
+        let v1 = format!(r#"{{"schema": "{SCHEMA_V1}"}}"#);
+        let err = ClusterSnapshot::from_json(&v1).expect_err("v1 rejected");
+        assert!(err.contains(SCHEMA_V1), "{err}");
+        assert!(err.contains(SCHEMA), "{err}");
+        assert!(err.contains("re-take"), "tells the user what to do: {err}");
     }
 
     #[test]
@@ -960,5 +1186,38 @@ mod tests {
         let text = snap.to_json().replace("\"taken_at_s\"", "\"taken_at\"");
         let err = ClusterSnapshot::from_json(&text).expect_err("missing field");
         assert!(err.contains("taken_at_s"), "{err}");
+    }
+
+    #[test]
+    fn corrupt_fault_state_is_a_described_error_not_a_panic() {
+        let snap = sample();
+        // Truncate a 4-element fault event row to 3 elements.
+        let full = snap.to_json();
+        let seq1 = format!("\"{}\",\"1\",\"1\",\"0\"", 4.5f64.to_bits());
+        let cut = format!("\"{}\",\"1\",\"1\"", 4.5f64.to_bits());
+        let text = full.replace(&seq1, &cut);
+        assert_ne!(text, full, "the fixture event row was found");
+        let err = ClusterSnapshot::from_json(&text).expect_err("bad event row");
+        assert!(err.contains("fault event"), "{err}");
+        // A timeline entry that is not a ["bucket","tokens"] pair.
+        let text = full.replace("[\"3\",\"40\"]", "[\"3\"]");
+        assert_ne!(text, full);
+        let err = ClusterSnapshot::from_json(&text).expect_err("bad timeline");
+        assert!(err.contains("timeline entry"), "{err}");
+        // A non-integer recovery counter.
+        let text = full.replace("\"requests_lost\":\"4\"", "\"requests_lost\":\"many\"");
+        assert_ne!(text, full);
+        let err = ClusterSnapshot::from_json(&text).expect_err("bad counter");
+        assert!(err.contains("requests_lost"), "{err}");
+    }
+
+    #[test]
+    fn a_faultless_snapshot_round_trips_with_null_fault_state() {
+        let mut snap = sample();
+        snap.fault = None;
+        snap.stats = RecoveryStats::default();
+        let back = ClusterSnapshot::from_json(&snap.to_json()).expect("parses");
+        assert_eq!(back, snap);
+        assert!(back.fault.is_none());
     }
 }

@@ -134,6 +134,14 @@ impl CommModel {
         }
         bytes as f64 / self.link.inter_node_bytes_per_sec + self.link.latency_s
     }
+
+    /// The inter-node link as a scheduler-side
+    /// [`KvLinkSpec`](duplex_sched::KvLinkSpec), for
+    /// pricing cross-replica KV migrations in cluster fault drills
+    /// with the same bandwidth/latency as [`p2p_inter`](Self::p2p_inter).
+    pub fn kv_link(&self) -> duplex_sched::KvLinkSpec {
+        duplex_sched::KvLinkSpec::new(self.link.inter_node_bytes_per_sec, self.link.latency_s)
+    }
 }
 
 #[cfg(test)]

@@ -16,7 +16,7 @@
 //! them.
 
 use duplex::experiments::{
-    build_cluster, cluster_suite, run_cluster, run_cluster_with, ClusterRow, Scale,
+    build_cluster, cluster_suite, run_cluster, run_cluster_with, ClusterRow, ClusterSpec, Scale,
 };
 use duplex::model::ModelConfig;
 use duplex::sched::{
@@ -211,7 +211,9 @@ fn snapshot_resume_matches_uninterrupted_run_bit_for_bit() {
 
         let (sim, mut policies, mut executors) = build_cluster(spec);
         let mut router = kind.build();
-        let resumed = sim.resume(&restored, router.as_mut(), &mut policies, &mut executors);
+        let resumed = sim
+            .resume(&restored, router.as_mut(), &mut policies, &mut executors)
+            .expect("the snapshot matches the fleet");
         assert_eq!(
             resumed.total_time_s.to_bits(),
             full.total_time_s.to_bits(),
@@ -256,12 +258,144 @@ fn repeated_pause_resume_still_matches() {
             &mut executors,
             full.total_time_s * 0.7,
         )
+        .expect("the snapshot matches the fleet")
         .snapshot()
         .expect("second bound lands mid-run");
     assert!(second.taken_at_s() > first.taken_at_s());
 
     let (sim, mut policies, mut executors) = build_cluster(spec);
     let mut router = kind.build();
-    let resumed = sim.resume(&second, router.as_mut(), &mut policies, &mut executors);
+    let resumed = sim
+        .resume(&second, router.as_mut(), &mut policies, &mut executors)
+        .expect("the snapshot matches the fleet");
     assert_eq!(resumed, full);
+}
+
+fn failover_spec(suite: &[ClusterSpec]) -> &ClusterSpec {
+    suite
+        .iter()
+        .find(|s| s.name == "grok_failover")
+        .expect("the suite ships the failure drill")
+}
+
+#[test]
+fn kv_migration_beats_lose_and_retry_through_the_outage() {
+    // The drill's acceptance claim: on the Grok fleet's scripted
+    // crash + drain, migration-aware routing must beat plain session
+    // affinity (whose displaced conversations re-prefill from scratch)
+    // on during-failure interactive SLO attainment AND fleet TBT p99.
+    let suite = cluster_suite(&Scale::quick());
+    let spec = failover_spec(&suite);
+    let run = |kind: RouterKind| {
+        let mut router = kind.build();
+        let report = run_cluster(spec, router.as_mut());
+        ClusterRow::of(spec, kind.name(), &report)
+    };
+    let aff = run(RouterKind::SessionAffinity);
+    let mig = run(RouterKind::KvMigration);
+    assert!(
+        mig.fault_attainment > aff.fault_attainment,
+        "during-failure interactive attainment: migration {} vs affinity {}",
+        mig.fault_attainment,
+        aff.fault_attainment
+    );
+    assert!(
+        mig.tbt_p99 < aff.tbt_p99,
+        "fleet TBT p99: migration {} vs affinity {}",
+        mig.tbt_p99,
+        aff.tbt_p99
+    );
+    // The win is bought with the interconnect: the migration-aware
+    // router ships strictly more KV than affinity's drain handoff.
+    assert!(mig.kv_bytes_migrated > aff.kv_bytes_migrated);
+}
+
+#[test]
+fn failure_drill_recovery_metrics_are_deterministic_and_populated() {
+    // The numbers the CI recovery gate pins: scripted faults fire
+    // seed-deterministically, lost requests retry to completion, and
+    // both recovery metrics come out non-degenerate — twice, to the
+    // bit.
+    let suite = cluster_suite(&Scale::quick());
+    let spec = failover_spec(&suite);
+    for kind in RouterKind::ALL {
+        let a = run_cluster(spec, kind.build().as_mut());
+        let b = run_cluster(spec, kind.build().as_mut());
+        assert_eq!(a, b, "drill reruns bit-identically under {}", kind.name());
+        assert_eq!(a.recovery.faults_injected, 2, "{}", kind.name());
+        assert!(a.recovery.requests_lost > 0, "{}", kind.name());
+        assert_eq!(a.recovery.requests_dropped, 0, "{}", kind.name());
+        assert!(a.recovery.kv_bytes_migrated > 0, "{}", kind.name());
+        assert!(a.recovery_time_s() > 0.0, "{}", kind.name());
+        let fault_slo = a.fault_interactive_attainment();
+        assert!(
+            fault_slo > 0.0 && fault_slo < 1.0,
+            "{}: during-failure attainment {} should show real damage",
+            kind.name(),
+            fault_slo
+        );
+    }
+}
+
+#[test]
+fn mid_outage_snapshot_resumes_bit_for_bit() {
+    // Pause the drill *between* the crash and the drain — fault state,
+    // retry attempts and recovery counters all mid-flight — round-trip
+    // the snapshot through JSON, and demand the resumed report equal
+    // the uninterrupted run's under every router.
+    let suite = cluster_suite(&Scale::quick());
+    let spec = failover_spec(&suite);
+    let plan = spec.faults.as_ref().expect("the drill scripts faults");
+    let crash_at = plan.faults[0].at_s;
+    let drain_at = plan.faults[1].at_s;
+    let stop_s = 0.5 * (crash_at + drain_at);
+    for kind in RouterKind::ALL {
+        let full = run_cluster(spec, kind.build().as_mut());
+
+        let (sim, mut policies, mut executors) = build_cluster(spec);
+        let mut router = kind.build();
+        let snapshot = sim
+            .run_until(router.as_mut(), &mut policies, &mut executors, stop_s)
+            .snapshot()
+            .expect("the bound lands mid-run");
+        let restored =
+            ClusterSnapshot::from_json(&snapshot.to_json()).expect("the wire format round-trips");
+        assert_eq!(restored, snapshot);
+
+        let (sim, mut policies, mut executors) = build_cluster(spec);
+        let mut router = kind.build();
+        let resumed = sim
+            .resume(&restored, router.as_mut(), &mut policies, &mut executors)
+            .expect("the snapshot matches the fleet");
+        assert_eq!(resumed, full, "router {}", kind.name());
+    }
+}
+
+#[test]
+fn a_faultless_fleet_rejects_a_faulted_snapshot() {
+    // Snapshot the drill mid-run, then try to resume it on the same
+    // fleet built *without* its fault plan: the mismatch must be a
+    // described error, not a silent divergence.
+    let suite = cluster_suite(&Scale::quick());
+    let spec = failover_spec(&suite);
+    let (sim, mut policies, mut executors) = build_cluster(spec);
+    let mut router = RouterKind::RoundRobin.build();
+    let snapshot = sim
+        .run_until(
+            router.as_mut(),
+            &mut policies,
+            &mut executors,
+            spec.faults.as_ref().unwrap().faults[0].at_s * 0.5,
+        )
+        .snapshot()
+        .expect("the bound lands mid-run");
+
+    let mut calm = spec.clone();
+    calm.faults = None;
+    let (sim, mut policies, mut executors) = build_cluster(&calm);
+    let mut router = RouterKind::RoundRobin.build();
+    let err = sim
+        .resume(&snapshot, router.as_mut(), &mut policies, &mut executors)
+        .expect_err("a faulted snapshot cannot resume on a faultless fleet");
+    assert!(err.contains("fault"), "{err}");
 }

@@ -6,9 +6,10 @@ use duplex::compute::Engine;
 use duplex::model::ops::StageShape;
 use duplex::model::{ExpertRouter, ModelConfig};
 use duplex::sched::{
-    Arrivals, ClusterSimulation, ConversationSpec, LatencyDigest, PolicyKind, ReplicaConfig,
-    RouterKind, Scenario, ScenarioSimulation, SchedulingPolicy, Simulation, SimulationConfig,
-    SloStats, StageExecutor, StageOutcome, TierStats, Workload,
+    Arrivals, ClusterConfig, ClusterSimulation, ClusterSnapshot, ConversationSpec, FaultEvent,
+    FaultKind, FaultPlan, LatencyDigest, PolicyKind, ReplicaConfig, RetryPolicy, RouterKind,
+    Scenario, ScenarioSimulation, SchedulingPolicy, Simulation, SimulationConfig, SloStats,
+    StageExecutor, StageOutcome, TierStats, Workload,
 };
 use duplex::system::coproc::split_experts;
 use duplex::system::{SystemConfig, SystemExecutor};
@@ -43,6 +44,17 @@ impl StageExecutor for ReferenceExec {
         StageOutcome {
             seconds: cost.seconds,
         }
+    }
+}
+
+/// Constant-latency executor for fault-drill properties, where the
+/// interesting state lives in the scheduler, not the pricing.
+#[derive(Clone, Copy)]
+struct FixedStage(f64);
+
+impl StageExecutor for FixedStage {
+    fn execute(&mut self, _shape: &StageShape) -> StageOutcome {
+        StageOutcome { seconds: self.0 }
     }
 }
 
@@ -256,7 +268,7 @@ proptest! {
         multi_turn_bit in 0u8..2,
         chunk in proptest::option::of(8u64..64),
         policy_idx in 0usize..4,
-        router_idx in 0usize..3,
+        router_idx in 0usize..RouterKind::ALL.len(),
     ) {
         let model = ModelConfig::mixtral_8x7b();
         let system = SystemConfig::duplex_pe_et(4, 1);
@@ -608,5 +620,111 @@ proptest! {
             prop_assert_eq!(x.tbt_digest.count(), y.tbt_digest.count());
         }
         prop_assert!(rel_diff(fwd_slo.attainment(), perm_slo.attainment()) < 1e-12);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Crash → retry → recover is deterministic machinery, not noise:
+    /// on a 3-replica fleet with conversations and SLO tiers, a
+    /// randomized mid-run crash (random time, outage length, retry
+    /// budget) must (a) replay byte-identically between the serial
+    /// oracle and parallel windows, and (b) survive a snapshot taken
+    /// mid-outage — JSON round-trip included — resuming to the exact
+    /// uninterrupted report. Both claims hold for every shipped router.
+    #[test]
+    fn crash_retry_recover_is_deterministic_and_resumable(
+        mean_in in 32u64..128,
+        mean_out in 4u64..16,
+        requests in 8usize..20,
+        seed in 0u64..1000,
+        qps in 100.0f64..800.0,
+        crash_frac in 0.2f64..0.6,
+        down_s in 0.005f64..0.05,
+        max_retries in 0u32..4,
+    ) {
+        let cfg = SimulationConfig {
+            max_batch: 4,
+            kv_capacity_bytes: 1 << 30,
+            kv_bytes_per_token: 64,
+            ..SimulationConfig::default()
+        };
+        let mk = || Scenario::new(
+            "prop-crash",
+            Workload::gaussian(mean_in, mean_out).with_seed(seed),
+            Arrivals::Poisson { qps },
+            requests,
+        )
+        .with_tiers(Scenario::default_tiers(0.01))
+        .with_conversation(ConversationSpec::chat(0.7, 3, 0.05, 16));
+        let span_est = requests as f64 / qps;
+        let crash_at = crash_frac * span_est;
+        let plan = FaultPlan::new(vec![FaultEvent {
+            at_s: crash_at,
+            replica: 0,
+            kind: FaultKind::Crash { down_s },
+        }])
+        .with_retry(RetryPolicy {
+            max_retries,
+            backoff_s: 0.001,
+            backoff_mult: 2.0,
+        })
+        .with_warmup(0.01, 2.0)
+        .with_recovery_tracking(0.7, span_est / 20.0, 0.05);
+        let configs = vec![ReplicaConfig::new(cfg); 3];
+        for kind in RouterKind::ALL {
+            let mk_sim =
+                || ClusterSimulation::new(configs.clone(), mk()).with_faults(plan.clone());
+            let mk_pol = || -> Vec<Box<dyn SchedulingPolicy>> {
+                (0..3).map(|_| PolicyKind::PriorityTiers.build()).collect()
+            };
+            let serial = mk_sim().with_config(ClusterConfig::serial()).run(
+                kind.build().as_mut(),
+                &mut mk_pol(),
+                &mut [FixedStage(0.002); 3],
+            );
+            let parallel = mk_sim()
+                .with_config(ClusterConfig {
+                    parallel: true,
+                    threads: 3,
+                })
+                .run(
+                    kind.build().as_mut(),
+                    &mut mk_pol(),
+                    &mut [FixedStage(0.002); 3],
+                );
+            prop_assert_eq!(&serial, &parallel);
+            prop_assert_eq!(serial.recovery.faults_injected, 1);
+            if max_retries == 0 {
+                prop_assert_eq!(serial.recovery.retries_issued, 0);
+            } else {
+                prop_assert_eq!(serial.recovery.requests_dropped, 0);
+            }
+
+            // Pause mid-outage (the crashed replica is still down),
+            // push the snapshot through JSON, resume fresh.
+            let stop_s = crash_at + 0.5 * down_s;
+            let paused = mk_sim().run_until(
+                kind.build().as_mut(),
+                &mut mk_pol(),
+                &mut [FixedStage(0.002); 3],
+                stop_s,
+            );
+            if let Some(snapshot) = paused.snapshot() {
+                let restored = ClusterSnapshot::from_json(&snapshot.to_json())
+                    .expect("the wire format round-trips");
+                prop_assert_eq!(&restored, &snapshot);
+                let resumed = mk_sim()
+                    .resume(
+                        &restored,
+                        kind.build().as_mut(),
+                        &mut mk_pol(),
+                        &mut [FixedStage(0.002); 3],
+                    )
+                    .expect("the snapshot matches the fleet");
+                prop_assert_eq!(&resumed, &serial);
+            }
+        }
     }
 }
