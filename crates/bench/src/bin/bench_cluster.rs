@@ -35,6 +35,14 @@
 //! `fault_interactive_attainment`, the during-failure interactive SLO
 //! attainment (gates downward) — plus the ungated bookkeeping counts
 //! `requests_lost`, `retries_issued`, `kv_bytes_migrated`.
+//!
+//! The `grok_diurnal_autoscale_*` trio (the elastic fleet and its two
+//! static goalposts, least-outstanding-work router only) rides the
+//! same loop: every entry carries `replica_seconds` (billable
+//! provisioned time, gates upward) and the elastic entry adds
+//! `scale_ups` / `scale_downs` (bookkeeping) and `scale_up_lag_s`
+//! (worst detection + provisioning lag, gates upward); its
+//! `interactive_attainment` gates downward like any tiered fleet's.
 
 use std::time::Instant;
 
@@ -87,8 +95,20 @@ fn main() {
     let mut json_entries = Vec::new();
     let mut grok_time_s = None;
     let suite = duplex::experiments::cluster_suite(&scale);
+    let drill = duplex::experiments::autoscale_drill(&scale);
+    // Suite fleets run under every router; the autoscale drill's three
+    // variants compare *fleet sizing*, so they pin one router.
+    let mut points: Vec<(&ClusterSpec, RouterKind)> = Vec::new();
     for spec in &suite {
         for kind in RouterKind::ALL {
+            points.push((spec, kind));
+        }
+    }
+    for spec in &drill {
+        points.push((spec, RouterKind::LeastOutstandingWork));
+    }
+    for (spec, kind) in points {
+        {
             // Fleet construction (executor builds, capacity probes)
             // stays outside the timed region: the metric is stepping
             // throughput, not setup cost.
@@ -138,6 +158,12 @@ fn main() {
                 },
                 format!("{:.3}", row.kv_reuse_fraction),
                 format!("{:.2}", row.load_imbalance),
+                format!("{:.2}", row.replica_seconds),
+                if spec.autoscale.is_some() {
+                    format!("{}^{}v", row.scale_ups, row.scale_downs)
+                } else {
+                    "-".into()
+                },
             ]);
             let tiered_metrics = if row.tiered {
                 format!(
@@ -159,8 +185,16 @@ fn main() {
             } else {
                 String::new()
             };
+            let scaling_metrics = if spec.autoscale.is_some() {
+                format!(
+                    "\"scale_ups\": {}, \"scale_downs\": {}, \"scale_up_lag_s\": {:.6}, ",
+                    row.scale_ups, row.scale_downs, row.scale_up_lag_s
+                )
+            } else {
+                String::new()
+            };
             json_entries.push(format!(
-                "    \"{}_{}\": {{\"fleet_stages_per_s\": {:.1}, \"wall_s\": {:.4}, \"serial_fleet_stages_per_s\": {:.1}, \"serial_wall_s\": {:.4}, \"threads\": {}, \"stages\": {}, \"completed\": {}, \"replicas\": {}, \"sim_tokens_per_sec\": {:.1}, \"tbt_p99_ms\": {:.4}, {}{}\"kv_reuse_fraction\": {:.4}, \"load_imbalance\": {:.4}, \"policy\": \"{}\", \"model\": \"{}\", \"batch\": {}}}",
+                "    \"{}_{}\": {{\"fleet_stages_per_s\": {:.1}, \"wall_s\": {:.4}, \"serial_fleet_stages_per_s\": {:.1}, \"serial_wall_s\": {:.4}, \"threads\": {}, \"stages\": {}, \"completed\": {}, \"replicas\": {}, \"replica_seconds\": {:.4}, \"sim_tokens_per_sec\": {:.1}, \"tbt_p99_ms\": {:.4}, {}{}{}\"kv_reuse_fraction\": {:.4}, \"load_imbalance\": {:.4}, \"policy\": \"{}\", \"model\": \"{}\", \"batch\": {}}}",
                 row.cluster,
                 kind.name().replace('-', "_"),
                 fleet_stages_per_s,
@@ -171,10 +205,12 @@ fn main() {
                 row.stages,
                 row.completed,
                 row.replicas,
+                row.replica_seconds,
                 row.throughput,
                 tbt_p99_ms,
                 tiered_metrics,
                 fault_metrics,
+                scaling_metrics,
                 row.kv_reuse_fraction,
                 row.load_imbalance,
                 spec.policy.name(),
@@ -201,6 +237,8 @@ fn main() {
             "Int. att.",
             "KV reuse",
             "Imbal",
+            "Repl-s",
+            "Scale",
         ],
         &rows,
     );

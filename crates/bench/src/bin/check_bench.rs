@@ -4,6 +4,8 @@
 //! check_bench [--baseline ci/bench_baseline.json]
 //!             [--threshold 0.30]
 //!             [--report <name>=<path>]...
+//!             [--self-test]
+//!             [--write-baseline]
 //! ```
 //!
 //! Without `--report` flags it gates the default reports
@@ -12,13 +14,35 @@
 //! from the working directory; reports whose file is absent or that
 //! have no baseline section are skipped. Exits 1 when any baselined
 //! metric drifts more than the threshold past its baseline —
-//! throughput metrics by dropping, latency metrics (TBT/T2FT tails) by
-//! rising — printing a one-line-per-metric table either way.
+//! throughput metrics by dropping, latency metrics (TBT/T2FT tails)
+//! and cost metrics (`replica_seconds`, `scale_up_lag_s`) by rising —
+//! printing a one-line-per-metric table either way.
+//!
+//! `--self-test` proves the gate itself has teeth: the baseline
+//! (defaulting to `ci/bench_regression_fixture.json`) holds
+//! deliberately impossible values plus a `_self_test.must_trip` list
+//! of `{"key", "direction"}` declarations, and the mode verifies every
+//! declared metric was gated, gates in the declared direction, and
+//! tripped — exiting 1 and listing each miss otherwise. The fixture
+//! file is the single source of truth for what must trip; adding a
+//! metric class needs no workflow change.
+//!
+//! `--write-baseline` regenerates the baseline file (default
+//! `ci/bench_baseline.json`) from the current reports instead of
+//! gating: run the `--quick` benches, then this, and commit the diff.
+//! Headroom rules live in `regression::write_baseline` — wall-clock
+//! throughputs floored at 45% of measured, `wall_s` ceilings at 50x,
+//! deterministic simulated-time metrics recorded exactly.
 
-use duplex_bench::regression::{gate_reports, render_gate, DEFAULT_THRESHOLD};
+use duplex_bench::regression::{
+    gate_reports, render_gate, run_self_test, write_baseline, DEFAULT_THRESHOLD,
+};
 
 fn usage(bin: &str) -> ! {
-    eprintln!("usage: {bin} [--baseline <path>] [--threshold <frac>] [--report <name>=<path>]...");
+    eprintln!(
+        "usage: {bin} [--baseline <path>] [--threshold <frac>] [--report <name>=<path>]... \
+         [--self-test] [--write-baseline]"
+    );
     std::process::exit(2);
 }
 
@@ -26,13 +50,15 @@ fn main() {
     let bin = std::env::args()
         .next()
         .unwrap_or_else(|| "check_bench".into());
-    let mut baseline_path = "ci/bench_baseline.json".to_string();
+    let mut baseline_path: Option<String> = None;
     let mut threshold = DEFAULT_THRESHOLD;
     let mut report_specs: Vec<(String, String)> = Vec::new();
+    let mut self_test = false;
+    let mut write_mode = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
-            "--baseline" => baseline_path = args.next().unwrap_or_else(|| usage(&bin)),
+            "--baseline" => baseline_path = Some(args.next().unwrap_or_else(|| usage(&bin))),
             "--threshold" => {
                 let raw = args.next().unwrap_or_else(|| usage(&bin));
                 threshold = raw.parse().unwrap_or_else(|_| usage(&bin));
@@ -46,9 +72,22 @@ fn main() {
                 let (name, path) = spec.split_once('=').unwrap_or_else(|| usage(&bin));
                 report_specs.push((name.to_string(), path.to_string()));
             }
+            "--self-test" => self_test = true,
+            "--write-baseline" => write_mode = true,
             _ => usage(&bin),
         }
     }
+    if self_test && write_mode {
+        eprintln!("error: --self-test and --write-baseline are mutually exclusive");
+        std::process::exit(2);
+    }
+    let baseline_path = baseline_path.unwrap_or_else(|| {
+        if self_test {
+            "ci/bench_regression_fixture.json".into()
+        } else {
+            "ci/bench_baseline.json".into()
+        }
+    });
     if report_specs.is_empty() {
         report_specs = [
             ("BENCH_stage_cost", "BENCH_stage_cost.json"),
@@ -61,16 +100,65 @@ fn main() {
         .collect();
     }
 
-    let baseline = std::fs::read_to_string(&baseline_path).unwrap_or_else(|e| {
-        eprintln!("error: reading baseline {baseline_path}: {e}");
-        std::process::exit(2);
-    });
     let mut reports: Vec<(&str, String)> = Vec::new();
     for (name, path) in &report_specs {
         match std::fs::read_to_string(path) {
             Ok(text) => reports.push((name.as_str(), text)),
             Err(e) => println!("skipping {name}: {path}: {e}"),
         }
+    }
+
+    if write_mode {
+        // The baseline must cover every report it is regenerated from:
+        // a silently absent report file would drop its whole section.
+        if reports.len() != report_specs.len() {
+            eprintln!("error: --write-baseline needs every report file present");
+            std::process::exit(2);
+        }
+        let text = write_baseline(&reports).unwrap_or_else(|e| {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        });
+        std::fs::write(&baseline_path, &text).unwrap_or_else(|e| {
+            eprintln!("error: writing {baseline_path}: {e}");
+            std::process::exit(2);
+        });
+        println!(
+            "wrote {baseline_path} ({} bytes) from {} report(s)",
+            text.len(),
+            reports.len()
+        );
+        return;
+    }
+
+    let baseline = std::fs::read_to_string(&baseline_path).unwrap_or_else(|e| {
+        eprintln!("error: reading baseline {baseline_path}: {e}");
+        std::process::exit(2);
+    });
+
+    if self_test {
+        match run_self_test(&baseline, &reports, threshold) {
+            Ok(outcome) => {
+                print!("{}", outcome.table);
+                if outcome.failures.is_empty() {
+                    println!("gate self-test passed: every declared (metric, direction) tripped");
+                } else {
+                    for miss in &outcome.failures {
+                        eprintln!("self-test miss: {miss}");
+                    }
+                    eprintln!(
+                        "gate self-test FAILED: {} of the fixture's declared trips did not fire",
+                        outcome.failures.len()
+                    );
+                    std::process::exit(1);
+                }
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(2);
+            }
+        }
+        return;
     }
 
     match gate_reports(&baseline, &reports) {

@@ -22,9 +22,10 @@ use duplex_compute::{AreaModel, Edap, Engine};
 use duplex_model::ops::StageShape;
 use duplex_model::ModelConfig;
 use duplex_sched::{
-    Arrivals, ClusterConfig, ClusterReport, ClusterSimulation, ConversationSpec, FaultEvent,
-    FaultKind, FaultPlan, PolicyKind, ReplicaConfig, RequestSource, Router, RouterKind, Scenario,
-    ScenarioSimulation, SchedulingPolicy, SimReport, SimulationConfig, TraceRequest, Workload,
+    Arrivals, AutoscalePolicy, ClusterConfig, ClusterReport, ClusterSimulation, ConversationSpec,
+    FaultEvent, FaultKind, FaultPlan, PolicyKind, ReplicaConfig, RequestSource, Router, RouterKind,
+    Scenario, ScenarioSimulation, SchedulingPolicy, SimReport, SimulationConfig, TraceRequest,
+    Workload,
 };
 use duplex_system::{CommModel, SplitSimulation, SystemConfig, SystemExecutor};
 
@@ -1118,6 +1119,10 @@ pub struct ClusterSpec {
     /// Scripted fault drill (crashes/drains/slowdowns) run against the
     /// fleet; `None` for a healthy-fleet sweep.
     pub faults: Option<FaultPlan>,
+    /// Elastic scaling policy; `None` runs the fleet at its built
+    /// size. With `Some`, `systems` is the *maximum* fleet and
+    /// replicas beyond the policy floor start in the standby pool.
+    pub autoscale: Option<AutoscalePolicy>,
 }
 
 /// One row of the cluster sweep: a (fleet, router) pair with fleet and
@@ -1163,6 +1168,17 @@ pub struct ClusterRow {
     pub retries_issued: u64,
     /// KV bytes shipped across replicas (drain handoffs + migrations).
     pub kv_bytes_migrated: u64,
+    /// Billable replica-seconds: virtual seconds each replica spent
+    /// provisioned (pool/down time excluded), summed fleet-wide.
+    pub replica_seconds: f64,
+    /// Pool replicas provisioned into the fleet (0 without an
+    /// autoscaler).
+    pub scale_ups: u64,
+    /// Replicas drained back to the pool (0 without an autoscaler).
+    pub scale_downs: u64,
+    /// Worst detection-plus-provisioning lag of a scale-up in virtual
+    /// seconds (0 when nothing scaled).
+    pub scale_up_lag_s: f64,
 }
 
 impl ClusterRow {
@@ -1188,6 +1204,10 @@ impl ClusterRow {
             requests_lost: report.recovery.requests_lost,
             retries_issued: report.recovery.retries_issued,
             kv_bytes_migrated: report.recovery.kv_bytes_migrated,
+            replica_seconds: report.replica_seconds,
+            scale_ups: report.scaling.scale_ups,
+            scale_downs: report.scaling.scale_downs,
+            scale_up_lag_s: report.scaling.scale_up_lag_s,
         }
     }
 }
@@ -1257,6 +1277,7 @@ pub fn cluster_suite(scale: &Scale) -> Vec<ClusterSpec> {
             policy: PolicyKind::PriorityTiers,
             scenario,
             faults: None,
+            autoscale: None,
         });
     }
 
@@ -1324,6 +1345,7 @@ pub fn cluster_suite(scale: &Scale) -> Vec<ClusterSpec> {
             policy: PolicyKind::PriorityTiers,
             scenario,
             faults: Some(faults),
+            autoscale: None,
         });
     }
 
@@ -1359,10 +1381,90 @@ pub fn cluster_suite(scale: &Scale) -> Vec<ClusterSpec> {
             policy: PolicyKind::Fcfs,
             scenario,
             faults: None,
+            autoscale: None,
         });
     }
 
     specs
+}
+
+/// The elastic-autoscaling drill: one diurnal Grok-scale workload
+/// offered to three fleet configurations so the elastic fleet's cost
+/// and SLO numbers have static goalposts on both sides.
+///
+/// * `grok_diurnal_autoscale_elastic` — a pool of `peak` Duplex
+///   replicas with an [`AutoscalePolicy`] floor of `min`: the
+///   autoscaler provisions on the diurnal up-swing (warm-up slowdown,
+///   priced parked-KV steal) and drains surplus replicas back to the
+///   pool on the down-swing.
+/// * `grok_diurnal_autoscale_static_min` — the floor fleet pinned on:
+///   saturates at the diurnal peak, cheapest possible bill.
+/// * `grok_diurnal_autoscale_static_peak` — the full fleet pinned on:
+///   best attainable SLO numbers, idles through every trough.
+///
+/// The acceptance bar (`tests/integration_cluster.rs`): the elastic
+/// fleet holds interactive attainment within 0.03 of the static peak
+/// fleet while billing at least 25% fewer replica-seconds.
+pub fn autoscale_drill(scale: &Scale) -> Vec<ClusterSpec> {
+    let model = ModelConfig::grok1();
+    let (d, n) = SystemConfig::default_cluster(&model); // 2x8
+    let duplex = SystemConfig::duplex_pe_et(d, n);
+    let batch = 16usize;
+    let lin = scale.len(2048);
+    let lout = scale.len(512);
+    let ctx = lin + lout / 2;
+    let stage = probe_stage_seconds(&model, &duplex, batch, ctx);
+    let replica_qps = batch as f64 / lout as f64 / stage;
+    let peak = 6usize;
+    let min = 2usize;
+    // Mean offered load is ~2.2 replicas' worth; with 0.85 amplitude
+    // the diurnal crest needs ~4 replicas and the trough well under
+    // one, so the floor fleet saturates at noon and the peak fleet
+    // idles at midnight.
+    let mean_qps = 2.2 * replica_qps;
+    let requests = scale.requests(batch) * peak * 2;
+    let span_est = requests as f64 / mean_qps;
+    let period_s = span_est / 2.0; // ~two diurnal cycles per run
+    let scenario = Scenario::new(
+        "grok_diurnal_autoscale",
+        Workload::gaussian(lin, lout).with_seed(0xD1A1).with_cv(0.5),
+        Arrivals::Diurnal {
+            mean_qps,
+            period_s,
+            amplitude: 0.85,
+        },
+        requests,
+    )
+    .with_tiers(Scenario::default_tiers(stage));
+    // The joiner's KV steal ships over the same inter-node link the
+    // failover drill prices its migrations on.
+    let link = CommModel::new(duplex.link, duplex.nodes, duplex.devices_per_node).kv_link();
+    // Quick detection (one hot window scales up), slower release
+    // (three calm windows scale down): SLO misses cost more than an
+    // extra replica-minute.
+    let interval_s = period_s / 64.0;
+    let policy = AutoscalePolicy::new(min)
+        .with_pressure(0.8, 0.4)
+        .with_down_occupancy(0.75)
+        .with_cadence(interval_s, 1, 2)
+        .with_cooldown(2.0 * interval_s)
+        .with_provisioning(interval_s, interval_s, 1.2)
+        .with_link(link);
+    let spec = |name: &str, replicas: usize, autoscale: Option<AutoscalePolicy>| ClusterSpec {
+        name: name.into(),
+        model: model.clone(),
+        systems: vec![duplex.clone(); replicas],
+        batch,
+        policy: PolicyKind::PriorityTiers,
+        scenario: scenario.clone(),
+        faults: None,
+        autoscale,
+    };
+    vec![
+        spec("grok_diurnal_autoscale_elastic", peak, Some(policy)),
+        spec("grok_diurnal_autoscale_static_min", min, None),
+        spec("grok_diurnal_autoscale_static_peak", peak, None),
+    ]
 }
 
 /// Build one fleet ready to run: the bound [`ClusterSimulation`] plus
@@ -1405,6 +1507,9 @@ pub fn build_cluster(
     let mut sim = ClusterSimulation::new(configs, spec.scenario.clone());
     if let Some(plan) = &spec.faults {
         sim = sim.with_faults(plan.clone());
+    }
+    if let Some(policy) = &spec.autoscale {
+        sim = sim.with_autoscale(policy.clone());
     }
     (sim, policies, executors)
 }
@@ -1633,6 +1738,38 @@ mod tests {
         let distinct: std::collections::HashSet<&str> =
             hetero.systems.iter().map(|s| s.name.as_str()).collect();
         assert!(distinct.len() >= 2, "{distinct:?}");
+    }
+
+    #[test]
+    fn autoscale_drill_brackets_the_elastic_fleet_with_static_goalposts() {
+        let drill = autoscale_drill(&Scale::quick());
+        let names: Vec<&str> = drill.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(
+            names,
+            [
+                "grok_diurnal_autoscale_elastic",
+                "grok_diurnal_autoscale_static_min",
+                "grok_diurnal_autoscale_static_peak"
+            ]
+        );
+        let elastic = &drill[0];
+        let policy = elastic.autoscale.as_ref().expect("the elastic policy");
+        assert_eq!(elastic.systems.len(), 6, "pool of six");
+        assert_eq!(policy.min_replicas, 2, "floor of two");
+        assert_eq!(drill[1].systems.len(), policy.min_replicas);
+        assert_eq!(drill[2].systems.len(), elastic.systems.len());
+        assert!(drill[1..].iter().all(|s| s.autoscale.is_none()));
+        // One diurnal workload shared by all three fleets, tiered so
+        // interactive attainment is comparable.
+        for spec in &drill {
+            assert_eq!(spec.scenario, elastic.scenario);
+            assert!(matches!(
+                spec.scenario.arrivals,
+                Arrivals::Diurnal { amplitude, .. } if amplitude > 0.5
+            ));
+            assert_eq!(spec.scenario.tiers.len(), 3);
+            assert!(spec.faults.is_none());
+        }
     }
 
     #[test]

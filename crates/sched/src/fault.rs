@@ -208,6 +208,61 @@ impl Default for KvLinkSpec {
     }
 }
 
+/// A load-driven fault trigger: instead of (or alongside) the scripted
+/// [`FaultEvent`] list, the cluster watches every replica's queue
+/// pressure ([`crate::router::ReplicaSnapshot::queue_pressure`] units:
+/// committed slots per batch slot) at its clock-merge points and
+/// injects `kind` on any replica whose pressure crosses `pressure` —
+/// the "slow or drain a hot replica" knob real fleets wire to their
+/// load balancer's health checks. Evaluation is merge-point
+/// deterministic, so triggered runs keep the serial == parallel
+/// byte-identity of scripted ones.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LoadTrigger {
+    /// Queue-pressure threshold (committed slots per batch slot) at or
+    /// above which the trigger fires on a replica.
+    pub pressure: f64,
+    /// The fault injected on the offending replica.
+    pub kind: FaultKind,
+    /// Minimum virtual time between two fires of this trigger (across
+    /// all replicas); 0 re-arms immediately.
+    pub cooldown_s: f64,
+    /// Lifetime fire budget of this trigger.
+    pub max_fires: u32,
+}
+
+impl LoadTrigger {
+    /// A trigger injecting `kind` when a replica's queue pressure
+    /// reaches `pressure`, with a 1-fire budget and no cooldown. Both
+    /// knobs have `with_` setters.
+    pub fn new(pressure: f64, kind: FaultKind) -> Self {
+        assert!(
+            pressure > 0.0 && pressure.is_finite(),
+            "trigger pressure must be positive and finite"
+        );
+        Self {
+            pressure,
+            kind,
+            cooldown_s: 0.0,
+            max_fires: 1,
+        }
+    }
+
+    /// Set the re-arm cooldown.
+    pub fn with_cooldown(mut self, cooldown_s: f64) -> Self {
+        assert!(cooldown_s >= 0.0, "trigger cooldown must be non-negative");
+        self.cooldown_s = cooldown_s;
+        self
+    }
+
+    /// Set the lifetime fire budget.
+    pub fn with_max_fires(mut self, max_fires: u32) -> Self {
+        assert!(max_fires >= 1, "trigger budget must be at least 1");
+        self.max_fires = max_fires;
+        self
+    }
+}
+
 /// A deterministic fault script for one cluster run: the faults, the
 /// retry policy for crash-lost requests, the KV-migration link, the
 /// restart warm-up, and the recovery-measurement knobs. Attach with
@@ -216,6 +271,9 @@ impl Default for KvLinkSpec {
 pub struct FaultPlan {
     /// The scripted faults (applied in virtual-time order).
     pub faults: Vec<FaultEvent>,
+    /// Load-driven triggers evaluated at every merge point, an
+    /// alternative trigger source to the fixed script (empty = none).
+    pub triggers: Vec<LoadTrigger>,
     /// Retry policy for requests lost to crashes.
     pub retry: RetryPolicy,
     /// The link cross-replica KV migrations are priced over.
@@ -259,6 +317,7 @@ impl FaultPlan {
         }
         Self {
             faults,
+            triggers: Vec::new(),
             retry: RetryPolicy::default(),
             link: KvLinkSpec::default(),
             warmup_s: 0.0,
@@ -267,6 +326,21 @@ impl FaultPlan {
             timeline_bucket_s: 0.5,
             slo_window_s: 1.0,
         }
+    }
+
+    /// Add load-driven triggers (see [`LoadTrigger`]); evaluated in
+    /// the given order at every merge point.
+    pub fn with_triggers(mut self, triggers: Vec<LoadTrigger>) -> Self {
+        for t in &triggers {
+            assert!(
+                t.pressure > 0.0 && t.pressure.is_finite(),
+                "trigger pressure must be positive and finite"
+            );
+            assert!(t.cooldown_s >= 0.0, "trigger cooldown must be non-negative");
+            assert!(t.max_fires >= 1, "trigger budget must be at least 1");
+        }
+        self.triggers = triggers;
+        self
     }
 
     /// Set the retry policy for crash-lost requests.
@@ -340,6 +414,13 @@ pub struct RecoveryStats {
     pub kv_migrations: u64,
     /// Virtual seconds of transfer time charged for those migrations.
     pub migration_seconds: f64,
+    /// Faults injected by [`LoadTrigger`]s (also counted in
+    /// [`RecoveryStats::faults_injected`]).
+    pub triggers_fired: u64,
+    /// Arrivals pushed back by fleet-level admission control (see
+    /// [`crate::router::FleetShed`]); each deferral of the same
+    /// request counts once.
+    pub requests_deferred: u64,
 }
 
 /// Per-tier during-failure SLO accounting for one fault's window.

@@ -32,9 +32,14 @@
 //!   session affinity, migration-aware affinity), with per-replica and
 //!   merged fleet reports.
 //! * [`fault`] — deterministic fault injection for cluster runs:
-//!   scripted crashes, drains and slowdowns, retry/reroute of lost
-//!   requests, priced cross-replica KV migration, and recovery
-//!   metrics.
+//!   scripted crashes, drains and slowdowns, load-driven fault
+//!   triggers, retry/reroute of lost requests, priced cross-replica
+//!   KV migration, and recovery metrics.
+//! * [`autoscale`] — elastic fleets: an [`AutoscalePolicy`] watches
+//!   windowed queue pressure, decode occupancy and SLO attainment at
+//!   the cluster's clock-merge points and provisions standby replicas
+//!   (warm-up + priced parked-KV steal) or drains surplus ones back
+//!   into the pool, deterministically.
 //! * [`trace`] / [`json`] — recorded arrival traces, the
 //!   [`TraceRecorder`] that captures a run as a replayable trace, and
 //!   the minimal JSON reader behind them.
@@ -66,6 +71,7 @@
 //! assert!(report.throughput_tokens_per_s() > 0.0);
 //! ```
 
+pub mod autoscale;
 pub mod cluster;
 pub mod delta;
 pub mod fault;
@@ -80,11 +86,12 @@ pub mod snapshot;
 pub mod trace;
 pub mod workload;
 
+pub use autoscale::{AutoscalePolicy, ScaleStats};
 pub use cluster::{ClusterConfig, ClusterReport, ClusterRun, ClusterSimulation, ReplicaConfig};
 pub use delta::StageDelta;
 pub use fault::{
-    FaultEvent, FaultKind, FaultOutcome, FaultPlan, FaultWindowStats, KvLinkSpec, RecoveryStats,
-    RetryPolicy,
+    FaultEvent, FaultKind, FaultOutcome, FaultPlan, FaultWindowStats, KvLinkSpec, LoadTrigger,
+    RecoveryStats, RetryPolicy,
 };
 pub use metrics::{
     KvReuseStats, LatencyDigest, LatencySummary, SimReport, SloStats, StageRecord, StageStats,
@@ -96,8 +103,8 @@ pub use policy::{
 };
 pub use request::{Request, RequestRecord};
 pub use router::{
-    KvMigration, LeastOutstandingWork, ReplicaSnapshot, RoundRobin, RouteDecision, Router,
-    RouterKind, SessionAffinity,
+    FleetShed, KvMigration, LeastOutstandingWork, ReplicaSnapshot, RoundRobin, RouteDecision,
+    Router, RouterKind, SessionAffinity,
 };
 pub use scenario::{
     AdaptiveChunk, ConversationSpec, PendingRequest, Scenario, ScenarioSimulation, SloTier,

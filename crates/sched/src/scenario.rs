@@ -646,6 +646,12 @@ pub(crate) struct ReplicaSim {
     /// Virtual-time multiplier on stage latency (restart warm-up,
     /// transient slowdown). 1.0 is bit-exact pass-through.
     perf_factor: f64,
+    /// When this replica last went down (crash applied, drain handoff
+    /// completed, or parked in the standby pool); `None` while up.
+    down_since: Option<f64>,
+    /// Closed down time accumulated by earlier outages, in virtual
+    /// seconds (the open interval, if any, is closed by `restart`).
+    down_seconds: f64,
     /// During-failure SLO windows `[start, end)` from the fault plan
     /// (empty without one) and the per-window, per-tier
     /// (completed, met) counts.
@@ -704,6 +710,8 @@ impl ReplicaSim {
             admitting: true,
             draining: false,
             perf_factor: 1.0,
+            down_since: None,
+            down_seconds: 0.0,
             fault_windows: Vec::new(),
             window_counts: Vec::new(),
             timeline_bucket_s: 0.0,
@@ -885,10 +893,54 @@ impl ReplicaSim {
     }
 
     /// Bring a downed replica back at virtual time `at`: it admits
-    /// again and its clock cannot run before the restart.
+    /// again, its clock cannot run before the restart, and the open
+    /// down interval (if any) closes into the down-time total.
     pub(crate) fn restart(&mut self, at: f64) {
+        if let Some(since) = self.down_since.take() {
+            self.down_seconds += (at - since).max(0.0);
+        }
         self.admitting = true;
         self.clock = self.clock.max(at);
+    }
+
+    /// Record that this replica went down at virtual time `at` (the
+    /// fault time for a crash, the handoff completion for a drain, the
+    /// provisioning time for a scale-down): provisioned "up" time
+    /// stops accruing until [`ReplicaSim::restart`]. Idempotent while
+    /// already down.
+    pub(crate) fn mark_down(&mut self, at: f64) {
+        if self.down_since.is_none() {
+            self.down_since = Some(at);
+        }
+    }
+
+    /// Park this replica in the standby pool before the run starts:
+    /// it does not admit and counts as down from time 0 until an
+    /// autoscaler provisions it via [`ReplicaSim::restart`].
+    pub(crate) fn deactivate(&mut self) {
+        debug_assert!(
+            !self.in_flight() && self.inbox.is_empty() && self.pending.is_empty(),
+            "only an untouched replica can join the standby pool"
+        );
+        self.admitting = false;
+        self.draining = false;
+        self.down_since = Some(0.0);
+    }
+
+    /// Virtual seconds this replica spent down in `[0, until]`: closed
+    /// outages plus the still-open one, if any. `until` minus this is
+    /// the replica's provisioned (billable) up time.
+    pub(crate) fn down_seconds_until(&self, until: f64) -> f64 {
+        self.down_seconds + self.down_since.map_or(0.0, |s| (until - s).max(0.0))
+    }
+
+    /// Cumulative (met, completed) SLO counts of the first
+    /// (interactive) tier — the autoscaler differences these between
+    /// evaluations for its windowed attainment signal.
+    pub(crate) fn interactive_slo_counts(&self) -> (u64, u64) {
+        self.tier_stats
+            .first()
+            .map_or((0, 0), |t| (t.met, t.completed))
     }
 
     /// Resident parked tokens of `conversation` (None when absent or
@@ -1440,6 +1492,8 @@ impl ReplicaSim {
             admitting: self.admitting,
             draining: self.draining,
             perf_factor: self.perf_factor,
+            down_since: self.down_since,
+            down_seconds: self.down_seconds,
             timeline: self.timeline.clone(),
             window_counts: self.window_counts.clone(),
             batch: None,
@@ -1511,6 +1565,8 @@ impl ReplicaSim {
         self.admitting = s.admitting;
         self.draining = s.draining;
         self.perf_factor = s.perf_factor;
+        self.down_since = s.down_since;
+        self.down_seconds = s.down_seconds;
         self.timeline = s.timeline.clone();
         // `set_fault_recording` sized these from the plan before the
         // import; the cluster validates the snapshot shape up front.

@@ -25,14 +25,17 @@
 //! # Serialization
 //!
 //! [`ClusterSnapshot::to_json`] writes a self-describing JSON document
-//! (schema id `duplex/cluster-snapshot/v2`) that
-//! [`ClusterSnapshot::from_json`] parses back. Version 2 extends v1
+//! (schema id `duplex/cluster-snapshot/v3`) that
+//! [`ClusterSnapshot::from_json`] parses back. Version 2 extended v1
 //! with fault-drill state: per-replica admission/drain flags, the
 //! fault perf factor, the generated-token timeline, per-fault SLO
 //! window counters, the fleet's [`RecoveryStats`], and the pending
-//! fault event queue. v1 documents are rejected with a message naming
-//! both versions rather than silently resuming without fault state.
-//! Exactness rules:
+//! fault event queue. Version 3 extends v2 with elastic-fleet state:
+//! per-replica down-time accounting, load-trigger arming, and the
+//! autoscale runtime (pending scale events, pool membership,
+//! hysteresis streaks, scale counters). Older documents are rejected
+//! with a message naming both versions rather than silently resuming
+//! without the newer state. Exactness rules:
 //!
 //! * every `u64` is a quoted decimal string (RNG words use all 64
 //!   bits, beyond `f64`'s integer range);
@@ -138,6 +141,10 @@ pub(crate) struct ReplicaState {
     pub(crate) draining: bool,
     /// Stage-time multiplier from an active slowdown or warm-up.
     pub(crate) perf_factor: f64,
+    /// When the replica last went down (`None` while up).
+    pub(crate) down_since: Option<f64>,
+    /// Down time accumulated by earlier, closed outages.
+    pub(crate) down_seconds: f64,
     /// Generated-token recovery timeline as `(bucket, tokens)` pairs.
     pub(crate) timeline: Vec<(u64, u64)>,
     /// Per scripted fault, per SLO tier: `(completed, met)` inside the
@@ -151,14 +158,42 @@ pub(crate) struct ReplicaState {
 /// The fault runtime's dynamic state: the pending event queue
 /// (`(at_s bits, seq, code, replica-or-fault index)` with codes
 /// 0 = apply scripted fault, 1 = restart, 2 = clear slowdown), the
-/// event sequence counter, per-request retry attempts, and in-progress
-/// drains as `(replica, down_s bits, fault at_s bits)`.
+/// event sequence counter, per-request retry attempts, in-progress
+/// drains as `(replica, down_s bits, fault at_s bits)`, and per load
+/// trigger its `(fires so far, re-armed-at bits)` pair.
 #[derive(Debug, Clone, PartialEq)]
 pub(crate) struct FaultState {
     pub(crate) events: Vec<(u64, u64, u64, u64)>,
     pub(crate) seq: u64,
     pub(crate) attempts: Vec<(u64, u64)>,
     pub(crate) draining_down: Vec<(u64, u64, u64)>,
+    pub(crate) triggers: Vec<(u64, u64)>,
+}
+
+/// The autoscale runtime's dynamic state: the pending scale-event
+/// queue (`(at_s bits, seq, code, replica, lag bits)` with codes
+/// 0 = evaluate, 1 = replica joins, 2 = clear warm-up), the event
+/// sequence counter, pool/draining membership per replica, the
+/// hysteresis streaks, the SLO-window watermark, and the scale
+/// counters mirrored from [`crate::ScaleStats`].
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct AutoscaleState {
+    pub(crate) events: Vec<(u64, u64, u64, u64, u64)>,
+    pub(crate) seq: u64,
+    pub(crate) pool: Vec<bool>,
+    pub(crate) draining: Vec<bool>,
+    pub(crate) up_streak: u64,
+    pub(crate) down_streak: u64,
+    /// First evaluation time of the running up-streak (`None` between
+    /// streaks).
+    pub(crate) streak_start: Option<f64>,
+    pub(crate) cooldown_until: f64,
+    /// `(met, completed)` interactive-tier totals at the last
+    /// evaluation — the window delta baseline.
+    pub(crate) last_slo: (u64, u64),
+    pub(crate) scale_ups: u64,
+    pub(crate) scale_downs: u64,
+    pub(crate) scale_up_lag_s: f64,
 }
 
 /// A paused cluster run: everything needed to continue it later —
@@ -191,12 +226,16 @@ pub struct ClusterSnapshot {
     /// Fault runtime state; present exactly when the run has a
     /// [`crate::FaultPlan`] attached.
     pub(crate) fault: Option<FaultState>,
+    /// Autoscale runtime state; present exactly when the run has an
+    /// [`crate::AutoscalePolicy`] attached.
+    pub(crate) autoscale: Option<AutoscaleState>,
 }
 
 /// The schema id written by [`ClusterSnapshot::to_json`].
-const SCHEMA: &str = "duplex/cluster-snapshot/v2";
-/// The previous schema id, recognized only to produce a clear error.
+const SCHEMA: &str = "duplex/cluster-snapshot/v3";
+/// Retired schema ids, recognized only to produce clear errors.
 const SCHEMA_V1: &str = "duplex/cluster-snapshot/v1";
+const SCHEMA_V2: &str = "duplex/cluster-snapshot/v2";
 
 impl ClusterSnapshot {
     /// The virtual time the run paused at.
@@ -209,7 +248,7 @@ impl ClusterSnapshot {
         self.replicas.len()
     }
 
-    /// Serialize to the `duplex/cluster-snapshot/v2` JSON document.
+    /// Serialize to the `duplex/cluster-snapshot/v3` JSON document.
     pub fn to_json(&self) -> String {
         let mut w = Writer::new();
         w.obj_open();
@@ -233,6 +272,11 @@ impl ClusterSnapshot {
             Some(f) => write_fault(&mut w, f),
             None => w.out.push_str("null"),
         }
+        w.key("autoscale");
+        match &self.autoscale {
+            Some(a) => write_autoscale(&mut w, a),
+            None => w.out.push_str("null"),
+        }
         w.obj_close();
         w.out
     }
@@ -254,6 +298,11 @@ impl ClusterSnapshot {
                     "snapshot schema {schema:?} predates fault-aware snapshots \
                      and cannot be resumed; re-take it as {SCHEMA:?}"
                 )
+            } else if schema == SCHEMA_V2 {
+                format!(
+                    "snapshot schema {schema:?} predates autoscale-aware snapshots \
+                     and cannot be resumed; re-take it as {SCHEMA:?}"
+                )
             } else {
                 format!("unsupported snapshot schema {schema:?} (expected {SCHEMA:?})")
             });
@@ -261,6 +310,10 @@ impl ClusterSnapshot {
         let fault = match get(&v, "fault")? {
             JsonValue::Null => None,
             f => Some(read_fault(f)?),
+        };
+        let autoscale = match get(&v, "autoscale")? {
+            JsonValue::Null => None,
+            a => Some(read_autoscale(a)?),
         };
         Ok(ClusterSnapshot {
             taken_at_s: get_f64(&v, "taken_at_s")?,
@@ -272,6 +325,7 @@ impl ClusterSnapshot {
                 .collect::<Result<Vec<_>, _>>()?,
             stats: read_stats(get(&v, "stats")?)?,
             fault,
+            autoscale,
         })
     }
 }
@@ -386,6 +440,15 @@ impl Writer {
         }
         self.arr_close();
     }
+
+    fn bool_array(&mut self, values: &[bool]) {
+        self.arr_open();
+        for &v in values {
+            self.item();
+            self.out.push_str(if v { "true" } else { "false" });
+        }
+        self.arr_close();
+    }
 }
 
 fn write_request(w: &mut Writer, r: &Request) {
@@ -472,6 +535,8 @@ fn write_stats(w: &mut Writer, s: &RecoveryStats) {
     w.u64_field("kv_bytes_migrated", s.kv_bytes_migrated);
     w.u64_field("kv_migrations", s.kv_migrations);
     w.f64_field("migration_seconds", s.migration_seconds);
+    w.u64_field("triggers_fired", s.triggers_fired);
+    w.u64_field("requests_deferred", s.requests_deferred);
     w.obj_close();
 }
 
@@ -499,6 +564,43 @@ fn write_fault(w: &mut Writer, f: &FaultState) {
         w.u64_array(&[replica, down, at]);
     }
     w.arr_close();
+    w.key("triggers");
+    w.arr_open();
+    for &(fires, armed_at) in &f.triggers {
+        w.item();
+        w.u64_array(&[fires, armed_at]);
+    }
+    w.arr_close();
+    w.obj_close();
+}
+
+fn write_autoscale(w: &mut Writer, a: &AutoscaleState) {
+    w.obj_open();
+    w.key("events");
+    w.arr_open();
+    for &(at, seq, code, arg, lag) in &a.events {
+        w.item();
+        w.u64_array(&[at, seq, code, arg, lag]);
+    }
+    w.arr_close();
+    w.u64_field("seq", a.seq);
+    w.key("pool");
+    w.bool_array(&a.pool);
+    w.key("draining");
+    w.bool_array(&a.draining);
+    w.u64_field("up_streak", a.up_streak);
+    w.u64_field("down_streak", a.down_streak);
+    w.key("streak_start");
+    match a.streak_start {
+        Some(t) => w.f64_value(t),
+        None => w.out.push_str("null"),
+    }
+    w.f64_field("cooldown_until", a.cooldown_until);
+    w.u64_field("slo_met", a.last_slo.0);
+    w.u64_field("slo_completed", a.last_slo.1);
+    w.u64_field("scale_ups", a.scale_ups);
+    w.u64_field("scale_downs", a.scale_downs);
+    w.f64_field("scale_up_lag_s", a.scale_up_lag_s);
     w.obj_close();
 }
 
@@ -618,6 +720,12 @@ fn write_replica(w: &mut Writer, r: &ReplicaState) {
     w.bool_field("admitting", r.admitting);
     w.bool_field("draining", r.draining);
     w.f64_field("perf_factor", r.perf_factor);
+    w.key("down_since");
+    match r.down_since {
+        Some(t) => w.f64_value(t),
+        None => w.out.push_str("null"),
+    }
+    w.f64_field("down_seconds", r.down_seconds);
     w.key("timeline");
     w.arr_open();
     for &(bucket, tokens) in &r.timeline {
@@ -815,6 +923,8 @@ fn read_stats(v: &JsonValue) -> Result<RecoveryStats, String> {
         kv_bytes_migrated: get_u64(v, "kv_bytes_migrated")?,
         kv_migrations: get_u64(v, "kv_migrations")?,
         migration_seconds: get_f64(v, "migration_seconds")?,
+        triggers_fired: get_u64(v, "triggers_fired")?,
+        requests_deferred: get_u64(v, "requests_deferred")?,
     })
 }
 
@@ -837,11 +947,52 @@ fn read_fault(v: &JsonValue) -> Result<FaultState, String> {
             Ok((row[0], row[1], row[2]))
         })
         .collect::<Result<Vec<_>, String>>()?;
+    let triggers = get_arr(v, "triggers")?
+        .iter()
+        .map(|t| u64_pair(t, "trigger state"))
+        .collect::<Result<Vec<_>, String>>()?;
     Ok(FaultState {
         events,
         seq: get_u64(v, "seq")?,
         attempts,
         draining_down,
+        triggers,
+    })
+}
+
+fn read_autoscale(v: &JsonValue) -> Result<AutoscaleState, String> {
+    let events = get_arr(v, "events")?
+        .iter()
+        .map(|e| {
+            let row = u64_row(e, 5, "scale event")?;
+            Ok((row[0], row[1], row[2], row[3], row[4]))
+        })
+        .collect::<Result<Vec<_>, String>>()?;
+    let pool = get_arr(v, "pool")?
+        .iter()
+        .map(|b| bool_of(b, "pool membership"))
+        .collect::<Result<Vec<_>, String>>()?;
+    let draining = get_arr(v, "draining")?
+        .iter()
+        .map(|b| bool_of(b, "scale-down drain flag"))
+        .collect::<Result<Vec<_>, String>>()?;
+    let streak_start = match get(v, "streak_start")? {
+        JsonValue::Null => None,
+        t => Some(f64_of(t, "streak_start")?),
+    };
+    Ok(AutoscaleState {
+        events,
+        seq: get_u64(v, "seq")?,
+        pool,
+        draining,
+        up_streak: get_u64(v, "up_streak")?,
+        down_streak: get_u64(v, "down_streak")?,
+        streak_start,
+        cooldown_until: get_f64(v, "cooldown_until")?,
+        last_slo: (get_u64(v, "slo_met")?, get_u64(v, "slo_completed")?),
+        scale_ups: get_u64(v, "scale_ups")?,
+        scale_downs: get_u64(v, "scale_downs")?,
+        scale_up_lag_s: get_f64(v, "scale_up_lag_s")?,
     })
 }
 
@@ -993,6 +1144,11 @@ fn read_replica(v: &JsonValue) -> Result<ReplicaState, String> {
         admitting: get_bool(v, "admitting")?,
         draining: get_bool(v, "draining")?,
         perf_factor: get_f64(v, "perf_factor")?,
+        down_since: match get(v, "down_since")? {
+            JsonValue::Null => None,
+            t => Some(f64_of(t, "down_since")?),
+        },
+        down_seconds: get_f64(v, "down_seconds")?,
         timeline,
         window_counts,
         batch,
@@ -1118,6 +1274,8 @@ mod tests {
                 admitting: false,
                 draining: true,
                 perf_factor: 0.5,
+                down_since: Some(10.5),
+                down_seconds: 1.75,
                 timeline: vec![(3, 40), (4, 12)],
                 window_counts: vec![vec![(2, 1)]],
                 batch: Some(BatchCheckpoint {
@@ -1134,12 +1292,32 @@ mod tests {
                 kv_bytes_migrated: 7 << 20,
                 kv_migrations: 2,
                 migration_seconds: 0.25e-3,
+                triggers_fired: 1,
+                requests_deferred: 6,
             },
             fault: Some(FaultState {
                 events: vec![(4.5f64.to_bits(), 1, 1, 0), (6.0f64.to_bits(), 2, 2, 0)],
                 seq: 3,
                 attempts: vec![(31, 1), (40, 2)],
                 draining_down: vec![(0, 1.5f64.to_bits(), 4.0f64.to_bits())],
+                triggers: vec![(1, 9.5f64.to_bits())],
+            }),
+            autoscale: Some(AutoscaleState {
+                events: vec![
+                    (12.5f64.to_bits(), 4, 0, 0, 0),
+                    (13.0f64.to_bits(), 5, 1, 0, 2.5f64.to_bits()),
+                ],
+                seq: 6,
+                pool: vec![false],
+                draining: vec![true],
+                up_streak: 2,
+                down_streak: 0,
+                streak_start: Some(11.5),
+                cooldown_until: 14.0,
+                last_slo: (2, 3),
+                scale_ups: 1,
+                scale_downs: 1,
+                scale_up_lag_s: 2.5,
             }),
         }
     }
@@ -1180,6 +1358,16 @@ mod tests {
     }
 
     #[test]
+    fn from_json_explains_the_retired_v2_schema() {
+        let v2 = format!(r#"{{"schema": "{SCHEMA_V2}"}}"#);
+        let err = ClusterSnapshot::from_json(&v2).expect_err("v2 rejected");
+        assert!(err.contains(SCHEMA_V2), "{err}");
+        assert!(err.contains(SCHEMA), "{err}");
+        assert!(err.contains("autoscale"), "names what v2 lacks: {err}");
+        assert!(err.contains("re-take"), "tells the user what to do: {err}");
+    }
+
+    #[test]
     fn missing_fields_name_the_culprit() {
         let mut snap = sample();
         snap.replicas.clear();
@@ -1215,9 +1403,11 @@ mod tests {
     fn a_faultless_snapshot_round_trips_with_null_fault_state() {
         let mut snap = sample();
         snap.fault = None;
+        snap.autoscale = None;
         snap.stats = RecoveryStats::default();
         let back = ClusterSnapshot::from_json(&snap.to_json()).expect("parses");
         assert_eq!(back, snap);
         assert!(back.fault.is_none());
+        assert!(back.autoscale.is_none());
     }
 }

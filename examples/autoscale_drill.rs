@@ -1,0 +1,98 @@
+//! Autoscale drill: one diurnal Grok-scale workload offered to three
+//! fleet configurations, showing what elasticity buys.
+//!
+//! * the **elastic** fleet starts at the two-replica floor with four
+//!   standbys parked in a pool; the autoscaler watches windowed queue
+//!   pressure, decode occupancy and interactive SLO attainment at the
+//!   cluster's clock-merge points, provisions a standby on the diurnal
+//!   up-swing (warm-up slowdown, parked-KV steal priced over the
+//!   interconnect) and drains surplus replicas back to the pool on the
+//!   down-swing through exactly the fault-drill drain path;
+//! * the **static min** fleet pins the floor: cheapest possible bill,
+//!   buried by the diurnal crest;
+//! * the **static peak** fleet pins all six replicas: the best
+//!   attainable SLO numbers, idling through every trough.
+//!
+//! The bill is `replica_seconds` — virtual seconds each replica spent
+//! provisioned, pool time excluded. The PR's acceptance bar: the
+//! elastic fleet holds interactive attainment within 0.03 of the peak
+//! fleet while billing >= 25% fewer replica-seconds.
+//!
+//! Run with `cargo run --release --example autoscale_drill`.
+
+use duplex::experiments::{autoscale_drill, run_cluster, ClusterRow, Scale};
+use duplex::sched::{Arrivals, RouterKind};
+
+fn main() {
+    let scale = Scale::quick();
+    let drill = autoscale_drill(&scale);
+    let elastic = &drill[0];
+    let policy = elastic
+        .autoscale
+        .as_ref()
+        .expect("the drill ships an elastic variant");
+    let Arrivals::Diurnal {
+        mean_qps,
+        period_s,
+        amplitude,
+    } = elastic.scenario.arrivals
+    else {
+        panic!("the drill offers diurnal load");
+    };
+
+    println!(
+        "{} requests of diurnal {} traffic (mean {:.0} qps, amplitude {:.2}, period {:.2}s):",
+        elastic.scenario.requests, elastic.model.name, mean_qps, amplitude, period_s
+    );
+    println!(
+        "  autoscaler: floor {} of {} replicas, scale up at pressure >= {:.2} (1 window), \
+         down at <= {:.2} ({} windows), provision {:.3}s + warm-up {:.3}s x{:.1}",
+        policy.min_replicas,
+        elastic.systems.len(),
+        policy.up_pressure,
+        policy.down_pressure,
+        policy.down_windows,
+        policy.provision_s,
+        policy.warmup_s,
+        policy.warmup_factor
+    );
+
+    println!(
+        "\n{:<14} {:>5} {:>6} {:>10} {:>10} {:>6} {:>6} {:>9} {:>12}",
+        "Fleet", "repl", "done", "int SLO", "repl-s", "ups", "downs", "up lag s", "TBT p99 ms"
+    );
+    let mut rows = Vec::new();
+    for spec in &drill {
+        let mut router = RouterKind::LeastOutstandingWork.build();
+        let report = run_cluster(spec, router.as_mut());
+        let row = ClusterRow::of(spec, "least-outstanding", &report);
+        let label = spec
+            .name
+            .strip_prefix("grok_diurnal_autoscale_")
+            .unwrap_or(&spec.name);
+        println!(
+            "{:<14} {:>5} {:>6} {:>9.1}% {:>10.2} {:>6} {:>6} {:>9.3} {:>12.2}",
+            label,
+            row.replicas,
+            row.completed,
+            row.interactive_attainment * 100.0,
+            row.replica_seconds,
+            row.scale_ups,
+            row.scale_downs,
+            row.scale_up_lag_s,
+            row.tbt_p99 * 1e3
+        );
+        rows.push(row);
+    }
+
+    let (elastic, peak) = (&rows[0], &rows[2]);
+    println!(
+        "\nThe elastic fleet gives up {:.1} points of interactive attainment and",
+        (peak.interactive_attainment - elastic.interactive_attainment) * 100.0
+    );
+    println!(
+        "bills {:.0}% fewer replica-seconds than the statically peak-provisioned",
+        (1.0 - elastic.replica_seconds / peak.replica_seconds) * 100.0
+    );
+    println!("fleet; the floor fleet shows what those replica-seconds were buying.");
+}

@@ -16,7 +16,8 @@
 //! them.
 
 use duplex::experiments::{
-    build_cluster, cluster_suite, run_cluster, run_cluster_with, ClusterRow, ClusterSpec, Scale,
+    autoscale_drill, build_cluster, cluster_suite, run_cluster, run_cluster_with, ClusterRow,
+    ClusterSpec, Scale,
 };
 use duplex::model::ModelConfig;
 use duplex::sched::{
@@ -398,4 +399,144 @@ fn a_faultless_fleet_rejects_a_faulted_snapshot() {
         .resume(&snapshot, router.as_mut(), &mut policies, &mut executors)
         .expect_err("a faulted snapshot cannot resume on a faultless fleet");
     assert!(err.contains("fault"), "{err}");
+}
+
+// ------------------------------------------------------- autoscaling
+
+fn drill_rows() -> Vec<ClusterRow> {
+    autoscale_drill(&Scale::quick())
+        .iter()
+        .map(|spec| {
+            let mut router = RouterKind::LeastOutstandingWork.build();
+            let report = run_cluster(spec, router.as_mut());
+            ClusterRow::of(spec, "least-outstanding", &report)
+        })
+        .collect()
+}
+
+#[test]
+fn the_autoscaler_matches_peak_slo_at_a_fraction_of_the_bill() {
+    // The PR's acceptance claim, on the diurnal drill: the elastic
+    // fleet holds interactive SLO attainment within 0.03 of the
+    // statically peak-provisioned fleet while billing at least 25%
+    // fewer replica-seconds — and the statically floor-provisioned
+    // fleet shows why the pool exists at all.
+    let rows = drill_rows();
+    let (elastic, stat_min, stat_peak) = (&rows[0], &rows[1], &rows[2]);
+    assert_eq!(elastic.completed, stat_peak.completed, "same offered load");
+    assert_eq!(elastic.completed, stat_min.completed, "same offered load");
+    assert!(
+        elastic.interactive_attainment >= stat_peak.interactive_attainment - 0.03,
+        "elastic interactive attainment {} must stay within 0.03 of the peak fleet's {}",
+        elastic.interactive_attainment,
+        stat_peak.interactive_attainment
+    );
+    assert!(
+        elastic.replica_seconds <= 0.75 * stat_peak.replica_seconds,
+        "elastic bill {} replica-seconds must undercut the peak fleet's {} by >= 25%",
+        elastic.replica_seconds,
+        stat_peak.replica_seconds
+    );
+    // The floor fleet is cheaper still but pays for it in deadlines:
+    // the diurnal crest buries two replicas.
+    assert!(elastic.replica_seconds > stat_min.replica_seconds);
+    assert!(
+        elastic.interactive_attainment > stat_min.interactive_attainment + 0.3,
+        "elastic {} vs floor fleet {}",
+        elastic.interactive_attainment,
+        stat_min.interactive_attainment
+    );
+    // The elasticity is real: replicas joined from the pool with a
+    // measured provisioning lag and drained back on the down-swing.
+    assert!(elastic.scale_ups >= 2, "{}", elastic.scale_ups);
+    assert!(elastic.scale_downs >= 1, "{}", elastic.scale_downs);
+    assert!(elastic.scale_up_lag_s > 0.0);
+    assert_eq!(stat_peak.scale_ups + stat_min.scale_ups, 0);
+}
+
+#[test]
+fn the_autoscaled_drill_is_byte_identical_serial_and_parallel() {
+    // The clock-merge invariant survives elastic scaling on real
+    // SystemExecutors: scale decisions happen at merge points, so the
+    // parallel path must reproduce the serial oracle to the bit.
+    let drill = autoscale_drill(&Scale::quick());
+    let spec = &drill[0];
+    let serial = run_cluster_with(spec, RouterKind::LeastOutstandingWork.build().as_mut(), {
+        ClusterConfig::serial()
+    });
+    let parallel = run_cluster_with(
+        spec,
+        RouterKind::LeastOutstandingWork.build().as_mut(),
+        ClusterConfig {
+            parallel: true,
+            threads: 4,
+        },
+    );
+    assert!(serial.scaling.scale_ups > 0, "the drill actually scales");
+    assert_eq!(
+        serial.total_time_s.to_bits(),
+        parallel.total_time_s.to_bits()
+    );
+    assert_eq!(serial, parallel);
+}
+
+#[test]
+fn a_mid_scale_snapshot_of_the_drill_resumes_bit_for_bit() {
+    // Pause the elastic drill mid-run — pool membership, hysteresis
+    // streaks and any in-flight scale events all live state — push the
+    // snapshot through JSON, resume on a freshly built fleet, and
+    // demand the uninterrupted report.
+    let drill = autoscale_drill(&Scale::quick());
+    let spec = &drill[0];
+    let kind = RouterKind::LeastOutstandingWork;
+    let full = run_cluster(spec, kind.build().as_mut());
+    assert!(full.scaling.scale_ups > 0, "the drill actually scales");
+    for frac in [0.2, 0.45, 0.7] {
+        let stop_s = frac * full.total_time_s;
+        let (sim, mut policies, mut executors) = build_cluster(spec);
+        let mut router = kind.build();
+        let snapshot = sim
+            .run_until(router.as_mut(), &mut policies, &mut executors, stop_s)
+            .snapshot()
+            .expect("the bound lands mid-run");
+        let restored =
+            ClusterSnapshot::from_json(&snapshot.to_json()).expect("the wire format round-trips");
+        assert_eq!(restored, snapshot, "JSON round-trip is lossless");
+
+        let (sim, mut policies, mut executors) = build_cluster(spec);
+        let mut router = kind.build();
+        let resumed = sim
+            .resume(&restored, router.as_mut(), &mut policies, &mut executors)
+            .expect("the snapshot matches the fleet");
+        assert_eq!(resumed, full, "paused at {frac} of the run");
+    }
+}
+
+#[test]
+fn a_static_fleet_rejects_an_autoscaled_snapshot() {
+    // Same shape as the fault-plan mismatch: an elastic snapshot must
+    // not silently resume on a fleet built without the policy.
+    let drill = autoscale_drill(&Scale::quick());
+    let spec = &drill[0];
+    let (sim, mut policies, mut executors) = build_cluster(spec);
+    let mut router = RouterKind::RoundRobin.build();
+    let full = run_cluster(spec, RouterKind::RoundRobin.build().as_mut());
+    let snapshot = sim
+        .run_until(
+            router.as_mut(),
+            &mut policies,
+            &mut executors,
+            0.3 * full.total_time_s,
+        )
+        .snapshot()
+        .expect("the bound lands mid-run");
+
+    let mut rigid = spec.clone();
+    rigid.autoscale = None;
+    let (sim, mut policies, mut executors) = build_cluster(&rigid);
+    let mut router = RouterKind::RoundRobin.build();
+    let err = sim
+        .resume(&snapshot, router.as_mut(), &mut policies, &mut executors)
+        .expect_err("an autoscaled snapshot cannot resume on a static fleet");
+    assert!(err.contains("autoscale"), "{err}");
 }

@@ -6,10 +6,10 @@ use duplex::compute::Engine;
 use duplex::model::ops::StageShape;
 use duplex::model::{ExpertRouter, ModelConfig};
 use duplex::sched::{
-    Arrivals, ClusterConfig, ClusterSimulation, ClusterSnapshot, ConversationSpec, FaultEvent,
-    FaultKind, FaultPlan, LatencyDigest, PolicyKind, ReplicaConfig, RetryPolicy, RouterKind,
-    Scenario, ScenarioSimulation, SchedulingPolicy, Simulation, SimulationConfig, SloStats,
-    StageExecutor, StageOutcome, TierStats, Workload,
+    Arrivals, AutoscalePolicy, ClusterConfig, ClusterSimulation, ClusterSnapshot, ConversationSpec,
+    FaultEvent, FaultKind, FaultPlan, LatencyDigest, PolicyKind, ReplicaConfig, RetryPolicy,
+    RouterKind, Scenario, ScenarioSimulation, SchedulingPolicy, Simulation, SimulationConfig,
+    SloStats, StageExecutor, StageOutcome, TierStats, Workload,
 };
 use duplex::system::coproc::split_experts;
 use duplex::system::{SystemConfig, SystemExecutor};
@@ -725,6 +725,121 @@ proptest! {
                     .expect("the snapshot matches the fleet");
                 prop_assert_eq!(&resumed, &serial);
             }
+        }
+    }
+
+    /// Elastic autoscaling is deterministic machinery too: on a
+    /// 5-replica pool over randomized diurnal load (amplitude, period,
+    /// offered rate) with randomized autoscaler thresholds and
+    /// provisioning, the run must (a) replay byte-identically between
+    /// the serial oracle and parallel windows, (b) survive a snapshot
+    /// taken mid-run — pool membership, hysteresis streaks and
+    /// in-flight scale events all live — resuming through JSON to the
+    /// exact uninterrupted report, and (c) never bill the fleet below
+    /// the configured replica floor.
+    #[test]
+    fn autoscaling_is_deterministic_resumable_and_floored(
+        mean_in in 32u64..128,
+        mean_out in 4u64..16,
+        requests in 12usize..24,
+        seed in 0u64..1000,
+        qps in 200.0f64..900.0,
+        amplitude in 0.3f64..0.95,
+        periods in 1.5f64..4.0,
+        up_pressure in 0.6f64..1.6,
+        down_pressure in 0.05f64..0.45,
+        up_windows in 1u32..3,
+        down_windows in 1u32..4,
+        provision_s in 0.001f64..0.02,
+        warmup_s in 0.0f64..0.01,
+        min_replicas in 1usize..4,
+        stop_frac in 0.15f64..0.85,
+    ) {
+        let cfg = SimulationConfig {
+            max_batch: 4,
+            kv_capacity_bytes: 1 << 30,
+            kv_bytes_per_token: 64,
+            ..SimulationConfig::default()
+        };
+        let span_est = requests as f64 / qps;
+        let mk = || Scenario::new(
+            "prop-autoscale",
+            Workload::gaussian(mean_in, mean_out).with_seed(seed),
+            Arrivals::Diurnal {
+                mean_qps: qps,
+                period_s: span_est / periods,
+                amplitude,
+            },
+            requests,
+        )
+        .with_tiers(Scenario::default_tiers(0.01));
+        let policy = AutoscalePolicy::new(min_replicas)
+            .with_pressure(up_pressure, down_pressure)
+            .with_cadence(span_est / 40.0, up_windows, down_windows)
+            .with_cooldown(span_est / 40.0)
+            .with_provisioning(provision_s, warmup_s, 1.5);
+        let configs = vec![ReplicaConfig::new(cfg); 5];
+        let kind = RouterKind::LeastOutstandingWork;
+        let mk_sim =
+            || ClusterSimulation::new(configs.clone(), mk()).with_autoscale(policy.clone());
+        let mk_pol = || -> Vec<Box<dyn SchedulingPolicy>> {
+            (0..5).map(|_| PolicyKind::PriorityTiers.build()).collect()
+        };
+        let serial = mk_sim().with_config(ClusterConfig::serial()).run(
+            kind.build().as_mut(),
+            &mut mk_pol(),
+            &mut [FixedStage(0.002); 5],
+        );
+        let parallel = mk_sim()
+            .with_config(ClusterConfig {
+                parallel: true,
+                threads: 3,
+            })
+            .run(
+                kind.build().as_mut(),
+                &mut mk_pol(),
+                &mut [FixedStage(0.002); 5],
+            );
+        prop_assert_eq!(&serial, &parallel);
+        prop_assert_eq!(serial.completed(), requests);
+
+        // The floor holds: every drain the autoscaler issued left at
+        // least `min_replicas` admitting, so the fleet can never have
+        // billed less than the floor's share of the run — and the pool
+        // can never have been over-drained into negative membership.
+        prop_assert!(serial.scaling.scale_downs <= serial.scaling.scale_ups);
+        let floor_bill = min_replicas as f64 * serial.total_time_s;
+        prop_assert!(
+            serial.replica_seconds >= floor_bill - 1e-9,
+            "billed {} replica-seconds, the floor alone is {}",
+            serial.replica_seconds,
+            floor_bill
+        );
+        if serial.scaling.scale_ups > 0 {
+            prop_assert!(serial.scaling.scale_up_lag_s > 0.0);
+        }
+
+        // Pause mid-run, push the snapshot through JSON, resume fresh.
+        let stop_s = stop_frac * serial.total_time_s;
+        let paused = mk_sim().run_until(
+            kind.build().as_mut(),
+            &mut mk_pol(),
+            &mut [FixedStage(0.002); 5],
+            stop_s,
+        );
+        if let Some(snapshot) = paused.snapshot() {
+            let restored = ClusterSnapshot::from_json(&snapshot.to_json())
+                .expect("the wire format round-trips");
+            prop_assert_eq!(&restored, &snapshot);
+            let resumed = mk_sim()
+                .resume(
+                    &restored,
+                    kind.build().as_mut(),
+                    &mut mk_pol(),
+                    &mut [FixedStage(0.002); 5],
+                )
+                .expect("the snapshot matches the fleet");
+            prop_assert_eq!(&resumed, &serial);
         }
     }
 }
