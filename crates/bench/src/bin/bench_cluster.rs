@@ -43,6 +43,15 @@
 //! `scale_ups` / `scale_downs` (bookkeeping) and `scale_up_lag_s`
 //! (worst detection + provisioning lag, gates upward); its
 //! `interactive_attainment` gates downward like any tiered fleet's.
+//!
+//! The `grok_long_prefill_*` trio pins the disaggregation claim:
+//! colocated, adaptive-chunked and 2+2 prefill/decode pool-split
+//! fleets under one long-prefill workload, least-outstanding-work
+//! router built from the fleet-derived `ClusterContext`
+//! (`ClusterSpec::router_context`). Every entry carries `t2ft_p50_ms`
+//! (gates upward) alongside the usual `tbt_p99_ms`, and the split
+//! entry adds the ungated bookkeeping counts `handoffs`,
+//! `kv_bytes_shipped` and `reprefills`.
 
 use std::time::Instant;
 
@@ -96,32 +105,46 @@ fn main() {
     let mut grok_time_s = None;
     let suite = duplex::experiments::cluster_suite(&scale);
     let drill = duplex::experiments::autoscale_drill(&scale);
-    // Suite fleets run under every router; the autoscale drill's three
-    // variants compare *fleet sizing*, so they pin one router.
-    let mut points: Vec<(&ClusterSpec, RouterKind)> = Vec::new();
+    let disagg = duplex::experiments::grok_disagg(&scale);
+    // Suite fleets run under every router; the autoscale and
+    // disaggregation drills' three variants each compare *fleet
+    // shapes*, so they pin one router. The disagg trio additionally
+    // builds it from the fleet-derived context so the placement
+    // estimates match the interconnect it prices.
+    let mut points: Vec<(&ClusterSpec, RouterKind, bool)> = Vec::new();
     for spec in &suite {
         for kind in RouterKind::ALL {
-            points.push((spec, kind));
+            points.push((spec, kind, false));
         }
     }
     for spec in &drill {
-        points.push((spec, RouterKind::LeastOutstandingWork));
+        points.push((spec, RouterKind::LeastOutstandingWork, false));
     }
-    for (spec, kind) in points {
+    for spec in &disagg {
+        points.push((spec, RouterKind::LeastOutstandingWork, true));
+    }
+    for (spec, kind, fleet_ctx) in points {
         {
             // Fleet construction (executor builds, capacity probes)
             // stays outside the timed region: the metric is stepping
             // throughput, not setup cost.
+            let build_router = || {
+                if fleet_ctx {
+                    kind.build_with(&spec.router_context())
+                } else {
+                    kind.build()
+                }
+            };
             let (sim, mut policies, mut executors) = build_cluster(spec);
             let sim = sim.with_config(ClusterConfig::serial());
-            let mut router = kind.build();
+            let mut router = build_router();
             let start = Instant::now();
             let serial = sim.run(router.as_mut(), &mut policies, &mut executors);
             let serial_wall_s = start.elapsed().as_secs_f64();
 
             let (sim, mut policies, mut executors) = build_cluster(spec);
             let sim = sim.with_config(ClusterConfig::default());
-            let mut router = kind.build();
+            let mut router = build_router();
             let start = Instant::now();
             let report = sim.run(router.as_mut(), &mut policies, &mut executors);
             let wall_s = start.elapsed().as_secs_f64();
@@ -164,6 +187,11 @@ fn main() {
                 } else {
                     "-".into()
                 },
+                if spec.disagg.is_some() {
+                    report.disagg.handoffs.to_string()
+                } else {
+                    "-".into()
+                },
             ]);
             let tiered_metrics = if row.tiered {
                 format!(
@@ -193,8 +221,22 @@ fn main() {
             } else {
                 String::new()
             };
+            let disagg_metrics = if fleet_ctx {
+                let mut m = format!("\"t2ft_p50_ms\": {:.4}, ", report.t2ft().p50 * 1e3);
+                if spec.disagg.is_some() {
+                    m.push_str(&format!(
+                        "\"handoffs\": {}, \"kv_bytes_shipped\": {}, \"reprefills\": {}, ",
+                        report.disagg.handoffs,
+                        report.disagg.kv_bytes_shipped,
+                        report.disagg.reprefills
+                    ));
+                }
+                m
+            } else {
+                String::new()
+            };
             json_entries.push(format!(
-                "    \"{}_{}\": {{\"fleet_stages_per_s\": {:.1}, \"wall_s\": {:.4}, \"serial_fleet_stages_per_s\": {:.1}, \"serial_wall_s\": {:.4}, \"threads\": {}, \"stages\": {}, \"completed\": {}, \"replicas\": {}, \"replica_seconds\": {:.4}, \"sim_tokens_per_sec\": {:.1}, \"tbt_p99_ms\": {:.4}, {}{}{}\"kv_reuse_fraction\": {:.4}, \"load_imbalance\": {:.4}, \"policy\": \"{}\", \"model\": \"{}\", \"batch\": {}}}",
+                "    \"{}_{}\": {{\"fleet_stages_per_s\": {:.1}, \"wall_s\": {:.4}, \"serial_fleet_stages_per_s\": {:.1}, \"serial_wall_s\": {:.4}, \"threads\": {}, \"stages\": {}, \"completed\": {}, \"replicas\": {}, \"replica_seconds\": {:.4}, \"sim_tokens_per_sec\": {:.1}, \"tbt_p99_ms\": {:.4}, {}{}{}{}\"kv_reuse_fraction\": {:.4}, \"load_imbalance\": {:.4}, \"policy\": \"{}\", \"model\": \"{}\", \"batch\": {}}}",
                 row.cluster,
                 kind.name().replace('-', "_"),
                 fleet_stages_per_s,
@@ -211,6 +253,7 @@ fn main() {
                 tiered_metrics,
                 fault_metrics,
                 scaling_metrics,
+                disagg_metrics,
                 row.kv_reuse_fraction,
                 row.load_imbalance,
                 spec.policy.name(),
@@ -239,6 +282,7 @@ fn main() {
             "Imbal",
             "Repl-s",
             "Scale",
+            "Handoff",
         ],
         &rows,
     );

@@ -267,6 +267,7 @@ const BASELINE_METRICS: &[(&str, BaselineRule)] = &[
     ("fleet_stages_per_s", BaselineRule::ThroughputFloor),
     ("wall_s", BaselineRule::WallCeiling),
     ("tbt_p99_ms", BaselineRule::Exact),
+    ("t2ft_p50_ms", BaselineRule::Exact),
     ("tier_interactive_tbt_p99_ms", BaselineRule::Exact),
     ("slo_attainment", BaselineRule::Exact),
     ("interactive_attainment", BaselineRule::Exact),

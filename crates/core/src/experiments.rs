@@ -22,10 +22,10 @@ use duplex_compute::{AreaModel, Edap, Engine};
 use duplex_model::ops::StageShape;
 use duplex_model::ModelConfig;
 use duplex_sched::{
-    Arrivals, AutoscalePolicy, ClusterConfig, ClusterReport, ClusterSimulation, ConversationSpec,
-    FaultEvent, FaultKind, FaultPlan, PolicyKind, ReplicaConfig, RequestSource, Router, RouterKind,
-    Scenario, ScenarioSimulation, SchedulingPolicy, SimReport, SimulationConfig, TraceRequest,
-    Workload,
+    Arrivals, AutoscalePolicy, ClusterConfig, ClusterContext, ClusterReport, ClusterSimulation,
+    ConversationSpec, DisaggPlan, FaultEvent, FaultKind, FaultPlan, KvLinkSpec, PolicyKind,
+    ReplicaConfig, RequestSource, Router, RouterKind, Scenario, ScenarioSimulation,
+    SchedulingPolicy, SimReport, SimulationConfig, TraceRequest, Workload,
 };
 use duplex_system::{CommModel, SplitSimulation, SystemConfig, SystemExecutor};
 
@@ -893,6 +893,14 @@ pub fn probe_stage_seconds(
         .seconds
 }
 
+/// Price one whole-prompt prefill stage of `lin` tokens — the probe
+/// behind [`ClusterSpec::router_context`]'s prefill-throughput
+/// estimate.
+pub fn probe_prefill_seconds(model: &ModelConfig, system: &SystemConfig, lin: u64) -> f64 {
+    let mut ex = SystemExecutor::new(system.clone(), model.clone(), 7);
+    ex.stage_cost(&StageShape::mixed(&[], &[lin])).seconds
+}
+
 /// The scenario suite for one (model, system, batch): bursty on/off
 /// traffic, a diurnal rate curve, multi-turn chat with KV reuse, an
 /// SLO-tiered mix, and replay of a recorded bursty trace. Rates are
@@ -1099,9 +1107,22 @@ pub fn scenarios(scale: &Scale) -> Vec<ScenarioRow> {
 
 // ---------------------------------------------------------------- Clusters
 
+/// The fleet interconnect KV transfers cross: the same inter-node
+/// link [`CommModel`] prices p2p transfers on. One derivation for
+/// fault migration, autoscale steal, disaggregated handoff, and
+/// router cost models alike.
+pub fn fleet_kv_link(system: &SystemConfig) -> KvLinkSpec {
+    CommModel::new(system.link, system.nodes, system.devices_per_node).kv_link()
+}
+
 /// One multi-replica serving fleet: a scenario offered to N replicas
 /// (possibly heterogeneous systems) behind a router.
+///
+/// Construct with [`ClusterSpec::new`] plus the `with_*` builders —
+/// the struct is `#[non_exhaustive]`, so literal construction outside
+/// this crate is not supported.
 #[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
 pub struct ClusterSpec {
     /// Display name ("grok_chat_tiered", ...).
     pub name: String,
@@ -1123,6 +1144,66 @@ pub struct ClusterSpec {
     /// size. With `Some`, `systems` is the *maximum* fleet and
     /// replicas beyond the policy floor start in the standby pool.
     pub autoscale: Option<AutoscalePolicy>,
+    /// Prefill/decode pool split; `None` serves colocated.
+    pub disagg: Option<DisaggPlan>,
+}
+
+impl ClusterSpec {
+    /// A healthy, static, colocated fleet.
+    pub fn new(
+        name: &str,
+        model: ModelConfig,
+        systems: Vec<SystemConfig>,
+        batch: usize,
+        policy: PolicyKind,
+        scenario: Scenario,
+    ) -> Self {
+        Self {
+            name: name.into(),
+            model,
+            systems,
+            batch,
+            policy,
+            scenario,
+            faults: None,
+            autoscale: None,
+            disagg: None,
+        }
+    }
+
+    /// Run the scripted fault drill against the fleet.
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
+        self
+    }
+
+    /// Scale the fleet elastically under `policy`.
+    pub fn with_autoscale(mut self, policy: AutoscalePolicy) -> Self {
+        self.autoscale = Some(policy);
+        self
+    }
+
+    /// Disaggregate the fleet into prefill and decode pools.
+    pub fn with_disagg(mut self, plan: DisaggPlan) -> Self {
+        self.disagg = Some(plan);
+        self
+    }
+
+    /// The fleet-derived [`ClusterContext`] routers should be built
+    /// against ([`RouterKind::build_with`]): the first replica's
+    /// inter-node link, the model's KV geometry, and a prefill
+    /// throughput estimate probed from the scenario's mean prompt —
+    /// instead of each call site re-deriving the numbers ad hoc.
+    pub fn router_context(&self) -> ClusterContext {
+        let system = &self.systems[0];
+        let lin = self.scenario.workload.mean_input.max(1);
+        let prefill_s = probe_prefill_seconds(&self.model, system, lin);
+        ClusterContext {
+            kv_link: fleet_kv_link(system),
+            kv_bytes_per_token: self.model.kv_bytes_per_token(),
+            prefill_tokens_per_s: lin as f64 / prefill_s.max(1e-12),
+        }
+    }
 }
 
 /// One row of the cluster sweep: a (fleet, router) pair with fleet and
@@ -1269,16 +1350,14 @@ pub fn cluster_suite(scale: &Scale) -> Vec<ClusterSpec> {
         )
         .with_conversation(ConversationSpec::chat(1.0, 4, 0.5 * life_s, turn))
         .with_tiers(Scenario::default_tiers(duplex_stage));
-        specs.push(ClusterSpec {
-            name: "grok_chat_tiered".into(),
+        specs.push(ClusterSpec::new(
+            "grok_chat_tiered",
             model,
             systems,
             batch,
-            policy: PolicyKind::PriorityTiers,
+            PolicyKind::PriorityTiers,
             scenario,
-            faults: None,
-            autoscale: None,
-        });
+        ));
     }
 
     // -- Grok-scale failure drill: crash + drain + warm-up restart --
@@ -1311,9 +1390,8 @@ pub fn cluster_suite(scale: &Scale) -> Vec<ClusterSpec> {
         )
         .with_conversation(ConversationSpec::chat(1.0, 4, 0.5 * life_s, turn))
         .with_tiers(Scenario::default_tiers(duplex_stage));
-        // KV migrations ship over the fleet's inter-node interconnect
-        // (the same link CommModel prices p2p transfers on).
-        let link = CommModel::new(duplex.link, duplex.nodes, duplex.devices_per_node).kv_link();
+        // KV migrations ship over the fleet's inter-node interconnect.
+        let link = fleet_kv_link(&duplex);
         let faults = FaultPlan::new(vec![
             // Hard crash of a Duplex replica mid-run: in-flight and
             // queued requests are lost and retried through the router.
@@ -1337,16 +1415,17 @@ pub fn cluster_suite(scale: &Scale) -> Vec<ClusterSpec> {
         .with_link(link)
         .with_warmup(1.0 * life_s, 2.0)
         .with_recovery_tracking(0.7, span_est / 40.0, 4.0 * life_s);
-        specs.push(ClusterSpec {
-            name: "grok_failover".into(),
-            model,
-            systems,
-            batch,
-            policy: PolicyKind::PriorityTiers,
-            scenario,
-            faults: Some(faults),
-            autoscale: None,
-        });
+        specs.push(
+            ClusterSpec::new(
+                "grok_failover",
+                model,
+                systems,
+                batch,
+                PolicyKind::PriorityTiers,
+                scenario,
+            )
+            .with_faults(faults),
+        );
     }
 
     // -- Heterogeneous Mixtral fleet: 2 GPU + 2 Duplex+PE+ET --
@@ -1373,16 +1452,14 @@ pub fn cluster_suite(scale: &Scale) -> Vec<ClusterSpec> {
             },
             requests,
         );
-        specs.push(ClusterSpec {
-            name: "mixtral_hetero".into(),
+        specs.push(ClusterSpec::new(
+            "mixtral_hetero",
             model,
-            systems: vec![gpu.clone(), gpu, duplex.clone(), duplex],
+            vec![gpu.clone(), gpu, duplex.clone(), duplex],
             batch,
-            policy: PolicyKind::Fcfs,
+            PolicyKind::Fcfs,
             scenario,
-            faults: None,
-            autoscale: None,
-        });
+        ));
     }
 
     specs
@@ -1438,7 +1515,7 @@ pub fn autoscale_drill(scale: &Scale) -> Vec<ClusterSpec> {
     .with_tiers(Scenario::default_tiers(stage));
     // The joiner's KV steal ships over the same inter-node link the
     // failover drill prices its migrations on.
-    let link = CommModel::new(duplex.link, duplex.nodes, duplex.devices_per_node).kv_link();
+    let link = fleet_kv_link(&duplex);
     // Quick detection (one hot window scales up), slower release
     // (three calm windows scale down): SLO misses cost more than an
     // extra replica-minute.
@@ -1450,20 +1527,97 @@ pub fn autoscale_drill(scale: &Scale) -> Vec<ClusterSpec> {
         .with_cooldown(2.0 * interval_s)
         .with_provisioning(interval_s, interval_s, 1.2)
         .with_link(link);
-    let spec = |name: &str, replicas: usize, autoscale: Option<AutoscalePolicy>| ClusterSpec {
-        name: name.into(),
-        model: model.clone(),
-        systems: vec![duplex.clone(); replicas],
-        batch,
-        policy: PolicyKind::PriorityTiers,
-        scenario: scenario.clone(),
-        faults: None,
-        autoscale,
+    let spec = |name: &str, replicas: usize, autoscale: Option<AutoscalePolicy>| {
+        let base = ClusterSpec::new(
+            name,
+            model.clone(),
+            vec![duplex.clone(); replicas],
+            batch,
+            PolicyKind::PriorityTiers,
+            scenario.clone(),
+        );
+        match autoscale {
+            Some(policy) => base.with_autoscale(policy),
+            None => base,
+        }
     };
     vec![
         spec("grok_diurnal_autoscale_elastic", peak, Some(policy)),
         spec("grok_diurnal_autoscale_static_min", min, None),
         spec("grok_diurnal_autoscale_static_peak", peak, None),
+    ]
+}
+
+/// The disaggregation drill: one `long_prefill` Grok-scale workload
+/// (long prompts, modest outputs — the regime where prefill stages
+/// stall decode tokens) offered to three four-replica fleets so the
+/// pool split faces the colocation incumbents directly.
+///
+/// * `grok_long_prefill_colocated` — plain colocation: whole prompts
+///   enter the mixed batch, every co-batched decode eats the full
+///   prefill stall.
+/// * `grok_long_prefill_chunked` — the PR 5 incumbent: adaptive
+///   chunked prefill caps each stall at the occupancy-scaled budget.
+/// * `grok_long_prefill_disagg` — a [`DisaggPlan`] pool split (two
+///   prefill + two decode replicas): decode stages never co-batch a
+///   prompt, finished KV ships over the fleet link.
+///
+/// Arrivals are sized off *both* pool capacities (probed decode stage
+/// and whole-prompt prefill), so every fleet runs loaded but below
+/// saturation and the TBT difference is interference, not queueing
+/// collapse. The acceptance bar (`tests/integration_cluster.rs`):
+/// disaggregation beats the chunked incumbent on fleet TBT p99 while
+/// holding at least 90% of its generation throughput.
+pub fn grok_disagg(scale: &Scale) -> Vec<ClusterSpec> {
+    let model = ModelConfig::grok1();
+    let (d, n) = SystemConfig::default_cluster(&model); // 2x8
+    let duplex = SystemConfig::duplex_pe_et(d, n);
+    let batch = 16usize;
+    let lin = scale.len(8192);
+    let lout = scale.len(512);
+    let ctx = lin + lout / 2;
+    let stage = probe_stage_seconds(&model, &duplex, batch, ctx);
+    let prefill_s = probe_prefill_seconds(&model, &duplex, lin);
+    let replicas = 4usize;
+    let split = replicas / 2;
+    // Offered load: 55% of the binding pool's capacity — two decode
+    // replicas' token rate vs two prefill replicas' prompt rate. Below
+    // saturation for every fleet, so the tail drain of the half-size
+    // decode pool costs little throughput and the TBT difference is
+    // interference, not queueing collapse.
+    let decode_qps = split as f64 * batch as f64 / (lout as f64 * stage);
+    let prefill_qps = split as f64 / prefill_s;
+    let qps = 0.55 * decode_qps.min(prefill_qps);
+    // A long span: the half-size decode pool drains the final backlog
+    // with half the slots, a constant tail the run length amortizes.
+    let requests = scale.requests(batch) * replicas * 3;
+    let scenario = Scenario::new(
+        "grok_long_prefill",
+        Workload::gaussian(lin, lout).with_seed(0xBEEF).with_cv(0.4),
+        Arrivals::Poisson { qps },
+        requests,
+    )
+    .with_tiers(Scenario::default_tiers(stage));
+    let spec = |name: &str, scenario: Scenario| {
+        ClusterSpec::new(
+            name,
+            model.clone(),
+            vec![duplex.clone(); replicas],
+            batch,
+            PolicyKind::PriorityTiers,
+            scenario,
+        )
+    };
+    vec![
+        spec("grok_long_prefill_colocated", scenario.clone()),
+        spec(
+            "grok_long_prefill_chunked",
+            scenario
+                .clone()
+                .with_prefill_chunk_adaptive(scale.len(1024).max(1), lin),
+        ),
+        spec("grok_long_prefill_disagg", scenario)
+            .with_disagg(DisaggPlan::new((0..split).collect()).with_link(fleet_kv_link(&duplex))),
     ]
 }
 
@@ -1510,6 +1664,9 @@ pub fn build_cluster(
     }
     if let Some(policy) = &spec.autoscale {
         sim = sim.with_autoscale(policy.clone());
+    }
+    if let Some(plan) = &spec.disagg {
+        sim = sim.with_disagg(plan.clone());
     }
     (sim, policies, executors)
 }

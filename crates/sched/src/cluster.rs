@@ -53,6 +53,24 @@
 //! sequence, same routing decisions, same reports, to the bit. The
 //! integration tests assert this for every [`crate::RouterKind`].
 //!
+//! # Disaggregated prefill/decode pools
+//!
+//! [`ClusterSimulation::with_disagg`] partitions the fleet into a
+//! prefill pool and a decode pool (see [`DisaggPlan`] and
+//! `docs/placement-api.md`). Arrivals are then placed in two
+//! dimensions at once via [`Router::place`]: a prefill replica runs
+//! the prompt (chunked or whole, minus its final token) and buffers a
+//! handoff event when it finishes; the
+//! cluster delivers the handoff at the next merge point, pricing the
+//! KV transfer over the plan's [`KvLinkSpec`] against the decode
+//! replica chosen at *admission* time, where the request joins the
+//! decode batch through the ordinary reuse-admission path (a one-token
+//! prefill above the shipped context). Handoffs are buffered
+//! replica-locally exactly like retire events, so the clock-merge
+//! invariant — and serial/parallel byte-identity — is untouched.
+//! Colocated mode (no plan) is the degenerate case and is byte-
+//! identical to the pre-pool behavior.
+//!
 //! # Example
 //!
 //! Four fixed-latency replicas behind least-outstanding-work routing:
@@ -95,10 +113,10 @@ use crate::metrics::{
     KvReuseStats, LatencyDigest, LatencySummary, SimReport, SloStats, StageStats,
 };
 use crate::policy::SchedulingPolicy;
-use crate::router::{ReplicaSnapshot, Router};
+use crate::router::{PoolRole, ReplicaSnapshot, Router};
 use crate::scenario::{ReplicaSim, Scenario, ScenarioStream, SloTier};
 use crate::scheduler::{SimulationConfig, StageExecutor};
-use crate::snapshot::{AutoscaleState, ClusterSnapshot, FaultState};
+use crate::snapshot::{AutoscaleState, ClusterSnapshot, DisaggState, FaultState};
 
 /// Execution knobs for the cluster driver. Results never depend on
 /// these: the parallel path is byte-identical to the serial oracle
@@ -170,7 +188,12 @@ fn parse_duplex_threads(raw: &str) -> usize {
 }
 
 /// One replica's scheduler limits plus its relative serving capacity.
+///
+/// Construct with [`ReplicaConfig::new`] plus the `with_*` builders —
+/// the struct is `#[non_exhaustive]`, so literal construction outside
+/// this crate is not supported.
 #[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
 pub struct ReplicaConfig {
     /// The replica-local scheduler limits (batch slots, KV budget).
     pub sim: SimulationConfig,
@@ -190,6 +213,144 @@ impl ReplicaConfig {
         assert!(weight > 0.0, "capacity weight must be positive");
         self.weight = weight;
         self
+    }
+
+    /// Replace the scheduler limits.
+    pub fn with_sim(mut self, sim: SimulationConfig) -> Self {
+        self.sim = sim;
+        self
+    }
+}
+
+/// A prefill/decode pool split for a fleet: the listed replicas form
+/// the prefill pool, every other replica the decode pool, and finished
+/// prompts ship their KV over `link` (see the module docs and
+/// `docs/placement-api.md`).
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub struct DisaggPlan {
+    /// Replica indices serving the prefill pool.
+    pub prefill_replicas: Vec<usize>,
+    /// The prefill→decode interconnect pricing KV handoffs.
+    pub link: KvLinkSpec,
+}
+
+impl DisaggPlan {
+    /// A split with the given prefill-pool members over the default
+    /// link.
+    pub fn new(prefill_replicas: Vec<usize>) -> Self {
+        Self {
+            prefill_replicas,
+            link: KvLinkSpec::default(),
+        }
+    }
+
+    /// Price handoffs over `link` instead of the default.
+    pub fn with_link(mut self, link: KvLinkSpec) -> Self {
+        self.link = link;
+        self
+    }
+
+    /// The role this plan assigns to replica `i`.
+    pub fn role_of(&self, i: usize) -> PoolRole {
+        if self.prefill_replicas.contains(&i) {
+            PoolRole::Prefill
+        } else {
+            PoolRole::Decode
+        }
+    }
+}
+
+/// Prefill→decode transfer accounting for a disaggregated run (all
+/// zeros in colocated mode).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+#[non_exhaustive]
+pub struct DisaggStats {
+    /// Prompts handed from the prefill pool to the decode pool.
+    pub handoffs: u64,
+    /// KV bytes shipped over the pool interconnect.
+    pub kv_bytes_shipped: u64,
+    /// Virtual seconds of handoff transfer time charged to decode
+    /// replicas.
+    pub transfer_seconds: f64,
+    /// Handoffs whose decode replica could not hold the shipped KV:
+    /// the prompt re-prefilled there from scratch instead.
+    pub reprefills: u64,
+}
+
+/// Live disaggregation state for one cluster run: the admission-time
+/// decode assignments of every request currently prefilling, plus
+/// transfer accounting. Assignments mutate only at dispatch and merge
+/// points, so windows stay side-effect-free.
+struct DisaggRuntime<'p> {
+    plan: &'p DisaggPlan,
+    /// `(request id, decode replica, KV bytes to ship)`, sorted by id.
+    assignments: Vec<(u64, usize, u64)>,
+    stats: DisaggStats,
+}
+
+impl<'p> DisaggRuntime<'p> {
+    fn new(plan: &'p DisaggPlan) -> Self {
+        Self {
+            plan,
+            assignments: Vec::new(),
+            stats: DisaggStats::default(),
+        }
+    }
+
+    /// Record a placement's decode half at admission time.
+    fn record(&mut self, request: u64, decode: usize, bytes: u64) {
+        let i = self.assignments.partition_point(|&(id, _, _)| id < request);
+        self.assignments.insert(i, (request, decode, bytes));
+    }
+
+    /// Take the assignment of a finished prefill.
+    fn take(&mut self, request: u64) -> Option<(usize, u64)> {
+        let i = self
+            .assignments
+            .binary_search_by_key(&request, |&(id, _, _)| id)
+            .ok()?;
+        let (_, decode, bytes) = self.assignments.remove(i);
+        Some((decode, bytes))
+    }
+
+    /// Pending joins headed for decode replica `i`: `(count, bytes)` —
+    /// the router-visible transfer backlog.
+    fn backlog_for(&self, i: usize) -> (usize, u64) {
+        self.assignments
+            .iter()
+            .filter(|&&(_, d, _)| d == i)
+            .fold((0, 0), |(n, b), &(_, _, bytes)| (n + 1, b + bytes))
+    }
+
+    fn export_state(&self) -> DisaggState {
+        DisaggState {
+            assignments: self
+                .assignments
+                .iter()
+                .map(|&(id, d, b)| (id, d as u64, b))
+                .collect(),
+            handoffs: self.stats.handoffs,
+            kv_bytes_shipped: self.stats.kv_bytes_shipped,
+            transfer_seconds: self.stats.transfer_seconds,
+            reprefills: self.stats.reprefills,
+        }
+    }
+
+    /// Restore state captured by [`DisaggRuntime::export_state`]. The
+    /// caller validated the shape against the plan and fleet.
+    fn import_state(&mut self, s: &DisaggState) {
+        self.assignments = s
+            .assignments
+            .iter()
+            .map(|&(id, d, b)| (id, d as usize, b))
+            .collect();
+        self.stats = DisaggStats {
+            handoffs: s.handoffs,
+            kv_bytes_shipped: s.kv_bytes_shipped,
+            transfer_seconds: s.transfer_seconds,
+            reprefills: s.reprefills,
+        };
     }
 }
 
@@ -218,6 +379,9 @@ pub struct ClusterReport {
     /// Scale-event counters (all zeros without an
     /// [`AutoscalePolicy`]).
     pub scaling: ScaleStats,
+    /// Prefill→decode handoff counters (all zeros without a
+    /// [`DisaggPlan`]).
+    pub disagg: DisaggStats,
 }
 
 impl ClusterReport {
@@ -377,6 +541,13 @@ fn fleet_next_start(replicas: &[ReplicaSim]) -> Option<f64> {
 /// Router-requested KV migrations execute here: the parked pages move
 /// source → target and the transfer is priced over `link` against the
 /// receiving replica's clock.
+///
+/// Under a [`DisaggPlan`] the router's [`Router::place`] picks one
+/// replica per pool; the request runs its prompt at the prefill half
+/// and the decode half is recorded as an assignment, consumed when the
+/// finished prefill's handoff is delivered at a merge point. Routing
+/// holds arrivals while either pool is entirely down (mirroring the
+/// fully-down colocated behavior).
 #[allow(clippy::too_many_arguments)]
 fn dispatch_arrivals(
     stream: &mut ScenarioStream<'_>,
@@ -387,12 +558,24 @@ fn dispatch_arrivals(
     limit: Option<f64>,
     link: KvLinkSpec,
     stats: &mut RecoveryStats,
+    mut disagg: Option<&mut DisaggRuntime<'_>>,
 ) {
     while let Some(t_a) = stream.next_arrival_time() {
         if limit.is_some_and(|l| t_a >= l) {
             break;
         }
-        if !replicas.iter().any(ReplicaSim::is_admitting) {
+        let pools_up = match disagg {
+            Some(_) => {
+                replicas
+                    .iter()
+                    .any(|r| r.role() == PoolRole::Prefill && r.is_admitting())
+                    && replicas
+                        .iter()
+                        .any(|r| r.role() == PoolRole::Decode && r.is_admitting())
+            }
+            None => replicas.iter().any(ReplicaSim::is_admitting),
+        };
+        if !pools_up {
             break;
         }
         match fleet_next_start(replicas) {
@@ -402,24 +585,35 @@ fn dispatch_arrivals(
             _ => {
                 let p = stream.pop_next().expect("arrival time implies a request");
                 snapshots.clear();
-                snapshots.extend(configs.iter().zip(replicas.iter()).map(|(cfg, r)| {
-                    let (in_flight, queued, outstanding_tokens) = r.load();
-                    let (kv_reserved_bytes, kv_capacity_bytes) = r.kv_usage();
-                    ReplicaSnapshot {
-                        now_s: r.clock(),
-                        in_flight,
-                        queued,
-                        max_batch: r.max_batch(),
-                        outstanding_tokens,
-                        kv_reserved_bytes,
-                        kv_capacity_bytes,
-                        weight: cfg.weight,
-                        resident_history_tokens: r.resident_history(p.conversation),
-                        accepting: r.is_admitting(),
-                    }
-                }));
-                let decision = router.decide(&p, snapshots);
-                if let Some(defer_to) = decision.defer_until_s {
+                snapshots.extend(configs.iter().zip(replicas.iter()).enumerate().map(
+                    |(i, (cfg, r))| {
+                        let (in_flight, mut queued, outstanding_tokens) = r.load();
+                        let (kv_reserved_bytes, kv_capacity_bytes) = r.kv_usage();
+                        // Pending prefill-pool joins count against
+                        // their decode target's queue and surface
+                        // as transfer backlog (none in colocated
+                        // mode, so the snapshot is unchanged).
+                        let (joins, transfer_backlog_bytes) =
+                            disagg.as_deref().map_or((0, 0), |d| d.backlog_for(i));
+                        queued += joins;
+                        ReplicaSnapshot {
+                            now_s: r.clock(),
+                            in_flight,
+                            queued,
+                            max_batch: r.max_batch(),
+                            outstanding_tokens,
+                            kv_reserved_bytes,
+                            kv_capacity_bytes,
+                            weight: cfg.weight,
+                            resident_history_tokens: r.resident_history(p.conversation),
+                            accepting: r.is_admitting(),
+                            role: r.role(),
+                            transfer_backlog_bytes,
+                        }
+                    },
+                ));
+                let placement = router.place(&p, snapshots);
+                if let Some(defer_to) = placement.defer_until_s {
                     // Fleet-level shed: the request is not placed at
                     // all — it re-enters the arrival stream later with
                     // its absolute deadline intact (see
@@ -430,7 +624,7 @@ fn dispatch_arrivals(
                     stream.requeue(p);
                     continue;
                 }
-                let target = decision.replica;
+                let target = placement.prefill;
                 assert!(
                     target < replicas.len(),
                     "router picked replica {target} of {}",
@@ -440,7 +634,21 @@ fn dispatch_arrivals(
                     replicas[target].is_admitting(),
                     "router picked a non-admitting replica while one admits"
                 );
-                if let Some(src) = decision.migrate_from {
+                if !placement.is_colocated() {
+                    let d = disagg
+                        .as_deref_mut()
+                        .expect("a split placement implies a disaggregation plan");
+                    assert!(
+                        placement.decode < replicas.len(),
+                        "router picked decode replica {} of {}",
+                        placement.decode,
+                        replicas.len()
+                    );
+                    let bytes = p.request.input_len.saturating_sub(1)
+                        * configs[target].sim.kv_bytes_per_token.max(1);
+                    d.record(p.request.id, placement.decode, bytes);
+                }
+                if let Some(src) = placement.migrate_from {
                     if src < replicas.len() && src != target {
                         migrate_parked(configs, replicas, src, target, p.conversation, link, stats);
                     }
@@ -497,10 +705,19 @@ fn drive_round<E: StageExecutor + Send>(
     limit: Option<f64>,
     link: KvLinkSpec,
     stats: &mut RecoveryStats,
+    mut disagg: Option<&mut DisaggRuntime<'_>>,
 ) -> bool {
     // ---- dispatch: route every arrival due by the fleet's next stage ----
     dispatch_arrivals(
-        stream, router, configs, replicas, snapshots, limit, link, stats,
+        stream,
+        router,
+        configs,
+        replicas,
+        snapshots,
+        limit,
+        link,
+        stats,
+        disagg.as_deref_mut(),
     );
     if !replicas.iter().any(|r| r.next_start().is_some()) {
         return false;
@@ -545,7 +762,102 @@ fn drive_round<E: StageExecutor + Send>(
     for r in replicas.iter_mut() {
         r.drain_retire_events(stream);
     }
+    if let Some(d) = disagg {
+        drain_handoffs(stream, configs, replicas, d);
+    }
     true
+}
+
+/// Deliver every buffered prefill→decode handoff, in replica-index
+/// order (the merge half of disaggregated serving): ship the prompt KV
+/// to the decode replica assigned at admission time, price the
+/// transfer over the plan's link against the receiver's clock, and
+/// enqueue the request there — it joins the decode batch through the
+/// ordinary reuse-admission path as a one-token prefill above the
+/// shipped context. A decode replica that went down (or cannot hold
+/// the KV) degrades gracefully: another decode replica is picked, or
+/// the prompt re-prefills from scratch.
+fn drain_handoffs(
+    stream: &mut ScenarioStream<'_>,
+    configs: &[ReplicaConfig],
+    replicas: &mut [ReplicaSim],
+    disagg: &mut DisaggRuntime<'_>,
+) {
+    for i in 0..replicas.len() {
+        if !replicas[i].has_handoffs() {
+            continue;
+        }
+        for ev in replicas[i].take_handoffs() {
+            let mut p = ev.pending;
+            let assigned = disagg.take(p.request.id);
+            // The admission-time target may have gone down since: fall
+            // back to the least-loaded admitting decode replica.
+            let target = match assigned {
+                Some((d, _)) if replicas[d].is_admitting() => Some(d),
+                _ => best_pool_target(configs, replicas, PoolRole::Decode),
+            };
+            let Some(d) = target else {
+                // The whole decode pool is down: the request re-enters
+                // the arrival stream and is re-placed once a decode
+                // replica recovers.
+                p.request.arrival_s = ev.done_s;
+                p.history_tokens = 0;
+                stream.requeue(p);
+                continue;
+            };
+            let bytes = assigned.map_or_else(
+                || p.request.input_len.saturating_sub(1) * configs[i].sim.kv_bytes_per_token.max(1),
+                |(_, b)| b,
+            );
+            let join_tokens = p.request.input_len.saturating_sub(1);
+            disagg.stats.handoffs += 1;
+            if join_tokens > 0 && replicas[d].receive_parked(p.conversation, join_tokens) {
+                let seconds = disagg.plan.link.transfer_seconds(bytes);
+                replicas[d].add_transfer_time(seconds);
+                disagg.stats.kv_bytes_shipped += bytes;
+                disagg.stats.transfer_seconds += seconds;
+                p.history_tokens = join_tokens;
+                // The decode replica cannot start the join before the
+                // prefill finished; its absolute SLO deadline (stamped
+                // at spawn) is unchanged.
+                p.request.arrival_s = ev.done_s + seconds;
+            } else {
+                // Nothing to ship (one-token prompt) or no room at the
+                // receiver even after evicting parked histories: the
+                // prompt re-prefills at the decode replica, unpriced.
+                if join_tokens > 0 {
+                    disagg.stats.reprefills += 1;
+                }
+                p.history_tokens = 0;
+                p.request.arrival_s = ev.done_s;
+            }
+            replicas[d].enqueue(p);
+        }
+    }
+}
+
+/// The least weighted-load admitting replica of `role` (the handoff
+/// fallback target); `None` when the whole pool is down.
+fn best_pool_target(
+    configs: &[ReplicaConfig],
+    replicas: &[ReplicaSim],
+    role: PoolRole,
+) -> Option<usize> {
+    let mut best: Option<(usize, f64)> = None;
+    for (j, r) in replicas.iter().enumerate() {
+        if r.role() != role || !r.is_admitting() {
+            continue;
+        }
+        let (in_flight, queued, outstanding) = r.load();
+        let slots = (in_flight + queued) as f64;
+        let drain = outstanding as f64;
+        let load = (slots + drain / (1.0 + drain)) / configs[j].weight.max(f64::MIN_POSITIVE);
+        match best {
+            Some((_, b)) if b <= load => {}
+            _ => best = Some((j, load)),
+        }
+    }
+    best.map(|(j, _)| j)
 }
 
 /// A scheduled fault-machinery event on the virtual clock.
@@ -942,7 +1254,8 @@ impl<'p> FaultRuntime<'p> {
 
 /// The least weighted-load admitting replica other than `skip` (the
 /// drain-handoff target); `None` when the whole rest of the fleet is
-/// down.
+/// down. Pool-aware: a drained replica's parked KV only makes sense on
+/// a replica of the same role (a no-op filter in colocated fleets).
 fn best_handoff_target(
     configs: &[ReplicaConfig],
     replicas: &[ReplicaSim],
@@ -950,7 +1263,7 @@ fn best_handoff_target(
 ) -> Option<usize> {
     let mut best: Option<(usize, f64)> = None;
     for (j, r) in replicas.iter().enumerate() {
-        if j == skip || !r.is_admitting() {
+        if j == skip || !r.is_admitting() || r.role() != replicas[skip].role() {
             continue;
         }
         let (in_flight, queued, outstanding) = r.load();
@@ -1347,7 +1660,11 @@ impl<'p> AutoscaleRuntime<'p> {
         }
         let mut donor: Option<(usize, f64)> = None;
         for (j, r) in replicas.iter().enumerate() {
-            if j == replica || !r.is_admitting() || self.draining[j] {
+            if j == replica
+                || !r.is_admitting()
+                || self.draining[j]
+                || r.role() != replicas[replica].role()
+            {
                 continue;
             }
             let (in_flight, queued, outstanding) = r.load();
@@ -1487,6 +1804,9 @@ impl<'p> AutoscaleRuntime<'p> {
 /// virtual-time bound and paused into a resumable [`ClusterSnapshot`],
 /// or it drained first and produced the final [`ClusterReport`].
 #[derive(Debug, Clone, PartialEq)]
+// One short-lived value per bounded run, never stored in bulk: the
+// ~200-byte inline report is cheaper than boxing every Done match.
+#[allow(clippy::large_enum_variant)]
 pub enum ClusterRun {
     /// The fleet paused at the first merge point whose next event lies
     /// at or past the bound; resume with
@@ -1524,6 +1844,7 @@ pub struct ClusterSimulation {
     cluster: ClusterConfig,
     faults: Option<FaultPlan>,
     autoscale: Option<AutoscalePolicy>,
+    disagg: Option<DisaggPlan>,
 }
 
 impl ClusterSimulation {
@@ -1538,6 +1859,7 @@ impl ClusterSimulation {
             cluster: ClusterConfig::default(),
             faults: None,
             autoscale: None,
+            disagg: None,
         }
     }
 
@@ -1579,6 +1901,37 @@ impl ClusterSimulation {
             self.configs.len()
         );
         self.autoscale = Some(policy);
+        self
+    }
+
+    /// Disaggregate the fleet into prefill and decode pools (see the
+    /// module docs): the plan's replicas run prompts only and ship the
+    /// finished KV over its link to decode replicas chosen at
+    /// admission time. At least one replica must serve each pool.
+    pub fn with_disagg(mut self, plan: DisaggPlan) -> Self {
+        assert!(
+            !plan.prefill_replicas.is_empty(),
+            "a disaggregated fleet needs at least one prefill replica"
+        );
+        for &i in &plan.prefill_replicas {
+            assert!(
+                i < self.configs.len(),
+                "disagg plan targets replica {i} of a {}-replica fleet",
+                self.configs.len()
+            );
+        }
+        let distinct: std::collections::BTreeSet<usize> =
+            plan.prefill_replicas.iter().copied().collect();
+        assert_eq!(
+            distinct.len(),
+            plan.prefill_replicas.len(),
+            "disagg plan lists a prefill replica twice"
+        );
+        assert!(
+            distinct.len() < self.configs.len(),
+            "a disaggregated fleet needs at least one decode replica"
+        );
+        self.disagg = Some(plan);
         self
     }
 
@@ -1670,6 +2023,21 @@ impl ClusterSimulation {
                 self.configs.len()
             ));
         }
+        match (&self.disagg, &snap.disagg) {
+            (Some(_), None) => {
+                return Err(
+                    "the cluster has a disaggregation plan but the snapshot has no disagg state"
+                        .to_string(),
+                );
+            }
+            (None, Some(_)) => {
+                return Err(
+                    "the snapshot has disagg state but the cluster has no disaggregation plan"
+                        .to_string(),
+                );
+            }
+            _ => {}
+        }
         let tier_count = self.scenario.tiers.len();
         let fault_count = self.faults.as_ref().map_or(0, |p| p.faults.len());
         for (i, s) in snap.replicas.iter().enumerate() {
@@ -1679,7 +2047,14 @@ impl ClusterSimulation {
                     s.tiers.len()
                 ));
             }
-            if s.parked.is_some() != self.scenario.conversation.is_some() {
+            // Decode-pool replicas carry a parked pool even in
+            // single-shot scenarios (it receives prefill handoffs).
+            let expects_parked = self.scenario.conversation.is_some()
+                || self
+                    .disagg
+                    .as_ref()
+                    .is_some_and(|plan| plan.role_of(i) == PoolRole::Decode);
+            if s.parked.is_some() != expects_parked {
                 return Err(format!(
                     "replica {i}: snapshot parked-KV state does not match the scenario"
                 ));
@@ -1777,6 +2152,28 @@ impl ClusterSimulation {
                 }
             }
         }
+        if let (Some(plan), Some(d)) = (&self.disagg, &snap.disagg) {
+            if let Some(&(id, target, _)) = d
+                .assignments
+                .iter()
+                .find(|&&(_, t, _)| plan.role_of(t as usize) != PoolRole::Decode)
+            {
+                return Err(format!(
+                    "snapshot assigns request {id} to replica {target}, which is not in the \
+                     decode pool"
+                ));
+            }
+            if let Some(&(id, target, _)) = d
+                .assignments
+                .iter()
+                .find(|&&(_, t, _)| t as usize >= self.configs.len())
+            {
+                return Err(format!(
+                    "snapshot assigns request {id} to replica {target} of {}",
+                    self.configs.len()
+                ));
+            }
+        }
         Ok(())
     }
 
@@ -1800,6 +2197,14 @@ impl ClusterSimulation {
             .iter()
             .map(|c| ReplicaSim::new(c.sim, &self.scenario))
             .collect();
+        if let Some(plan) = &self.disagg {
+            // Roles are static configuration: assigned before any
+            // stepping or snapshot import.
+            for (i, replica) in replicas.iter_mut().enumerate() {
+                replica.set_role(plan.role_of(i));
+            }
+        }
+        let mut disagg_rt = self.disagg.as_ref().map(DisaggRuntime::new);
         let mut stats = RecoveryStats::default();
         let mut fault_rt = self.faults.as_ref().map(|plan| {
             let windows: Vec<(f64, f64)> = plan
@@ -1837,6 +2242,9 @@ impl ClusterSimulation {
             }
             if let (Some(rt), Some(a)) = (auto_rt.as_mut(), &snap.autoscale) {
                 rt.import_state(a);
+            }
+            if let (Some(rt), Some(d)) = (disagg_rt.as_mut(), &snap.disagg) {
+                rt.import_state(d);
             }
             for ((replica, state), executor) in replicas
                 .iter_mut()
@@ -1918,6 +2326,7 @@ impl ClusterSimulation {
                         stats,
                         fault: fault_rt.as_ref().map(FaultRuntime::export_state),
                         autoscale: auto_rt.as_ref().map(AutoscaleRuntime::export_state),
+                        disagg: disagg_rt.as_ref().map(DisaggRuntime::export_state),
                     })));
                 }
             }
@@ -1943,6 +2352,7 @@ impl ClusterSimulation {
                 limit,
                 link,
                 &mut stats,
+                disagg_rt.as_mut(),
             ) {
                 // A fully-down fleet holds its arrivals instead of
                 // stepping: keep looping while the fault or scale
@@ -1977,6 +2387,7 @@ impl ClusterSimulation {
             .map(|r| (total_time_s - r.down_seconds_until(total_time_s)).max(0.0))
             .sum();
         let scaling = auto_rt.map(|rt| rt.stats).unwrap_or_default();
+        let disagg = disagg_rt.map(|rt| rt.stats).unwrap_or_default();
         let reports: Vec<SimReport> = replicas.into_iter().map(ReplicaSim::into_report).collect();
         for o in fault_outcomes.iter_mut() {
             if o.recovered_at_s.is_none() {
@@ -1993,6 +2404,7 @@ impl ClusterSimulation {
             faults: fault_outcomes,
             replica_seconds,
             scaling,
+            disagg,
         }))
     }
 }

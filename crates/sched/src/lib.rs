@@ -30,7 +30,11 @@
 //!   independent replicas on one shared virtual clock behind a
 //!   pluggable request router (round-robin, least-outstanding-work,
 //!   session affinity, migration-aware affinity), with per-replica and
-//!   merged fleet reports.
+//!   merged fleet reports. Routers place requests in two dimensions
+//!   ([`router::Placement`]): a [`cluster::DisaggPlan`] splits the
+//!   fleet into dedicated prefill and decode pools with priced KV
+//!   handoffs between them, and colocated serving is the degenerate
+//!   `prefill == decode` case (see `docs/placement-api.md`).
 //! * [`fault`] — deterministic fault injection for cluster runs:
 //!   scripted crashes, drains and slowdowns, load-driven fault
 //!   triggers, retry/reroute of lost requests, priced cross-replica
@@ -70,6 +74,17 @@
 //! assert_eq!(report.completed.len(), 16);
 //! assert!(report.throughput_tokens_per_s() > 0.0);
 //! ```
+//!
+//! # Construction pattern
+//!
+//! The public configuration structs ([`Scenario`], [`ReplicaConfig`],
+//! the core crate's `ClusterSpec`, …) are `#[non_exhaustive]`: build
+//! them with their `new` constructor plus `with_*` builder methods
+//! (`Scenario::new(..).with_tiers(..)`,
+//! `ReplicaConfig::new(..).with_weight(..)`), never with struct
+//! literals. New fields then extend the API without breaking
+//! downstream construction sites — every pre-9 PR listed "struct
+//! literals" as a breaking change; the builders end that.
 
 pub mod autoscale;
 pub mod cluster;
@@ -87,7 +102,10 @@ pub mod trace;
 pub mod workload;
 
 pub use autoscale::{AutoscalePolicy, ScaleStats};
-pub use cluster::{ClusterConfig, ClusterReport, ClusterRun, ClusterSimulation, ReplicaConfig};
+pub use cluster::{
+    ClusterConfig, ClusterReport, ClusterRun, ClusterSimulation, DisaggPlan, DisaggStats,
+    ReplicaConfig,
+};
 pub use delta::StageDelta;
 pub use fault::{
     FaultEvent, FaultKind, FaultOutcome, FaultPlan, FaultWindowStats, KvLinkSpec, LoadTrigger,
@@ -103,8 +121,9 @@ pub use policy::{
 };
 pub use request::{Request, RequestRecord};
 pub use router::{
-    FleetShed, KvMigration, LeastOutstandingWork, ReplicaSnapshot, RoundRobin, RouteDecision,
-    Router, RouterKind, SessionAffinity,
+    AffinityCore, ClusterContext, FleetShed, KvMigration, LeastOutstandingWork, Placement,
+    PoolRole, PoolTarget, ReplicaSnapshot, RoundRobin, RouteDecision, Router, RouterKind,
+    SessionAffinity,
 };
 pub use scenario::{
     AdaptiveChunk, ConversationSpec, PendingRequest, Scenario, ScenarioSimulation, SloTier,

@@ -24,9 +24,42 @@
 //!
 //! Routers are deterministic: same arrival stream + same snapshots =
 //! same placement, which is what keeps cluster runs seed-stable.
+//!
+//! # Two-dimensional placement
+//!
+//! A disaggregated fleet (see [`crate::cluster::DisaggPlan`]) splits
+//! replicas into a prefill pool and a decode pool, so a request needs
+//! *two* replica picks: where its prompt runs and where its generated
+//! KV lands. [`Router::place`] is that decision — a [`Placement`]
+//! holding one [`PoolTarget`] per phase. The default implementation
+//! makes every one-dimensional router pool-aware for free: in a
+//! colocated fleet it wraps [`Router::decide`] exactly once (so the
+//! classic path is byte-identical to the pre-placement API), and in a
+//! disaggregated fleet it runs the router once per pool against a
+//! masked snapshot view in which the other pool's replicas are shown
+//! as non-accepting — a discipline every shipped router already
+//! honors. See `docs/placement-api.md` for the full model.
 
 use crate::fault::KvLinkSpec;
 use crate::scenario::PendingRequest;
+
+/// A replica's role in the fleet. Classic fleets are entirely
+/// [`PoolRole::Colocated`]; a [`crate::cluster::DisaggPlan`] splits
+/// the fleet into prefill-only and decode-only pools.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PoolRole {
+    /// Runs both phases (the classic, non-disaggregated default).
+    #[default]
+    Colocated,
+    /// Runs prompts only and hands finished KV to a decode replica.
+    Prefill,
+    /// Runs decode batches only; joins arrive as priced KV transfers.
+    Decode,
+}
+
+/// A placement target inside one pool: the replica's index in the
+/// cluster's replica list.
+pub type PoolTarget = usize;
 
 /// One replica's state as shown to a [`Router`] at routing time.
 /// Replicas run on one shared virtual clock but their local frontiers
@@ -62,6 +95,16 @@ pub struct ReplicaSnapshot {
     /// cap truncated it); routers must avoid non-accepting replicas
     /// while an accepting one exists.
     pub accepting: bool,
+    /// The replica's pool role ([`PoolRole::Colocated`] in a classic
+    /// fleet). [`Router::place`]'s default masks the snapshots by this
+    /// field, so one-dimensional routers never need to read it.
+    pub role: PoolRole,
+    /// Bytes of finished prefill KV assigned to stream to this replica
+    /// but not yet delivered (disaggregated decode replicas only; 0
+    /// elsewhere). Pending joins also count in
+    /// [`ReplicaSnapshot::queued`], so load-based routers price them
+    /// without reading this field.
+    pub transfer_backlog_bytes: u64,
 }
 
 impl ReplicaSnapshot {
@@ -145,6 +188,83 @@ impl RouteDecision {
     }
 }
 
+/// A two-dimensional routing decision: which replica runs the
+/// request's prompt and which replica its generated tokens — the
+/// colocated case being the degenerate one where both targets are the
+/// same replica. Produced by [`Router::place`]; the extra fields
+/// carry the [`RouteDecision`] escape hatches (KV migration, fleet
+/// shed) through unchanged.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Placement {
+    /// The replica that runs the prompt.
+    pub prefill: PoolTarget,
+    /// The replica the request decodes on. Equal to
+    /// [`Placement::prefill`] when colocated; in a disaggregated fleet
+    /// this is fixed at admission time and the finished KV is shipped
+    /// there as one priced transfer.
+    pub decode: PoolTarget,
+    /// As [`RouteDecision::migrate_from`] (colocated placements only;
+    /// disaggregated handoffs move KV through the prefill→decode
+    /// transfer instead).
+    pub migrate_from: Option<usize>,
+    /// As [`RouteDecision::defer_until_s`].
+    pub defer_until_s: Option<f64>,
+}
+
+impl Placement {
+    /// The degenerate placement: both phases on `replica`.
+    pub fn colocated(replica: usize) -> Self {
+        Self {
+            prefill: replica,
+            decode: replica,
+            migrate_from: None,
+            defer_until_s: None,
+        }
+    }
+
+    /// A split placement: prompt on `prefill`, generation on `decode`.
+    pub fn split(prefill: PoolTarget, decode: PoolTarget) -> Self {
+        Self {
+            prefill,
+            decode,
+            migrate_from: None,
+            defer_until_s: None,
+        }
+    }
+
+    /// Lift a one-dimensional [`RouteDecision`] into the placement
+    /// space (prefill and decode on the decided replica).
+    pub fn from_decision(decision: RouteDecision) -> Self {
+        Self {
+            prefill: decision.replica,
+            decode: decision.replica,
+            migrate_from: decision.migrate_from,
+            defer_until_s: decision.defer_until_s,
+        }
+    }
+
+    /// Whether both phases land on one replica.
+    pub fn is_colocated(&self) -> bool {
+        self.prefill == self.decode
+    }
+}
+
+/// A copy of `replicas` in which every replica outside `role`'s pool
+/// is shown as non-accepting — the masking that turns a
+/// one-dimensional router into a per-pool picker.
+fn pool_view(replicas: &[ReplicaSnapshot], role: PoolRole) -> Vec<ReplicaSnapshot> {
+    replicas
+        .iter()
+        .map(|r| {
+            let mut r = *r;
+            if r.role != role {
+                r.accepting = false;
+            }
+            r
+        })
+        .collect()
+}
+
 /// Picks the replica an arriving request queues on.
 pub trait Router {
     /// Display name for reports.
@@ -159,6 +279,30 @@ pub trait Router {
     /// migration-aware routers override this instead.
     fn decide(&mut self, request: &PendingRequest, replicas: &[ReplicaSnapshot]) -> RouteDecision {
         RouteDecision::place(self.route(request, replicas))
+    }
+
+    /// Two-dimensional placement: where the prompt runs and where the
+    /// request decodes. The default makes any router pool-aware:
+    ///
+    /// * No prefill pool in the fleet → one [`Router::decide`] call,
+    ///   lifted to a colocated placement — *byte-identical* to the
+    ///   one-dimensional API (the cluster pins this by proptest).
+    /// * Disaggregated fleet → one [`Router::decide`] call per pool
+    ///   against a masked view where the other pool is non-accepting
+    ///   (`pool_view`); KV migration is dropped (the handoff moves
+    ///   the KV), deferrals from either pool are honored.
+    fn place(&mut self, request: &PendingRequest, replicas: &[ReplicaSnapshot]) -> Placement {
+        if !replicas.iter().any(|r| r.role == PoolRole::Prefill) {
+            return Placement::from_decision(self.decide(request, replicas));
+        }
+        let prefill = self.decide(request, &pool_view(replicas, PoolRole::Prefill));
+        let decode = self.decide(request, &pool_view(replicas, PoolRole::Decode));
+        Placement {
+            prefill: prefill.replica,
+            decode: decode.replica,
+            migrate_from: None,
+            defer_until_s: prefill.defer_until_s.or(decode.defer_until_s),
+        }
     }
 
     /// The router's mutable state as opaque words, for cluster
@@ -179,6 +323,11 @@ pub trait Router {
 #[derive(Debug, Clone, Copy, Default)]
 pub struct RoundRobin {
     next: usize,
+    /// Decode-pool rotation cursor, touched only by split placements —
+    /// a shared cursor parity-locks on contiguous pool layouts (the
+    /// masked skips advance it by a full cycle per placement, so both
+    /// pools would pin to one replica each).
+    decode_next: usize,
 }
 
 impl Router for RoundRobin {
@@ -203,13 +352,32 @@ impl Router for RoundRobin {
         pick
     }
 
+    fn place(&mut self, request: &PendingRequest, replicas: &[ReplicaSnapshot]) -> Placement {
+        if !replicas.iter().any(|r| r.role == PoolRole::Prefill) {
+            return Placement::from_decision(self.decide(request, replicas));
+        }
+        let prefill = self.route(request, &pool_view(replicas, PoolRole::Prefill));
+        core::mem::swap(&mut self.next, &mut self.decode_next);
+        let decode = self.route(request, &pool_view(replicas, PoolRole::Decode));
+        core::mem::swap(&mut self.next, &mut self.decode_next);
+        Placement {
+            prefill,
+            decode,
+            migrate_from: None,
+            defer_until_s: None,
+        }
+    }
+
     fn export_state(&self) -> Vec<u64> {
-        vec![self.next as u64]
+        vec![self.next as u64, self.decode_next as u64]
     }
 
     fn import_state(&mut self, state: &[u64]) {
         if let Some(&next) = state.first() {
             self.next = next as usize;
+        }
+        if let Some(&next) = state.get(1) {
+            self.decode_next = next as usize;
         }
     }
 }
@@ -230,20 +398,70 @@ impl Router for LeastOutstandingWork {
     }
 }
 
-/// Session-affinity routing: a follow-up whose conversation KV is
-/// still parked on a replica goes back to that replica — the routing
-/// discipline that lets multi-turn prefix reuse survive behind a load
-/// balancer. Everything else (fresh conversations, evicted histories,
-/// and follow-ups whose pinned replica is saturated) falls through to
-/// [`LeastOutstandingWork`].
+/// The shared core of the affinity-family routers
+/// ([`SessionAffinity`], [`KvMigration`] and their pool-aware uses
+/// through [`Router::place`]): find the replica holding the longest
+/// resident prefix of a conversation, and decide whether to pin there
+/// or spill under a queue-pressure threshold. Exists so the two
+/// routers (which historically copy-pasted this) stay behaviorally
+/// identical by construction.
 #[derive(Debug, Clone, Copy)]
-pub struct SessionAffinity {
+pub struct AffinityCore {
     /// Spill threshold in [`ReplicaSnapshot::queue_pressure`] units:
     /// when the pinned replica's committed slots exceed this many
     /// batches, the follow-up spills to the least-loaded replica
     /// instead (re-prefilling its history there beats queueing behind
     /// a hot spot).
     pub spill_pressure: f64,
+}
+
+impl AffinityCore {
+    /// A core spilling past `spill_pressure` batches of committed
+    /// work on the pinned replica.
+    pub fn new(spill_pressure: f64) -> Self {
+        assert!(spill_pressure > 0.0, "spill pressure must be positive");
+        Self { spill_pressure }
+    }
+
+    /// The replica holding the longest resident prefix of the routed
+    /// conversation (several replicas may hold stale, shorter parks
+    /// from earlier rounds); first maximum wins on ties. With
+    /// `require_accepting`, non-accepting holders are invisible;
+    /// without it a downed holder is still found (it cannot take the
+    /// request but can be a migration source).
+    pub fn holder(
+        replicas: &[ReplicaSnapshot],
+        require_accepting: bool,
+    ) -> Option<(usize, &ReplicaSnapshot)> {
+        replicas
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| (!require_accepting || r.accepting) && r.holds_conversation())
+            .max_by(|(ia, a), (ib, b)| {
+                a.resident_history_tokens
+                    .cmp(&b.resident_history_tokens)
+                    // First maximum wins on ties.
+                    .then(ib.cmp(ia))
+            })
+    }
+
+    /// Whether the follow-up pins to `holder` rather than spilling.
+    pub fn pins(&self, holder: &ReplicaSnapshot) -> bool {
+        holder.queue_pressure() <= self.spill_pressure
+    }
+}
+
+/// Session-affinity routing: a follow-up whose conversation KV is
+/// still parked on a replica goes back to that replica — the routing
+/// discipline that lets multi-turn prefix reuse survive behind a load
+/// balancer. Everything else (fresh conversations, evicted histories,
+/// and follow-ups whose pinned replica is saturated) falls through to
+/// [`LeastOutstandingWork`]. Pin/spill logic lives in
+/// [`AffinityCore`].
+#[derive(Debug, Clone, Copy)]
+pub struct SessionAffinity {
+    /// The pin/spill core (see [`AffinityCore::spill_pressure`]).
+    pub core: AffinityCore,
     fallback: LeastOutstandingWork,
 }
 
@@ -254,9 +472,8 @@ impl SessionAffinity {
     /// Affinity routing spilling past `spill_pressure` batches of
     /// committed work on the pinned replica.
     pub fn with_spill(spill_pressure: f64) -> Self {
-        assert!(spill_pressure > 0.0, "spill pressure must be positive");
         Self {
-            spill_pressure,
+            core: AffinityCore::new(spill_pressure),
             fallback: LeastOutstandingWork,
         }
     }
@@ -276,21 +493,10 @@ impl Router for SessionAffinity {
     fn route(&mut self, request: &PendingRequest, replicas: &[ReplicaSnapshot]) -> usize {
         assert!(!replicas.is_empty(), "router consulted with no replicas");
         if request.history_tokens > 0 {
-            // Several replicas may hold prefixes of this conversation
-            // (stale parks from earlier rounds): pin to the longest
-            // resident prefix — the one that saves the most prefill.
-            let pinned = replicas
-                .iter()
-                .enumerate()
-                .filter(|(_, r)| r.accepting && r.holds_conversation())
-                .max_by(|(ia, a), (ib, b)| {
-                    a.resident_history_tokens
-                        .cmp(&b.resident_history_tokens)
-                        // First maximum wins on ties.
-                        .then(ib.cmp(ia))
-                });
-            if let Some((pinned, holder)) = pinned {
-                if holder.queue_pressure() <= self.spill_pressure {
+            // Pin to the longest resident prefix — the one that saves
+            // the most prefill.
+            if let Some((pinned, holder)) = AffinityCore::holder(replicas, true) {
+                if self.core.pins(holder) {
                     return pinned;
                 }
             }
@@ -309,12 +515,12 @@ impl Router for SessionAffinity {
 /// KV geometry.
 #[derive(Debug, Clone, Copy)]
 pub struct KvMigration {
-    /// Spill threshold in [`ReplicaSnapshot::queue_pressure`] units,
-    /// as in [`SessionAffinity::spill_pressure`]. The default is lower
-    /// (one batch, not two): with a cheap migration path, diverting
-    /// off a hot holder early costs a transfer instead of a
-    /// re-prefill, so pinning through congestion pays off less.
-    pub spill_pressure: f64,
+    /// The pin/spill core, as in [`SessionAffinity::core`]. The
+    /// default threshold is lower (one batch, not two): with a cheap
+    /// migration path, diverting off a hot holder early costs a
+    /// transfer instead of a re-prefill, so pinning through congestion
+    /// pays off less.
+    pub core: AffinityCore,
     /// The interconnect the migration would cross.
     pub link: KvLinkSpec,
     /// Estimated KV bytes per parked token (decision-making only).
@@ -338,7 +544,7 @@ impl KvMigration {
             "prefill throughput must be positive"
         );
         Self {
-            spill_pressure: Self::DEFAULT_SPILL_PRESSURE,
+            core: AffinityCore::new(Self::DEFAULT_SPILL_PRESSURE),
             link,
             kv_bytes_per_token,
             prefill_tokens_per_s,
@@ -348,8 +554,7 @@ impl KvMigration {
 
     /// Override the spill threshold.
     pub fn with_spill(mut self, spill_pressure: f64) -> Self {
-        assert!(spill_pressure > 0.0, "spill pressure must be positive");
-        self.spill_pressure = spill_pressure;
+        self.core = AffinityCore::new(spill_pressure);
         self
     }
 
@@ -387,18 +592,8 @@ impl Router for KvMigration {
             // The longest resident prefix, wherever it is — a downed
             // holder cannot take the request but can still be a
             // migration source.
-            let holder = replicas
-                .iter()
-                .enumerate()
-                .filter(|(_, r)| r.holds_conversation())
-                .max_by(|(ia, a), (ib, b)| {
-                    a.resident_history_tokens
-                        .cmp(&b.resident_history_tokens)
-                        // First maximum wins on ties.
-                        .then(ib.cmp(ia))
-                });
-            if let Some((src, holder)) = holder {
-                if holder.accepting && holder.queue_pressure() <= self.spill_pressure {
+            if let Some((src, holder)) = AffinityCore::holder(replicas, false) {
+                if holder.accepting && self.core.pins(holder) {
                     return RouteDecision::place(src);
                 }
                 // The holder is down or hot: divert, and bring the KV
@@ -524,6 +719,34 @@ impl Router for FleetShed {
     }
 }
 
+/// Fleet-derived parameters a router is built against (see
+/// [`RouterKind::build_with`]): the interconnect and KV geometry that
+/// [`KvMigration`]'s estimates should match instead of guessing.
+/// Sweep drivers derive one from the fleet's comm model and replica
+/// configs rather than re-deriving the numbers ad hoc per call site.
+#[derive(Debug, Clone, Copy)]
+pub struct ClusterContext {
+    /// The interconnect KV transfers cross.
+    pub kv_link: KvLinkSpec,
+    /// KV bytes per parked token of the fleet's replicas.
+    pub kv_bytes_per_token: u64,
+    /// Estimated prefill throughput of a replica, tokens/s.
+    pub prefill_tokens_per_s: f64,
+}
+
+impl Default for ClusterContext {
+    /// The same generic large-model estimates as
+    /// [`KvMigration::default`], so `build_with(&Default::default())`
+    /// and [`RouterKind::build`] agree.
+    fn default() -> Self {
+        Self {
+            kv_link: KvLinkSpec::default(),
+            kv_bytes_per_token: 100_000,
+            prefill_tokens_per_s: 10_000.0,
+        }
+    }
+}
+
 /// The shipped routers, as a value type for sweep drivers.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RouterKind {
@@ -546,13 +769,27 @@ impl RouterKind {
         RouterKind::KvMigration,
     ];
 
-    /// Instantiate the router.
+    /// Instantiate the router with its hardcoded default estimates
+    /// (equivalent to [`RouterKind::build_with`] over
+    /// [`ClusterContext::default`]).
     pub fn build(self) -> Box<dyn Router> {
+        self.build_with(&ClusterContext::default())
+    }
+
+    /// Instantiate the router against fleet-derived parameters:
+    /// [`KvMigration`] prices its ship-vs-reprefill decision with the
+    /// fleet's actual link and KV geometry; the state-only routers
+    /// ignore the context.
+    pub fn build_with(self, ctx: &ClusterContext) -> Box<dyn Router> {
         match self {
             RouterKind::RoundRobin => Box::new(RoundRobin::default()),
             RouterKind::LeastOutstandingWork => Box::new(LeastOutstandingWork),
             RouterKind::SessionAffinity => Box::new(SessionAffinity::default()),
-            RouterKind::KvMigration => Box::new(KvMigration::default()),
+            RouterKind::KvMigration => Box::new(KvMigration::new(
+                ctx.kv_link,
+                ctx.kv_bytes_per_token,
+                ctx.prefill_tokens_per_s,
+            )),
         }
     }
 
@@ -584,6 +821,8 @@ mod tests {
             weight,
             resident_history_tokens: 0,
             accepting: true,
+            role: PoolRole::Colocated,
+            transfer_backlog_bytes: 0,
         }
     }
 
@@ -812,6 +1051,122 @@ mod tests {
         // words verbatim.
         assert!(Router::export_state(&shed).is_empty());
         assert_eq!(shed.name(), "fleet-shed");
+    }
+
+    #[test]
+    fn colocated_place_wraps_decide_exactly() {
+        // In a fleet with no prefill pool, place() must be the
+        // one-dimensional decision lifted verbatim — for every shipped
+        // router, including the stateful ones (one decide per place,
+        // so RoundRobin's cursor advances identically).
+        for kind in RouterKind::ALL {
+            let mut via_decide = kind.build();
+            let mut via_place = kind.build();
+            let mut snaps = vec![snapshot(500, 1.0), snapshot(10, 1.0), snapshot(90, 1.0)];
+            snaps[2].resident_history_tokens = 64;
+            for (i, req) in [request(0), request(64), request(0), request(64)]
+                .iter()
+                .enumerate()
+            {
+                snaps[i % 3].queued += i;
+                let d = via_decide.decide(req, &snaps);
+                let p = via_place.place(req, &snaps);
+                assert_eq!(p, Placement::from_decision(d), "{}", kind.name());
+                assert!(p.is_colocated());
+            }
+        }
+    }
+
+    #[test]
+    fn disaggregated_place_picks_one_replica_per_pool() {
+        let mut snaps = vec![
+            snapshot(500, 1.0),
+            snapshot(10, 1.0),
+            snapshot(400, 1.0),
+            snapshot(20, 1.0),
+        ];
+        snaps[0].role = PoolRole::Prefill;
+        snaps[1].role = PoolRole::Prefill;
+        snaps[2].role = PoolRole::Decode;
+        snaps[3].role = PoolRole::Decode;
+        let mut jsq = LeastOutstandingWork;
+        let p = jsq.place(&request(0), &snaps);
+        assert_eq!(
+            p,
+            Placement::split(1, 3),
+            "least-outstanding picks the lightest replica of each pool"
+        );
+        assert!(!p.is_colocated());
+        // Round-robin cycles within each pool (independent cursors, so
+        // contiguous pool layouts don't parity-lock onto one replica).
+        let mut rr = RoundRobin::default();
+        let first = rr.place(&request(0), &snaps);
+        let second = rr.place(&request(0), &snaps);
+        assert_eq!(first, Placement::split(0, 2));
+        assert_eq!(second, Placement::split(1, 3));
+        // Migration requests are dropped in split placements: the
+        // prefill→decode handoff moves the KV instead.
+        snaps[2].resident_history_tokens = 64;
+        snaps[2].queued = 64;
+        let mut mig = KvMigration::default();
+        let p = mig.place(&request(64), &snaps);
+        assert_eq!(p.migrate_from, None);
+        assert_eq!(p.decode, 3, "spilled off the hot holder within the pool");
+    }
+
+    #[test]
+    fn pool_masking_respects_downed_replicas() {
+        // A drained prefill replica is skipped within its pool.
+        let mut snaps = vec![snapshot(0, 1.0), snapshot(500, 1.0), snapshot(0, 1.0)];
+        snaps[0].role = PoolRole::Prefill;
+        snaps[1].role = PoolRole::Prefill;
+        snaps[0].accepting = false;
+        snaps[2].role = PoolRole::Decode;
+        let p = LeastOutstandingWork.place(&request(0), &snaps);
+        assert_eq!(p, Placement::split(1, 2));
+    }
+
+    #[test]
+    fn affinity_core_matches_the_router_filters() {
+        // require_accepting=true is SessionAffinity's view;
+        // false is KvMigration's (a downed holder is still a source).
+        let mut snaps = vec![snapshot(0, 1.0), snapshot(0, 1.0)];
+        snaps[0].resident_history_tokens = 88;
+        snaps[1].resident_history_tokens = 68;
+        snaps[0].accepting = false;
+        assert_eq!(AffinityCore::holder(&snaps, true).map(|(i, _)| i), Some(1));
+        assert_eq!(AffinityCore::holder(&snaps, false).map(|(i, _)| i), Some(0));
+        let core = AffinityCore::new(1.0);
+        let mut hot = snapshot(0, 1.0);
+        hot.in_flight = 8;
+        hot.queued = 1;
+        assert!(!core.pins(&hot), "9/8 batches exceeds a 1.0 threshold");
+        hot.queued = 0;
+        assert!(core.pins(&hot));
+    }
+
+    #[test]
+    fn build_with_threads_the_cluster_context() {
+        // A 1 B/s link through the context must make the built
+        // kv-migration router decline transfers, exactly like
+        // constructing it by hand.
+        let ctx = ClusterContext {
+            kv_link: KvLinkSpec::new(1.0, 0.0),
+            kv_bytes_per_token: 100_000,
+            prefill_tokens_per_s: 10_000.0,
+        };
+        let mut built = RouterKind::KvMigration.build_with(&ctx);
+        let mut snaps = vec![snapshot(500, 1.0), snapshot(10, 1.0)];
+        snaps[0].resident_history_tokens = 64;
+        snaps[0].accepting = false;
+        assert_eq!(
+            built.decide(&request(64), &snaps),
+            RouteDecision::place(1),
+            "slow link declines the migration"
+        );
+        for kind in RouterKind::ALL {
+            assert_eq!(kind.build_with(&ctx).name(), kind.name());
+        }
     }
 
     #[test]

@@ -75,6 +75,7 @@ use crate::metrics::{
 };
 use crate::policy::{PolicyContext, SchedulingPolicy};
 use crate::request::{Request, RequestRecord};
+use crate::router::PoolRole;
 use crate::scheduler::{SimulationConfig, StageExecutor};
 use crate::snapshot::{
     ActiveState, ChunkingState, DigestState, KvState, ReplicaState, StreamState, TierState,
@@ -180,7 +181,13 @@ impl AdaptiveChunk {
 }
 
 /// A complete serving scenario: shapes, arrivals, conversations, SLOs.
+///
+/// Construct with [`Scenario::new`] plus the `with_*` builders — the
+/// struct is `#[non_exhaustive]`, so literal construction outside this
+/// crate is not supported (new knobs may be added without a breaking
+/// change).
 #[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
 pub struct Scenario {
     /// Display name.
     pub name: String,
@@ -596,6 +603,17 @@ pub(crate) enum RetireEvent {
     },
 }
 
+/// A finished prefill waiting to ship to its decode replica: buffered
+/// during [`ReplicaSim::step`] exactly like [`RetireEvent`]s and
+/// delivered by the cluster at the next merge point, where the KV
+/// transfer is priced over the pool interconnect.
+pub(crate) struct HandoffEvent {
+    /// The request whose prompt just finished prefilling here.
+    pub(crate) pending: PendingRequest,
+    /// The replica clock when the last prefill slice completed.
+    pub(crate) done_s: f64,
+}
+
 /// One replica's continuous-batching event loop: routed requests enter
 /// through [`ReplicaSim::enqueue`], [`ReplicaSim::step`] forms and
 /// executes one stage, and the accumulated metrics leave through
@@ -638,6 +656,18 @@ pub(crate) struct ReplicaSim {
     /// Conversation events buffered by [`ReplicaSim::step`], applied
     /// at the next merge point (capacity reused across steps).
     retire_events: Vec<RetireEvent>,
+    /// Pool role under disaggregated serving: `Colocated` replicas run
+    /// both phases (the default, byte-identical to the pre-pool
+    /// behavior), `Prefill` replicas only run prompts and hand the KV
+    /// off, `Decode` replicas receive those handoffs as parked KV.
+    role: PoolRole,
+    /// Finished prefill-pool prompts awaiting KV transfer, buffered
+    /// like `retire_events` and drained by the cluster at merge points.
+    handoffs: Vec<HandoffEvent>,
+    /// Within-step scratch: prompts whose final prefill slice is in the
+    /// stage being formed; they become [`HandoffEvent`]s once the stage
+    /// executes and the clock advances (capacity reused across steps).
+    finished_prefills: Vec<PendingRequest>,
     /// Router-facing admission flag: false while a fault plan has this
     /// replica down or draining. Orthogonal to the stage cap.
     admitting: bool,
@@ -707,6 +737,9 @@ impl ReplicaSim {
             tier_stats,
             kv_reuse: KvReuseStats::default(),
             retire_events: Vec::new(),
+            role: PoolRole::Colocated,
+            handoffs: Vec::new(),
+            finished_prefills: Vec::new(),
             admitting: true,
             draining: false,
             perf_factor: 1.0,
@@ -835,6 +868,47 @@ impl ReplicaSim {
         self.perf_factor = factor;
     }
 
+    /// Page granularity for the parked pool a decode replica creates to
+    /// receive prefill handoffs when the scenario itself has no
+    /// conversation spec (and hence no pool of its own).
+    const HANDOFF_PAGE_TOKENS: u64 = 16;
+
+    /// Assign this replica's pool role before the run starts (or before
+    /// a snapshot import). A `Decode` replica must announce decode-join
+    /// contexts — handed-off prompts join above their shipped KV — and
+    /// needs a parked pool to receive that KV even in single-shot
+    /// scenarios.
+    pub(crate) fn set_role(&mut self, role: PoolRole) {
+        self.role = role;
+        if role == PoolRole::Decode {
+            self.announce_ctx = true;
+            if self.parked.is_none() {
+                self.parked = Some(PagedKvCache::new(
+                    self.config.kv_capacity_bytes,
+                    Self::HANDOFF_PAGE_TOKENS,
+                    self.config.kv_bytes_per_token.max(1),
+                    EvictionPolicy::Recompute,
+                ));
+            }
+        }
+    }
+
+    pub(crate) fn role(&self) -> PoolRole {
+        self.role
+    }
+
+    /// Whether [`ReplicaSim::step`] buffered finished prefills whose KV
+    /// must ship to the decode pool before this replica's window can
+    /// continue.
+    pub(crate) fn has_handoffs(&self) -> bool {
+        !self.handoffs.is_empty()
+    }
+
+    /// Take the buffered prefill→decode handoffs, in completion order.
+    pub(crate) fn take_handoffs(&mut self) -> Vec<HandoffEvent> {
+        std::mem::take(&mut self.handoffs)
+    }
+
     /// Hard-crash this replica at a merge point: every queued,
     /// chunking and decoding request is lost (returned sorted by
     /// request id for deterministic retry order), the parked KV pool
@@ -843,7 +917,7 @@ impl ReplicaSim {
     /// next `execute_delta` rebuilds its batch state from scratch.
     pub(crate) fn crash(&mut self) -> Vec<PendingRequest> {
         debug_assert!(
-            self.admitted.is_empty() && self.retire_events.is_empty(),
+            self.admitted.is_empty() && self.retire_events.is_empty() && self.handoffs.is_empty(),
             "crash applied outside a merge point"
         );
         let mut lost: Vec<PendingRequest> = Vec::new();
@@ -857,10 +931,16 @@ impl ReplicaSim {
         }
         self.reserved = 0;
         self.delta = StageDelta::start();
-        if let Some(spec) = &self.conversation {
+        if self.parked.is_some() {
+            // Wipe the parked pool (conversation histories or received
+            // prefill handoffs alike are gone with the replica).
+            let page_tokens = self
+                .conversation
+                .as_ref()
+                .map_or(Self::HANDOFF_PAGE_TOKENS, |spec| spec.page_tokens);
             self.parked = Some(PagedKvCache::new(
                 self.config.kv_capacity_bytes,
-                spec.page_tokens,
+                page_tokens,
                 self.config.kv_bytes_per_token.max(1),
                 EvictionPolicy::Recompute,
             ));
@@ -1065,6 +1145,17 @@ impl ReplicaSim {
             let past = c.history + c.processed;
             budget -= slice;
             if slice == remaining {
+                if self.role == PoolRole::Prefill {
+                    // Final slice of a prefill-pool prompt: held like
+                    // any other chunk (the decode replica samples the
+                    // first token at the join), then ships after this
+                    // stage executes.
+                    self.delta.chunk.push((slice, past));
+                    self.shape.push_prefill(slice, past, true);
+                    let done = self.chunking.remove(ci);
+                    self.finished_prefills.push(done.pending);
+                    continue;
+                }
                 // Final slice: samples the first token and joins the
                 // decode set at the full prompt context.
                 self.delta.admit.push(slice);
@@ -1087,14 +1178,24 @@ impl ReplicaSim {
         }
 
         // ---- policy-driven admission ----
-        while self.active.len() + self.admitted.len() + self.chunking.len() < self.config.max_batch
+        // `finished_prefills` holds this stage's final slices: they
+        // still occupy batch slots until the stage executes (always
+        // empty outside prefill-pool replicas).
+        while self.active.len()
+            + self.admitted.len()
+            + self.chunking.len()
+            + self.finished_prefills.len()
+            < self.config.max_batch
             && !self.pending.is_empty()
             && budget > 0
         {
             let pctx = PolicyContext {
                 now_s: self.clock,
                 prefill_chunk: (stage_budget != u64::MAX).then_some(stage_budget),
-                in_flight: self.active.len() + self.admitted.len() + self.chunking.len(),
+                in_flight: self.active.len()
+                    + self.admitted.len()
+                    + self.chunking.len()
+                    + self.finished_prefills.len(),
                 max_batch: self.config.max_batch,
             };
             let Some(idx) = policy.admit_now(&self.pending, &pctx) else {
@@ -1110,7 +1211,14 @@ impl ReplicaSim {
                 "policy picked index {idx} of {}",
                 self.pending.len()
             );
-            let need = self.pending[idx].request.max_kv_tokens() * bytes_per_token;
+            // A prefill-pool replica only ever holds the prompt's KV
+            // (the decode reservation happens at the decode replica);
+            // colocated and decode replicas reserve the full budget.
+            let need = if self.role == PoolRole::Prefill {
+                self.pending[idx].request.input_len * bytes_per_token
+            } else {
+                self.pending[idx].request.max_kv_tokens() * bytes_per_token
+            };
             if self.reserved.saturating_add(need) > self.config.kv_capacity_bytes {
                 // Even evicting every parked history cannot admit:
                 // wait for retirements (head-of-line block).
@@ -1163,10 +1271,42 @@ impl ReplicaSim {
                     self.kv_reuse.parked_evictions += 1;
                 }
             }
-            self.kv_reuse.prefilled_tokens += prefill;
             self.reserved += need;
             // The new tokens cross-attend over any reused history.
             let resident = p.request.input_len - prefill;
+            if self.role == PoolRole::Prefill {
+                // Prefill pool: run all but the final prompt token here
+                // — that one prefills at the decode replica when the
+                // shipped KV joins its batch — and never decode.
+                let total = prefill.saturating_sub(1);
+                self.kv_reuse.prefilled_tokens += total;
+                if total == 0 {
+                    // One-token prompt: the KV handoff is the whole
+                    // job, no stage work at all.
+                    self.reserved -= need;
+                    self.handoffs.push(HandoffEvent {
+                        pending: p,
+                        done_s: self.clock,
+                    });
+                    continue;
+                }
+                let slice = total.min(budget);
+                budget -= slice;
+                self.delta.chunk.push((slice, resident));
+                self.shape.push_prefill(slice, resident, true);
+                if slice == total {
+                    self.finished_prefills.push(p);
+                } else {
+                    self.chunking.push(ChunkingRequest {
+                        pending: p,
+                        history: resident,
+                        processed: slice,
+                        prefill_total: total,
+                    });
+                }
+                continue;
+            }
+            self.kv_reuse.prefilled_tokens += prefill;
             let slice = prefill.min(budget);
             budget -= slice;
             if slice < prefill {
@@ -1194,11 +1334,17 @@ impl ReplicaSim {
             }
         }
 
-        assert!(
-            self.in_flight(),
-            "step called with no admissible work (queue {} requests)",
-            self.pending.len() + self.inbox.len()
-        );
+        // A prefill-pool stage may consist entirely of final slices
+        // (nothing survives into `chunking`), and one-token prompts
+        // hand off with no stage at all.
+        if !self.in_flight() && self.finished_prefills.is_empty() {
+            assert!(
+                !self.handoffs.is_empty(),
+                "step called with no admissible work (queue {} requests)",
+                self.pending.len() + self.inbox.len()
+            );
+            return;
+        }
 
         // ---- execute the stage ----
         self.shape.decode_ctx.clear();
@@ -1238,6 +1384,18 @@ impl ReplicaSim {
             self.stages.push(record);
         }
         self.shape.clear_prefills();
+
+        // Finished prefill-pool prompts ship after the stage that ran
+        // their last slice: stamp the post-stage clock, release the
+        // prompt KV this replica held while prefilling, and buffer the
+        // handoff for the cluster's merge point.
+        if !self.finished_prefills.is_empty() {
+            let done_s = self.clock;
+            for p in self.finished_prefills.drain(..) {
+                self.reserved -= p.request.input_len * bytes_per_token;
+                self.handoffs.push(HandoffEvent { pending: p, done_s });
+            }
+        }
 
         // One TBT sample per decoding request; `tier_active` tracks the
         // active set's per-tier counts incrementally (updated on admit
@@ -1401,7 +1559,7 @@ impl ReplicaSim {
                 break;
             }
             self.step(policy, executor);
-            if self.has_retire_events() {
+            if self.has_retire_events() || self.has_handoffs() {
                 break;
             }
         }
@@ -1437,6 +1595,10 @@ impl ReplicaSim {
         assert!(
             self.retire_events.is_empty(),
             "snapshot outside a merge point: undrained retire events"
+        );
+        assert!(
+            self.handoffs.is_empty(),
+            "snapshot outside a merge point: undelivered prefill handoffs"
         );
         debug_assert!(
             self.delta.admit.is_empty()

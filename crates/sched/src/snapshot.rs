@@ -25,7 +25,7 @@
 //! # Serialization
 //!
 //! [`ClusterSnapshot::to_json`] writes a self-describing JSON document
-//! (schema id `duplex/cluster-snapshot/v3`) that
+//! (schema id `duplex/cluster-snapshot/v4`) that
 //! [`ClusterSnapshot::from_json`] parses back. Version 2 extended v1
 //! with fault-drill state: per-replica admission/drain flags, the
 //! fault perf factor, the generated-token timeline, per-fault SLO
@@ -33,9 +33,12 @@
 //! fault event queue. Version 3 extends v2 with elastic-fleet state:
 //! per-replica down-time accounting, load-trigger arming, and the
 //! autoscale runtime (pending scale events, pool membership,
-//! hysteresis streaks, scale counters). Older documents are rejected
-//! with a message naming both versions rather than silently resuming
-//! without the newer state. Exactness rules:
+//! hysteresis streaks, scale counters). Version 4 extends v3 with
+//! disaggregated-placement state: the admission-time decode
+//! assignments of every request still prefilling, plus the fleet's
+//! handoff/transfer counters. Older documents are rejected with a
+//! message naming both versions rather than silently resuming without
+//! the newer state. Exactness rules:
 //!
 //! * every `u64` is a quoted decimal string (RNG words use all 64
 //!   bits, beyond `f64`'s integer range);
@@ -196,6 +199,22 @@ pub(crate) struct AutoscaleState {
     pub(crate) scale_up_lag_s: f64,
 }
 
+/// The disaggregation runtime's dynamic state: the admission-time
+/// decode assignment of every request still prefilling, as
+/// `(request id, decode replica, KV bytes to ship)` triples sorted by
+/// request id, plus the fleet's handoff/transfer counters mirrored
+/// from [`crate::DisaggStats`]. Per-replica handoff buffers are
+/// provably empty at merge points, so assignments are the *entire*
+/// in-flight transfer state.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct DisaggState {
+    pub(crate) assignments: Vec<(u64, u64, u64)>,
+    pub(crate) handoffs: u64,
+    pub(crate) kv_bytes_shipped: u64,
+    pub(crate) transfer_seconds: f64,
+    pub(crate) reprefills: u64,
+}
+
 /// A paused cluster run: everything needed to continue it later —
 /// in-process via `crate::ClusterSimulation::resume`, or across
 /// processes through [`to_json`](Self::to_json) /
@@ -229,13 +248,17 @@ pub struct ClusterSnapshot {
     /// Autoscale runtime state; present exactly when the run has an
     /// [`crate::AutoscalePolicy`] attached.
     pub(crate) autoscale: Option<AutoscaleState>,
+    /// Disaggregation runtime state; present exactly when the run has
+    /// a [`crate::DisaggPlan`] attached.
+    pub(crate) disagg: Option<DisaggState>,
 }
 
 /// The schema id written by [`ClusterSnapshot::to_json`].
-const SCHEMA: &str = "duplex/cluster-snapshot/v3";
+const SCHEMA: &str = "duplex/cluster-snapshot/v4";
 /// Retired schema ids, recognized only to produce clear errors.
 const SCHEMA_V1: &str = "duplex/cluster-snapshot/v1";
 const SCHEMA_V2: &str = "duplex/cluster-snapshot/v2";
+const SCHEMA_V3: &str = "duplex/cluster-snapshot/v3";
 
 impl ClusterSnapshot {
     /// The virtual time the run paused at.
@@ -248,7 +271,7 @@ impl ClusterSnapshot {
         self.replicas.len()
     }
 
-    /// Serialize to the `duplex/cluster-snapshot/v3` JSON document.
+    /// Serialize to the `duplex/cluster-snapshot/v4` JSON document.
     pub fn to_json(&self) -> String {
         let mut w = Writer::new();
         w.obj_open();
@@ -277,6 +300,11 @@ impl ClusterSnapshot {
             Some(a) => write_autoscale(&mut w, a),
             None => w.out.push_str("null"),
         }
+        w.key("disagg");
+        match &self.disagg {
+            Some(d) => write_disagg(&mut w, d),
+            None => w.out.push_str("null"),
+        }
         w.obj_close();
         w.out
     }
@@ -303,6 +331,11 @@ impl ClusterSnapshot {
                     "snapshot schema {schema:?} predates autoscale-aware snapshots \
                      and cannot be resumed; re-take it as {SCHEMA:?}"
                 )
+            } else if schema == SCHEMA_V3 {
+                format!(
+                    "snapshot schema {schema:?} predates disaggregated-placement \
+                     snapshots and cannot be resumed; re-take it as {SCHEMA:?}"
+                )
             } else {
                 format!("unsupported snapshot schema {schema:?} (expected {SCHEMA:?})")
             });
@@ -315,6 +348,10 @@ impl ClusterSnapshot {
             JsonValue::Null => None,
             a => Some(read_autoscale(a)?),
         };
+        let disagg = match get(&v, "disagg")? {
+            JsonValue::Null => None,
+            d => Some(read_disagg(d)?),
+        };
         Ok(ClusterSnapshot {
             taken_at_s: get_f64(&v, "taken_at_s")?,
             router: get_u64_array(&v, "router")?,
@@ -326,6 +363,7 @@ impl ClusterSnapshot {
             stats: read_stats(get(&v, "stats")?)?,
             fault,
             autoscale,
+            disagg,
         })
     }
 }
@@ -601,6 +639,22 @@ fn write_autoscale(w: &mut Writer, a: &AutoscaleState) {
     w.u64_field("scale_ups", a.scale_ups);
     w.u64_field("scale_downs", a.scale_downs);
     w.f64_field("scale_up_lag_s", a.scale_up_lag_s);
+    w.obj_close();
+}
+
+fn write_disagg(w: &mut Writer, d: &DisaggState) {
+    w.obj_open();
+    w.key("assignments");
+    w.arr_open();
+    for &(id, decode, bytes) in &d.assignments {
+        w.item();
+        w.u64_array(&[id, decode, bytes]);
+    }
+    w.arr_close();
+    w.u64_field("handoffs", d.handoffs);
+    w.u64_field("kv_bytes_shipped", d.kv_bytes_shipped);
+    w.f64_field("transfer_seconds", d.transfer_seconds);
+    w.u64_field("reprefills", d.reprefills);
     w.obj_close();
 }
 
@@ -996,6 +1050,23 @@ fn read_autoscale(v: &JsonValue) -> Result<AutoscaleState, String> {
     })
 }
 
+fn read_disagg(v: &JsonValue) -> Result<DisaggState, String> {
+    let assignments = get_arr(v, "assignments")?
+        .iter()
+        .map(|a| {
+            let row = u64_row(a, 3, "disagg assignment")?;
+            Ok((row[0], row[1], row[2]))
+        })
+        .collect::<Result<Vec<_>, String>>()?;
+    Ok(DisaggState {
+        assignments,
+        handoffs: get_u64(v, "handoffs")?,
+        kv_bytes_shipped: get_u64(v, "kv_bytes_shipped")?,
+        transfer_seconds: get_f64(v, "transfer_seconds")?,
+        reprefills: get_u64(v, "reprefills")?,
+    })
+}
+
 fn read_replica(v: &JsonValue) -> Result<ReplicaState, String> {
     let active = get_arr(v, "active")?
         .iter()
@@ -1319,6 +1390,13 @@ mod tests {
                 scale_downs: 1,
                 scale_up_lag_s: 2.5,
             }),
+            disagg: Some(DisaggState {
+                assignments: vec![(35, 1, 4800), (42, 0, 6400)],
+                handoffs: 9,
+                kv_bytes_shipped: 3 << 20,
+                transfer_seconds: 0.75e-3,
+                reprefills: 1,
+            }),
         }
     }
 
@@ -1368,6 +1446,31 @@ mod tests {
     }
 
     #[test]
+    fn from_json_explains_the_retired_v3_schema() {
+        let v3 = format!(r#"{{"schema": "{SCHEMA_V3}"}}"#);
+        let err = ClusterSnapshot::from_json(&v3).expect_err("v3 rejected");
+        assert!(err.contains(SCHEMA_V3), "{err}");
+        assert!(err.contains(SCHEMA), "{err}");
+        assert!(err.contains("disaggregated"), "names what v3 lacks: {err}");
+        assert!(err.contains("re-take"), "tells the user what to do: {err}");
+    }
+
+    #[test]
+    fn corrupt_disagg_state_is_a_described_error_not_a_panic() {
+        let full = sample().to_json();
+        // Truncate a 3-element assignment triple to 2 elements.
+        let text = full.replace("[\"35\",\"1\",\"4800\"]", "[\"35\",\"1\"]");
+        assert_ne!(text, full, "the fixture assignment row was found");
+        let err = ClusterSnapshot::from_json(&text).expect_err("bad assignment");
+        assert!(err.contains("disagg assignment"), "{err}");
+        // A non-integer handoff counter.
+        let text = full.replace("\"handoffs\":\"9\"", "\"handoffs\":\"lots\"");
+        assert_ne!(text, full);
+        let err = ClusterSnapshot::from_json(&text).expect_err("bad counter");
+        assert!(err.contains("handoffs"), "{err}");
+    }
+
+    #[test]
     fn missing_fields_name_the_culprit() {
         let mut snap = sample();
         snap.replicas.clear();
@@ -1404,10 +1507,12 @@ mod tests {
         let mut snap = sample();
         snap.fault = None;
         snap.autoscale = None;
+        snap.disagg = None;
         snap.stats = RecoveryStats::default();
         let back = ClusterSnapshot::from_json(&snap.to_json()).expect("parses");
         assert_eq!(back, snap);
         assert!(back.fault.is_none());
         assert!(back.autoscale.is_none());
+        assert!(back.disagg.is_none());
     }
 }

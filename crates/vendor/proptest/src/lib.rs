@@ -100,7 +100,7 @@ macro_rules! tuple_strategy {
     )*};
 }
 
-tuple_strategy!((A, B)(A, B, C)(A, B, C, D));
+tuple_strategy!((A, B)(A, B, C)(A, B, C, D)(A, B, C, D, E)(A, B, C, D, E, F));
 
 /// `Option` strategies (mirrors `proptest::option`).
 pub mod option {

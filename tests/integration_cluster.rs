@@ -16,8 +16,8 @@
 //! them.
 
 use duplex::experiments::{
-    autoscale_drill, build_cluster, cluster_suite, run_cluster, run_cluster_with, ClusterRow,
-    ClusterSpec, Scale,
+    autoscale_drill, build_cluster, cluster_suite, grok_disagg, run_cluster, run_cluster_with,
+    ClusterRow, ClusterSpec, Scale,
 };
 use duplex::model::ModelConfig;
 use duplex::sched::{
@@ -539,4 +539,152 @@ fn a_static_fleet_rejects_an_autoscaled_snapshot() {
         .resume(&snapshot, router.as_mut(), &mut policies, &mut executors)
         .expect_err("an autoscaled snapshot cannot resume on a static fleet");
     assert!(err.contains("autoscale"), "{err}");
+}
+
+// --------------------------------------------- disaggregated serving
+
+fn disagg_rows() -> (Vec<ClusterRow>, Vec<duplex::sched::DisaggStats>) {
+    let drill = grok_disagg(&Scale::quick());
+    let mut rows = Vec::new();
+    let mut stats = Vec::new();
+    for spec in &drill {
+        let mut router = RouterKind::LeastOutstandingWork.build_with(&spec.router_context());
+        let report = run_cluster(spec, router.as_mut());
+        rows.push(ClusterRow::of(spec, "least-outstanding", &report));
+        stats.push(report.disagg);
+    }
+    (rows, stats)
+}
+
+#[test]
+fn disagg_beats_chunked_colocation_on_tail_latency() {
+    // The PR's acceptance claim, on the long-prefill Grok drill: the
+    // prefill/decode pool split beats adaptive-chunked colocation on
+    // mixed-stage TBT p99 while holding at least 90% of its generation
+    // throughput — decode stages never co-batch a prompt, so the tail
+    // stops paying for prefill stalls.
+    let (rows, stats) = disagg_rows();
+    let (colo, chunked, disagg) = (&rows[0], &rows[1], &rows[2]);
+    assert_eq!(colo.completed, disagg.completed, "same offered load");
+    assert_eq!(chunked.completed, disagg.completed, "same offered load");
+    assert!(
+        disagg.tbt_p99 < chunked.tbt_p99,
+        "disagg TBT p99 {} must beat the chunked incumbent's {}",
+        disagg.tbt_p99,
+        chunked.tbt_p99
+    );
+    assert!(
+        disagg.throughput >= 0.9 * chunked.throughput,
+        "disagg throughput {} must hold >= 90% of chunked's {}",
+        disagg.throughput,
+        chunked.throughput
+    );
+    // Chunking already mitigates what disaggregation removes.
+    assert!(chunked.tbt_p99 < colo.tbt_p99);
+    // The split is real: every prompt crossed the interconnect, and
+    // only the split fleet shipped anything.
+    let d = &stats[2];
+    assert_eq!(d.handoffs as usize, disagg.completed);
+    assert!(d.kv_bytes_shipped > 0);
+    assert!(d.transfer_seconds > 0.0);
+    assert_eq!(stats[0], duplex::sched::DisaggStats::default());
+    assert_eq!(stats[1], duplex::sched::DisaggStats::default());
+}
+
+#[test]
+fn the_disagg_drill_is_byte_identical_serial_and_parallel() {
+    // The clock-merge invariant survives pool-split serving on real
+    // SystemExecutors: handoffs buffer inside windows and deliver at
+    // merge points, so the parallel path must reproduce the serial
+    // oracle to the bit.
+    let drill = grok_disagg(&Scale::quick());
+    let spec = &drill[2];
+    let ctx = spec.router_context();
+    let serial = run_cluster_with(
+        spec,
+        RouterKind::LeastOutstandingWork.build_with(&ctx).as_mut(),
+        ClusterConfig::serial(),
+    );
+    let parallel = run_cluster_with(
+        spec,
+        RouterKind::LeastOutstandingWork.build_with(&ctx).as_mut(),
+        ClusterConfig {
+            parallel: true,
+            threads: 4,
+        },
+    );
+    assert!(serial.disagg.handoffs > 0, "the drill actually hands off");
+    assert_eq!(
+        serial.total_time_s.to_bits(),
+        parallel.total_time_s.to_bits()
+    );
+    assert_eq!(serial, parallel);
+}
+
+#[test]
+fn a_mid_transfer_snapshot_of_the_disagg_drill_resumes_bit_for_bit() {
+    // Pause the split fleet mid-run — admission-time decode
+    // assignments in flight, prompts half-prefilled on the prefill
+    // pool — push the snapshot through JSON, resume on a freshly built
+    // fleet, and demand the uninterrupted report.
+    let drill = grok_disagg(&Scale::quick());
+    let spec = &drill[2];
+    let ctx = spec.router_context();
+    let kind = RouterKind::LeastOutstandingWork;
+    let full = run_cluster(spec, kind.build_with(&ctx).as_mut());
+    assert!(full.disagg.handoffs > 0, "the drill actually hands off");
+    let mut saw_assignments = false;
+    for frac in [0.2, 0.45, 0.7] {
+        let stop_s = frac * full.total_time_s;
+        let (sim, mut policies, mut executors) = build_cluster(spec);
+        let mut router = kind.build_with(&ctx);
+        let snapshot = sim
+            .run_until(router.as_mut(), &mut policies, &mut executors, stop_s)
+            .snapshot()
+            .expect("the bound lands mid-run");
+        let restored =
+            ClusterSnapshot::from_json(&snapshot.to_json()).expect("the wire format round-trips");
+        assert_eq!(restored, snapshot, "JSON round-trip is lossless");
+        saw_assignments |= snapshot.to_json().contains("\"assignments\":[[");
+
+        let (sim, mut policies, mut executors) = build_cluster(spec);
+        let mut router = kind.build_with(&ctx);
+        let resumed = sim
+            .resume(&restored, router.as_mut(), &mut policies, &mut executors)
+            .expect("the snapshot matches the fleet");
+        assert_eq!(resumed, full, "paused at {frac} of the run");
+    }
+    assert!(
+        saw_assignments,
+        "at least one pause caught a transfer in flight"
+    );
+}
+
+#[test]
+fn a_colocated_fleet_rejects_a_disaggregated_snapshot() {
+    // Same shape as the fault-plan and autoscale mismatches: a pool
+    // split snapshot must not silently resume on a colocated fleet.
+    let drill = grok_disagg(&Scale::quick());
+    let spec = &drill[2];
+    let (sim, mut policies, mut executors) = build_cluster(spec);
+    let mut router = RouterKind::RoundRobin.build();
+    let full = run_cluster(spec, RouterKind::RoundRobin.build().as_mut());
+    let snapshot = sim
+        .run_until(
+            router.as_mut(),
+            &mut policies,
+            &mut executors,
+            0.3 * full.total_time_s,
+        )
+        .snapshot()
+        .expect("the bound lands mid-run");
+
+    let mut colocated = spec.clone();
+    colocated.disagg = None;
+    let (sim, mut policies, mut executors) = build_cluster(&colocated);
+    let mut router = RouterKind::RoundRobin.build();
+    let err = sim
+        .resume(&snapshot, router.as_mut(), &mut policies, &mut executors)
+        .expect_err("a disaggregated snapshot cannot resume on a colocated fleet");
+    assert!(err.contains("disagg"), "{err}");
 }

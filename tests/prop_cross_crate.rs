@@ -7,7 +7,8 @@ use duplex::model::ops::StageShape;
 use duplex::model::{ExpertRouter, ModelConfig};
 use duplex::sched::{
     Arrivals, AutoscalePolicy, ClusterConfig, ClusterSimulation, ClusterSnapshot, ConversationSpec,
-    FaultEvent, FaultKind, FaultPlan, LatencyDigest, PolicyKind, ReplicaConfig, RetryPolicy,
+    DisaggPlan, FaultEvent, FaultKind, FaultPlan, KvLinkSpec, LatencyDigest, PendingRequest,
+    Placement, PolicyKind, PoolRole, ReplicaConfig, ReplicaSnapshot, Request, RetryPolicy,
     RouterKind, Scenario, ScenarioSimulation, SchedulingPolicy, Simulation, SimulationConfig,
     SloStats, StageExecutor, StageOutcome, TierStats, Workload,
 };
@@ -55,6 +56,38 @@ struct FixedStage(f64);
 impl StageExecutor for FixedStage {
     fn execute(&mut self, _shape: &StageShape) -> StageOutcome {
         StageOutcome { seconds: self.0 }
+    }
+}
+
+/// Linear per-token executor for the disaggregation oracle: every
+/// stage costs the same dyadic constant per token processed, so total
+/// priced seconds depend only on the token population, never on how
+/// stages batch it or which replica runs it. It accumulates its own
+/// charge so fleets can be compared by summing executors.
+struct TokenLinear {
+    per_token: f64,
+    total_s: f64,
+}
+
+impl TokenLinear {
+    fn fleet(n: usize) -> Vec<Self> {
+        (0..n)
+            .map(|_| Self {
+                // A power of two: integer token counts price exactly,
+                // so cross-fleet totals compare without rounding slop.
+                per_token: 1.0 / 512.0,
+                total_s: 0.0,
+            })
+            .collect()
+    }
+}
+
+impl StageExecutor for TokenLinear {
+    fn execute(&mut self, shape: &StageShape) -> StageOutcome {
+        let tokens = shape.decode_ctx.len() as u64 + shape.prefill_len.iter().sum::<u64>();
+        let seconds = self.per_token * tokens as f64;
+        self.total_s += seconds;
+        StageOutcome { seconds }
     }
 }
 
@@ -840,6 +873,230 @@ proptest! {
                 )
                 .expect("the snapshot matches the fleet");
             prop_assert_eq!(&resumed, &serial);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Disaggregation moves work, it does not invent any: over a free
+    /// interconnect (infinite bandwidth, zero latency) and identical
+    /// replicas, a prefill/decode pool split prices exactly the same
+    /// total stage seconds as the colocated oracle under a linear
+    /// per-token executor — the prompt runs as held chunks on the
+    /// prefill pool plus a one-token context join on the decode pool,
+    /// the same token population the colocated fleet prices in one
+    /// admission. Holds for every shipped router.
+    #[test]
+    fn zero_cost_link_disagg_prices_the_colocated_token_population(
+        mean_in in 16u64..96,
+        mean_out in 4u64..16,
+        requests in 8usize..20,
+        seed in 0u64..1000,
+        qps in 100.0f64..800.0,
+    ) {
+        let cfg = SimulationConfig {
+            max_batch: 4,
+            kv_capacity_bytes: 1 << 30,
+            kv_bytes_per_token: 64,
+            ..SimulationConfig::default()
+        };
+        let mk = || Scenario::new(
+            "prop-disagg",
+            Workload::gaussian(mean_in, mean_out).with_seed(seed),
+            Arrivals::Poisson { qps },
+            requests,
+        );
+        let configs = vec![ReplicaConfig::new(cfg); 4];
+        let free_link = KvLinkSpec::new(f64::INFINITY, 0.0);
+        let mk_pol = || -> Vec<Box<dyn SchedulingPolicy>> {
+            (0..4).map(|_| PolicyKind::Fcfs.build()).collect()
+        };
+        for kind in RouterKind::ALL {
+            let mut colo_ex = TokenLinear::fleet(4);
+            let colocated = ClusterSimulation::new(configs.clone(), mk()).run(
+                kind.build().as_mut(),
+                &mut mk_pol(),
+                &mut colo_ex,
+            );
+            let mut split_ex = TokenLinear::fleet(4);
+            let split = ClusterSimulation::new(configs.clone(), mk())
+                .with_disagg(DisaggPlan::new(vec![0, 1]).with_link(free_link))
+                .run(kind.build().as_mut(), &mut mk_pol(), &mut split_ex);
+
+            prop_assert_eq!(colocated.completed(), requests);
+            prop_assert_eq!(split.completed(), requests);
+            prop_assert_eq!(split.disagg.handoffs as usize, requests);
+            prop_assert_eq!(split.disagg.reprefills, 0);
+            prop_assert_eq!(split.disagg.transfer_seconds, 0.0);
+
+            let colo_s: f64 = colo_ex.iter().map(|e| e.total_s).sum();
+            let split_s: f64 = split_ex.iter().map(|e| e.total_s).sum();
+            prop_assert!(
+                rel_diff(colo_s, split_s) <= 1e-9,
+                "router {:?}: colocated priced {colo_s} stage-seconds, the pool split {split_s}",
+                kind
+            );
+        }
+    }
+
+    /// The placement API's compatibility contract: on a fleet with no
+    /// prefill pool, every shipped router's two-dimensional
+    /// [`Router::place`] is byte-identical to its one-dimensional
+    /// [`Router::decide`] lifted into `prefill == decode` — for any
+    /// snapshot the balancer might poll and any request sequence, with
+    /// router state evolving in lockstep across the whole sequence.
+    #[test]
+    fn colocated_place_is_decide_lifted_for_every_router(
+        fleet in proptest::collection::vec(
+            (0usize..8, 0usize..8, 0u64..5000, 0u64..(1 << 20), 0.5f64..2.0, 0u8..2),
+            2..6,
+        ),
+        traffic in proptest::collection::vec(
+            (1u64..2048, 1u64..256, 0u64..500, 0u64..64),
+            1..12,
+        ),
+    ) {
+        let replicas: Vec<ReplicaSnapshot> = fleet
+            .iter()
+            .enumerate()
+            .map(|(i, &(in_flight, queued, outstanding, kv, weight, accepts))| {
+                ReplicaSnapshot {
+                    now_s: 0.0,
+                    in_flight,
+                    queued,
+                    max_batch: 8,
+                    outstanding_tokens: outstanding,
+                    kv_reserved_bytes: kv,
+                    kv_capacity_bytes: 1 << 30,
+                    weight,
+                    resident_history_tokens: 0,
+                    // Routers may only avoid non-accepting replicas
+                    // while an accepting one exists; pin one.
+                    accepting: accepts == 1 || i == 0,
+                    role: PoolRole::Colocated,
+                    transfer_backlog_bytes: 0,
+                }
+            })
+            .collect();
+        for kind in RouterKind::ALL {
+            let mut placed = kind.build();
+            let mut decided = kind.build();
+            for (i, &(input, output, conversation, history)) in traffic.iter().enumerate() {
+                let pending = PendingRequest {
+                    request: Request {
+                        id: i as u64,
+                        arrival_s: i as f64 * 1e-3,
+                        input_len: input,
+                        output_len: output,
+                    },
+                    tier: 0,
+                    priority: 0,
+                    deadline_s: f64::INFINITY,
+                    conversation,
+                    round: 1,
+                    history_tokens: history.min(input.saturating_sub(1)),
+                    skipped: 0,
+                };
+                let two_d = placed.place(&pending, &replicas);
+                let one_d = Placement::from_decision(decided.decide(&pending, &replicas));
+                prop_assert!(
+                    two_d == one_d,
+                    "router {:?}, request {}: place {:?} != lifted decide {:?}",
+                    kind,
+                    i,
+                    two_d,
+                    one_d
+                );
+                prop_assert!(two_d.is_colocated());
+            }
+            prop_assert_eq!(placed.export_state(), decided.export_state());
+        }
+    }
+
+    /// A disaggregated fleet is deterministic machinery end to end: on
+    /// a 2+2 pool split over a priced interconnect, the run must (a)
+    /// replay byte-identically between the serial oracle and parallel
+    /// windows, and (b) survive a snapshot taken at a random fraction
+    /// of the run — admission-time decode assignments mid-transfer —
+    /// resuming through JSON to the exact uninterrupted report. Both
+    /// claims hold for every shipped router.
+    #[test]
+    fn disaggregated_serving_is_deterministic_and_resumable(
+        mean_in in 32u64..128,
+        mean_out in 4u64..16,
+        requests in 8usize..20,
+        seed in 0u64..1000,
+        qps in 100.0f64..800.0,
+        link_bytes_per_s in 1e5f64..1e7,
+        link_latency_s in 0.0f64..0.005,
+        stop_frac in 0.15f64..0.85,
+    ) {
+        let cfg = SimulationConfig {
+            max_batch: 4,
+            kv_capacity_bytes: 1 << 30,
+            kv_bytes_per_token: 64,
+            ..SimulationConfig::default()
+        };
+        let mk = || Scenario::new(
+            "prop-disagg-snap",
+            Workload::gaussian(mean_in, mean_out).with_seed(seed),
+            Arrivals::Poisson { qps },
+            requests,
+        )
+        .with_tiers(Scenario::default_tiers(0.01));
+        let plan = DisaggPlan::new(vec![0, 1])
+            .with_link(KvLinkSpec::new(link_bytes_per_s, link_latency_s));
+        let configs = vec![ReplicaConfig::new(cfg); 4];
+        for kind in RouterKind::ALL {
+            let mk_sim =
+                || ClusterSimulation::new(configs.clone(), mk()).with_disagg(plan.clone());
+            let mk_pol = || -> Vec<Box<dyn SchedulingPolicy>> {
+                (0..4).map(|_| PolicyKind::PriorityTiers.build()).collect()
+            };
+            let serial = mk_sim().with_config(ClusterConfig::serial()).run(
+                kind.build().as_mut(),
+                &mut mk_pol(),
+                &mut [FixedStage(0.002); 4],
+            );
+            let parallel = mk_sim()
+                .with_config(ClusterConfig {
+                    parallel: true,
+                    threads: 3,
+                })
+                .run(
+                    kind.build().as_mut(),
+                    &mut mk_pol(),
+                    &mut [FixedStage(0.002); 4],
+                );
+            prop_assert_eq!(&serial, &parallel);
+            prop_assert_eq!(serial.completed(), requests);
+            prop_assert_eq!(serial.disagg.handoffs as usize, requests);
+            prop_assert!(serial.disagg.kv_bytes_shipped > 0);
+
+            // Pause mid-run, push the snapshot through JSON, resume fresh.
+            let stop_s = stop_frac * serial.total_time_s;
+            let paused = mk_sim().run_until(
+                kind.build().as_mut(),
+                &mut mk_pol(),
+                &mut [FixedStage(0.002); 4],
+                stop_s,
+            );
+            if let Some(snapshot) = paused.snapshot() {
+                let restored = ClusterSnapshot::from_json(&snapshot.to_json())
+                    .expect("the wire format round-trips");
+                prop_assert_eq!(&restored, &snapshot);
+                let resumed = mk_sim()
+                    .resume(
+                        &restored,
+                        kind.build().as_mut(),
+                        &mut mk_pol(),
+                        &mut [FixedStage(0.002); 4],
+                    )
+                    .expect("the snapshot matches the fleet");
+                prop_assert_eq!(&resumed, &serial);
+            }
         }
     }
 }
