@@ -27,9 +27,18 @@ fn main() {
     let mut rows = Vec::new();
     let mut json_entries = Vec::new();
     for scenario in scenario_suite(&scale, &model, &system, batch) {
-        // The policy that matches the scenario's intent: EDF over the
-        // tiered mix, FCFS elsewhere.
-        let kind = if scenario.tiers.is_empty() {
+        // The policy that matches the scenario's intent: the
+        // near-saturation trio maps by name to its namesake policy
+        // (shed vs preempt vs preempt-mux, same traffic — the baseline
+        // pins their attainment spread), EDF over the tiered mix, FCFS
+        // elsewhere.
+        let kind = if scenario.name.contains("preempt") {
+            PolicyKind::Preempt
+        } else if scenario.name.contains("multiplex") {
+            PolicyKind::Multiplex
+        } else if scenario.name.contains("shed") {
+            PolicyKind::ShedBatchTier
+        } else if scenario.tiers.is_empty() {
             PolicyKind::Fcfs
         } else {
             PolicyKind::PriorityTiers
@@ -68,18 +77,32 @@ fn main() {
         // service class (simulated time: seed-deterministic, so the CI
         // latency gate can pin them).
         let tier_tails = if tiered {
-            let tails: Vec<String> = report
+            let mut tails: Vec<String> = report
                 .slo
                 .tiers
                 .iter()
                 .map(|t| format!("\"tier_{}_tbt_p99_ms\": {:.4}", t.name, t.tbt_p99_s() * 1e3))
                 .collect();
+            // The per-tier attainment the preemption gate watches:
+            // interactive is the tier preemption exists to protect.
+            if let Some(t) = report.slo.tiers.iter().find(|t| t.name == "interactive") {
+                tails.push(format!(
+                    "\"tier_interactive_attainment\": {:.4}",
+                    t.attainment()
+                ));
+            }
             format!("{}, ", tails.join(", "))
         } else {
             String::new()
         };
+        // Preemption accounting (all zeros under non-preemptive
+        // policies; zero-valued metrics never enter the baseline).
+        let preempt = format!(
+            "\"preemptions\": {}, \"paused_time_s\": {:.6}, ",
+            report.preempt.preemptions, report.preempt.paused_time_s
+        );
         json_entries.push(format!(
-            "    \"{}\": {{\"stages_per_sec\": {:.1}, \"wall_s\": {:.4}, \"stages\": {}, \"completed\": {}, \"sim_tokens_per_sec\": {:.1}, \"tbt_p99_ms\": {:.4}, {}\"slo_attainment\": {:.4}, \"goodput_tokens_per_s\": {:.1}, \"kv_reuse_fraction\": {:.4}, \"policy\": \"{}\", \"model\": \"{}\", \"system\": \"{}\", \"batch\": {}}}",
+            "    \"{}\": {{\"stages_per_sec\": {:.1}, \"wall_s\": {:.4}, \"stages\": {}, \"completed\": {}, \"sim_tokens_per_sec\": {:.1}, \"tbt_p99_ms\": {:.4}, {}{}\"slo_attainment\": {:.4}, \"goodput_tokens_per_s\": {:.1}, \"kv_reuse_fraction\": {:.4}, \"policy\": \"{}\", \"model\": \"{}\", \"system\": \"{}\", \"batch\": {}}}",
             name,
             stages_per_sec,
             wall_s,
@@ -88,6 +111,7 @@ fn main() {
             report.generation_throughput(),
             tbt_p99_ms,
             tier_tails,
+            preempt,
             report.slo_attainment(),
             report.goodput_tokens_per_s(),
             report.kv_reuse.reuse_fraction(),
@@ -116,7 +140,7 @@ fn main() {
     );
 
     let json = format!(
-        "{{\n  \"schema\": \"duplex-bench/scenarios/v2\",\n  \"mode\": \"{}\",\n  \"scenarios\": {{\n{}\n  }}\n}}\n",
+        "{{\n  \"schema\": \"duplex-bench/scenarios/v3\",\n  \"mode\": \"{}\",\n  \"scenarios\": {{\n{}\n  }}\n}}\n",
         if quick { "quick" } else { "paper" },
         json_entries.join(",\n")
     );

@@ -28,9 +28,11 @@ pub const DEFAULT_THRESHOLD: f64 = 0.30;
 /// built on them, raw wall-clock durations (`wall_s`), the
 /// failure-drill time-to-recover (`recovery_time_s`), the autoscale
 /// drill's replica-seconds bill (`replica_seconds`) and its worst
-/// provisioning lag (`scale_up_lag_s`). Attainment metrics — including
-/// `fault_interactive_attainment` — keep the default higher-is-better
-/// direction.
+/// provisioning lag (`scale_up_lag_s`), and the preemption drill's
+/// paused-time bill (`paused_time_s` — time victims spend parked is
+/// deferred service). Attainment metrics — including
+/// `fault_interactive_attainment` and `tier_interactive_attainment` —
+/// keep the default higher-is-better direction.
 pub fn lower_is_better(metric: &str) -> bool {
     metric.starts_with("tbt_")
         || metric.starts_with("t2ft_")
@@ -39,6 +41,7 @@ pub fn lower_is_better(metric: &str) -> bool {
         || metric.ends_with("recovery_time_s")
         || metric.ends_with("replica_seconds")
         || metric.ends_with("scale_up_lag_s")
+        || metric.ends_with("paused_time_s")
 }
 
 /// One gated metric's comparison.
@@ -269,8 +272,10 @@ const BASELINE_METRICS: &[(&str, BaselineRule)] = &[
     ("tbt_p99_ms", BaselineRule::Exact),
     ("t2ft_p50_ms", BaselineRule::Exact),
     ("tier_interactive_tbt_p99_ms", BaselineRule::Exact),
+    ("tier_interactive_attainment", BaselineRule::Exact),
     ("slo_attainment", BaselineRule::Exact),
     ("interactive_attainment", BaselineRule::Exact),
+    ("paused_time_s", BaselineRule::Exact),
     ("kv_reuse_fraction", BaselineRule::Exact),
     ("recovery_time_s", BaselineRule::Exact),
     ("fault_interactive_attainment", BaselineRule::Exact),
@@ -325,8 +330,8 @@ pub fn write_baseline(reports: &[(&str, String)]) -> Result<String, String> {
          fast-path regressions rather than shared-runner noise; wall_s ceilings sit at \
          50x measured (>= 0.5s) as hang detectors; simulated-time and deterministic \
          metrics (tbt percentiles, attainments, kv_reuse_fraction, recovery_time_s, \
-         replica_seconds, scale_up_lag_s) are recorded exactly. Directions come from \
-         regression::lower_is_better.\",\n",
+         replica_seconds, scale_up_lag_s, paused_time_s) are recorded exactly. Directions \
+         come from regression::lower_is_better.\",\n",
     );
     let mut sections = Vec::new();
     for (name, text) in reports {
@@ -484,6 +489,7 @@ mod tests {
             "tier_interactive_tbt_p99_ms",
             "wall_s",
             "recovery_time_s",
+            "paused_time_s",
         ] {
             assert!(lower_is_better(latency), "{latency}");
         }
@@ -492,6 +498,7 @@ mod tests {
             "sim_tokens_per_sec",
             "goodput_tokens_per_s",
             "fault_interactive_attainment",
+            "tier_interactive_attainment",
         ] {
             assert!(!lower_is_better(throughput), "{throughput}");
         }

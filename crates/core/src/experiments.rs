@@ -972,6 +972,27 @@ pub fn scenario_suite(
     )
     .with_tiers(Scenario::default_tiers(stage_s));
 
+    // Near-saturation tiered mix: demand just past the closed-loop
+    // capacity, so interactive work queues behind batch-tier decodes
+    // and the shed/preempt/multiplex policies actually diverge. Three
+    // names, one shape: the quick bench maps each name to its namesake
+    // policy (`shed-batch` / `preempt` / `preempt-mux`) so the CI
+    // baselines pin the attainment spread between them.
+    let saturated = |name: &str| {
+        Scenario::new(
+            name,
+            workload.clone(),
+            Arrivals::Poisson {
+                qps: 1.05 * capacity_qps,
+            },
+            requests,
+        )
+        .with_tiers(Scenario::default_tiers(stage_s))
+    };
+    let slo_shed = saturated("slo_shed");
+    let slo_preempt = saturated("slo_preempt");
+    let slo_multiplex = saturated("slo_multiplex");
+
     // Trace replay: record the bursty process once, replay it exactly.
     let mut recorder = RequestSource::new(workload.clone().with_seed(0xACED), bursty_arrivals);
     let recorded: Vec<TraceRequest> = (0..requests)
@@ -1041,6 +1062,9 @@ pub fn scenario_suite(
         diurnal,
         chat,
         tiered,
+        slo_shed,
+        slo_preempt,
+        slo_multiplex,
         replay,
         long_prefill,
         long_prefill_chunked,
@@ -1395,22 +1419,22 @@ pub fn cluster_suite(scale: &Scale) -> Vec<ClusterSpec> {
         let faults = FaultPlan::new(vec![
             // Hard crash of a Duplex replica mid-run: in-flight and
             // queued requests are lost and retried through the router.
-            FaultEvent {
-                at_s: 0.30 * span_est,
-                replica: 0,
-                kind: FaultKind::Crash {
+            FaultEvent::new(
+                0.30 * span_est,
+                0,
+                FaultKind::Crash {
                     down_s: 2.0 * life_s,
                 },
-            },
+            ),
             // Graceful drain of another replica later: displaced
             // queue entries reroute and parked KV is handed off.
-            FaultEvent {
-                at_s: 0.55 * span_est,
-                replica: 1,
-                kind: FaultKind::Drain {
+            FaultEvent::new(
+                0.55 * span_est,
+                1,
+                FaultKind::Drain {
                     down_s: 1.0 * life_s,
                 },
-            },
+            ),
         ])
         .with_link(link)
         .with_warmup(1.0 * life_s, 2.0)

@@ -60,6 +60,7 @@ use crate::fault::KvLinkSpec;
 /// [`crate::ClusterSimulation::with_autoscale`]; replicas beyond
 /// `min_replicas` start in the standby pool.
 #[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
 pub struct AutoscalePolicy {
     /// Admitting-replica floor: scale-downs never take the fleet below
     /// this, and the first `min_replicas` replicas start active.

@@ -475,6 +475,16 @@ impl ClusterReport {
         merged
     }
 
+    /// Merged preemption/multiplexing counters across the fleet (all
+    /// zero unless a replica ran a [`crate::PreemptionPolicy`]).
+    pub fn preempt(&self) -> crate::preempt::PreemptStats {
+        let mut merged = crate::preempt::PreemptStats::default();
+        for r in &self.replicas {
+            merged.merge(&r.preempt);
+        }
+        merged
+    }
+
     /// Worst-case recovery time across the run's injected faults:
     /// virtual seconds from a fault to the fleet token rate returning
     /// within the plan's threshold of its pre-fault level (0 without
@@ -593,8 +603,12 @@ fn dispatch_arrivals(
                         // their decode target's queue and surface
                         // as transfer backlog (none in colocated
                         // mode, so the snapshot is unchanged).
-                        let (joins, transfer_backlog_bytes) =
+                        // Paused-and-parked preempted contexts are
+                        // backlog too: they re-enter as priced
+                        // restores, not affinity-routable histories.
+                        let (joins, mut transfer_backlog_bytes) =
                             disagg.as_deref().map_or((0, 0), |d| d.backlog_for(i));
+                        transfer_backlog_bytes += r.paused_swap_bytes();
                         queued += joins;
                         ReplicaSnapshot {
                             now_s: r.clock(),
@@ -2015,7 +2029,14 @@ impl ClusterSimulation {
 
     /// Reject a snapshot whose shape cannot belong to this cluster
     /// before any of it is imported (imports assume a valid shape).
-    fn validate_snapshot(&self, snap: &ClusterSnapshot) -> Result<(), String> {
+    /// `policies` is the per-replica policy slice of the resuming run:
+    /// preemption-armed policies carry a parked pool the scenario
+    /// alone would not predict.
+    fn validate_snapshot(
+        &self,
+        snap: &ClusterSnapshot,
+        policies: &[Box<dyn SchedulingPolicy>],
+    ) -> Result<(), String> {
         if snap.replicas.len() != self.configs.len() {
             return Err(format!(
                 "snapshot has {} replicas, the cluster has {}",
@@ -2048,12 +2069,15 @@ impl ClusterSimulation {
                 ));
             }
             // Decode-pool replicas carry a parked pool even in
-            // single-shot scenarios (it receives prefill handoffs).
+            // single-shot scenarios (it receives prefill handoffs), and
+            // so does any replica whose policy arms preemption (the
+            // pool receives swapped-out paused contexts).
             let expects_parked = self.scenario.conversation.is_some()
                 || self
                     .disagg
                     .as_ref()
-                    .is_some_and(|plan| plan.role_of(i) == PoolRole::Decode);
+                    .is_some_and(|plan| plan.role_of(i) == PoolRole::Decode)
+                || policies.get(i).is_some_and(|p| p.preempt_spec().is_some());
             if s.parked.is_some() != expects_parked {
                 return Err(format!(
                     "replica {i}: snapshot parked-KV state does not match the scenario"
@@ -2204,6 +2228,13 @@ impl ClusterSimulation {
                 replica.set_role(plan.role_of(i));
             }
         }
+        // Preemption is armed before any stepping or snapshot import:
+        // resumes need announced decode-join contexts and a parked
+        // pool from the very first stage (and an imported snapshot may
+        // already carry paused state).
+        for (replica, policy) in replicas.iter_mut().zip(policies.iter()) {
+            replica.prepare_preempt(policy.as_ref());
+        }
         let mut disagg_rt = self.disagg.as_ref().map(DisaggRuntime::new);
         let mut stats = RecoveryStats::default();
         let mut fault_rt = self.faults.as_ref().map(|plan| {
@@ -2233,7 +2264,7 @@ impl ClusterSimulation {
             }
         }
         if let Some(snap) = start {
-            self.validate_snapshot(snap)?;
+            self.validate_snapshot(snap, policies)?;
             stream.import_state(&snap.stream);
             router.import_state(&snap.router);
             stats = snap.stats;
@@ -2750,11 +2781,11 @@ mod tests {
             40,
         )
         .with_tiers(Scenario::default_tiers(0.01));
-        let plan = FaultPlan::new(vec![FaultEvent {
-            at_s: 0.05,
-            replica: 0,
-            kind: FaultKind::Crash { down_s: 0.1 },
-        }])
+        let plan = FaultPlan::new(vec![FaultEvent::new(
+            0.05,
+            0,
+            FaultKind::Crash { down_s: 0.1 },
+        )])
         .with_recovery_tracking(0.7, 0.02, 0.5);
         let report = ClusterSimulation::new(vec![ReplicaConfig::new(config(4)); 2], scenario)
             .with_faults(plan)
@@ -2785,15 +2816,12 @@ mod tests {
             Arrivals::Poisson { qps: 800.0 },
             40,
         );
-        let plan = FaultPlan::new(vec![FaultEvent {
-            at_s: 0.05,
-            replica: 0,
-            kind: FaultKind::Crash { down_s: 0.1 },
-        }])
-        .with_retry(RetryPolicy {
-            max_retries: 0,
-            ..RetryPolicy::default()
-        });
+        let plan = FaultPlan::new(vec![FaultEvent::new(
+            0.05,
+            0,
+            FaultKind::Crash { down_s: 0.1 },
+        )])
+        .with_retry(RetryPolicy::new(0));
         let report = ClusterSimulation::new(vec![ReplicaConfig::new(config(4)); 2], scenario)
             .with_faults(plan)
             .run(
@@ -2818,11 +2846,11 @@ mod tests {
             30,
         )
         .with_conversation(ConversationSpec::chat(0.7, 3, 0.01, 24));
-        let plan = FaultPlan::new(vec![FaultEvent {
-            at_s: 0.06,
-            replica: 0,
-            kind: FaultKind::Drain { down_s: 0.05 },
-        }]);
+        let plan = FaultPlan::new(vec![FaultEvent::new(
+            0.06,
+            0,
+            FaultKind::Drain { down_s: 0.05 },
+        )]);
         let report = ClusterSimulation::new(vec![ReplicaConfig::new(config(4)); 2], scenario)
             .with_faults(plan)
             .run(
@@ -2860,14 +2888,14 @@ mod tests {
             &mut policies(1, PolicyKind::Fcfs),
             &mut [Fixed(0.01)],
         );
-        let plan = FaultPlan::new(vec![FaultEvent {
-            at_s: 0.0,
-            replica: 0,
-            kind: FaultKind::Slowdown {
+        let plan = FaultPlan::new(vec![FaultEvent::new(
+            0.0,
+            0,
+            FaultKind::Slowdown {
                 duration_s: 1e3,
                 factor: 4.0,
             },
-        }]);
+        )]);
         let slowed = ClusterSimulation::new(configs, scenario())
             .with_faults(plan)
             .run(
@@ -3077,6 +3105,63 @@ mod tests {
             assert_eq!(resumed, full, "stop at {stop}");
         }
         assert!(paused_at_least_once);
+    }
+
+    #[test]
+    fn a_mid_preemption_snapshot_resumes_bit_for_bit() {
+        // Saturate a preempting fleet so stages pause batch decodes,
+        // then stop at bounds chosen to land while paused requests are
+        // in flight: the v5 snapshot must carry them (and any formed
+        // multiplex slots) through JSON and resume to the exact
+        // uninterrupted report.
+        let scenario = || {
+            Scenario::new(
+                "preempt-pause",
+                Workload::fixed(48, 24).with_seed(31),
+                Arrivals::Poisson { qps: 900.0 },
+                60,
+            )
+            // Half the traffic is preemptible batch work, so saturated
+            // stages always hold a victim.
+            .with_tiers(vec![
+                SloTier::new("interactive", 0.5, 0, 0.1, 0.0),
+                SloTier::new("batch", 0.5, 2, 10.0, 0.0),
+            ])
+        };
+        let sim = || ClusterSimulation::new(vec![ReplicaConfig::new(config(4)); 2], scenario());
+        let full = sim().run(
+            &mut RoundRobin::default(),
+            &mut policies(2, PolicyKind::Multiplex),
+            &mut [Fixed(0.01); 2],
+        );
+        assert!(full.preempt().preemptions > 0, "{:?}", full.preempt());
+        let mut paused_in_flight = false;
+        for stop in [0.02, 0.05, 0.1, 0.2, 0.4] {
+            let run = sim().run_until(
+                &mut RoundRobin::default(),
+                &mut policies(2, PolicyKind::Multiplex),
+                &mut [Fixed(0.01); 2],
+                stop,
+            );
+            let Some(snap) = run.snapshot() else {
+                continue; // drained before this bound
+            };
+            paused_in_flight |= snap.replicas.iter().any(|r| !r.paused.is_empty());
+            let snap = ClusterSnapshot::from_json(&snap.to_json()).expect("round-trips");
+            let resumed = sim()
+                .resume(
+                    &snap,
+                    &mut RoundRobin::default(),
+                    &mut policies(2, PolicyKind::Multiplex),
+                    &mut [Fixed(0.01); 2],
+                )
+                .expect("resumes");
+            assert_eq!(resumed, full, "stop at {stop}");
+        }
+        assert!(
+            paused_in_flight,
+            "no stop bound caught a paused request mid-flight"
+        );
     }
 
     #[test]

@@ -59,22 +59,10 @@
 //! use duplex_sched::{FaultEvent, FaultKind, FaultPlan, KvLinkSpec, RetryPolicy};
 //!
 //! let plan = FaultPlan::new(vec![
-//!     FaultEvent {
-//!         at_s: 2.0,
-//!         replica: 0,
-//!         kind: FaultKind::Crash { down_s: 0.5 },
-//!     },
-//!     FaultEvent {
-//!         at_s: 4.0,
-//!         replica: 1,
-//!         kind: FaultKind::Drain { down_s: 0.25 },
-//!     },
+//!     FaultEvent::new(2.0, 0, FaultKind::Crash { down_s: 0.5 }),
+//!     FaultEvent::new(4.0, 1, FaultKind::Drain { down_s: 0.25 }),
 //! ])
-//! .with_retry(RetryPolicy {
-//!     max_retries: 2,
-//!     backoff_s: 0.05,
-//!     backoff_mult: 2.0,
-//! })
+//! .with_retry(RetryPolicy::new(2).with_backoff(0.05, 2.0))
 //! .with_link(KvLinkSpec::new(400e9, 2e-6));
 //! assert_eq!(plan.faults.len(), 2);
 //! // 1 MiB of parked KV ships in ~2.6 microseconds of virtual time.
@@ -122,6 +110,7 @@ impl FaultKind {
 
 /// One scripted fault: which replica, when (virtual time), and what.
 #[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
 pub struct FaultEvent {
     /// Virtual time the fault fires (applied at the next merge point).
     pub at_s: f64,
@@ -131,8 +120,24 @@ pub struct FaultEvent {
     pub kind: FaultKind,
 }
 
+impl FaultEvent {
+    /// A fault hitting `replica` at virtual time `at_s`.
+    pub fn new(at_s: f64, replica: usize, kind: FaultKind) -> Self {
+        assert!(
+            at_s.is_finite() && at_s >= 0.0,
+            "fault time must be finite and non-negative"
+        );
+        Self {
+            at_s,
+            replica,
+            kind,
+        }
+    }
+}
+
 /// How requests lost to a crash are re-enqueued, in virtual time.
 #[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
 pub struct RetryPolicy {
     /// How many times one request may be retried before it is dropped
     /// for good (counted in [`RecoveryStats::requests_dropped`]).
@@ -157,6 +162,26 @@ impl Default for RetryPolicy {
 }
 
 impl RetryPolicy {
+    /// A policy allowing `max_retries` retries with immediate
+    /// re-enqueue (no backoff); set a backoff with
+    /// [`RetryPolicy::with_backoff`].
+    pub fn new(max_retries: u32) -> Self {
+        Self {
+            max_retries,
+            ..Self::default()
+        }
+    }
+
+    /// Set the exponential backoff: `backoff_s` base delay, multiplied
+    /// by `mult` per prior retry of the same request.
+    pub fn with_backoff(mut self, backoff_s: f64, mult: f64) -> Self {
+        assert!(backoff_s >= 0.0, "retry backoff must be non-negative");
+        assert!(mult > 0.0, "retry backoff multiplier must be positive");
+        self.backoff_s = backoff_s;
+        self.backoff_mult = mult;
+        self
+    }
+
     /// The virtual-time delay before retry number `attempt` (1-based).
     pub fn delay_s(&self, attempt: u32) -> f64 {
         self.backoff_s * self.backoff_mult.powi(attempt.saturating_sub(1) as i32)
@@ -268,6 +293,7 @@ impl LoadTrigger {
 /// restart warm-up, and the recovery-measurement knobs. Attach with
 /// [`crate::ClusterSimulation::with_faults`].
 #[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
 pub struct FaultPlan {
     /// The scripted faults (applied in virtual-time order).
     pub faults: Vec<FaultEvent>,
@@ -490,11 +516,7 @@ mod tests {
 
     #[test]
     fn retry_backoff_is_exponential_in_the_attempt() {
-        let retry = RetryPolicy {
-            max_retries: 4,
-            backoff_s: 0.1,
-            backoff_mult: 2.0,
-        };
+        let retry = RetryPolicy::new(4).with_backoff(0.1, 2.0);
         assert_eq!(retry.delay_s(1), 0.1);
         assert_eq!(retry.delay_s(2), 0.2);
         assert_eq!(retry.delay_s(3), 0.4);
@@ -504,14 +526,14 @@ mod tests {
 
     #[test]
     fn plan_builders_set_every_knob() {
-        let plan = FaultPlan::new(vec![FaultEvent {
-            at_s: 1.0,
-            replica: 2,
-            kind: FaultKind::Slowdown {
+        let plan = FaultPlan::new(vec![FaultEvent::new(
+            1.0,
+            2,
+            FaultKind::Slowdown {
                 duration_s: 0.5,
                 factor: 3.0,
             },
-        }])
+        )])
         .with_warmup(0.2, 1.5)
         .with_recovery_tracking(0.9, 0.25, 2.0);
         assert_eq!(plan.faults[0].kind.name(), "slowdown");
@@ -524,11 +546,11 @@ mod tests {
     #[test]
     #[should_panic(expected = "down time must be non-negative")]
     fn negative_down_time_is_rejected() {
-        let _ = FaultPlan::new(vec![FaultEvent {
-            at_s: 1.0,
-            replica: 0,
-            kind: FaultKind::Crash { down_s: -1.0 },
-        }]);
+        let _ = FaultPlan::new(vec![FaultEvent::new(
+            1.0,
+            0,
+            FaultKind::Crash { down_s: -1.0 },
+        )]);
     }
 
     #[test]

@@ -26,6 +26,13 @@
 //! * [`policy`] — pluggable admission policies (FCFS,
 //!   shortest-prompt-first, priority tiers with SLO deadlines, and
 //!   the batch-tier load-shedding wrapper).
+//! * [`preempt`] — preemptive scheduling: a [`PreemptionPolicy`]
+//!   pauses batch-tier decodes mid-flight when interactive work would
+//!   otherwise wait, choosing per victim between priced KV swap-out
+//!   and recompute-on-resume, and optionally multiplexes compatible
+//!   paused requests into shared batch slots (fractional slots at a
+//!   quality exchange rate). The full admission/preemption stack is
+//!   documented in `docs/scheduling.md`.
 //! * [`cluster`] / [`router`] — multi-replica serving: a fleet of
 //!   independent replicas on one shared virtual clock behind a
 //!   pluggable request router (round-robin, least-outstanding-work,
@@ -93,6 +100,7 @@ pub mod fault;
 pub mod json;
 pub mod metrics;
 pub mod policy;
+pub mod preempt;
 pub mod request;
 pub mod router;
 pub mod scenario;
@@ -119,6 +127,7 @@ pub use policy::{
     Fcfs, PolicyContext, PolicyKind, PriorityTiers, SchedulingPolicy, ShedBatchTier,
     ShortestPromptFirst,
 };
+pub use preempt::{MultiplexSpec, PreemptMode, PreemptSpec, PreemptStats, PreemptionPolicy};
 pub use request::{Request, RequestRecord};
 pub use router::{
     AffinityCore, ClusterContext, FleetShed, KvMigration, LeastOutstandingWork, Placement,

@@ -451,6 +451,9 @@ pub struct SimReport {
     /// Prefix-reuse accounting (zeros unless the run used multi-turn
     /// conversations).
     pub kv_reuse: KvReuseStats,
+    /// Preemption and multiplexing counters (zeros unless the run used
+    /// a preemptive policy).
+    pub preempt: crate::preempt::PreemptStats,
 }
 
 impl SimReport {

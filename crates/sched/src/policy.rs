@@ -34,6 +34,7 @@
 //! stage* costs no more than the chunk, so the policy ranks prompts by
 //! their bounded first-stage cost instead of their full length.
 
+use crate::preempt::{MultiplexSpec, PreemptSpec, PreemptionPolicy};
 use crate::scenario::PendingRequest;
 
 /// What the scheduler tells a policy about the stage being formed.
@@ -105,6 +106,20 @@ pub trait SchedulingPolicy: Send {
     /// default always admits.
     fn admit_now(&mut self, pending: &[PendingRequest], ctx: &PolicyContext) -> Option<usize> {
         Some(self.pick(pending, ctx))
+    }
+
+    /// Preemption cost model, when this policy arms the scheduler's
+    /// preemption machinery (see [`crate::preempt::PreemptionPolicy`]).
+    /// The default — plain admission policies — never preempts.
+    fn preempt_spec(&self) -> Option<&PreemptSpec> {
+        None
+    }
+
+    /// Batch-multiplexing configuration, when this policy lets paused
+    /// batch-tier work re-enter as fractional slots. Only consulted
+    /// when [`SchedulingPolicy::preempt_spec`] is `Some`.
+    fn multiplex_spec(&self) -> Option<&MultiplexSpec> {
+        None
     }
 }
 
@@ -309,15 +324,23 @@ pub enum PolicyKind {
     PriorityTiers,
     /// [`ShedBatchTier`] over priority-EDF with the default threshold.
     ShedBatchTier,
+    /// [`crate::preempt::PreemptionPolicy`] over priority-EDF with the
+    /// default cost model.
+    Preempt,
+    /// [`crate::preempt::PreemptionPolicy`] with batch multiplexing at
+    /// the default exchange rate.
+    Multiplex,
 }
 
 impl PolicyKind {
     /// Every shipped policy.
-    pub const ALL: [PolicyKind; 4] = [
+    pub const ALL: [PolicyKind; 6] = [
         PolicyKind::Fcfs,
         PolicyKind::ShortestPromptFirst,
         PolicyKind::PriorityTiers,
         PolicyKind::ShedBatchTier,
+        PolicyKind::Preempt,
+        PolicyKind::Multiplex,
     ];
 
     /// Instantiate the policy.
@@ -327,6 +350,10 @@ impl PolicyKind {
             PolicyKind::ShortestPromptFirst => Box::new(ShortestPromptFirst::default()),
             PolicyKind::PriorityTiers => Box::new(PriorityTiers),
             PolicyKind::ShedBatchTier => Box::new(ShedBatchTier::edf()),
+            PolicyKind::Preempt => Box::new(PreemptionPolicy::edf()),
+            PolicyKind::Multiplex => {
+                Box::new(PreemptionPolicy::edf().with_multiplex(MultiplexSpec::new()))
+            }
         }
     }
 
@@ -337,6 +364,8 @@ impl PolicyKind {
             PolicyKind::ShortestPromptFirst => "spf",
             PolicyKind::PriorityTiers => "priority-edf",
             PolicyKind::ShedBatchTier => "shed-batch",
+            PolicyKind::Preempt => "preempt",
+            PolicyKind::Multiplex => "preempt-mux",
         }
     }
 }

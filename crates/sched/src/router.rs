@@ -99,9 +99,13 @@ pub struct ReplicaSnapshot {
     /// fleet). [`Router::place`]'s default masks the snapshots by this
     /// field, so one-dimensional routers never need to read it.
     pub role: PoolRole,
-    /// Bytes of finished prefill KV assigned to stream to this replica
-    /// but not yet delivered (disaggregated decode replicas only; 0
-    /// elsewhere). Pending joins also count in
+    /// Bytes of KV committed to this replica but not currently in the
+    /// live batch: finished prefill KV assigned to stream here but not
+    /// yet delivered (disaggregated decode replicas), plus the
+    /// swapped-out KV of preempted decodes paused on this replica —
+    /// both re-enter as priced work (a transfer, a restore), so
+    /// placement policies weighing the interconnect should count them
+    /// together. Pending joins also count in
     /// [`ReplicaSnapshot::queued`], so load-based routers price them
     /// without reading this field.
     pub transfer_backlog_bytes: u64,
@@ -458,6 +462,13 @@ impl AffinityCore {
 /// and follow-ups whose pinned replica is saturated) falls through to
 /// [`LeastOutstandingWork`]. Pin/spill logic lives in
 /// [`AffinityCore`].
+///
+/// Affinity only follows *conversation* parks
+/// ([`ReplicaSnapshot::resident_history_tokens`]). The swapped-out KV
+/// of preemption-paused decodes shares the parked pool but belongs to
+/// a request already in flight on that replica — it is never an
+/// affinity target and surfaces only as
+/// [`ReplicaSnapshot::transfer_backlog_bytes`].
 #[derive(Debug, Clone, Copy)]
 pub struct SessionAffinity {
     /// The pin/spill core (see [`AffinityCore::spill_pressure`]).
@@ -513,6 +524,12 @@ impl Router for SessionAffinity {
 /// transfer is cheaper. The estimates here only steer the decision;
 /// the cluster prices the actual transfer with the replica's exact
 /// KV geometry.
+///
+/// Like [`SessionAffinity`], this router migrates *conversation*
+/// parks only: a preemption-paused decode's swapped-out KV is pinned
+/// to its replica (the request is still in flight there) and counts
+/// toward [`ReplicaSnapshot::transfer_backlog_bytes`] instead, where
+/// a placement policy can price the pending restores.
 #[derive(Debug, Clone, Copy)]
 pub struct KvMigration {
     /// The pin/spill core, as in [`SessionAffinity::core`]. The

@@ -74,11 +74,13 @@ use crate::metrics::{
     KvReuseStats, LatencyDigest, SimReport, SloStats, StageRecord, StageStats, TierStats,
 };
 use crate::policy::{PolicyContext, SchedulingPolicy};
+use crate::preempt::{MultiplexSpec, PreemptSpec, PreemptStats};
 use crate::request::{Request, RequestRecord};
 use crate::router::PoolRole;
 use crate::scheduler::{SimulationConfig, StageExecutor};
 use crate::snapshot::{
-    ActiveState, ChunkingState, DigestState, KvState, ReplicaState, StreamState, TierState,
+    ActiveState, ChunkingState, DigestState, KvState, MuxMemberState, MuxState, PausedState,
+    ReplicaState, ResumeState, StreamState, TierState,
 };
 use crate::trace::TraceRecorder;
 use crate::workload::{exp_sample, sample_len, Arrivals, RequestSource, Workload};
@@ -350,6 +352,84 @@ struct ChunkingRequest {
     processed: u64,
     /// Total new tokens to prefill (input_len - resident history).
     prefill_total: u64,
+    /// Mid-decode state carried by a recompute-on-resume re-prefill
+    /// (`None` for ordinary prompts): the final slice restores this
+    /// instead of sampling a first token.
+    resumed: Option<ResumeCarry>,
+}
+
+/// Mid-decode progress a preempted request carries through its
+/// recompute re-prefill: generation continues where the pause left
+/// off, and the original first-token time survives for T2FT.
+#[derive(Debug, Clone, Copy)]
+struct ResumeCarry {
+    generated: u64,
+    first_token_s: f64,
+}
+
+/// A batch-tier decode paused by the preemption policy: off the batch
+/// (its slot and KV reservation are released) but not abandoned — it
+/// resumes deterministically once slots free up. `swapped` records the
+/// cost model's choice: the context is parked in the replica's paged
+/// pool (restored later as a priced transfer) or dropped for a full
+/// re-prefill.
+#[derive(Debug)]
+struct PausedRequest {
+    pending: PendingRequest,
+    /// Tokens generated before the pause.
+    generated: u64,
+    first_token_s: f64,
+    /// Resident context at the pause: prompt + generated tokens.
+    ctx: u64,
+    /// KV swap-out (true) vs recompute-on-resume (false).
+    swapped: bool,
+    /// Replica clock at the pause, for the paused-time metric.
+    paused_at_s: f64,
+}
+
+/// One member of a multiplex slot: a batch-tier request advancing one
+/// token per stage on the slot's shared compute.
+#[derive(Debug)]
+struct MuxMember {
+    pending: PendingRequest,
+    generated: u64,
+    first_token_s: f64,
+}
+
+/// A multiplex slot: several compatible paused batch-tier requests
+/// sharing one batch slot (RevMUX-style). The slot is one ordinary
+/// decode row in the stage — it joined at the longest member's context
+/// and advances one token per stage — while every live member
+/// generates a token per stage, credited to goodput at the slot's
+/// quality exchange rate.
+#[derive(Debug)]
+struct MuxSlot {
+    /// Decode context the slot joined at (max member context).
+    ctx: u64,
+    /// Tokens the slot has advanced since joining.
+    generated: u64,
+    /// KV bytes reserved for the slot (released when it retires).
+    kv_bytes: u64,
+    /// Goodput credit per multiplexed token, from the
+    /// [`crate::MultiplexSpec`] at formation time.
+    quality: f64,
+    members: Vec<MuxMember>,
+}
+
+impl MuxSlot {
+    /// Post-advance decode context for the stage being formed (same
+    /// convention as [`ActiveRequest::decode_ctx`]).
+    fn decode_ctx(&self) -> u64 {
+        self.ctx + self.generated
+    }
+
+    /// Members still generating.
+    fn live_members(&self) -> u64 {
+        self.members
+            .iter()
+            .filter(|m| m.generated < m.pending.request.output_len)
+            .count() as u64
+    }
 }
 
 impl ActiveRequest {
@@ -638,6 +718,22 @@ pub(crate) struct ReplicaSim {
     /// Requests mid-way through a chunked prompt prefill, in admission
     /// order (each stage continues them FIFO).
     chunking: Vec<ChunkingRequest>,
+    /// Batch-tier decodes paused by the preemption policy, in pause
+    /// order (resumed FIFO).
+    paused: Vec<PausedRequest>,
+    /// Within-step scratch: paused requests rejoining the stage being
+    /// formed (one-token swap joins and final recompute slices). They
+    /// keep their mid-decode state, unlike `admitted` — drained into
+    /// `active` after the stage executes. Empty at merge points.
+    resumed: Vec<ActiveRequest>,
+    /// Live multiplex slots: each is one decode row shared by several
+    /// batch-tier requests.
+    mux: Vec<MuxSlot>,
+    /// Within-step scratch: multiplex slots joining the stage being
+    /// formed. Empty at merge points.
+    mux_admitted: Vec<MuxSlot>,
+    /// Preemption and multiplexing counters.
+    preempt: PreemptStats,
     /// Finished conversations' KV, parked between turns. Recompute
     /// policy: an evicted history is simply re-prefilled.
     parked: Option<PagedKvCache>,
@@ -724,6 +820,11 @@ impl ReplicaSim {
             active: Vec::new(),
             admitted: Vec::new(),
             chunking: Vec::new(),
+            paused: Vec::new(),
+            resumed: Vec::new(),
+            mux: Vec::new(),
+            mux_admitted: Vec::new(),
+            preempt: PreemptStats::default(),
             parked,
             reserved: 0,
             clock: 0.0,
@@ -762,7 +863,15 @@ impl ReplicaSim {
     }
 
     pub(crate) fn in_flight(&self) -> bool {
-        !self.active.is_empty() || !self.chunking.is_empty() || !self.admitted.is_empty()
+        !self.active.is_empty()
+            || !self.chunking.is_empty()
+            || !self.admitted.is_empty()
+            || !self.resumed.is_empty()
+            || !self.mux.is_empty()
+            || !self.mux_admitted.is_empty()
+            // Paused work still belongs to this replica: it must resume
+            // and finish here before the replica counts as drained.
+            || !self.paused.is_empty()
     }
 
     /// Whether the stage cap still allows this replica to run.
@@ -804,8 +913,11 @@ impl ReplicaSim {
     /// so. Exact O(queue) walk per snapshot; revisit with running
     /// counters if fleets outgrow the suite's backlog sizes.
     pub(crate) fn load(&self) -> (usize, usize, u64) {
-        let in_flight = self.active.len() + self.admitted.len() + self.chunking.len();
-        let queued = self.pending.len() + self.inbox.len();
+        let mux_members: usize = self.mux.iter().map(|s| s.live_members() as usize).sum();
+        let in_flight = self.active.len() + self.admitted.len() + self.chunking.len() + mux_members;
+        // Paused requests are queued-but-displaced: they will re-enter
+        // this replica's batch, so the router prices them as queue.
+        let queued = self.pending.len() + self.inbox.len() + self.paused.len();
         let mut tokens: u64 = self
             .active
             .iter()
@@ -817,6 +929,22 @@ impl ReplicaSim {
             .map(|c| c.prefill_total - c.processed + c.pending.request.output_len)
             .sum::<u64>();
         tokens += self
+            .mux
+            .iter()
+            .flat_map(|s| s.members.iter())
+            .map(|m| m.pending.request.output_len.saturating_sub(m.generated))
+            .sum::<u64>();
+        tokens += self
+            .paused
+            .iter()
+            .map(|p| {
+                // A recompute resume re-prefills the whole paused
+                // context before generation continues.
+                let reprefill = if p.swapped { 0 } else { p.ctx };
+                reprefill + p.pending.request.output_len.saturating_sub(p.generated)
+            })
+            .sum::<u64>();
+        tokens += self
             .pending
             .iter()
             .chain(self.inbox.iter())
@@ -826,6 +954,38 @@ impl ReplicaSim {
             })
             .sum::<u64>();
         (in_flight, queued, tokens)
+    }
+
+    /// KV bytes of swapped-out paused contexts parked in this
+    /// replica's pool — displaced state still bound to this replica,
+    /// advertised to routers through
+    /// [`crate::router::ReplicaSnapshot::transfer_backlog_bytes`].
+    pub(crate) fn paused_swap_bytes(&self) -> u64 {
+        self.paused
+            .iter()
+            .filter(|p| p.swapped)
+            .map(|p| p.ctx * self.config.kv_bytes_per_token)
+            .sum()
+    }
+
+    /// Arm the preemption machinery before the run starts (and before
+    /// any snapshot import) when `policy` preempts: resumes join the
+    /// batch above their prefilled length, so deltas must announce
+    /// decode-join contexts, and swap-out needs a parked pool even in
+    /// single-shot scenarios. A no-op for plain policies.
+    pub(crate) fn prepare_preempt(&mut self, policy: &dyn SchedulingPolicy) {
+        if policy.preempt_spec().is_none() {
+            return;
+        }
+        self.announce_ctx = true;
+        if self.parked.is_none() {
+            self.parked = Some(PagedKvCache::new(
+                self.config.kv_capacity_bytes,
+                Self::HANDOFF_PAGE_TOKENS,
+                self.config.kv_bytes_per_token.max(1),
+                EvictionPolicy::Recompute,
+            ));
+        }
     }
 
     /// KV bytes reserved by in-flight work, and the replica's budget.
@@ -917,7 +1077,11 @@ impl ReplicaSim {
     /// next `execute_delta` rebuilds its batch state from scratch.
     pub(crate) fn crash(&mut self) -> Vec<PendingRequest> {
         debug_assert!(
-            self.admitted.is_empty() && self.retire_events.is_empty() && self.handoffs.is_empty(),
+            self.admitted.is_empty()
+                && self.resumed.is_empty()
+                && self.mux_admitted.is_empty()
+                && self.retire_events.is_empty()
+                && self.handoffs.is_empty(),
             "crash applied outside a merge point"
         );
         let mut lost: Vec<PendingRequest> = Vec::new();
@@ -925,6 +1089,15 @@ impl ReplicaSim {
         lost.append(&mut self.pending);
         lost.extend(self.chunking.drain(..).map(|c| c.pending));
         lost.extend(self.active.drain(..).map(|a| a.pending));
+        // Paused requests and multiplex-slot members die with the
+        // replica like any other in-flight decode (their parked KV is
+        // wiped below either way).
+        lost.extend(self.paused.drain(..).map(|p| p.pending));
+        lost.extend(
+            self.mux
+                .drain(..)
+                .flat_map(|s| s.members.into_iter().map(|m| m.pending)),
+        );
         lost.sort_by_key(|p| p.request.id);
         for n in self.tier_active.iter_mut() {
             *n = 0;
@@ -1094,6 +1267,280 @@ impl ReplicaSim {
         &self.timeline
     }
 
+    /// Deterministic victim choice for preemption: among active
+    /// requests at or below the victim priority class (larger value =
+    /// more batch-like), pick the most batch-like first, break ties
+    /// toward the smallest resident context (cheapest to resume), then
+    /// the smallest request id.
+    fn pick_victim(&self, victim_priority: u32) -> Option<usize> {
+        let mut best: Option<usize> = None;
+        for (i, a) in self.active.iter().enumerate() {
+            if a.pending.priority < victim_priority {
+                continue;
+            }
+            let key = (
+                std::cmp::Reverse(a.pending.priority),
+                a.decode_ctx(),
+                a.pending.request.id,
+            );
+            best = match best {
+                Some(b) => {
+                    let cur = &self.active[b];
+                    let cur_key = (
+                        std::cmp::Reverse(cur.pending.priority),
+                        cur.decode_ctx(),
+                        cur.pending.request.id,
+                    );
+                    if key < cur_key {
+                        Some(i)
+                    } else {
+                        Some(b)
+                    }
+                }
+                None => Some(i),
+            };
+        }
+        best
+    }
+
+    /// Pause one active decode mid-flight: retire it from the stage
+    /// delta exactly as a completion would (the batch-state advance
+    /// then matches), release its slot and KV reservation, and park
+    /// its context when the cost model prefers swap-out and the pool
+    /// accepts it — otherwise the context is dropped for a
+    /// recompute-on-resume.
+    fn pause_victim(&mut self, idx: usize, spec: &PreemptSpec) {
+        let bytes_per_token = self.config.kv_bytes_per_token;
+        let victim = self.active.swap_remove(idx);
+        if !self.tier_active.is_empty() {
+            self.tier_active[victim.pending.tier] -= 1;
+        }
+        self.reserved -= victim.kv_reserved(bytes_per_token);
+        let ctx = victim.decode_ctx();
+        self.delta.retire.push(ctx);
+        let swapped = spec.prefers_swap(ctx, ctx * bytes_per_token)
+            && self.receive_parked(victim.pending.conversation, ctx);
+        self.preempt.preemptions += 1;
+        self.paused.push(PausedRequest {
+            pending: victim.pending,
+            generated: victim.generated,
+            first_token_s: victim.first_token_s,
+            ctx,
+            swapped,
+            paused_at_s: self.clock,
+        });
+    }
+
+    /// Whether a paused request's swapped-out context is still fully
+    /// resident in the parked pool (it may have been evicted under KV
+    /// pressure since the pause, which forces a recompute instead).
+    fn swap_resident(&self, pr: &PausedRequest) -> bool {
+        pr.swapped
+            && self
+                .parked
+                .as_ref()
+                .and_then(|c| c.resident_tokens(pr.pending.conversation))
+                .is_some_and(|t| t >= pr.ctx)
+    }
+
+    /// Greedy FIFO multiplex-slot formation: anchor on the oldest
+    /// swapped-resident paused request, pack later ones whose contexts
+    /// agree within the tolerance (up to `lanes` members), and price
+    /// each member's KV restore on the clock. Returns `None` when no
+    /// two compatible members exist or the slot's padded KV
+    /// reservation cannot fit.
+    fn form_mux_slot(&mut self, spec: &PreemptSpec, mspec: &MultiplexSpec) -> Option<MuxSlot> {
+        let bytes_per_token = self.config.kv_bytes_per_token;
+        let anchor = (0..self.paused.len()).find(|&i| self.swap_resident(&self.paused[i]))?;
+        let anchor_ctx = self.paused[anchor].ctx;
+        let mut picked = vec![anchor];
+        for i in anchor + 1..self.paused.len() {
+            if picked.len() >= mspec.lanes {
+                break;
+            }
+            let pr = &self.paused[i];
+            if pr.ctx.abs_diff(anchor_ctx) <= mspec.ctx_tolerance && self.swap_resident(pr) {
+                picked.push(i);
+            }
+        }
+        if picked.len() < 2 {
+            return None;
+        }
+        let slot_ctx = picked
+            .iter()
+            .map(|&i| self.paused[i].ctx)
+            .max()
+            .expect("picked is non-empty");
+        let max_remaining = picked
+            .iter()
+            .map(|&i| {
+                let pr = &self.paused[i];
+                pr.pending.request.output_len - pr.generated
+            })
+            .max()
+            .expect("picked is non-empty");
+        // The slot is padded to the longest member and decodes until
+        // the longest remaining stream finishes.
+        let kv_bytes = (slot_ctx + max_remaining) * bytes_per_token;
+        if self.reserved.saturating_add(kv_bytes) > self.config.kv_capacity_bytes {
+            return None;
+        }
+        let mut members = Vec::with_capacity(picked.len());
+        // Remove back-to-front so earlier indices stay valid, then
+        // restore FIFO order below.
+        for &i in picked.iter().rev() {
+            let pr = self.paused.remove(i);
+            self.preempt.paused_time_s += (self.clock - pr.paused_at_s).max(0.0);
+            if let Some(cache) = self.parked.as_mut() {
+                cache.release(pr.pending.conversation);
+            }
+            let restore = spec.swap_restore_seconds(pr.ctx * bytes_per_token);
+            self.clock += restore;
+            self.preempt.swap_restore_seconds += restore;
+            self.preempt.swaps += 1;
+            self.preempt.resumes += 1;
+            members.push(MuxMember {
+                pending: pr.pending,
+                generated: pr.generated,
+                first_token_s: pr.first_token_s,
+            });
+        }
+        members.reverse();
+        self.preempt.mux_slots += 1;
+        Some(MuxSlot {
+            ctx: slot_ctx,
+            generated: 0,
+            kv_bytes,
+            quality: mspec.quality,
+            members,
+        })
+    }
+
+    /// Resume paused work into this stage's free slots, multiplexed
+    /// slots first, then individual FIFO resumes (swap restore when the
+    /// parked context survived, recompute otherwise).
+    fn resume_paused(
+        &mut self,
+        policy: &dyn SchedulingPolicy,
+        spec: &PreemptSpec,
+        force: bool,
+        budget: &mut u64,
+    ) {
+        let bytes_per_token = self.config.kv_bytes_per_token;
+        let occupied = self.active.len()
+            + self.admitted.len()
+            + self.chunking.len()
+            + self.finished_prefills.len()
+            + self.mux.len()
+            + self.mux_admitted.len();
+        let free = self.config.max_batch.saturating_sub(occupied);
+        let mut allowance = free;
+        if force {
+            allowance = allowance.max(1);
+            *budget = (*budget).max(1);
+        }
+        if let Some(mspec) = policy.multiplex_spec().copied() {
+            while allowance > 0 && *budget > 0 {
+                let Some(slot) = self.form_mux_slot(spec, &mspec) else {
+                    break;
+                };
+                // One-token join at the slot's padded context: the
+                // slot decodes one row that all members share.
+                self.delta.admit.push(1);
+                if self.announce_ctx {
+                    self.delta.admit_ctx.push(slot.ctx);
+                }
+                self.shape.push_prefill(1, slot.ctx - 1, false);
+                self.reserved += slot.kv_bytes;
+                *budget -= 1;
+                allowance -= 1;
+                self.mux_admitted.push(slot);
+            }
+        }
+        while allowance > 0 && *budget > 0 {
+            let Some(front) = self.paused.first() else {
+                break;
+            };
+            let need = front.pending.request.max_kv_tokens() * bytes_per_token;
+            if self.reserved.saturating_add(need) > self.config.kv_capacity_bytes {
+                // Head-of-line block: wait for retirements rather
+                // than resuming out of order.
+                break;
+            }
+            let pr = self.paused.remove(0);
+            let use_swap = self.swap_resident(&pr);
+            self.preempt.paused_time_s += (self.clock - pr.paused_at_s).max(0.0);
+            self.preempt.resumes += 1;
+            self.reserved += need;
+            if pr.swapped {
+                // Release the parked context (restored below, or
+                // stale after an eviction forced recompute).
+                if let Some(cache) = self.parked.as_mut() {
+                    cache.release(pr.pending.conversation);
+                }
+            }
+            if let Some(cache) = self.parked.as_mut() {
+                while self.reserved + cache.resident_bytes() > self.config.kv_capacity_bytes {
+                    cache
+                        .evict_one()
+                        .expect("over budget implies a parked victim");
+                    self.kv_reuse.parked_evictions += 1;
+                }
+            }
+            if use_swap {
+                // Priced restore of the parked KV, then a one-token
+                // rejoin at the parked context.
+                let restore = spec.swap_restore_seconds(pr.ctx * bytes_per_token);
+                self.clock += restore;
+                self.preempt.swap_restore_seconds += restore;
+                self.preempt.swaps += 1;
+                self.delta.admit.push(1);
+                if self.announce_ctx {
+                    self.delta.admit_ctx.push(pr.ctx);
+                }
+                self.shape.push_prefill(1, pr.ctx - 1, false);
+                *budget -= 1;
+                self.resumed.push(ActiveRequest {
+                    pending: pr.pending,
+                    generated: pr.generated,
+                    first_token_s: pr.first_token_s,
+                });
+            } else {
+                self.preempt.recomputes += 1;
+                let total = pr.ctx;
+                self.kv_reuse.prefilled_tokens += total;
+                let slice = total.min(*budget);
+                *budget -= slice;
+                if slice < total {
+                    self.delta.chunk.push((slice, 0));
+                    self.shape.push_prefill(slice, 0, true);
+                    self.chunking.push(ChunkingRequest {
+                        pending: pr.pending,
+                        history: 0,
+                        processed: slice,
+                        prefill_total: total,
+                        resumed: Some(ResumeCarry {
+                            generated: pr.generated,
+                            first_token_s: pr.first_token_s,
+                        }),
+                    });
+                } else {
+                    self.delta.admit.push(total);
+                    if self.announce_ctx {
+                        self.delta.admit_ctx.push(total);
+                    }
+                    self.shape.push_prefill(total, 0, false);
+                    self.resumed.push(ActiveRequest {
+                        pending: pr.pending,
+                        generated: pr.generated,
+                        first_token_s: pr.first_token_s,
+                    });
+                }
+            }
+            allowance -= 1;
+        }
+    }
+
     /// Form and execute one stage at this replica's `next_start` time.
     ///
     /// `step` never touches the shared [`ScenarioStream`]: completed
@@ -1124,6 +1571,61 @@ impl ReplicaSim {
         {
             self.pending
                 .push(self.inbox.pop().expect("checked non-empty"));
+        }
+
+        // ---- preemptive slot reclaim ----
+        // When the policy arms preemption and urgent (interactive)
+        // work is waiting behind a saturated batch, pause batch-tier
+        // decodes mid-flight: each victim retires from the stage delta
+        // exactly as a completion would, releases its slot and KV
+        // reservation, and parks (swap-out) or drops (recompute) its
+        // context per the cost model. Paused work resumes below once
+        // slots free up — nothing is dropped.
+        if let Some(spec) = policy.preempt_spec().copied() {
+            if self.role != PoolRole::Prefill && !self.active.is_empty() {
+                let urgent = self
+                    .pending
+                    .iter()
+                    .filter(|p| p.priority < spec.urgent_priority)
+                    .count();
+                let occupied = self.active.len() + self.chunking.len() + self.mux.len();
+                let occupancy = if self.config.max_batch == 0 {
+                    0.0
+                } else {
+                    occupied as f64 / self.config.max_batch as f64
+                };
+                // The cheapest urgent KV need: when even it cannot
+                // fit, capacity (not slots) is the binding constraint
+                // and preemption frees reservations — regardless of
+                // how many batch *slots* are occupied.
+                let urgent_min_need = self
+                    .pending
+                    .iter()
+                    .filter(|p| p.priority < spec.urgent_priority)
+                    .map(|p| p.request.max_kv_tokens() * bytes_per_token)
+                    .min()
+                    .unwrap_or(0);
+                let kv_blocked =
+                    self.reserved.saturating_add(urgent_min_need) > self.config.kv_capacity_bytes;
+                if urgent > 0 && (occupancy >= spec.utilization_threshold || kv_blocked) {
+                    let mut preempts = 0;
+                    while preempts < spec.max_preempts_per_stage {
+                        let occupied = self.active.len() + self.chunking.len() + self.mux.len();
+                        let free = self.config.max_batch.saturating_sub(occupied);
+                        let slot_short = urgent > free;
+                        let kv_short = self.reserved.saturating_add(urgent_min_need)
+                            > self.config.kv_capacity_bytes;
+                        if !(slot_short || kv_short) {
+                            break;
+                        }
+                        let Some(idx) = self.pick_victim(spec.victim_priority) else {
+                            break;
+                        };
+                        self.pause_victim(idx, &spec);
+                        preempts += 1;
+                    }
+                }
+            }
         }
 
         // ---- per-stage prefill token budget (chunked prefill) ----
@@ -1157,23 +1659,72 @@ impl ReplicaSim {
                     continue;
                 }
                 // Final slice: samples the first token and joins the
-                // decode set at the full prompt context.
+                // decode set at the full prompt context. A resumed
+                // recompute joins at its paused context (history +
+                // prefill_total) and keeps its original counters.
                 self.delta.admit.push(slice);
                 if self.announce_ctx {
-                    self.delta.admit_ctx.push(c.pending.request.input_len);
+                    let join_ctx = match &c.resumed {
+                        Some(_) => c.history + c.prefill_total,
+                        None => c.pending.request.input_len,
+                    };
+                    self.delta.admit_ctx.push(join_ctx);
                 }
                 self.shape.push_prefill(slice, past, false);
                 let done = self.chunking.remove(ci);
-                self.admitted.push(ActiveRequest {
-                    pending: done.pending,
-                    generated: 0,
-                    first_token_s: 0.0,
-                });
+                match done.resumed {
+                    Some(carry) => self.resumed.push(ActiveRequest {
+                        pending: done.pending,
+                        generated: carry.generated,
+                        first_token_s: carry.first_token_s,
+                    }),
+                    None => self.admitted.push(ActiveRequest {
+                        pending: done.pending,
+                        generated: 0,
+                        first_token_s: 0.0,
+                    }),
+                }
             } else {
                 self.delta.chunk.push((slice, past));
                 self.shape.push_prefill(slice, past, true);
                 c.processed += slice;
                 ci += 1;
+            }
+        }
+
+        // ---- resume paused work ----
+        // Paused requests re-enter FIFO once slots free up, leaving
+        // room for urgent arrivals. A swapped-out victim whose parked
+        // context is still resident restores it as a priced link
+        // transfer and rejoins as a one-token prefill; otherwise it
+        // re-prefills its whole context with no history (recompute:
+        // the kept token ids are teacher-forced) and resumes its
+        // counters at the join. When multiplexing is armed, compatible
+        // swapped victims pack into shared decode slots first.
+        if !self.paused.is_empty() && self.role != PoolRole::Prefill {
+            let spec = policy.preempt_spec().copied().unwrap_or_default();
+            let urgent = self
+                .pending
+                .iter()
+                .filter(|p| p.priority < spec.urgent_priority)
+                .count();
+            let occupied = self.active.len()
+                + self.admitted.len()
+                + self.chunking.len()
+                + self.finished_prefills.len()
+                + self.mux.len()
+                + self.mux_admitted.len();
+            // With the batch otherwise empty and nothing to admit, at
+            // least one resume must land this stage, or the replica
+            // would execute an empty shape and the clock would never
+            // advance.
+            let force = occupied == 0 && self.pending.is_empty();
+            // Resumes yield to waiting urgent work entirely: a
+            // recompute re-prefill would eat the stage budget the
+            // urgent prompt needs, re-creating the very head-of-line
+            // blocking preemption exists to remove.
+            if urgent == 0 || force {
+                self.resume_paused(policy, &spec, force, &mut budget);
             }
         }
 
@@ -1185,6 +1736,9 @@ impl ReplicaSim {
             + self.admitted.len()
             + self.chunking.len()
             + self.finished_prefills.len()
+            + self.resumed.len()
+            + self.mux.len()
+            + self.mux_admitted.len()
             < self.config.max_batch
             && !self.pending.is_empty()
             && budget > 0
@@ -1195,7 +1749,10 @@ impl ReplicaSim {
                 in_flight: self.active.len()
                     + self.admitted.len()
                     + self.chunking.len()
-                    + self.finished_prefills.len(),
+                    + self.finished_prefills.len()
+                    + self.resumed.len()
+                    + self.mux.len()
+                    + self.mux_admitted.len(),
                 max_batch: self.config.max_batch,
             };
             let Some(idx) = policy.admit_now(&self.pending, &pctx) else {
@@ -1302,6 +1859,7 @@ impl ReplicaSim {
                         history: resident,
                         processed: slice,
                         prefill_total: total,
+                        resumed: None,
                     });
                 }
                 continue;
@@ -1319,6 +1877,7 @@ impl ReplicaSim {
                     history: resident,
                     processed: slice,
                     prefill_total: prefill,
+                    resumed: None,
                 });
             } else {
                 self.delta.admit.push(prefill);
@@ -1351,9 +1910,16 @@ impl ReplicaSim {
         self.shape
             .decode_ctx
             .extend(self.active.iter().map(ActiveRequest::decode_ctx));
+        // Each mux slot decodes exactly one shared row.
+        self.shape
+            .decode_ctx
+            .extend(self.mux.iter().map(MuxSlot::decode_ctx));
         debug_assert_eq!(
             self.shape.prefill_len.len(),
-            self.admitted.len() + self.delta.chunk.len()
+            self.admitted.len()
+                + self.resumed.len()
+                + self.mux_admitted.len()
+                + self.delta.chunk.len()
         );
         let outcome = executor.execute_delta(&self.delta, &self.shape);
         self.delta.clear();
@@ -1361,10 +1927,16 @@ impl ReplicaSim {
         // is bit-exact in IEEE 754, so no-fault runs are unchanged.
         let stage_seconds = outcome.seconds * self.perf_factor;
         self.clock += stage_seconds;
+        // Live multiplexed streams: ongoing slots decode one token per
+        // live member per stage; joining slots sample first tokens.
+        let mux_live: u64 = self.mux.iter().map(MuxSlot::live_members).sum();
+        let mux_joining: u64 = self.mux_admitted.iter().map(MuxSlot::live_members).sum();
         // Recovery timeline: bucket the tokens this stage generated
         // (decodes plus sampled first tokens) by virtual time.
         if self.timeline_bucket_s > 0.0 {
-            let tokens = (self.active.len() + self.admitted.len()) as u64;
+            let tokens = (self.active.len() + self.admitted.len() + self.resumed.len()) as u64
+                + mux_live
+                + mux_joining;
             if tokens > 0 {
                 let bucket = (self.clock / self.timeline_bucket_s) as u64;
                 match self.timeline.last_mut() {
@@ -1397,20 +1969,30 @@ impl ReplicaSim {
             }
         }
 
-        // One TBT sample per decoding request; `tier_active` tracks the
-        // active set's per-tier counts incrementally (updated on admit
-        // and retire below), and the bucket index is computed once and
-        // shared across the fleet and tier digests.
-        if !self.active.is_empty() {
+        // One TBT sample per decoding request (multiplexed members
+        // included — they each stream a token per stage); `tier_active`
+        // tracks the active set's per-tier counts incrementally
+        // (updated on admit and retire below), and the bucket index is
+        // computed once and shared across the fleet and tier digests.
+        if !self.active.is_empty() || mux_live > 0 {
             let bucket = LatencyDigest::bucket_for(stage_seconds);
             self.tbt_digest
-                .record_n_in(bucket, stage_seconds, self.active.len() as u64);
+                .record_n_in(bucket, stage_seconds, self.active.len() as u64 + mux_live);
             for (stats, &n) in self.tier_stats.iter_mut().zip(&self.tier_active) {
                 stats.tbt_digest.record_n_in(bucket, stage_seconds, n);
             }
         }
         for a in &mut self.active {
             a.generated += 1;
+        }
+        for slot in &mut self.mux {
+            slot.generated += 1;
+            for m in &mut slot.members {
+                if m.generated < m.pending.request.output_len {
+                    m.generated += 1;
+                    self.preempt.mux_tokens += 1;
+                }
+            }
         }
         for mut a in self.admitted.drain(..) {
             a.generated = 1;
@@ -1419,6 +2001,26 @@ impl ReplicaSim {
                 self.tier_active[a.pending.tier] += 1;
             }
             self.active.push(a);
+        }
+        // Resumed requests keep their original counters: the join
+        // sampled their next token, not their first.
+        for mut a in self.resumed.drain(..) {
+            a.generated += 1;
+            if !self.tier_active.is_empty() {
+                self.tier_active[a.pending.tier] += 1;
+            }
+            self.active.push(a);
+        }
+        for mut slot in self.mux_admitted.drain(..) {
+            slot.generated = 1;
+            for m in &mut slot.members {
+                m.generated += 1;
+                self.preempt.mux_tokens += 1;
+                if !self.tier_active.is_empty() {
+                    self.tier_active[m.pending.tier] += 1;
+                }
+            }
+            self.mux.push(slot);
         }
 
         // ---- retire, account SLOs, spawn follow-ups ----
@@ -1486,6 +2088,77 @@ impl ReplicaSim {
                 }
             }
             self.completed.push(record);
+        }
+
+        // ---- retire finished mux members, then emptied slots ----
+        // A member leaves its slot when its stream completes; goodput
+        // is scaled by the slot's quality exchange rate (the price of
+        // sharing compute). The slot row keeps decoding for the
+        // members still streaming and retires only once empty.
+        let mut si = 0;
+        while si < self.mux.len() {
+            let quality = self.mux[si].quality;
+            let mut mi = 0;
+            while mi < self.mux[si].members.len() {
+                let m = &self.mux[si].members[mi];
+                if m.generated < m.pending.request.output_len {
+                    mi += 1;
+                    continue;
+                }
+                let done = self.mux[si].members.swap_remove(mi);
+                if !self.tier_active.is_empty() {
+                    self.tier_active[done.pending.tier] -= 1;
+                }
+                let record = RequestRecord {
+                    first_token_s: done.first_token_s,
+                    last_token_s: self.clock,
+                    tokens: done.generated,
+                    request: done.pending.request,
+                };
+                if !self.tier_stats.is_empty() {
+                    let tier = &self.tiers[done.pending.tier];
+                    let stats = &mut self.tier_stats[done.pending.tier];
+                    stats.completed += 1;
+                    let met_t2ft = record.first_token_s <= done.pending.deadline_s;
+                    let met_tbt =
+                        tier.tbt_deadline_s == 0.0 || record.mean_tbt() <= tier.tbt_deadline_s;
+                    let met = met_t2ft && met_tbt;
+                    if met {
+                        stats.met += 1;
+                        stats.good_tokens += (record.tokens as f64 * quality) as u64;
+                    }
+                    for (wi, &(start, end)) in self.fault_windows.iter().enumerate() {
+                        if record.last_token_s >= start && record.last_token_s < end {
+                            let cell = &mut self.window_counts[wi][done.pending.tier];
+                            cell.0 += 1;
+                            if met {
+                                cell.1 += 1;
+                            }
+                        }
+                    }
+                }
+                if let Some(spec) = &self.conversation {
+                    if done.pending.round < spec.max_rounds {
+                        self.retire_events.push(RetireEvent::MaybeFollowup {
+                            history: done.pending.request.input_len + done.generated,
+                            now_s: self.clock,
+                            pending: done.pending,
+                        });
+                    } else {
+                        self.retire_events.push(RetireEvent::Release {
+                            conversation: done.pending.conversation,
+                        });
+                    }
+                }
+                self.completed.push(record);
+            }
+            if self.mux[si].members.is_empty() {
+                let slot = self.mux.swap_remove(si);
+                self.delta.retire.push(slot.decode_ctx());
+                self.reserved -= slot.kv_bytes;
+            } else {
+                si += 1;
+            }
         }
     }
 
@@ -1577,6 +2250,7 @@ impl ReplicaSim {
                 tiers: self.tier_stats,
             },
             kv_reuse: self.kv_reuse,
+            preempt: self.preempt,
         }
     }
 
@@ -1591,6 +2265,10 @@ impl ReplicaSim {
         assert!(
             self.admitted.is_empty(),
             "snapshot outside a merge point: admissions in flight"
+        );
+        assert!(
+            self.resumed.is_empty() && self.mux_admitted.is_empty(),
+            "snapshot outside a merge point: resumes in flight"
         );
         assert!(
             self.retire_events.is_empty(),
@@ -1626,8 +2304,44 @@ impl ReplicaSim {
                     history: c.history,
                     processed: c.processed,
                     prefill_total: c.prefill_total,
+                    resumed: c.resumed.map(|r| ResumeState {
+                        generated: r.generated,
+                        first_token_s: r.first_token_s,
+                    }),
                 })
                 .collect(),
+            paused: self
+                .paused
+                .iter()
+                .map(|p| PausedState {
+                    pending: p.pending.clone(),
+                    generated: p.generated,
+                    first_token_s: p.first_token_s,
+                    ctx: p.ctx,
+                    swapped: p.swapped,
+                    paused_at_s: p.paused_at_s,
+                })
+                .collect(),
+            mux: self
+                .mux
+                .iter()
+                .map(|s| MuxState {
+                    ctx: s.ctx,
+                    generated: s.generated,
+                    kv_bytes: s.kv_bytes,
+                    quality: s.quality,
+                    members: s
+                        .members
+                        .iter()
+                        .map(|m| MuxMemberState {
+                            pending: m.pending.clone(),
+                            generated: m.generated,
+                            first_token_s: m.first_token_s,
+                        })
+                        .collect(),
+                })
+                .collect(),
+            preempt: self.preempt,
             parked: self.parked.as_ref().map(|cache| {
                 let (clock, entries) = cache.export_entries();
                 KvState { clock, entries }
@@ -1686,12 +2400,61 @@ impl ReplicaSim {
                 history: c.history,
                 processed: c.processed,
                 prefill_total: c.prefill_total,
+                resumed: c.resumed.as_ref().map(|r| ResumeCarry {
+                    generated: r.generated,
+                    first_token_s: r.first_token_s,
+                }),
             })
             .collect();
+        self.paused = s
+            .paused
+            .iter()
+            .map(|p| PausedRequest {
+                pending: p.pending.clone(),
+                generated: p.generated,
+                first_token_s: p.first_token_s,
+                ctx: p.ctx,
+                swapped: p.swapped,
+                paused_at_s: p.paused_at_s,
+            })
+            .collect();
+        self.mux = s
+            .mux
+            .iter()
+            .map(|m| MuxSlot {
+                ctx: m.ctx,
+                generated: m.generated,
+                kv_bytes: m.kv_bytes,
+                quality: m.quality,
+                members: m
+                    .members
+                    .iter()
+                    .map(|mm| MuxMember {
+                        pending: mm.pending.clone(),
+                        generated: mm.generated,
+                        first_token_s: mm.first_token_s,
+                    })
+                    .collect(),
+            })
+            .collect();
+        self.preempt = s.preempt;
         match (&mut self.parked, &s.parked) {
             (Some(cache), Some(kv)) => cache.import_entries(kv.clock, &kv.entries),
             (None, None) => {}
-            _ => panic!("snapshot parked-KV state does not match the scenario"),
+            (None, Some(kv)) => {
+                // A preempting policy swapped contexts out on a
+                // scenario with no conversation pool of its own:
+                // recreate the pool exactly as `prepare_preempt` does.
+                let mut cache = PagedKvCache::new(
+                    self.config.kv_capacity_bytes,
+                    Self::HANDOFF_PAGE_TOKENS,
+                    self.config.kv_bytes_per_token.max(1),
+                    EvictionPolicy::Recompute,
+                );
+                cache.import_entries(kv.clock, &kv.entries);
+                self.parked = Some(cache);
+            }
+            (Some(_), None) => panic!("snapshot parked-KV state does not match the scenario"),
         }
         self.reserved = s.reserved;
         self.clock = s.clock;
@@ -1721,6 +2484,14 @@ impl ReplicaSim {
         if !self.tier_active.is_empty() {
             for a in &self.active {
                 self.tier_active[a.pending.tier] += 1;
+            }
+            // Live multiplexed members count toward their tiers too.
+            for slot in &self.mux {
+                for m in &slot.members {
+                    if m.generated < m.pending.request.output_len {
+                        self.tier_active[m.pending.tier] += 1;
+                    }
+                }
             }
         }
         self.kv_reuse = s.kv_reuse;
@@ -1797,6 +2568,7 @@ impl ScenarioSimulation {
         let Self { config, scenario } = self;
         let mut stream = ScenarioStream::new(&scenario, recorder);
         let mut replica = ReplicaSim::new(config, &scenario);
+        replica.prepare_preempt(policy);
         loop {
             // Deliver every arrival due by the replica's next stage
             // start (all of them, when it is idle).
@@ -2284,6 +3056,157 @@ mod tests {
         // The price is batch-tier queueing delay, not lost work.
         let batch = |r: &SimReport| r.slo.tiers[1].completed;
         assert_eq!(batch(&shed), batch(&edf));
+    }
+
+    #[test]
+    fn preemption_beats_shedding_when_batch_decodes_hog_slots() {
+        // KV-bound regime: running batch decodes reserve their full
+        // (input + output) KV budget, and the capacity only fits a few
+        // at once. Admission-side control (ShedBatchTier) can only
+        // defer *new* batch prompts — it cannot free bytes a running
+        // decode already reserved, so an interactive arrival
+        // head-of-line blocks until a natural retirement and misses
+        // its tight T2FT deadline. Preemption pauses a victim at the
+        // very next stage, releasing its reservation: the interactive
+        // prompt admits within milliseconds.
+        struct Linear;
+        impl StageExecutor for Linear {
+            fn execute(&mut self, shape: &StageShape) -> StageOutcome {
+                let prefill: u64 = shape.prefill_len.iter().sum();
+                StageOutcome {
+                    seconds: 0.002 + 1.5e-4 * prefill as f64 + 1e-4 * shape.decode_ctx.len() as f64,
+                }
+            }
+        }
+        let tiers = vec![
+            SloTier::new("interactive", 0.5, 0, 0.035, 0.0),
+            SloTier::new("batch", 0.5, 2, 60.0, 0.0),
+        ];
+        let mk = |policy: &mut dyn SchedulingPolicy| {
+            let scenario = Scenario::new(
+                "preempt",
+                Workload::gaussian(64, 192).with_seed(21),
+                Arrivals::Poisson { qps: 16.0 },
+                400,
+            )
+            .with_tiers(tiers.clone())
+            // Chunked prefill bounds every stage (fresh prompts and
+            // recompute re-prefills alike), so T2FT is dominated by
+            // the wait for KV headroom — the thing under test.
+            .with_prefill_chunk(64);
+            let cfg = SimulationConfig {
+                // ~5 concurrent requests' worth of (input + output)
+                // reservations: KV, not batch slots, is the binding
+                // constraint.
+                kv_capacity_bytes: 1280,
+                ..config(8)
+            };
+            ScenarioSimulation::new(cfg, scenario).run(policy, &mut Linear)
+        };
+        let shed = mk(&mut crate::policy::ShedBatchTier::new(
+            Box::new(PriorityTiers),
+            0.5,
+            2,
+        ));
+        // Crossover at ctx = 7.5e-3 / (1e-4 - 5e-5) = 150 resident
+        // tokens (1 KV byte per token here): short victims re-prefill,
+        // long ones swap — both paths must see traffic.
+        let spec = crate::preempt::PreemptSpec::new()
+            .with_swap_link(2e4, 7.5e-3)
+            .with_recompute_rate(1e4);
+        let preempt = mk(&mut crate::preempt::PreemptionPolicy::new(
+            Box::new(PriorityTiers),
+            spec,
+        ));
+        assert_eq!(shed.completed.len(), 400);
+        assert_eq!(preempt.completed.len(), 400, "paused work is never dropped");
+        let interactive = |r: &SimReport| r.slo.tiers[0].attainment();
+        assert!(
+            interactive(&preempt) > interactive(&shed) + 0.05,
+            "preempt {} vs shed {}",
+            interactive(&preempt),
+            interactive(&shed)
+        );
+        // The price is bounded: batch-tier goodput stays within 10%.
+        let batch_good = |r: &SimReport| r.slo.tiers[1].good_tokens;
+        assert!(
+            batch_good(&preempt) as f64 >= 0.9 * batch_good(&shed) as f64,
+            "batch goodput {} vs shed {}",
+            batch_good(&preempt),
+            batch_good(&shed)
+        );
+        // The cost model split victims across both restore paths, and
+        // every pause eventually resumed.
+        assert!(preempt.preempt.preemptions > 0);
+        assert!(
+            preempt.preempt.swaps > 0,
+            "no swap-outs: {:?}",
+            preempt.preempt
+        );
+        assert!(
+            preempt.preempt.recomputes > 0,
+            "no recomputes: {:?}",
+            preempt.preempt
+        );
+        assert_eq!(preempt.preempt.resumes, preempt.preempt.preemptions);
+        assert!(preempt.preempt.paused_time_s > 0.0);
+        // Seed-determinism: the preempting run replays bit-for-bit.
+        let again = mk(&mut crate::preempt::PreemptionPolicy::new(
+            Box::new(PriorityTiers),
+            spec,
+        ));
+        assert_eq!(preempt.completed, again.completed);
+        assert_eq!(preempt.preempt, again.preempt);
+    }
+
+    #[test]
+    fn multiplex_packs_paused_decodes_into_shared_slots() {
+        // Slot-bound regime with bursty interactive arrivals: bursts
+        // pause several batch decodes at once (SwapOnly keeps their
+        // contexts parked), and once the burst drains, the multiplexer
+        // packs compatible paused victims into one shared decode row
+        // instead of giving each its own slot back. Members pay a
+        // quality exchange rate on their goodput.
+        let tiers = vec![
+            SloTier::new("interactive", 0.4, 0, 0.08, 0.0),
+            SloTier::new("batch", 0.6, 2, 120.0, 0.0),
+        ];
+        let spec = crate::preempt::PreemptSpec::new()
+            .with_mode(crate::preempt::PreemptMode::SwapOnly)
+            .with_threshold(0.75);
+        let mspec = crate::preempt::MultiplexSpec::new();
+        let mk = || {
+            let scenario = Scenario::new(
+                "mux",
+                Workload::gaussian(64, 192).with_seed(11),
+                Arrivals::Bursty {
+                    base_qps: 1.0,
+                    burst_qps: 40.0,
+                    mean_off_s: 0.8,
+                    mean_on_s: 0.15,
+                },
+                80,
+            )
+            .with_tiers(tiers.clone());
+            let mut policy = crate::preempt::PreemptionPolicy::new(Box::new(PriorityTiers), spec)
+                .with_multiplex(mspec);
+            ScenarioSimulation::new(config(4), scenario).run(&mut policy, &mut Fixed(0.01))
+        };
+        let report = mk();
+        assert_eq!(report.completed.len(), 80, "mux members all finish");
+        assert!(
+            report.preempt.mux_slots > 0,
+            "no shared slots formed: {:?}",
+            report.preempt
+        );
+        assert!(report.preempt.mux_tokens > 0);
+        assert!(report.preempt.swaps > 0);
+        assert_eq!(report.preempt.recomputes, 0, "SwapOnly never recomputes");
+        assert_eq!(report.preempt.resumes, report.preempt.preemptions);
+        // Replays bit-for-bit.
+        let again = mk();
+        assert_eq!(report.completed, again.completed);
+        assert_eq!(report.preempt, again.preempt);
     }
 
     #[test]

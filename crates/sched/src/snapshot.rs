@@ -25,7 +25,7 @@
 //! # Serialization
 //!
 //! [`ClusterSnapshot::to_json`] writes a self-describing JSON document
-//! (schema id `duplex/cluster-snapshot/v4`) that
+//! (schema id `duplex/cluster-snapshot/v5`) that
 //! [`ClusterSnapshot::from_json`] parses back. Version 2 extended v1
 //! with fault-drill state: per-replica admission/drain flags, the
 //! fault perf factor, the generated-token timeline, per-fault SLO
@@ -50,6 +50,7 @@
 use crate::fault::RecoveryStats;
 use crate::json::{self, JsonValue};
 use crate::metrics::{KvReuseStats, StageRecord, StageStats};
+use crate::preempt::PreemptStats;
 use crate::request::{Request, RequestRecord};
 use crate::scenario::PendingRequest;
 use crate::scheduler::BatchCheckpoint;
@@ -88,6 +89,45 @@ pub(crate) struct ChunkingState {
     pub(crate) history: u64,
     pub(crate) processed: u64,
     pub(crate) prefill_total: u64,
+    /// Mid-decode carry of a recompute-on-resume re-prefill (`None`
+    /// for ordinary prompts).
+    pub(crate) resumed: Option<ResumeState>,
+}
+
+/// Mid-decode progress carried through a recompute re-prefill.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) struct ResumeState {
+    pub(crate) generated: u64,
+    pub(crate) first_token_s: f64,
+}
+
+/// One preempted (paused) request's state.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct PausedState {
+    pub(crate) pending: PendingRequest,
+    pub(crate) generated: u64,
+    pub(crate) first_token_s: f64,
+    pub(crate) ctx: u64,
+    pub(crate) swapped: bool,
+    pub(crate) paused_at_s: f64,
+}
+
+/// One multiplex-slot member's state.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct MuxMemberState {
+    pub(crate) pending: PendingRequest,
+    pub(crate) generated: u64,
+    pub(crate) first_token_s: f64,
+}
+
+/// One multiplex slot's state (a shared decode row).
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct MuxState {
+    pub(crate) ctx: u64,
+    pub(crate) generated: u64,
+    pub(crate) kv_bytes: u64,
+    pub(crate) quality: f64,
+    pub(crate) members: Vec<MuxMemberState>,
 }
 
 /// A parked-KV pool's dynamic state.
@@ -124,6 +164,12 @@ pub(crate) struct ReplicaState {
     pub(crate) pending: Vec<PendingRequest>,
     pub(crate) active: Vec<ActiveState>,
     pub(crate) chunking: Vec<ChunkingState>,
+    /// Preempted requests awaiting resume, in pause (FIFO) order.
+    pub(crate) paused: Vec<PausedState>,
+    /// Live multiplex slots (shared decode rows).
+    pub(crate) mux: Vec<MuxState>,
+    /// Preemption counters accumulated so far.
+    pub(crate) preempt: PreemptStats,
     pub(crate) parked: Option<KvState>,
     pub(crate) reserved: u64,
     pub(crate) clock: f64,
@@ -254,11 +300,12 @@ pub struct ClusterSnapshot {
 }
 
 /// The schema id written by [`ClusterSnapshot::to_json`].
-const SCHEMA: &str = "duplex/cluster-snapshot/v4";
+const SCHEMA: &str = "duplex/cluster-snapshot/v5";
 /// Retired schema ids, recognized only to produce clear errors.
 const SCHEMA_V1: &str = "duplex/cluster-snapshot/v1";
 const SCHEMA_V2: &str = "duplex/cluster-snapshot/v2";
 const SCHEMA_V3: &str = "duplex/cluster-snapshot/v3";
+const SCHEMA_V4: &str = "duplex/cluster-snapshot/v4";
 
 impl ClusterSnapshot {
     /// The virtual time the run paused at.
@@ -271,7 +318,7 @@ impl ClusterSnapshot {
         self.replicas.len()
     }
 
-    /// Serialize to the `duplex/cluster-snapshot/v4` JSON document.
+    /// Serialize to the `duplex/cluster-snapshot/v5` JSON document.
     pub fn to_json(&self) -> String {
         let mut w = Writer::new();
         w.obj_open();
@@ -335,6 +382,12 @@ impl ClusterSnapshot {
                 format!(
                     "snapshot schema {schema:?} predates disaggregated-placement \
                      snapshots and cannot be resumed; re-take it as {SCHEMA:?}"
+                )
+            } else if schema == SCHEMA_V4 {
+                format!(
+                    "snapshot schema {schema:?} predates preemption-aware \
+                     snapshots (paused requests and multiplex slots) and cannot \
+                     be resumed; re-take it as {SCHEMA:?}"
                 )
             } else {
                 format!("unsupported snapshot schema {schema:?} (expected {SCHEMA:?})")
@@ -686,9 +739,69 @@ fn write_replica(w: &mut Writer, r: &ReplicaState) {
         w.u64_field("history", c.history);
         w.u64_field("processed", c.processed);
         w.u64_field("prefill_total", c.prefill_total);
+        w.key("resumed");
+        match &c.resumed {
+            Some(rc) => {
+                w.obj_open();
+                w.u64_field("generated", rc.generated);
+                w.f64_field("first_token_s", rc.first_token_s);
+                w.obj_close();
+            }
+            None => w.out.push_str("null"),
+        }
         w.obj_close();
     }
     w.arr_close();
+    w.key("paused");
+    w.arr_open();
+    for p in &r.paused {
+        w.item();
+        w.obj_open();
+        w.key("pending");
+        write_pending(w, &p.pending);
+        w.u64_field("generated", p.generated);
+        w.f64_field("first_token_s", p.first_token_s);
+        w.u64_field("ctx", p.ctx);
+        w.bool_field("swapped", p.swapped);
+        w.f64_field("paused_at_s", p.paused_at_s);
+        w.obj_close();
+    }
+    w.arr_close();
+    w.key("mux");
+    w.arr_open();
+    for s in &r.mux {
+        w.item();
+        w.obj_open();
+        w.u64_field("ctx", s.ctx);
+        w.u64_field("generated", s.generated);
+        w.u64_field("kv_bytes", s.kv_bytes);
+        w.f64_field("quality", s.quality);
+        w.key("members");
+        w.arr_open();
+        for m in &s.members {
+            w.item();
+            w.obj_open();
+            w.key("pending");
+            write_pending(w, &m.pending);
+            w.u64_field("generated", m.generated);
+            w.f64_field("first_token_s", m.first_token_s);
+            w.obj_close();
+        }
+        w.arr_close();
+        w.obj_close();
+    }
+    w.arr_close();
+    w.key("preempt");
+    w.obj_open();
+    w.u64_field("preemptions", r.preempt.preemptions);
+    w.u64_field("swaps", r.preempt.swaps);
+    w.u64_field("recomputes", r.preempt.recomputes);
+    w.u64_field("resumes", r.preempt.resumes);
+    w.f64_field("swap_restore_seconds", r.preempt.swap_restore_seconds);
+    w.f64_field("paused_time_s", r.preempt.paused_time_s);
+    w.u64_field("mux_slots", r.preempt.mux_slots);
+    w.u64_field("mux_tokens", r.preempt.mux_tokens);
+    w.obj_close();
     w.key("parked");
     match &r.parked {
         Some(kv) => {
@@ -1086,9 +1199,62 @@ fn read_replica(v: &JsonValue) -> Result<ReplicaState, String> {
                 history: get_u64(c, "history")?,
                 processed: get_u64(c, "processed")?,
                 prefill_total: get_u64(c, "prefill_total")?,
+                resumed: match get(c, "resumed")? {
+                    JsonValue::Null => None,
+                    rc => Some(ResumeState {
+                        generated: get_u64(rc, "generated")?,
+                        first_token_s: get_f64(rc, "first_token_s")?,
+                    }),
+                },
             })
         })
         .collect::<Result<Vec<_>, String>>()?;
+    let paused = get_arr(v, "paused")?
+        .iter()
+        .map(|p| {
+            Ok(PausedState {
+                pending: read_pending(get(p, "pending")?)?,
+                generated: get_u64(p, "generated")?,
+                first_token_s: get_f64(p, "first_token_s")?,
+                ctx: get_u64(p, "ctx")?,
+                swapped: get_bool(p, "swapped")?,
+                paused_at_s: get_f64(p, "paused_at_s")?,
+            })
+        })
+        .collect::<Result<Vec<_>, String>>()?;
+    let mux = get_arr(v, "mux")?
+        .iter()
+        .map(|s| {
+            let members = get_arr(s, "members")?
+                .iter()
+                .map(|m| {
+                    Ok(MuxMemberState {
+                        pending: read_pending(get(m, "pending")?)?,
+                        generated: get_u64(m, "generated")?,
+                        first_token_s: get_f64(m, "first_token_s")?,
+                    })
+                })
+                .collect::<Result<Vec<_>, String>>()?;
+            Ok(MuxState {
+                ctx: get_u64(s, "ctx")?,
+                generated: get_u64(s, "generated")?,
+                kv_bytes: get_u64(s, "kv_bytes")?,
+                quality: get_f64(s, "quality")?,
+                members,
+            })
+        })
+        .collect::<Result<Vec<_>, String>>()?;
+    let pp = get(v, "preempt")?;
+    let preempt = PreemptStats {
+        preemptions: get_u64(pp, "preemptions")?,
+        swaps: get_u64(pp, "swaps")?,
+        recomputes: get_u64(pp, "recomputes")?,
+        resumes: get_u64(pp, "resumes")?,
+        swap_restore_seconds: get_f64(pp, "swap_restore_seconds")?,
+        paused_time_s: get_f64(pp, "paused_time_s")?,
+        mux_slots: get_u64(pp, "mux_slots")?,
+        mux_tokens: get_u64(pp, "mux_tokens")?,
+    };
     let parked = match get(v, "parked")? {
         JsonValue::Null => None,
         kv => {
@@ -1201,6 +1367,9 @@ fn read_replica(v: &JsonValue) -> Result<ReplicaState, String> {
         pending: read_pending_list(v, "pending")?,
         active,
         chunking,
+        paused,
+        mux,
+        preempt,
         parked,
         reserved: get_u64(v, "reserved")?,
         clock: get_f64(v, "clock")?,
@@ -1282,7 +1451,40 @@ mod tests {
                     history: 16,
                     processed: 32,
                     prefill_total: 48,
+                    resumed: Some(ResumeState {
+                        generated: 6,
+                        first_token_s: 10.75,
+                    }),
                 }],
+                paused: vec![PausedState {
+                    pending: pending(36),
+                    generated: 5,
+                    first_token_s: 11.5,
+                    ctx: 69,
+                    swapped: true,
+                    paused_at_s: 12.0,
+                }],
+                mux: vec![MuxState {
+                    ctx: 72,
+                    generated: 2,
+                    kv_bytes: 4096,
+                    quality: 0.9,
+                    members: vec![MuxMemberState {
+                        pending: pending(37),
+                        generated: 7,
+                        first_token_s: 11.25,
+                    }],
+                }],
+                preempt: PreemptStats {
+                    preemptions: 3,
+                    swaps: 2,
+                    recomputes: 1,
+                    resumes: 2,
+                    swap_restore_seconds: 0.125,
+                    paused_time_s: 0.5,
+                    mux_slots: 1,
+                    mux_tokens: 9,
+                },
                 parked: Some(KvState {
                     clock: 17,
                     entries: vec![KvEntrySnapshot {

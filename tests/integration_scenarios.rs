@@ -5,11 +5,13 @@
 //! hidden nondeterminism (iteration order, shared RNG, wall-clock
 //! leakage) shows up as a summary mismatch.
 
+use duplex::model::ops::StageShape;
 use duplex::model::ModelConfig;
 use duplex::sched::{
-    Arrivals, ClusterReport, ClusterSimulation, ConversationSpec, PolicyKind, ReplicaConfig,
-    RouterKind, Scenario, ScenarioSimulation, SchedulingPolicy, SimReport, Simulation,
-    SimulationConfig, TraceRequest, Workload,
+    Arrivals, ClusterReport, ClusterSimulation, ConversationSpec, PolicyKind, PreemptMode,
+    PreemptSpec, PreemptionPolicy, PriorityTiers, ReplicaConfig, RouterKind, Scenario,
+    ScenarioSimulation, SchedulingPolicy, ShedBatchTier, SimReport, Simulation, SimulationConfig,
+    SloTier, StageExecutor, StageOutcome, TraceRequest, Workload,
 };
 use duplex::system::{SystemConfig, SystemExecutor};
 
@@ -374,6 +376,108 @@ fn cluster_routers_place_differently_but_serve_everything() {
     );
     // Affinity finds resident histories that round-robin scatters.
     assert!(aff.kv_reuse().reuse_fraction() > rr.kv_reuse().reuse_fraction());
+}
+
+/// Deterministic linear stage cost: the preemption acceptance gate
+/// needs exact control of stage timing, independent of the system
+/// crate's cost model.
+struct LinearCost;
+impl StageExecutor for LinearCost {
+    fn execute(&mut self, shape: &StageShape) -> StageOutcome {
+        let prefill: u64 = shape.prefill_len.iter().sum();
+        StageOutcome {
+            seconds: 0.002 + 1.5e-4 * prefill as f64 + 1e-4 * shape.decode_ctx.len() as f64,
+        }
+    }
+}
+
+fn preempt_scenario() -> Scenario {
+    Scenario::new(
+        "preempt-gate",
+        Workload::gaussian(64, 192).with_seed(21),
+        Arrivals::Poisson { qps: 16.0 },
+        400,
+    )
+    .with_tiers(vec![
+        SloTier::new("interactive", 0.5, 0, 0.035, 0.0),
+        SloTier::new("batch", 0.5, 2, 60.0, 0.0),
+    ])
+    .with_prefill_chunk(64)
+}
+
+fn run_preempt_gate(policy: &mut dyn SchedulingPolicy) -> SimReport {
+    // KV-bound: capacity fits ~5 concurrent (input + output)
+    // reservations, so running batch decodes block interactive
+    // admission on bytes, not slots.
+    let cfg = SimulationConfig {
+        max_batch: 8,
+        kv_capacity_bytes: 1536,
+        kv_bytes_per_token: 1,
+        ..SimulationConfig::default()
+    };
+    ScenarioSimulation::new(cfg, preempt_scenario()).run(policy, &mut LinearCost)
+}
+
+#[test]
+fn preemption_lifts_interactive_attainment_over_shedding() {
+    // The acceptance gate for the preemptive scheduler (ISSUE 10):
+    // near saturation, pausing batch-tier decodes (priced KV swap-out
+    // or recompute, whichever the cost model says is cheaper for that
+    // victim) must beat admission-side shedding on interactive SLO
+    // attainment while keeping at least 90% of the batch tier's
+    // goodput.
+    let shed = run_preempt_gate(&mut ShedBatchTier::new(Box::new(PriorityTiers), 0.5, 2));
+    // Crossover at 150 resident tokens: the 64..~256-token victim
+    // spread straddles it, so both restore paths see traffic.
+    let spec = PreemptSpec::new()
+        .with_swap_link(2e4, 7.5e-3)
+        .with_recompute_rate(1e4);
+    let preempt = run_preempt_gate(&mut PreemptionPolicy::new(Box::new(PriorityTiers), spec));
+
+    assert_eq!(shed.completed.len(), 400);
+    assert_eq!(preempt.completed.len(), 400, "paused work is never dropped");
+    let interactive = |r: &SimReport| r.slo.tiers[0].attainment();
+    assert!(
+        interactive(&preempt) > interactive(&shed) + 0.05,
+        "preempt {} vs shed {}",
+        interactive(&preempt),
+        interactive(&shed)
+    );
+    let batch_good = |r: &SimReport| r.slo.tiers[1].good_tokens;
+    assert!(
+        batch_good(&preempt) as f64 >= 0.9 * batch_good(&shed) as f64,
+        "batch goodput {} vs shed {}",
+        batch_good(&preempt),
+        batch_good(&shed)
+    );
+
+    // Under one Auto spec both restore paths ran: the per-victim
+    // cost-model choice split the ctx spread across swap and
+    // recompute. The single-mode runs pin that it really is the mode
+    // doing the splitting, not chance.
+    assert!(preempt.preempt.preemptions > 0);
+    assert!(preempt.preempt.swaps > 0, "{:?}", preempt.preempt);
+    assert!(preempt.preempt.recomputes > 0, "{:?}", preempt.preempt);
+    assert_eq!(preempt.preempt.resumes, preempt.preempt.preemptions);
+    let swap_only = run_preempt_gate(&mut PreemptionPolicy::new(
+        Box::new(PriorityTiers),
+        spec.with_mode(PreemptMode::SwapOnly),
+    ));
+    assert!(
+        swap_only.preempt.swaps > preempt.preempt.swaps,
+        "forcing SwapOnly parks victims the cost model would recompute: {:?} vs {:?}",
+        swap_only.preempt,
+        preempt.preempt
+    );
+    let recompute_only = run_preempt_gate(&mut PreemptionPolicy::new(
+        Box::new(PriorityTiers),
+        spec.with_mode(PreemptMode::RecomputeOnly),
+    ));
+    assert_eq!(recompute_only.preempt.swaps, 0, "RecomputeOnly never parks");
+
+    // The preempting run is part of the deterministic surface.
+    let again = run_preempt_gate(&mut PreemptionPolicy::new(Box::new(PriorityTiers), spec));
+    assert_eq!(summary(&preempt), summary(&again));
 }
 
 #[test]

@@ -7,10 +7,11 @@ use duplex::model::ops::StageShape;
 use duplex::model::{ExpertRouter, ModelConfig};
 use duplex::sched::{
     Arrivals, AutoscalePolicy, ClusterConfig, ClusterSimulation, ClusterSnapshot, ConversationSpec,
-    DisaggPlan, FaultEvent, FaultKind, FaultPlan, KvLinkSpec, LatencyDigest, PendingRequest,
-    Placement, PolicyKind, PoolRole, ReplicaConfig, ReplicaSnapshot, Request, RetryPolicy,
-    RouterKind, Scenario, ScenarioSimulation, SchedulingPolicy, Simulation, SimulationConfig,
-    SloStats, StageExecutor, StageOutcome, TierStats, Workload,
+    DisaggPlan, FaultEvent, FaultKind, FaultPlan, KvLinkSpec, LatencyDigest, MultiplexSpec,
+    PendingRequest, Placement, PolicyKind, PoolRole, PreemptMode, PreemptSpec, PreemptionPolicy,
+    PriorityTiers, ReplicaConfig, ReplicaSnapshot, Request, RetryPolicy, RouterKind, Scenario,
+    ScenarioSimulation, SchedulingPolicy, Simulation, SimulationConfig, SloStats, StageExecutor,
+    StageOutcome, TierStats, Workload,
 };
 use duplex::system::coproc::split_experts;
 use duplex::system::{SystemConfig, SystemExecutor};
@@ -693,16 +694,12 @@ proptest! {
         .with_conversation(ConversationSpec::chat(0.7, 3, 0.05, 16));
         let span_est = requests as f64 / qps;
         let crash_at = crash_frac * span_est;
-        let plan = FaultPlan::new(vec![FaultEvent {
-            at_s: crash_at,
-            replica: 0,
-            kind: FaultKind::Crash { down_s },
-        }])
-        .with_retry(RetryPolicy {
-            max_retries,
-            backoff_s: 0.001,
-            backoff_mult: 2.0,
-        })
+        let plan = FaultPlan::new(vec![FaultEvent::new(
+            crash_at,
+            0,
+            FaultKind::Crash { down_s },
+        )])
+        .with_retry(RetryPolicy::new(max_retries).with_backoff(0.001, 2.0))
         .with_warmup(0.01, 2.0)
         .with_recovery_tracking(0.7, span_est / 20.0, 0.05);
         let configs = vec![ReplicaConfig::new(cfg); 3];
@@ -1093,6 +1090,195 @@ proptest! {
                         kind.build().as_mut(),
                         &mut mk_pol(),
                         &mut [FixedStage(0.002); 4],
+                    )
+                    .expect("the snapshot matches the fleet");
+                prop_assert_eq!(&resumed, &serial);
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Preemption keeps the incremental fast path honest: with pauses
+    /// retiring victims mid-decode, swap restores rejoining at full
+    /// context and recomputes re-prefilling from scratch, the delta
+    /// path must still price every stage exactly like the per-request
+    /// `stage_cost_reference` oracle — within 1e-9 relative — over
+    /// randomized preemption thresholds, swap/recompute price ratios
+    /// and multiplex settings.
+    #[test]
+    fn preemptive_trace_equals_reference(
+        mean_in in 32u64..192,
+        mean_out in 16u64..64,
+        requests in 8usize..20,
+        batch in 2usize..6,
+        seed in 0u64..1000,
+        qps in 100.0f64..1200.0,
+        threshold in 0.5f64..0.95,
+        swap_gb_s in 1e8f64..1e10,
+        swap_lat in 1e-4f64..5e-3,
+        recompute_rate in 1e3f64..1e5,
+        mode_idx in 0usize..3,
+        chunk in proptest::option::of(8u64..64),
+        mux_bit in 0u8..2,
+    ) {
+        let model = ModelConfig::mixtral_8x7b();
+        let system = SystemConfig::duplex_pe_et(4, 1);
+        let mut inc = SystemExecutor::new(system.clone(), model.clone(), 1);
+        let mut oracle = ReferenceExec::new(SystemExecutor::new(system, model.clone(), 1));
+        let cfg = SimulationConfig {
+            max_batch: batch,
+            kv_capacity_bytes: inc.kv_capacity_bytes(),
+            kv_bytes_per_token: model.kv_bytes_per_token(),
+            ..SimulationConfig::default()
+        };
+        let mk = || Scenario::new(
+            "prop-preempt",
+            Workload::gaussian(mean_in, mean_out).with_seed(seed),
+            Arrivals::Poisson { qps },
+            requests,
+        )
+        .with_tiers(Scenario::default_tiers(0.01))
+        .with_prefill_chunk(chunk.unwrap_or(0));
+        let mode = [PreemptMode::Auto, PreemptMode::SwapOnly, PreemptMode::RecomputeOnly][mode_idx];
+        let spec = PreemptSpec::new()
+            .with_threshold(threshold)
+            .with_swap_link(swap_gb_s, swap_lat)
+            .with_recompute_rate(recompute_rate)
+            .with_mode(mode);
+        let mk_pol = || {
+            let p = PreemptionPolicy::new(Box::new(PriorityTiers), spec);
+            if mux_bit == 1 {
+                p.with_multiplex(MultiplexSpec::new())
+            } else {
+                p
+            }
+        };
+        let a = ScenarioSimulation::new(cfg, mk()).run(&mut mk_pol(), &mut inc);
+        let b = ScenarioSimulation::new(cfg, mk()).run(&mut mk_pol(), &mut oracle);
+        prop_assert_eq!(a.stages.len(), b.stages.len());
+        for (i, (sa, sb)) in a.stages.iter().zip(&b.stages).enumerate() {
+            prop_assert_eq!(sa.batch, sb.batch);
+            prop_assert!(
+                rel_diff(sa.seconds, sb.seconds) < 1e-9,
+                "stage {}: incremental {} vs reference {}",
+                i, sa.seconds, sb.seconds
+            );
+        }
+        prop_assert!(rel_diff(a.total_time_s, b.total_time_s) < 1e-9, "total time");
+        prop_assert!(
+            rel_diff(inc.total_cost().energy.total(), oracle.energy_j) < 1e-9,
+            "energy"
+        );
+        prop_assert_eq!(a.completed.len(), b.completed.len());
+        prop_assert_eq!(a.completed.len(), requests);
+        // Identical pricing means identical scheduling decisions:
+        // the preemption machinery itself replays exactly.
+        prop_assert_eq!(a.preempt, b.preempt);
+        match mode {
+            PreemptMode::SwapOnly => {}
+            PreemptMode::RecomputeOnly => prop_assert_eq!(a.preempt.swaps, 0),
+            PreemptMode::Auto => {}
+        }
+    }
+
+    /// A preempting fleet is deterministic machinery end to end: on a
+    /// 3-replica cluster with conversations, tiers and randomized
+    /// preemption specs, (a) serial and parallel stepping replay
+    /// byte-identically, and (b) a snapshot taken mid-run — paused
+    /// requests and multiplex slots in flight — survives the JSON wire
+    /// format and resumes to the exact uninterrupted report. Both
+    /// claims hold for every shipped router.
+    #[test]
+    fn preemptive_cluster_is_deterministic_and_resumable(
+        mean_in in 32u64..128,
+        mean_out in 8u64..24,
+        requests in 8usize..20,
+        seed in 0u64..1000,
+        qps in 100.0f64..800.0,
+        threshold in 0.5f64..0.95,
+        swap_gb_s in 1e8f64..1e10,
+        swap_lat in 1e-4f64..5e-3,
+        recompute_rate in 1e3f64..1e5,
+        mode_idx in 0usize..3,
+        mux_bit in 0u8..2,
+        stop_frac in 0.15f64..0.85,
+    ) {
+        let cfg = SimulationConfig {
+            max_batch: 4,
+            kv_capacity_bytes: 1 << 22,
+            kv_bytes_per_token: 64,
+            ..SimulationConfig::default()
+        };
+        let mk = || Scenario::new(
+            "prop-preempt-fleet",
+            Workload::gaussian(mean_in, mean_out).with_seed(seed),
+            Arrivals::Poisson { qps },
+            requests,
+        )
+        .with_tiers(Scenario::default_tiers(0.01))
+        .with_conversation(ConversationSpec::chat(0.7, 3, 0.05, 16));
+        let mode = [PreemptMode::Auto, PreemptMode::SwapOnly, PreemptMode::RecomputeOnly][mode_idx];
+        let spec = PreemptSpec::new()
+            .with_threshold(threshold)
+            .with_swap_link(swap_gb_s, swap_lat)
+            .with_recompute_rate(recompute_rate)
+            .with_mode(mode);
+        let mk_pol = || -> Vec<Box<dyn SchedulingPolicy>> {
+            (0..3)
+                .map(|_| {
+                    let p = PreemptionPolicy::new(Box::new(PriorityTiers), spec);
+                    let p = if mux_bit == 1 {
+                        p.with_multiplex(MultiplexSpec::new())
+                    } else {
+                        p
+                    };
+                    Box::new(p) as Box<dyn SchedulingPolicy>
+                })
+                .collect()
+        };
+        let configs = vec![ReplicaConfig::new(cfg); 3];
+        for kind in RouterKind::ALL {
+            let mk_sim = || ClusterSimulation::new(configs.clone(), mk());
+            let serial = mk_sim().with_config(ClusterConfig::serial()).run(
+                kind.build().as_mut(),
+                &mut mk_pol(),
+                &mut [FixedStage(0.002); 3],
+            );
+            let parallel = mk_sim()
+                .with_config(ClusterConfig {
+                    parallel: true,
+                    threads: 3,
+                })
+                .run(
+                    kind.build().as_mut(),
+                    &mut mk_pol(),
+                    &mut [FixedStage(0.002); 3],
+                );
+            prop_assert_eq!(&serial, &parallel);
+
+            // Pause mid-run, push the snapshot through JSON, resume
+            // fresh. Paused requests and multiplex slots in flight at
+            // the stop ride the snapshot.
+            let stop_s = stop_frac * serial.total_time_s;
+            let paused = mk_sim().run_until(
+                kind.build().as_mut(),
+                &mut mk_pol(),
+                &mut [FixedStage(0.002); 3],
+                stop_s,
+            );
+            if let Some(snapshot) = paused.snapshot() {
+                let restored = ClusterSnapshot::from_json(&snapshot.to_json())
+                    .expect("the wire format round-trips");
+                prop_assert_eq!(&restored, &snapshot);
+                let resumed = mk_sim()
+                    .resume(
+                        &restored,
+                        kind.build().as_mut(),
+                        &mut mk_pol(),
+                        &mut [FixedStage(0.002); 3],
                     )
                     .expect("the snapshot matches the fleet");
                 prop_assert_eq!(&resumed, &serial);
